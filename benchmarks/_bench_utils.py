@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_*.py`` module regenerates one paper artifact (table/figure)
+at a benchmark-friendly scale and writes the rendered output under
+``benchmarks/results/``, while pytest-benchmark records the runtime.
+Scale the trial counts with ``REPRO_TRIALS_SCALE`` (e.g. the Figure 1
+bench defaults to 1,500 trials; ``REPRO_TRIALS_SCALE=3.34`` reproduces
+the paper's 5,000).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> pathlib.Path:
+    """Persist one experiment's rendered output; returns the path."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    return path

@@ -1,0 +1,38 @@
+"""E2 — regenerate the Appendix A tweak-necessity table (exact DP)."""
+
+from __future__ import annotations
+
+from _bench_utils import write_result
+
+from repro.experiments.appendix_a import AppendixAConfig, run_appendix_a
+from repro.theory.failure import vanilla_small_n_failure_exact
+
+
+def test_appendix_a_table(benchmark):
+    """Vanilla Morris(a) vs Morris+ failure at small counts, exactly."""
+    config = AppendixAConfig(scan_points=12)
+    result = benchmark.pedantic(
+        lambda: run_appendix_a(config), rounds=1, iterations=1
+    )
+    text = "\n".join(
+        [
+            "E2 / Appendix A — the Morris+ tweak is necessary",
+            f"eps = {config.epsilon}, delta = {config.delta:g}, "
+            f"c = {config.c:g}",
+            f"a = {result.a:g}; adversarial N' = {result.adversarial_n}; "
+            f"Morris+ transition 8/a = {result.transition}",
+            "",
+            result.table(),
+            "",
+            "Shape check: vanilla failure exceeds delta by "
+            f"{result.adversarial_row.ratio_to_delta:.3g}x at N'; Morris+ "
+            "is exact (failure 0) through the deterministic prefix.",
+        ]
+    )
+    write_result("E2_appendix_a", text)
+    assert result.adversarial_row.vanilla_failure > 100 * config.delta
+
+
+def test_one_exact_failure_evaluation(benchmark):
+    """Micro: one exact DP failure evaluation at N = 500."""
+    benchmark(lambda: vanilla_small_n_failure_exact(2.4e-4, 0.2, 500))

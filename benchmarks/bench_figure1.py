@@ -1,0 +1,59 @@
+"""E1 — regenerate Figure 1 (relative-error CDFs at 17 bits).
+
+Paper protocol: 5,000 trials per algorithm, N ~ Uniform[500000, 999999],
+both algorithms at 17 bits of state.  The benchmark default runs 1,500
+trials (set REPRO_TRIALS_SCALE to scale) and also micro-benchmarks one
+trial of each simulator.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import write_result
+
+from repro.core.params import morris_a_for_bits
+from repro.experiments.config import scaled_trials
+from repro.experiments.fastsim import (
+    make_generator,
+    morris_final_x,
+    simplified_final_state,
+)
+from repro.experiments.figure1 import Figure1Config, run_figure1
+
+
+def test_figure1_full(benchmark):
+    """Regenerate the Figure 1 CDF comparison."""
+    config = Figure1Config(trials=scaled_trials(1500))
+    result = benchmark.pedantic(
+        lambda: run_figure1(config), rounds=1, iterations=1
+    )
+    text = "\n".join(
+        [
+            f"E1 / Figure 1 — {config.trials} trials, {config.bits} bits",
+            f"Morris a = {result.morris_a:g}; simplified s = "
+            f"{result.simplified_resolution}, t_max = {result.simplified_t_max}",
+            "",
+            result.table(),
+            "",
+            result.plot(),
+            "",
+            f"KS distance between CDFs: {result.ks_distance():.4f}",
+            f"max rel. error: Morris {100 * result.morris_summary.max:.3f}%, "
+            f"SimplifiedNY {100 * result.simplified_summary.max:.3f}% "
+            "(paper: neither algorithm exceeded 2.37%)",
+        ]
+    )
+    write_result("E1_figure1", text)
+    assert result.morris_summary.max < 0.05
+
+
+def test_one_morris_trial(benchmark):
+    """Micro: one Morris 17-bit trial at N = 750k."""
+    a = morris_a_for_bits(17, 999_999)
+    rng = make_generator(0)
+    benchmark(lambda: morris_final_x(a, 750_000, rng))
+
+
+def test_one_simplified_trial(benchmark):
+    """Micro: one simplified-NY 17-bit trial at N = 750k."""
+    rng = make_generator(1)
+    benchmark(lambda: simplified_final_state(8192, 7, 750_000, rng))

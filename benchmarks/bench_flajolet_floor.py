@@ -1,0 +1,35 @@
+"""E5 — regenerate the Morris(a=1) failure-floor table (exact DP)."""
+
+from __future__ import annotations
+
+from _bench_utils import write_result
+
+from repro.experiments.flajolet_floor import FloorConfig, run_flajolet_floor
+from repro.theory.flajolet import morris_state_distribution
+
+
+def test_flajolet_floor_table(benchmark):
+    """The a = 1 constant failure floor ([Fla85] Prop. 3 via §1.1)."""
+    config = FloorConfig()
+    result = benchmark.pedantic(
+        lambda: run_flajolet_floor(config), rounds=1, iterations=1
+    )
+    text = "\n".join(
+        [
+            "E5 / §1.1, [Fla85] Prop. 3 — Morris(1) failure floor is "
+            "constant in N",
+            "",
+            result.table(),
+            "",
+            f"flatness (max-min of the C=1 column): "
+            f"{result.floor_spread(0):.4f} — a constant floor, while the "
+            "a = Θ(1/log N) column keeps falling.",
+        ]
+    )
+    write_result("E5_flajolet_floor", text)
+    assert result.floor_spread(0) < 0.01
+
+
+def test_one_dp_pass(benchmark):
+    """Micro: one exact DP pass for Morris(1) at N = 4096."""
+    benchmark(lambda: morris_state_distribution(1.0, 4096))

@@ -1,0 +1,74 @@
+"""E7 — regenerate the Remark 2.4 mergeability validation."""
+
+from __future__ import annotations
+
+from _bench_utils import write_result
+
+from repro.core.morris import MorrisCounter
+from repro.experiments.config import scaled_trials
+from repro.experiments.merge_exp import (
+    MergeConfig,
+    run_morris_merge,
+    run_nelson_yu_merge,
+    run_simplified_merge,
+)
+
+
+def test_morris_merge_vs_exact_dp(benchmark):
+    """Merged Morris counters fit the exact N1+N2 distribution."""
+    config = MergeConfig(n1=300, n2=500, trials=scaled_trials(4000))
+    result = benchmark.pedantic(
+        lambda: run_morris_merge(config), rounds=1, iterations=1
+    )
+    text = "\n".join(
+        [
+            "E7 / Remark 2.4 + CY20 — Morris merge vs exact DP",
+            "",
+            result.table(),
+            "",
+            "Shape check: chi^2 within the dof band means the merged "
+            "counter is indistinguishable from a directly-run counter.",
+        ]
+    )
+    write_result("E7_morris_merge", text)
+    assert result.plausible
+
+
+def test_simplified_merge(benchmark):
+    """Simplified-NY merged vs direct (two-sample TV)."""
+    config = MergeConfig(n1=300, n2=500, trials=scaled_trials(800))
+    result = benchmark.pedantic(
+        lambda: run_simplified_merge(config), rounds=1, iterations=1
+    )
+    write_result(
+        "E7_simplified_merge",
+        "E7 / simplified-NY merge\n\n" + result.table(),
+    )
+    assert result.consistent
+
+
+def test_nelson_yu_merge(benchmark):
+    """Algorithm 1 merged vs direct (two-sample TV on coarse state)."""
+    config = MergeConfig(n1=4000, n2=7000, trials=scaled_trials(250))
+    result = benchmark.pedantic(
+        lambda: run_nelson_yu_merge(config), rounds=1, iterations=1
+    )
+    write_result(
+        "E7_nelson_yu_merge",
+        "E7 / Algorithm 1 merge (Remark 2.4)\n\n" + result.table(),
+    )
+    assert result.consistent
+
+
+def test_one_morris_merge(benchmark):
+    """Micro: one CY20 merge of two Morris counters."""
+
+    def merge_once():
+        a = MorrisCounter(0.25, seed=1)
+        b = MorrisCounter(0.25, seed=2)
+        a.add(300)
+        b.add(500)
+        a.merge_from(b)
+        return a.x
+
+    benchmark(merge_once)

@@ -1,0 +1,79 @@
+"""E3/E4 — regenerate the space- and failure-scaling tables."""
+
+from __future__ import annotations
+
+from _bench_utils import write_result
+
+from repro.experiments.config import scaled_trials
+from repro.experiments.space_scaling import (
+    DeltaSweepConfig,
+    FailureCheckConfig,
+    NSweepConfig,
+    run_delta_sweep,
+    run_failure_check,
+    run_n_sweep,
+)
+
+
+def test_delta_sweep(benchmark):
+    """E3: bits vs log(1/δ) — the paper's headline scaling."""
+    config = DeltaSweepConfig(trials=scaled_trials(30))
+    result = benchmark.pedantic(
+        lambda: run_delta_sweep(config), rounds=1, iterations=1
+    )
+    ny_slope, chebyshev_slope = result.delta_slopes()
+    text = "\n".join(
+        [
+            "E3 / Theorems 1.1+2.3 vs classical — space vs delta",
+            f"N = {config.n}, eps = {config.epsilon}, "
+            f"{config.trials} trials per point",
+            "",
+            result.table(),
+            "",
+            f"bits added per doubling of log(1/delta): "
+            f"NelsonYu {ny_slope:.2f} (log log: ~1 expected), "
+            f"Chebyshev-Morris {chebyshev_slope:.2f} (log: grows until the "
+            "log N ceiling)",
+        ]
+    )
+    write_result("E3_delta_sweep", text)
+    assert ny_slope < chebyshev_slope
+
+
+def test_n_sweep(benchmark):
+    """E3: bits vs N — log log N for the randomized counters."""
+    config = NSweepConfig(trials=scaled_trials(20))
+    result = benchmark.pedantic(
+        lambda: run_n_sweep(config), rounds=1, iterations=1
+    )
+    text = "\n".join(
+        [
+            "E3 / space vs N (eps = {}, delta = 2^-{})".format(
+                config.epsilon, config.delta_exponent
+            ),
+            "",
+            result.table(),
+            "",
+            "Shape check: exact counter bits double across the sweep "
+            "(log N); the randomized counters add only a few bits "
+            "(log log N).",
+        ]
+    )
+    write_result("E3_n_sweep", text)
+
+
+def test_failure_check(benchmark):
+    """E4: Morris+ with Theorem 1.2 tuning stays within 2δ."""
+    config = FailureCheckConfig(trials=scaled_trials(4000))
+    result = benchmark.pedantic(
+        lambda: run_failure_check(config), rounds=1, iterations=1
+    )
+    text = "\n".join(
+        [
+            "E4 / Theorem 1.2 — empirical failure of optimal Morris+",
+            "",
+            result.table(),
+        ]
+    )
+    write_result("E4_failure_check", text)
+    assert result.empirical_rate <= 2 * config.delta

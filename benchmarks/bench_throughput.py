@@ -1,0 +1,51 @@
+"""E9 — update throughput of every counter (increment vs fast-forward)."""
+
+from __future__ import annotations
+
+from _bench_utils import write_result
+
+from repro.core.csuros import CsurosCounter
+from repro.core.morris import MorrisCounter
+from repro.core.nelson_yu import NelsonYuCounter
+from repro.core.simplified_ny import SimplifiedNYCounter
+from repro.experiments.throughput import ThroughputConfig, run_throughput
+
+
+def test_throughput_table(benchmark):
+    """The E9 ops/sec table."""
+    config = ThroughputConfig()
+    result = benchmark.pedantic(
+        lambda: run_throughput(config), rounds=1, iterations=1
+    )
+    write_result(
+        "E9_throughput",
+        "E9 / update throughput\n\n" + result.table(),
+    )
+    for row in result.rows:
+        assert row.increments_per_second > 0
+
+
+def test_morris_increment(benchmark):
+    counter = MorrisCounter(2.0 ** -8, seed=0)
+    benchmark(counter.increment)
+
+
+def test_simplified_increment(benchmark):
+    counter = SimplifiedNYCounter(4096, seed=0)
+    benchmark(counter.increment)
+
+
+def test_csuros_increment(benchmark):
+    counter = CsurosCounter(12, seed=0)
+    benchmark(counter.increment)
+
+
+def test_nelson_yu_increment(benchmark):
+    counter = NelsonYuCounter(0.1, 20, seed=0)
+    benchmark(counter.increment)
+
+
+def test_morris_bulk_add(benchmark):
+    """Fast-forward through 100k stream positions."""
+    counter = MorrisCounter(2.0 ** -8, seed=0)
+    benchmark(lambda: counter.add(100_000))

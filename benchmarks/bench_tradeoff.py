@@ -1,0 +1,33 @@
+"""E8 — regenerate the accuracy-vs-space tradeoff table."""
+
+from __future__ import annotations
+
+from _bench_utils import write_result
+
+from repro.experiments.config import scaled_trials
+from repro.experiments.tradeoff import TradeoffConfig, run_tradeoff
+
+
+def test_tradeoff_table(benchmark):
+    """RMS relative error at equal bit budgets, all algorithms."""
+    config = TradeoffConfig(trials=scaled_trials(300))
+    result = benchmark.pedantic(
+        lambda: run_tradeoff(config), rounds=1, iterations=1
+    )
+    text = "\n".join(
+        [
+            "E8 / accuracy vs space at equal bit budgets "
+            f"({config.trials} trials per cell, N ~ U[{config.n_low}, "
+            f"{config.n_high}])",
+            "",
+            result.table(),
+            "",
+            "Shape check: the three randomized counters track each other "
+            "(error roughly halves per bit); the deterministic counter is "
+            "useless below log2(N) ~ 20 bits and exact above.",
+        ]
+    )
+    write_result("E8_tradeoff", text)
+    for row in result.rows:
+        if row.bits < 20:
+            assert row.morris_rms < row.saturating_rms

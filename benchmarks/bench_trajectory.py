@@ -1,0 +1,35 @@
+"""E12 — error-trajectory envelopes across the stream."""
+
+from __future__ import annotations
+
+from _bench_utils import write_result
+
+from repro.experiments.config import scaled_trials
+from repro.experiments.trajectory import TrajectoryConfig, run_trajectory
+
+
+def test_trajectory_envelopes(benchmark):
+    """p90 relative error vs stream position for the three main counters."""
+    config = TrajectoryConfig(trials=scaled_trials(40, minimum=10))
+    result = benchmark.pedantic(
+        lambda: run_trajectory(config), rounds=1, iterations=1
+    )
+    text = "\n".join(
+        [
+            "E12 / error trajectories "
+            f"(eps={config.epsilon}, delta={config.delta}, "
+            f"{config.trials} trials)",
+            "",
+            result.table(),
+            "",
+            result.plot(),
+            "",
+            "Shape check: every counter is exact through its small-count "
+            "regime (Morris+ prefix, Algorithm 1 epoch 0, simplified "
+            "counter below 2s), then settles at its stationary noise.",
+        ]
+    )
+    write_result("E12_trajectory", text)
+    for name, envelope in result.envelopes.items():
+        assert envelope[0] == 0.0, name  # exact at N = 1
+        assert max(envelope) < 2.0 * config.epsilon, name

@@ -1,0 +1,14 @@
+"""Pytest path setup for the benchmark suite.
+
+Makes ``_bench_utils`` importable from the bench modules regardless of
+the invocation directory.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+_HERE = pathlib.Path(__file__).parent
+if str(_HERE) not in sys.path:
+    sys.path.insert(0, str(_HERE))

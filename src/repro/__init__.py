@@ -1,0 +1,73 @@
+"""repro — reproduction of Nelson & Yu, "Optimal bounds for approximate
+counting" (PODS 2022; arXiv:2010.02116).
+
+The package implements the paper's new optimal approximate counter
+(Algorithm 1), the Morris Counter family it improves on, the matching
+lower-bound machinery, exact distributional analysis, and every experiment
+in the paper's evaluation.  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for paper-vs-measured results.
+
+Quickstart::
+
+    from repro import NelsonYuCounter
+
+    counter = NelsonYuCounter(epsilon=0.1, delta_exponent=20, seed=42)
+    counter.add(1_000_000)
+    print(counter.estimate(), counter.state_bits())
+"""
+
+from repro.core import (
+    ApproximateCounter,
+    CounterSnapshot,
+    CsurosCounter,
+    ExactCounter,
+    MorrisCounter,
+    MorrisPlusCounter,
+    NelsonYuCounter,
+    SaturatingCounter,
+    SimplifiedNYCounter,
+    counter_for_bits,
+    make_counter,
+    merge_all,
+    merge_counters,
+)
+from repro.errors import (
+    BudgetError,
+    ExperimentError,
+    MergeError,
+    ParameterError,
+    ReproError,
+    StateError,
+)
+from repro.memory import SpaceModel
+from repro.rng import BitBudgetedRandom
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # counters
+    "ApproximateCounter",
+    "CounterSnapshot",
+    "CsurosCounter",
+    "ExactCounter",
+    "MorrisCounter",
+    "MorrisPlusCounter",
+    "NelsonYuCounter",
+    "SaturatingCounter",
+    "SimplifiedNYCounter",
+    "counter_for_bits",
+    "make_counter",
+    "merge_all",
+    "merge_counters",
+    # infrastructure
+    "BitBudgetedRandom",
+    "SpaceModel",
+    # errors
+    "ReproError",
+    "ParameterError",
+    "StateError",
+    "MergeError",
+    "BudgetError",
+    "ExperimentError",
+]

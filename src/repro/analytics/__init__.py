@@ -1,0 +1,20 @@
+"""Many-counter analytics — the paper's motivating application (§1).
+
+"An analytics system may maintain many such counters (for example, the
+number of visits to each page on Wikipedia) ... if we are maintaining M
+counters then it is natural to want δ ≪ 1/M so that each counter is
+approximately correct with high probability."
+
+:class:`~repro.analytics.counter_bank.CounterBank` is that system: a keyed
+collection of approximate counters built from one counter template, each
+with an independent derived random stream, plus exact shadow counts for
+evaluation.  :class:`~repro.analytics.report.BankErrorReport` aggregates
+per-key errors and total memory, which is what experiment E3's
+"δ ≪ 1/M for free" story is measured with.
+"""
+
+from repro.analytics.counter_bank import CounterBank
+from repro.analytics.report import BankErrorReport
+from repro.analytics.sharding import ShardedCounter
+
+__all__ = ["CounterBank", "BankErrorReport", "ShardedCounter"]

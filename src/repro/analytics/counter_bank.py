@@ -1,0 +1,160 @@
+"""A bank of keyed approximate counters.
+
+The bank instantiates one approximate counter per key, lazily, from a
+*template factory*.  Each counter gets an independent random stream derived
+from the bank seed and the key (via
+:meth:`~repro.rng.bitstream.BitBudgetedRandom.split`), so the bank is fully
+deterministic yet streams are unrelated across keys.
+
+For evaluation the bank optionally keeps exact shadow counts (the "ground
+truth" the analytics system itself would not have room for); shadow counts
+are bookkeeping, never part of the reported memory.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from repro.analytics.report import BankErrorReport, KeyError_
+from repro.core.base import ApproximateCounter
+from repro.errors import ParameterError
+from repro.memory.model import SpaceModel
+from repro.rng.bitstream import BitBudgetedRandom
+from repro.stream.workload import KeyedEvent
+
+__all__ = ["CounterBank"]
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def _stable_hash(key: str) -> int:
+    """64-bit FNV-1a over the key's UTF-8 bytes.
+
+    Python's built-in ``hash`` is salted per process, which would make
+    per-key random streams differ between runs; this one is stable.
+    """
+    h = _FNV_OFFSET
+    for byte in key.encode("utf-8"):
+        h = ((h ^ byte) * _FNV_PRIME) & ((1 << 64) - 1)
+    return h
+
+
+class CounterBank:
+    """Keyed approximate counters built from a template factory.
+
+    Parameters
+    ----------
+    factory:
+        Callable receiving a per-key random source and returning a fresh
+        counter, e.g.
+        ``lambda rng: NelsonYuCounter(0.1, 20, rng=rng)``.
+    seed:
+        Bank seed; per-key streams derive from it.
+    track_truth:
+        Keep exact shadow counts for error reporting (default True).
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[BitBudgetedRandom], ApproximateCounter],
+        seed: int = 0,
+        track_truth: bool = True,
+    ) -> None:
+        self._factory = factory
+        self._root = BitBudgetedRandom(seed)
+        self._track_truth = track_truth
+        self._counters: dict[str, ApproximateCounter] = {}
+        self._truth: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # ingest
+    # ------------------------------------------------------------------
+    def _counter_for(self, key: str) -> ApproximateCounter:
+        counter = self._counters.get(key)
+        if counter is None:
+            key_rng = self._root.split(_stable_hash(key), len(key))
+            counter = self._factory(key_rng)
+            self._counters[key] = counter
+        return counter
+
+    def record(self, key: str, count: int = 1) -> None:
+        """Record ``count`` events for ``key``."""
+        if count < 0:
+            raise ParameterError(f"count must be non-negative, got {count}")
+        self._counter_for(key).add(count)
+        if self._track_truth:
+            self._truth[key] = self._truth.get(key, 0) + count
+
+    def consume(self, events: Iterable[KeyedEvent]) -> int:
+        """Ingest a keyed event stream; returns the number of events."""
+        n = 0
+        for event in events:
+            self.record(event.key)
+            n += 1
+        return n
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._counters)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._counters
+
+    def keys(self) -> Iterator[str]:
+        """Iterate over tracked keys."""
+        return iter(self._counters)
+
+    def estimate(self, key: str) -> float:
+        """Estimated count for ``key`` (0 for unseen keys)."""
+        counter = self._counters.get(key)
+        return counter.estimate() if counter is not None else 0.0
+
+    def truth(self, key: str) -> int:
+        """Exact count for ``key`` (requires ``track_truth=True``)."""
+        if not self._track_truth:
+            raise ParameterError("bank was built with track_truth=False")
+        return self._truth.get(key, 0)
+
+    def top_keys(self, k: int) -> list[tuple[str, float]]:
+        """The ``k`` keys with the largest estimates, descending."""
+        if k < 0:
+            raise ParameterError(f"k must be non-negative, got {k}")
+        ranked = sorted(
+            ((key, c.estimate()) for key, c in self._counters.items()),
+            key=lambda pair: (-pair[1], pair[0]),
+        )
+        return ranked[:k]
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def total_state_bits(
+        self, model: SpaceModel = SpaceModel.AUTOMATON
+    ) -> int:
+        """Total approximate-counter memory across the bank, in bits."""
+        return sum(c.state_bits(model) for c in self._counters.values())
+
+    def total_exact_bits(self) -> int:
+        """Memory an exact-counter bank would need for the same keys."""
+        if not self._track_truth:
+            raise ParameterError("bank was built with track_truth=False")
+        return sum(max(1, v.bit_length()) for v in self._truth.values())
+
+    def error_report(self) -> BankErrorReport:
+        """Aggregate per-key error statistics (requires shadow counts)."""
+        if not self._track_truth:
+            raise ParameterError("bank was built with track_truth=False")
+        entries = [
+            KeyError_(
+                key=key,
+                truth=self._truth.get(key, 0),
+                estimate=counter.estimate(),
+            )
+            for key, counter in self._counters.items()
+        ]
+        return BankErrorReport.from_entries(
+            entries, total_state_bits=self.total_state_bits()
+        )

@@ -1,0 +1,90 @@
+"""Aggregate error reporting for counter banks.
+
+The §1 argument the analytics layer exists to measure: with M counters one
+wants per-counter failure probability δ ≪ 1/M, and the paper's point is
+that the new algorithm pays only ``log log(1/δ)`` for that.  The report
+therefore surfaces exactly the quantities that argument is about: the
+fraction of keys outside a (1±ε) band, worst-key error, and total memory.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.estimators import relative_error
+from repro.errors import ParameterError
+
+__all__ = ["KeyError_", "BankErrorReport"]
+
+
+@dataclass(frozen=True, slots=True)
+class KeyError_(object):
+    """Truth vs estimate for one key.
+
+    The trailing underscore avoids shadowing the builtin ``KeyError``.
+    """
+
+    key: str
+    truth: int
+    estimate: float
+
+    @property
+    def relative_error(self) -> float:
+        """``|estimate - truth| / truth`` (0 for truth = estimate = 0)."""
+        return relative_error(self.estimate, self.truth)
+
+
+@dataclass(frozen=True, slots=True)
+class BankErrorReport:
+    """Error and memory summary across all keys of a bank."""
+
+    n_keys: int
+    total_events: int
+    total_state_bits: int
+    mean_relative_error: float
+    rms_relative_error: float
+    max_relative_error: float
+    worst_key: str
+
+    @classmethod
+    def from_entries(
+        cls, entries: Sequence[KeyError_], total_state_bits: int
+    ) -> "BankErrorReport":
+        """Aggregate per-key entries into a report."""
+        if not entries:
+            raise ParameterError("cannot report on an empty bank")
+        errors = [(e.relative_error, e.key) for e in entries]
+        worst_error, worst_key = max(errors)
+        mean = math.fsum(err for err, _ in errors) / len(errors)
+        rms = math.sqrt(
+            math.fsum(err * err for err, _ in errors) / len(errors)
+        )
+        return cls(
+            n_keys=len(entries),
+            total_events=sum(e.truth for e in entries),
+            total_state_bits=total_state_bits,
+            mean_relative_error=mean,
+            rms_relative_error=rms,
+            max_relative_error=worst_error,
+            worst_key=worst_key,
+        )
+
+    def fraction_within(
+        self, entries: Sequence[KeyError_], epsilon: float
+    ) -> float:
+        """Fraction of keys whose estimate is within ``(1±ε)`` of truth."""
+        if not entries:
+            raise ParameterError("no entries given")
+        within = sum(1 for e in entries if e.relative_error <= epsilon)
+        return within / len(entries)
+
+    def __str__(self) -> str:
+        return (
+            f"keys={self.n_keys} events={self.total_events} "
+            f"memory={self.total_state_bits}b "
+            f"err(mean={self.mean_relative_error:.4f}, "
+            f"rms={self.rms_relative_error:.4f}, "
+            f"max={self.max_relative_error:.4f} @ {self.worst_key})"
+        )

@@ -1,0 +1,111 @@
+"""Sharded counting with Remark 2.4 merging.
+
+A :class:`ShardedCounter` models the distributed deployment the merge
+remark exists for: ``n_shards`` independent counters absorb local traffic
+(e.g. one per ingest node) and the aggregator merges them on demand.
+Because the per-counter merge is distribution-exact, the merged view is
+statistically identical to a single counter that saw the global stream —
+nothing is lost in ε or δ by sharding.
+
+``estimate()`` merges into a scratch clone so shards are never disturbed;
+``collapse()`` performs the destructive end-of-window aggregation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.base import ApproximateCounter
+from repro.core.merge import merge_all
+from repro.errors import ParameterError
+from repro.memory.model import SpaceModel
+from repro.rng.bitstream import BitBudgetedRandom
+
+__all__ = ["ShardedCounter"]
+
+
+class ShardedCounter:
+    """One logical counter split across ``n_shards`` mergeable counters.
+
+    Parameters
+    ----------
+    factory:
+        Builds one shard's counter from a random source.  The counter
+        type must support merging (e.g. ``mergeable=True`` NY counters,
+        Morris, or the simplified counter).
+    n_shards:
+        Number of shards.
+    seed:
+        Root seed; shard streams are derived from it.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[BitBudgetedRandom], ApproximateCounter],
+        n_shards: int,
+        seed: int = 0,
+    ) -> None:
+        if n_shards < 1:
+            raise ParameterError(f"n_shards must be >= 1, got {n_shards}")
+        root = BitBudgetedRandom(seed)
+        self._shards = [
+            factory(root.split(0x73686172, index))
+            for index in range(n_shards)
+        ]
+        self._route_rng = root.split(0x726F757465)
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards."""
+        return len(self._shards)
+
+    @property
+    def shards(self) -> list[ApproximateCounter]:
+        """The shard counters (live references)."""
+        return list(self._shards)
+
+    # ------------------------------------------------------------------
+    # ingest
+    # ------------------------------------------------------------------
+    def increment(self, shard: int | None = None) -> None:
+        """Record one event on ``shard`` (random shard when omitted)."""
+        self._shard_for(shard).increment()
+
+    def add(self, count: int, shard: int | None = None) -> None:
+        """Record ``count`` events on ``shard`` (random when omitted)."""
+        if count < 0:
+            raise ParameterError(f"count must be non-negative, got {count}")
+        self._shard_for(shard).add(count)
+
+    def _shard_for(self, shard: int | None) -> ApproximateCounter:
+        if shard is None:
+            shard = self._route_rng.randint_below(len(self._shards))
+        if not 0 <= shard < len(self._shards):
+            raise ParameterError(
+                f"shard {shard} out of range [0, {len(self._shards)})"
+            )
+        return self._shards[shard]
+
+    # ------------------------------------------------------------------
+    # aggregation
+    # ------------------------------------------------------------------
+    @property
+    def n_increments(self) -> int:
+        """Ground-truth events across all shards (bookkeeping)."""
+        return sum(s.n_increments for s in self._shards)
+
+    def estimate(self) -> float:
+        """Global estimate via a non-destructive merge of all shards."""
+        return merge_all(self._shards).estimate()
+
+    def collapse(self) -> ApproximateCounter:
+        """Merge all shards into one counter and return it.
+
+        The shard counters are left intact (merging clones them), so the
+        caller decides whether to reset or keep them.
+        """
+        return merge_all(self._shards)
+
+    def total_state_bits(self, model: SpaceModel = SpaceModel.AUTOMATON) -> int:
+        """Total state across shards (the price of sharding)."""
+        return sum(s.state_bits(model) for s in self._shards)

@@ -1,0 +1,41 @@
+"""Streaming applications built on approximate counters.
+
+§1 of the paper motivates approximate counting through its uses as a
+subroutine; this package implements a representative of each cited use,
+with the counter type pluggable so the paper's new algorithm can be
+dropped in anywhere a Morris counter was used:
+
+* :mod:`~repro.applications.moments` — frequency-moment estimation
+  ``F_p = Σ f_i^p`` for ``p ∈ (0, 1]`` in insertion-only streams
+  (the [AMS99]/[GS09]/[JW19] line): AMS-style position sampling with the
+  per-position tail counts maintained by approximate counters.
+* :mod:`~repro.applications.reservoir` — approximate reservoir sampling
+  ([GS09]): a uniform-ish sample of the stream using an approximate
+  counter for the stream length.
+* :mod:`~repro.applications.inversions` — inversion counting over
+  permutation streams ([AJKS02] flavour), with a from-scratch Fenwick-tree
+  substrate and a variant whose tree nodes are approximate counters.
+* :mod:`~repro.applications.heavy_hitters` — ℓ1 heavy hitters in
+  insertion-only streams ([BDW19] flavour): SpaceSaving with exact cells
+  as the baseline and approximate-counter cells as the space-saving
+  variant.
+"""
+
+from repro.applications.heavy_hitters import ApproxSpaceSaving, SpaceSaving
+from repro.applications.inversions import (
+    ApproxInversionCounter,
+    FenwickTree,
+    InversionCounter,
+)
+from repro.applications.moments import FrequencyMomentEstimator
+from repro.applications.reservoir import ApproximateReservoir
+
+__all__ = [
+    "FrequencyMomentEstimator",
+    "ApproximateReservoir",
+    "FenwickTree",
+    "InversionCounter",
+    "ApproxInversionCounter",
+    "SpaceSaving",
+    "ApproxSpaceSaving",
+]

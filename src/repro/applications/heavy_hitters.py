@@ -1,0 +1,169 @@
+"""ℓ1 heavy hitters in insertion-only streams ([BDW19] flavour).
+
+An item is a ``φ``-heavy hitter when its frequency exceeds ``φ m``.  The
+classical small-space solution is SpaceSaving (a Misra-Gries variant): keep
+``k`` (item, count) cells; on a miss, evict the minimum cell and inherit
+its count plus one.  SpaceSaving guarantees every item with
+``f_i > m/k`` is retained and each cell overestimates by at most ``m/k``.
+
+[BDW19]'s observation, which this module demonstrates, is that the cells'
+counts — the dominant ``Θ(k log m)`` bits of state — can themselves be
+approximate counters: a ``(1±ε)`` count keeps the heavy-hitter guarantee
+up to ``(1±O(ε))`` slack while each cell shrinks to ``O(log log m)`` bits.
+
+* :class:`SpaceSaving` — exact cells (baseline, also the ground truth
+  structure for tests);
+* :class:`ApproxSpaceSaving` — cells backed by approximate counters, with
+  eviction by estimated minimum and count inheritance via ``add``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable
+
+from repro.core.base import ApproximateCounter
+from repro.errors import ParameterError
+from repro.rng.bitstream import BitBudgetedRandom
+
+__all__ = ["SpaceSaving", "ApproxSpaceSaving"]
+
+
+class SpaceSaving:
+    """Exact SpaceSaving summary with ``k`` cells."""
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ParameterError(f"k must be >= 1, got {k}")
+        self._k = k
+        self._counts: dict[Hashable, int] = {}
+        self._length = 0
+
+    @property
+    def stream_length(self) -> int:
+        """Items processed so far."""
+        return self._length
+
+    def update(self, item: Hashable) -> None:
+        """Process one item."""
+        self._length += 1
+        if item in self._counts:
+            self._counts[item] += 1
+            return
+        if len(self._counts) < self._k:
+            self._counts[item] = 1
+            return
+        # Evict the minimum cell; the newcomer inherits its count + 1.
+        victim = min(self._counts, key=lambda key: (self._counts[key], str(key)))
+        inherited = self._counts.pop(victim)
+        self._counts[item] = inherited + 1
+
+    def consume(self, items: Iterable[Hashable]) -> None:
+        """Process a whole stream."""
+        for item in items:
+            self.update(item)
+
+    def estimate(self, item: Hashable) -> int:
+        """Estimated frequency (upper bound; 0 if not tracked)."""
+        return self._counts.get(item, 0)
+
+    def heavy_hitters(self, phi: float) -> list[tuple[Hashable, int]]:
+        """Items whose estimated frequency exceeds ``φ · m``, descending."""
+        if not 0.0 < phi < 1.0:
+            raise ParameterError(f"phi must be in (0, 1), got {phi}")
+        threshold = phi * self._length
+        ranked = sorted(
+            (
+                (item, count)
+                for item, count in self._counts.items()
+                if count > threshold
+            ),
+            key=lambda pair: (-pair[1], str(pair[0])),
+        )
+        return ranked
+
+
+class ApproxSpaceSaving:
+    """SpaceSaving whose cells are approximate counters.
+
+    Parameters
+    ----------
+    k:
+        Number of cells.
+    counter_factory:
+        Builds one cell's approximate counter, given a random source.
+    seed:
+        Seed for per-cell counter streams.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        counter_factory: Callable[[BitBudgetedRandom], ApproximateCounter],
+        seed: int = 0,
+    ) -> None:
+        if k < 1:
+            raise ParameterError(f"k must be >= 1, got {k}")
+        self._k = k
+        self._factory = counter_factory
+        self._rng = BitBudgetedRandom(seed)
+        self._cells: dict[Hashable, ApproximateCounter] = {}
+        self._length = 0
+        self._cells_created = 0
+
+    @property
+    def stream_length(self) -> int:
+        """Items processed so far."""
+        return self._length
+
+    def _new_cell(self) -> ApproximateCounter:
+        self._cells_created += 1
+        return self._factory(self._rng.split(self._cells_created))
+
+    def update(self, item: Hashable) -> None:
+        """Process one item."""
+        self._length += 1
+        cell = self._cells.get(item)
+        if cell is not None:
+            cell.increment()
+            return
+        if len(self._cells) < self._k:
+            cell = self._new_cell()
+            cell.increment()
+            self._cells[item] = cell
+            return
+        victim = min(
+            self._cells,
+            key=lambda key: (self._cells[key].estimate(), str(key)),
+        )
+        inherited = self._cells.pop(victim)
+        inherited.increment()
+        self._cells[item] = inherited
+
+    def consume(self, items: Iterable[Hashable]) -> None:
+        """Process a whole stream."""
+        for item in items:
+            self.update(item)
+
+    def estimate(self, item: Hashable) -> float:
+        """Estimated frequency (0 if not tracked)."""
+        cell = self._cells.get(item)
+        return cell.estimate() if cell is not None else 0.0
+
+    def heavy_hitters(self, phi: float) -> list[tuple[Hashable, float]]:
+        """Items whose estimated frequency exceeds ``φ · m``, descending."""
+        if not 0.0 < phi < 1.0:
+            raise ParameterError(f"phi must be in (0, 1), got {phi}")
+        threshold = phi * self._length
+        ranked = sorted(
+            (
+                (item, cell.estimate())
+                for item, cell in self._cells.items()
+                if cell.estimate() > threshold
+            ),
+            key=lambda pair: (-pair[1], str(pair[0])),
+        )
+        return ranked
+
+    def total_state_bits(self) -> int:
+        """Total bits across all cell counters (the [BDW19] win)."""
+        return sum(cell.state_bits() for cell in self._cells.values())

@@ -1,0 +1,147 @@
+"""Inversion counting over permutation streams ([AJKS02] flavour).
+
+Streaming over a permutation of ``{0..n-1}``, the number of inversions is
+``Σ_j #{i < j : π(i) > π(j)}``.  The classical exact offline method uses a
+Fenwick (binary indexed) tree: when value ``v`` arrives, the number of
+already-seen values greater than ``v`` is ``seen_so_far − prefix_count(v)``.
+
+We implement the Fenwick tree substrate from scratch and two counters on
+top of it:
+
+* :class:`InversionCounter` — exact (the baseline);
+* :class:`ApproxInversionCounter` — the same algorithm with the running
+  inversion tally kept in an approximate counter, demonstrating the
+  counter-as-subroutine pattern: the tally is the only ``Θ(log n²)``-bit
+  piece of state that the approximate counter shrinks, and a ``(1±ε)``
+  tally stays a ``(1±ε)`` inversion estimate because the tally is a pure
+  sum of increments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.core.base import ApproximateCounter
+from repro.errors import ParameterError
+from repro.rng.bitstream import BitBudgetedRandom
+
+__all__ = ["FenwickTree", "InversionCounter", "ApproxInversionCounter"]
+
+
+class FenwickTree:
+    """Binary indexed tree over ``[0, size)`` supporting point add /
+    prefix sum in ``O(log size)``."""
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ParameterError(f"size must be >= 1, got {size}")
+        self._size = size
+        self._tree = [0] * (size + 1)
+
+    @property
+    def size(self) -> int:
+        """Number of addressable positions."""
+        return self._size
+
+    def add(self, index: int, amount: int = 1) -> None:
+        """Add ``amount`` at ``index``."""
+        if not 0 <= index < self._size:
+            raise ParameterError(f"index {index} out of range")
+        i = index + 1
+        while i <= self._size:
+            self._tree[i] += amount
+            i += i & (-i)
+
+    def prefix_sum(self, index: int) -> int:
+        """Sum of positions ``0..index`` inclusive (0 for index < 0)."""
+        if index >= self._size:
+            raise ParameterError(f"index {index} out of range")
+        total = 0
+        i = index + 1
+        while i > 0:
+            total += self._tree[i]
+            i -= i & (-i)
+        return total
+
+    def total(self) -> int:
+        """Sum over all positions."""
+        return self.prefix_sum(self._size - 1)
+
+
+class InversionCounter:
+    """Exact streaming inversion counter over a permutation of [0, n)."""
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ParameterError(f"n must be >= 1, got {n}")
+        self._tree = FenwickTree(n)
+        self._seen = 0
+        self._inversions = 0
+
+    @property
+    def inversions(self) -> int:
+        """Exact inversion count so far."""
+        return self._inversions
+
+    @property
+    def items_seen(self) -> int:
+        """Number of stream positions consumed."""
+        return self._seen
+
+    def update(self, value: int) -> int:
+        """Consume one permutation value; returns new inversions added."""
+        greater_before = self._seen - self._tree.prefix_sum(value)
+        self._tree.add(value)
+        self._seen += 1
+        self._inversions += greater_before
+        return greater_before
+
+    def consume(self, values: Iterable[int]) -> int:
+        """Consume a whole stream; returns the final inversion count."""
+        for value in values:
+            self.update(value)
+        return self._inversions
+
+
+class ApproxInversionCounter:
+    """Inversion counting with the tally in an approximate counter.
+
+    The Fenwick tree is still exact (it stores *which* values arrived);
+    what the approximate counter replaces is the inversion tally, which
+    grows to ``Θ(n²)`` and is exactly the "large counter incremented many
+    times" shape the paper targets.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        counter_factory: Callable[[BitBudgetedRandom], ApproximateCounter],
+        seed: int = 0,
+    ) -> None:
+        self._exact_structure = InversionCounter(n)
+        self._tally = counter_factory(BitBudgetedRandom(seed))
+
+    @property
+    def tally_counter(self) -> ApproximateCounter:
+        """The approximate inversion tally."""
+        return self._tally
+
+    def update(self, value: int) -> None:
+        """Consume one permutation value."""
+        added = self._exact_structure.update(value)
+        if added:
+            self._tally.add(added)
+
+    def consume(self, values: Iterable[int]) -> float:
+        """Consume a whole stream; returns the estimated inversion count."""
+        for value in values:
+            self.update(value)
+        return self.estimate()
+
+    def estimate(self) -> float:
+        """Estimated inversion count."""
+        return self._tally.estimate()
+
+    def exact(self) -> int:
+        """Ground-truth inversions (kept for evaluation)."""
+        return self._exact_structure.inversions

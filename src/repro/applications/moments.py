@@ -1,0 +1,128 @@
+"""Frequency-moment estimation with approximate-counter subroutines.
+
+For an insertion-only stream of items with frequencies ``f_i``, the p-th
+frequency moment is ``F_p = Σ_i f_i^p``.  The classical AMS estimator
+[AMS99] samples a uniformly random stream position, counts the occurrences
+``r`` of that position's item in the *rest* of the stream, and outputs
+``m · (r^p − (r−1)^p)`` — an unbiased estimate of ``F_p`` (telescoping
+over each item's occurrences).
+
+[GS09] and [JW19] observed that for ``p ∈ (0, 1]`` the tail count ``r``
+(and the stream length ``m``) need only be known approximately, so both
+can be kept in Morris-style counters — which is where this library's
+counters plug in.  Each basic estimator therefore stores: the sampled
+item, a reservoir position, and an approximate counter of occurrences
+since sampling.
+
+Averaging ``k`` independent basic estimators reduces the variance the
+standard way; the class exposes both the mean estimate and the raw basic
+estimates for variance diagnostics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterable
+
+from repro.core.base import ApproximateCounter
+from repro.errors import ParameterError
+from repro.rng.bitstream import BitBudgetedRandom
+
+__all__ = ["FrequencyMomentEstimator"]
+
+
+@dataclass
+class _BasicEstimator:
+    """One AMS sample: a sampled item and its (approximate) tail count."""
+
+    item: Hashable | None = None
+    counter: ApproximateCounter | None = None
+
+
+class FrequencyMomentEstimator:
+    """Estimate ``F_p`` for ``p ∈ (0, 1]`` over an insertion-only stream.
+
+    Parameters
+    ----------
+    p:
+        The moment order, in ``(0, 1]``.  ``p = 1`` gives the stream
+        length (useful as a correctness anchor: the estimator is then
+        exactly ``m``).
+    n_estimators:
+        Number of independent basic estimators to average.
+    counter_factory:
+        Builds the approximate counter used for each tail count, given a
+        random source — e.g.
+        ``lambda rng: MorrisPlusCounter.for_optimal(0.05, 1e-4, rng=rng)``.
+    seed:
+        Seed for position sampling and counter streams.
+    """
+
+    def __init__(
+        self,
+        p: float,
+        n_estimators: int,
+        counter_factory: Callable[[BitBudgetedRandom], ApproximateCounter],
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 < p <= 1.0:
+            raise ParameterError(f"p must be in (0, 1], got {p}")
+        if n_estimators < 1:
+            raise ParameterError(
+                f"n_estimators must be >= 1, got {n_estimators}"
+            )
+        self._p = p
+        self._rng = BitBudgetedRandom(seed)
+        self._factory = counter_factory
+        self._basics = [_BasicEstimator() for _ in range(n_estimators)]
+        self._length = 0
+
+    @property
+    def stream_length(self) -> int:
+        """Number of items processed."""
+        return self._length
+
+    def update(self, item: Hashable) -> None:
+        """Process one stream item."""
+        self._length += 1
+        for index, basic in enumerate(self._basics):
+            # Reservoir-sample the position: replace with probability 1/m,
+            # which leaves each position uniformly likely.
+            if basic.item is None or self._rng.bernoulli(1.0 / self._length):
+                basic.item = item
+                basic.counter = self._factory(
+                    self._rng.split(index, self._length)
+                )
+                basic.counter.increment()
+            elif item == basic.item:
+                basic.counter.increment()
+
+    def consume(self, items: Iterable[Hashable]) -> None:
+        """Process a whole stream."""
+        for item in items:
+            self.update(item)
+
+    def basic_estimates(self) -> list[float]:
+        """The raw per-sample estimates ``m (r̂^p − (r̂−1)^p)``."""
+        if self._length == 0:
+            raise ParameterError("no items processed yet")
+        estimates = []
+        for basic in self._basics:
+            r = max(1.0, basic.counter.estimate())
+            estimates.append(
+                self._length * (r ** self._p - (r - 1.0) ** self._p)
+            )
+        return estimates
+
+    def estimate(self) -> float:
+        """The averaged ``F_p`` estimate."""
+        basics = self.basic_estimates()
+        return math.fsum(basics) / len(basics)
+
+    @staticmethod
+    def exact_moment(frequencies: dict[Hashable, int], p: float) -> float:
+        """Ground-truth ``F_p`` from an exact frequency table."""
+        if not 0.0 < p <= 1.0:
+            raise ParameterError(f"p must be in (0, 1], got {p}")
+        return math.fsum(f ** p for f in frequencies.values() if f > 0)

@@ -1,0 +1,85 @@
+"""Approximate reservoir sampling ([GS09]'s cited application).
+
+Classic reservoir sampling keeps item ``m`` with probability ``k/m``,
+which requires knowing the exact stream position ``m`` — a ``log m``-bit
+counter.  The approximate variant replaces it with an approximate counter:
+item ``m`` is kept with probability ``min(1, k/N̂)`` where ``N̂`` is the
+approximate stream length.  With a ``(1±ε)`` counter every item's
+inclusion probability is within ``(1±O(ε))`` of uniform, so the sample is
+near-uniform while the position counter costs only ``O(log log m)`` bits.
+
+The class tracks inclusion decisions honestly (the random slot eviction of
+standard reservoir sampling) and exposes the position counter so
+experiments can report its memory.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable
+
+from repro.core.base import ApproximateCounter
+from repro.errors import ParameterError
+from repro.rng.bitstream import BitBudgetedRandom
+
+__all__ = ["ApproximateReservoir"]
+
+
+class ApproximateReservoir:
+    """A size-``k`` reservoir whose position counter is approximate.
+
+    Parameters
+    ----------
+    k:
+        Reservoir capacity.
+    counter_factory:
+        Builds the approximate position counter, given a random source.
+    seed:
+        Seed for inclusion/eviction randomness and the counter stream.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        counter_factory: Callable[[BitBudgetedRandom], ApproximateCounter],
+        seed: int = 0,
+    ) -> None:
+        if k < 1:
+            raise ParameterError(f"k must be >= 1, got {k}")
+        self._k = k
+        self._rng = BitBudgetedRandom(seed)
+        self._counter = counter_factory(self._rng.split(0x7265736572766F69))
+        self._sample: list[Hashable] = []
+
+    @property
+    def k(self) -> int:
+        """Reservoir capacity."""
+        return self._k
+
+    @property
+    def sample(self) -> list[Hashable]:
+        """The current reservoir contents (at most k items)."""
+        return list(self._sample)
+
+    @property
+    def position_counter(self) -> ApproximateCounter:
+        """The approximate stream-position counter."""
+        return self._counter
+
+    def update(self, item: Hashable) -> None:
+        """Process one stream item."""
+        self._counter.increment()
+        if len(self._sample) < self._k:
+            self._sample.append(item)
+            return
+        estimated_position = max(float(self._k), self._counter.estimate())
+        if self._rng.bernoulli(min(1.0, self._k / estimated_position)):
+            slot = self._rng.randint_below(self._k)
+            self._sample[slot] = item
+
+    def consume(self, items: Iterable[Hashable]) -> int:
+        """Process a whole stream; returns the number of items seen."""
+        n = 0
+        for item in items:
+            self.update(item)
+            n += 1
+        return n

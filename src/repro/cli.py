@@ -1,0 +1,277 @@
+"""Command-line interface: run any experiment from the shell.
+
+Usage::
+
+    python -m repro.cli figure1 --trials 1000
+    python -m repro.cli appendix-a
+    python -m repro.cli space --sweep delta
+    python -m repro.cli floor
+    python -m repro.cli lowerbound --t 4096
+    python -m repro.cli merge --family morris
+    python -m repro.cli tradeoff
+    python -m repro.cli throughput
+    python -m repro.cli count --algorithm nelson_yu --n 1000000
+
+Every subcommand prints the same tables the benchmark suite writes to
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.factory import make_counter
+from repro.experiments.appendix_a import AppendixAConfig, run_appendix_a
+from repro.experiments.config import ExperimentContext
+from repro.experiments.figure1 import Figure1Config, run_figure1
+from repro.experiments.flajolet_floor import FloorConfig, run_flajolet_floor
+from repro.experiments.lower_bound_exp import (
+    LowerBoundConfig,
+    run_lower_bound,
+    run_survival_threshold,
+)
+from repro.experiments.merge_exp import (
+    MergeConfig,
+    run_morris_merge,
+    run_nelson_yu_merge,
+    run_simplified_merge,
+)
+from repro.experiments.space_scaling import (
+    DeltaSweepConfig,
+    FailureCheckConfig,
+    NSweepConfig,
+    run_delta_sweep,
+    run_failure_check,
+    run_n_sweep,
+)
+from repro.experiments.throughput import ThroughputConfig, run_throughput
+from repro.experiments.tradeoff import TradeoffConfig, run_tradeoff
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of Nelson & Yu, 'Optimal bounds for approximate "
+            "counting' — experiment runner"
+        ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2020_10_06, help="experiment seed"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    figure1 = subparsers.add_parser(
+        "figure1", help="E1: Figure 1 error CDFs at 17 bits"
+    )
+    figure1.add_argument("--trials", type=int, default=1000)
+    figure1.add_argument("--bits", type=int, default=17)
+
+    subparsers.add_parser(
+        "appendix-a", help="E2: Morris+ tweak necessity (exact DP)"
+    )
+
+    space = subparsers.add_parser(
+        "space", help="E3/E4: space and failure scaling"
+    )
+    space.add_argument(
+        "--sweep",
+        choices=("delta", "n", "failure"),
+        default="delta",
+        help="which sweep to run",
+    )
+    space.add_argument("--trials", type=int, default=20)
+
+    subparsers.add_parser(
+        "floor", help="E5: Morris(a=1) constant failure floor"
+    )
+
+    lowerbound = subparsers.add_parser(
+        "lowerbound", help="E6: Theorem 3.1 derandomize-and-pump"
+    )
+    lowerbound.add_argument("--t", type=int, default=4096)
+
+    merge = subparsers.add_parser("merge", help="E7: merge validation")
+    merge.add_argument(
+        "--family",
+        choices=("morris", "simplified", "nelson-yu"),
+        default="morris",
+    )
+    merge.add_argument("--trials", type=int, default=1500)
+
+    tradeoff = subparsers.add_parser(
+        "tradeoff", help="E8: accuracy vs bits"
+    )
+    tradeoff.add_argument("--trials", type=int, default=150)
+
+    subparsers.add_parser("throughput", help="E9: update throughput")
+
+    bank = subparsers.add_parser(
+        "bank", help="E10: M-counter bank, delta << 1/M"
+    )
+    bank.add_argument("--counters", type=int, default=500)
+
+    subparsers.add_parser(
+        "randomness", help="E11: random-bit budgets"
+    )
+
+    ablation = subparsers.add_parser(
+        "ablation", help="A1-A3: design-choice ablations"
+    )
+    ablation.add_argument(
+        "--which",
+        choices=("chernoff", "rounding", "transition"),
+        default="transition",
+    )
+    ablation.add_argument("--trials", type=int, default=400)
+
+    count = subparsers.add_parser(
+        "count", help="run one counter over N increments"
+    )
+    count.add_argument(
+        "--algorithm",
+        default="nelson_yu",
+        help="algorithm_name from the factory registry",
+    )
+    count.add_argument("--n", type=int, default=1_000_000)
+    count.add_argument("--epsilon", type=float, default=0.1)
+    count.add_argument("--delta-exponent", type=int, default=20)
+    count.add_argument("--a", type=float, default=None)
+
+    return parser
+
+
+def _run_count(args: argparse.Namespace) -> str:
+    params: dict = {"seed": args.seed}
+    if args.algorithm in ("morris", "morris_plus"):
+        from repro.core.params import morris_a_optimal
+
+        params["a"] = (
+            args.a
+            if args.a is not None
+            else morris_a_optimal(args.epsilon, 2.0 ** -args.delta_exponent)
+        )
+    elif args.algorithm == "nelson_yu":
+        params["epsilon"] = args.epsilon
+        params["delta_exponent"] = args.delta_exponent
+    elif args.algorithm == "simplified_ny":
+        params["resolution"] = 4096
+    elif args.algorithm == "csuros":
+        params["d"] = 12
+    elif args.algorithm == "saturating":
+        params["bits"] = 20
+    counter = make_counter(args.algorithm, **params)
+    counter.add(args.n)
+    return (
+        f"{args.algorithm}: N={args.n:,} estimate={counter.estimate():,.1f} "
+        f"rel.err={100 * counter.relative_error():.4f}% "
+        f"state={counter.state_bits()} bits "
+        f"random_bits={counter.rng.bits_consumed:,}"
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    context = ExperimentContext(seed=args.seed)
+
+    if args.command == "figure1":
+        result = run_figure1(
+            Figure1Config(trials=args.trials, bits=args.bits), context
+        )
+        print(result.plot())
+        print()
+        print(result.table())
+        print(f"\nKS distance: {result.ks_distance():.4f}")
+    elif args.command == "appendix-a":
+        result = run_appendix_a(AppendixAConfig())
+        print(result.table())
+    elif args.command == "space":
+        if args.sweep == "delta":
+            result = run_delta_sweep(
+                DeltaSweepConfig(trials=args.trials), context
+            )
+            print(result.table())
+            ny, cheb = result.delta_slopes()
+            print(f"\nslopes per doubling of log(1/delta): "
+                  f"NelsonYu {ny:.2f}, Chebyshev {cheb:.2f}")
+        elif args.sweep == "n":
+            print(run_n_sweep(NSweepConfig(trials=args.trials), context).table())
+        else:
+            print(
+                run_failure_check(
+                    FailureCheckConfig(trials=max(500, args.trials)), context
+                ).table()
+            )
+    elif args.command == "floor":
+        print(run_flajolet_floor(FloorConfig()).table())
+    elif args.command == "lowerbound":
+        print(run_lower_bound(LowerBoundConfig(t_param=args.t)).table())
+        print()
+        print(run_survival_threshold().table())
+    elif args.command == "merge":
+        config = MergeConfig(trials=args.trials)
+        if args.family == "morris":
+            print(run_morris_merge(config, context=context).table())
+        elif args.family == "simplified":
+            print(run_simplified_merge(config, context=context).table())
+        else:
+            config = MergeConfig(
+                n1=4000, n2=7000, trials=min(args.trials, 300)
+            )
+            print(run_nelson_yu_merge(config, context=context).table())
+    elif args.command == "tradeoff":
+        print(run_tradeoff(TradeoffConfig(trials=args.trials), context).table())
+    elif args.command == "throughput":
+        print(run_throughput(ThroughputConfig()).table())
+    elif args.command == "bank":
+        from repro.experiments.bank_exp import BankConfig, run_bank_experiment
+
+        result = run_bank_experiment(
+            BankConfig(n_counters=args.counters), context
+        )
+        print(result.table())
+        print(f"\nexact counter: {result.exact_bits} bits")
+    elif args.command == "randomness":
+        from repro.experiments.randomness import (
+            RandomnessConfig,
+            run_randomness_budget,
+        )
+
+        print(run_randomness_budget(RandomnessConfig()).table())
+    elif args.command == "ablation":
+        from repro.experiments.ablations import (
+            ChernoffAblationConfig,
+            run_chernoff_ablation,
+            run_rounding_ablation,
+            run_transition_ablation,
+        )
+
+        if args.which == "chernoff":
+            print(
+                run_chernoff_ablation(
+                    ChernoffAblationConfig(trials=args.trials), context
+                ).table()
+            )
+        elif args.which == "rounding":
+            print(
+                run_rounding_ablation(
+                    trials=args.trials, context=context
+                ).table()
+            )
+        else:
+            print(run_transition_ablation().table())
+    elif args.command == "count":
+        print(_run_count(args))
+    else:  # pragma: no cover - argparse enforces choices
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

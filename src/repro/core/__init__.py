@@ -1,0 +1,45 @@
+"""Core counters — the paper's contribution and its baselines.
+
+========================  ====================================================
+Class                     Paper reference
+========================  ====================================================
+:class:`NelsonYuCounter`  Algorithm 1 (§2.1) — the new optimal counter
+:class:`SimplifiedNYCounter`  §4's simplified variant (Figure 1, ~[Csu10])
+:class:`MorrisCounter`    Morris(a) (§1.2; [Mor78], [Fla85])
+:class:`MorrisPlusCounter`  Morris+ (§1, §2.2, Appendix A)
+:class:`CsurosCounter`    floating-point counter baseline ([Csu10])
+:class:`ExactCounter`     the ``ceil(log2 N)``-bit deterministic baseline
+:class:`SaturatingCounter`  fixed-width deterministic baseline (E8)
+========================  ====================================================
+"""
+
+from repro.core.base import ApproximateCounter, CounterSnapshot
+from repro.core.codec import decode_snapshot, encode_snapshot, restore_counter
+from repro.core.csuros import CsurosCounter
+from repro.core.deterministic import ExactCounter, SaturatingCounter
+from repro.core.factory import COUNTER_TYPES, counter_for_bits, make_counter
+from repro.core.merge import merge_all, merge_counters
+from repro.core.morris import MorrisCounter
+from repro.core.morris_plus import MorrisPlusCounter
+from repro.core.nelson_yu import NelsonYuCounter
+from repro.core.simplified_ny import SimplifiedNYCounter
+
+__all__ = [
+    "ApproximateCounter",
+    "CounterSnapshot",
+    "CsurosCounter",
+    "ExactCounter",
+    "SaturatingCounter",
+    "MorrisCounter",
+    "MorrisPlusCounter",
+    "NelsonYuCounter",
+    "SimplifiedNYCounter",
+    "COUNTER_TYPES",
+    "make_counter",
+    "counter_for_bits",
+    "merge_counters",
+    "merge_all",
+    "encode_snapshot",
+    "decode_snapshot",
+    "restore_counter",
+]

@@ -1,0 +1,124 @@
+"""Csűrös' floating-point counter ([Csu10]), cited by §4 of the paper.
+
+The counter keeps a single integer ``X`` interpreted as a floating-point
+number with a ``d``-bit mantissa (``M = 2^d``):
+
+* exponent ``e = X >> d``, mantissa ``m = X & (M-1)``;
+* each increment raises ``X`` by one with probability ``2^-e``;
+* the estimate ``(M + m)·2^e - M`` is unbiased ([Csu10] Prop. 1).
+
+It is the closest published relative of the simplified Algorithm 1 variant
+(the paper notes the similarity explicitly), differing in that the
+"mantissa" and "exponent" are packed into one register and the mantissa is
+*not* halved at epoch boundaries — it wraps.  Included as an evaluation
+baseline for E8 and as a second implementation to cross-check the
+subsample-counter math.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.core.base import ApproximateCounter
+from repro.core.estimators import csuros_estimate
+from repro.core.params import csuros_d_for_bits
+from repro.errors import MergeError, ParameterError
+from repro.memory.model import SpaceModel, uint_bits
+from repro.rng.skip import GeometricSkipper
+
+__all__ = ["CsurosCounter"]
+
+
+class CsurosCounter(ApproximateCounter):
+    """Floating-point counter with a ``d``-bit mantissa.
+
+    Parameters
+    ----------
+    d:
+        Mantissa width; ``M = 2^d``.  ``d = 0`` degenerates to the Morris
+        base-2 counter.
+    """
+
+    algorithm_name = "csuros"
+
+    def __init__(self, d: int, **kwargs: Any) -> None:
+        super().__init__(**kwargs)
+        if d < 0:
+            raise ParameterError(f"d must be non-negative, got {d}")
+        self._d = d
+        self._x = 0
+        self._skipper = GeometricSkipper(self._rng)
+        self._observe_space()
+
+    @classmethod
+    def for_bits(
+        cls, bits: int, n_max: int, headroom: float = 2.0, **kwargs: Any
+    ) -> "CsurosCounter":
+        """Largest-mantissa counter whose X fits in ``bits`` bits."""
+        return cls(csuros_d_for_bits(bits, n_max, headroom), **kwargs)
+
+    # ------------------------------------------------------------------
+    # counting
+    # ------------------------------------------------------------------
+    @property
+    def d(self) -> int:
+        """Mantissa width."""
+        return self._d
+
+    @property
+    def x(self) -> int:
+        """Raw state X."""
+        return self._x
+
+    @property
+    def exponent(self) -> int:
+        """Current exponent ``e = X >> d``."""
+        return self._x >> self._d
+
+    def increment(self) -> None:
+        if self._rng.bernoulli_pow2(self.exponent):
+            self._x += 1
+            self._observe_space()
+        self._n_increments += 1
+
+    def add(self, n: int) -> None:
+        if n < 0:
+            raise ParameterError(f"cannot add a negative count: {n}")
+        remaining = n
+        while remaining > 0:
+            outcome = self._skipper.step_pow2(self.exponent, remaining)
+            remaining -= outcome.consumed
+            if outcome.accepted:
+                self._x += 1
+                self._observe_space()
+        self._n_increments += n
+
+    def estimate(self) -> float:
+        return float(csuros_estimate(self._x, self._d))
+
+    def state_bits(self, model: SpaceModel = SpaceModel.AUTOMATON) -> int:
+        return uint_bits(self._x)
+
+    def merge_from(self, other: ApproximateCounter) -> None:
+        """Merging packed floating-point counters exactly needs the
+        per-exponent survivor history, which [Csu10] does not keep."""
+        raise MergeError(
+            "CsurosCounter does not support exact merging; use "
+            "SimplifiedNYCounter(mergeable=True) for a mergeable "
+            "floating-point counter"
+        )
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def _state_dict(self) -> dict[str, Any]:
+        return {"x": self._x}
+
+    def _params_dict(self) -> dict[str, Any]:
+        return {"d": self._d}
+
+    def _restore_state(self, state: Mapping[str, Any]) -> None:
+        x = int(state["x"])
+        if x < 0:
+            raise ParameterError(f"x must be non-negative, got {x}")
+        self._x = x

@@ -1,0 +1,129 @@
+"""Deterministic baselines: the exact counter and a saturating counter.
+
+The exact counter is the ``ceil(log2 N)``-bit baseline the paper's first
+sentence starts from; the lower bound's first branch (``Ω(log n)``) is
+matched by it.  The saturating counter is the fair deterministic competitor
+at a *fixed* bit budget, used in the accuracy-space tradeoff experiment
+(E8): with ``b`` bits it counts exactly to ``2**b - 1`` and then sticks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.core.base import ApproximateCounter
+from repro.errors import ParameterError
+from repro.memory.model import SpaceModel, uint_bits
+
+__all__ = ["ExactCounter", "SaturatingCounter"]
+
+
+class ExactCounter(ApproximateCounter):
+    """Exact deterministic counter (zero error, ``Θ(log N)`` bits)."""
+
+    algorithm_name = "exact"
+
+    def __init__(self, **kwargs: Any) -> None:
+        super().__init__(**kwargs)
+        self._value = 0
+        self._observe_space()
+
+    def increment(self) -> None:
+        self._value += 1
+        self._n_increments += 1
+        self._observe_space()
+
+    def add(self, n: int) -> None:
+        if n < 0:
+            raise ParameterError(f"cannot add a negative count: {n}")
+        self._value += n
+        self._n_increments += n
+        self._observe_space()
+
+    def estimate(self) -> float:
+        return float(self._value)
+
+    def state_bits(self, model: SpaceModel = SpaceModel.AUTOMATON) -> int:
+        return uint_bits(self._value)
+
+    def merge_from(self, other: ApproximateCounter) -> None:
+        """Merging exact counters is plain addition."""
+        if not isinstance(other, ExactCounter):
+            raise ParameterError(
+                f"cannot merge {type(other).__name__} into ExactCounter"
+            )
+        self._value += other._value
+        self._n_increments += other._n_increments
+        self._observe_space()
+
+    def _state_dict(self) -> dict[str, Any]:
+        return {"value": self._value}
+
+    def _params_dict(self) -> dict[str, Any]:
+        return {}
+
+    def _restore_state(self, state: Mapping[str, Any]) -> None:
+        self._value = int(state["value"])
+
+
+class SaturatingCounter(ApproximateCounter):
+    """Deterministic counter clamped to a fixed register width.
+
+    Parameters
+    ----------
+    bits:
+        Register width; the counter saturates at ``2**bits - 1``.
+    """
+
+    algorithm_name = "saturating"
+
+    def __init__(self, bits: int, **kwargs: Any) -> None:
+        super().__init__(**kwargs)
+        if bits < 1:
+            raise ParameterError(f"bits must be >= 1, got {bits}")
+        self._bits = bits
+        self._cap = (1 << bits) - 1
+        self._value = 0
+        self._observe_space()
+
+    @property
+    def bits(self) -> int:
+        """Configured register width."""
+        return self._bits
+
+    @property
+    def saturated(self) -> bool:
+        """True once the register has hit its cap."""
+        return self._value >= self._cap
+
+    def increment(self) -> None:
+        if self._value < self._cap:
+            self._value += 1
+        self._n_increments += 1
+        self._observe_space()
+
+    def add(self, n: int) -> None:
+        if n < 0:
+            raise ParameterError(f"cannot add a negative count: {n}")
+        self._value = min(self._cap, self._value + n)
+        self._n_increments += n
+        self._observe_space()
+
+    def estimate(self) -> float:
+        return float(self._value)
+
+    def state_bits(self, model: SpaceModel = SpaceModel.AUTOMATON) -> int:
+        # Fixed-width register by construction.
+        return self._bits
+
+    def _state_dict(self) -> dict[str, Any]:
+        return {"value": self._value}
+
+    def _params_dict(self) -> dict[str, Any]:
+        return {"bits": self._bits}
+
+    def _restore_state(self, state: Mapping[str, Any]) -> None:
+        value = int(state["value"])
+        if not 0 <= value <= self._cap:
+            raise ParameterError(f"value {value} out of range for {self._bits} bits")
+        self._value = value

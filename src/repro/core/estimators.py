@@ -1,0 +1,95 @@
+"""Estimator and variance formulas shared across counters and tests.
+
+Keeping these as free functions lets the theory module and the property
+tests check the algebra independently of any counter object.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "morris_estimate",
+    "morris_inverse_estimate",
+    "morris_estimator_variance",
+    "subsample_estimate",
+    "csuros_estimate",
+    "csuros_increment_exponent",
+    "relative_error",
+]
+
+
+def morris_estimate(x: int, a: float) -> float:
+    """Morris estimator ``((1+a)^X - 1) / a`` (unbiased for N).
+
+    Computed as ``expm1(X * log1p(a)) / a`` for numerical stability with
+    tiny ``a`` and large ``X``.
+    """
+    if a <= 0.0:
+        raise ParameterError(f"a must be positive, got {a}")
+    if x < 0:
+        raise ParameterError(f"x must be non-negative, got {x}")
+    return math.expm1(x * math.log1p(a)) / a
+
+
+def morris_inverse_estimate(n: float, a: float) -> float:
+    """The (real-valued) state X whose Morris estimate equals ``n``."""
+    if a <= 0.0:
+        raise ParameterError(f"a must be positive, got {a}")
+    if n < 0:
+        raise ParameterError(f"n must be non-negative, got {n}")
+    return math.log1p(a * n) / math.log1p(a)
+
+
+def morris_estimator_variance(n: int, a: float) -> float:
+    """Exact variance ``a N (N-1) / 2`` of the Morris estimator (§1.2)."""
+    if a <= 0.0:
+        raise ParameterError(f"a must be positive, got {a}")
+    if n < 0:
+        raise ParameterError(f"n must be non-negative, got {n}")
+    return a * n * (n - 1) / 2.0
+
+
+def subsample_estimate(y: int, t: int) -> int:
+    """Estimator ``Y * 2**t`` of the subsample (simplified-NY) counter.
+
+    Each survivor at sampling rate ``2**-t`` stands for ``2**t`` expected
+    increments, and the halving step (Y even -> Y/2, t+1) preserves the
+    product exactly, so the estimator is an exact martingale: E[Y*2^t] = N.
+    """
+    if y < 0:
+        raise ParameterError(f"y must be non-negative, got {y}")
+    if t < 0:
+        raise ParameterError(f"t must be non-negative, got {t}")
+    return y << t
+
+
+def csuros_increment_exponent(x: int, d: int) -> int:
+    """Exponent ``e = X >> d`` governing the Csűrös accept rate ``2**-e``."""
+    if x < 0:
+        raise ParameterError(f"x must be non-negative, got {x}")
+    if d < 0:
+        raise ParameterError(f"d must be non-negative, got {d}")
+    return x >> d
+
+
+def csuros_estimate(x: int, d: int) -> int:
+    """Csűrös estimator ``(M + mantissa) * 2**e - M`` with ``M = 2**d``.
+
+    Unbiased for N ([Csu10] Proposition 1): each accepted increment at
+    exponent ``e`` raises the estimate by ``2**e``, matching the expected
+    number of raw increments per accept.
+    """
+    m = 1 << d
+    e = csuros_increment_exponent(x, d)
+    mantissa = x & (m - 1)
+    return ((m + mantissa) << e) - m
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """``|estimate - truth| / truth``; infinite when truth is 0 but estimate isn't."""
+    if truth == 0:
+        return 0.0 if estimate == 0 else float("inf")
+    return abs(estimate - truth) / abs(truth)

@@ -1,0 +1,88 @@
+"""Counter construction conveniences.
+
+Two entry points:
+
+* :func:`make_counter` — build any counter by its ``algorithm_name`` with
+  explicit parameters (used by snapshots, experiments and the CLI-ish
+  example scripts).
+* :func:`counter_for_bits` — the Figure 1 parameterization: "give me the
+  most accurate <algorithm> that fits in B bits of state for streams up to
+  n_max" (only meaningful for the fixed-budget algorithms).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.base import ApproximateCounter
+from repro.core.csuros import CsurosCounter
+from repro.core.deterministic import ExactCounter, SaturatingCounter
+from repro.core.morris import MorrisCounter
+from repro.core.morris_plus import MorrisPlusCounter
+from repro.core.nelson_yu import NelsonYuCounter
+from repro.core.simplified_ny import SimplifiedNYCounter
+from repro.errors import ParameterError
+
+__all__ = ["COUNTER_TYPES", "make_counter", "counter_for_bits"]
+
+#: Registry of every counter class by its stable algorithm name.
+COUNTER_TYPES: dict[str, type[ApproximateCounter]] = {
+    cls.algorithm_name: cls
+    for cls in (
+        ExactCounter,
+        SaturatingCounter,
+        MorrisCounter,
+        MorrisPlusCounter,
+        NelsonYuCounter,
+        SimplifiedNYCounter,
+        CsurosCounter,
+    )
+}
+
+
+def make_counter(algorithm: str, **params: Any) -> ApproximateCounter:
+    """Instantiate a counter by algorithm name.
+
+    ``params`` are passed to the class constructor; see each class for its
+    parameters.  Unknown names raise :class:`~repro.errors.ParameterError`
+    listing the registry.
+    """
+    try:
+        cls = COUNTER_TYPES[algorithm]
+    except KeyError:
+        known = ", ".join(sorted(COUNTER_TYPES))
+        raise ParameterError(
+            f"unknown algorithm {algorithm!r}; known: {known}"
+        ) from None
+    return cls(**params)
+
+
+def counter_for_bits(
+    algorithm: str,
+    bits: int,
+    n_max: int,
+    headroom: float | None = None,
+    **kwargs: Any,
+) -> ApproximateCounter:
+    """Most accurate counter of the given kind within a state bit budget.
+
+    Supported algorithms: ``morris``, ``simplified_ny``, ``csuros``,
+    ``saturating`` (the deterministic baseline simply uses all its bits).
+    """
+    if algorithm == "morris":
+        if headroom is None:
+            headroom = 4.0
+        return MorrisCounter.for_bits(bits, n_max, headroom, **kwargs)
+    if algorithm == "simplified_ny":
+        if headroom is None:
+            headroom = 2.0
+        return SimplifiedNYCounter.for_bits(bits, n_max, headroom, **kwargs)
+    if algorithm == "csuros":
+        if headroom is None:
+            headroom = 2.0
+        return CsurosCounter.for_bits(bits, n_max, headroom, **kwargs)
+    if algorithm == "saturating":
+        return SaturatingCounter(bits, **kwargs)
+    raise ParameterError(
+        f"no bit-budget parameterization for algorithm {algorithm!r}"
+    )

@@ -1,0 +1,70 @@
+"""Merging helpers (Remark 2.4 of the paper).
+
+Counters implement in-place merging via
+:meth:`~repro.core.base.ApproximateCounter.merge_from`; this module adds
+the non-destructive conveniences used by the analytics layer and the merge
+experiment: merge into a fresh counter, and fold a whole collection.
+
+Which counters merge exactly:
+
+========================  =======================================
+Counter                   Mechanism
+========================  =======================================
+ExactCounter              integer addition
+MorrisCounter             CY20 §2.1 level-by-level procedure
+MorrisPlusCounter         CY20 on the Morris half + saturating add
+NelsonYuCounter           Remark 2.4 (requires ``mergeable=True``)
+SimplifiedNYCounter       Remark 2.4 (requires ``mergeable=True``)
+CsurosCounter             not mergeable (history is not retained)
+========================  =======================================
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.base import ApproximateCounter
+from repro.errors import MergeError
+
+__all__ = ["merge_counters", "merge_all"]
+
+
+def _clone(counter: ApproximateCounter) -> ApproximateCounter:
+    """Create a fresh counter with the same parameters and state.
+
+    The clone gets an independent random stream split off the original's
+    source, so merging a clone does not perturb the original's stream.
+    """
+    snap = counter.snapshot()
+    clone = type(counter)(
+        **snap.params, rng=counter.rng.split(0x6D65726765)
+    )
+    clone.restore(snap)
+    return clone
+
+
+def merge_counters(
+    left: ApproximateCounter, right: ApproximateCounter
+) -> ApproximateCounter:
+    """Return a new counter distributed as one run on ``N_left + N_right``.
+
+    Neither input is mutated.
+    """
+    merged = _clone(left)
+    merged.merge_from(right)
+    return merged
+
+
+def merge_all(counters: Sequence[ApproximateCounter]) -> ApproximateCounter:
+    """Fold a non-empty collection of counters into a single new counter.
+
+    Merging is associative in distribution (each merge is distributed as a
+    freshly-run counter), so the fold order does not matter statistically;
+    we fold left for determinism.
+    """
+    if not counters:
+        raise MergeError("cannot merge an empty collection of counters")
+    result = _clone(counters[0])
+    for counter in counters[1:]:
+        result.merge_from(counter)
+    return result

@@ -1,0 +1,180 @@
+"""The Morris Counter, Morris(a) (§1.2 of the paper; [Mor78], [Fla85]).
+
+State is a single integer X.  Each increment raises X with probability
+``(1+a)^-X``; the estimate is the unbiased ``((1+a)^X - 1)/a``.
+
+Two classic parameterizations are provided as constructors:
+
+* :meth:`MorrisCounter.for_chebyshev` — ``a = 2ε²δ`` (the pre-paper
+  analysis, ``O(log(1/δ))`` space dependence).
+* :meth:`MorrisCounter.for_optimal` — ``a = ε²/(8 ln(1/δ))`` (the paper's
+  Theorem 1.2 tuning; pair it with the Morris+ deterministic prefix,
+  otherwise Appendix A applies and small counts fail).
+
+``add(n)`` fast-forwards through rejected increments with exact geometric
+gaps (see :mod:`repro.rng.skip`): while X is fixed the accept probability
+is constant, so the time to the next accept is Geometric((1+a)^-X).  This
+is what makes 5,000-trial million-increment experiments feasible.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping
+
+from repro.core.base import ApproximateCounter
+from repro.core.estimators import morris_estimate
+from repro.core.params import (
+    morris_a_chebyshev,
+    morris_a_for_bits,
+    morris_a_optimal,
+)
+from repro.errors import MergeError, ParameterError
+from repro.memory.model import SpaceModel, uint_bits
+from repro.rng.skip import GeometricSkipper
+
+__all__ = ["MorrisCounter"]
+
+
+class MorrisCounter(ApproximateCounter):
+    """Morris(a): increment X with probability ``(1+a)^-X``.
+
+    Parameters
+    ----------
+    a:
+        Base parameter; the counter effectively counts in base ``1+a``.
+        ``a = 1`` is Morris' original 1978 algorithm.
+    """
+
+    algorithm_name = "morris"
+
+    def __init__(self, a: float, **kwargs: Any) -> None:
+        super().__init__(**kwargs)
+        if a <= 0.0:
+            raise ParameterError(f"a must be positive, got {a}")
+        self._a = a
+        self._log1pa = math.log1p(a)
+        self._x = 0
+        self._skipper = GeometricSkipper(self._rng)
+        self._observe_space()
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_chebyshev(
+        cls, epsilon: float, delta: float, **kwargs: Any
+    ) -> "MorrisCounter":
+        """Classical tuning ``a = 2ε²δ`` (§1.2)."""
+        return cls(morris_a_chebyshev(epsilon, delta), **kwargs)
+
+    @classmethod
+    def for_optimal(
+        cls, epsilon: float, delta: float, **kwargs: Any
+    ) -> "MorrisCounter":
+        """Theorem 1.2 tuning ``a = ε²/(8 ln(1/δ))``.
+
+        Valid for large counts only — wrap in
+        :class:`~repro.core.morris_plus.MorrisPlusCounter` to cover small N.
+        """
+        return cls(morris_a_optimal(epsilon, delta), **kwargs)
+
+    @classmethod
+    def for_bits(
+        cls, bits: int, n_max: int, headroom: float = 4.0, **kwargs: Any
+    ) -> "MorrisCounter":
+        """Most accurate Morris counter whose X fits in ``bits`` bits."""
+        return cls(morris_a_for_bits(bits, n_max, headroom), **kwargs)
+
+    # ------------------------------------------------------------------
+    # counting
+    # ------------------------------------------------------------------
+    @property
+    def a(self) -> float:
+        """The base parameter."""
+        return self._a
+
+    @property
+    def x(self) -> int:
+        """The current state X."""
+        return self._x
+
+    def accept_probability(self) -> float:
+        """Current accept probability ``(1+a)^-X``."""
+        return math.exp(-self._x * self._log1pa)
+
+    def increment(self) -> None:
+        if self._rng.bernoulli(self.accept_probability()):
+            self._x += 1
+            self._observe_space()
+        self._n_increments += 1
+
+    def add(self, n: int) -> None:
+        if n < 0:
+            raise ParameterError(f"cannot add a negative count: {n}")
+        remaining = n
+        while remaining > 0:
+            outcome = self._skipper.step(self.accept_probability(), remaining)
+            remaining -= outcome.consumed
+            if outcome.accepted:
+                self._x += 1
+                self._observe_space()
+        self._n_increments += n
+
+    def estimate(self) -> float:
+        return morris_estimate(self._x, self._a)
+
+    def state_bits(self, model: SpaceModel = SpaceModel.AUTOMATON) -> int:
+        # X is the entire state in either accounting convention; a is an
+        # immutable input (it parameterizes the transition function).
+        return uint_bits(self._x)
+
+    # ------------------------------------------------------------------
+    # merging (CY20 §2.1 level-by-level procedure; see Remark 2.4)
+    # ------------------------------------------------------------------
+    def merge_from(self, other: ApproximateCounter) -> None:
+        """Merge another Morris(a) counter into this one.
+
+        Implements the Cormode-Yi procedure: for each level
+        ``i = 1..X_other`` of the incoming counter, raise this counter's X
+        with probability ``(1+a)^(i - 1 - X)`` (capped at 1).  The result
+        is distributed exactly as a single Morris(a) counter run on the
+        combined ``N_self + N_other`` increments; experiment E7 checks this
+        empirically and ``tests/core/test_merge.py`` checks it against the
+        exact Flajolet DP.
+        """
+        if not isinstance(other, MorrisCounter):
+            raise MergeError(
+                f"cannot merge {type(other).__name__} into MorrisCounter"
+            )
+        if not math.isclose(other._a, self._a, rel_tol=1e-12):
+            raise MergeError(
+                f"base parameters differ: {self._a} vs {other._a}"
+            )
+        for i in range(1, other._x + 1):
+            exponent = i - 1 - self._x
+            if exponent >= 0:
+                accept = True
+            else:
+                accept = self._rng.bernoulli(
+                    math.exp(exponent * self._log1pa)
+                )
+            if accept:
+                self._x += 1
+        self._n_increments += other._n_increments
+        self._observe_space()
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def _state_dict(self) -> dict[str, Any]:
+        return {"x": self._x}
+
+    def _params_dict(self) -> dict[str, Any]:
+        return {"a": self._a}
+
+    def _restore_state(self, state: Mapping[str, Any]) -> None:
+        x = int(state["x"])
+        if x < 0:
+            raise ParameterError(f"x must be non-negative, got {x}")
+        self._x = x

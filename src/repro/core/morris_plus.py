@@ -1,0 +1,174 @@
+"""Morris+ — the Morris Counter with the necessary deterministic prefix.
+
+Appendix A of the paper proves that vanilla Morris(a) with the optimal
+tuning ``a = ε²/(8 ln(1/δ))`` *fails* for small counts: at
+``N ≈ c ε^{4/3}/a`` its failure probability exceeds δ by a large factor.
+The fix ("Morris+", §1 and §2.2) runs a deterministic counter X' in
+parallel, saturating at ``N_a + 1`` with ``N_a = ceil(8/a)``:
+
+* every increment goes to both the Morris counter and X' (unless X' is
+  already saturated);
+* queries return X' exactly while ``X' <= N_a``, and the Morris estimate
+  once the deterministic counter has saturated.
+
+The deterministic prefix costs ``ceil(log2(N_a + 2))`` extra bits — an
+``O(log(1/ε) + log log(1/δ))`` overhead that does not change the optimal
+asymptotics of Theorem 1.2.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping
+
+from repro.core.base import ApproximateCounter
+from repro.core.morris import MorrisCounter
+from repro.core.params import morris_a_optimal, morris_transition_point
+from repro.errors import MergeError, ParameterError
+from repro.memory.model import SpaceModel, uint_capacity_bits
+
+__all__ = ["MorrisPlusCounter"]
+
+
+class MorrisPlusCounter(ApproximateCounter):
+    """Morris(a) plus a saturating deterministic prefix counter.
+
+    Parameters
+    ----------
+    a:
+        Morris base parameter.
+    transition:
+        Saturation point ``N_a`` of the deterministic prefix.  Defaults to
+        ``ceil(8/a)`` per §2.2; Appendix A shows much smaller transition
+        points break the δ guarantee.
+    """
+
+    algorithm_name = "morris_plus"
+
+    def __init__(
+        self,
+        a: float,
+        transition: int | None = None,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(**kwargs)
+        if a <= 0.0:
+            raise ParameterError(f"a must be positive, got {a}")
+        self._a = a
+        self._transition = (
+            morris_transition_point(a) if transition is None else transition
+        )
+        if self._transition < 1:
+            raise ParameterError(
+                f"transition must be >= 1, got {self._transition}"
+            )
+        # The Morris part shares our rng so the whole counter is one stream.
+        self._morris = MorrisCounter(a, rng=self._rng)
+        self._prefix = 0  # X' in the paper; saturates at transition + 1.
+        self._observe_space()
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_optimal(
+        cls, epsilon: float, delta: float, **kwargs: Any
+    ) -> "MorrisPlusCounter":
+        """Theorem 1.2 instantiation: ``a = ε²/(8 ln(1/δ))``, prefix 8/a."""
+        return cls(morris_a_optimal(epsilon, delta), **kwargs)
+
+    # ------------------------------------------------------------------
+    # counting
+    # ------------------------------------------------------------------
+    @property
+    def a(self) -> float:
+        """Morris base parameter."""
+        return self._a
+
+    @property
+    def transition(self) -> int:
+        """Deterministic prefix saturation point ``N_a``."""
+        return self._transition
+
+    @property
+    def prefix_value(self) -> int:
+        """Current value of the deterministic prefix counter X'."""
+        return self._prefix
+
+    @property
+    def morris(self) -> MorrisCounter:
+        """The embedded Morris counter (shared random stream)."""
+        return self._morris
+
+    @property
+    def in_deterministic_phase(self) -> bool:
+        """True while queries are answered by the exact prefix."""
+        return self._prefix <= self._transition
+
+    def increment(self) -> None:
+        if self._prefix <= self._transition:
+            self._prefix += 1
+        self._morris.increment()
+        self._n_increments += 1
+        self._observe_space()
+
+    def add(self, n: int) -> None:
+        if n < 0:
+            raise ParameterError(f"cannot add a negative count: {n}")
+        self._prefix = min(self._transition + 1, self._prefix + n)
+        self._morris.add(n)
+        self._n_increments += n
+        self._observe_space()
+
+    def estimate(self) -> float:
+        if self._prefix <= self._transition:
+            return float(self._prefix)
+        return self._morris.estimate()
+
+    def state_bits(self, model: SpaceModel = SpaceModel.AUTOMATON) -> int:
+        # X' is a fixed-width register sized for its saturation value.
+        prefix_bits = uint_capacity_bits(self._transition + 1)
+        return prefix_bits + self._morris.state_bits(model)
+
+    # ------------------------------------------------------------------
+    # merging
+    # ------------------------------------------------------------------
+    def merge_from(self, other: ApproximateCounter) -> None:
+        """Merge another Morris+ counter with identical parameters.
+
+        The Morris halves merge exactly (CY20 procedure); the prefixes add
+        with saturation.  Exactness caveat: once either prefix has
+        saturated the combined prefix is saturated too, so the merged
+        counter answers from the Morris estimate exactly as a directly-run
+        counter on ``N1 + N2 > N_a`` increments would.
+        """
+        if not isinstance(other, MorrisPlusCounter):
+            raise MergeError(
+                f"cannot merge {type(other).__name__} into MorrisPlusCounter"
+            )
+        if self._transition != other._transition or not math.isclose(
+            self._a, other._a, rel_tol=1e-12
+        ):
+            raise MergeError("Morris+ parameters differ; cannot merge")
+        self._prefix = min(
+            self._transition + 1, self._prefix + other._prefix
+        )
+        self._morris.merge_from(other._morris)
+        self._n_increments += other._n_increments
+        self._observe_space()
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def _state_dict(self) -> dict[str, Any]:
+        return {"prefix": self._prefix, "x": self._morris.x}
+
+    def _params_dict(self) -> dict[str, Any]:
+        return {"a": self._a, "transition": self._transition}
+
+    def _restore_state(self, state: Mapping[str, Any]) -> None:
+        prefix = int(state["prefix"])
+        if not 0 <= prefix <= self._transition + 1:
+            raise ParameterError(f"prefix {prefix} out of range")
+        self._prefix = prefix
+        self._morris._restore_state({"x": state["x"]})

@@ -1,0 +1,362 @@
+"""Algorithm 1 of the paper — the new optimal approximate counter.
+
+The counter runs a sequence of promise decision problems (§1.2): in epoch
+``k`` it holds a threshold ``T = ceil((1+ε)^X)`` and a sampling rate
+``α``, counts sampled increments in an auxiliary counter ``Y``, and
+advances the epoch when ``Y > αT``, rescaling ``Y`` by ``α_new/α_old``.
+Queries return ``Y`` exactly during epoch 0 (where ``α = 1``) and ``T``
+afterwards.
+
+State representation (Remark 2.2)
+---------------------------------
+The algorithm never stores ``T``, ``α`` or ``η`` as reals:
+
+* ``T`` is recomputed from ``X`` on demand;
+* ``α`` is rounded **up** to an inverse power of two and stored as the
+  exponent ``t`` (rounding up keeps the Chernoff argument valid — the
+  analysis only needs α at least the computed rate);
+* δ enters as the exponent ``∆`` with ``δ = 2^-∆`` and is an immutable
+  input, not state;
+* ``η = δ/X²`` is implicit in ``X`` and ``∆``.
+
+So the mutable state is exactly ``(X, Y)`` under the automaton accounting
+and ``(X, Y, t)`` under word-RAM accounting.  The trigger test ``Y > αT``
+is the integer comparison ``(Y << t) > T``.
+
+Space behaviour (Theorem 2.3): ``X ≈ log_{1+ε} N`` contributes
+``O(log log N + log(1/ε))`` bits and ``Y ≤ αT + 1 = O(C ln(X²/δ)/ε³)``
+contributes ``O(log(1/ε) + log log(1/δ) + log log N)`` bits.
+
+Mergeability (Remark 2.4)
+-------------------------
+With ``mergeable=True`` the counter additionally records, per epoch, how
+many increments survived the sampling.  Merging inserts the smaller
+counter's surviving increments into the larger counter, re-subsampling each
+epoch-``i`` survivor with probability ``α_now/α_i = 2^(t_i - t_now)``
+(an exact dyadic coin).  The history is auxiliary experiment state and is
+excluded from ``state_bits`` — the paper's merge argument assumes the
+survivor counts are available, which costs extra memory it does not count.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping
+
+from repro.core.base import ApproximateCounter
+from repro.core.params import (
+    DEFAULT_CHERNOFF_C,
+    nelson_yu_alpha_raw,
+    nelson_yu_x0,
+    validate_epsilon_delta,
+)
+from repro.errors import MergeError, ParameterError
+from repro.memory.model import SpaceModel, uint_bits
+from repro.rng.bernoulli import DyadicProbability
+from repro.rng.skip import GeometricSkipper
+
+__all__ = ["NelsonYuCounter"]
+
+
+class NelsonYuCounter(ApproximateCounter):
+    """Algorithm 1: the optimal ``O(log log N + log 1/ε + log log 1/δ)`` counter.
+
+    Parameters
+    ----------
+    epsilon:
+        Relative accuracy target, in ``(0, 1/2)``.
+    delta_exponent:
+        The integer ``∆`` with failure probability ``δ = 2^-∆``
+        (Remark 2.2's input convention).  ``∆ >= 2`` so that ``δ < 1/2``.
+    chernoff_c:
+        The constant ``C`` in the sampling rate; Theorem 2.1 needs
+        ``C >= 3``, default 6 for rounding slack.
+    mergeable:
+        Keep the per-epoch survivor history needed by Remark 2.4 merging.
+    """
+
+    algorithm_name = "nelson_yu"
+
+    def __init__(
+        self,
+        epsilon: float,
+        delta_exponent: int,
+        chernoff_c: float = DEFAULT_CHERNOFF_C,
+        mergeable: bool = False,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(**kwargs)
+        if delta_exponent < 2:
+            raise ParameterError(
+                f"delta_exponent must be >= 2 (so δ < 1/2), got {delta_exponent}"
+            )
+        delta = 2.0 ** -delta_exponent
+        validate_epsilon_delta(epsilon, delta)
+        if chernoff_c < 1.0:
+            raise ParameterError(f"chernoff_c must be >= 1, got {chernoff_c}")
+        self._epsilon = epsilon
+        self._delta_exponent = delta_exponent
+        self._delta = delta
+        self._chernoff_c = chernoff_c
+        self._log1pe = math.log1p(epsilon)
+        self._mergeable = mergeable
+
+        # Init() (lines 2-4 of Algorithm 1).
+        self._x0 = nelson_yu_x0(epsilon, delta, chernoff_c)
+        self._x = self._x0
+        self._y = 0
+        self._t = 0  # α = 2^-t; epoch 0 samples at rate 1.
+        self._threshold = self._compute_threshold(self._x)
+
+        self._skipper = GeometricSkipper(self._rng)
+        # Mergeable mode: per-epoch (t, survivors) history, current epoch last.
+        self._epoch_history: list[list[int]] = [[0, 0]] if mergeable else []
+        self._observe_space()
+
+    @classmethod
+    def from_delta(
+        cls, epsilon: float, delta: float, **kwargs: Any
+    ) -> "NelsonYuCounter":
+        """Build from a real δ by rounding it down to a power of two.
+
+        Rounding δ *down* (``∆ = ceil(log2(1/δ))``) only strengthens the
+        guarantee.
+        """
+        validate_epsilon_delta(epsilon, delta)
+        exponent = max(2, math.ceil(-math.log2(delta)))
+        return cls(epsilon, exponent, **kwargs)
+
+    # ------------------------------------------------------------------
+    # parameters and derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def epsilon(self) -> float:
+        """Relative accuracy parameter ε."""
+        return self._epsilon
+
+    @property
+    def delta(self) -> float:
+        """Failure probability ``δ = 2^-∆``."""
+        return self._delta
+
+    @property
+    def delta_exponent(self) -> int:
+        """The stored exponent ∆."""
+        return self._delta_exponent
+
+    @property
+    def chernoff_c(self) -> float:
+        """The Chernoff constant C."""
+        return self._chernoff_c
+
+    @property
+    def x(self) -> int:
+        """Current exponent state X (≈ log_{1+ε} N once past epoch 0)."""
+        return self._x
+
+    @property
+    def y(self) -> int:
+        """Current auxiliary counter Y."""
+        return self._y
+
+    @property
+    def t(self) -> int:
+        """Current sampling exponent (α = 2^-t)."""
+        return self._t
+
+    @property
+    def epoch(self) -> int:
+        """Epoch index ``k = X - X0``."""
+        return self._x - self._x0
+
+    @property
+    def alpha(self) -> float:
+        """Current sampling rate α as a float."""
+        return 2.0 ** -self._t
+
+    def _compute_threshold(self, x: int) -> int:
+        """``T = ceil((1+ε)^X)``, recomputed from X (never stored as state)."""
+        return math.ceil(math.exp(x * self._log1pe))
+
+    def _trigger_y(self) -> int:
+        """Smallest Y that triggers the epoch advance: ``floor(T/2^t) + 1``.
+
+        The pseudocode's ``Y > αT`` with ``α = 2^-t`` is the integer test
+        ``(Y << t) > T``, first satisfied at ``Y = (T >> t) + 1``.
+        """
+        return (self._threshold >> self._t) + 1
+
+    # ------------------------------------------------------------------
+    # counting
+    # ------------------------------------------------------------------
+    def increment(self) -> None:
+        if self._rng.bernoulli_pow2(self._t):
+            self._accept_survivor()
+        self._n_increments += 1
+
+    def add(self, n: int) -> None:
+        if n < 0:
+            raise ParameterError(f"cannot add a negative count: {n}")
+        remaining = n
+        while remaining > 0:
+            if self._t == 0:
+                # Epoch 0 (and any epoch with α = 1): every increment
+                # survives, so advance in bulk with no randomness.
+                room = self._trigger_y() - self._y
+                take = min(remaining, room)
+                self._y += take
+                remaining -= take
+                if self._mergeable:
+                    self._epoch_history[-1][1] += take
+                if self._y >= self._trigger_y():
+                    self._advance_epoch()
+                elif take:
+                    self._observe_space()
+            else:
+                outcome = self._skipper.step_pow2(self._t, remaining)
+                remaining -= outcome.consumed
+                if outcome.accepted:
+                    self._accept_survivor()
+        self._n_increments += n
+
+    def _accept_survivor(self) -> None:
+        """Record one sampled increment and advance the epoch if triggered."""
+        self._y += 1
+        if self._mergeable:
+            self._epoch_history[-1][1] += 1
+        if (self._y << self._t) > self._threshold:
+            self._advance_epoch()
+        else:
+            self._observe_space()
+
+    def _advance_epoch(self) -> None:
+        """Lines 8-12 of Algorithm 1, with Remark 2.2's dyadic rounding."""
+        # Rescaling can in principle re-trigger on pathological rounding;
+        # loop until the invariant Y <= αT holds.
+        while (self._y << self._t) > self._threshold:
+            self._x += 1
+            self._threshold = self._compute_threshold(self._x)
+            alpha_raw = nelson_yu_alpha_raw(
+                self._epsilon,
+                self._delta,
+                self._chernoff_c,
+                self._x,
+                self._threshold,
+            )
+            t_new = DyadicProbability.at_least(alpha_raw).t
+            # The schedule must keep α non-increasing (Remark 2.4 relies on
+            # it); dyadic rounding already guarantees this, but enforce it.
+            t_new = max(t_new, self._t)
+            self._y >>= t_new - self._t
+            self._t = t_new
+            if self._mergeable:
+                self._epoch_history.append([self._t, 0])
+        self._observe_space()
+
+    def estimate(self) -> float:
+        # Query(): exact in epoch 0, T afterwards (lines 14-19).
+        if self._x == self._x0:
+            return float(self._y)
+        return float(self._threshold)
+
+    def log_estimate(self) -> int:
+        """The query of Remark 2.2: X, an additive-O(1) approximation of
+        ``log_{1+ε} N`` (only meaningful past epoch 0)."""
+        return self._x
+
+    def state_bits(self, model: SpaceModel = SpaceModel.AUTOMATON) -> int:
+        bits = uint_bits(self._x) + uint_bits(self._y)
+        if model is SpaceModel.WORD_RAM:
+            bits += uint_bits(self._t)
+        return bits
+
+    # ------------------------------------------------------------------
+    # merging (Remark 2.4)
+    # ------------------------------------------------------------------
+    def merge_from(self, other: ApproximateCounter) -> None:
+        """Merge another mergeable NelsonYuCounter into this one.
+
+        Implements Remark 2.4: the counter with smaller X streams its
+        per-epoch survivors into the other, re-subsampling each epoch-``i``
+        survivor with the dyadic probability ``2^(t_i - t_now)``.  The
+        result is distributed as a single counter run on ``N1 + N2``
+        increments (E7 validates this empirically).
+        """
+        if not isinstance(other, NelsonYuCounter):
+            raise MergeError(
+                f"cannot merge {type(other).__name__} into NelsonYuCounter"
+            )
+        if not (self._mergeable and other._mergeable):
+            raise MergeError(
+                "both counters must be constructed with mergeable=True "
+                "(Remark 2.4 needs the per-epoch survivor history)"
+            )
+        same_params = (
+            math.isclose(self._epsilon, other._epsilon, rel_tol=1e-12)
+            and self._delta_exponent == other._delta_exponent
+            and math.isclose(self._chernoff_c, other._chernoff_c, rel_tol=1e-12)
+        )
+        if not same_params:
+            raise MergeError("NelsonYu parameters differ; cannot merge")
+
+        if self._x < other._x:
+            # Remark 2.4 streams the smaller counter's survivors into the
+            # larger one.  We are the smaller: adopt a copy of the other's
+            # state as the absorber, and donate our own history.  ``other``
+            # is never mutated.
+            donor_history = [tuple(e) for e in self._epoch_history]
+            donor_n = self._n_increments
+            self._x, self._y, self._t = other._x, other._y, other._t
+            self._threshold = other._threshold
+            self._epoch_history = [list(e) for e in other._epoch_history]
+            self._n_increments = other._n_increments
+        else:
+            donor_history = [tuple(e) for e in other._epoch_history]
+            donor_n = other._n_increments
+        self._absorb_survivors(donor_history)
+        self._n_increments += donor_n
+        self._observe_space()
+
+    def _absorb_survivors(self, history: list[tuple[int, int]]) -> None:
+        """Insert a donor's per-epoch survivors, re-subsampled dyadically."""
+        for t_src, survivors in history:
+            remaining = survivors
+            while remaining > 0:
+                if t_src > self._t:
+                    raise MergeError(
+                        "donor sampling rate below absorber's; epochs "
+                        "inconsistent (internal error)"
+                    )
+                gap_exponent = self._t - t_src
+                outcome = self._skipper.step_pow2(gap_exponent, remaining)
+                remaining -= outcome.consumed
+                if outcome.accepted:
+                    self._accept_survivor()
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def _state_dict(self) -> dict[str, Any]:
+        state: dict[str, Any] = {"x": self._x, "y": self._y, "t": self._t}
+        if self._mergeable:
+            state["epoch_history"] = [tuple(e) for e in self._epoch_history]
+        return state
+
+    def _params_dict(self) -> dict[str, Any]:
+        return {
+            "epsilon": self._epsilon,
+            "delta_exponent": self._delta_exponent,
+            "chernoff_c": self._chernoff_c,
+            "mergeable": self._mergeable,
+        }
+
+    def _restore_state(self, state: Mapping[str, Any]) -> None:
+        x, y, t = int(state["x"]), int(state["y"]), int(state["t"])
+        if x < self._x0:
+            raise ParameterError(f"x must be >= X0={self._x0}, got {x}")
+        if y < 0 or t < 0:
+            raise ParameterError("y and t must be non-negative")
+        self._x, self._y, self._t = x, y, t
+        self._threshold = self._compute_threshold(x)
+        if self._mergeable:
+            self._epoch_history = [list(e) for e in state["epoch_history"]]

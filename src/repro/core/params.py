@@ -1,0 +1,291 @@
+"""Parameter selection for every counter in the library.
+
+This module centralizes the parameter formulas scattered through the paper:
+
+* Morris(a) via Chebyshev (§1.2): ``a = 2 ε² δ`` gives the classical
+  ``O(log log N + log(1/ε) + log(1/δ))`` bound.
+* Morris(a) via the new §2.2 analysis (Theorem 1.2): ``a = ε²/(8 ln(1/δ))``
+  gives the optimal ``O(log log N + log(1/ε) + log log(1/δ))`` bound; the
+  deterministic prefix runs up to ``N_a = 8/a`` (Appendix A shows this
+  transition point is necessary and near-optimal).
+* Algorithm 1 (§2.1): the epoch schedule ``T_j = ceil((1+ε)^X)``,
+  ``η_j = δ / X²``, ``α_j = C ln(1/η_j) / (ε³ T_j)`` rounded up to an
+  inverse power of two (Remark 2.2).
+* Bit-budget fitting for the Figure 1 experiment: given a state budget in
+  bits and a maximum stream length, choose the accuracy parameter that
+  fills the budget.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "validate_epsilon_delta",
+    "morris_a_chebyshev",
+    "morris_a_optimal",
+    "morris_transition_point",
+    "morris_x_capacity",
+    "morris_a_for_bits",
+    "morris_expected_std",
+    "SimplifiedNYConfig",
+    "simplified_ny_for_bits",
+    "csuros_d_for_bits",
+    "DEFAULT_CHERNOFF_C",
+    "nelson_yu_x0",
+    "nelson_yu_alpha_raw",
+]
+
+#: Default Chernoff constant C for Algorithm 1.  Theorem 2.1's Chernoff
+#: step needs C >= 3; 6 gives margin for the ±O(1) rounding terms.
+DEFAULT_CHERNOFF_C = 6.0
+
+
+def validate_epsilon_delta(epsilon: float, delta: float) -> None:
+    """Check ``ε, δ ∈ (0, 1/2)`` as required by Theorems 1.1/1.2."""
+    if not 0.0 < epsilon < 0.5:
+        raise ParameterError(f"epsilon must be in (0, 1/2), got {epsilon}")
+    if not 0.0 < delta < 0.5:
+        raise ParameterError(f"delta must be in (0, 1/2), got {delta}")
+
+
+# ----------------------------------------------------------------------
+# Morris(a)
+# ----------------------------------------------------------------------
+def morris_a_chebyshev(epsilon: float, delta: float) -> float:
+    """Base parameter ``a = 2 ε² δ`` from the Chebyshev analysis (§1.2).
+
+    ``Var[estimator] = a N(N-1)/2``, so Chebyshev gives failure
+    probability ``a/(2ε²) = δ``.
+    """
+    validate_epsilon_delta(epsilon, delta)
+    return 2.0 * epsilon * epsilon * delta
+
+
+def morris_a_optimal(epsilon: float, delta: float) -> float:
+    """Base parameter ``a = ε²/(8 ln(1/δ))`` from §2.2 (Theorem 1.2).
+
+    With this choice Morris(a) is a ``(1 ± 2ε)``-approximation with
+    probability ``1 - 2δ`` once ``N > 8/a`` — exponentially better δ
+    dependence than the Chebyshev tuning.
+    """
+    validate_epsilon_delta(epsilon, delta)
+    return epsilon * epsilon / (8.0 * math.log(1.0 / delta))
+
+
+def morris_transition_point(a: float) -> int:
+    """Deterministic-prefix length ``N_a = ceil(8/a)`` for Morris+ (§2.2).
+
+    Appendix A shows switching at ``Θ(ε^{4/3}/a)`` already fails, so 8/a is
+    necessary up to the constant.
+    """
+    if a <= 0.0:
+        raise ParameterError(f"a must be positive, got {a}")
+    return math.ceil(8.0 / a)
+
+
+def morris_x_capacity(a: float, n_max: int, headroom: float = 4.0) -> int:
+    """Largest Morris state X needed to represent counts up to ``n_max``.
+
+    The estimator ``((1+a)^X - 1)/a`` must be able to reach
+    ``headroom * n_max`` (the state overshoots its expectation by small
+    factors with non-negligible probability), so
+    ``X = ceil(log_{1+a}(a * headroom * n_max + 1))``.
+    """
+    if a <= 0.0:
+        raise ParameterError(f"a must be positive, got {a}")
+    if n_max <= 0:
+        raise ParameterError(f"n_max must be positive, got {n_max}")
+    if headroom < 1.0:
+        raise ParameterError(f"headroom must be >= 1, got {headroom}")
+    return math.ceil(math.log1p(a * headroom * n_max) / math.log1p(a))
+
+
+def morris_a_for_bits(bits: int, n_max: int, headroom: float = 4.0) -> float:
+    """Smallest ``a`` whose Morris state fits in a ``bits``-bit register.
+
+    Smaller ``a`` means lower variance but a larger state X; this finds (by
+    bisection on ``log a``) the most accurate Morris counter whose X stays
+    below ``2**bits`` while counting up to ``headroom * n_max``.  Used to
+    parameterize the Figure 1 experiment ("17 bits of memory").
+    """
+    if bits < 2:
+        raise ParameterError(f"need at least 2 bits, got {bits}")
+    if n_max <= 0:
+        raise ParameterError(f"n_max must be positive, got {n_max}")
+    x_max = (1 << bits) - 1
+
+    def fits(a: float) -> bool:
+        return morris_x_capacity(a, n_max, headroom) <= x_max
+
+    hi = 1.0
+    if not fits(hi):
+        raise ParameterError(
+            f"{bits} bits cannot hold a Morris counter for n_max={n_max}"
+        )
+    lo = 1e-18
+    if fits(lo):
+        return lo
+    # Bisect on log(a): fits() is monotone increasing in a.
+    log_lo, log_hi = math.log(lo), math.log(hi)
+    for _ in range(200):
+        mid = 0.5 * (log_lo + log_hi)
+        if fits(math.exp(mid)):
+            log_hi = mid
+        else:
+            log_lo = mid
+    return math.exp(log_hi)
+
+
+def morris_expected_std(a: float, n: int) -> float:
+    """Standard deviation ``sqrt(a n (n-1) / 2)`` of the Morris estimator."""
+    if a <= 0.0:
+        raise ParameterError(f"a must be positive, got {a}")
+    if n < 0:
+        raise ParameterError(f"n must be non-negative, got {n}")
+    return math.sqrt(a * n * (n - 1) / 2.0) if n > 1 else 0.0
+
+
+# ----------------------------------------------------------------------
+# Simplified Nelson-Yu (Figure 1 variant)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class SimplifiedNYConfig:
+    """Configuration of the simplified counter: resolution and exponent cap.
+
+    ``resolution`` is the value Y is halved back to (Y lives in
+    ``[0, 2*resolution)``), and ``t_max`` caps the sampling exponent so the
+    ``t`` register has a fixed width.  Total state:
+    ``log2(2*resolution) + bits(t_max)`` bits.
+    """
+
+    resolution: int
+    t_max: int
+
+    def __post_init__(self) -> None:
+        if self.resolution < 1:
+            raise ParameterError(
+                f"resolution must be >= 1, got {self.resolution}"
+            )
+        if self.t_max < 0:
+            raise ParameterError(f"t_max must be >= 0, got {self.t_max}")
+
+    @property
+    def y_bits(self) -> int:
+        """Width of the Y register (holds values up to 2*resolution - 1)."""
+        return max(1, (2 * self.resolution - 1).bit_length())
+
+    @property
+    def t_bits(self) -> int:
+        """Width of the t register."""
+        return max(1, self.t_max.bit_length())
+
+    @property
+    def total_bits(self) -> int:
+        """Total fixed register width of the counter's state."""
+        return self.y_bits + self.t_bits
+
+    @property
+    def capacity(self) -> int:
+        """Largest representable estimate ``(2*resolution - 1) * 2**t_max``."""
+        return (2 * self.resolution - 1) << self.t_max
+
+
+def simplified_ny_for_bits(
+    bits: int, n_max: int, headroom: float = 2.0
+) -> SimplifiedNYConfig:
+    """Most accurate simplified-NY configuration within a bit budget.
+
+    Accuracy improves with ``resolution`` (variance of the estimator scales
+    like ``N * 2**t`` and ``2**t ≈ N/resolution``), so we maximize the Y
+    register width subject to the capacity constraint
+    ``(2s - 1) * 2**t_max >= headroom * n_max``.
+    """
+    if bits < 3:
+        raise ParameterError(f"need at least 3 bits, got {bits}")
+    if n_max <= 0:
+        raise ParameterError(f"n_max must be positive, got {n_max}")
+    target = math.ceil(headroom * n_max)
+    best: SimplifiedNYConfig | None = None
+    # y_bits = 1 (resolution 1) degenerates to a pure base-2 Morris
+    # counter but is a valid last resort for very tight budgets.
+    for y_bits in range(bits - 1, 0, -1):
+        t_bits = bits - y_bits
+        config = SimplifiedNYConfig(
+            resolution=1 << (y_bits - 1), t_max=(1 << t_bits) - 1
+        )
+        if config.capacity >= target:
+            best = config
+            break
+    if best is None:
+        raise ParameterError(
+            f"{bits} bits cannot hold a simplified-NY counter "
+            f"for n_max={n_max}"
+        )
+    return best
+
+
+# ----------------------------------------------------------------------
+# Csűrös floating-point counter
+# ----------------------------------------------------------------------
+def csuros_d_for_bits(bits: int, n_max: int, headroom: float = 2.0) -> int:
+    """Largest mantissa width ``d`` fitting a Csűrös counter in ``bits``.
+
+    The Csűrös state is a single integer X with value up to
+    ``(e_max + 1) * M`` where ``M = 2**d`` and ``e_max`` is the exponent
+    needed to represent ``headroom * n_max``; accuracy improves with
+    ``d``, so take the largest feasible one.
+    """
+    if bits < 3:
+        raise ParameterError(f"need at least 3 bits, got {bits}")
+    if n_max <= 0:
+        raise ParameterError(f"n_max must be positive, got {n_max}")
+    target = headroom * n_max
+    for d in range(bits - 1, 0, -1):
+        m = 1 << d
+        # Estimate (M + m')*2^e - M reaches target at exponent e_need.
+        e_need = max(0, math.ceil(math.log2((target + m) / (2 * m))) + 1)
+        x_max = (e_need + 1) * m - 1
+        if x_max.bit_length() <= bits:
+            return d
+    raise ParameterError(
+        f"{bits} bits cannot hold a Csűrös counter for n_max={n_max}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Algorithm 1 (Nelson-Yu)
+# ----------------------------------------------------------------------
+def nelson_yu_x0(epsilon: float, delta: float, chernoff_c: float) -> int:
+    """Initial exponent ``X0 = ceil(ln_{1+ε}(C ln(1/η)/ε³))`` with η = δ.
+
+    This makes the epoch-0 threshold ``T = ceil((1+ε)^X0)`` large enough
+    that every later epoch's Chernoff bound has the sample size it needs.
+    """
+    validate_epsilon_delta(epsilon, delta)
+    if chernoff_c <= 0.0:
+        raise ParameterError(f"chernoff_c must be positive, got {chernoff_c}")
+    body = chernoff_c * math.log(1.0 / delta) / epsilon**3
+    return max(1, math.ceil(math.log(body) / math.log1p(epsilon)))
+
+
+def nelson_yu_alpha_raw(
+    epsilon: float, delta: float, chernoff_c: float, x: int, threshold: int
+) -> float:
+    """Un-rounded sampling rate ``α = C ln(1/η)/(ε³ T)`` with ``η = δ/X²``.
+
+    The caller rounds the result *up* to an inverse power of two
+    (Remark 2.2) and caps it at 1.
+    """
+    validate_epsilon_delta(epsilon, delta)
+    if threshold <= 0:
+        raise ParameterError(f"threshold must be positive, got {threshold}")
+    if x <= 0:
+        raise ParameterError(f"x must be positive, got {x}")
+    eta = delta / (x * x)
+    # η < 1 always (δ < 1/2 and X >= 1); ln(1/η) > 0.
+    alpha = chernoff_c * math.log(1.0 / eta) / (epsilon**3 * threshold)
+    return min(alpha, 1.0)

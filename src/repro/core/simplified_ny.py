@@ -1,0 +1,246 @@
+"""The simplified variant of Algorithm 1 used in the Figure 1 experiment.
+
+Section 4 of the paper compares the Morris Counter against "(a simplified
+version of) the algorithm of Subsection 2.1 (and this simplified algorithm
+is itself similar to the algorithm of [Csu10])".  The natural
+simplification keeps Algorithm 1's two mechanisms — subsampled counting in
+``Y`` and geometric rescaling — but fixes the geometry to base 2:
+
+* state is ``(Y, t)`` with sampling rate ``α = 2^-t``;
+* each increment survives with probability ``2^-t`` and raises ``Y``;
+* when ``Y`` reaches ``2s`` (``s`` is the *resolution*), halve:
+  ``Y ← s``, ``t ← t + 1``.
+
+The estimator is ``N̂ = Y · 2^t``.  It is an exact martingale: a survivor
+at rate ``2^-t`` contributes ``2^t`` to ``N̂`` (expected contribution 1 per
+raw increment), and the halving step maps ``2s·2^t → s·2^(t+1)``, leaving
+``N̂`` unchanged.  Hence ``E[N̂] = N`` for every N — property-tested against
+the exact DP in :mod:`repro.theory.flajolet`.
+
+With ``t_max`` capping the exponent register the state is a fixed
+``log2(2s) + bits(t_max)`` bits, which is how the "17 bits of memory"
+parameterization of Figure 1 is expressed
+(:func:`repro.core.params.simplified_ny_for_bits`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.core.base import ApproximateCounter
+from repro.core.estimators import subsample_estimate
+from repro.core.params import SimplifiedNYConfig, simplified_ny_for_bits
+from repro.errors import BudgetError, MergeError, ParameterError
+from repro.memory.model import SpaceModel, uint_bits, uint_capacity_bits
+from repro.rng.skip import GeometricSkipper
+
+__all__ = ["SimplifiedNYCounter"]
+
+
+class SimplifiedNYCounter(ApproximateCounter):
+    """Subsample-and-halve counter (Figure 1's "simplified" algorithm).
+
+    Parameters
+    ----------
+    resolution:
+        The value ``s``; ``Y`` is halved back to ``s`` upon reaching
+        ``2s``.  Larger resolution = lower variance = more Y bits.
+    t_max:
+        Optional cap on the sampling exponent.  When set, the counter has
+        a hard capacity of ``(2s-1)·2^t_max``; exceeding it raises
+        :class:`~repro.errors.BudgetError`.  ``None`` means unbounded
+        (state grows as ``log log N``).
+    mergeable:
+        Keep the per-rate survivor history needed for exact merging
+        (same Remark 2.4 mechanism as the full algorithm).
+    """
+
+    algorithm_name = "simplified_ny"
+
+    def __init__(
+        self,
+        resolution: int,
+        t_max: int | None = None,
+        mergeable: bool = False,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(**kwargs)
+        if resolution < 1:
+            raise ParameterError(f"resolution must be >= 1, got {resolution}")
+        if t_max is not None and t_max < 0:
+            raise ParameterError(f"t_max must be non-negative, got {t_max}")
+        self._resolution = resolution
+        self._t_max = t_max
+        self._mergeable = mergeable
+        self._y = 0
+        self._t = 0
+        self._skipper = GeometricSkipper(self._rng)
+        self._epoch_history: list[list[int]] = [[0, 0]] if mergeable else []
+        self._observe_space()
+
+    @classmethod
+    def for_bits(
+        cls, bits: int, n_max: int, headroom: float = 2.0, **kwargs: Any
+    ) -> "SimplifiedNYCounter":
+        """Most accurate configuration fitting a ``bits``-bit state budget."""
+        config = simplified_ny_for_bits(bits, n_max, headroom)
+        return cls(config.resolution, t_max=config.t_max, **kwargs)
+
+    @classmethod
+    def from_config(
+        cls, config: SimplifiedNYConfig, **kwargs: Any
+    ) -> "SimplifiedNYCounter":
+        """Build from an explicit :class:`SimplifiedNYConfig`."""
+        return cls(config.resolution, t_max=config.t_max, **kwargs)
+
+    # ------------------------------------------------------------------
+    # counting
+    # ------------------------------------------------------------------
+    @property
+    def resolution(self) -> int:
+        """The halving resolution ``s``."""
+        return self._resolution
+
+    @property
+    def t_max(self) -> int | None:
+        """The exponent cap, if any."""
+        return self._t_max
+
+    @property
+    def y(self) -> int:
+        """Current subsampled count Y."""
+        return self._y
+
+    @property
+    def t(self) -> int:
+        """Current sampling exponent (α = 2^-t)."""
+        return self._t
+
+    def increment(self) -> None:
+        if self._rng.bernoulli_pow2(self._t):
+            self._accept_survivor()
+        self._n_increments += 1
+
+    def add(self, n: int) -> None:
+        if n < 0:
+            raise ParameterError(f"cannot add a negative count: {n}")
+        remaining = n
+        while remaining > 0:
+            if self._t == 0:
+                room = 2 * self._resolution - self._y
+                take = min(remaining, room)
+                self._y += take
+                remaining -= take
+                if self._mergeable:
+                    self._epoch_history[-1][1] += take
+                if self._y >= 2 * self._resolution:
+                    self._halve()
+                elif take:
+                    self._observe_space()
+            else:
+                outcome = self._skipper.step_pow2(self._t, remaining)
+                remaining -= outcome.consumed
+                if outcome.accepted:
+                    self._accept_survivor()
+        self._n_increments += n
+
+    def _accept_survivor(self) -> None:
+        self._y += 1
+        if self._mergeable:
+            self._epoch_history[-1][1] += 1
+        if self._y >= 2 * self._resolution:
+            self._halve()
+        else:
+            self._observe_space()
+
+    def _halve(self) -> None:
+        """``Y ← Y/2, t ← t+1`` — the base-2 analogue of lines 8-12."""
+        if self._t_max is not None and self._t >= self._t_max:
+            raise BudgetError(
+                f"counter capacity exhausted: t_max={self._t_max}, "
+                f"resolution={self._resolution} caps the estimate at "
+                f"{subsample_estimate(2 * self._resolution - 1, self._t_max)}"
+            )
+        self._y >>= 1
+        self._t += 1
+        if self._mergeable:
+            self._epoch_history.append([self._t, 0])
+        self._observe_space()
+
+    def estimate(self) -> float:
+        return float(subsample_estimate(self._y, self._t))
+
+    def state_bits(self, model: SpaceModel = SpaceModel.AUTOMATON) -> int:
+        # Unlike Algorithm 1's parameter exponent, t here *is* the
+        # exponent part of the stored value (the counter is literally a
+        # floating-point number), so it counts in both conventions.
+        if self._t_max is not None:
+            # Fixed-width registers sized by the configuration.
+            return uint_capacity_bits(2 * self._resolution - 1) + (
+                uint_capacity_bits(self._t_max)
+            )
+        return uint_bits(self._y) + uint_bits(self._t)
+
+    # ------------------------------------------------------------------
+    # merging
+    # ------------------------------------------------------------------
+    def merge_from(self, other: ApproximateCounter) -> None:
+        """Merge another mergeable SimplifiedNYCounter (Remark 2.4 style)."""
+        if not isinstance(other, SimplifiedNYCounter):
+            raise MergeError(
+                f"cannot merge {type(other).__name__} into SimplifiedNYCounter"
+            )
+        if not (self._mergeable and other._mergeable):
+            raise MergeError(
+                "both counters must be constructed with mergeable=True"
+            )
+        if self._resolution != other._resolution or self._t_max != other._t_max:
+            raise MergeError("simplified-NY parameters differ; cannot merge")
+        if self._t < other._t:
+            donor_history = [tuple(e) for e in self._epoch_history]
+            donor_n = self._n_increments
+            self._y, self._t = other._y, other._t
+            self._epoch_history = [list(e) for e in other._epoch_history]
+            self._n_increments = other._n_increments
+        else:
+            donor_history = [tuple(e) for e in other._epoch_history]
+            donor_n = other._n_increments
+        for t_src, survivors in donor_history:
+            remaining = survivors
+            while remaining > 0:
+                if t_src > self._t:
+                    raise MergeError(
+                        "donor rate below absorber's (internal error)"
+                    )
+                outcome = self._skipper.step_pow2(self._t - t_src, remaining)
+                remaining -= outcome.consumed
+                if outcome.accepted:
+                    self._accept_survivor()
+        self._n_increments += donor_n
+        self._observe_space()
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def _state_dict(self) -> dict[str, Any]:
+        state: dict[str, Any] = {"y": self._y, "t": self._t}
+        if self._mergeable:
+            state["epoch_history"] = [tuple(e) for e in self._epoch_history]
+        return state
+
+    def _params_dict(self) -> dict[str, Any]:
+        return {
+            "resolution": self._resolution,
+            "t_max": self._t_max,
+            "mergeable": self._mergeable,
+        }
+
+    def _restore_state(self, state: Mapping[str, Any]) -> None:
+        y, t = int(state["y"]), int(state["t"])
+        if not 0 <= y < 2 * self._resolution:
+            raise ParameterError(f"y={y} out of range for resolution")
+        if t < 0 or (self._t_max is not None and t > self._t_max):
+            raise ParameterError(f"t={t} out of range")
+        self._y, self._t = y, t
+        if self._mergeable:
+            self._epoch_history = [list(e) for e in state["epoch_history"]]

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by library code derives from :class:`ReproError`, so
+callers can catch a single base class.  Errors are deliberately specific:
+parameter validation problems, state (de)serialization problems, and merge
+incompatibilities are all distinct failure modes for users of approximate
+counters.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ParameterError(ReproError, ValueError):
+    """An algorithm parameter is out of its valid domain.
+
+    Examples: ``epsilon`` or ``delta`` outside ``(0, 1/2)``, a non-positive
+    bit budget, or a Morris base parameter ``a <= 0``.
+    """
+
+
+class StateError(ReproError, RuntimeError):
+    """A counter's serialized state is malformed or inconsistent."""
+
+
+class MergeError(ReproError, RuntimeError):
+    """Two counters cannot be merged.
+
+    Raised when the counters were built with incompatible parameters or
+    when a counter was not constructed in mergeable mode (Remark 2.4 needs
+    the per-epoch survivor history).
+    """
+
+
+class BudgetError(ReproError, RuntimeError):
+    """A bit budget was exhausted or cannot be satisfied."""
+
+
+class ExperimentError(ReproError, RuntimeError):
+    """An experiment harness was configured inconsistently."""

@@ -1,0 +1,30 @@
+"""Experiment harness — one module per paper artifact.
+
+=======  ==============================================  ===================
+ID       Paper artifact                                  Module
+=======  ==============================================  ===================
+E1       Figure 1 (relative-error CDFs, 17 bits)         ``figure1``
+E2       Appendix A (Morris+ tweak necessity)            ``appendix_a``
+E3/E4    Theorems 1.1/2.3/1.2 (space & failure scaling)  ``space_scaling``
+E5       §1.1 / [Fla85] Prop. 3 (a=1 failure floor)      ``flajolet_floor``
+E6       Theorem 3.1 (derandomize-and-pump)              ``lower_bound_exp``
+E7       Remark 2.4 (mergeability)                       ``merge_exp``
+E8       accuracy-space tradeoff at equal bit budgets    ``tradeoff``
+E9       increment throughput                            ``throughput``
+=======  ==============================================  ===================
+
+Every experiment is a pure function from a config dataclass to a result
+dataclass with a ``table()`` (and where meaningful ``plot()``) rendering.
+Benchmarks under ``benchmarks/`` call these with reduced trial counts
+(scaled by the ``REPRO_TRIALS_SCALE`` environment variable); EXPERIMENTS.md
+records full-size runs.
+
+The heavy Monte-Carlo experiments use :mod:`~repro.experiments.fastsim`, a
+vectorized waiting-time simulator that is *distribution-exact* for the
+counters involved (validated against both the slow implementations and the
+exact DP in the tests).
+"""
+
+from repro.experiments.config import ExperimentContext, scaled_trials
+
+__all__ = ["ExperimentContext", "scaled_trials"]

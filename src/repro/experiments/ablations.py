@@ -1,0 +1,334 @@
+"""Ablations of the paper's design choices.
+
+Three knobs the algorithms fix by analysis, each varied here to show the
+analysis is load-bearing:
+
+* **A1 — Chernoff constant C** (Algorithm 1, Theorem 2.1 needs C ≥ 3):
+  smaller C shrinks every epoch's sample size ``αT ≈ C·ln(X²/δ)/ε²·(1/ε)``
+  and should eventually surface epoch-transition failures; larger C only
+  costs Y bits.
+* **A2 — dyadic rounding of α** (Remark 2.2): rounding α *up* to ``2^-t``
+  is required for the coin protocol; the ablation compares against the
+  hypothetical exact-α implementation to show rounding costs at most one
+  Y bit and does not hurt accuracy (the Chernoff argument needs α at
+  least the computed rate, and rounding up preserves that).
+* **A3 — Morris+ transition point** (Appendix A): the deterministic
+  prefix must run to ``Θ(1/a)``; transitions at ``c·ε^{4/3}/a`` (the
+  appendix's adversarial scale) leak failure probability orders of
+  magnitude above δ.  Computed exactly from the DP — the ablation is the
+  executable form of Appendix A's "the choice 8/a is almost optimal".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.params import (
+    morris_a_optimal,
+    nelson_yu_alpha_raw,
+    nelson_yu_x0,
+    validate_epsilon_delta,
+)
+from repro.errors import ExperimentError
+from repro.experiments import fastsim
+from repro.experiments.config import ExperimentContext
+from repro.experiments.records import TextTable
+from repro.rng.bernoulli import DyadicProbability
+from repro.theory.failure import morris_low_failure_scan
+
+__all__ = [
+    "ChernoffAblationConfig",
+    "ChernoffAblationResult",
+    "run_chernoff_ablation",
+    "RoundingAblationResult",
+    "run_rounding_ablation",
+    "TransitionAblationConfig",
+    "TransitionAblationResult",
+    "run_transition_ablation",
+]
+
+
+# ----------------------------------------------------------------------
+# shared: a Nelson-Yu simulator with ablatable α handling
+# ----------------------------------------------------------------------
+def _nelson_yu_trial(
+    epsilon: float,
+    delta: float,
+    chernoff_c: float,
+    n: int,
+    rng: np.random.Generator,
+    dyadic: bool,
+) -> tuple[int, int, float]:
+    """One NY run; returns (x, y_bits_needed, alpha).
+
+    With ``dyadic=False`` the sampling rate stays the raw real value —
+    the hypothetical implementation Remark 2.2 replaces.
+    """
+    log1pe = math.log1p(epsilon)
+    x = nelson_yu_x0(epsilon, delta, chernoff_c)
+    threshold = math.ceil(math.exp(x * log1pe))
+    y = 0
+    alpha = 1.0
+    y_max = 0
+    remaining = n
+    while remaining > 0:
+        trigger = math.floor(alpha * threshold) + 1
+        need = trigger - y
+        if alpha >= 1.0:
+            take = min(remaining, need)
+            y += take
+            remaining -= take
+        else:
+            gaps = rng.geometric(alpha, size=need)
+            cumulative = np.cumsum(gaps)
+            if cumulative[-1] <= remaining:
+                remaining -= int(cumulative[-1])
+                y = trigger
+            else:
+                y += int(np.searchsorted(cumulative, remaining, side="right"))
+                remaining = 0
+        y_max = max(y_max, y)
+        while y > math.floor(alpha * threshold):
+            x += 1
+            threshold = math.ceil(math.exp(x * log1pe))
+            alpha_raw = nelson_yu_alpha_raw(
+                epsilon, delta, chernoff_c, x, threshold
+            )
+            if dyadic:
+                alpha_new = min(
+                    alpha, DyadicProbability.at_least(alpha_raw).value
+                )
+            else:
+                alpha_new = min(alpha, alpha_raw)
+            y = math.floor(y * alpha_new / alpha)
+            alpha = alpha_new
+    return x, max(1, y_max.bit_length()), alpha
+
+
+def _nelson_yu_estimate(epsilon: float, x: int, x0: int, y: int) -> float:
+    if x == x0:
+        return float(y)
+    return float(math.ceil(math.exp(x * math.log1p(epsilon))))
+
+
+# ----------------------------------------------------------------------
+# A1: Chernoff constant
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class ChernoffAblationConfig:
+    """A1 parameters."""
+
+    epsilon: float = 0.2
+    delta_exponent: int = 7
+    n: int = 100_000
+    trials: int = 600
+    c_values: tuple[float, ...] = (0.25, 0.75, 1.5, 3.0, 6.0, 12.0)
+
+
+@dataclass(frozen=True, slots=True)
+class ChernoffAblationResult:
+    """A1 table: epoch dispersion, failure rate, and Y width vs C.
+
+    At a fixed count the output of Algorithm 1 is quantized to the
+    ``(1+ε)^X`` grid, so the estimate is *deterministic* unless an epoch
+    transition slips — the C-sensitive observable is therefore the
+    *epoch dispersion*: the fraction of trials whose final X differs from
+    the modal X.  Small C fuzzes the transitions (the Chernoff sample per
+    epoch shrinks); large C only pays Y bits.
+    """
+
+    config: ChernoffAblationConfig
+    rows: tuple[tuple[float, float, float, float], ...]
+    # (C, epoch_dispersion, fail_rate at 1.5ε, mean y_bits)
+
+    def table(self) -> str:
+        """Render the ablation."""
+        table = TextTable(
+            [
+                "C",
+                "epoch dispersion P[X != mode]",
+                "failure rate (err > 1.5*eps)",
+                "mean Y bits",
+            ]
+        )
+        for c, dispersion, failure, y_bits in self.rows:
+            table.add_row(
+                c, f"{dispersion:.4f}", f"{failure:.4f}", f"{y_bits:.1f}"
+            )
+        return table.render()
+
+    @property
+    def default_row(self) -> tuple[float, float, float, float]:
+        """The row at the library default C = 6."""
+        for row in self.rows:
+            if row[0] == 6.0:
+                return row
+        raise ExperimentError("default C missing from sweep")
+
+
+def run_chernoff_ablation(
+    config: ChernoffAblationConfig = ChernoffAblationConfig(),
+    context: ExperimentContext = ExperimentContext(),
+) -> ChernoffAblationResult:
+    """Sweep the Chernoff constant C of Algorithm 1."""
+    delta = 2.0 ** -config.delta_exponent
+    validate_epsilon_delta(config.epsilon, delta)
+    rows = []
+    for c in config.c_values:
+        rng = fastsim.make_generator(context.seed, 0xA1, int(c * 100))
+        x0 = nelson_yu_x0(config.epsilon, delta, c)
+        failures = 0
+        y_bits_total = 0
+        final_x: list[int] = []
+        for _ in range(config.trials):
+            x, y_bits, _ = _nelson_yu_trial(
+                config.epsilon, delta, c, config.n, rng, dyadic=True
+            )
+            final_x.append(x)
+            estimate = _nelson_yu_estimate(config.epsilon, x, x0, 0)
+            if abs(estimate - config.n) > 1.5 * config.epsilon * config.n:
+                failures += 1
+            y_bits_total += y_bits
+        mode = max(set(final_x), key=final_x.count)
+        dispersion = sum(1 for x in final_x if x != mode) / len(final_x)
+        rows.append(
+            (
+                c,
+                dispersion,
+                failures / config.trials,
+                y_bits_total / config.trials,
+            )
+        )
+    return ChernoffAblationResult(config=config, rows=tuple(rows))
+
+
+# ----------------------------------------------------------------------
+# A2: dyadic rounding of α
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class RoundingAblationResult:
+    """A2 table: dyadic vs exact α."""
+
+    epsilon: float
+    delta_exponent: int
+    n: int
+    trials: int
+    rows: tuple[tuple[str, float, float], ...]  # (mode, rms, y_bits)
+
+    def table(self) -> str:
+        """Render the comparison."""
+        table = TextTable(["alpha handling", "rms rel. error", "mean Y bits"])
+        for mode, rms, y_bits in self.rows:
+            table.add_row(mode, f"{rms:.4f}", f"{y_bits:.1f}")
+        return table.render()
+
+
+def run_rounding_ablation(
+    epsilon: float = 0.2,
+    delta_exponent: int = 7,
+    n: int = 100_000,
+    trials: int = 600,
+    context: ExperimentContext = ExperimentContext(),
+) -> RoundingAblationResult:
+    """Compare Remark 2.2's round-up-α against hypothetical exact α."""
+    delta = 2.0 ** -delta_exponent
+    validate_epsilon_delta(epsilon, delta)
+    x0 = nelson_yu_x0(epsilon, delta, 6.0)
+    rows = []
+    for label, dyadic in (("dyadic 2^-t (Remark 2.2)", True), ("exact float alpha", False)):
+        rng = fastsim.make_generator(context.seed, 0xA2, int(dyadic))
+        square_error = 0.0
+        y_bits_total = 0
+        for _ in range(trials):
+            x, y_bits, _ = _nelson_yu_trial(
+                epsilon, delta, 6.0, n, rng, dyadic=dyadic
+            )
+            estimate = _nelson_yu_estimate(epsilon, x, x0, 0)
+            square_error += ((estimate - n) / n) ** 2
+            y_bits_total += y_bits
+        rows.append(
+            (label, math.sqrt(square_error / trials), y_bits_total / trials)
+        )
+    return RoundingAblationResult(
+        epsilon=epsilon,
+        delta_exponent=delta_exponent,
+        n=n,
+        trials=trials,
+        rows=tuple(rows),
+    )
+
+
+# ----------------------------------------------------------------------
+# A3: Morris+ transition point
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class TransitionAblationConfig:
+    """A3 parameters (Appendix A's regime)."""
+
+    epsilon: float = 0.2
+    delta: float = 1e-9
+    c: float = 2.0 ** -8
+
+
+@dataclass(frozen=True, slots=True)
+class TransitionAblationResult:
+    """A3 table: worst failure past each candidate transition point."""
+
+    config: TransitionAblationConfig
+    a: float
+    rows: tuple[tuple[str, int, float, float], ...]
+    # (label, transition, worst failure beyond it, ratio to delta)
+
+    def table(self) -> str:
+        """Render the ablation."""
+        table = TextTable(
+            [
+                "transition rule",
+                "value",
+                "worst P[fail] past transition",
+                "ratio to delta",
+            ]
+        )
+        for label, value, failure, ratio in self.rows:
+            table.add_row(label, value, failure, f"{ratio:.3g}x")
+        return table.render()
+
+
+def run_transition_ablation(
+    config: TransitionAblationConfig = TransitionAblationConfig(),
+) -> TransitionAblationResult:
+    """Exactly evaluate candidate deterministic-prefix lengths.
+
+    For each rule r, Morris+ with transition r answers exactly below r and
+    from Morris(a) above; its worst failure probability is therefore
+    ``max over N > r`` of the exact one-sided Morris failure.  The scan
+    covers N up to past 8/a, where the failure is provably negligible.
+    """
+    a = morris_a_optimal(config.epsilon, config.delta)
+    full = math.ceil(8.0 / a)
+    candidates = [
+        ("c*eps^(4/3)/a (Appendix A scale)",
+         max(1, math.ceil(config.c * config.epsilon ** (4 / 3) / a))),
+        ("1/a", max(1, math.ceil(1.0 / a))),
+        ("8/a (paper's choice)", full),
+        ("16/a", 2 * full),
+    ]
+    # One exact DP pass over a geometric grid up to 4*full.
+    grid: list[int] = []
+    value = 2.0
+    while value < 4 * full:
+        point = int(round(value))
+        if not grid or point > grid[-1]:
+            grid.append(point)
+        value *= 1.35
+    failures = morris_low_failure_scan(a, config.epsilon, grid)
+    by_n = dict(zip(grid, failures))
+    rows = []
+    for label, transition in candidates:
+        beyond = [by_n[n] for n in grid if n > transition]
+        worst = max(beyond) if beyond else 0.0
+        rows.append((label, transition, worst, worst / config.delta))
+    return TransitionAblationResult(config=config, a=a, rows=tuple(rows))

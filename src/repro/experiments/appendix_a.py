@@ -1,0 +1,140 @@
+"""E2 — Appendix A: the Morris+ tweak is necessary.
+
+Appendix A proves that vanilla Morris(a) with the optimal tuning
+``a = ε²/(8 ln(1/δ))`` fails with probability much larger than δ when the
+count is the small adversarial value ``N' = c·ε^{4/3}/a`` (c ≤ 2^-8,
+δ < ε^{8/3}c²/16).  Morris+ — which answers from its deterministic prefix
+below ``8/a`` — is exact there.
+
+Because the adversarial N is small (that is the whole point), the failure
+probabilities are computed *exactly* from the Flajolet DP: no Monte Carlo
+noise, the comparison against δ is airtight.  The experiment scans N from
+1 to past ``8/a`` showing where vanilla Morris' one-sided failure
+``P[N̂ < (1-ε)N]`` sits relative to δ, and that Morris+ is exact
+(failure 0) throughout the deterministic phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.params import morris_a_optimal, morris_transition_point
+from repro.errors import ExperimentError
+from repro.experiments.records import TextTable
+from repro.theory.failure import (
+    appendix_a_adversarial_n,
+    morris_low_failure_scan,
+)
+
+__all__ = ["AppendixAConfig", "AppendixARow", "AppendixAResult", "run_appendix_a"]
+
+
+@dataclass(frozen=True, slots=True)
+class AppendixAConfig:
+    """Parameters of the Appendix A construction.
+
+    Defaults satisfy the appendix's constraints: ε < 1/4, c ≤ 2^-8 and
+    δ < ε^{8/3} c² / 16 (with ε = 0.2, c = 2^-8 the right side is
+    ≈ 1.3e-8, so δ = 1e-9 qualifies).
+    """
+
+    epsilon: float = 0.2
+    delta: float = 1e-9
+    c: float = 2.0 ** -8
+    scan_points: int = 12
+
+    def __post_init__(self) -> None:
+        bound = (self.epsilon ** (8.0 / 3.0)) * self.c * self.c / 16.0
+        if not self.delta < bound:
+            raise ExperimentError(
+                f"appendix A needs delta < eps^(8/3) c^2/16 = {bound:g}, "
+                f"got {self.delta}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class AppendixARow:
+    """Exact failure probabilities at one count n."""
+
+    n: int
+    vanilla_failure: float
+    morris_plus_failure: float
+    ratio_to_delta: float
+
+
+@dataclass(frozen=True, slots=True)
+class AppendixAResult:
+    """Scan of exact failure probabilities across small counts."""
+
+    config: AppendixAConfig
+    a: float
+    adversarial_n: int
+    transition: int
+    rows: tuple[AppendixARow, ...]
+
+    @property
+    def adversarial_row(self) -> AppendixARow:
+        """The row at the appendix's adversarial count N'."""
+        for row in self.rows:
+            if row.n == self.adversarial_n:
+                return row
+        raise ExperimentError("adversarial count missing from scan")
+
+    def table(self) -> str:
+        """Render the scan."""
+        table = TextTable(
+            [
+                "N",
+                "vanilla P[est<(1-eps)N]",
+                "Morris+ failure",
+                "ratio to delta",
+            ]
+        )
+        for row in self.rows:
+            marker = " (=N')" if row.n == self.adversarial_n else ""
+            table.add_row(
+                f"{row.n}{marker}",
+                row.vanilla_failure,
+                row.morris_plus_failure,
+                f"{row.ratio_to_delta:.3g}x",
+            )
+        return table.render()
+
+
+def run_appendix_a(config: AppendixAConfig = AppendixAConfig()) -> AppendixAResult:
+    """Compute the exact Appendix A comparison."""
+    a = morris_a_optimal(config.epsilon, config.delta)
+    adversarial = appendix_a_adversarial_n(a, config.epsilon, config.c)
+    transition = morris_transition_point(a)
+    # Scan counts from the adversarial point up to just past 8/a on a
+    # geometric grid (all small enough for the exact DP).
+    points: list[int] = [adversarial]
+    value = float(adversarial)
+    ratio = (2.0 * transition / adversarial) ** (
+        1.0 / max(1, config.scan_points - 1)
+    )
+    while len(points) < config.scan_points:
+        value *= ratio
+        point = int(round(value))
+        if point > points[-1]:
+            points.append(point)
+    failures = morris_low_failure_scan(a, config.epsilon, points)
+    rows = []
+    for n, vanilla in zip(points, failures):
+        # Morris+ answers from the exact prefix while n <= 8/a: zero error.
+        plus = 0.0 if n <= transition else vanilla
+        rows.append(
+            AppendixARow(
+                n=n,
+                vanilla_failure=vanilla,
+                morris_plus_failure=plus,
+                ratio_to_delta=vanilla / config.delta,
+            )
+        )
+    return AppendixAResult(
+        config=config,
+        a=a,
+        adversarial_n=adversarial,
+        transition=transition,
+        rows=tuple(rows),
+    )

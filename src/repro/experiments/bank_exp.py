@@ -1,0 +1,138 @@
+"""E10 — the many-counter argument of §1, measured.
+
+"If we are maintaining M counters then it is natural to want δ ≪ 1/M so
+that each counter is approximately correct with high probability.  If M is
+very large, then requiring log(1/δ) ≥ log M bits per counter may provide
+no benefit over a naive log N bit counter."
+
+The experiment maintains a bank of M counters, all seeing the same count,
+and sweeps δ:
+
+* the fraction of counters outside ``(1 ± ε)`` (the *target* radius —
+  tighter than the 2ε the §2.2 proof guarantees, so failures are actually
+  observable) should fall with δ and hit ≈ 0 once δ ≪ 1/M;
+* per-counter memory grows like ``log(1/δ)`` for the Chebyshev-tuned
+  Morris bank (eventually matching the exact counter — the paper's "no
+  benefit" point) but only ``log log(1/δ)`` for the optimal tuning.
+
+Using one shared count for all keys isolates the δ effect (every counter
+faces the same task, failures are independent across counters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.estimators import morris_estimate
+from repro.core.params import (
+    morris_a_chebyshev,
+    morris_a_optimal,
+    morris_transition_point,
+)
+from repro.errors import ExperimentError
+from repro.experiments import fastsim
+from repro.experiments.config import ExperimentContext
+from repro.experiments.records import TextTable
+from repro.theory.space import morris_space_bits
+
+__all__ = ["BankConfig", "BankRow", "BankResult", "run_bank_experiment"]
+
+
+@dataclass(frozen=True, slots=True)
+class BankConfig:
+    """Bank sweep parameters."""
+
+    n_counters: int = 2000
+    count: int = 100_000
+    epsilon: float = 0.2
+    delta_exponents: tuple[int, ...] = (2, 4, 8, 14, 22)
+
+
+@dataclass(frozen=True, slots=True)
+class BankRow:
+    """Outcome of one δ setting."""
+
+    delta_exponent: int
+    delta_times_m: float
+    optimal_bad_fraction: float
+    chebyshev_bad_fraction: float
+    optimal_bits_per_counter: int
+    chebyshev_bits_per_counter: int
+
+
+@dataclass(frozen=True, slots=True)
+class BankResult:
+    """The bank sweep table."""
+
+    config: BankConfig
+    exact_bits: int
+    rows: tuple[BankRow, ...]
+
+    def table(self) -> str:
+        """Render the sweep."""
+        table = TextTable(
+            [
+                "log2(1/delta)",
+                "delta*M",
+                "bad keys (optimal)",
+                "bad keys (chebyshev)",
+                "bits/ctr (optimal)",
+                "bits/ctr (chebyshev)",
+            ]
+        )
+        for row in self.rows:
+            table.add_row(
+                row.delta_exponent,
+                f"{row.delta_times_m:.3g}",
+                f"{row.optimal_bad_fraction:.4f}",
+                f"{row.chebyshev_bad_fraction:.4f}",
+                row.optimal_bits_per_counter,
+                row.chebyshev_bits_per_counter,
+            )
+        return table.render()
+
+
+def run_bank_experiment(
+    config: BankConfig = BankConfig(),
+    context: ExperimentContext = ExperimentContext(),
+) -> BankResult:
+    """Sweep δ for a bank of M identical-count counters."""
+    if config.n_counters < 10:
+        raise ExperimentError("need at least 10 counters")
+    m = config.n_counters
+    n = config.count
+    eps = config.epsilon
+    rows = []
+    for exponent in config.delta_exponents:
+        delta = 2.0 ** -exponent
+        a_opt = morris_a_optimal(eps, delta)
+        a_cheb = morris_a_chebyshev(eps, delta)
+        rng_opt = fastsim.make_generator(context.seed, 0xE10, exponent, 1)
+        rng_cheb = fastsim.make_generator(context.seed, 0xE10, exponent, 2)
+        bad_opt = bad_cheb = 0
+        for _ in range(m):
+            x = fastsim.morris_final_x(a_opt, n, rng_opt)
+            if abs(morris_estimate(x, a_opt) - n) > eps * n:
+                bad_opt += 1
+            x = fastsim.morris_final_x(a_cheb, n, rng_cheb)
+            if abs(morris_estimate(x, a_cheb) - n) > eps * n:
+                bad_cheb += 1
+        prefix_bits = max(
+            1, (morris_transition_point(a_opt) + 1).bit_length()
+        )
+        rows.append(
+            BankRow(
+                delta_exponent=exponent,
+                delta_times_m=delta * m,
+                optimal_bad_fraction=bad_opt / m,
+                chebyshev_bad_fraction=bad_cheb / m,
+                optimal_bits_per_counter=prefix_bits
+                + morris_space_bits(a_opt, n),
+                chebyshev_bits_per_counter=morris_space_bits(a_cheb, n),
+            )
+        )
+    return BankResult(
+        config=config,
+        exact_bits=max(1, n.bit_length()),
+        rows=tuple(rows),
+    )

@@ -1,0 +1,58 @@
+"""Shared experiment configuration.
+
+Trial counts scale with the ``REPRO_TRIALS_SCALE`` environment variable so
+the same harness serves three audiences:
+
+* tests (small scale, seconds),
+* ``pytest benchmarks/`` (default scale, minutes),
+* full paper-size reruns (``REPRO_TRIALS_SCALE=1`` against the paper-size
+  base counts, documented per experiment in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.errors import ExperimentError
+
+__all__ = ["ExperimentContext", "scaled_trials", "trials_scale"]
+
+_ENV_VAR = "REPRO_TRIALS_SCALE"
+
+
+def trials_scale() -> float:
+    """Current trial scale factor (default 1.0)."""
+    raw = os.environ.get(_ENV_VAR)
+    if raw is None:
+        return 1.0
+    try:
+        scale = float(raw)
+    except ValueError as exc:
+        raise ExperimentError(
+            f"{_ENV_VAR} must be a number, got {raw!r}"
+        ) from exc
+    if scale <= 0.0:
+        raise ExperimentError(f"{_ENV_VAR} must be positive, got {scale}")
+    return scale
+
+
+def scaled_trials(base: int, minimum: int = 10) -> int:
+    """``base`` trials scaled by the environment, floored at ``minimum``."""
+    if base < 1:
+        raise ExperimentError(f"base trials must be >= 1, got {base}")
+    return max(minimum, int(round(base * trials_scale())))
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentContext:
+    """Seed and scale shared by one experiment invocation."""
+
+    seed: int = 2020_10_06  # the paper's arXiv date
+    scale: float | None = None
+
+    def trials(self, base: int, minimum: int = 10) -> int:
+        """Scaled trial count (explicit scale wins over the environment)."""
+        if self.scale is not None:
+            return max(minimum, int(round(base * self.scale)))
+        return scaled_trials(base, minimum)

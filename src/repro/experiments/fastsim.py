@@ -1,0 +1,179 @@
+"""Vectorized, distribution-exact waiting-time simulation.
+
+The 5,000-trial, million-increment experiments (Figure 1 and the sweeps)
+would take hours with per-survivor Python loops.  This module exploits the
+same fact as the paper's §2.2 analysis: *while a counter's state is fixed,
+its accept probability is constant*, so the raw-increment positions of the
+next accepted increments are sums of i.i.d. geometric gaps, which numpy
+samples in bulk.
+
+Exactness: each simulator draws the identical sequence of random decisions
+as the per-increment algorithm — geometric waiting times with the same
+parameters, consumed against the same thresholds — so the *final-state
+distribution is exactly that of the sequential algorithm* (no
+approximation is introduced; tests validate every simulator against the
+exact DP of :mod:`repro.theory.flajolet`).
+
+All functions take a ``numpy.random.Generator`` (use
+:func:`make_generator` for a seeded Philox stream, chosen for its
+counter-based reproducibility guarantees across numpy versions).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.params import nelson_yu_alpha_raw, nelson_yu_x0
+from repro.errors import BudgetError, ParameterError
+from repro.rng.bernoulli import DyadicProbability
+from repro.rng.splitmix import derive_seed
+
+__all__ = [
+    "make_generator",
+    "morris_final_x",
+    "simplified_final_state",
+    "nelson_yu_final_state",
+]
+
+
+def make_generator(seed: int, *keys: int) -> np.random.Generator:
+    """A seeded Philox generator; extra keys derive independent streams.
+
+    Key derivation goes through the library's own SplitMix64 mixer so
+    streams are deterministic and unrelated across (seed, keys) tuples.
+    """
+    return np.random.Generator(np.random.Philox(key=derive_seed(seed, *keys)))
+
+
+def morris_final_x(a: float, n: int, rng: np.random.Generator) -> int:
+    """Final Morris(a) state after ``n`` increments (exact in distribution).
+
+    Draws the waiting times ``Z_i ~ Geometric((1+a)^{-i})`` of §2.2 in
+    vectorized blocks and returns ``X = #{k : Σ_{i<k} Z_i <= n}``.
+    """
+    if a <= 0.0:
+        raise ParameterError(f"a must be positive, got {a}")
+    if n < 0:
+        raise ParameterError(f"n must be non-negative, got {n}")
+    if n == 0:
+        return 0
+    log1pa = math.log1p(a)
+    x = 0
+    consumed = 0
+    # Block size: expected states visited is log_{1+a}(a n + 1); sample a
+    # bit extra, then extend if the (unlikely) overshoot happens.
+    block = max(16, int(math.log1p(a * n) / log1pa) + 64)
+    while True:
+        levels = np.arange(x, x + block, dtype=np.float64)
+        p = np.exp(-levels * log1pa)
+        gaps = rng.geometric(p)
+        cumulative = consumed + np.cumsum(gaps)
+        advanced = int(np.searchsorted(cumulative, n, side="right"))
+        x += advanced
+        if advanced < block:
+            return x
+        consumed = int(cumulative[-1])
+
+
+def simplified_final_state(
+    resolution: int,
+    t_max: int | None,
+    n: int,
+    rng: np.random.Generator,
+) -> tuple[int, int]:
+    """Final ``(Y, t)`` of the simplified-NY counter after ``n`` increments.
+
+    Phase-by-phase: at rate ``2^-t`` the counter needs ``2s - Y`` more
+    survivors to halve; their raw-increment cost is a sum of geometric
+    gaps, drawn as one vector.  Mirrors
+    :class:`repro.core.simplified_ny.SimplifiedNYCounter` exactly,
+    including the :class:`~repro.errors.BudgetError` at capacity.
+    """
+    if resolution < 1:
+        raise ParameterError(f"resolution must be >= 1, got {resolution}")
+    if n < 0:
+        raise ParameterError(f"n must be non-negative, got {n}")
+    y, t = 0, 0
+    remaining = n
+    while remaining > 0:
+        need = 2 * resolution - y
+        if t == 0:
+            take = min(remaining, need)
+            y += take
+            remaining -= take
+        else:
+            gaps = rng.geometric(2.0 ** -t, size=need)
+            cumulative = np.cumsum(gaps)
+            if cumulative[-1] <= remaining:
+                remaining -= int(cumulative[-1])
+                y = 2 * resolution
+            else:
+                survivors = int(
+                    np.searchsorted(cumulative, remaining, side="right")
+                )
+                y += survivors
+                remaining = 0
+        if y >= 2 * resolution:
+            if t_max is not None and t >= t_max:
+                raise BudgetError(
+                    f"capacity exhausted at t_max={t_max} "
+                    f"(resolution={resolution}, n={n})"
+                )
+            y >>= 1
+            t += 1
+    return y, t
+
+
+def nelson_yu_final_state(
+    epsilon: float,
+    delta_exponent: int,
+    chernoff_c: float,
+    n: int,
+    rng: np.random.Generator,
+) -> tuple[int, int, int]:
+    """Final ``(X, Y, t)`` of Algorithm 1 after ``n`` increments.
+
+    Mirrors :class:`repro.core.nelson_yu.NelsonYuCounter` epoch for epoch:
+    same X0, same thresholds ``T = ceil((1+ε)^X)``, same dyadic rounding
+    of α, same ``Y → Y >> Δt`` rescaling; only the per-survivor Bernoulli
+    sequencing is replaced by vectorized geometric gaps.
+    """
+    if n < 0:
+        raise ParameterError(f"n must be non-negative, got {n}")
+    delta = 2.0 ** -delta_exponent
+    log1pe = math.log1p(epsilon)
+    x = nelson_yu_x0(epsilon, delta, chernoff_c)
+    threshold = math.ceil(math.exp(x * log1pe))
+    y, t = 0, 0
+    remaining = n
+    while remaining > 0:
+        trigger = (threshold >> t) + 1
+        need = trigger - y
+        if t == 0:
+            take = min(remaining, need)
+            y += take
+            remaining -= take
+        else:
+            gaps = rng.geometric(2.0 ** -t, size=need)
+            cumulative = np.cumsum(gaps)
+            if cumulative[-1] <= remaining:
+                remaining -= int(cumulative[-1])
+                y = trigger
+            else:
+                survivors = int(
+                    np.searchsorted(cumulative, remaining, side="right")
+                )
+                y += survivors
+                remaining = 0
+        while (y << t) > threshold:
+            x += 1
+            threshold = math.ceil(math.exp(x * log1pe))
+            alpha_raw = nelson_yu_alpha_raw(
+                epsilon, delta, chernoff_c, x, threshold
+            )
+            t_new = max(t, DyadicProbability.at_least(alpha_raw).t)
+            y >>= t_new - t
+            t = t_new
+    return x, y, t

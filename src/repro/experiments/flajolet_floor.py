@@ -1,0 +1,96 @@
+"""E5 — the Morris(a=1) constant failure floor (§1.1 / [Fla85] Prop. 3).
+
+§1.1's argument for why Morris' original a = 1 parameterization cannot
+achieve high success probability: [Fla85] Prop. 3 implies
+``P[X ∉ [log2 N − C, log2 N + C]]`` equals a constant depending on C but
+*not* on N — and X landing in that window is necessary for a
+``2^C``-approximation.  So the failure probability is not even o(1).
+
+This experiment computes the exact window-miss probability from the
+Flajolet DP over a geometric grid of N for several C, demonstrating the
+flat-in-N floor, and contrasts it with ``a = Θ(1/log N)`` (the paper's
+observation that a mildly smaller base already drives the failure
+probability down "for free" in space terms).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ExperimentError
+from repro.experiments.records import TextTable
+from repro.theory.failure import morris_a1_window_failure
+from repro.theory.flajolet import morris_failure_probability
+
+__all__ = ["FloorConfig", "FloorRow", "FloorResult", "run_flajolet_floor"]
+
+
+@dataclass(frozen=True, slots=True)
+class FloorConfig:
+    """Grid of the floor experiment."""
+
+    n_values: tuple[int, ...] = (1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16)
+    window_cs: tuple[float, ...] = (1.0, 2.0, 3.0)
+    #: ε used for the small-a comparison column (2^C-approx vs (1+ε)).
+    comparison_epsilon: float = 0.5
+
+
+@dataclass(frozen=True, slots=True)
+class FloorRow:
+    """Exact probabilities at one N."""
+
+    n: int
+    window_failures: tuple[float, ...]
+    small_a: float
+    small_a_failure: float
+
+
+@dataclass(frozen=True, slots=True)
+class FloorResult:
+    """The floor table: flat columns for a=1, vanishing for a=Θ(1/log N)."""
+
+    config: FloorConfig
+    rows: tuple[FloorRow, ...]
+
+    def table(self) -> str:
+        """Render the grid."""
+        headers = ["N"]
+        headers += [f"a=1 miss(C={c:g})" for c in self.config.window_cs]
+        headers += ["a=1/(4 log2 N)", "failure(eps=0.5)"]
+        table = TextTable(headers)
+        for row in self.rows:
+            cells: list[object] = [row.n]
+            cells += [float(v) for v in row.window_failures]
+            cells += [row.small_a, row.small_a_failure]
+            table.add_row(*cells)
+        return table.render()
+
+    def floor_spread(self, c_index: int = 0) -> float:
+        """Max-minus-min of the a=1 column across N (flatness metric)."""
+        if not self.rows:
+            raise ExperimentError("no rows")
+        column = [row.window_failures[c_index] for row in self.rows]
+        return max(column) - min(column)
+
+
+def run_flajolet_floor(config: FloorConfig = FloorConfig()) -> FloorResult:
+    """Compute the exact failure-floor grid."""
+    rows = []
+    for n in config.n_values:
+        window = tuple(
+            morris_a1_window_failure(n, c) for c in config.window_cs
+        )
+        small_a = 1.0 / (4.0 * math.log2(n))
+        small_failure = morris_failure_probability(
+            small_a, n, config.comparison_epsilon
+        )
+        rows.append(
+            FloorRow(
+                n=n,
+                window_failures=window,
+                small_a=small_a,
+                small_a_failure=small_failure,
+            )
+        )
+    return FloorResult(config=config, rows=tuple(rows))

@@ -1,0 +1,172 @@
+"""E6 — Theorem 3.1: derandomize-and-pump against real counters.
+
+Two demonstrations:
+
+1. **The attack works.**  Take the library's own counters as explicit
+   automata at a given state budget, derandomize them (argmax
+   transitions), and exhibit the pumping witness ``N₁ ≤ T/2`` vs.
+   ``N₃ ∈ [2T, 4T]`` with identical memory state — the counter cannot
+   answer both correctly.  Every randomized counter whose state space is
+   ≤ √T states is broken.
+2. **The quantitative edge.**  A deterministic counter survives T exactly
+   when it avoids a state repeat within T/2, which needs ``> T/2`` states,
+   i.e. ``S ≥ log2(T/2)`` bits: the exact counter's survival threshold
+   matches :func:`repro.lowerbound.verify.min_bits_to_survive` bit for
+   bit, which is the ``Ω(log T)`` of Eq. (7) with its constant visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ExperimentError
+from repro.experiments.records import TextTable
+from repro.lowerbound.automaton import (
+    CounterAutomaton,
+    csuros_automaton,
+    exact_automaton,
+    morris_automaton,
+    simplified_ny_automaton,
+)
+from repro.lowerbound.verify import (
+    LowerBoundReport,
+    min_bits_to_survive,
+    verify_theorem_3_1,
+)
+
+__all__ = [
+    "LowerBoundConfig",
+    "LowerBoundResult",
+    "run_lower_bound",
+    "SurvivalRow",
+    "SurvivalResult",
+    "run_survival_threshold",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class LowerBoundConfig:
+    """Which automata to attack at which T."""
+
+    t_param: int = 4096
+    morris_a: float = 1.0
+    morris_cap: int = 63
+    simplified_resolution: int = 8
+    simplified_t_cap: int = 7
+    csuros_d: int = 3
+    csuros_cap: int = 63
+
+
+@dataclass(frozen=True, slots=True)
+class LowerBoundResult:
+    """Attack reports for each automaton."""
+
+    config: LowerBoundConfig
+    reports: tuple[LowerBoundReport, ...]
+
+    @property
+    def all_small_broken(self) -> bool:
+        """True when every sub-√T automaton was broken, per the theorem."""
+        threshold_bits = min_bits_to_survive(self.config.t_param)
+        return all(
+            r.broken for r in self.reports if r.state_bits < threshold_bits
+        )
+
+    def table(self) -> str:
+        """Render the attack results."""
+        table = TextTable(
+            ["automaton", "state bits", "broken?", "N1", "N3", "shared query"]
+        )
+        for report in self.reports:
+            w = report.witness
+            table.add_row(
+                report.label,
+                report.state_bits,
+                "yes" if report.broken else "no",
+                w.n_small if w else "-",
+                w.n_large if w else "-",
+                f"{w.query_value:.4g}" if w else "-",
+            )
+        return table.render()
+
+
+def run_lower_bound(
+    config: LowerBoundConfig = LowerBoundConfig(),
+) -> LowerBoundResult:
+    """Attack the library's counters at one T."""
+    if config.t_param < 16:
+        raise ExperimentError("t_param too small to be interesting")
+    automata: list[CounterAutomaton] = [
+        morris_automaton(config.morris_a, config.morris_cap),
+        simplified_ny_automaton(
+            config.simplified_resolution, config.simplified_t_cap
+        ),
+        csuros_automaton(config.csuros_d, config.csuros_cap),
+        exact_automaton(config.t_param // 8),  # too small: must break
+        exact_automaton(4 * config.t_param),  # big enough: survives
+    ]
+    reports = tuple(
+        verify_theorem_3_1(auto, config.t_param) for auto in automata
+    )
+    return LowerBoundResult(config=config, reports=reports)
+
+
+@dataclass(frozen=True, slots=True)
+class SurvivalRow:
+    """Survival threshold at one T."""
+
+    t_param: int
+    predicted_bits: int
+    smallest_surviving_cap_bits: int
+
+
+@dataclass(frozen=True, slots=True)
+class SurvivalResult:
+    """Measured vs predicted Ω(log T) survival thresholds."""
+
+    rows: tuple[SurvivalRow, ...]
+
+    def table(self) -> str:
+        """Render the threshold comparison."""
+        table = TextTable(
+            ["T", "predicted min bits (log2 T/2)", "measured min bits"]
+        )
+        for row in self.rows:
+            table.add_row(
+                row.t_param,
+                row.predicted_bits,
+                row.smallest_surviving_cap_bits,
+            )
+        return table.render()
+
+
+def run_survival_threshold(
+    t_values: tuple[int, ...] = (64, 256, 1024, 4096, 16384),
+) -> SurvivalResult:
+    """Find the smallest deterministic counter that survives each T.
+
+    Scans exact counters with caps of increasing bit width; the smallest
+    surviving width should match ``min_bits_to_survive(T)`` exactly.
+    """
+    rows = []
+    for t_param in t_values:
+        predicted = min_bits_to_survive(t_param)
+        measured = None
+        for bits in range(1, predicted + 3):
+            cap = (1 << bits) - 1
+            report = verify_theorem_3_1(exact_automaton(cap), t_param)
+            if not report.broken:
+                measured = bits
+                break
+        if measured is None:
+            raise ExperimentError(
+                f"no exact counter survived T={t_param} (internal error)"
+            )
+        rows.append(
+            SurvivalRow(
+                t_param=t_param,
+                predicted_bits=predicted,
+                smallest_surviving_cap_bits=measured,
+            )
+        )
+    return SurvivalResult(rows=tuple(rows))

@@ -1,0 +1,246 @@
+"""E7 — mergeability (Remark 2.4): merged ≡ directly-run, in distribution.
+
+For each counter family with a merge, the experiment runs many trials of:
+
+* counter A on N₁ increments, counter B on N₂ increments, merge B into A;
+* a control counter on N₁ + N₂ increments;
+
+and compares the *distributions* of final states.  For Morris the control
+distribution is available in closed form from the exact Flajolet DP, so
+the comparison is a goodness-of-fit of the merged sample against exact
+probabilities (χ² statistic); for the NY counters the comparison is
+two-sample (total-variation distance of histograms), with the sampling
+noise floor reported alongside.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.morris import MorrisCounter
+from repro.core.nelson_yu import NelsonYuCounter
+from repro.core.simplified_ny import SimplifiedNYCounter
+from repro.errors import ExperimentError
+from repro.experiments.config import ExperimentContext
+from repro.experiments.records import TextTable
+from repro.rng.bitstream import BitBudgetedRandom
+from repro.theory.flajolet import morris_state_distribution
+
+__all__ = [
+    "MergeConfig",
+    "MorrisMergeResult",
+    "run_morris_merge",
+    "TwoSampleMergeResult",
+    "run_simplified_merge",
+    "run_nelson_yu_merge",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class MergeConfig:
+    """Trial counts and split sizes."""
+
+    n1: int = 300
+    n2: int = 500
+    trials: int = 4000
+
+
+@dataclass(frozen=True, slots=True)
+class MorrisMergeResult:
+    """Merged-sample fit against the exact control distribution."""
+
+    config: MergeConfig
+    a: float
+    chi_square: float
+    degrees_of_freedom: int
+    tv_distance_to_exact: float
+
+    def table(self) -> str:
+        """Render the fit."""
+        table = TextTable(["quantity", "value"])
+        table.add_row("Morris a", self.a)
+        table.add_row("trials", self.config.trials)
+        table.add_row("chi^2 vs exact DP", self.chi_square)
+        table.add_row("degrees of freedom", self.degrees_of_freedom)
+        table.add_row("TV distance to exact", self.tv_distance_to_exact)
+        return table.render()
+
+    @property
+    def plausible(self) -> bool:
+        """χ² within 5 standard deviations of its dof (loose sanity gate)."""
+        dof = self.degrees_of_freedom
+        return self.chi_square < dof + 5.0 * math.sqrt(2.0 * dof) + 5.0
+
+
+def run_morris_merge(
+    config: MergeConfig = MergeConfig(),
+    a: float = 0.25,
+    context: ExperimentContext = ExperimentContext(),
+) -> MorrisMergeResult:
+    """Validate the CY20 Morris merge against the exact DP."""
+    if config.trials < 100:
+        raise ExperimentError("need >= 100 trials for a meaningful fit")
+    exact = morris_state_distribution(a, config.n1 + config.n2)
+    counts: Counter[int] = Counter()
+    root = BitBudgetedRandom(context.seed)
+    for trial in range(config.trials):
+        c1 = MorrisCounter(a, rng=root.split(trial, 1))
+        c2 = MorrisCounter(a, rng=root.split(trial, 2))
+        c1.add(config.n1)
+        c2.add(config.n2)
+        c1.merge_from(c2)
+        counts[c1.x] += 1
+    # χ² over levels with enough expected mass; pool the rest.
+    chi = 0.0
+    dof = -1
+    pooled_expected = 0.0
+    pooled_observed = 0
+    tv = 0.0
+    for level in range(len(exact)):
+        expected = exact[level] * config.trials
+        observed = counts.get(level, 0)
+        tv += abs(expected - observed)
+        if expected >= 5.0:
+            chi += (observed - expected) ** 2 / expected
+            dof += 1
+        else:
+            pooled_expected += expected
+            pooled_observed += observed
+    if pooled_expected > 0.0:
+        chi += (pooled_observed - pooled_expected) ** 2 / max(
+            pooled_expected, 1e-9
+        )
+        dof += 1
+    return MorrisMergeResult(
+        config=config,
+        a=a,
+        chi_square=chi,
+        degrees_of_freedom=max(1, dof),
+        tv_distance_to_exact=tv / (2.0 * config.trials),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class TwoSampleMergeResult:
+    """Two-sample comparison (merged vs direct) for one counter family."""
+
+    label: str
+    config: MergeConfig
+    tv_distance: float
+    noise_floor: float
+
+    def table(self) -> str:
+        """Render the comparison."""
+        table = TextTable(["quantity", "value"])
+        table.add_row("counter", self.label)
+        table.add_row("trials per sample", self.config.trials)
+        table.add_row("TV(merged, direct)", self.tv_distance)
+        table.add_row("TV noise floor (direct vs direct)", self.noise_floor)
+        return table.render()
+
+    @property
+    def consistent(self) -> bool:
+        """Merged-vs-direct distance within 3x the same-size noise floor."""
+        return self.tv_distance <= 3.0 * max(self.noise_floor, 1e-3)
+
+
+def _tv(sample_a: list, sample_b: list) -> float:
+    counts_a: Counter = Counter(sample_a)
+    counts_b: Counter = Counter(sample_b)
+    keys = set(counts_a) | set(counts_b)
+    total = 0.0
+    for key in keys:
+        total += abs(
+            counts_a.get(key, 0) / len(sample_a)
+            - counts_b.get(key, 0) / len(sample_b)
+        )
+    return total / 2.0
+
+
+def run_simplified_merge(
+    config: MergeConfig = MergeConfig(),
+    resolution: int = 16,
+    context: ExperimentContext = ExperimentContext(),
+) -> TwoSampleMergeResult:
+    """Merged vs direct for the simplified-NY counter."""
+    root = BitBudgetedRandom(context.seed + 1)
+    merged_states = []
+    direct_states = []
+    control_states = []
+    for trial in range(config.trials):
+        c1 = SimplifiedNYCounter(
+            resolution, mergeable=True, rng=root.split(trial, 1)
+        )
+        c2 = SimplifiedNYCounter(
+            resolution, mergeable=True, rng=root.split(trial, 2)
+        )
+        c1.add(config.n1)
+        c2.add(config.n2)
+        c1.merge_from(c2)
+        merged_states.append((c1.y, c1.t))
+        direct = SimplifiedNYCounter(resolution, rng=root.split(trial, 3))
+        direct.add(config.n1 + config.n2)
+        direct_states.append((direct.y, direct.t))
+        control = SimplifiedNYCounter(resolution, rng=root.split(trial, 4))
+        control.add(config.n1 + config.n2)
+        control_states.append((control.y, control.t))
+    return TwoSampleMergeResult(
+        label=f"simplified_ny(s={resolution})",
+        config=config,
+        tv_distance=_tv(merged_states, direct_states),
+        noise_floor=_tv(direct_states, control_states),
+    )
+
+
+def run_nelson_yu_merge(
+    config: MergeConfig = MergeConfig(),
+    epsilon: float = 0.3,
+    delta_exponent: int = 4,
+    y_bucket_bits: int = 8,
+    context: ExperimentContext = ExperimentContext(),
+) -> TwoSampleMergeResult:
+    """Merged vs direct for Algorithm 1 (full Remark 2.4 mechanism).
+
+    The raw NY state space is large relative to affordable trial counts,
+    so the comparison coarsens Y into ``2^y_bucket_bits``-wide buckets;
+    (X, t) — which determine the query output — stay exact.  Pick counts
+    large enough that the sampling rate drops below 1 (``t > 0``),
+    otherwise both sides are deterministic and the test is vacuous.
+    """
+    root = BitBudgetedRandom(context.seed + 2)
+
+    def coarse(c: NelsonYuCounter) -> tuple[int, int, int]:
+        return (c.x, c.t, c.y >> y_bucket_bits)
+
+    merged_states = []
+    direct_states = []
+    control_states = []
+    for trial in range(config.trials):
+        c1 = NelsonYuCounter(
+            epsilon, delta_exponent, mergeable=True, rng=root.split(trial, 1)
+        )
+        c2 = NelsonYuCounter(
+            epsilon, delta_exponent, mergeable=True, rng=root.split(trial, 2)
+        )
+        c1.add(config.n1)
+        c2.add(config.n2)
+        c1.merge_from(c2)
+        merged_states.append(coarse(c1))
+        direct = NelsonYuCounter(
+            epsilon, delta_exponent, rng=root.split(trial, 3)
+        )
+        direct.add(config.n1 + config.n2)
+        direct_states.append(coarse(direct))
+        control = NelsonYuCounter(
+            epsilon, delta_exponent, rng=root.split(trial, 4)
+        )
+        control.add(config.n1 + config.n2)
+        control_states.append(coarse(control))
+    return TwoSampleMergeResult(
+        label=f"nelson_yu(eps={epsilon}, delta=2^-{delta_exponent})",
+        config=config,
+        tv_distance=_tv(merged_states, direct_states),
+        noise_floor=_tv(direct_states, control_states),
+    )

@@ -1,0 +1,120 @@
+"""ASCII plotting for terminal-first experiment output.
+
+:func:`ascii_cdf` renders the empirical-CDF comparison of Figure 1: the
+x-axis is "% of trial runs" and the y-axis "relative error (%) at or below
+which that fraction of runs fell", matching the paper's axes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.errors import ExperimentError
+
+__all__ = ["ascii_cdf", "ascii_series"]
+
+_MARKERS = "ox+*#@"
+
+
+def _cdf_value(sorted_sample: Sequence[float], fraction: float) -> float:
+    """Error level below which ``fraction`` of the sample lies."""
+    rank = min(
+        len(sorted_sample) - 1,
+        max(0, math.ceil(fraction * len(sorted_sample)) - 1),
+    )
+    return sorted_sample[rank]
+
+
+def ascii_cdf(
+    samples: Mapping[str, Sequence[float]],
+    width: int = 72,
+    height: int = 20,
+) -> str:
+    """Plot empirical CDFs of one or more samples.
+
+    ``samples`` maps series name to raw values (e.g. relative errors).
+    Each column of the plot is a percentile 0..100; each series gets a
+    marker; overlapping points show the later series' marker over ``o``.
+    """
+    if not samples:
+        raise ExperimentError("no samples to plot")
+    if width < 10 or height < 4:
+        raise ExperimentError("plot must be at least 10x4")
+    prepared = {
+        name: sorted(values) for name, values in samples.items() if values
+    }
+    if not prepared:
+        raise ExperimentError("all samples are empty")
+    y_max = max(values[-1] for values in prepared.values())
+    if y_max <= 0.0:
+        y_max = 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for series_index, (name, values) in enumerate(prepared.items()):
+        marker = _MARKERS[series_index % len(_MARKERS)]
+        for col in range(width):
+            fraction = (col + 1) / width
+            level = _cdf_value(values, fraction)
+            row = height - 1 - int((level / y_max) * (height - 1))
+            row = min(height - 1, max(0, row))
+            grid[row][col] = marker
+    lines = []
+    for row_index, row in enumerate(grid):
+        level = y_max * (height - 1 - row_index) / (height - 1)
+        lines.append(f"{level:10.4g} |" + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(
+        " " * 12 + "0%" + " " * (width - 8) + "100%  (fraction of runs)"
+    )
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} = {name}"
+        for i, name in enumerate(prepared)
+    )
+    lines.append(" " * 11 + legend)
+    return "\n".join(lines)
+
+
+def ascii_series(
+    points: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 72,
+    height: int = 20,
+    logx: bool = False,
+) -> str:
+    """Scatter one or more (x, y) series on a shared grid."""
+    if not points:
+        raise ExperimentError("no series to plot")
+    all_points = [p for series in points.values() for p in series]
+    if not all_points:
+        raise ExperimentError("all series are empty")
+
+    def tx(x: float) -> float:
+        return math.log10(max(x, 1e-300)) if logx else x
+
+    xs = [tx(p[0]) for p in all_points]
+    ys = [p[1] for p in all_points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for series_index, (name, series) in enumerate(points.items()):
+        marker = _MARKERS[series_index % len(_MARKERS)]
+        for x, y in series:
+            col = int((tx(x) - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = marker
+    lines = []
+    for row_index, row in enumerate(grid):
+        level = y_lo + y_span * (height - 1 - row_index) / (height - 1)
+        lines.append(f"{level:10.4g} |" + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    x_label = "log10(x)" if logx else "x"
+    lines.append(
+        f"{'':11}{x_lo:<12.4g}{x_label:^{max(1, width - 24)}}{x_hi:>12.4g}"
+    )
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} = {name}"
+        for i, name in enumerate(points)
+    )
+    lines.append(" " * 11 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""Result records and plain-text table rendering.
+
+Every experiment renders to monospace text (this is a terminal-first
+reproduction; the paper's single figure is reproduced as an ASCII CDF in
+:mod:`~repro.experiments.plotting` plus the numeric table here).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ExperimentError
+
+__all__ = ["TextTable", "summarize", "Summary"]
+
+
+class TextTable:
+    """Minimal aligned text table builder."""
+
+    def __init__(self, headers: Sequence[str]) -> None:
+        if not headers:
+            raise ExperimentError("table needs at least one column")
+        self._headers = [str(h) for h in headers]
+        self._rows: list[list[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        """Append one row; cells are stringified (floats get %.6g)."""
+        if len(cells) != len(self._headers):
+            raise ExperimentError(
+                f"expected {len(self._headers)} cells, got {len(cells)}"
+            )
+        rendered = [
+            f"{c:.6g}" if isinstance(c, float) else str(c) for c in cells
+        ]
+        self._rows.append(rendered)
+
+    def render(self) -> str:
+        """Render with a header underline and right-padded columns."""
+        widths = [len(h) for h in self._headers]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt(cells: Sequence[str]) -> str:
+            return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+        lines = [fmt(self._headers), fmt(["-" * w for w in widths])]
+        lines.extend(fmt(row) for row in self._rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+@dataclass(frozen=True, slots=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    p50: float
+    p90: float
+    p99: float
+    max: float
+
+
+def _quantile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank quantile of pre-sorted values."""
+    if not sorted_values:
+        raise ExperimentError("empty sample")
+    rank = min(len(sorted_values) - 1, max(0, math.ceil(q * len(sorted_values)) - 1))
+    return sorted_values[rank]
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summarize a sample of values (errors, bit counts, ...)."""
+    if not values:
+        raise ExperimentError("cannot summarize an empty sample")
+    ordered = sorted(values)
+    n = len(ordered)
+    mean = math.fsum(ordered) / n
+    variance = math.fsum((v - mean) ** 2 for v in ordered) / n
+    return Summary(
+        n=n,
+        mean=mean,
+        std=math.sqrt(variance),
+        p50=_quantile(ordered, 0.50),
+        p90=_quantile(ordered, 0.90),
+        p99=_quantile(ordered, 0.99),
+        max=ordered[-1],
+    )

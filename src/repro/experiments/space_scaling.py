@@ -1,0 +1,305 @@
+"""E3/E4 — space and failure scaling (Theorems 1.1, 1.2 and 2.3).
+
+The paper's headline is the δ dependence: the new algorithm (and the
+re-analyzed Morris+) pays ``log log(1/δ)`` bits where the Chebyshev-tuned
+Morris Counter pays ``log(1/δ)``.  Three sweeps make the shapes visible:
+
+* **δ sweep** (fixed N, ε): measured max state bits of the NelsonYu
+  counter and of optimally-tuned Morris+ vs. the *predicted register
+  size* of Chebyshev Morris.  Expected: doubling ``log(1/δ)`` adds ≈ 1
+  bit to the first two and ≈ doubles the δ-term of the third.
+* **N sweep** (fixed ε, δ): all algorithms should grow ``log log N``.
+* **failure check (E4)**: optimally-tuned Morris+ at its adversarially
+  small ``a`` must empirically fail with probability ≤ δ (run at a δ
+  large enough that failures are observable).
+
+Measurements use the distribution-exact fast simulators; "measured bits"
+for a trial is the bit-length of the largest state reached.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.estimators import morris_estimate
+from repro.core.params import (
+    DEFAULT_CHERNOFF_C,
+    morris_a_chebyshev,
+    morris_a_optimal,
+    morris_transition_point,
+)
+from repro.errors import ExperimentError
+from repro.experiments import fastsim
+from repro.experiments.config import ExperimentContext
+from repro.experiments.records import TextTable
+from repro.theory.space import morris_space_bits
+
+__all__ = [
+    "DeltaSweepConfig",
+    "DeltaSweepRow",
+    "DeltaSweepResult",
+    "run_delta_sweep",
+    "NSweepConfig",
+    "NSweepRow",
+    "NSweepResult",
+    "run_n_sweep",
+    "FailureCheckConfig",
+    "FailureCheckResult",
+    "run_failure_check",
+]
+
+
+def _measure_nelson_yu_bits(
+    epsilon: float, delta_exponent: int, n: int, trials: int, seed: int
+) -> int:
+    """Max over trials of the final-state bit size of Algorithm 1.
+
+    The NY state is monotone over a run (X and the Y threshold only
+    grow), so the final state's size is the run maximum.
+    """
+    worst = 0
+    rng = fastsim.make_generator(seed, 0xE3, delta_exponent, n)
+    for _ in range(trials):
+        x, y, _ = fastsim.nelson_yu_final_state(
+            epsilon, delta_exponent, DEFAULT_CHERNOFF_C, n, rng
+        )
+        worst = max(worst, max(1, x.bit_length()) + max(1, y.bit_length()))
+    return worst
+
+
+def _measure_morris_bits(a: float, n: int, trials: int, seed: int) -> int:
+    """Max over trials of the bit-length of Morris(a)'s final X."""
+    worst = 0
+    rng = fastsim.make_generator(seed, 0xE3B, int(1.0 / a), n)
+    for _ in range(trials):
+        x = fastsim.morris_final_x(a, n, rng)
+        worst = max(worst, max(1, x.bit_length()))
+    return worst
+
+
+@dataclass(frozen=True, slots=True)
+class DeltaSweepConfig:
+    """δ sweep at fixed N and ε."""
+
+    n: int = 1 << 20
+    epsilon: float = 0.25
+    delta_exponents: tuple[int, ...] = (3, 5, 10, 17, 27, 40)
+    trials: int = 30
+
+
+@dataclass(frozen=True, slots=True)
+class DeltaSweepRow:
+    """Measured/predicted bits at one δ."""
+
+    delta_exponent: int
+    nelson_yu_bits: int
+    morris_plus_bits: int
+    chebyshev_register_bits: int
+
+
+@dataclass(frozen=True, slots=True)
+class DeltaSweepResult:
+    """The δ sweep table (E3's headline comparison)."""
+
+    config: DeltaSweepConfig
+    rows: tuple[DeltaSweepRow, ...]
+
+    def table(self) -> str:
+        """Render the sweep."""
+        table = TextTable(
+            [
+                "log2(1/delta)",
+                "NelsonYu bits (meas.)",
+                "Morris+ bits (meas.)",
+                "Chebyshev-Morris bits (reg.)",
+            ]
+        )
+        for row in self.rows:
+            table.add_row(
+                row.delta_exponent,
+                row.nelson_yu_bits,
+                row.morris_plus_bits,
+                row.chebyshev_register_bits,
+            )
+        return table.render()
+
+    def delta_slopes(self) -> tuple[float, float]:
+        """Added bits per doubling of ``log(1/δ)`` for (NelsonYu, Chebyshev).
+
+        Computed between the first and last sweep points; the paper
+        predicts ≈ O(1) per doubling for NelsonYu and ≈ linear growth for
+        the Chebyshev tuning.
+        """
+        first, last = self.rows[0], self.rows[-1]
+        doublings = math.log2(last.delta_exponent / first.delta_exponent)
+        if doublings <= 0:
+            raise ExperimentError("sweep needs increasing delta exponents")
+        ny = (last.nelson_yu_bits - first.nelson_yu_bits) / doublings
+        cheb = (
+            last.chebyshev_register_bits - first.chebyshev_register_bits
+        ) / doublings
+        return ny, cheb
+
+
+def run_delta_sweep(
+    config: DeltaSweepConfig = DeltaSweepConfig(),
+    context: ExperimentContext = ExperimentContext(),
+) -> DeltaSweepResult:
+    """Measure the δ scaling of each algorithm's space."""
+    rows = []
+    for exponent in config.delta_exponents:
+        delta = 2.0 ** -exponent
+        ny_bits = _measure_nelson_yu_bits(
+            config.epsilon, exponent, config.n, config.trials, context.seed
+        )
+        a_opt = morris_a_optimal(config.epsilon, delta)
+        prefix_bits = max(
+            1, (morris_transition_point(a_opt) + 1).bit_length()
+        )
+        mp_bits = prefix_bits + _measure_morris_bits(
+            a_opt, config.n, config.trials, context.seed
+        )
+        a_cheb = morris_a_chebyshev(config.epsilon, delta)
+        cheb_bits = morris_space_bits(a_cheb, config.n)
+        rows.append(
+            DeltaSweepRow(
+                delta_exponent=exponent,
+                nelson_yu_bits=ny_bits,
+                morris_plus_bits=mp_bits,
+                chebyshev_register_bits=cheb_bits,
+            )
+        )
+    return DeltaSweepResult(config=config, rows=tuple(rows))
+
+
+@dataclass(frozen=True, slots=True)
+class NSweepConfig:
+    """N sweep at fixed ε and δ."""
+
+    n_values: tuple[int, ...] = (1 << 10, 1 << 14, 1 << 18, 1 << 22, 1 << 26)
+    epsilon: float = 0.25
+    delta_exponent: int = 10
+    trials: int = 20
+
+
+@dataclass(frozen=True, slots=True)
+class NSweepRow:
+    """Measured bits at one N."""
+
+    n: int
+    nelson_yu_bits: int
+    morris_plus_bits: int
+    exact_bits: int
+
+
+@dataclass(frozen=True, slots=True)
+class NSweepResult:
+    """The N sweep table (log log N growth vs the exact counter's log N)."""
+
+    config: NSweepConfig
+    rows: tuple[NSweepRow, ...]
+
+    def table(self) -> str:
+        """Render the sweep."""
+        table = TextTable(
+            ["N", "NelsonYu bits", "Morris+ bits", "exact counter bits"]
+        )
+        for row in self.rows:
+            table.add_row(
+                row.n, row.nelson_yu_bits, row.morris_plus_bits, row.exact_bits
+            )
+        return table.render()
+
+
+def run_n_sweep(
+    config: NSweepConfig = NSweepConfig(),
+    context: ExperimentContext = ExperimentContext(),
+) -> NSweepResult:
+    """Measure the N scaling of each algorithm's space."""
+    delta = 2.0 ** -config.delta_exponent
+    a_opt = morris_a_optimal(config.epsilon, delta)
+    prefix_bits = max(1, (morris_transition_point(a_opt) + 1).bit_length())
+    rows = []
+    for n in config.n_values:
+        ny_bits = _measure_nelson_yu_bits(
+            config.epsilon,
+            config.delta_exponent,
+            n,
+            config.trials,
+            context.seed,
+        )
+        mp_bits = prefix_bits + _measure_morris_bits(
+            a_opt, n, config.trials, context.seed
+        )
+        rows.append(
+            NSweepRow(
+                n=n,
+                nelson_yu_bits=ny_bits,
+                morris_plus_bits=mp_bits,
+                exact_bits=max(1, n.bit_length()),
+            )
+        )
+    return NSweepResult(config=config, rows=tuple(rows))
+
+
+@dataclass(frozen=True, slots=True)
+class FailureCheckConfig:
+    """E4: empirical failure rate of Theorem 1.2's Morris+ tuning."""
+
+    epsilon: float = 0.2
+    delta: float = 0.05
+    n: int = 200_000
+    trials: int = 4000
+
+
+@dataclass(frozen=True, slots=True)
+class FailureCheckResult:
+    """Empirical vs guaranteed failure probability."""
+
+    config: FailureCheckConfig
+    a: float
+    failures: int
+    trials: int
+
+    @property
+    def empirical_rate(self) -> float:
+        """Observed fraction of trials with error > 2ε (the Thm 1.2 radius)."""
+        return self.failures / self.trials
+
+    def table(self) -> str:
+        """Render the check."""
+        table = TextTable(["quantity", "value"])
+        table.add_row("a = eps^2 / (8 ln(1/delta))", self.a)
+        table.add_row("trials", self.trials)
+        table.add_row("failures (err > 2*eps)", self.failures)
+        table.add_row("empirical failure rate", self.empirical_rate)
+        table.add_row("guaranteed bound (2*delta)", 2.0 * self.config.delta)
+        return table.render()
+
+
+def run_failure_check(
+    config: FailureCheckConfig = FailureCheckConfig(),
+    context: ExperimentContext = ExperimentContext(),
+) -> FailureCheckResult:
+    """Estimate Morris+'s failure rate under the Theorem 1.2 tuning.
+
+    Theorem 1.2's §2.2 proof gives a ``(1 ± 2ε)`` approximation with
+    probability ``1 - 2δ`` for ``N > 8/a``; we count trials whose relative
+    error exceeds 2ε.
+    """
+    a = morris_a_optimal(config.epsilon, config.delta)
+    if config.n <= morris_transition_point(a):
+        raise ExperimentError(
+            "n must exceed the deterministic prefix 8/a for this check"
+        )
+    rng = fastsim.make_generator(context.seed, 0xE4)
+    failures = 0
+    for _ in range(config.trials):
+        x = fastsim.morris_final_x(a, config.n, rng)
+        estimate = morris_estimate(x, a)
+        if abs(estimate - config.n) > 2.0 * config.epsilon * config.n:
+            failures += 1
+    return FailureCheckResult(
+        config=config, a=a, failures=failures, trials=config.trials
+    )

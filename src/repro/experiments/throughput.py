@@ -1,0 +1,107 @@
+"""E9 — update throughput (the practicality note of Remark 2.2).
+
+Remark 2.2 argues that per-update processing cost matters less than stored
+bits, but a reproduction should still show the counters are usable.  Two
+measurements per algorithm:
+
+* ``increment()`` — the honest per-update path (bit-metered Bernoulli);
+* ``add(n)`` — the geometric fast-forward, measured as *stream positions
+  per second* (it skips rejected increments, which is the point).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.base import ApproximateCounter
+from repro.core.csuros import CsurosCounter
+from repro.core.morris import MorrisCounter
+from repro.core.nelson_yu import NelsonYuCounter
+from repro.core.simplified_ny import SimplifiedNYCounter
+from repro.errors import ExperimentError
+from repro.experiments.records import TextTable
+
+__all__ = ["ThroughputConfig", "ThroughputRow", "ThroughputResult", "run_throughput"]
+
+
+@dataclass(frozen=True, slots=True)
+class ThroughputConfig:
+    """Workload sizes for the timing runs."""
+
+    increment_ops: int = 20_000
+    add_total: int = 2_000_000
+
+
+@dataclass(frozen=True, slots=True)
+class ThroughputRow:
+    """Measured rates for one algorithm."""
+
+    label: str
+    increments_per_second: float
+    add_positions_per_second: float
+
+
+@dataclass(frozen=True, slots=True)
+class ThroughputResult:
+    """Throughput table."""
+
+    config: ThroughputConfig
+    rows: tuple[ThroughputRow, ...]
+
+    def table(self) -> str:
+        """Render rates in ops/second."""
+        table = TextTable(["algorithm", "increment() ops/s", "add() positions/s"])
+        for row in self.rows:
+            table.add_row(
+                row.label,
+                f"{row.increments_per_second:,.0f}",
+                f"{row.add_positions_per_second:,.0f}",
+            )
+        return table.render()
+
+
+def _standard_counters(seed: int) -> list[tuple[str, Callable[[], ApproximateCounter]]]:
+    return [
+        ("morris(a=2^-8)", lambda: MorrisCounter(2.0 ** -8, seed=seed)),
+        (
+            "simplified_ny(s=4096)",
+            lambda: SimplifiedNYCounter(4096, seed=seed),
+        ),
+        ("csuros(d=12)", lambda: CsurosCounter(12, seed=seed)),
+        (
+            "nelson_yu(eps=0.1)",
+            lambda: NelsonYuCounter(0.1, 20, seed=seed),
+        ),
+    ]
+
+
+def run_throughput(
+    config: ThroughputConfig = ThroughputConfig(), seed: int = 0
+) -> ThroughputResult:
+    """Time each counter's update paths."""
+    if config.increment_ops < 1000 or config.add_total < 1000:
+        raise ExperimentError("workloads too small to time meaningfully")
+    rows = []
+    for label, factory in _standard_counters(seed):
+        counter = factory()
+        start = time.perf_counter()
+        for _ in range(config.increment_ops):
+            counter.increment()
+        elapsed = time.perf_counter() - start
+        inc_rate = config.increment_ops / max(elapsed, 1e-9)
+
+        counter = factory()
+        start = time.perf_counter()
+        counter.add(config.add_total)
+        elapsed = time.perf_counter() - start
+        add_rate = config.add_total / max(elapsed, 1e-9)
+        rows.append(
+            ThroughputRow(
+                label=label,
+                increments_per_second=inc_rate,
+                add_positions_per_second=add_rate,
+            )
+        )
+    return ThroughputResult(config=config, rows=tuple(rows))

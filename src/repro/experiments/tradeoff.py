@@ -1,0 +1,217 @@
+"""E8 — accuracy vs space at equal bit budgets.
+
+The paper's practical pitch (§1) is bits-per-counter in large analytics
+systems.  This experiment gives each algorithm the *same* state budget and
+measures RMS relative error on the Figure 1 workload, sweeping the budget:
+
+* Morris(a) with ``a`` fitted to the budget;
+* the simplified Algorithm 1 fitted to the budget;
+* Csűrös' floating-point counter fitted to the budget;
+* the saturating deterministic counter (whose error at budget b is the
+  deterministic truncation shortfall — the baseline that shows why one
+  randomizes at all below log N bits).
+
+Expected shape: the three randomized counters track each other closely
+(the Figure 1 observation, generalized across budgets), their error
+roughly halving per extra bit, while the deterministic baseline is useless
+below ``log2 N`` bits and exact above.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.estimators import (
+    csuros_estimate,
+    morris_estimate,
+    subsample_estimate,
+)
+from repro.core.params import (
+    csuros_d_for_bits,
+    morris_a_for_bits,
+    simplified_ny_for_bits,
+)
+from repro.errors import ExperimentError, ParameterError
+from repro.experiments import fastsim
+from repro.experiments.config import ExperimentContext
+from repro.experiments.records import TextTable
+
+__all__ = ["TradeoffConfig", "TradeoffRow", "TradeoffResult", "run_tradeoff"]
+
+
+@dataclass(frozen=True, slots=True)
+class TradeoffConfig:
+    """Budget sweep parameters."""
+
+    bits_values: tuple[int, ...] = (12, 14, 16, 18, 20, 22)
+    n_low: int = 500_000
+    n_high: int = 999_999
+    trials: int = 300
+
+
+@dataclass(frozen=True, slots=True)
+class TradeoffRow:
+    """RMS relative errors at one bit budget (NaN = does not fit)."""
+
+    bits: int
+    morris_rms: float
+    simplified_rms: float
+    csuros_rms: float
+    saturating_rms: float
+
+
+@dataclass(frozen=True, slots=True)
+class TradeoffResult:
+    """The tradeoff table."""
+
+    config: TradeoffConfig
+    rows: tuple[TradeoffRow, ...]
+
+    def table(self) -> str:
+        """Render the sweep (RMS relative error, %)."""
+        table = TextTable(
+            [
+                "bits",
+                "Morris rms%",
+                "SimplifiedNY rms%",
+                "Csuros rms%",
+                "Saturating rms%",
+            ]
+        )
+
+        def cell(value: float) -> str:
+            return "n/a" if math.isnan(value) else f"{100.0 * value:.4f}"
+
+        for row in self.rows:
+            table.add_row(
+                row.bits,
+                cell(row.morris_rms),
+                cell(row.simplified_rms),
+                cell(row.csuros_rms),
+                cell(row.saturating_rms),
+            )
+        return table.render()
+
+
+def _rms(errors: list[float]) -> float:
+    return math.sqrt(math.fsum(e * e for e in errors) / len(errors))
+
+
+def run_tradeoff(
+    config: TradeoffConfig = TradeoffConfig(),
+    context: ExperimentContext = ExperimentContext(),
+) -> TradeoffResult:
+    """Run the equal-budget error sweep."""
+    if config.trials < 10:
+        raise ExperimentError("need at least 10 trials")
+    rows = []
+    for bits in config.bits_values:
+        n_rng = fastsim.make_generator(context.seed, 0xE8, bits)
+        ns = [
+            int(n_rng.integers(config.n_low, config.n_high + 1))
+            for _ in range(config.trials)
+        ]
+        rows.append(
+            TradeoffRow(
+                bits=bits,
+                morris_rms=_morris_rms(bits, ns, config, context),
+                simplified_rms=_simplified_rms(bits, ns, config, context),
+                csuros_rms=_csuros_rms(bits, ns, config, context),
+                saturating_rms=_saturating_rms(bits, ns),
+            )
+        )
+    return TradeoffResult(config=config, rows=tuple(rows))
+
+
+def _morris_rms(
+    bits: int,
+    ns: list[int],
+    config: TradeoffConfig,
+    context: ExperimentContext,
+) -> float:
+    try:
+        a = morris_a_for_bits(bits, config.n_high)
+    except ParameterError:
+        return float("nan")
+    rng = fastsim.make_generator(context.seed, 0xE8, bits, 1)
+    errors = []
+    for n in ns:
+        x = fastsim.morris_final_x(a, n, rng)
+        errors.append(abs(morris_estimate(x, a) - n) / n)
+    return _rms(errors)
+
+
+def _simplified_rms(
+    bits: int,
+    ns: list[int],
+    config: TradeoffConfig,
+    context: ExperimentContext,
+) -> float:
+    try:
+        fitted = simplified_ny_for_bits(bits, config.n_high)
+    except ParameterError:
+        return float("nan")
+    rng = fastsim.make_generator(context.seed, 0xE8, bits, 2)
+    errors = []
+    for n in ns:
+        y, t = fastsim.simplified_final_state(
+            fitted.resolution, fitted.t_max, n, rng
+        )
+        errors.append(abs(subsample_estimate(y, t) - n) / n)
+    return _rms(errors)
+
+
+def _csuros_rms(
+    bits: int,
+    ns: list[int],
+    config: TradeoffConfig,
+    context: ExperimentContext,
+) -> float:
+    try:
+        d = csuros_d_for_bits(bits, config.n_high)
+    except ParameterError:
+        return float("nan")
+    rng = fastsim.make_generator(context.seed, 0xE8, bits, 3)
+    errors = []
+    for n in ns:
+        x = _csuros_final_x(d, n, rng)
+        errors.append(abs(csuros_estimate(x, d) - n) / n)
+    return _rms(errors)
+
+
+def _csuros_final_x(d: int, n: int, rng) -> int:
+    """Waiting-time simulation for the Csűrös counter.
+
+    At exponent ``e`` the counter accepts with rate ``2^-e`` for the next
+    ``M - (X mod M)`` accepts (until the exponent bumps); identical gap
+    logic to the other simulators.
+    """
+    import numpy as np
+
+    m = 1 << d
+    x = 0
+    remaining = n
+    while remaining > 0:
+        e = x >> d
+        until_bump = m - (x & (m - 1))
+        if e == 0:
+            take = min(remaining, until_bump)
+            x += take
+            remaining -= take
+        else:
+            gaps = rng.geometric(2.0 ** -e, size=until_bump)
+            cumulative = np.cumsum(gaps)
+            if cumulative[-1] <= remaining:
+                remaining -= int(cumulative[-1])
+                x += until_bump
+            else:
+                x += int(np.searchsorted(cumulative, remaining, side="right"))
+                remaining = 0
+    return x
+
+
+def _saturating_rms(bits: int, ns: list[int]) -> float:
+    cap = (1 << bits) - 1
+    errors = [abs(min(n, cap) - n) / n for n in ns]
+    return _rms(errors)

@@ -1,0 +1,127 @@
+"""E12 — error trajectories across the stream (extension).
+
+The paper's guarantees are per-query at any N; this experiment watches the
+estimate *during* the stream: many trials of each counter over log-spaced
+checkpoints from 1 to N, reporting the p90 relative-error envelope at each
+checkpoint.  Expected shapes:
+
+* Morris+ is exact (zero error) through its deterministic prefix, then
+  jumps to its stationary ~``sqrt(a/2)`` relative noise;
+* Algorithm 1 is exact through epoch 0, then bounded by its (1+ε)-grid
+  quantization;
+* the simplified counter's error grows to its stationary level as soon as
+  subsampling starts (``N > 2s``).
+
+This doubles as an integration test of the stream runner over realistic
+trajectories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.base import ApproximateCounter
+from repro.core.morris_plus import MorrisPlusCounter
+from repro.core.nelson_yu import NelsonYuCounter
+from repro.core.simplified_ny import SimplifiedNYCounter
+from repro.errors import ExperimentError
+from repro.experiments.config import ExperimentContext
+from repro.experiments.plotting import ascii_series
+from repro.experiments.records import TextTable
+from repro.rng.bitstream import BitBudgetedRandom
+from repro.stream.runner import run_counter
+from repro.stream.source import TraceStream
+
+__all__ = ["TrajectoryConfig", "TrajectoryResult", "run_trajectory"]
+
+
+@dataclass(frozen=True, slots=True)
+class TrajectoryConfig:
+    """Trajectory sweep parameters."""
+
+    n_max: int = 1_000_000
+    points_per_decade: int = 2
+    trials: int = 40
+    epsilon: float = 0.1
+    delta: float = 1e-4
+
+
+@dataclass(frozen=True, slots=True)
+class TrajectoryResult:
+    """p90 relative error per checkpoint per algorithm."""
+
+    config: TrajectoryConfig
+    checkpoints: tuple[int, ...]
+    envelopes: dict[str, tuple[float, ...]]
+
+    def table(self) -> str:
+        """Render the envelope table."""
+        names = sorted(self.envelopes)
+        table = TextTable(["N"] + [f"{name} p90 err" for name in names])
+        for index, n in enumerate(self.checkpoints):
+            table.add_row(
+                n,
+                *(f"{self.envelopes[name][index]:.4f}" for name in names),
+            )
+        return table.render()
+
+    def plot(self, width: int = 72, height: int = 18) -> str:
+        """Log-x scatter of the envelopes."""
+        series = {
+            name: [
+                (float(n), err)
+                for n, err in zip(self.checkpoints, envelope)
+            ]
+            for name, envelope in self.envelopes.items()
+        }
+        return ascii_series(series, width=width, height=height, logx=True)
+
+
+def _families(
+    config: TrajectoryConfig,
+) -> dict[str, Callable[[BitBudgetedRandom], ApproximateCounter]]:
+    return {
+        "morris_plus": lambda rng: MorrisPlusCounter.for_optimal(
+            config.epsilon, config.delta, rng=rng
+        ),
+        "nelson_yu": lambda rng: NelsonYuCounter.from_delta(
+            config.epsilon, config.delta, rng=rng
+        ),
+        "simplified_ny": lambda rng: SimplifiedNYCounter.for_bits(
+            17, config.n_max, rng=rng
+        ),
+    }
+
+
+def run_trajectory(
+    config: TrajectoryConfig = TrajectoryConfig(),
+    context: ExperimentContext = ExperimentContext(),
+) -> TrajectoryResult:
+    """Measure p90 error envelopes over log-spaced checkpoints."""
+    if config.trials < 5:
+        raise ExperimentError("need at least 5 trials")
+    source = TraceStream.geometric_grid(
+        config.n_max, config.points_per_decade
+    )
+    checkpoints = source.points
+    root = BitBudgetedRandom(context.seed)
+    envelopes: dict[str, tuple[float, ...]] = {}
+    for name, factory in _families(config).items():
+        per_checkpoint: list[list[float]] = [[] for _ in checkpoints]
+        for trial in range(config.trials):
+            counter = factory(root.split(hash(name) & 0xFFFF, trial))
+            result = run_counter(counter, source)
+            for index, record in enumerate(result.checkpoints):
+                per_checkpoint[index].append(record.relative_error)
+        envelope = []
+        for errors in per_checkpoint:
+            errors.sort()
+            rank = max(0, int(0.9 * len(errors)) - 1)
+            envelope.append(errors[rank])
+        envelopes[name] = tuple(envelope)
+    return TrajectoryResult(
+        config=config,
+        checkpoints=checkpoints,
+        envelopes=envelopes,
+    )

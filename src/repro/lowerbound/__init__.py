@@ -1,0 +1,47 @@
+"""Lower-bound machinery (§3 of the paper, Theorem 3.1).
+
+The proof has two moving parts, both implemented here as executable
+objects:
+
+1. **Derandomization.**  Any randomized counter using ``S`` bits is a
+   distribution over walks on ``2^S`` memory states.  ``C_det`` replaces
+   every random transition by its most likely outcome (ties broken toward
+   the lexicographically smallest state); the paper shows ``C_det`` errs
+   with probability at most ``δ·2^{S(N+1)}`` whenever the randomized
+   counter errs with probability δ.
+2. **Pumping.**  A deterministic automaton on ``2^S ≤ √T`` states must
+   revisit a state within the first ``T/2`` increments; the revisit pumps
+   to some ``N₃ ∈ [2T, 4T]`` reaching the *same* state as some
+   ``N₁ ≤ T/2`` — so the automaton cannot distinguish counts it is
+   required to distinguish.
+
+:mod:`~repro.lowerbound.automaton` represents counters as explicit
+stochastic transition matrices (with builders for every counter in
+:mod:`repro.core`); :mod:`~repro.lowerbound.derandomize` performs step 1;
+:mod:`~repro.lowerbound.pumping` performs step 2; and
+:mod:`~repro.lowerbound.verify` packages the end-to-end Theorem 3.1 check
+used by experiment E6.
+"""
+
+from repro.lowerbound.automaton import (
+    CounterAutomaton,
+    exact_automaton,
+    morris_automaton,
+    simplified_ny_automaton,
+)
+from repro.lowerbound.derandomize import DeterministicCounter, derandomize
+from repro.lowerbound.pumping import PumpingWitness, find_pumping_witness
+from repro.lowerbound.verify import LowerBoundReport, verify_theorem_3_1
+
+__all__ = [
+    "CounterAutomaton",
+    "morris_automaton",
+    "simplified_ny_automaton",
+    "exact_automaton",
+    "DeterministicCounter",
+    "derandomize",
+    "PumpingWitness",
+    "find_pumping_witness",
+    "LowerBoundReport",
+    "verify_theorem_3_1",
+]

@@ -1,0 +1,218 @@
+"""Counters as explicit stochastic automata.
+
+§3 views an S-bit counter as a machine with at most ``2^S`` memory states,
+a (possibly random) initial state, a stochastic transition applied per
+increment, and a query map from states to outputs.  This module makes that
+view concrete:
+
+* :class:`CounterAutomaton` holds the transition matrix (rows = current
+  state, columns = next state), the initial distribution, and the query
+  values, and can compute exact state distributions after N increments.
+* Builders convert each library counter into its automaton, which is what
+  lets experiment E6 derandomize *the paper's own algorithms* and watch
+  them break, exactly as the proof predicts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.estimators import (
+    csuros_estimate,
+    morris_estimate,
+    subsample_estimate,
+)
+from repro.errors import ParameterError
+
+__all__ = [
+    "CounterAutomaton",
+    "morris_automaton",
+    "simplified_ny_automaton",
+    "csuros_automaton",
+    "exact_automaton",
+]
+
+
+@dataclass(frozen=True)
+class CounterAutomaton:
+    """An explicit finite randomized counter.
+
+    Attributes
+    ----------
+    transition:
+        ``(n_states, n_states)`` row-stochastic matrix; entry ``(i, j)``
+        is the probability an increment moves state i to state j.
+    initial:
+        Length-``n_states`` initial distribution.
+    query:
+        Length-``n_states`` array of query outputs per state.
+    label:
+        Human-readable description for reports.
+    """
+
+    transition: np.ndarray
+    initial: np.ndarray
+    query: np.ndarray
+    label: str = "automaton"
+
+    def __post_init__(self) -> None:
+        t, ini, q = self.transition, self.initial, self.query
+        if t.ndim != 2 or t.shape[0] != t.shape[1]:
+            raise ParameterError("transition must be a square matrix")
+        n = t.shape[0]
+        if ini.shape != (n,) or q.shape != (n,):
+            raise ParameterError("initial/query shapes must match transition")
+        if not np.allclose(t.sum(axis=1), 1.0, atol=1e-9):
+            raise ParameterError("transition rows must sum to 1")
+        if not math.isclose(float(ini.sum()), 1.0, abs_tol=1e-9):
+            raise ParameterError("initial distribution must sum to 1")
+
+    @property
+    def n_states(self) -> int:
+        """Number of memory states."""
+        return self.transition.shape[0]
+
+    @property
+    def state_bits(self) -> int:
+        """``ceil(log2(n_states))`` — the S of §3."""
+        return max(1, (self.n_states - 1).bit_length())
+
+    def distribution_after(self, n: int) -> np.ndarray:
+        """Exact state distribution after ``n`` increments.
+
+        Uses repeated squaring over the transition matrix, so large n cost
+        ``O(log n)`` matrix products.
+        """
+        if n < 0:
+            raise ParameterError(f"n must be non-negative, got {n}")
+        result = self.initial.copy()
+        power = self.transition
+        k = n
+        while k:
+            if k & 1:
+                result = result @ power
+            k >>= 1
+            if k:
+                power = power @ power
+        return result
+
+    def estimate_distribution(self, n: int) -> tuple[np.ndarray, np.ndarray]:
+        """(query values, their probabilities) after n increments."""
+        dist = self.distribution_after(n)
+        return self.query, dist
+
+    def failure_probability(self, n: int, epsilon: float) -> float:
+        """Exact ``P[|query - n| > ε n]`` after n increments."""
+        if n < 1:
+            raise ParameterError(f"n must be >= 1, got {n}")
+        dist = self.distribution_after(n)
+        bad = np.abs(self.query - n) > epsilon * n
+        return float(dist[bad].sum())
+
+
+def morris_automaton(a: float, x_cap: int) -> CounterAutomaton:
+    """Morris(a) truncated to states ``X ∈ [0, x_cap]``.
+
+    The cap state is absorbing (the real counter would leave it with
+    vanishing probability when the cap is sized to the workload).
+    """
+    if a <= 0.0:
+        raise ParameterError(f"a must be positive, got {a}")
+    if x_cap < 1:
+        raise ParameterError(f"x_cap must be >= 1, got {x_cap}")
+    n = x_cap + 1
+    t = np.zeros((n, n))
+    for x in range(n):
+        p = math.exp(-x * math.log1p(a))
+        if x < x_cap:
+            t[x, x + 1] = p
+            t[x, x] = 1.0 - p
+        else:
+            t[x, x] = 1.0
+    initial = np.zeros(n)
+    initial[0] = 1.0
+    query = np.array([morris_estimate(x, a) for x in range(n)])
+    return CounterAutomaton(t, initial, query, label=f"morris(a={a:g})")
+
+
+def simplified_ny_automaton(
+    resolution: int, t_cap: int
+) -> CounterAutomaton:
+    """The simplified-NY counter on states ``(y, t)``.
+
+    State index is ``t * 2s + y`` with ``y ∈ [0, 2s)``; the top rate's
+    last state absorbs (capacity exhausted).
+    """
+    if resolution < 1:
+        raise ParameterError(f"resolution must be >= 1, got {resolution}")
+    if t_cap < 0:
+        raise ParameterError(f"t_cap must be non-negative, got {t_cap}")
+    width = 2 * resolution
+    n = (t_cap + 1) * width
+
+    def index(y: int, t: int) -> int:
+        return t * width + y
+
+    t_matrix = np.zeros((n, n))
+    query = np.zeros(n)
+    for t in range(t_cap + 1):
+        rate = 2.0 ** -t
+        for y in range(width):
+            i = index(y, t)
+            query[i] = subsample_estimate(y, t)
+            if y < width - 1:
+                t_matrix[i, index(y + 1, t)] = rate
+                t_matrix[i, i] = 1.0 - rate
+            elif t < t_cap:
+                # Accepting at y = 2s - 1 folds to (s, t + 1).
+                t_matrix[i, index(resolution, t + 1)] = rate
+                t_matrix[i, i] = 1.0 - rate
+            else:
+                t_matrix[i, i] = 1.0
+    initial = np.zeros(n)
+    initial[index(0, 0)] = 1.0
+    return CounterAutomaton(
+        t_matrix,
+        initial,
+        query,
+        label=f"simplified_ny(s={resolution}, t_cap={t_cap})",
+    )
+
+
+def csuros_automaton(d: int, x_cap: int) -> CounterAutomaton:
+    """Csűrös counter truncated to ``X ∈ [0, x_cap]``."""
+    if d < 0:
+        raise ParameterError(f"d must be non-negative, got {d}")
+    if x_cap < 1:
+        raise ParameterError(f"x_cap must be >= 1, got {x_cap}")
+    n = x_cap + 1
+    t = np.zeros((n, n))
+    for x in range(n):
+        p = 2.0 ** -(x >> d)
+        if x < x_cap:
+            t[x, x + 1] = p
+            t[x, x] = 1.0 - p
+        else:
+            t[x, x] = 1.0
+    initial = np.zeros(n)
+    initial[0] = 1.0
+    query = np.array([float(csuros_estimate(x, d)) for x in range(n)])
+    return CounterAutomaton(t, initial, query, label=f"csuros(d={d})")
+
+
+def exact_automaton(cap: int) -> CounterAutomaton:
+    """The saturating exact counter on ``[0, cap]`` (deterministic)."""
+    if cap < 1:
+        raise ParameterError(f"cap must be >= 1, got {cap}")
+    n = cap + 1
+    t = np.zeros((n, n))
+    for v in range(cap):
+        t[v, v + 1] = 1.0
+    t[cap, cap] = 1.0
+    initial = np.zeros(n)
+    initial[0] = 1.0
+    query = np.arange(n, dtype=np.float64)
+    return CounterAutomaton(t, initial, query, label=f"exact(cap={cap})")

@@ -1,0 +1,97 @@
+"""Derandomization of a counter automaton (§3's first step).
+
+Given a randomized counter ``C`` on ``2^S`` states, ``C_det`` keeps the
+same query map but replaces the random initial state and every random
+transition by the most likely outcome, breaking ties toward the
+lexicographically smallest state — exactly the construction in the proof
+of Theorem 3.1.
+
+The proof's accounting: each derandomized step follows the randomized walk
+with probability at least ``2^{-S}``, so over ``N + 1`` steps the real
+walk follows ``C_det``'s path with probability at least ``2^{-S(N+1)}``,
+and conditioned on that path ``C_det``'s error probability is at most
+``δ · 2^{S(N+1)}``.  :meth:`DeterministicCounter.error_amplification`
+computes that factor so experiments can show where it stays below 1/3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.lowerbound.automaton import CounterAutomaton
+
+__all__ = ["DeterministicCounter", "derandomize"]
+
+
+@dataclass(frozen=True)
+class DeterministicCounter:
+    """The argmax-derandomized version of a counter automaton."""
+
+    next_state: np.ndarray  # int array: next_state[i] = transition argmax
+    initial_state: int
+    query: np.ndarray
+    label: str
+
+    @property
+    def n_states(self) -> int:
+        """Number of memory states."""
+        return len(self.next_state)
+
+    def state_after(self, n: int) -> int:
+        """State reached after ``n`` increments (cycle-accelerated).
+
+        A deterministic walk on a finite state set is eventually periodic
+        (tail ``μ``, cycle ``λ``); we detect the cycle once and answer any
+        n in O(1) afterwards — this is the "pumping" structure itself.
+        """
+        if n < 0:
+            raise ParameterError(f"n must be non-negative, got {n}")
+        tail, cycle = self._orbit()
+        if n < len(tail):
+            return tail[n]
+        return cycle[(n - len(tail)) % len(cycle)]
+
+    def estimate_after(self, n: int) -> float:
+        """Query output after ``n`` increments."""
+        return float(self.query[self.state_after(n)])
+
+    def _orbit(self) -> tuple[list[int], list[int]]:
+        """(tail states, cycle states) of the walk from the initial state."""
+        seen: dict[int, int] = {}
+        order: list[int] = []
+        state = self.initial_state
+        while state not in seen:
+            seen[state] = len(order)
+            order.append(state)
+            state = int(self.next_state[state])
+        start = seen[state]
+        return order[:start], order[start:]
+
+    def error_amplification(self, s_bits: int, n: int) -> float:
+        """The proof's amplification factor ``2^{S(N+1)}``.
+
+        ``C_det``'s error probability at count n is at most the randomized
+        counter's δ times this factor.
+        """
+        if s_bits < 1 or n < 0:
+            raise ParameterError("need s_bits >= 1 and n >= 0")
+        return 2.0 ** (s_bits * (n + 1))
+
+
+def derandomize(automaton: CounterAutomaton) -> DeterministicCounter:
+    """Build ``C_det`` from a randomized counter automaton.
+
+    ``np.argmax`` returns the first maximizer, which is the
+    lexicographically-smallest tie-break the paper specifies.
+    """
+    next_state = np.argmax(automaton.transition, axis=1).astype(np.int64)
+    initial = int(np.argmax(automaton.initial))
+    return DeterministicCounter(
+        next_state=next_state,
+        initial_state=initial,
+        query=automaton.query.copy(),
+        label=f"det({automaton.label})",
+    )

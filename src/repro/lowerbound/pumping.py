@@ -1,0 +1,86 @@
+"""The pumping argument (§3's second step).
+
+A deterministic counter on few states must revisit a state among the
+counts ``0..⌊T/2⌋``; say it is in the same state after ``N₁`` and ``N₂``
+increments (``N₁ < N₂``).  Determinism then forces the same state after
+``N₁ + k(N₂ − N₁)`` increments for every k, and some such count ``N₃``
+lands in ``[2T, 4T]`` (possible because ``N₂ − N₁ ≤ T/2 < 2T``).  The
+counter answers identically at ``N₁ ≤ T/2`` and ``N₃ ≥ 2T``, so it cannot
+be a correct (even 2-approximate) counter on both.
+
+:func:`find_pumping_witness` produces the explicit ``(N₁, N₂, N₃)``
+witness, or reports that no collision exists (which requires more than
+``T/2`` states — the content of the ``Ω(log T)`` bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+from repro.lowerbound.derandomize import DeterministicCounter
+
+__all__ = ["PumpingWitness", "find_pumping_witness"]
+
+
+@dataclass(frozen=True, slots=True)
+class PumpingWitness:
+    """An explicit indistinguishable pair of counts.
+
+    ``state`` is the shared memory state; the counter's answer at
+    ``n_small`` and ``n_large`` is necessarily identical, yet a correct
+    counter must separate ``n_small ≤ T/2`` from ``n_large ∈ [2T, 4T]``.
+    """
+
+    n_small: int
+    n_collide: int
+    n_large: int
+    state: int
+    query_value: float
+
+    @property
+    def period(self) -> int:
+        """The pumping period ``N₂ − N₁``."""
+        return self.n_collide - self.n_small
+
+
+def find_pumping_witness(
+    counter: DeterministicCounter, t_param: int
+) -> PumpingWitness | None:
+    """Find ``N₁ < N₂ ≤ T/2`` colliding and pump to ``N₃ ∈ [2T, 4T]``.
+
+    Returns ``None`` when no state repeats within ``0..⌊T/2⌋`` — i.e. the
+    counter has enough states to survive this T (as the exact counter
+    does whenever its register covers T/2).
+    """
+    if t_param < 4:
+        raise ParameterError(f"t_param must be >= 4, got {t_param}")
+    half = t_param // 2
+    seen: dict[int, int] = {}
+    state = counter.initial_state
+    n1 = n2 = None
+    for n in range(half + 1):
+        if state in seen:
+            n1, n2 = seen[state], n
+            break
+        seen[state] = n
+        state = int(counter.next_state[state])
+    if n1 is None or n2 is None:
+        return None
+    period = n2 - n1
+    # Smallest k with N1 + k*period >= 2T; since period <= T/2, the value
+    # N1 + k*period then also lies within [2T, 2T + T/2] ⊆ [2T, 4T].
+    k = -(-(2 * t_param - n1) // period)
+    n3 = n1 + k * period
+    if not 2 * t_param <= n3 <= 4 * t_param:
+        raise ParameterError(
+            f"internal error: pumped count {n3} outside [2T, 4T]"
+        )
+    shared_state = counter.state_after(n1)
+    return PumpingWitness(
+        n_small=n1,
+        n_collide=n2,
+        n_large=n3,
+        state=shared_state,
+        query_value=float(counter.query[shared_state]),
+    )

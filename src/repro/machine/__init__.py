@@ -1,0 +1,38 @@
+"""Finite-register execution model (Remark 2.2's automaton view).
+
+Remark 2.2 observes that in models of computation other than word RAM —
+a finite automaton or branching program — only the variables ``X, Y``
+constitute program state, and the ``Bernoulli(α)`` draw is realized by at
+most ``t`` physical coin flips.  This package makes that model executable:
+
+* :mod:`~repro.machine.registers` — :class:`BoundedRegister`, a register
+  with a *hard* width: any operation whose result does not fit raises
+  :class:`~repro.errors.BudgetError`.  A machine built from bounded
+  registers cannot silently use more space than it declares.
+* :mod:`~repro.machine.counters` — the paper's counters re-implemented as
+  register machines: :class:`Morris2Machine` (Morris(1): accept by X coin
+  flips), :class:`SimplifiedNYMachine`, and :class:`NelsonYuMachine`
+  (Algorithm 1 with state registers X, Y, t).
+
+The machines consume randomness through the same
+:class:`~repro.rng.bitstream.BitBudgetedRandom` primitives as the
+:mod:`repro.core` counters, so the test suite can drive a machine and a
+counter from identical bit streams and require *state-identical*
+trajectories — the strongest possible equivalence between the abstract
+algorithm and its finite implementation.
+"""
+
+from repro.machine.counters import (
+    Morris2Machine,
+    NelsonYuMachine,
+    SimplifiedNYMachine,
+)
+from repro.machine.registers import BoundedRegister, RegisterFile
+
+__all__ = [
+    "BoundedRegister",
+    "RegisterFile",
+    "Morris2Machine",
+    "SimplifiedNYMachine",
+    "NelsonYuMachine",
+]

@@ -1,0 +1,271 @@
+"""The paper's counters as finite register machines.
+
+Each machine's mutable state lives exclusively in
+:class:`~repro.machine.registers.BoundedRegister` objects, so space usage
+is *declared up front* and enforced on every write; each increment
+consumes randomness only through fair coin flips
+(:meth:`~repro.rng.bitstream.BitBudgetedRandom.bernoulli_pow2`), exactly
+as Remark 2.2 prescribes.
+
+Equivalence with the abstract counters: :class:`SimplifiedNYMachine` and
+:class:`NelsonYuMachine` draw randomness through the *same* primitive in
+the same order as their :mod:`repro.core` twins, so driving both from one
+seed yields identical state trajectories — checked step for step by
+``tests/machine/test_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.params import (
+    DEFAULT_CHERNOFF_C,
+    morris_x_capacity,
+    nelson_yu_alpha_raw,
+    nelson_yu_x0,
+    validate_epsilon_delta,
+)
+from repro.errors import BudgetError, ParameterError
+from repro.machine.registers import BoundedRegister, RegisterFile
+from repro.rng.bernoulli import DyadicProbability
+from repro.rng.bitstream import BitBudgetedRandom
+
+__all__ = ["Morris2Machine", "SimplifiedNYMachine", "NelsonYuMachine"]
+
+
+class Morris2Machine:
+    """Morris(1) as a finite automaton.
+
+    The accept decision at state X is made by flipping X fair coins and
+    accepting iff all are heads — probability exactly ``2^-X``, no real
+    arithmetic anywhere.
+
+    Parameters
+    ----------
+    x_width:
+        Register width for X.  ``for_stream`` sizes it for a workload.
+    """
+
+    def __init__(self, x_width: int, rng: BitBudgetedRandom) -> None:
+        self._x = BoundedRegister("X", x_width)
+        self._file = RegisterFile(self._x)
+        self._rng = rng
+
+    @classmethod
+    def for_stream(
+        cls, n_max: int, rng: BitBudgetedRandom, headroom: float = 4.0
+    ) -> "Morris2Machine":
+        """Size the X register for streams up to ``n_max``."""
+        capacity = morris_x_capacity(1.0, n_max, headroom)
+        return cls(max(1, capacity.bit_length()), rng)
+
+    @property
+    def x(self) -> int:
+        """Current state X."""
+        return self._x.value
+
+    @property
+    def state_bits(self) -> int:
+        """Declared state size."""
+        return self._file.total_bits
+
+    def increment(self) -> None:
+        """One increment: X coin flips, advance on all-heads."""
+        if self._rng.bernoulli_pow2(self._x.value):
+            self._x.increment()
+
+    def estimate(self) -> float:
+        """``2^X - 1`` (the query may use transient word-RAM registers)."""
+        return float((1 << self._x.value) - 1)
+
+
+class SimplifiedNYMachine:
+    """The simplified (Figure 1) counter as a register machine.
+
+    State: a ``Y`` register of width ``log2(2s)`` and a ``t`` register of
+    width ``bits(t_max)``.  Mirrors
+    :class:`~repro.core.simplified_ny.SimplifiedNYCounter` increment for
+    increment.
+    """
+
+    def __init__(
+        self, resolution: int, t_max: int, rng: BitBudgetedRandom
+    ) -> None:
+        if resolution < 1:
+            raise ParameterError(f"resolution must be >= 1, got {resolution}")
+        if t_max < 0:
+            raise ParameterError(f"t_max must be non-negative, got {t_max}")
+        self._resolution = resolution
+        self._y = BoundedRegister(
+            "Y", max(1, (2 * resolution - 1).bit_length())
+        )
+        self._t = BoundedRegister("t", max(1, t_max.bit_length()))
+        self._t_max = t_max
+        self._file = RegisterFile(self._y, self._t)
+        self._rng = rng
+
+    @property
+    def y(self) -> int:
+        """Current Y."""
+        return self._y.value
+
+    @property
+    def t(self) -> int:
+        """Current sampling exponent."""
+        return self._t.value
+
+    @property
+    def state_bits(self) -> int:
+        """Declared state size (``log2(2s) + bits(t_max)``)."""
+        return self._file.total_bits
+
+    def increment(self) -> None:
+        """One increment: t coin flips; halve at Y = 2s."""
+        if not self._rng.bernoulli_pow2(self._t.value):
+            return
+        new_y = self._y.value + 1
+        if new_y >= 2 * self._resolution:
+            # Halve: Y <- s via shift, t <- t + 1 (overflow-checked, and
+            # additionally guarded against the configured cap).
+            if self._t.value >= self._t_max:
+                raise BudgetError(
+                    f"machine capacity exhausted at t_max={self._t_max}"
+                )
+            self._y.store(new_y >> 1)
+            self._t.increment()
+        else:
+            self._y.store(new_y)
+
+    def estimate(self) -> float:
+        """``Y * 2^t`` (query-time transient arithmetic)."""
+        return float(self._y.value << self._t.value)
+
+
+class NelsonYuMachine:
+    """Algorithm 1 as a register machine (the Remark 2.2 implementation).
+
+    State registers: ``X`` (epoch exponent), ``Y`` (sampled count), ``t``
+    (sampling exponent with ``α = 2^-t``).  The threshold ``T =
+    ceil((1+ε)^X)`` and the new α after an epoch advance are recomputed in
+    transient registers — they never persist, exactly as the remark
+    prescribes.  δ is supplied as the exponent ∆; ε and C parameterize the
+    transition function.
+
+    Register widths are derived by walking the *deterministic* epoch
+    schedule up to the X needed for ``n_max`` — the schedule (thresholds
+    and t values) depends only on the parameters, not on coin flips.
+    """
+
+    def __init__(
+        self,
+        epsilon: float,
+        delta_exponent: int,
+        n_max: int,
+        rng: BitBudgetedRandom,
+        chernoff_c: float = DEFAULT_CHERNOFF_C,
+        x_slack: int = 32,
+    ) -> None:
+        delta = 2.0 ** -delta_exponent
+        validate_epsilon_delta(epsilon, delta)
+        if n_max < 1:
+            raise ParameterError(f"n_max must be >= 1, got {n_max}")
+        self._epsilon = epsilon
+        self._delta = delta
+        self._chernoff_c = chernoff_c
+        self._log1pe = math.log1p(epsilon)
+        self._x0 = nelson_yu_x0(epsilon, delta, chernoff_c)
+
+        x_needed, y_needed, t_needed = self._walk_schedule(n_max, x_slack)
+        self._x = BoundedRegister(
+            "X", max(1, x_needed.bit_length()), value=self._x0
+        )
+        self._y = BoundedRegister("Y", max(1, y_needed.bit_length()))
+        self._t = BoundedRegister("t", max(1, max(1, t_needed).bit_length()))
+        self._file = RegisterFile(self._x, self._y, self._t)
+        self._rng = rng
+        self._threshold = self._compute_threshold(self._x0)
+
+    def _walk_schedule(self, n_max: int, x_slack: int) -> tuple[int, int, int]:
+        """Largest X, Y, t reachable for streams up to ``n_max``.
+
+        X concentrates at ``log_{1+ε} n`` (Theorem 2.3's tail makes the
+        slack astronomically safe); Y is bounded by each epoch's trigger
+        value; t follows the deterministic schedule.
+        """
+        x_cap = (
+            max(
+                self._x0,
+                math.ceil(math.log(max(2, n_max)) / self._log1pe),
+            )
+            + x_slack
+        )
+        y_cap, t_value = 0, 0
+        for x in range(self._x0, x_cap + 1):
+            threshold = self._compute_threshold(x)
+            if x > self._x0:
+                alpha_raw = nelson_yu_alpha_raw(
+                    self._epsilon,
+                    self._delta,
+                    self._chernoff_c,
+                    x,
+                    threshold,
+                )
+                t_value = max(
+                    t_value, DyadicProbability.at_least(alpha_raw).t
+                )
+            y_cap = max(y_cap, (threshold >> t_value) + 1)
+        return x_cap, y_cap, t_value
+
+    def _compute_threshold(self, x: int) -> int:
+        return math.ceil(math.exp(x * self._log1pe))
+
+    @property
+    def x(self) -> int:
+        """Current X."""
+        return self._x.value
+
+    @property
+    def y(self) -> int:
+        """Current Y."""
+        return self._y.value
+
+    @property
+    def t(self) -> int:
+        """Current sampling exponent."""
+        return self._t.value
+
+    @property
+    def state_bits(self) -> int:
+        """Declared state size across the X, Y, t registers."""
+        return self._file.total_bits
+
+    def increment(self) -> None:
+        """One increment of Algorithm 1, coin flips only."""
+        if not self._rng.bernoulli_pow2(self._t.value):
+            return
+        self._y.increment()
+        while (self._y.value << self._t.value) > self._threshold:
+            self._advance_epoch()
+
+    def _advance_epoch(self) -> None:
+        """Lines 8-12, with all derived quantities transient."""
+        self._x.increment()
+        self._threshold = self._compute_threshold(self._x.value)
+        alpha_raw = nelson_yu_alpha_raw(
+            self._epsilon,
+            self._delta,
+            self._chernoff_c,
+            self._x.value,
+            self._threshold,
+        )
+        t_new = max(
+            self._t.value, DyadicProbability.at_least(alpha_raw).t
+        )
+        self._y.shift_right(t_new - self._t.value)
+        self._t.store(t_new)
+
+    def estimate(self) -> float:
+        """Query(): Y exactly in epoch 0, T afterwards."""
+        if self._x.value == self._x0:
+            return float(self._y.value)
+        return float(self._threshold)

@@ -1,0 +1,108 @@
+"""Width-enforced registers.
+
+A :class:`BoundedRegister` stores an unsigned integer in a declared number
+of bits and refuses — by raising :class:`~repro.errors.BudgetError` — any
+write that does not fit.  Machines composed of bounded registers therefore
+*prove by execution* that they respect their declared space budget; the
+tests drive them through millions of increments and any silent overflow
+would surface immediately.
+"""
+
+from __future__ import annotations
+
+from repro.errors import BudgetError, ParameterError
+
+__all__ = ["BoundedRegister", "RegisterFile"]
+
+
+class BoundedRegister:
+    """An unsigned register of a fixed bit width.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in error messages.
+    width:
+        Bit width; values must stay in ``[0, 2**width)``.
+    """
+
+    __slots__ = ("name", "width", "_value")
+
+    def __init__(self, name: str, width: int, value: int = 0) -> None:
+        if width < 1:
+            raise ParameterError(f"register width must be >= 1, got {width}")
+        self.name = name
+        self.width = width
+        self._value = 0
+        self.store(value)
+
+    @property
+    def value(self) -> int:
+        """Current contents."""
+        return self._value
+
+    @property
+    def capacity(self) -> int:
+        """Largest storable value, ``2**width - 1``."""
+        return (1 << self.width) - 1
+
+    def store(self, value: int) -> None:
+        """Write ``value``; raises :class:`BudgetError` on overflow."""
+        if value < 0:
+            raise BudgetError(
+                f"register {self.name}: negative value {value}"
+            )
+        if value > self.capacity:
+            raise BudgetError(
+                f"register {self.name} ({self.width} bits) cannot hold "
+                f"{value}"
+            )
+        self._value = value
+
+    def increment(self, amount: int = 1) -> None:
+        """Add ``amount`` with overflow checking."""
+        self.store(self._value + amount)
+
+    def shift_right(self, bits: int) -> None:
+        """Logical right shift (never overflows)."""
+        if bits < 0:
+            raise ParameterError(f"shift must be non-negative, got {bits}")
+        self._value >>= bits
+
+    def clear(self) -> None:
+        """Reset to zero."""
+        self._value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"BoundedRegister({self.name}={self._value}/{self.width}b)"
+
+
+class RegisterFile:
+    """A named collection of bounded registers with a total budget."""
+
+    def __init__(self, *registers: BoundedRegister) -> None:
+        names = [r.name for r in registers]
+        if len(set(names)) != len(names):
+            raise ParameterError(f"duplicate register names in {names}")
+        self._registers = {r.name: r for r in registers}
+
+    def __getitem__(self, name: str) -> BoundedRegister:
+        try:
+            return self._registers[name]
+        except KeyError:
+            raise ParameterError(f"no register named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._registers
+
+    def __iter__(self):
+        return iter(self._registers.values())
+
+    @property
+    def total_bits(self) -> int:
+        """Sum of declared register widths (the machine's state size)."""
+        return sum(r.width for r in self._registers.values())
+
+    def snapshot(self) -> dict[str, int]:
+        """Current contents of every register."""
+        return {name: r.value for name, r in self._registers.items()}

@@ -1,0 +1,21 @@
+"""Bit-level space accounting.
+
+The paper's subject is the number of bits of *program state* a counter must
+maintain (Remark 2.2 distinguishes this from transient word-RAM registers
+used while processing an update).  This package provides:
+
+* :mod:`~repro.memory.model` — the cost model: how many bits an integer
+  field occupies, and the two accounting conventions (automaton state only
+  vs. word-RAM including stored parameter exponents).
+* :mod:`~repro.memory.tracker` — a running tracker that counters call after
+  every state change, so experiments can report the *maximum* space used
+  over a stream (space is a random variable in Theorems 1.1 and 2.3).
+* :mod:`~repro.memory.accounting` — cross-trial aggregation: histograms and
+  quantiles of max-space over many runs.
+"""
+
+from repro.memory.model import SpaceModel, uint_bits
+from repro.memory.tracker import SpaceTracker
+from repro.memory.accounting import SpaceHistogram
+
+__all__ = ["SpaceModel", "uint_bits", "SpaceTracker", "SpaceHistogram"]

@@ -1,0 +1,87 @@
+"""Cross-trial space statistics.
+
+Experiments E3/E4 run a counter many times and need the distribution of its
+maximum space usage: Theorem 2.3 predicts a doubly-exponential tail
+``P(M > S) < exp(-exp(C·S))``, so the histogram should be extremely
+concentrated.  :class:`SpaceHistogram` aggregates per-trial maxima and
+reports quantiles and tail mass above a threshold.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.errors import ParameterError
+
+__all__ = ["SpaceHistogram", "SpaceSummary"]
+
+
+@dataclass(frozen=True, slots=True)
+class SpaceSummary:
+    """Summary statistics of max-space over a set of trials."""
+
+    trials: int
+    min_bits: int
+    max_bits: int
+    mean_bits: float
+    p50_bits: int
+    p99_bits: int
+
+    def __str__(self) -> str:
+        return (
+            f"trials={self.trials} min={self.min_bits}b "
+            f"p50={self.p50_bits}b p99={self.p99_bits}b "
+            f"max={self.max_bits}b mean={self.mean_bits:.2f}b"
+        )
+
+
+@dataclass(slots=True)
+class SpaceHistogram:
+    """Histogram of per-trial maximum state sizes (in bits)."""
+
+    counts: Counter = field(default_factory=Counter)
+    trials: int = 0
+
+    def add(self, max_bits: int) -> None:
+        """Record the maximum space of one completed trial."""
+        if max_bits < 0:
+            raise ParameterError(f"max_bits must be non-negative, got {max_bits}")
+        self.counts[max_bits] += 1
+        self.trials += 1
+
+    def quantile(self, q: float) -> int:
+        """Smallest bit value ``b`` with at least a ``q`` fraction of trials ``<= b``."""
+        if not 0.0 <= q <= 1.0:
+            raise ParameterError(f"quantile must be in [0, 1], got {q}")
+        if self.trials == 0:
+            raise ParameterError("no trials recorded")
+        needed = math.ceil(q * self.trials)
+        running = 0
+        for bits in sorted(self.counts):
+            running += self.counts[bits]
+            if running >= needed:
+                return bits
+        return max(self.counts)
+
+    def tail_fraction(self, threshold_bits: int) -> float:
+        """Fraction of trials whose max space exceeded ``threshold_bits``."""
+        if self.trials == 0:
+            raise ParameterError("no trials recorded")
+        above = sum(c for bits, c in self.counts.items() if bits > threshold_bits)
+        return above / self.trials
+
+    def summary(self) -> SpaceSummary:
+        """Return summary statistics over all recorded trials."""
+        if self.trials == 0:
+            raise ParameterError("no trials recorded")
+        total_bits = sum(bits * c for bits, c in self.counts.items())
+        return SpaceSummary(
+            trials=self.trials,
+            min_bits=min(self.counts),
+            max_bits=max(self.counts),
+            mean_bits=total_bits / self.trials,
+            p50_bits=self.quantile(0.5),
+            p99_bits=self.quantile(0.99),
+        )

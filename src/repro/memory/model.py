@@ -1,0 +1,58 @@
+"""Space cost model for counter state.
+
+Two accounting conventions, per Remark 2.2 of the paper:
+
+* ``AUTOMATON``: only the variables that change during execution count
+  (e.g. ``X`` and ``Y`` for Algorithm 1; ``X`` for Morris).  Program
+  constants such as ε or ∆ live in the transition function of the automaton
+  and cost nothing.
+* ``WORD_RAM``: stored parameter *state* also counts — for Algorithm 1 the
+  exponent ``t`` of the sampling rate ``α = 2**-t`` is genuinely mutable
+  state and costs ``O(log t)`` bits.  Immutable inputs (ε as a rational,
+  ∆ with δ = 2**-∆) are still excluded, as the paper prescribes: they are
+  inputs, not state.
+
+The difference between the two conventions is ``O(log log (N ε³))`` bits
+and never changes any asymptotic conclusion; experiments report the
+convention they use.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import ParameterError
+
+__all__ = ["SpaceModel", "uint_bits"]
+
+
+class SpaceModel(enum.Enum):
+    """Which fields count toward a counter's reported state size."""
+
+    #: Count only execution-mutable variables (X, Y, ...).
+    AUTOMATON = "automaton"
+    #: Additionally count mutable parameter exponents (t with α = 2**-t).
+    WORD_RAM = "word_ram"
+
+
+def uint_bits(value: int) -> int:
+    """Bits needed to store the non-negative integer ``value``.
+
+    Zero occupies one bit (a register must exist to be read).  This is the
+    standard ``max(1, ceil(log2(value + 1)))``.
+    """
+    if value < 0:
+        raise ParameterError(f"value must be non-negative, got {value}")
+    return max(1, value.bit_length())
+
+
+def uint_capacity_bits(max_value: int) -> int:
+    """Bits of a fixed-width register able to hold any value in ``[0, max_value]``."""
+    if max_value < 0:
+        raise ParameterError(f"max_value must be non-negative, got {max_value}")
+    return max(1, max_value.bit_length())
+
+
+def fields_bits(*values: int) -> int:
+    """Total bits of several independently-stored unsigned fields."""
+    return sum(uint_bits(v) for v in values)

@@ -1,0 +1,47 @@
+"""Running maximum-space tracker.
+
+Theorems 1.1 and 2.3 bound the *random variable* "bits of memory used";
+what matters operationally is the maximum over the whole stream (a counter
+that briefly needed 40 bits needed a 40-bit register).  Counters call
+:meth:`SpaceTracker.observe` after every state change; experiments read
+:attr:`SpaceTracker.max_bits`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParameterError
+
+__all__ = ["SpaceTracker"]
+
+
+class SpaceTracker:
+    """Tracks the current and maximum state size of one counter."""
+
+    __slots__ = ("current_bits", "max_bits", "observations")
+
+    def __init__(self) -> None:
+        self.current_bits = 0
+        self.max_bits = 0
+        #: Number of observations recorded (state changes, not increments).
+        self.observations = 0
+
+    def observe(self, bits: int) -> None:
+        """Record that the counter's state currently occupies ``bits``."""
+        if bits < 0:
+            raise ParameterError(f"bits must be non-negative, got {bits}")
+        self.current_bits = bits
+        if bits > self.max_bits:
+            self.max_bits = bits
+        self.observations += 1
+
+    def reset(self) -> None:
+        """Forget all observations."""
+        self.current_bits = 0
+        self.max_bits = 0
+        self.observations = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SpaceTracker(current={self.current_bits}, "
+            f"max={self.max_bits}, n={self.observations})"
+        )

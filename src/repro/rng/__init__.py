@@ -1,0 +1,35 @@
+"""Bit-budgeted randomness substrate.
+
+The counters in :mod:`repro.core` are *space-bounded streaming algorithms*:
+the paper's Remark 2.2 is explicit that a ``Bernoulli(2^-t)`` draw should be
+realised by flipping ``t`` fair coins and AND-ing them, because that is what
+a machine with ``O(log t)`` bits of transient state can afford.  This
+package provides:
+
+* :class:`~repro.rng.splitmix.SplitMix64` and
+  :class:`~repro.rng.splitmix.Xoshiro256StarStar` — small, fast,
+  deterministic pseudo-random generators implemented from scratch (no
+  dependency on :mod:`random` internals), with splittable seeding so every
+  counter in a large bank gets an independent stream.
+* :class:`~repro.rng.bitstream.BitBudgetedRandom` — the random source used
+  by every counter.  It meters *every random bit consumed*, which lets the
+  experiments report randomness budgets alongside space budgets.
+* :mod:`~repro.rng.bernoulli` / :mod:`~repro.rng.geometric` — exact
+  Bernoulli and geometric sampling primitives.
+* :mod:`~repro.rng.skip` — a distribution-exact fast-forward engine: while a
+  counter's accept probability is constant, the gap to the next accepted
+  increment is geometric, so ``add(n)`` can jump over millions of rejected
+  increments without simulating them one by one.
+"""
+
+from repro.rng.bitstream import BitBudgetedRandom
+from repro.rng.splitmix import SplitMix64, Xoshiro256StarStar, derive_seed
+from repro.rng.skip import GeometricSkipper
+
+__all__ = [
+    "BitBudgetedRandom",
+    "SplitMix64",
+    "Xoshiro256StarStar",
+    "GeometricSkipper",
+    "derive_seed",
+]

@@ -1,0 +1,82 @@
+"""Standalone Bernoulli sampling helpers.
+
+These free functions mirror the methods on
+:class:`~repro.rng.bitstream.BitBudgetedRandom` for callers that hold a
+source and a probability description rather than a float.  The key type
+here is :class:`DyadicProbability`, the probability representation
+prescribed by Remark 2.2: the algorithm never stores a real number α, only
+the integer ``t`` with ``α = 2**-t``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+from repro.rng.bitstream import BitBudgetedRandom
+
+__all__ = ["DyadicProbability", "sample_bernoulli"]
+
+
+@dataclass(frozen=True, slots=True)
+class DyadicProbability:
+    """The probability ``2**-t``, stored as the integer exponent ``t``.
+
+    This is how Algorithm 1 stores its sampling rate α (Remark 2.2):
+    rounding a real rate *up* to the nearest inverse power of two keeps the
+    Chernoff argument valid (correctness only needs α at least the computed
+    value) while making the stored state a ``log log(1/α)``-bit integer.
+    """
+
+    t: int
+
+    def __post_init__(self) -> None:
+        if self.t < 0:
+            raise ParameterError(f"exponent must be non-negative, got {self.t}")
+
+    @classmethod
+    def at_least(cls, p: float) -> "DyadicProbability":
+        """Smallest dyadic probability ``2**-t`` that is ``>= p``.
+
+        ``p`` must lie in ``(0, 1]``.  This implements the "round α up"
+        step of Remark 2.2.
+        """
+        if not 0.0 < p <= 1.0:
+            raise ParameterError(f"probability must be in (0, 1], got {p}")
+        # Largest t with 2**-t >= p, i.e. t = floor(log2(1/p)).
+        t = int(math.floor(-math.log2(p)))
+        t = max(t, 0)
+        # Guard against floating-point edge cases on exact powers of two.
+        while 2.0 ** -t < p:
+            t -= 1
+        while t + 1 >= 0 and 2.0 ** -(t + 1) >= p:
+            t += 1
+        return cls(t)
+
+    @property
+    def value(self) -> float:
+        """The probability as a float."""
+        return 2.0 ** -self.t
+
+    def storage_bits(self) -> int:
+        """Bits needed to store the exponent ``t`` itself."""
+        return max(1, self.t.bit_length())
+
+    def sample(self, rng: BitBudgetedRandom) -> bool:
+        """Draw one Bernoulli variate with the coin-AND protocol."""
+        return rng.bernoulli_pow2(self.t)
+
+    def __float__(self) -> float:
+        return self.value
+
+
+def sample_bernoulli(rng: BitBudgetedRandom, p) -> bool:
+    """Sample a Bernoulli variate from ``p``.
+
+    ``p`` may be a float in ``[0, 1]`` or a :class:`DyadicProbability`;
+    dyadic probabilities use the bit-exact coin protocol.
+    """
+    if isinstance(p, DyadicProbability):
+        return p.sample(rng)
+    return rng.bernoulli(float(p))

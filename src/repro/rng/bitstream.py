@@ -1,0 +1,198 @@
+"""A random source that meters every random bit it hands out.
+
+:class:`BitBudgetedRandom` is the only random source used by counters and
+experiments.  Beyond determinism (explicit seeds everywhere), it accounts
+for the number of random bits consumed, which mirrors the paper's concern
+for resource-bounded computation: Remark 2.2 describes how ``Bernoulli(α)``
+with ``α = 2^-t`` is realized with ``t`` fair coin flips and ``O(log t)``
+transient bits.
+
+Accounting conventions
+----------------------
+* ``coin()`` and ``getbits(k)`` consume exactly 1 and ``k`` bits.
+* ``bernoulli_pow2(t)`` uses the early-exit coin protocol: it stops at the
+  first tails, so it consumes ``min(geometric, t)`` bits (2 in expectation).
+* ``uniform53()`` and the floating-point samplers consume 53 bits.
+
+Words from the underlying 64-bit generator are buffered so no entropy is
+discarded between calls.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ParameterError
+from repro.rng.splitmix import Xoshiro256StarStar, derive_seed
+
+__all__ = ["BitBudgetedRandom"]
+
+
+class BitBudgetedRandom:
+    """Deterministic, bit-metered source of randomness.
+
+    Parameters
+    ----------
+    seed:
+        Integer seed.  Two instances with the same seed produce identical
+        streams.
+    """
+
+    __slots__ = ("_gen", "_seed", "_buffer", "_buffer_len", "bits_consumed")
+
+    def __init__(self, seed: int) -> None:
+        self._seed = seed
+        self._gen = Xoshiro256StarStar(seed)
+        self._buffer = 0
+        self._buffer_len = 0
+        #: Total number of random bits handed out so far.
+        self.bits_consumed = 0
+
+    # ------------------------------------------------------------------
+    # stream management
+    # ------------------------------------------------------------------
+    @property
+    def seed(self) -> int:
+        """The seed this source was created with."""
+        return self._seed
+
+    def split(self, *keys: int) -> "BitBudgetedRandom":
+        """Return an independent child source derived from ``keys``.
+
+        The child's stream depends only on this source's seed and the key
+        tuple, not on how much of this stream has been consumed, so
+        experiment code can split reproducibly regardless of call order.
+        """
+        return BitBudgetedRandom(derive_seed(self._seed, *keys))
+
+    # ------------------------------------------------------------------
+    # raw bits
+    # ------------------------------------------------------------------
+    def getbits(self, k: int) -> int:
+        """Return ``k`` random bits as an integer in ``[0, 2**k)``."""
+        if k < 0:
+            raise ParameterError(f"bit count must be non-negative, got {k}")
+        if k == 0:
+            return 0
+        while self._buffer_len < k:
+            self._buffer |= self._gen.next64() << self._buffer_len
+            self._buffer_len += 64
+        value = self._buffer & ((1 << k) - 1)
+        self._buffer >>= k
+        self._buffer_len -= k
+        self.bits_consumed += k
+        return value
+
+    def coin(self) -> bool:
+        """Flip one fair coin (consumes exactly one bit)."""
+        return bool(self.getbits(1))
+
+    # ------------------------------------------------------------------
+    # distributions
+    # ------------------------------------------------------------------
+    def uniform53(self) -> float:
+        """Return a uniform float in ``[0, 1)`` with 53 random bits."""
+        return self.getbits(53) * (2.0 ** -53)
+
+    def uniform_open(self) -> float:
+        """Return a uniform float in the *open* interval ``(0, 1)``.
+
+        Useful for inverse-CDF sampling where ``log(0)`` must be avoided:
+        the all-zeros draw maps to ``2**-54``.
+        """
+        u = self.uniform53()
+        if u == 0.0:
+            return 2.0 ** -54
+        return u
+
+    def bernoulli_pow2(self, t: int) -> bool:
+        """Sample ``Bernoulli(2**-t)`` with the coin-AND protocol.
+
+        Flips at most ``t`` fair coins and returns ``True`` iff all came up
+        heads — exactly the procedure of Remark 2.2.  Early exit on the
+        first tails keeps the expected bit cost below 2 regardless of ``t``.
+        """
+        if t < 0:
+            raise ParameterError(f"t must be non-negative, got {t}")
+        for _ in range(t):
+            if not self.coin():
+                return False
+        return True
+
+    def bernoulli(self, p: float) -> bool:
+        """Sample ``Bernoulli(p)`` for arbitrary ``p`` in ``[0, 1]``.
+
+        Uses a single 53-bit uniform.  Exact dyadic probabilities should
+        prefer :meth:`bernoulli_pow2`, which is cheaper and bit-exact.
+        """
+        if not 0.0 <= p <= 1.0:
+            raise ParameterError(f"probability must be in [0, 1], got {p}")
+        if p == 0.0:
+            return False
+        if p == 1.0:
+            return True
+        return self.uniform53() < p
+
+    def geometric(self, p: float) -> int:
+        """Sample a geometric variable on ``{1, 2, ...}`` with success ``p``.
+
+        ``P[G = l] = (1 - p)^(l-1) * p`` — the waiting time until the first
+        success of a ``Bernoulli(p)`` sequence, matching the paper's
+        ``Z_i`` variables in §2.2.  Sampling is by inverse CDF on a 53-bit
+        open uniform: ``G = floor(log(U) / log(1 - p)) + 1``.
+        """
+        if not 0.0 < p <= 1.0:
+            raise ParameterError(f"probability must be in (0, 1], got {p}")
+        if p == 1.0:
+            return 1
+        u = self.uniform_open()
+        # log1p(-p) is the numerically-stable log(1 - p); always < 0 here.
+        g = int(math.log(u) / math.log1p(-p)) + 1
+        return max(g, 1)
+
+    def geometric_pow2(self, t: int) -> int:
+        """Geometric waiting time for success probability ``2**-t``.
+
+        Dyadic-exact counterpart of :meth:`geometric`: repeatedly runs the
+        coin-AND protocol of :meth:`bernoulli_pow2` — but implemented by
+        inverse CDF for speed when ``t`` is large, falling back to the
+        bit-exact protocol for small ``t`` (where it is cheap *and* exact).
+        """
+        if t < 0:
+            raise ParameterError(f"t must be non-negative, got {t}")
+        if t == 0:
+            return 1
+        if t <= 4:
+            count = 1
+            while not self.bernoulli_pow2(t):
+                count += 1
+            return count
+        return self.geometric(2.0 ** -t)
+
+    def randint_below(self, n: int) -> int:
+        """Return a uniform integer in ``[0, n)`` by rejection sampling."""
+        if n <= 0:
+            raise ParameterError(f"n must be positive, got {n}")
+        k = max(1, (n - 1).bit_length())
+        while True:
+            value = self.getbits(k)
+            if value < n:
+                return value
+
+    def randint(self, lo: int, hi: int) -> int:
+        """Return a uniform integer in the inclusive range ``[lo, hi]``."""
+        if hi < lo:
+            raise ParameterError(f"empty range [{lo}, {hi}]")
+        return lo + self.randint_below(hi - lo + 1)
+
+    def shuffle(self, items: list) -> None:
+        """Shuffle ``items`` in place (Fisher-Yates)."""
+        for i in range(len(items) - 1, 0, -1):
+            j = self.randint_below(i + 1)
+            items[i], items[j] = items[j], items[i]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"BitBudgetedRandom(seed={self._seed!r}, "
+            f"bits_consumed={self.bits_consumed})"
+        )

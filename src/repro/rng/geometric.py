@@ -1,0 +1,95 @@
+"""Geometric-distribution helpers.
+
+The paper's §2.2 analysis rests on the waiting times ``Z_i`` between Morris
+state transitions being geometric; the same fact powers the skip-ahead
+driver in :mod:`repro.rng.skip`.  This module provides truncated and
+binomial-complement sampling built on top of the basic generator.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ParameterError
+from repro.rng.bitstream import BitBudgetedRandom
+
+__all__ = [
+    "geometric_mean",
+    "geometric_variance",
+    "sample_truncated_geometric",
+    "sample_binomial",
+]
+
+
+def geometric_mean(p: float) -> float:
+    """Mean ``1/p`` of a geometric variable on ``{1, 2, ...}``."""
+    if not 0.0 < p <= 1.0:
+        raise ParameterError(f"probability must be in (0, 1], got {p}")
+    return 1.0 / p
+
+
+def geometric_variance(p: float) -> float:
+    """Variance ``(1-p)/p**2`` of a geometric variable on ``{1, 2, ...}``."""
+    if not 0.0 < p <= 1.0:
+        raise ParameterError(f"probability must be in (0, 1], got {p}")
+    return (1.0 - p) / (p * p)
+
+
+def sample_truncated_geometric(
+    rng: BitBudgetedRandom, p: float, limit: int
+) -> int | None:
+    """Sample a geometric waiting time, reporting overflow past ``limit``.
+
+    Returns the waiting time ``G`` if ``G <= limit``; otherwise ``None``,
+    meaning no success occurred within ``limit`` trials.  The two outcomes
+    have exactly the right probabilities because the plain geometric sample
+    is exact and we only compare it to the cutoff.
+    """
+    if limit <= 0:
+        raise ParameterError(f"limit must be positive, got {limit}")
+    g = rng.geometric(p)
+    if g <= limit:
+        return g
+    return None
+
+
+def sample_binomial(rng: BitBudgetedRandom, n: int, p: float) -> int:
+    """Sample ``Binomial(n, p)`` exactly.
+
+    Used by the merge procedure (Remark 2.4) to re-subsample survivor
+    counts, and by the skip-ahead driver for "count successes among n
+    trials" steps.  Strategy: for small ``n`` run ``n`` Bernoulli trials;
+    for large ``n`` count successive geometric gaps, which costs
+    ``O(np + 1)`` samples instead of ``n``.
+    """
+    if n < 0:
+        raise ParameterError(f"n must be non-negative, got {n}")
+    if not 0.0 <= p <= 1.0:
+        raise ParameterError(f"probability must be in [0, 1], got {p}")
+    if n == 0 or p == 0.0:
+        return 0
+    if p == 1.0:
+        return n
+    if n <= 16:
+        return sum(1 for _ in range(n) if rng.bernoulli(p))
+    # Gap method: successes happen at positions separated by geometric gaps.
+    successes = 0
+    position = 0
+    while True:
+        position += rng.geometric(p)
+        if position > n:
+            return successes
+        successes += 1
+
+
+def expected_trials_until_overflow(p: float, limit: int) -> float:
+    """Probability that a geometric waiting time exceeds ``limit``.
+
+    Convenience for experiment assertions: ``P[G > limit] = (1-p)**limit``
+    computed stably in log space.
+    """
+    if not 0.0 < p <= 1.0:
+        raise ParameterError(f"probability must be in (0, 1], got {p}")
+    if p == 1.0:
+        return 0.0
+    return math.exp(limit * math.log1p(-p))

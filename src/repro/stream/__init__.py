@@ -1,0 +1,40 @@
+"""Streaming substrate: increment sources, workloads, and a runner.
+
+Approximate counters consume pure increment streams; what varies between
+experiments is *how many* increments each counter sees and *when* we look.
+This package models that:
+
+* :mod:`~repro.stream.source` — increment-stream descriptions: a fixed
+  length, a random length (Figure 1 draws N uniformly from
+  [500000, 999999]), or an explicit trace with query points.
+* :mod:`~repro.stream.workload` — keyed workloads for the many-counter
+  analytics system: Zipf-distributed page views, uniform traffic, bursts.
+* :mod:`~repro.stream.runner` — drive a counter over a stream, recording
+  estimate/space trajectories at checkpoints.
+"""
+
+from repro.stream.source import (
+    FixedLengthStream,
+    TraceStream,
+    UniformLengthStream,
+)
+from repro.stream.runner import CheckpointRecord, RunResult, run_counter
+from repro.stream.workload import (
+    KeyedEvent,
+    burst_workload,
+    uniform_workload,
+    zipf_workload,
+)
+
+__all__ = [
+    "FixedLengthStream",
+    "UniformLengthStream",
+    "TraceStream",
+    "run_counter",
+    "RunResult",
+    "CheckpointRecord",
+    "KeyedEvent",
+    "zipf_workload",
+    "uniform_workload",
+    "burst_workload",
+]

@@ -1,0 +1,97 @@
+"""Drive a counter over a stream and record its trajectory.
+
+The runner is the glue between a :class:`~repro.stream.source.StreamSource`
+and an :class:`~repro.core.base.ApproximateCounter`: it plans the trial's
+checkpoints, fast-forwards the counter between them with ``add``, and
+records a :class:`CheckpointRecord` at each query point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.base import ApproximateCounter
+from repro.core.estimators import relative_error
+from repro.memory.model import SpaceModel
+from repro.rng.bitstream import BitBudgetedRandom
+from repro.stream.source import StreamSource
+
+__all__ = ["CheckpointRecord", "RunResult", "run_counter"]
+
+
+@dataclass(frozen=True, slots=True)
+class CheckpointRecord:
+    """The counter's answers at one query point."""
+
+    n: int
+    estimate: float
+    relative_error: float
+    state_bits: int
+
+
+@dataclass(frozen=True, slots=True)
+class RunResult:
+    """Outcome of one trial.
+
+    Attributes
+    ----------
+    checkpoints:
+        One record per query point, in stream order.
+    max_state_bits:
+        Maximum state size observed anywhere in the run (not only at
+        checkpoints) — the paper's space random variable.
+    random_bits:
+        Random bits the counter consumed during the run.
+    """
+
+    checkpoints: tuple[CheckpointRecord, ...]
+    max_state_bits: int
+    random_bits: int
+
+    @property
+    def final(self) -> CheckpointRecord:
+        """The last checkpoint (stream end)."""
+        return self.checkpoints[-1]
+
+
+def run_counter(
+    counter: ApproximateCounter,
+    source: StreamSource,
+    plan_rng: BitBudgetedRandom | None = None,
+    space_model: SpaceModel = SpaceModel.AUTOMATON,
+) -> RunResult:
+    """Run ``counter`` over one trial of ``source`` and record checkpoints.
+
+    Parameters
+    ----------
+    counter:
+        A freshly-constructed counter (the runner does not reset it).
+    source:
+        Stream description.
+    plan_rng:
+        Random source for the *stream plan* (e.g. the random N of
+        Figure 1).  Kept separate from the counter's own randomness so the
+        same plan can be replayed against different algorithms; defaults
+        to a split of the counter's source.
+    """
+    if plan_rng is None:
+        plan_rng = counter.rng.split(0x706C616E)
+    bits_before = counter.rng.bits_consumed
+    records: list[CheckpointRecord] = []
+    position = 0
+    for checkpoint in source.plan(plan_rng):
+        counter.add(checkpoint - position)
+        position = checkpoint
+        records.append(
+            CheckpointRecord(
+                n=position,
+                estimate=counter.estimate(),
+                relative_error=relative_error(counter.estimate(), position),
+                state_bits=counter.state_bits(space_model),
+            )
+        )
+    return RunResult(
+        checkpoints=tuple(records),
+        max_state_bits=counter.max_state_bits,
+        random_bits=counter.rng.bits_consumed - bits_before,
+    )

@@ -1,0 +1,114 @@
+"""Increment-stream sources.
+
+A *stream source* decides how many increments a counter processes in one
+trial and where the counter is queried.  The single entry point is
+:meth:`StreamSource.plan`, which returns the sorted list of query
+checkpoints (cumulative increment counts); the last checkpoint is the
+stream length.  Sources are deterministic given the trial's random source,
+so both algorithms in a comparison can be run on identical stream lengths
+(as the Figure 1 experiment requires).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+from repro.rng.bitstream import BitBudgetedRandom
+
+__all__ = [
+    "StreamSource",
+    "FixedLengthStream",
+    "UniformLengthStream",
+    "TraceStream",
+]
+
+
+class StreamSource(abc.ABC):
+    """Describes the increment stream of one trial."""
+
+    @abc.abstractmethod
+    def plan(self, rng: BitBudgetedRandom) -> list[int]:
+        """Sorted checkpoints at which the counter is queried.
+
+        The last checkpoint is the total stream length.  Implementations
+        that randomize must draw from ``rng`` only, so a trial is fully
+        determined by its random source.
+        """
+
+
+@dataclass(frozen=True, slots=True)
+class FixedLengthStream(StreamSource):
+    """Exactly ``n`` increments, queried once at the end."""
+
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.n < 0:
+            raise ParameterError(f"n must be non-negative, got {self.n}")
+
+    def plan(self, rng: BitBudgetedRandom) -> list[int]:
+        return [self.n]
+
+
+@dataclass(frozen=True, slots=True)
+class UniformLengthStream(StreamSource):
+    """N drawn uniformly from ``[lo, hi]`` — the Figure 1 workload.
+
+    The paper picks "a uniformly random integer N ∈ [500000, 999999]".
+    """
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo < 0 or self.hi < self.lo:
+            raise ParameterError(f"invalid range [{self.lo}, {self.hi}]")
+
+    def plan(self, rng: BitBudgetedRandom) -> list[int]:
+        return [rng.randint(self.lo, self.hi)]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceStream(StreamSource):
+    """An explicit list of query checkpoints (cumulative increment counts).
+
+    Used by trajectory experiments that watch an estimate evolve: the
+    stream length is the last checkpoint.
+    """
+
+    points: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ParameterError("trace needs at least one checkpoint")
+        previous = -1
+        for p in self.points:
+            if p <= previous:
+                raise ParameterError(
+                    f"checkpoints must be strictly increasing, got {self.points}"
+                )
+            previous = p
+
+    @classmethod
+    def geometric_grid(
+        cls, n_max: int, points_per_decade: int = 4
+    ) -> "TraceStream":
+        """Log-spaced checkpoints from 1 to ``n_max``."""
+        if n_max < 1:
+            raise ParameterError(f"n_max must be >= 1, got {n_max}")
+        points: list[int] = []
+        value = 1.0
+        ratio = 10.0 ** (1.0 / points_per_decade)
+        while value < n_max:
+            point = round(value)
+            if not points or point > points[-1]:
+                points.append(point)
+            value *= ratio
+        if not points or points[-1] != n_max:
+            points.append(n_max)
+        return cls(tuple(points))
+
+    def plan(self, rng: BitBudgetedRandom) -> list[int]:
+        return list(self.points)

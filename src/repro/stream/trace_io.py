@@ -1,0 +1,69 @@
+"""Plain-text persistence for increment traces.
+
+Experiments sometimes need to replay exactly the same stream plan (the
+checkpoint lists of :class:`~repro.stream.source.TraceStream`) across
+processes or library versions.  The format is deliberately trivial — one
+integer per line, ``#`` comments allowed — so traces are diffable and can
+be produced by external tools.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Iterable
+
+from repro.errors import StateError
+from repro.stream.source import TraceStream
+
+__all__ = ["write_trace", "read_trace", "load_trace_stream"]
+
+
+def write_trace(
+    path: str | pathlib.Path,
+    checkpoints: Iterable[int],
+    comment: str | None = None,
+) -> None:
+    """Write checkpoints to ``path``, one per line."""
+    lines: list[str] = []
+    if comment is not None:
+        for comment_line in comment.splitlines():
+            lines.append(f"# {comment_line}")
+    for point in checkpoints:
+        lines.append(str(int(point)))
+    pathlib.Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def read_trace(path: str | pathlib.Path) -> list[int]:
+    """Read a checkpoint list; raises :class:`StateError` on bad content."""
+    try:
+        text = pathlib.Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise StateError(f"cannot read trace {path}: {exc}") from exc
+    points: list[int] = []
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            points.append(int(line))
+        except ValueError as exc:
+            raise StateError(
+                f"{path}:{line_number}: not an integer: {line!r}"
+            ) from exc
+    if not points:
+        raise StateError(f"trace {path} contains no checkpoints")
+    return points
+
+
+def load_trace_stream(path: str | pathlib.Path) -> TraceStream:
+    """Read a trace file into a :class:`TraceStream`.
+
+    Validation (strictly increasing positive checkpoints) is delegated to
+    ``TraceStream``; its :class:`~repro.errors.ParameterError` is
+    re-raised as :class:`StateError` with the file context.
+    """
+    points = read_trace(path)
+    try:
+        return TraceStream(tuple(points))
+    except Exception as exc:
+        raise StateError(f"trace {path} is not a valid plan: {exc}") from exc

@@ -1,0 +1,52 @@
+"""Exact and asymptotic analysis of the counters.
+
+This package is the library's ground truth:
+
+* :mod:`~repro.theory.flajolet` — the *exact* state distribution of
+  Morris(a) and of the subsample counter by dynamic programming (the
+  recurrence behind [Fla85] Eq. 46), with exact estimator moments.  The
+  property-based tests validate every simulator against it.
+* :mod:`~repro.theory.bounds` — Chernoff/Chebyshev/union-bound helpers and
+  exact binomial tails.
+* :mod:`~repro.theory.mgf` — the §2.2 moment-generating-function
+  concentration bounds for prefix sums of geometric waiting times.
+* :mod:`~repro.theory.space` — predicted space curves for each algorithm
+  (the shapes experiments E3/E4 compare against).
+* :mod:`~repro.theory.failure` — failure-probability predictions: the
+  Chebyshev δ, the Theorem 1.2 bound ``2e^{-ε²/8a}``, and the Morris(a=1)
+  constant failure floor of [Fla85] Prop. 3 / §1.1.
+"""
+
+from repro.theory.closed_form import (
+    morris_pmf_exact_base2,
+    morris_tail_exact_base2,
+    morris_tail_float,
+)
+from repro.theory.flajolet import (
+    morris_estimate_moments,
+    morris_failure_probability,
+    morris_state_distribution,
+    subsample_state_distribution,
+)
+from repro.theory.space import (
+    classical_space_bits,
+    lower_bound_bits,
+    morris_space_bits,
+    nelson_yu_space_bits,
+    optimal_space_bits,
+)
+
+__all__ = [
+    "morris_state_distribution",
+    "morris_estimate_moments",
+    "morris_failure_probability",
+    "subsample_state_distribution",
+    "morris_pmf_exact_base2",
+    "morris_tail_exact_base2",
+    "morris_tail_float",
+    "morris_space_bits",
+    "nelson_yu_space_bits",
+    "optimal_space_bits",
+    "classical_space_bits",
+    "lower_bound_bits",
+]

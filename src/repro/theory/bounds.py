@@ -1,0 +1,90 @@
+"""Probability-bound helpers: Chernoff, Chebyshev, union, exact binomials.
+
+These are the inequalities the paper's proofs run on; the experiments use
+them to draw "predicted" lines next to measured points, and the tests use
+the exact binomial tail to validate the sampling primitives.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "chernoff_upper_tail",
+    "chernoff_lower_tail",
+    "chebyshev_failure",
+    "union_bound",
+    "binomial_tail_upper_exact",
+    "binomial_pmf",
+]
+
+
+def chernoff_upper_tail(mean: float, epsilon: float) -> float:
+    """Chernoff bound ``P[S >= (1+ε) mean] <= exp(-ε² mean / (2+ε))``.
+
+    Valid for sums of independent [0,1] variables with expectation
+    ``mean``; this is the multiplicative form used in Theorem 2.1.
+    """
+    if mean < 0.0:
+        raise ParameterError(f"mean must be non-negative, got {mean}")
+    if epsilon <= 0.0:
+        raise ParameterError(f"epsilon must be positive, got {epsilon}")
+    return math.exp(-(epsilon * epsilon) * mean / (2.0 + epsilon))
+
+
+def chernoff_lower_tail(mean: float, epsilon: float) -> float:
+    """Chernoff bound ``P[S <= (1-ε) mean] <= exp(-ε² mean / 2)``."""
+    if mean < 0.0:
+        raise ParameterError(f"mean must be non-negative, got {mean}")
+    if not 0.0 < epsilon <= 1.0:
+        raise ParameterError(f"epsilon must be in (0, 1], got {epsilon}")
+    return math.exp(-(epsilon * epsilon) * mean / 2.0)
+
+
+def chebyshev_failure(variance: float, deviation: float) -> float:
+    """Chebyshev: ``P[|S - E S| > d] <= Var/d²`` (capped at 1)."""
+    if variance < 0.0:
+        raise ParameterError(f"variance must be non-negative, got {variance}")
+    if deviation <= 0.0:
+        raise ParameterError(f"deviation must be positive, got {deviation}")
+    return min(1.0, variance / (deviation * deviation))
+
+
+def union_bound(probabilities: list[float]) -> float:
+    """Sum of failure probabilities, capped at 1."""
+    total = math.fsum(probabilities)
+    if total < 0.0:
+        raise ParameterError("negative probability in union bound")
+    return min(1.0, total)
+
+
+def binomial_pmf(n: int, k: int, p: float) -> float:
+    """Exact ``P[Binomial(n, p) = k]`` via log-gamma (stable for large n)."""
+    if n < 0 or not 0 <= k <= n:
+        raise ParameterError(f"invalid (n, k) = ({n}, {k})")
+    if not 0.0 <= p <= 1.0:
+        raise ParameterError(f"p must be in [0, 1], got {p}")
+    if p == 0.0:
+        return 1.0 if k == 0 else 0.0
+    if p == 1.0:
+        return 1.0 if k == n else 0.0
+    log_choose = (
+        math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+    )
+    return math.exp(
+        log_choose + k * math.log(p) + (n - k) * math.log1p(-p)
+    )
+
+
+def binomial_tail_upper_exact(n: int, k: int, p: float) -> float:
+    """Exact ``P[Binomial(n, p) >= k]`` by direct summation.
+
+    Sums at most ``n - k + 1`` pmf terms; use for validation-scale n.
+    """
+    if n < 0 or k < 0:
+        raise ParameterError(f"invalid (n, k) = ({n}, {k})")
+    if k > n:
+        return 0.0
+    return min(1.0, math.fsum(binomial_pmf(n, j, p) for j in range(k, n + 1)))

@@ -1,0 +1,165 @@
+"""Failure-probability predictions for each tuning of each counter.
+
+Three regimes matter in the paper:
+
+* **Chebyshev Morris** (§1.2): with ``a = 2ε²δ`` the failure probability
+  is at most ``Var/(εN)² ≈ a/(2ε²) = δ`` — the classical guarantee whose
+  space cost is ``log(1/δ)``.
+* **Optimal Morris / Morris+** (§2.2): ``2 e^{−ε²/(8a)}``, valid once
+  ``N > 8/a`` — the Theorem 1.2 guarantee.
+* **Morris(a = 1)** (§1.1): *no* tuning of the query can push the failure
+  probability of a ``2^C``-approximation below a constant, because
+  [Fla85] Prop. 3 pins ``P[X ∈ [log2 N − C, log2 N + C]]`` to a constant
+  < 1 independent of N.  :func:`morris_a1_window_failure` computes that
+  constant exactly from the DP; experiment E5 shows it flat in N.
+
+Appendix A's lower bound on vanilla Morris' failure at small N is also
+here, both the paper's analytic event bound and the exact DP value.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.estimators import morris_estimate
+from repro.errors import ParameterError
+from repro.theory.flajolet import (
+    morris_state_distribution,
+    morris_x_window_probability,
+)
+from repro.theory.mgf import theorem_1_2_failure_bound
+
+__all__ = [
+    "chebyshev_predicted_failure",
+    "optimal_predicted_failure",
+    "morris_a1_window_failure",
+    "appendix_a_adversarial_n",
+    "appendix_a_event_probability",
+    "vanilla_small_n_failure_exact",
+]
+
+
+def chebyshev_predicted_failure(a: float, epsilon: float, n: int) -> float:
+    """Chebyshev bound ``a(n-1)/(2ε²n) ≈ a/(2ε²)`` on Morris(a) failure."""
+    if a <= 0.0:
+        raise ParameterError(f"a must be positive, got {a}")
+    if epsilon <= 0.0:
+        raise ParameterError(f"epsilon must be positive, got {epsilon}")
+    if n < 1:
+        raise ParameterError(f"n must be >= 1, got {n}")
+    return min(1.0, a * (n - 1) / (2.0 * epsilon * epsilon * n))
+
+
+def optimal_predicted_failure(a: float, epsilon: float) -> float:
+    """Theorem 1.2 bound ``2 e^{−ε²/(8a)}`` (valid for N > 8/a)."""
+    return theorem_1_2_failure_bound(a, epsilon)
+
+
+def morris_a1_window_failure(n: int, c: float) -> float:
+    """Exact ``P[X ∉ [log2 n − c, log2 n + c]]`` for Morris(1).
+
+    §1.1: this stays a constant as n grows — the precise sense in which
+    Morris(1) cannot be a high-probability ``2^c``-approximation.
+    """
+    if n < 1:
+        raise ParameterError(f"n must be >= 1, got {n}")
+    if c <= 0.0:
+        raise ParameterError(f"c must be positive, got {c}")
+    center = math.log2(n)
+    return 1.0 - morris_x_window_probability(1.0, n, center - c, center + c)
+
+
+def appendix_a_adversarial_n(a: float, epsilon: float, c: float) -> int:
+    """The adversarial count ``N'_a = c ε^{4/3} / a`` of Appendix A."""
+    if a <= 0.0:
+        raise ParameterError(f"a must be positive, got {a}")
+    if not 0.0 < epsilon < 0.25:
+        raise ParameterError(f"epsilon must be in (0, 1/4), got {epsilon}")
+    if not 0.0 < c <= 2.0 ** -8:
+        raise ParameterError(f"c must be in (0, 2^-8], got {c}")
+    return max(2, math.ceil(c * epsilon ** (4.0 / 3.0) / a))
+
+
+def appendix_a_event_probability(a: float, epsilon: float, c: float) -> float:
+    """Appendix A's lower bound ``(ε^{4/3} c / 4)·√δ``-style event bound.
+
+    The appendix exhibits an event E (X rises for t steps then freezes)
+    under which the estimate is below ``(1−ε)N``, and lower-bounds
+    ``P[E] >= (ε^{4/3} c / 4) · e^{−ε²/(16a)}``.  Returned as stated.
+    """
+    if a <= 0.0:
+        raise ParameterError(f"a must be positive, got {a}")
+    if not 0.0 < epsilon < 0.25:
+        raise ParameterError(f"epsilon must be in (0, 1/4), got {epsilon}")
+    if not 0.0 < c <= 2.0 ** -8:
+        raise ParameterError(f"c must be in (0, 2^-8], got {c}")
+    return (
+        (epsilon ** (4.0 / 3.0)) * c / 4.0
+    ) * math.exp(-epsilon * epsilon / (16.0 * a))
+
+
+def morris_low_failure_scan(
+    a: float, epsilon: float, checkpoints: list[int]
+) -> list[float]:
+    """Exact ``P[estimate < (1−ε) n]`` at several counts, one DP pass.
+
+    Equivalent to calling :func:`vanilla_small_n_failure_exact` per
+    checkpoint but advances the Flajolet DP incrementally, so the cost is
+    one pass to ``max(checkpoints)``.
+    """
+    if not checkpoints:
+        raise ParameterError("need at least one checkpoint")
+    ordered = sorted(set(checkpoints))
+    if ordered[0] < 1:
+        raise ParameterError("checkpoints must be >= 1")
+    if not 0.0 < epsilon < 1.0:
+        raise ParameterError(f"epsilon must be in (0, 1), got {epsilon}")
+    n_max = ordered[-1]
+    # Reuse the DP cap logic for the largest count.
+    from repro.theory.flajolet import _morris_x_cap
+
+    cap = _morris_x_cap(a, n_max)
+    levels = np.arange(cap + 1, dtype=np.float64)
+    q = np.exp(-levels * math.log1p(a))
+    estimates = np.array(
+        [morris_estimate(level, a) for level in range(cap + 1)]
+    )
+    p = np.zeros(cap + 1, dtype=np.float64)
+    p[0] = 1.0
+    results: list[float] = []
+    want = iter(ordered)
+    target = next(want)
+    for n in range(1, n_max + 1):
+        flow = p * q
+        flow[-1] = 0.0
+        p = p - flow
+        p[1:] += flow[:-1]
+        if n == target:
+            results.append(float(p[estimates < (1.0 - epsilon) * n].sum()))
+            target = next(want, None)
+            if target is None:
+                break
+    ordered_to_result = dict(zip(ordered, results))
+    return [ordered_to_result[c] for c in checkpoints]
+
+
+def vanilla_small_n_failure_exact(
+    a: float, epsilon: float, n: int
+) -> float:
+    """Exact ``P[estimate < (1−ε) n]`` for vanilla Morris(a) at count n.
+
+    Computed from the Flajolet DP; Appendix A predicts this exceeds δ by a
+    large factor at ``n = N'_a`` when Morris(a) is run without the
+    deterministic prefix.
+    """
+    if n < 1:
+        raise ParameterError(f"n must be >= 1, got {n}")
+    if not 0.0 < epsilon < 1.0:
+        raise ParameterError(f"epsilon must be in (0, 1), got {epsilon}")
+    p = morris_state_distribution(a, n)
+    estimates = np.array(
+        [morris_estimate(level, a) for level in range(len(p))]
+    )
+    return float(p[estimates < (1.0 - epsilon) * n].sum())

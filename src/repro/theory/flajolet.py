@@ -1,0 +1,190 @@
+"""Exact state distributions by dynamic programming ([Fla85]).
+
+Flajolet's detailed analysis of approximate counting works with the exact
+probabilities ``P_{n,l} = P[X = l after n increments]``.  They satisfy the
+recurrence
+
+    P_{n+1,l} = P_{n,l} · (1 - q_l) + P_{n,l-1} · q_{l-1},
+
+where ``q_l = (1+a)^{-l}`` is Morris(a)'s accept probability in state l
+(Eq. (46) of [Fla85] is the closed-form solution of this recurrence).  We
+evaluate the recurrence directly with numpy — an O(n · x_max) computation
+that is exact up to float rounding and serves as the library's strongest
+correctness oracle:
+
+* the simulated state distribution must match it (chi-square tests);
+* the estimator must be exactly unbiased under it
+  (``sum_l P_{n,l} · estimate(l) = n``);
+* failure probabilities derived from it drive experiments E2 and E5.
+
+The same machinery covers the subsample (simplified-NY) counter, whose
+state is the pair ``(Y, t)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.estimators import morris_estimate, subsample_estimate
+from repro.errors import ParameterError
+
+__all__ = [
+    "morris_state_distribution",
+    "morris_estimate_moments",
+    "morris_failure_probability",
+    "morris_x_window_probability",
+    "subsample_state_distribution",
+    "subsample_estimate_moments",
+]
+
+
+def _morris_x_cap(a: float, n: int, margin: int = 64) -> int:
+    """A state bound L with negligible probability mass above it.
+
+    X is stochastically dominated by a pure birth chain that steps every
+    increment, so X <= n; we also know X concentrates near
+    ``log_{1+a}(an+1)``.  Use the concentration value plus a generous
+    additive margin, capped at n.
+    """
+    if n == 0:
+        return 1
+    center = math.log1p(a * n) / math.log1p(a)
+    return int(min(n, math.ceil(center + margin + 8 * math.sqrt(center + 1)))) + 1
+
+
+def morris_state_distribution(
+    a: float, n: int, x_cap: int | None = None
+) -> np.ndarray:
+    """Exact distribution of Morris(a)'s state X after ``n`` increments.
+
+    Returns an array ``P`` with ``P[l] = P[X = l]`` for
+    ``l = 0..len(P)-1``.  ``x_cap`` truncates the support; the default cap
+    keeps the truncated mass below float precision (verified by the tests
+    summing the result to 1).
+    """
+    if a <= 0.0:
+        raise ParameterError(f"a must be positive, got {a}")
+    if n < 0:
+        raise ParameterError(f"n must be non-negative, got {n}")
+    cap = _morris_x_cap(a, n) if x_cap is None else x_cap
+    if cap < 1:
+        raise ParameterError(f"x_cap must be >= 1, got {cap}")
+    # Accept probabilities q_l = (1+a)^-l, clamped to the cap (mass at the
+    # cap state never leaves; with the default cap it is ~0 anyway).
+    levels = np.arange(cap + 1, dtype=np.float64)
+    q = np.exp(-levels * math.log1p(a))
+    p = np.zeros(cap + 1, dtype=np.float64)
+    p[0] = 1.0
+    for _ in range(n):
+        flow = p * q
+        flow[-1] = 0.0  # truncation: the cap state absorbs
+        p = p - flow
+        p[1:] += flow[:-1]
+    return p
+
+
+def morris_estimate_moments(a: float, n: int) -> tuple[float, float]:
+    """Exact (mean, variance) of the Morris estimator after n increments.
+
+    The paper states the closed forms ``E = N`` and
+    ``Var = a N (N-1) / 2`` (§1.2); this computes them from the exact DP,
+    so tests can confirm the closed forms independently.
+    """
+    p = morris_state_distribution(a, n)
+    estimates = np.array(
+        [morris_estimate(level, a) for level in range(len(p))]
+    )
+    mean = float(np.dot(p, estimates))
+    second = float(np.dot(p, estimates * estimates))
+    return mean, second - mean * mean
+
+
+def morris_failure_probability(a: float, n: int, epsilon: float) -> float:
+    """Exact ``P[|estimate - n| > ε n]`` for Morris(a) at count n."""
+    if n <= 0:
+        raise ParameterError(f"n must be positive, got {n}")
+    if epsilon <= 0.0:
+        raise ParameterError(f"epsilon must be positive, got {epsilon}")
+    p = morris_state_distribution(a, n)
+    estimates = np.array(
+        [morris_estimate(level, a) for level in range(len(p))]
+    )
+    bad = np.abs(estimates - n) > epsilon * n
+    return float(p[bad].sum())
+
+
+def morris_x_window_probability(
+    a: float, n: int, low: float, high: float
+) -> float:
+    """Exact ``P[low <= X <= high]`` after n increments.
+
+    §1.1's discussion of [Fla85] Prop. 3: for a = 1 the probability that X
+    lies in ``[log2 N - C, log2 N + C]`` is a constant bounded away from 1,
+    independent of N — the reason vanilla Morris(1) cannot give small
+    failure probability.
+    """
+    p = morris_state_distribution(a, n)
+    levels = np.arange(len(p))
+    inside = (levels >= low) & (levels <= high)
+    return float(p[inside].sum())
+
+
+def subsample_state_distribution(
+    resolution: int, n: int, t_cap: int
+) -> np.ndarray:
+    """Exact distribution of the simplified-NY state ``(Y, t)``.
+
+    Returns a 2-D array ``P`` of shape ``(t_cap + 1, 2 * resolution)``
+    with ``P[t, y] = P[state = (y, t)]`` after ``n`` increments.  The
+    transition is: with probability ``2^-t`` move ``y -> y+1``, folding
+    ``y = 2s`` into ``(s, t+1)``; otherwise stay.
+
+    ``t_cap`` must be high enough that the top rate is effectively never
+    exceeded for the given ``n`` (tests assert total mass 1); complexity
+    is ``O(n · t_cap · resolution)``, so use small resolutions in tests.
+    """
+    if resolution < 1:
+        raise ParameterError(f"resolution must be >= 1, got {resolution}")
+    if n < 0:
+        raise ParameterError(f"n must be non-negative, got {n}")
+    if t_cap < 0:
+        raise ParameterError(f"t_cap must be non-negative, got {t_cap}")
+    width = 2 * resolution
+    p = np.zeros((t_cap + 1, width), dtype=np.float64)
+    p[0, 0] = 1.0
+    rates = 2.0 ** -np.arange(t_cap + 1, dtype=np.float64)
+    for _ in range(n):
+        nxt = p * (1.0 - rates)[:, None]
+        moved = p * rates[:, None]
+        # y -> y + 1 within a row.
+        nxt[:, 1:] += moved[:, :-1]
+        # y = 2s - 1 accepting one more folds to (s, t + 1).
+        nxt[1:, resolution] += moved[:-1, -1]
+        # At the cap the fold has nowhere to go; keep the mass in place so
+        # truncation error is visible as mass at (t_cap, 2s-1).
+        nxt[-1, -1] += moved[-1, -1]
+        p = nxt
+    return p
+
+
+def subsample_estimate_moments(
+    resolution: int, n: int, t_cap: int
+) -> tuple[float, float]:
+    """Exact (mean, variance) of the simplified-NY estimator ``Y·2^t``."""
+    p = subsample_state_distribution(resolution, n, t_cap)
+    t_values, y_values = np.indices(p.shape)
+    estimates = np.array(
+        [
+            [
+                subsample_estimate(int(y_values[t, y]), int(t_values[t, y]))
+                for y in range(p.shape[1])
+            ]
+            for t in range(p.shape[0])
+        ],
+        dtype=np.float64,
+    )
+    mean = float((p * estimates).sum())
+    second = float((p * estimates * estimates).sum())
+    return mean, second - mean * mean

@@ -1,0 +1,121 @@
+"""The §2.2 MGF concentration bounds for Morris(a) waiting times.
+
+§2.2 analyzes Morris(a) through the waiting times
+``Z_i ~ Geometric((1+a)^{-i})`` between state transitions and proves, via
+the moment generating function of their prefix sums, that for ``k > 1/a``
+
+    P[ |Σ_{i<=k} Z_i − ((1+a)^{k+1}−1)/a| > ε·((1+a)^{k+1}−1)/a ]
+        <= 2·exp(−ε²/(8a)).
+
+This module exposes the pieces of that argument so the experiments can draw
+the predicted failure curves (E4) and the tests can check the inequality
+against simulation:
+
+* :func:`prefix_sum_mean` — ``E Σ Z_i = ((1+a)^{k+1}−1)/a``;
+* :func:`prefix_tail_bound` — the end-to-end two-sided tail bound
+  ``e^{−ε²(1+a)^{−k}((1+a)^{k+1}−1)/(4a)}`` per side (the paper's final
+  displayed inequality before specializing to ``k > 1/a``);
+* :func:`theorem_1_2_failure_bound` — ``2 e^{−ε²/(8a)}``;
+* :func:`k_window` — the indices ``(k1, k2)`` the proof unions over.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "prefix_sum_mean",
+    "prefix_sum_variance",
+    "prefix_tail_bound",
+    "theorem_1_2_failure_bound",
+    "k_window",
+]
+
+
+def _validate(a: float, k: int | None = None) -> None:
+    if not 0.0 < a < 1.0:
+        raise ParameterError(f"a must be in (0, 1), got {a}")
+    if k is not None and k < 0:
+        raise ParameterError(f"k must be non-negative, got {k}")
+
+
+def prefix_sum_mean(a: float, k: int) -> float:
+    """``E[Σ_{i=0}^{k} Z_i] = ((1+a)^{k+1} - 1)/a`` (geometric series)."""
+    _validate(a, k)
+    return math.expm1((k + 1) * math.log1p(a)) / a
+
+
+def prefix_sum_variance(a: float, k: int) -> float:
+    """Exact variance ``Σ (1-p_i)/p_i²`` of the prefix sum."""
+    _validate(a, k)
+    total = 0.0
+    for i in range(k + 1):
+        p = math.exp(-i * math.log1p(a))
+        total += (1.0 - p) / (p * p)
+    return total
+
+
+def prefix_tail_bound(a: float, k: int, epsilon: float) -> float:
+    """One-sided tail bound ``exp(−ε²(1+a)^{−k}((1+a)^{k+1}−1)/(4a))``.
+
+    This is the final bound §2.2 derives (for each side) before
+    simplifying; it is valid for ``ε < 1/2``.
+    """
+    _validate(a, k)
+    if not 0.0 < epsilon < 0.5:
+        raise ParameterError(f"epsilon must be in (0, 1/2), got {epsilon}")
+    exponent = (
+        0.25
+        * epsilon
+        * epsilon
+        * math.exp(-k * math.log1p(a))
+        * prefix_sum_mean(a, k)
+    )
+    return math.exp(-exponent)
+
+
+def theorem_1_2_failure_bound(a: float, epsilon: float) -> float:
+    """Two-sided failure bound ``2 e^{−ε²/(8a)}`` for ``k > 1/a`` (§2.2).
+
+    With ``a = ε²/(8 ln(1/δ))`` this equals ``2δ`` — the tuning behind
+    Theorem 1.2.
+    """
+    _validate(a)
+    if not 0.0 < epsilon < 0.5:
+        raise ParameterError(f"epsilon must be in (0, 1/2), got {epsilon}")
+    return min(1.0, 2.0 * math.exp(-epsilon * epsilon / (8.0 * a)))
+
+
+def k_window(a: float, epsilon: float, n: int) -> tuple[int, int]:
+    """The indices ``(k1, k2)`` from the end of the §2.2 proof.
+
+    ``k1`` is the largest k with ``(1+ε)·mean(k) < n`` and ``k2`` the
+    smallest k with ``(1-ε)·mean(k) >= n``; concentration at both implies
+    ``k1 < X <= k2`` after n increments, which squeezes the estimator into
+    ``(1 ± 2ε) n``.
+    """
+    _validate(a)
+    if not 0.0 < epsilon < 0.5:
+        raise ParameterError(f"epsilon must be in (0, 1/2), got {epsilon}")
+    if n < 1:
+        raise ParameterError(f"n must be >= 1, got {n}")
+    # mean(k) is increasing in k; solve by direct scan from the center.
+    log1pa = math.log1p(a)
+
+    def mean(k: int) -> float:
+        return math.expm1((k + 1) * log1pa) / a
+
+    center = max(0, int(math.log1p(a * n) / log1pa))
+    k1 = center
+    while k1 > 0 and (1.0 + epsilon) * mean(k1) >= n:
+        k1 -= 1
+    while (1.0 + epsilon) * mean(k1 + 1) < n:
+        k1 += 1
+    k2 = max(center, k1 + 1)
+    while (1.0 - epsilon) * mean(k2) < n:
+        k2 += 1
+    while k2 > 0 and (1.0 - epsilon) * mean(k2 - 1) >= n:
+        k2 -= 1
+    return k1, k2

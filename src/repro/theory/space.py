@@ -1,0 +1,117 @@
+"""Predicted space curves — the shapes of Theorems 1.1, 1.2, 2.3 and 3.1.
+
+The reproduction brief compares *shapes*, not constants: doubling
+``log(1/δ)`` should add ~1 bit to the new algorithm (``log log(1/δ)``
+scaling) but a constant number of bits to the Chebyshev-tuned Morris
+Counter (``log(1/δ)`` scaling).  These functions provide both the
+constant-free asymptotic skeletons and concrete per-algorithm predictions
+derived from the parameter formulas in :mod:`repro.core.params`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.params import (
+    morris_a_chebyshev,
+    morris_a_optimal,
+    morris_transition_point,
+    morris_x_capacity,
+    nelson_yu_alpha_raw,
+    nelson_yu_x0,
+    validate_epsilon_delta,
+)
+from repro.errors import ParameterError
+
+__all__ = [
+    "log2_safe",
+    "optimal_space_bits",
+    "classical_space_bits",
+    "lower_bound_bits",
+    "morris_space_bits",
+    "morris_plus_space_bits",
+    "nelson_yu_space_bits",
+]
+
+
+def log2_safe(value: float) -> float:
+    """``log2(max(value, 2))`` — keeps the skeleton formulas positive."""
+    return math.log2(max(value, 2.0))
+
+
+def optimal_space_bits(n: int, epsilon: float, delta: float) -> float:
+    """Skeleton ``log log n + log(1/ε) + log log(1/δ)`` (Theorems 1.1/1.2)."""
+    validate_epsilon_delta(epsilon, delta)
+    if n < 1:
+        raise ParameterError(f"n must be >= 1, got {n}")
+    return (
+        log2_safe(log2_safe(n))
+        + log2_safe(1.0 / epsilon)
+        + log2_safe(log2_safe(1.0 / delta))
+    )
+
+
+def classical_space_bits(n: int, epsilon: float, delta: float) -> float:
+    """Skeleton ``log log n + log(1/ε) + log(1/δ)`` (pre-paper analyses)."""
+    validate_epsilon_delta(epsilon, delta)
+    if n < 1:
+        raise ParameterError(f"n must be >= 1, got {n}")
+    return (
+        log2_safe(log2_safe(n))
+        + log2_safe(1.0 / epsilon)
+        + log2_safe(1.0 / delta)
+    )
+
+
+def lower_bound_bits(n: int, epsilon: float, delta: float) -> float:
+    """Skeleton ``min(log n, log log n + log(1/ε) + log log(1/δ))``
+    (Theorem 3.1)."""
+    validate_epsilon_delta(epsilon, delta)
+    if n < 1:
+        raise ParameterError(f"n must be >= 1, got {n}")
+    return min(log2_safe(n), optimal_space_bits(n, epsilon, delta))
+
+
+def morris_space_bits(a: float, n: int, headroom: float = 4.0) -> int:
+    """Predicted bits for Morris(a)'s X at count n (register sized for the
+    concentration value with headroom)."""
+    capacity = morris_x_capacity(a, n, headroom)
+    return max(1, capacity.bit_length())
+
+
+def morris_plus_space_bits(
+    epsilon: float, delta: float, n: int, headroom: float = 4.0
+) -> int:
+    """Predicted bits for the Theorem 1.2 Morris+ instantiation.
+
+    The deterministic prefix needs ``ceil(log2(8/a + 2))`` bits and the
+    Morris part :func:`morris_space_bits` with ``a = ε²/(8 ln(1/δ))``.
+    """
+    a = morris_a_optimal(epsilon, delta)
+    prefix_bits = max(1, (morris_transition_point(a) + 1).bit_length())
+    return prefix_bits + morris_space_bits(a, n, headroom)
+
+
+def nelson_yu_space_bits(
+    epsilon: float,
+    delta: float,
+    n: int,
+    chernoff_c: float = 6.0,
+) -> int:
+    """Predicted bits for Algorithm 1's state ``(X, Y)`` at count n.
+
+    X concentrates at ``max(X0, log_{1+ε} n)`` and Y is bounded by its
+    epoch threshold ``floor(αT) + 1`` with ``α`` one rounding step above
+    ``C ln(X²/δ)/(ε³ T)``.
+    """
+    validate_epsilon_delta(epsilon, delta)
+    if n < 1:
+        raise ParameterError(f"n must be >= 1, got {n}")
+    x0 = nelson_yu_x0(epsilon, delta, chernoff_c)
+    x = max(x0, math.ceil(math.log1p(epsilon * n) / math.log1p(epsilon)) + 1)
+    threshold = math.ceil(math.exp(x * math.log1p(epsilon)))
+    alpha_raw = nelson_yu_alpha_raw(epsilon, delta, chernoff_c, x, threshold)
+    # One dyadic rounding step up, as the implementation does.
+    alpha = 2.0 ** -max(0, math.floor(-math.log2(alpha_raw)))
+    y_max = int(alpha * threshold) + 1
+    return max(1, x.bit_length()) + max(1, y_max.bit_length())

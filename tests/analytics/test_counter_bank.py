@@ -1,0 +1,115 @@
+"""Tests for the many-counter analytics bank."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analytics.counter_bank import CounterBank
+from repro.core.morris import MorrisCounter
+from repro.core.nelson_yu import NelsonYuCounter
+from repro.errors import ParameterError
+from repro.rng.bitstream import BitBudgetedRandom
+from repro.stream.workload import zipf_workload
+
+
+def _morris_bank(seed: int = 0, track_truth: bool = True) -> CounterBank:
+    return CounterBank(
+        lambda rng: MorrisCounter(0.01, rng=rng),
+        seed=seed,
+        track_truth=track_truth,
+    )
+
+
+class TestRecording:
+    def test_lazy_creation(self):
+        bank = _morris_bank()
+        assert len(bank) == 0
+        bank.record("a")
+        bank.record("b", 5)
+        assert len(bank) == 2
+        assert "a" in bank and "c" not in bank
+
+    def test_truth_tracking(self):
+        bank = _morris_bank()
+        bank.record("page", 100)
+        bank.record("page", 50)
+        assert bank.truth("page") == 150
+        assert bank.truth("unseen") == 0
+
+    def test_estimates_track_truth(self):
+        bank = _morris_bank()
+        bank.record("x", 10_000)
+        assert abs(bank.estimate("x") - 10_000) / 10_000 < 0.5
+
+    def test_unseen_estimate_is_zero(self):
+        assert _morris_bank().estimate("nope") == 0.0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ParameterError):
+            _morris_bank().record("k", -1)
+
+    def test_consume_events(self):
+        bank = _morris_bank()
+        events = zipf_workload(BitBudgetedRandom(1), 20, 500)
+        assert bank.consume(events) == 500
+
+
+class TestDeterminism:
+    def test_same_seed_same_estimates(self):
+        banks = [_morris_bank(seed=7) for _ in range(2)]
+        for bank in banks:
+            for _ in range(3):
+                bank.record("k", 1000)
+        assert banks[0].estimate("k") == banks[1].estimate("k")
+
+    def test_per_key_streams_differ(self):
+        bank = _morris_bank(seed=7)
+        bank.record("a", 50_000)
+        bank.record("b", 50_000)
+        # With independent streams, identical estimates are vanishingly
+        # unlikely at this a and count.
+        assert bank.estimate("a") != bank.estimate("b")
+
+
+class TestReporting:
+    def test_top_keys(self):
+        bank = _morris_bank()
+        bank.record("big", 50_000)
+        bank.record("small", 10)
+        top = bank.top_keys(1)
+        assert top[0][0] == "big"
+
+    def test_error_report_aggregates(self):
+        bank = _morris_bank()
+        for key, count in [("a", 5000), ("b", 20_000), ("c", 100)]:
+            bank.record(key, count)
+        report = bank.error_report()
+        assert report.n_keys == 3
+        assert report.total_events == 25_100
+        assert report.max_relative_error >= report.mean_relative_error
+
+    def test_memory_accounting(self):
+        bank = _morris_bank()
+        bank.record("a", 100_000)
+        bank.record("b", 100_000)
+        assert bank.total_state_bits() < bank.total_exact_bits() * 2
+
+    def test_track_truth_false_blocks_reports(self):
+        bank = _morris_bank(track_truth=False)
+        bank.record("a", 10)
+        with pytest.raises(ParameterError):
+            bank.truth("a")
+        with pytest.raises(ParameterError):
+            bank.error_report()
+
+
+class TestWithNelsonYu:
+    def test_bank_of_ny_counters(self):
+        bank = CounterBank(
+            lambda rng: NelsonYuCounter(0.25, 10, rng=rng), seed=1
+        )
+        events = zipf_workload(BitBudgetedRandom(2), 30, 2000)
+        bank.consume(events)
+        report = bank.error_report()
+        # Epoch-0 exactness: these small counts are exact.
+        assert report.max_relative_error == 0.0

@@ -1,0 +1,48 @@
+"""Tests for bank error reports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analytics.report import BankErrorReport, KeyError_
+from repro.errors import ParameterError
+
+
+def _entries() -> list[KeyError_]:
+    return [
+        KeyError_("a", truth=100, estimate=110.0),
+        KeyError_("b", truth=200, estimate=200.0),
+        KeyError_("c", truth=50, estimate=40.0),
+    ]
+
+
+class TestKeyError:
+    def test_relative_error(self):
+        assert KeyError_("k", 100, 110.0).relative_error == pytest.approx(0.1)
+
+    def test_zero_truth(self):
+        assert KeyError_("k", 0, 0.0).relative_error == 0.0
+
+
+class TestBankErrorReport:
+    def test_aggregation(self):
+        report = BankErrorReport.from_entries(_entries(), total_state_bits=99)
+        assert report.n_keys == 3
+        assert report.total_events == 350
+        assert report.max_relative_error == pytest.approx(0.2)
+        assert report.worst_key == "c"
+        assert report.mean_relative_error == pytest.approx(0.1)
+        assert report.total_state_bits == 99
+
+    def test_fraction_within(self):
+        report = BankErrorReport.from_entries(_entries(), total_state_bits=0)
+        assert report.fraction_within(_entries(), 0.15) == pytest.approx(2 / 3)
+        assert report.fraction_within(_entries(), 0.5) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            BankErrorReport.from_entries([], total_state_bits=0)
+
+    def test_str_contains_worst_key(self):
+        report = BankErrorReport.from_entries(_entries(), total_state_bits=0)
+        assert "c" in str(report)

@@ -1,0 +1,83 @@
+"""Tests for the sharded counter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analytics.sharding import ShardedCounter
+from repro.core.morris import MorrisCounter
+from repro.core.simplified_ny import SimplifiedNYCounter
+from repro.errors import ParameterError
+
+
+def _sharded(n_shards: int = 4, seed: int = 0) -> ShardedCounter:
+    return ShardedCounter(
+        lambda rng: SimplifiedNYCounter(1024, mergeable=True, rng=rng),
+        n_shards=n_shards,
+        seed=seed,
+    )
+
+
+class TestIngest:
+    def test_explicit_routing(self):
+        sharded = _sharded()
+        sharded.add(1000, shard=2)
+        assert sharded.shards[2].n_increments == 1000
+        assert sharded.shards[0].n_increments == 0
+
+    def test_random_routing_spreads(self):
+        sharded = _sharded()
+        for _ in range(400):
+            sharded.increment()
+        loads = [s.n_increments for s in sharded.shards]
+        assert sum(loads) == 400
+        assert all(load > 40 for load in loads)
+
+    def test_bad_shard_rejected(self):
+        with pytest.raises(ParameterError):
+            _sharded().add(10, shard=9)
+        with pytest.raises(ParameterError):
+            _sharded().add(-1, shard=0)
+
+    def test_n_shards_validated(self):
+        with pytest.raises(ParameterError):
+            ShardedCounter(lambda rng: MorrisCounter(0.5, rng=rng), 0)
+
+
+class TestAggregation:
+    def test_estimate_near_truth(self):
+        sharded = _sharded(n_shards=6, seed=1)
+        for shard in range(6):
+            sharded.add(20_000, shard=shard)
+        total = sharded.n_increments
+        assert total == 120_000
+        assert abs(sharded.estimate() - total) / total < 0.2
+
+    def test_estimate_is_non_destructive(self):
+        sharded = _sharded(seed=2)
+        sharded.add(5000, shard=0)
+        before = [(s.y, s.t) for s in sharded.shards]
+        sharded.estimate()
+        after = [(s.y, s.t) for s in sharded.shards]
+        assert before == after
+
+    def test_collapse_returns_single_counter(self):
+        sharded = _sharded(seed=3)
+        for shard in range(4):
+            sharded.add(10_000, shard=shard)
+        merged = sharded.collapse()
+        assert merged.n_increments == 40_000
+        assert abs(merged.estimate() - 40_000) / 40_000 < 0.25
+
+    def test_total_state_bits(self):
+        sharded = _sharded(seed=4)
+        sharded.add(1000, shard=0)
+        assert sharded.total_state_bits() > 0
+
+    def test_works_with_morris(self):
+        sharded = ShardedCounter(
+            lambda rng: MorrisCounter(0.01, rng=rng), n_shards=3, seed=5
+        )
+        for shard in range(3):
+            sharded.add(30_000, shard=shard)
+        assert abs(sharded.estimate() - 90_000) / 90_000 < 0.2

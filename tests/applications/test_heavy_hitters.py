@@ -1,0 +1,102 @@
+"""Tests for heavy hitters (SpaceSaving exact + approximate cells)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.applications.heavy_hitters import ApproxSpaceSaving, SpaceSaving
+from repro.core.morris_plus import MorrisPlusCounter
+from repro.errors import ParameterError
+from repro.rng.bitstream import BitBudgetedRandom
+from repro.stream.workload import zipf_workload
+
+
+def _stream(seed: int, n_keys: int = 100, n_events: int = 8000) -> list[str]:
+    return [
+        e.key
+        for e in zipf_workload(
+            BitBudgetedRandom(seed), n_keys, n_events, exponent=1.3
+        )
+    ]
+
+
+class TestExactSpaceSaving:
+    def test_overestimate_bounded(self):
+        """SpaceSaving invariant: estimate - truth <= m/k."""
+        stream = _stream(1)
+        truth = Counter(stream)
+        summary = SpaceSaving(k=20)
+        summary.consume(stream)
+        bound = len(stream) / 20
+        for item, count in truth.items():
+            estimate = summary.estimate(item)
+            if estimate:
+                assert count <= estimate <= count + bound
+
+    def test_finds_true_heavy_hitters(self):
+        stream = _stream(2)
+        truth = Counter(stream)
+        summary = SpaceSaving(k=25)
+        summary.consume(stream)
+        phi = 0.05
+        reported = {item for item, _ in summary.heavy_hitters(phi)}
+        for item, count in truth.items():
+            if count > (phi + 1 / 25) * len(stream):
+                assert item in reported, item
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            SpaceSaving(0)
+        with pytest.raises(ParameterError):
+            SpaceSaving(3).heavy_hitters(0.0)
+
+
+class TestApproxSpaceSaving:
+    def _approx(self, k: int = 25, seed: int = 0) -> ApproxSpaceSaving:
+        return ApproxSpaceSaving(
+            k,
+            lambda rng: MorrisPlusCounter.for_optimal(0.05, 0.01, rng=rng),
+            seed=seed,
+        )
+
+    def test_finds_top_keys(self):
+        stream = _stream(3)
+        truth = Counter(stream)
+        summary = self._approx()
+        summary.consume(stream)
+        top_truth = [item for item, _ in truth.most_common(3)]
+        reported = {item for item, _ in summary.heavy_hitters(0.03)}
+        for item in top_truth:
+            assert item in reported, item
+
+    def test_estimates_near_truth_for_heavies(self):
+        stream = _stream(4)
+        truth = Counter(stream)
+        summary = self._approx()
+        summary.consume(stream)
+        m, k = len(stream), 25
+        for item, count in truth.most_common(3):
+            estimate = summary.estimate(item)
+            assert estimate > 0
+            # (1±ε) on the SpaceSaving value, which overestimates by <= m/k.
+            assert count * 0.85 <= estimate <= (count + m / k) * 1.15
+
+    def test_cell_count_bounded(self):
+        stream = _stream(5)
+        summary = self._approx(k=10)
+        summary.consume(stream)
+        assert len(summary._cells) <= 10
+
+    def test_total_state_bits_reported(self):
+        stream = _stream(6, n_events=2000)
+        summary = self._approx(k=10)
+        summary.consume(stream)
+        assert summary.total_state_bits() > 0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            ApproxSpaceSaving(0, lambda rng: None)
+        with pytest.raises(ParameterError):
+            self._approx().heavy_hitters(1.0)

@@ -1,0 +1,100 @@
+"""Tests for frequency-moment estimation."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.applications.moments import FrequencyMomentEstimator
+from repro.core.deterministic import ExactCounter
+from repro.core.morris_plus import MorrisPlusCounter
+from repro.errors import ParameterError
+from repro.rng.bitstream import BitBudgetedRandom
+from repro.stream.workload import zipf_workload
+
+
+def _stream(seed: int, n_keys: int, n_events: int) -> list[str]:
+    return [
+        e.key
+        for e in zipf_workload(BitBudgetedRandom(seed), n_keys, n_events)
+    ]
+
+
+class TestExactMoment:
+    def test_p_one_is_stream_length(self):
+        freqs = {"a": 3, "b": 7}
+        assert FrequencyMomentEstimator.exact_moment(freqs, 1.0) == 10.0
+
+    def test_fractional_p(self):
+        freqs = {"a": 4, "b": 9}
+        assert FrequencyMomentEstimator.exact_moment(freqs, 0.5) == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            FrequencyMomentEstimator.exact_moment({}, 1.5)
+
+
+class TestEstimatorWithExactCounters:
+    """With exact tail counters the only noise is position sampling."""
+
+    def test_p1_unbiased(self):
+        stream = _stream(1, 30, 3000)
+        estimator = FrequencyMomentEstimator(
+            1.0, 40, lambda rng: ExactCounter(rng=rng), seed=5
+        )
+        estimator.consume(stream)
+        # For p = 1, each basic estimate is m*(r - (r-1)) = m exactly.
+        assert estimator.estimate() == pytest.approx(len(stream))
+
+    def test_p_half_close_to_truth(self):
+        stream = _stream(2, 40, 4000)
+        truth = FrequencyMomentEstimator.exact_moment(
+            Counter(stream), 0.5
+        )
+        estimator = FrequencyMomentEstimator(
+            0.5, 120, lambda rng: ExactCounter(rng=rng), seed=7
+        )
+        estimator.consume(stream)
+        assert abs(estimator.estimate() - truth) / truth < 0.35
+
+
+class TestEstimatorWithApproxCounters:
+    def test_p_half_with_morris_plus(self):
+        """The paper's use case: approximate counters as the subroutine."""
+        stream = _stream(3, 40, 4000)
+        truth = FrequencyMomentEstimator.exact_moment(Counter(stream), 0.5)
+        estimator = FrequencyMomentEstimator(
+            0.5,
+            120,
+            lambda rng: MorrisPlusCounter.for_optimal(0.1, 0.01, rng=rng),
+            seed=11,
+        )
+        estimator.consume(stream)
+        assert abs(estimator.estimate() - truth) / truth < 0.4
+
+
+class TestInterface:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            FrequencyMomentEstimator(
+                0.0, 5, lambda rng: ExactCounter(rng=rng)
+            )
+        with pytest.raises(ParameterError):
+            FrequencyMomentEstimator(
+                0.5, 0, lambda rng: ExactCounter(rng=rng)
+            )
+
+    def test_estimate_before_items_rejected(self):
+        estimator = FrequencyMomentEstimator(
+            0.5, 3, lambda rng: ExactCounter(rng=rng)
+        )
+        with pytest.raises(ParameterError):
+            estimator.estimate()
+
+    def test_stream_length_tracked(self):
+        estimator = FrequencyMomentEstimator(
+            1.0, 2, lambda rng: ExactCounter(rng=rng)
+        )
+        estimator.consume(["a", "b", "a"])
+        assert estimator.stream_length == 3

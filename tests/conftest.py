@@ -1,0 +1,23 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rng.bitstream import BitBudgetedRandom
+
+
+@pytest.fixture
+def rng() -> BitBudgetedRandom:
+    """A deterministic random source (fresh per test)."""
+    return BitBudgetedRandom(0xDEADBEEF)
+
+
+@pytest.fixture
+def rng_factory():
+    """Factory producing independent seeded sources."""
+
+    def make(seed: int) -> BitBudgetedRandom:
+        return BitBudgetedRandom(seed)
+
+    return make

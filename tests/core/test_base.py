@@ -1,0 +1,68 @@
+"""Tests for the abstract counter interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.deterministic import ExactCounter
+from repro.core.morris import MorrisCounter
+from repro.errors import MergeError, ParameterError
+from repro.rng.bitstream import BitBudgetedRandom
+
+
+class TestConstruction:
+    def test_rng_and_seed_mutually_exclusive(self):
+        with pytest.raises(ParameterError):
+            ExactCounter(rng=BitBudgetedRandom(0), seed=1)
+
+    def test_default_seed_is_deterministic(self):
+        a, b = MorrisCounter(0.5), MorrisCounter(0.5)
+        a.add(500)
+        b.add(500)
+        assert a.x == b.x
+
+    def test_explicit_rng_is_used(self):
+        rng = BitBudgetedRandom(7)
+        counter = MorrisCounter(0.5, rng=rng)
+        counter.add(100)
+        assert rng.bits_consumed > 0
+
+
+class TestRelativeError:
+    def test_zero_counts(self):
+        counter = ExactCounter()
+        assert counter.relative_error() == 0.0
+
+    def test_nonzero(self):
+        counter = ExactCounter()
+        counter.add(100)
+        assert counter.relative_error() == 0.0
+
+
+class TestSnapshots:
+    def test_algorithm_mismatch_rejected(self):
+        exact = ExactCounter()
+        morris = MorrisCounter(0.5)
+        with pytest.raises(ParameterError):
+            morris.restore(exact.snapshot())
+
+    def test_snapshot_carries_bookkeeping(self):
+        counter = MorrisCounter(0.5, seed=0)
+        counter.add(123)
+        snap = counter.snapshot()
+        assert snap.n_increments == 123
+        assert snap.algorithm == "morris"
+        assert snap.params == {"a": 0.5}
+
+
+class TestDefaultMerge:
+    def test_unsupported_by_default(self):
+        class Dummy(MorrisCounter):
+            algorithm_name = "dummy"
+
+        # The ABC default (reached via super()) raises MergeError.
+        from repro.core.base import ApproximateCounter
+
+        counter = ExactCounter()
+        with pytest.raises(MergeError):
+            ApproximateCounter.merge_from(counter, counter)

@@ -1,0 +1,112 @@
+"""Tests for snapshot serialization, including corruption injection."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.codec import decode_snapshot, encode_snapshot, restore_counter
+from repro.core.morris import MorrisCounter
+from repro.core.nelson_yu import NelsonYuCounter
+from repro.core.simplified_ny import SimplifiedNYCounter
+from repro.errors import StateError
+
+
+def _roundtrip(counter):
+    return restore_counter(encode_snapshot(counter.snapshot()), seed=99)
+
+
+class TestRoundtrip:
+    def test_morris(self):
+        counter = MorrisCounter(0.25, seed=0)
+        counter.add(5000)
+        restored = _roundtrip(counter)
+        assert restored.estimate() == counter.estimate()
+        assert restored.n_increments == 5000
+
+    def test_nelson_yu_with_history(self):
+        counter = NelsonYuCounter(0.3, 4, mergeable=True, seed=1)
+        counter.add(20_000)
+        restored = _roundtrip(counter)
+        assert restored.estimate() == counter.estimate()
+        # Mergeable history survives the roundtrip: merging still works.
+        other = NelsonYuCounter(0.3, 4, mergeable=True, seed=2)
+        other.add(1000)
+        restored.merge_from(other)
+        assert restored.n_increments == 21_000
+
+    def test_simplified(self):
+        counter = SimplifiedNYCounter(128, t_max=12, seed=3)
+        counter.add(30_000)
+        restored = _roundtrip(counter)
+        assert (restored.y, restored.t) == (counter.y, counter.t)
+
+    def test_restored_counter_continues(self):
+        counter = MorrisCounter(0.25, seed=4)
+        counter.add(1000)
+        restored = _roundtrip(counter)
+        restored.add(1000)
+        assert restored.n_increments == 2000
+
+    def test_replicas_do_not_share_randomness(self):
+        counter = MorrisCounter(0.25, seed=5)
+        counter.add(200)
+        line = encode_snapshot(counter.snapshot())
+        a = restore_counter(line, seed=1)
+        b = restore_counter(line, seed=2)
+        a.add(50_000)
+        b.add(50_000)
+        assert a.x != b.x  # overwhelmingly likely with distinct streams
+
+
+class TestCorruptionInjection:
+    def _line(self) -> str:
+        counter = MorrisCounter(0.25, seed=0)
+        counter.add(100)
+        return encode_snapshot(counter.snapshot())
+
+    def test_bit_flip_detected(self):
+        line = self._line()
+        corrupted = line.replace('"x":', '"x": 9', 1)
+        with pytest.raises(StateError):
+            decode_snapshot(corrupted)
+
+    def test_truncation_detected(self):
+        with pytest.raises(StateError):
+            decode_snapshot(self._line()[:-10])
+
+    def test_payload_tamper_detected(self):
+        wrapper = json.loads(self._line())
+        wrapper["payload"]["n"] = 999_999
+        with pytest.raises(StateError, match="checksum"):
+            decode_snapshot(json.dumps(wrapper))
+
+    def test_version_mismatch(self):
+        wrapper = json.loads(self._line())
+        wrapper["payload"]["v"] = 42
+        # Recompute a valid checksum so the version check is reached.
+        from repro.core.codec import _checksum
+
+        payload = json.dumps(
+            wrapper["payload"], sort_keys=True, separators=(",", ":")
+        )
+        wrapper["checksum"] = _checksum(payload)
+        with pytest.raises(StateError, match="version"):
+            decode_snapshot(json.dumps(wrapper))
+
+    def test_unknown_algorithm(self):
+        wrapper = json.loads(self._line())
+        wrapper["payload"]["algorithm"] = "hyperloglog"
+        from repro.core.codec import _checksum
+
+        payload = json.dumps(
+            wrapper["payload"], sort_keys=True, separators=(",", ":")
+        )
+        wrapper["checksum"] = _checksum(payload)
+        with pytest.raises(StateError, match="unknown algorithm"):
+            decode_snapshot(json.dumps(wrapper))
+
+    def test_not_json(self):
+        with pytest.raises(StateError):
+            decode_snapshot("definitely not json")

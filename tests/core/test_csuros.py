@@ -1,0 +1,87 @@
+"""Tests for the Csűrös floating-point counter."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.csuros import CsurosCounter
+from repro.errors import MergeError, ParameterError
+from repro.rng.bitstream import BitBudgetedRandom
+
+
+class TestMechanics:
+    def test_exact_below_first_rollover(self):
+        counter = CsurosCounter(d=4, seed=0)  # M = 16
+        counter.add(16)
+        assert counter.x == 16
+        assert counter.estimate() == 16.0
+
+    def test_exponent_advances(self):
+        counter = CsurosCounter(d=2, seed=0)
+        counter.add(10_000)
+        assert counter.exponent >= 3
+
+    def test_d_zero_is_base2_morris(self):
+        """With d=0 the accept rate is 2^-X — exactly Morris(1)."""
+        counter = CsurosCounter(d=0, seed=0)
+        counter.increment()
+        assert counter.x == 1
+        # estimate (1 + 0)*2^1 - 1 = 1 at x=1 (matches 2^X - 1).
+        assert counter.estimate() == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            CsurosCounter(d=-1)
+        with pytest.raises(ParameterError):
+            CsurosCounter(d=3, seed=0).add(-2)
+
+
+class TestUnbiasedness:
+    def test_empirical_mean(self):
+        d, n, trials = 3, 2000, 3000
+        root = BitBudgetedRandom(41)
+        total = 0.0
+        for trial in range(trials):
+            counter = CsurosCounter(d, rng=root.split(trial))
+            counter.add(n)
+            total += counter.estimate()
+        mean = total / trials
+        # Var ~ n^2 / (2M) per [Csu10]; loose 6-sigma band.
+        std = n / math.sqrt(2 * (1 << d))
+        assert abs(mean - n) < 6 * std / math.sqrt(trials)
+
+    def test_increment_add_agree(self):
+        d, n, trials = 2, 300, 2000
+        root = BitBudgetedRandom(43)
+        totals = {"inc": 0.0, "add": 0.0}
+        for trial in range(trials):
+            c1 = CsurosCounter(d, rng=root.split(trial, 1))
+            for _ in range(n):
+                c1.increment()
+            totals["inc"] += c1.estimate()
+            c2 = CsurosCounter(d, rng=root.split(trial, 2))
+            c2.add(n)
+            totals["add"] += c2.estimate()
+        assert abs(totals["inc"] - totals["add"]) / (n * trials) < 0.05
+
+
+class TestInterface:
+    def test_for_bits(self):
+        counter = CsurosCounter.for_bits(17, 999_999, seed=0)
+        counter.add(999_999)
+        assert counter.state_bits() <= 17
+
+    def test_merge_unsupported(self):
+        a = CsurosCounter(3, seed=0)
+        b = CsurosCounter(3, seed=1)
+        with pytest.raises(MergeError):
+            a.merge_from(b)
+
+    def test_snapshot_roundtrip(self):
+        counter = CsurosCounter(5, seed=0)
+        counter.add(4000)
+        other = CsurosCounter(5, seed=9)
+        other.restore(counter.snapshot())
+        assert other.x == counter.x

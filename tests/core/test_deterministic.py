@@ -1,0 +1,76 @@
+"""Tests for the deterministic baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.deterministic import ExactCounter, SaturatingCounter
+from repro.errors import ParameterError
+
+
+class TestExactCounter:
+    def test_counts_exactly(self):
+        counter = ExactCounter()
+        counter.add(100)
+        counter.increment()
+        assert counter.estimate() == 101.0
+        assert counter.relative_error() == 0.0
+
+    def test_state_bits_is_log_n(self):
+        counter = ExactCounter()
+        counter.add(255)
+        assert counter.state_bits() == 8
+        counter.add(1)
+        assert counter.state_bits() == 9
+
+    def test_merge(self):
+        a, b = ExactCounter(), ExactCounter()
+        a.add(30)
+        b.add(12)
+        a.merge_from(b)
+        assert a.estimate() == 42.0
+
+    def test_merge_type_check(self):
+        a = ExactCounter()
+        with pytest.raises(ParameterError):
+            a.merge_from(SaturatingCounter(4))
+
+    def test_snapshot_roundtrip(self):
+        a = ExactCounter()
+        a.add(77)
+        b = ExactCounter()
+        b.restore(a.snapshot())
+        assert b.estimate() == 77.0
+
+
+class TestSaturatingCounter:
+    def test_saturates(self):
+        counter = SaturatingCounter(bits=4)
+        counter.add(100)
+        assert counter.estimate() == 15.0
+        assert counter.saturated
+
+    def test_exact_before_cap(self):
+        counter = SaturatingCounter(bits=8)
+        counter.add(200)
+        assert counter.estimate() == 200.0
+        assert not counter.saturated
+
+    def test_fixed_width_state(self):
+        counter = SaturatingCounter(bits=6)
+        assert counter.state_bits() == 6
+        counter.add(1000)
+        assert counter.state_bits() == 6
+
+    def test_increment_at_cap_is_noop(self):
+        counter = SaturatingCounter(bits=2)
+        for _ in range(10):
+            counter.increment()
+        assert counter.estimate() == 3.0
+        assert counter.n_increments == 10
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            SaturatingCounter(bits=0)
+        with pytest.raises(ParameterError):
+            SaturatingCounter(bits=4)._restore_state({"value": 99})

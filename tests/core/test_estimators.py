@@ -1,0 +1,110 @@
+"""Tests for the estimator formulas."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.estimators import (
+    csuros_estimate,
+    csuros_increment_exponent,
+    morris_estimate,
+    morris_estimator_variance,
+    morris_inverse_estimate,
+    relative_error,
+    subsample_estimate,
+)
+from repro.errors import ParameterError
+
+
+class TestMorrisEstimate:
+    def test_base_cases(self):
+        assert morris_estimate(0, 1.0) == 0.0
+        assert morris_estimate(1, 1.0) == 1.0
+        assert morris_estimate(2, 1.0) == 3.0  # (2^2 - 1)/1
+
+    def test_matches_direct_formula(self):
+        for a in (1.0, 0.25, 0.001):
+            for x in (0, 1, 5, 50):
+                direct = ((1 + a) ** x - 1) / a
+                assert morris_estimate(x, a) == pytest.approx(direct)
+
+    def test_numerically_stable_for_tiny_a(self):
+        """expm1 form must not lose precision where (1+a)^x ~ 1."""
+        a = 1e-12
+        assert morris_estimate(5, a) == pytest.approx(5.0, rel=1e-6)
+
+    def test_inverse_roundtrip(self):
+        for a in (1.0, 0.05):
+            for n in (1.0, 10.0, 12345.0):
+                x = morris_inverse_estimate(n, a)
+                assert morris_estimate(int(round(x)), a) == pytest.approx(
+                    n, rel=a + 0.5
+                )
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            morris_estimate(-1, 1.0)
+        with pytest.raises(ParameterError):
+            morris_estimate(1, 0.0)
+
+
+class TestVariance:
+    def test_paper_formula(self):
+        # §1.2: Var[2^X - 1] = N(N-1)/2 for a = 1.
+        assert morris_estimator_variance(100, 1.0) == 100 * 99 / 2
+
+    def test_zero_for_tiny_n(self):
+        assert morris_estimator_variance(0, 1.0) == 0.0
+        assert morris_estimator_variance(1, 1.0) == 0.0
+
+
+class TestSubsampleEstimate:
+    def test_shift_semantics(self):
+        assert subsample_estimate(5, 0) == 5
+        assert subsample_estimate(5, 3) == 40
+
+    def test_halving_preserves_estimate(self):
+        """2s * 2^t == s * 2^(t+1) — the martingale invariant."""
+        s = 64
+        assert subsample_estimate(2 * s, 3) == subsample_estimate(s, 4)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            subsample_estimate(-1, 0)
+        with pytest.raises(ParameterError):
+            subsample_estimate(1, -1)
+
+
+class TestCsurosEstimate:
+    def test_exact_below_mantissa_rollover(self):
+        """With e = 0 the counter is exact: estimate(x) = x."""
+        d = 4
+        for x in range(16):
+            assert csuros_estimate(x, d) == x
+
+    def test_first_rollover(self):
+        d = 2  # M = 4
+        # x = 4 -> e = 1, mantissa 0 -> (4+0)*2 - 4 = 4.
+        assert csuros_estimate(4, 2) == 4
+        # x = 5 -> (4+1)*2 - 4 = 6: steps of 2 at exponent 1.
+        assert csuros_estimate(5, 2) == 6
+
+    def test_monotone(self):
+        values = [csuros_estimate(x, 3) for x in range(200)]
+        assert values == sorted(values)
+        assert len(set(values)) == len(values)
+
+    def test_exponent(self):
+        assert csuros_increment_exponent(17, 3) == 2
+
+
+class TestRelativeError:
+    def test_zero_truth(self):
+        assert relative_error(0.0, 0.0) == 0.0
+        assert relative_error(1.0, 0.0) == math.inf
+
+    def test_symmetric_magnitude(self):
+        assert relative_error(90, 100) == pytest.approx(0.1)
+        assert relative_error(110, 100) == pytest.approx(0.1)

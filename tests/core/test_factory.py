@@ -1,0 +1,69 @@
+"""Tests for the counter factory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.csuros import CsurosCounter
+from repro.core.deterministic import SaturatingCounter
+from repro.core.factory import COUNTER_TYPES, counter_for_bits, make_counter
+from repro.core.morris import MorrisCounter
+from repro.core.nelson_yu import NelsonYuCounter
+from repro.core.simplified_ny import SimplifiedNYCounter
+from repro.errors import ParameterError
+
+
+class TestMakeCounter:
+    def test_all_registered_types_constructible(self):
+        params = {
+            "exact": {},
+            "saturating": {"bits": 8},
+            "morris": {"a": 0.5},
+            "morris_plus": {"a": 0.5},
+            "nelson_yu": {"epsilon": 0.2, "delta_exponent": 8},
+            "simplified_ny": {"resolution": 16},
+            "csuros": {"d": 4},
+        }
+        assert set(params) == set(COUNTER_TYPES)
+        for name, kwargs in params.items():
+            counter = make_counter(name, seed=0, **kwargs)
+            counter.add(100)
+            assert counter.n_increments == 100
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ParameterError, match="unknown algorithm"):
+            make_counter("hyperloglog")
+
+    def test_registry_names_match_classes(self):
+        for name, cls in COUNTER_TYPES.items():
+            assert cls.algorithm_name == name
+
+
+class TestCounterForBits:
+    def test_morris(self):
+        counter = counter_for_bits("morris", 16, 100_000, seed=0)
+        assert isinstance(counter, MorrisCounter)
+
+    def test_simplified(self):
+        counter = counter_for_bits("simplified_ny", 16, 100_000, seed=0)
+        assert isinstance(counter, SimplifiedNYCounter)
+
+    def test_csuros(self):
+        counter = counter_for_bits("csuros", 16, 100_000, seed=0)
+        assert isinstance(counter, CsurosCounter)
+
+    def test_saturating(self):
+        counter = counter_for_bits("saturating", 16, 100_000, seed=0)
+        assert isinstance(counter, SaturatingCounter)
+        assert counter.bits == 16
+
+    def test_budgets_respected_at_n_max(self):
+        n_max = 200_000
+        for kind in ("morris", "simplified_ny", "csuros", "saturating"):
+            counter = counter_for_bits(kind, 18, n_max, seed=1)
+            counter.add(n_max)
+            assert counter.state_bits() <= 18, kind
+
+    def test_unsupported_kind(self):
+        with pytest.raises(ParameterError):
+            counter_for_bits("nelson_yu", 16, 100_000)

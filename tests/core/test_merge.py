@@ -1,0 +1,104 @@
+"""Distributional tests for merging (Remark 2.4, CY20 §2.1).
+
+The Morris merge is checked against the *exact* Flajolet DP for the
+combined count — the strongest possible test of "merged ≡ run on
+N1 + N2 increments".
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.deterministic import ExactCounter
+from repro.core.merge import merge_all, merge_counters
+from repro.core.morris import MorrisCounter
+from repro.core.simplified_ny import SimplifiedNYCounter
+from repro.errors import MergeError
+from repro.rng.bitstream import BitBudgetedRandom
+from repro.theory.flajolet import morris_state_distribution
+
+
+class TestMorrisMergeDistribution:
+    def test_merged_matches_exact_dp(self):
+        a, n1, n2, trials = 0.5, 40, 70, 5000
+        exact = morris_state_distribution(a, n1 + n2)
+        root = BitBudgetedRandom(53)
+        observed = np.zeros(len(exact))
+        for trial in range(trials):
+            c1 = MorrisCounter(a, rng=root.split(trial, 1))
+            c2 = MorrisCounter(a, rng=root.split(trial, 2))
+            c1.add(n1)
+            c2.add(n2)
+            c1.merge_from(c2)
+            observed[min(c1.x, len(exact) - 1)] += 1
+        chi, dof = 0.0, -1
+        pooled_e = pooled_o = 0.0
+        for level in range(len(exact)):
+            expected = exact[level] * trials
+            if expected >= 5:
+                chi += (observed[level] - expected) ** 2 / expected
+                dof += 1
+            else:
+                pooled_e += expected
+                pooled_o += observed[level]
+        if pooled_e > 0:
+            chi += (pooled_o - pooled_e) ** 2 / max(pooled_e, 1e-9)
+            dof += 1
+        dof = max(1, dof)
+        assert chi < dof + 5 * math.sqrt(2 * dof) + 5
+
+    def test_merge_order_symmetric_in_distribution(self):
+        """mean(merge(A,B)) == mean(merge(B,A)) statistically."""
+        a, n1, n2, trials = 0.5, 30, 90, 3000
+        root = BitBudgetedRandom(59)
+        means = []
+        for order in (0, 1):
+            total = 0.0
+            for trial in range(trials):
+                c1 = MorrisCounter(a, rng=root.split(trial, order, 1))
+                c2 = MorrisCounter(a, rng=root.split(trial, order, 2))
+                c1.add(n1 if order == 0 else n2)
+                c2.add(n2 if order == 0 else n1)
+                c1.merge_from(c2)
+                total += c1.estimate()
+            means.append(total / trials)
+        std = math.sqrt(0.5 * 120 * 119 / 2 / trials)
+        assert abs(means[0] - means[1]) < 6 * std
+
+
+class TestMergeHelpers:
+    def test_merge_counters_not_destructive(self):
+        a = MorrisCounter(0.5, seed=0)
+        b = MorrisCounter(0.5, seed=1)
+        a.add(100)
+        b.add(100)
+        xa, xb = a.x, b.x
+        merged = merge_counters(a, b)
+        assert (a.x, b.x) == (xa, xb)
+        assert merged.n_increments == 200
+
+    def test_merge_all(self):
+        counters = []
+        for i in range(4):
+            c = ExactCounter(seed=i)
+            c.add(10 * (i + 1))
+            counters.append(c)
+        merged = merge_all(counters)
+        assert merged.estimate() == 100.0
+
+    def test_merge_all_empty(self):
+        with pytest.raises(MergeError):
+            merge_all([])
+
+    def test_merge_all_mergeable_simplified(self):
+        counters = []
+        for i in range(3):
+            c = SimplifiedNYCounter(16, mergeable=True, seed=i)
+            c.add(500)
+            counters.append(c)
+        merged = merge_all(counters)
+        assert merged.n_increments == 1500
+        assert merged.relative_error() < 0.5

@@ -1,0 +1,212 @@
+"""Tests for the Morris Counter, including distributional correctness.
+
+The strongest checks compare the simulated state distribution (both the
+``increment`` and the skip-ahead ``add`` paths) to the *exact* Flajolet
+DP — this is what certifies that the fast paths are not just fast but
+distribution-identical.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.morris import MorrisCounter
+from repro.errors import MergeError, ParameterError
+from repro.memory.model import SpaceModel
+from repro.rng.bitstream import BitBudgetedRandom
+from repro.theory.flajolet import morris_state_distribution
+
+
+def _chi_square_against_dp(
+    states: list[int], a: float, n: int, pool_below: float = 5.0
+) -> tuple[float, int]:
+    """χ² of observed states against the exact DP (pooled tails)."""
+    exact = morris_state_distribution(a, n)
+    trials = len(states)
+    observed = np.zeros(len(exact))
+    for state in states:
+        observed[min(state, len(exact) - 1)] += 1
+    chi, dof = 0.0, -1
+    pooled_e, pooled_o = 0.0, 0.0
+    for level in range(len(exact)):
+        expected = exact[level] * trials
+        if expected >= pool_below:
+            chi += (observed[level] - expected) ** 2 / expected
+            dof += 1
+        else:
+            pooled_e += expected
+            pooled_o += observed[level]
+    if pooled_e > 0:
+        chi += (pooled_o - pooled_e) ** 2 / max(pooled_e, 1e-9)
+        dof += 1
+    return chi, max(1, dof)
+
+
+class TestBasics:
+    def test_starts_at_zero(self):
+        counter = MorrisCounter(1.0, seed=0)
+        assert counter.x == 0
+        assert counter.estimate() == 0.0
+
+    def test_first_increment_always_accepts(self):
+        counter = MorrisCounter(1.0, seed=0)
+        counter.increment()
+        assert counter.x == 1
+
+    def test_x_monotone(self):
+        counter = MorrisCounter(0.5, seed=1)
+        previous = 0
+        for _ in range(500):
+            counter.increment()
+            assert counter.x >= previous
+            previous = counter.x
+
+    def test_accept_probability(self):
+        counter = MorrisCounter(1.0, seed=0)
+        counter.increment()
+        counter.increment()
+        assert counter.accept_probability() == pytest.approx(
+            2.0 ** -counter.x
+        )
+
+    def test_invalid_a(self):
+        with pytest.raises(ParameterError):
+            MorrisCounter(0.0)
+        with pytest.raises(ParameterError):
+            MorrisCounter(-1.0)
+
+    def test_add_negative_rejected(self):
+        with pytest.raises(ParameterError):
+            MorrisCounter(1.0, seed=0).add(-1)
+
+    def test_n_increments_bookkeeping(self):
+        counter = MorrisCounter(1.0, seed=0)
+        counter.add(100)
+        counter.increment()
+        assert counter.n_increments == 101
+
+
+class TestSpaceAccounting:
+    def test_state_bits_is_x_bits(self):
+        counter = MorrisCounter(1.0, seed=0)
+        counter.add(1000)
+        assert counter.state_bits() == max(1, counter.x.bit_length())
+        assert counter.state_bits(SpaceModel.WORD_RAM) == counter.state_bits()
+
+    def test_max_tracked(self):
+        counter = MorrisCounter(1.0, seed=0)
+        counter.add(1000)
+        assert counter.max_state_bits == counter.state_bits()
+
+    def test_loglog_growth(self):
+        """State bits grow ~log log N for a = 1."""
+        counter = MorrisCounter(1.0, seed=3)
+        counter.add(1 << 16)
+        assert counter.state_bits() <= 6  # X ~ 16, 5 bits + slack
+
+
+class TestDistribution:
+    def test_increment_matches_dp(self):
+        a, n, trials = 1.0, 60, 4000
+        root = BitBudgetedRandom(11)
+        states = []
+        for t in range(trials):
+            counter = MorrisCounter(a, rng=root.split(t))
+            for _ in range(n):
+                counter.increment()
+            states.append(counter.x)
+        chi, dof = _chi_square_against_dp(states, a, n)
+        assert chi < dof + 5 * math.sqrt(2 * dof) + 5
+
+    def test_add_matches_dp(self):
+        """The geometric fast-forward is distribution-exact."""
+        a, n, trials = 0.5, 200, 4000
+        root = BitBudgetedRandom(13)
+        states = []
+        for t in range(trials):
+            counter = MorrisCounter(a, rng=root.split(t))
+            counter.add(n)
+            states.append(counter.x)
+        chi, dof = _chi_square_against_dp(states, a, n)
+        assert chi < dof + 5 * math.sqrt(2 * dof) + 5
+
+    def test_add_in_pieces_matches_dp(self):
+        """add(n1); add(n2) must equal add(n1+n2) in distribution."""
+        a, trials = 0.5, 4000
+        root = BitBudgetedRandom(17)
+        states = []
+        for t in range(trials):
+            counter = MorrisCounter(a, rng=root.split(t))
+            counter.add(77)
+            counter.add(123)
+            states.append(counter.x)
+        chi, dof = _chi_square_against_dp(states, a, 200)
+        assert chi < dof + 5 * math.sqrt(2 * dof) + 5
+
+    def test_estimator_unbiased_empirically(self):
+        a, n, trials = 0.25, 500, 3000
+        root = BitBudgetedRandom(19)
+        total = 0.0
+        for t in range(trials):
+            counter = MorrisCounter(a, rng=root.split(t))
+            counter.add(n)
+            total += counter.estimate()
+        mean = total / trials
+        std_of_mean = math.sqrt(a * n * (n - 1) / 2 / trials)
+        assert abs(mean - n) < 5 * std_of_mean
+
+
+class TestConstructors:
+    def test_for_chebyshev(self):
+        counter = MorrisCounter.for_chebyshev(0.1, 0.01, seed=0)
+        assert counter.a == pytest.approx(2e-4)
+
+    def test_for_optimal(self):
+        counter = MorrisCounter.for_optimal(0.1, 0.01, seed=0)
+        assert counter.a == pytest.approx(0.01 / (8 * math.log(100)))
+
+    def test_for_bits_capacity(self):
+        counter = MorrisCounter.for_bits(12, 100_000, seed=0)
+        counter.add(100_000)
+        assert counter.state_bits() <= 12
+
+
+class TestSnapshot:
+    def test_roundtrip(self):
+        counter = MorrisCounter(0.5, seed=0)
+        counter.add(500)
+        snap = counter.snapshot()
+        other = MorrisCounter(0.5, seed=1)
+        other.restore(snap)
+        assert other.x == counter.x
+        assert other.n_increments == counter.n_increments
+        assert other.estimate() == counter.estimate()
+
+    def test_param_mismatch_rejected(self):
+        counter = MorrisCounter(0.5, seed=0)
+        other = MorrisCounter(0.25, seed=0)
+        with pytest.raises(ParameterError):
+            other.restore(counter.snapshot())
+
+    def test_bad_state_rejected(self):
+        counter = MorrisCounter(0.5, seed=0)
+        with pytest.raises(ParameterError):
+            counter._restore_state({"x": -3})
+
+
+class TestMergeGuards:
+    def test_merge_base_mismatch(self):
+        a = MorrisCounter(0.5, seed=0)
+        b = MorrisCounter(0.25, seed=1)
+        with pytest.raises(MergeError):
+            a.merge_from(b)
+
+    def test_merge_wrong_type(self):
+        from repro.core.deterministic import ExactCounter
+
+        a = MorrisCounter(0.5, seed=0)
+        with pytest.raises(MergeError):
+            a.merge_from(ExactCounter(seed=1))

@@ -1,0 +1,118 @@
+"""Tests for Morris+ (the deterministic-prefix tweak, Appendix A)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.morris_plus import MorrisPlusCounter
+from repro.core.params import morris_a_optimal, morris_transition_point
+from repro.errors import MergeError, ParameterError
+from repro.memory.model import SpaceModel
+
+
+class TestDeterministicPhase:
+    def test_exact_below_transition(self):
+        counter = MorrisPlusCounter(a=0.1, seed=0)  # transition = 80
+        for n in range(1, 81):
+            counter.increment()
+            assert counter.estimate() == float(n), f"n={n}"
+
+    def test_add_exact_below_transition(self):
+        counter = MorrisPlusCounter(a=0.1, seed=0)
+        counter.add(80)
+        assert counter.estimate() == 80.0
+        assert counter.in_deterministic_phase
+
+    def test_switches_to_morris_after_transition(self):
+        counter = MorrisPlusCounter(a=0.1, seed=0)
+        counter.add(81)
+        assert not counter.in_deterministic_phase
+        assert counter.estimate() == counter.morris.estimate()
+
+    def test_prefix_saturates(self):
+        counter = MorrisPlusCounter(a=0.1, seed=0)
+        counter.add(10_000)
+        assert counter.prefix_value == counter.transition + 1
+
+    def test_default_transition_is_8_over_a(self):
+        counter = MorrisPlusCounter(a=0.01, seed=0)
+        assert counter.transition == 800
+
+    def test_custom_transition(self):
+        counter = MorrisPlusCounter(a=0.1, transition=10, seed=0)
+        counter.add(11)
+        assert not counter.in_deterministic_phase
+
+
+class TestTheorem12Tuning:
+    def test_for_optimal_parameters(self):
+        counter = MorrisPlusCounter.for_optimal(0.2, 0.01, seed=0)
+        assert counter.a == pytest.approx(morris_a_optimal(0.2, 0.01))
+        assert counter.transition == morris_transition_point(counter.a)
+
+    def test_accuracy_beyond_transition(self):
+        counter = MorrisPlusCounter.for_optimal(0.2, 0.05, seed=1)
+        counter.add(10 * counter.transition)
+        # Theorem 1.2: (1 ± 2ε) with probability 1 - 2δ; seed is fixed so
+        # this is a deterministic regression check within the guarantee.
+        assert counter.relative_error() < 2 * 0.2
+
+
+class TestSpace:
+    def test_bits_include_prefix_register(self):
+        counter = MorrisPlusCounter(a=0.1, seed=0)
+        counter.add(1000)
+        prefix_bits = (counter.transition + 1).bit_length()
+        assert counter.state_bits() == prefix_bits + counter.morris.state_bits()
+
+    def test_word_ram_equals_automaton(self):
+        counter = MorrisPlusCounter(a=0.1, seed=0)
+        counter.add(100)
+        assert counter.state_bits(SpaceModel.WORD_RAM) == counter.state_bits(
+            SpaceModel.AUTOMATON
+        )
+
+
+class TestMerge:
+    def test_merge_in_deterministic_phase_is_exact(self):
+        a = MorrisPlusCounter(a=0.01, seed=0)
+        b = MorrisPlusCounter(a=0.01, seed=1)
+        a.add(100)
+        b.add(200)
+        a.merge_from(b)
+        assert a.estimate() == 300.0
+
+    def test_merge_param_mismatch(self):
+        a = MorrisPlusCounter(a=0.01, seed=0)
+        b = MorrisPlusCounter(a=0.02, seed=1)
+        with pytest.raises(MergeError):
+            a.merge_from(b)
+
+    def test_merge_crossing_transition(self):
+        a = MorrisPlusCounter(a=0.1, seed=2)
+        b = MorrisPlusCounter(a=0.1, seed=3)
+        a.add(60)
+        b.add(60)
+        a.merge_from(b)
+        assert a.n_increments == 120
+        assert not a.in_deterministic_phase
+        assert a.relative_error() < 1.0  # generous: a = 0.1 at N = 120
+
+
+class TestValidation:
+    def test_bad_a(self):
+        with pytest.raises(ParameterError):
+            MorrisPlusCounter(a=0.0)
+
+    def test_bad_transition(self):
+        with pytest.raises(ParameterError):
+            MorrisPlusCounter(a=0.1, transition=0)
+
+    def test_snapshot_roundtrip(self):
+        counter = MorrisPlusCounter(a=0.1, seed=0)
+        counter.add(500)
+        snap = counter.snapshot()
+        other = MorrisPlusCounter(a=0.1, seed=9)
+        other.restore(snap)
+        assert other.estimate() == counter.estimate()
+        assert other.prefix_value == counter.prefix_value

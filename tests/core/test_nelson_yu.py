@@ -1,0 +1,221 @@
+"""Tests for Algorithm 1 (NelsonYuCounter)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.nelson_yu import NelsonYuCounter
+from repro.errors import MergeError, ParameterError
+from repro.memory.model import SpaceModel
+from repro.rng.bitstream import BitBudgetedRandom
+
+
+class TestInit:
+    def test_delta_exponent_validation(self):
+        with pytest.raises(ParameterError):
+            NelsonYuCounter(0.1, 1)
+
+    def test_epsilon_validation(self):
+        with pytest.raises(ParameterError):
+            NelsonYuCounter(0.6, 10)
+
+    def test_from_delta_rounds_down(self):
+        counter = NelsonYuCounter.from_delta(0.1, 0.01)
+        assert counter.delta <= 0.01
+        assert counter.delta_exponent == 7  # 2^-7 < 0.01
+
+    def test_initial_state(self):
+        counter = NelsonYuCounter(0.2, 10, seed=0)
+        assert counter.epoch == 0
+        assert counter.y == 0
+        assert counter.t == 0
+        assert counter.alpha == 1.0
+
+
+class TestEpochZeroExactness:
+    """Theorem 2.1's first observation: epoch 0 counts exactly."""
+
+    def test_exact_while_in_epoch_zero(self):
+        counter = NelsonYuCounter(0.2, 10, seed=0)
+        for n in range(1, 200):
+            counter.increment()
+            if counter.epoch == 0:
+                assert counter.estimate() == n
+
+    def test_add_exact_in_epoch_zero(self):
+        counter = NelsonYuCounter(0.2, 10, seed=0)
+        counter.add(100)
+        assert counter.epoch == 0
+        assert counter.estimate() == 100.0
+
+
+class TestInvariants:
+    def test_trigger_invariant(self):
+        """Between increments Y*2^t <= T always holds."""
+        counter = NelsonYuCounter(0.3, 6, seed=1)
+        for _ in range(3000):
+            counter.increment()
+            assert (counter.y << counter.t) <= counter._threshold
+
+    def test_t_monotone_nondecreasing(self):
+        counter = NelsonYuCounter(0.3, 6, seed=2)
+        previous = 0
+        for _ in range(50):
+            counter.add(500)
+            assert counter.t >= previous
+            previous = counter.t
+
+    def test_x_monotone(self):
+        counter = NelsonYuCounter(0.3, 6, seed=3)
+        previous = counter.x
+        for _ in range(50):
+            counter.add(500)
+            assert counter.x >= previous
+            previous = counter.x
+
+    def test_alpha_is_dyadic(self):
+        counter = NelsonYuCounter(0.3, 6, seed=4)
+        counter.add(30_000)
+        assert counter.alpha == 2.0 ** -counter.t
+
+    def test_threshold_never_stored_stale(self):
+        counter = NelsonYuCounter(0.3, 6, seed=5)
+        counter.add(10_000)
+        assert counter._threshold == math.ceil(
+            math.exp(counter.x * math.log1p(counter.epsilon))
+        )
+
+
+class TestAccuracy:
+    def test_estimate_within_guarantee(self):
+        """Relative error bounded by C·ε across magnitudes (C ~ 1.5)."""
+        counter = NelsonYuCounter(0.1, 20, seed=6)
+        position = 0
+        for n in (1_000, 10_000, 100_000, 1_000_000):
+            counter.add(n - position)
+            position = n
+            assert counter.relative_error() < 1.5 * 0.1, f"at n={n}"
+
+    def test_increment_and_add_agree_statistically(self):
+        """Mean estimates from the two drivers agree at matched n."""
+        n, trials = 3000, 150
+        root = BitBudgetedRandom(7)
+        means = []
+        for mode in ("increment", "add"):
+            total = 0.0
+            for t in range(trials):
+                counter = NelsonYuCounter(0.3, 4, rng=root.split(t, hash(mode) & 0xFF))
+                if mode == "increment":
+                    for _ in range(n):
+                        counter.increment()
+                else:
+                    counter.add(n)
+                total += counter.estimate()
+            means.append(total / trials)
+        assert abs(means[0] - means[1]) / n < 0.1
+
+    def test_log_estimate(self):
+        counter = NelsonYuCounter(0.1, 20, seed=8)
+        counter.add(1_000_000)
+        expected_x = math.log(1_000_000) / math.log1p(0.1)
+        assert abs(counter.log_estimate() - expected_x) < 6
+
+
+class TestSpace:
+    def test_state_bits_components(self):
+        counter = NelsonYuCounter(0.2, 10, seed=9)
+        counter.add(200_000)
+        automaton = counter.state_bits(SpaceModel.AUTOMATON)
+        word_ram = counter.state_bits(SpaceModel.WORD_RAM)
+        assert automaton == max(1, counter.x.bit_length()) + max(
+            1, counter.y.bit_length()
+        )
+        assert word_ram >= automaton
+
+    def test_loglog_n_scaling(self):
+        """Going from N to N^2 should add O(1) bits, not double them."""
+        bits = []
+        for n in (10_000, 100_000_000):
+            counter = NelsonYuCounter(0.25, 10, seed=10)
+            counter.add(n)
+            bits.append(counter.state_bits())
+        assert bits[1] - bits[0] <= 3
+
+
+class TestMerge:
+    def test_requires_mergeable_flag(self):
+        a = NelsonYuCounter(0.3, 4, seed=0)
+        b = NelsonYuCounter(0.3, 4, seed=1)
+        with pytest.raises(MergeError):
+            a.merge_from(b)
+
+    def test_param_mismatch(self):
+        a = NelsonYuCounter(0.3, 4, mergeable=True, seed=0)
+        b = NelsonYuCounter(0.3, 5, mergeable=True, seed=1)
+        with pytest.raises(MergeError):
+            a.merge_from(b)
+
+    def test_merge_preserves_total_count(self):
+        a = NelsonYuCounter(0.3, 4, mergeable=True, seed=0)
+        b = NelsonYuCounter(0.3, 4, mergeable=True, seed=1)
+        a.add(4000)
+        b.add(9000)
+        a.merge_from(b)
+        assert a.n_increments == 13_000
+        assert a.relative_error() < 1.5 * 0.3
+
+    def test_merge_smaller_into_larger_and_vice_versa(self):
+        for n_a, n_b in ((500, 20_000), (20_000, 500)):
+            a = NelsonYuCounter(0.3, 4, mergeable=True, seed=2)
+            b = NelsonYuCounter(0.3, 4, mergeable=True, seed=3)
+            a.add(n_a)
+            b.add(n_b)
+            b_state_before = (b.x, b.y, b.t, b.n_increments)
+            a.merge_from(b)
+            # Donor is never mutated.
+            assert (b.x, b.y, b.t, b.n_increments) == b_state_before
+            assert a.n_increments == n_a + n_b
+            assert a.relative_error() < 1.5 * 0.3
+
+    def test_merged_counter_keeps_counting(self):
+        a = NelsonYuCounter(0.3, 4, mergeable=True, seed=4)
+        b = NelsonYuCounter(0.3, 4, mergeable=True, seed=5)
+        a.add(3000)
+        b.add(3000)
+        a.merge_from(b)
+        a.add(6000)
+        assert a.n_increments == 12_000
+        assert a.relative_error() < 1.5 * 0.3
+
+    def test_merged_counter_remains_mergeable(self):
+        a = NelsonYuCounter(0.3, 4, mergeable=True, seed=6)
+        b = NelsonYuCounter(0.3, 4, mergeable=True, seed=7)
+        c = NelsonYuCounter(0.3, 4, mergeable=True, seed=8)
+        for counter, n in ((a, 2000), (b, 3000), (c, 4000)):
+            counter.add(n)
+        a.merge_from(b)
+        a.merge_from(c)
+        assert a.n_increments == 9000
+        assert a.relative_error() < 1.5 * 0.3
+
+
+class TestSnapshot:
+    def test_roundtrip(self):
+        counter = NelsonYuCounter(0.2, 10, mergeable=True, seed=0)
+        counter.add(50_000)
+        snap = counter.snapshot()
+        other = NelsonYuCounter(0.2, 10, mergeable=True, seed=99)
+        other.restore(snap)
+        assert (other.x, other.y, other.t) == (
+            counter.x,
+            counter.y,
+            counter.t,
+        )
+        assert other.estimate() == counter.estimate()
+
+    def test_restore_rejects_below_x0(self):
+        counter = NelsonYuCounter(0.2, 10, seed=0)
+        with pytest.raises(ParameterError):
+            counter._restore_state({"x": 0, "y": 0, "t": 0})

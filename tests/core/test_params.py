@@ -1,0 +1,166 @@
+"""Tests for parameter selection formulas."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.params import (
+    DEFAULT_CHERNOFF_C,
+    SimplifiedNYConfig,
+    csuros_d_for_bits,
+    morris_a_chebyshev,
+    morris_a_for_bits,
+    morris_a_optimal,
+    morris_expected_std,
+    morris_transition_point,
+    morris_x_capacity,
+    nelson_yu_alpha_raw,
+    nelson_yu_x0,
+    simplified_ny_for_bits,
+    validate_epsilon_delta,
+)
+from repro.errors import ParameterError
+
+
+class TestValidation:
+    @pytest.mark.parametrize("eps", [0.0, 0.5, 1.0, -0.1])
+    def test_bad_epsilon(self, eps):
+        with pytest.raises(ParameterError):
+            validate_epsilon_delta(eps, 0.1)
+
+    @pytest.mark.parametrize("delta", [0.0, 0.5, 1.0])
+    def test_bad_delta(self, delta):
+        with pytest.raises(ParameterError):
+            validate_epsilon_delta(0.1, delta)
+
+    def test_good_values_pass(self):
+        validate_epsilon_delta(0.499, 0.499)
+        validate_epsilon_delta(1e-6, 1e-12)
+
+
+class TestMorrisTunings:
+    def test_chebyshev_formula(self):
+        assert morris_a_chebyshev(0.1, 0.01) == pytest.approx(2e-4)
+
+    def test_optimal_formula(self):
+        a = morris_a_optimal(0.2, 0.01)
+        assert a == pytest.approx(0.04 / (8 * math.log(100)))
+
+    def test_optimal_depends_log_log(self):
+        """Halving δ barely changes a (log dependence)."""
+        a1 = morris_a_optimal(0.1, 1e-6)
+        a2 = morris_a_optimal(0.1, 1e-12)
+        assert a1 / a2 == pytest.approx(2.0, rel=1e-9)
+
+    def test_chebyshev_depends_linearly(self):
+        assert morris_a_chebyshev(0.1, 1e-6) / morris_a_chebyshev(
+            0.1, 1e-12
+        ) == pytest.approx(1e6)
+
+    def test_transition_point(self):
+        assert morris_transition_point(0.01) == 800
+        with pytest.raises(ParameterError):
+            morris_transition_point(0.0)
+
+    def test_expected_std(self):
+        assert morris_expected_std(0.5, 100) == pytest.approx(
+            math.sqrt(0.5 * 100 * 99 / 2)
+        )
+        assert morris_expected_std(0.5, 1) == 0.0
+
+
+class TestXCapacity:
+    def test_capacity_reaches_target(self):
+        """The estimator at the capacity state covers headroom * n_max."""
+        from repro.core.estimators import morris_estimate
+
+        for a in (1.0, 0.1, 1e-3):
+            x = morris_x_capacity(a, 10_000, headroom=4.0)
+            assert morris_estimate(x, a) >= 4.0 * 10_000 * 0.999
+
+    def test_capacity_is_tight(self):
+        from repro.core.estimators import morris_estimate
+
+        x = morris_x_capacity(0.01, 10_000, headroom=2.0)
+        assert morris_estimate(x - 1, 0.01) < 2.0 * 10_000 * 1.001
+
+    def test_monotone_in_a(self):
+        assert morris_x_capacity(0.001, 1000) > morris_x_capacity(0.1, 1000)
+
+
+class TestBitFitting:
+    def test_morris_fits_budget(self):
+        a = morris_a_for_bits(17, 999_999)
+        assert morris_x_capacity(a, 999_999) <= (1 << 17) - 1
+
+    def test_morris_fit_is_tight(self):
+        """A noticeably smaller a must overflow the budget."""
+        a = morris_a_for_bits(17, 999_999)
+        assert morris_x_capacity(a * 0.9, 999_999) > ((1 << 17) - 1) * 0.95
+
+    def test_morris_impossible_budget(self):
+        with pytest.raises(ParameterError):
+            morris_a_for_bits(2, 10**9)
+
+    def test_simplified_fits_budget(self):
+        config = simplified_ny_for_bits(17, 999_999)
+        assert config.total_bits <= 17
+        assert config.capacity >= 2 * 999_999
+
+    def test_simplified_figure1_shape(self):
+        """The 17-bit / 1M configuration used by Figure 1."""
+        config = simplified_ny_for_bits(17, 999_999, headroom=2.0)
+        assert config.resolution == 8192
+        assert config.t_max == 7
+
+    def test_simplified_impossible(self):
+        with pytest.raises(ParameterError):
+            simplified_ny_for_bits(3, 10**12)
+
+    def test_csuros_fits(self):
+        d = csuros_d_for_bits(17, 999_999)
+        assert 1 <= d < 17
+
+    def test_config_validation(self):
+        with pytest.raises(ParameterError):
+            SimplifiedNYConfig(resolution=0, t_max=3)
+        with pytest.raises(ParameterError):
+            SimplifiedNYConfig(resolution=4, t_max=-1)
+
+    def test_config_bit_arithmetic(self):
+        config = SimplifiedNYConfig(resolution=8192, t_max=7)
+        assert config.y_bits == 14
+        assert config.t_bits == 3
+        assert config.total_bits == 17
+        assert config.capacity == 16383 * 128
+
+
+class TestNelsonYuParams:
+    def test_x0_threshold_covers_sampling_body(self):
+        """T0 = ceil((1+eps)^X0) >= C ln(1/δ)/ε³ by construction."""
+        for eps, delta in [(0.1, 0.01), (0.3, 1e-6), (0.45, 0.4)]:
+            x0 = nelson_yu_x0(eps, delta, DEFAULT_CHERNOFF_C)
+            body = DEFAULT_CHERNOFF_C * math.log(1 / delta) / eps**3
+            assert (1 + eps) ** x0 >= body * 0.999
+
+    def test_x0_is_minimal(self):
+        eps, delta = 0.2, 0.01
+        x0 = nelson_yu_x0(eps, delta, DEFAULT_CHERNOFF_C)
+        body = DEFAULT_CHERNOFF_C * math.log(1 / delta) / eps**3
+        assert (1 + eps) ** (x0 - 1) < body * 1.001
+
+    def test_alpha_raw_capped_at_one(self):
+        assert nelson_yu_alpha_raw(0.3, 0.01, 6.0, 5, 10) == 1.0
+
+    def test_alpha_raw_decreases_with_threshold(self):
+        small = nelson_yu_alpha_raw(0.1, 0.01, 6.0, 100, 10**6)
+        large = nelson_yu_alpha_raw(0.1, 0.01, 6.0, 100, 10**8)
+        assert large < small
+
+    def test_alpha_raw_validation(self):
+        with pytest.raises(ParameterError):
+            nelson_yu_alpha_raw(0.1, 0.01, 6.0, 0, 100)
+        with pytest.raises(ParameterError):
+            nelson_yu_alpha_raw(0.1, 0.01, 6.0, 5, 0)

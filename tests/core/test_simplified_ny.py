@@ -1,0 +1,167 @@
+"""Tests for the simplified (Figure 1) counter, incl. exact-DP checks."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.simplified_ny import SimplifiedNYCounter
+from repro.errors import BudgetError, MergeError, ParameterError
+from repro.rng.bitstream import BitBudgetedRandom
+from repro.theory.flajolet import subsample_state_distribution
+
+
+class TestMechanics:
+    def test_counts_exactly_below_2s(self):
+        counter = SimplifiedNYCounter(resolution=8, seed=0)
+        counter.add(15)
+        assert (counter.y, counter.t) == (15, 0)
+        assert counter.estimate() == 15.0
+
+    def test_first_halving(self):
+        counter = SimplifiedNYCounter(resolution=8, seed=0)
+        counter.add(16)
+        assert (counter.y, counter.t) == (8, 1)
+        assert counter.estimate() == 16.0
+
+    def test_y_stays_in_range(self):
+        counter = SimplifiedNYCounter(resolution=8, seed=1)
+        for _ in range(5000):
+            counter.increment()
+            assert 0 <= counter.y < 16
+
+    def test_capacity_exhaustion_raises(self):
+        counter = SimplifiedNYCounter(resolution=2, t_max=1, seed=0)
+        with pytest.raises(BudgetError):
+            counter.add(10_000)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            SimplifiedNYCounter(resolution=0)
+        with pytest.raises(ParameterError):
+            SimplifiedNYCounter(resolution=4, t_max=-1)
+        with pytest.raises(ParameterError):
+            SimplifiedNYCounter(resolution=4, seed=0).add(-1)
+
+
+class TestDistribution:
+    def test_increment_matches_dp(self):
+        """Per-increment path vs the exact (Y, t) DP."""
+        resolution, n, trials, t_cap = 4, 120, 4000, 10
+        exact = subsample_state_distribution(resolution, n, t_cap)
+        root = BitBudgetedRandom(23)
+        observed = np.zeros_like(exact)
+        for trial in range(trials):
+            counter = SimplifiedNYCounter(resolution, rng=root.split(trial))
+            for _ in range(n):
+                counter.increment()
+            observed[counter.t, counter.y] += 1
+        chi, dof = _chi_square(observed, exact, trials)
+        assert chi < dof + 5 * math.sqrt(2 * dof) + 5
+
+    def test_add_matches_dp(self):
+        """Skip-ahead path vs the exact DP."""
+        resolution, n, trials, t_cap = 4, 120, 4000, 10
+        exact = subsample_state_distribution(resolution, n, t_cap)
+        root = BitBudgetedRandom(29)
+        observed = np.zeros_like(exact)
+        for trial in range(trials):
+            counter = SimplifiedNYCounter(resolution, rng=root.split(trial))
+            counter.add(n)
+            observed[counter.t, counter.y] += 1
+        chi, dof = _chi_square(observed, exact, trials)
+        assert chi < dof + 5 * math.sqrt(2 * dof) + 5
+
+    def test_estimator_unbiased_empirically(self):
+        resolution, n, trials = 8, 1000, 4000
+        root = BitBudgetedRandom(31)
+        total = 0.0
+        for trial in range(trials):
+            counter = SimplifiedNYCounter(resolution, rng=root.split(trial))
+            counter.add(n)
+            total += counter.estimate()
+        mean = total / trials
+        # Variance of the subsample estimator is ~ n * 2^t; bound loosely.
+        assert abs(mean - n) < 6 * math.sqrt(n * 64 / trials) + 2
+
+
+def _chi_square(observed, exact, trials):
+    chi, dof = 0.0, -1
+    pooled_e = pooled_o = 0.0
+    for t in range(exact.shape[0]):
+        for y in range(exact.shape[1]):
+            expected = exact[t, y] * trials
+            if expected >= 5.0:
+                chi += (observed[t, y] - expected) ** 2 / expected
+                dof += 1
+            else:
+                pooled_e += expected
+                pooled_o += observed[t, y]
+    if pooled_e > 0:
+        chi += (pooled_o - pooled_e) ** 2 / max(pooled_e, 1e-9)
+        dof += 1
+    return chi, max(1, dof)
+
+
+class TestMerge:
+    def test_requires_mergeable(self):
+        a = SimplifiedNYCounter(8, seed=0)
+        b = SimplifiedNYCounter(8, seed=1)
+        with pytest.raises(MergeError):
+            a.merge_from(b)
+
+    def test_param_mismatch(self):
+        a = SimplifiedNYCounter(8, mergeable=True, seed=0)
+        b = SimplifiedNYCounter(16, mergeable=True, seed=1)
+        with pytest.raises(MergeError):
+            a.merge_from(b)
+
+    def test_merge_counts_add(self):
+        a = SimplifiedNYCounter(16, mergeable=True, seed=0)
+        b = SimplifiedNYCounter(16, mergeable=True, seed=1)
+        a.add(700)
+        b.add(1300)
+        a.merge_from(b)
+        assert a.n_increments == 2000
+
+    def test_merge_unbiased(self):
+        """Mean of merged estimates equals the combined count."""
+        trials, n1, n2 = 2500, 300, 500
+        root = BitBudgetedRandom(37)
+        total = 0.0
+        for trial in range(trials):
+            a = SimplifiedNYCounter(8, mergeable=True, rng=root.split(trial, 1))
+            b = SimplifiedNYCounter(8, mergeable=True, rng=root.split(trial, 2))
+            a.add(n1)
+            b.add(n2)
+            a.merge_from(b)
+            total += a.estimate()
+        mean = total / trials
+        assert abs(mean - (n1 + n2)) < 6 * math.sqrt((n1 + n2) * 128 / trials) + 2
+
+    def test_donor_not_mutated(self):
+        a = SimplifiedNYCounter(8, mergeable=True, seed=0)
+        b = SimplifiedNYCounter(8, mergeable=True, seed=1)
+        a.add(100)
+        b.add(5000)
+        before = (b.y, b.t, b.n_increments)
+        a.merge_from(b)
+        assert (b.y, b.t, b.n_increments) == before
+
+
+class TestFitting:
+    def test_for_bits_respects_budget(self):
+        counter = SimplifiedNYCounter.for_bits(17, 999_999, seed=0)
+        assert counter.state_bits() <= 17
+        counter.add(999_999)
+        assert counter.state_bits() <= 17
+
+    def test_snapshot_roundtrip(self):
+        counter = SimplifiedNYCounter(64, t_max=10, seed=0)
+        counter.add(5000)
+        snap = counter.snapshot()
+        other = SimplifiedNYCounter(64, t_max=10, seed=9)
+        other.restore(snap)
+        assert (other.y, other.t) == (counter.y, counter.t)

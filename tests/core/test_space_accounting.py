@@ -1,0 +1,81 @@
+"""Cross-counter space accounting under both conventions.
+
+These pin down the exact Remark 2.2 accounting rules per counter:
+which fields count as automaton state, and which additionally count
+under word-RAM accounting.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.csuros import CsurosCounter
+from repro.core.deterministic import ExactCounter, SaturatingCounter
+from repro.core.morris import MorrisCounter
+from repro.core.morris_plus import MorrisPlusCounter
+from repro.core.nelson_yu import NelsonYuCounter
+from repro.core.simplified_ny import SimplifiedNYCounter
+from repro.memory.model import SpaceModel
+
+
+def _all_counters(seed: int = 0):
+    return [
+        ExactCounter(seed=seed),
+        SaturatingCounter(12, seed=seed),
+        MorrisCounter(0.1, seed=seed),
+        MorrisPlusCounter(0.1, seed=seed),
+        NelsonYuCounter(0.25, 8, seed=seed),
+        SimplifiedNYCounter(64, seed=seed),
+        CsurosCounter(4, seed=seed),
+    ]
+
+
+class TestWordRamDominatesAutomaton:
+    @pytest.mark.parametrize("n", [0, 100, 20_000])
+    def test_word_ram_at_least_automaton(self, n):
+        for counter in _all_counters():
+            counter.add(n)
+            automaton = counter.state_bits(SpaceModel.AUTOMATON)
+            word_ram = counter.state_bits(SpaceModel.WORD_RAM)
+            assert word_ram >= automaton, type(counter).__name__
+
+
+class TestNelsonYuAccountingRules:
+    def test_word_ram_adds_exactly_t_bits(self):
+        counter = NelsonYuCounter(0.25, 8, seed=1)
+        counter.add(200_000)
+        gap = counter.state_bits(SpaceModel.WORD_RAM) - counter.state_bits(
+            SpaceModel.AUTOMATON
+        )
+        assert gap == max(1, counter.t.bit_length())
+
+    def test_tracker_uses_automaton_convention(self):
+        counter = NelsonYuCounter(0.25, 8, seed=2)
+        counter.add(50_000)
+        assert counter.max_state_bits >= counter.state_bits(
+            SpaceModel.AUTOMATON
+        ) - 1
+
+
+class TestStateBitsNeverZero:
+    def test_fresh_counters_have_positive_state(self):
+        for counter in _all_counters():
+            assert counter.state_bits() >= 1, type(counter).__name__
+
+
+class TestOrderingAtScale:
+    def test_approximate_beats_exact_at_large_n(self):
+        """At N = 5M the randomized counters must be well under the
+        exact counter's 23 bits (the paper's entire point)."""
+        n = 5_000_000
+        exact = ExactCounter(seed=0)
+        exact.add(n)
+        morris = MorrisCounter(0.05, seed=0)
+        morris.add(n)
+        simplified = SimplifiedNYCounter(256, seed=0)
+        simplified.add(n)
+        csuros = CsurosCounter(8, seed=0)
+        csuros.add(n)
+        assert exact.state_bits() == 23
+        for counter in (morris, simplified, csuros):
+            assert counter.state_bits() < 16, type(counter).__name__

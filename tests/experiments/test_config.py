@@ -1,0 +1,46 @@
+"""Tests for experiment configuration and scaling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.config import ExperimentContext, scaled_trials, trials_scale
+
+
+class TestScale:
+    def test_default_scale(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRIALS_SCALE", raising=False)
+        assert trials_scale() == 1.0
+        assert scaled_trials(100) == 100
+
+    def test_env_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRIALS_SCALE", "0.25")
+        assert scaled_trials(100) == 25
+
+    def test_minimum_floor(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRIALS_SCALE", "0.001")
+        assert scaled_trials(100, minimum=10) == 10
+
+    def test_invalid_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRIALS_SCALE", "banana")
+        with pytest.raises(ExperimentError):
+            trials_scale()
+        monkeypatch.setenv("REPRO_TRIALS_SCALE", "-1")
+        with pytest.raises(ExperimentError):
+            trials_scale()
+
+    def test_invalid_base(self):
+        with pytest.raises(ExperimentError):
+            scaled_trials(0)
+
+
+class TestContext:
+    def test_explicit_scale_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRIALS_SCALE", "10")
+        context = ExperimentContext(scale=0.5)
+        assert context.trials(100) == 50
+
+    def test_env_used_without_explicit(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRIALS_SCALE", "2")
+        assert ExperimentContext().trials(100) == 200

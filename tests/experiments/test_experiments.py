@@ -1,0 +1,182 @@
+"""Tests for the experiment harnesses (reduced scale).
+
+These check that each experiment produces results with the paper's
+qualitative shape, at trial counts small enough for CI.  Full-size runs
+live in the benchmarks and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.appendix_a import AppendixAConfig, run_appendix_a
+from repro.experiments.config import ExperimentContext
+from repro.experiments.figure1 import Figure1Config, run_figure1
+from repro.experiments.flajolet_floor import FloorConfig, run_flajolet_floor
+from repro.experiments.lower_bound_exp import (
+    LowerBoundConfig,
+    run_lower_bound,
+    run_survival_threshold,
+)
+from repro.experiments.merge_exp import (
+    MergeConfig,
+    run_morris_merge,
+    run_nelson_yu_merge,
+    run_simplified_merge,
+)
+from repro.experiments.space_scaling import (
+    DeltaSweepConfig,
+    FailureCheckConfig,
+    NSweepConfig,
+    run_delta_sweep,
+    run_failure_check,
+    run_n_sweep,
+)
+from repro.experiments.throughput import ThroughputConfig, run_throughput
+from repro.experiments.tradeoff import TradeoffConfig, run_tradeoff
+
+
+class TestFigure1:
+    def test_shapes_match_paper(self):
+        result = run_figure1(
+            Figure1Config(trials=150), ExperimentContext(seed=1)
+        )
+        # Both algorithms in the low-single-digit-percent error regime.
+        assert result.morris_summary.max < 0.05
+        assert result.simplified_summary.max < 0.05
+        # CDFs of the same order: KS distance well below 1.
+        assert result.ks_distance() < 0.5
+        assert "% of runs" in result.table()
+        assert "Morris" in result.plot()
+
+    def test_17_bit_parameterization(self):
+        result = run_figure1(Figure1Config(trials=10))
+        assert result.simplified_resolution == 8192
+        assert result.simplified_t_max == 7
+
+    def test_trials_validated(self):
+        with pytest.raises(ExperimentError):
+            run_figure1(Figure1Config(trials=0))
+
+
+class TestAppendixA:
+    def test_vanilla_fails_morris_plus_does_not(self):
+        result = run_appendix_a(AppendixAConfig(scan_points=4))
+        adversarial = result.adversarial_row
+        assert adversarial.vanilla_failure > 1000 * result.config.delta
+        assert adversarial.morris_plus_failure == 0.0
+
+    def test_config_constraint_enforced(self):
+        with pytest.raises(ExperimentError):
+            AppendixAConfig(epsilon=0.2, delta=0.01)
+
+    def test_table_marks_adversarial_point(self):
+        result = run_appendix_a(AppendixAConfig(scan_points=4))
+        assert "(=N')" in result.table()
+
+
+class TestSpaceScaling:
+    def test_delta_slopes_separate(self):
+        result = run_delta_sweep(DeltaSweepConfig(trials=5))
+        ny_slope, chebyshev_slope = result.delta_slopes()
+        # log log(1/δ) vs log(1/δ): at least a 2x slope separation.
+        assert ny_slope < chebyshev_slope / 2
+        assert "NelsonYu" in result.table()
+
+    def test_n_sweep_loglog(self):
+        result = run_n_sweep(NSweepConfig(trials=4))
+        rows = result.rows
+        # Exact counter doubles (log N); NY grows by a few bits (log log N).
+        exact_growth = rows[-1].exact_bits - rows[0].exact_bits
+        ny_growth = rows[-1].nelson_yu_bits - rows[0].nelson_yu_bits
+        assert ny_growth <= exact_growth / 2
+
+    def test_failure_check_within_guarantee(self):
+        result = run_failure_check(FailureCheckConfig(trials=400))
+        assert result.empirical_rate <= 2 * result.config.delta
+
+
+class TestFlajoletFloor:
+    def test_floor_flat_small_a_falls(self):
+        result = run_flajolet_floor(
+            FloorConfig(n_values=(256, 1024, 4096))
+        )
+        assert result.floor_spread(0) < 0.01
+        small_a_failures = [row.small_a_failure for row in result.rows]
+        assert small_a_failures[-1] < small_a_failures[0]
+
+
+class TestLowerBound:
+    def test_small_counters_broken(self):
+        result = run_lower_bound(LowerBoundConfig(t_param=1024))
+        assert result.all_small_broken
+        labels_broken = {
+            r.label: r.broken for r in result.reports
+        }
+        assert labels_broken["exact(cap=4096)"] is False
+
+    def test_survival_matches_prediction(self):
+        result = run_survival_threshold(t_values=(64, 256, 1024))
+        for row in result.rows:
+            assert row.smallest_surviving_cap_bits == row.predicted_bits
+
+
+class TestMerge:
+    def test_morris_merge_fits_exact_dp(self):
+        result = run_morris_merge(
+            MergeConfig(n1=60, n2=100, trials=800)
+        )
+        assert result.plausible
+
+    def test_simplified_merge_consistent(self):
+        result = run_simplified_merge(
+            MergeConfig(n1=100, n2=150, trials=300), resolution=8
+        )
+        assert result.consistent
+
+    def test_nelson_yu_merge_consistent(self):
+        result = run_nelson_yu_merge(
+            MergeConfig(n1=2000, n2=3000, trials=120)
+        )
+        assert result.consistent
+
+    def test_trial_floor(self):
+        with pytest.raises(ExperimentError):
+            run_morris_merge(MergeConfig(trials=10))
+
+
+class TestTradeoff:
+    def test_randomized_beat_saturating_below_log_n(self):
+        result = run_tradeoff(TradeoffConfig(bits_values=(14, 18), trials=30))
+        for row in result.rows:
+            assert row.morris_rms < row.saturating_rms
+            assert row.simplified_rms < row.saturating_rms
+
+    def test_error_shrinks_with_bits(self):
+        result = run_tradeoff(
+            TradeoffConfig(bits_values=(12, 18), trials=30)
+        )
+        assert result.rows[1].morris_rms < result.rows[0].morris_rms
+        assert "bits" in result.table()
+
+
+class TestThroughput:
+    def test_reports_positive_rates(self):
+        result = run_throughput(
+            ThroughputConfig(increment_ops=2000, add_total=50_000)
+        )
+        for row in result.rows:
+            assert row.increments_per_second > 0
+            assert row.add_positions_per_second > 0
+
+    def test_add_faster_than_increment_for_morris(self):
+        result = run_throughput(
+            ThroughputConfig(increment_ops=2000, add_total=200_000)
+        )
+        morris = next(r for r in result.rows if r.label.startswith("morris"))
+        assert morris.add_positions_per_second > morris.increments_per_second
+
+    def test_workload_validation(self):
+        with pytest.raises(ExperimentError):
+            run_throughput(ThroughputConfig(increment_ops=10, add_total=10))

@@ -1,0 +1,83 @@
+"""Tests for the E10/E11 extension experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.bank_exp import BankConfig, run_bank_experiment
+from repro.experiments.config import ExperimentContext
+from repro.experiments.randomness import (
+    RandomnessConfig,
+    run_randomness_budget,
+)
+
+
+class TestBankExperiment:
+    def test_memory_columns_scale_differently(self):
+        result = run_bank_experiment(
+            BankConfig(n_counters=50), ExperimentContext(seed=3)
+        )
+        first, last = result.rows[0], result.rows[-1]
+        optimal_growth = (
+            last.optimal_bits_per_counter - first.optimal_bits_per_counter
+        )
+        chebyshev_growth = (
+            last.chebyshev_bits_per_counter
+            - first.chebyshev_bits_per_counter
+        )
+        assert optimal_growth < chebyshev_growth
+
+    def test_small_delta_eliminates_failures(self):
+        result = run_bank_experiment(
+            BankConfig(n_counters=100, delta_exponents=(2, 14)),
+            ExperimentContext(seed=4),
+        )
+        assert result.rows[-1].optimal_bad_fraction == 0.0
+        assert result.rows[-1].chebyshev_bad_fraction == 0.0
+
+    def test_delta_times_m_reported(self):
+        result = run_bank_experiment(
+            BankConfig(n_counters=100, delta_exponents=(2,)),
+        )
+        assert result.rows[0].delta_times_m == pytest.approx(25.0)
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            run_bank_experiment(BankConfig(n_counters=5))
+
+    def test_table_renders(self):
+        result = run_bank_experiment(BankConfig(n_counters=20))
+        assert "bits/ctr" in result.table()
+
+
+class TestRandomnessBudget:
+    def test_coin_protocol_cheap(self):
+        result = run_randomness_budget(
+            RandomnessConfig(increment_n=2000, add_n=200_000)
+        )
+        morris2 = result.rows[0]
+        assert "morris2" in morris2.label
+        assert morris2.increment_bits_per_op < 3.0
+
+    def test_fast_forward_sublinear(self):
+        """add(N) randomness must be far below 1 bit per position."""
+        result = run_randomness_budget(
+            RandomnessConfig(increment_n=1000, add_n=1_000_000)
+        )
+        for row in result.rows:
+            if row.add_total_bits:
+                assert row.add_total_bits < 1_000_000, row.label
+
+    def test_float_bernoulli_costs_53(self):
+        """The float-path Morris pays ~53 bits per increment while X is
+        small (every increment draws a uniform)."""
+        result = run_randomness_budget(
+            RandomnessConfig(increment_n=2000, add_n=100_000)
+        )
+        morris = next(r for r in result.rows if r.label.startswith("morris(a"))
+        assert morris.increment_bits_per_op > 40.0
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            run_randomness_budget(RandomnessConfig(increment_n=10, add_n=10))

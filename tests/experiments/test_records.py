@@ -1,0 +1,52 @@
+"""Tests for tables and summaries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.records import TextTable, summarize
+
+
+class TestTextTable:
+    def test_renders_aligned(self):
+        table = TextTable(["name", "value"])
+        table.add_row("alpha", 1.5)
+        table.add_row("b", 22)
+        rendered = table.render()
+        lines = rendered.splitlines()
+        assert lines[0].startswith("name")
+        assert "-----" in lines[1]
+        assert "alpha" in lines[2]
+        assert "22" in lines[3]
+
+    def test_cell_count_checked(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(ExperimentError):
+            table.add_row(1)
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ExperimentError):
+            TextTable([])
+
+    def test_float_formatting(self):
+        table = TextTable(["x"])
+        table.add_row(0.000123456789)
+        assert "0.000123457" in table.render()
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.n == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.max == 4.0
+        assert summary.p50 in (2.0, 3.0)
+
+    def test_quantiles_ordered(self):
+        summary = summarize(list(range(1000)))
+        assert summary.p50 <= summary.p90 <= summary.p99 <= summary.max
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            summarize([])

@@ -1,0 +1,43 @@
+"""Tests for the trajectory experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.config import ExperimentContext
+from repro.experiments.trajectory import TrajectoryConfig, run_trajectory
+
+
+class TestTrajectory:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_trajectory(
+            TrajectoryConfig(trials=8, n_max=100_000),
+            ExperimentContext(seed=2),
+        )
+
+    def test_exact_at_small_counts(self, result):
+        for name, envelope in result.envelopes.items():
+            assert envelope[0] == 0.0, name
+            assert envelope[3] == 0.0, name  # still tiny counts
+
+    def test_errors_bounded_by_guarantee(self, result):
+        config = result.config
+        for name, envelope in result.envelopes.items():
+            assert max(envelope) < 2.0 * config.epsilon, name
+
+    def test_all_families_present(self, result):
+        assert set(result.envelopes) == {
+            "morris_plus",
+            "nelson_yu",
+            "simplified_ny",
+        }
+
+    def test_renders(self, result):
+        assert "p90 err" in result.table()
+        assert "log10(x)" in result.plot()
+
+    def test_trial_floor(self):
+        with pytest.raises(ExperimentError):
+            run_trajectory(TrajectoryConfig(trials=2))

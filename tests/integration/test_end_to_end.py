@@ -1,0 +1,137 @@
+"""Integration tests spanning multiple subsystems."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import (
+    MorrisCounter,
+    MorrisPlusCounter,
+    NelsonYuCounter,
+    SimplifiedNYCounter,
+    SpaceModel,
+    counter_for_bits,
+    make_counter,
+    merge_all,
+)
+from repro.analytics.counter_bank import CounterBank
+from repro.lowerbound.automaton import morris_automaton
+from repro.lowerbound.verify import verify_theorem_3_1
+from repro.rng.bitstream import BitBudgetedRandom
+from repro.stream.runner import run_counter
+from repro.stream.source import TraceStream, UniformLengthStream
+from repro.stream.workload import zipf_workload
+
+
+class TestPublicApiSurface:
+    def test_top_level_imports_work(self):
+        counter = NelsonYuCounter(0.1, 20, seed=42)
+        counter.add(1_000_000)
+        assert counter.relative_error() < 0.15
+        assert counter.state_bits(SpaceModel.WORD_RAM) >= counter.state_bits()
+
+    def test_quickstart_snippet(self):
+        """The snippet in the package docstring must work as written."""
+        counter = NelsonYuCounter(epsilon=0.1, delta_exponent=20, seed=42)
+        counter.add(1_000_000)
+        assert counter.estimate() > 0
+        assert counter.state_bits() < 64
+
+
+class TestFigure1PipelineSlowPath:
+    """A miniature Figure 1 using the *real* counters end to end
+    (the experiment harness uses fastsim; this certifies the slow path
+    produces the same quality on the same workload)."""
+
+    def test_both_algorithms_on_shared_streams(self):
+        trials = 8
+        root = BitBudgetedRandom(99)
+        source = UniformLengthStream(500_000, 999_999)
+        for trial in range(trials):
+            plan_a = root.split(trial, 0)
+            plan_b = root.split(trial, 0)
+            morris = counter_for_bits(
+                "morris", 17, 999_999, rng=root.split(trial, 1)
+            )
+            simplified = counter_for_bits(
+                "simplified_ny", 17, 999_999, rng=root.split(trial, 2)
+            )
+            result_m = run_counter(morris, source, plan_rng=plan_a)
+            result_s = run_counter(simplified, source, plan_rng=plan_b)
+            assert result_m.final.n == result_s.final.n
+            assert result_m.final.relative_error < 0.05
+            assert result_s.final.relative_error < 0.05
+            assert result_m.max_state_bits <= 17
+            assert result_s.max_state_bits <= 17
+
+
+class TestAnalyticsPipeline:
+    def test_wikipedia_style_bank(self):
+        bank = CounterBank(
+            lambda rng: SimplifiedNYCounter(256, mergeable=False, rng=rng),
+            seed=5,
+        )
+        events = zipf_workload(BitBudgetedRandom(6), 200, 20_000, exponent=1.2)
+        bank.consume(events)
+        report = bank.error_report()
+        assert report.n_keys <= 200
+        assert report.total_events == 20_000
+        assert report.rms_relative_error < 0.2
+        # Top key must be the Zipf head.
+        assert bank.top_keys(1)[0][0] == "page-000000"
+
+
+class TestDistributedMergePipeline:
+    def test_shard_and_merge_matches_total(self):
+        """Four shards counted independently then merged: the classic
+        distributed-analytics flow of Remark 2.4."""
+        shard_counts = [12_000, 7_500, 22_000, 3_500]
+        counters = []
+        for i, count in enumerate(shard_counts):
+            counter = SimplifiedNYCounter(1024, mergeable=True, seed=100 + i)
+            counter.add(count)
+            counters.append(counter)
+        merged = merge_all(counters)
+        total = sum(shard_counts)
+        assert merged.n_increments == total
+        assert abs(merged.estimate() - total) / total < 0.2
+
+    def test_morris_shards(self):
+        counters = []
+        for i in range(3):
+            counter = MorrisCounter(0.01, seed=200 + i)
+            counter.add(30_000)
+            counters.append(counter)
+        merged = merge_all(counters)
+        assert abs(merged.estimate() - 90_000) / 90_000 < 0.2
+
+
+class TestTrajectoryAcrossDecades:
+    def test_relative_error_stays_bounded(self):
+        counter = MorrisPlusCounter.for_optimal(0.1, 1e-4, seed=7)
+        result = run_counter(
+            counter, TraceStream.geometric_grid(1_000_000, points_per_decade=2)
+        )
+        for checkpoint in result.checkpoints:
+            assert checkpoint.relative_error < 0.3, checkpoint
+
+    def test_space_grows_double_logarithmically(self):
+        counter = MorrisCounter(1.0, seed=8)
+        result = run_counter(
+            counter, TraceStream.geometric_grid(1_000_000, points_per_decade=1)
+        )
+        final_bits = result.final.state_bits
+        assert final_bits <= math.ceil(math.log2(math.log2(4e6))) + 4
+
+
+class TestLowerBoundOnRealCounter:
+    def test_factory_counter_to_automaton_attack(self):
+        """Build a counter via the factory, model it as an automaton at
+        the same parameterization, and break it with §3."""
+        counter = make_counter("morris", a=1.0, seed=0)
+        counter.add(1000)
+        automaton = morris_automaton(1.0, x_cap=31)
+        report = verify_theorem_3_1(automaton, t_param=4096)
+        assert report.broken

@@ -1,0 +1,41 @@
+"""Every example script must run cleanly (reduced workloads)."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+_EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+#: script -> args keeping runtime test-friendly
+_CASES = {
+    "quickstart.py": ["200000"],
+    "wikipedia_page_views.py": ["100", "2000000"],
+    "distributed_merge.py": ["3", "20000"],
+    "stream_applications.py": [],
+    "accuracy_space_tour.py": ["60"],
+    "lower_bound_demo.py": ["1024"],
+    "register_machine.py": ["30000"],
+}
+
+
+class TestExamplesRun:
+    @pytest.mark.parametrize("script", sorted(_CASES))
+    def test_example_exits_zero(self, script):
+        result = subprocess.run(
+            [sys.executable, str(_EXAMPLES / script), *_CASES[script]],
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        assert result.returncode == 0, result.stderr[-2000:]
+        assert result.stdout.strip(), "example produced no output"
+
+    def test_every_example_is_covered(self):
+        on_disk = {p.name for p in _EXAMPLES.glob("*.py")}
+        assert on_disk == set(_CASES), (
+            "examples and test cases out of sync"
+        )

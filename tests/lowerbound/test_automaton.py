@@ -1,0 +1,106 @@
+"""Tests for counter automata."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.lowerbound.automaton import (
+    CounterAutomaton,
+    csuros_automaton,
+    exact_automaton,
+    morris_automaton,
+    simplified_ny_automaton,
+)
+from repro.theory.flajolet import (
+    morris_state_distribution,
+    subsample_state_distribution,
+)
+
+
+class TestConstruction:
+    def test_rejects_nonstochastic(self):
+        t = np.array([[0.5, 0.4], [0.0, 1.0]])
+        with pytest.raises(ParameterError):
+            CounterAutomaton(
+                t, np.array([1.0, 0.0]), np.array([0.0, 1.0])
+            )
+
+    def test_rejects_bad_initial(self):
+        t = np.eye(2)
+        with pytest.raises(ParameterError):
+            CounterAutomaton(
+                t, np.array([0.5, 0.4]), np.array([0.0, 1.0])
+            )
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ParameterError):
+            CounterAutomaton(
+                np.eye(2), np.array([1.0, 0.0, 0.0]), np.array([0.0, 1.0])
+            )
+
+    def test_state_bits(self):
+        assert exact_automaton(7).state_bits == 3
+        assert exact_automaton(8).state_bits == 4
+
+
+class TestAgainstDP:
+    def test_morris_automaton_matches_dp(self):
+        """Matrix-power distribution == Flajolet DP."""
+        a, n = 0.5, 60
+        auto = morris_automaton(a, x_cap=40)
+        dist = auto.distribution_after(n)
+        dp = morris_state_distribution(a, n, x_cap=40)
+        assert np.allclose(dist, dp, atol=1e-9)
+
+    def test_simplified_automaton_matches_dp(self):
+        resolution, t_cap, n = 4, 6, 90
+        auto = simplified_ny_automaton(resolution, t_cap)
+        dist = auto.distribution_after(n)
+        dp = subsample_state_distribution(resolution, n, t_cap)
+        # Automaton state index = t * 2s + y.
+        flattened = dp.reshape(-1)
+        assert np.allclose(dist, flattened, atol=1e-9)
+
+    def test_failure_probability_matches_dp(self):
+        from repro.theory.flajolet import morris_failure_probability
+
+        auto = morris_automaton(1.0, x_cap=40)
+        assert auto.failure_probability(300, 0.5) == pytest.approx(
+            morris_failure_probability(1.0, 300, 0.5), abs=1e-9
+        )
+
+
+class TestBuilders:
+    def test_exact_automaton_counts(self):
+        auto = exact_automaton(100)
+        dist = auto.distribution_after(42)
+        assert dist[42] == pytest.approx(1.0)
+
+    def test_exact_automaton_saturates(self):
+        auto = exact_automaton(10)
+        dist = auto.distribution_after(50)
+        assert dist[10] == pytest.approx(1.0)
+
+    def test_csuros_automaton_rows_stochastic(self):
+        auto = csuros_automaton(2, 30)
+        assert np.allclose(auto.transition.sum(axis=1), 1.0)
+
+    def test_repeated_squaring_consistency(self):
+        """distribution_after must agree with naive stepping."""
+        auto = morris_automaton(1.0, x_cap=12)
+        naive = auto.initial.copy()
+        for _ in range(37):
+            naive = naive @ auto.transition
+        assert np.allclose(auto.distribution_after(37), naive, atol=1e-12)
+
+    def test_builder_validation(self):
+        with pytest.raises(ParameterError):
+            morris_automaton(0.0, 4)
+        with pytest.raises(ParameterError):
+            simplified_ny_automaton(0, 4)
+        with pytest.raises(ParameterError):
+            exact_automaton(0)

@@ -1,0 +1,62 @@
+"""Tests for the argmax derandomization (§3 step 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.lowerbound.automaton import exact_automaton, morris_automaton
+from repro.lowerbound.derandomize import derandomize
+
+
+class TestDerandomize:
+    def test_deterministic_automaton_unchanged(self):
+        """Derandomizing a deterministic counter changes nothing."""
+        auto = exact_automaton(20)
+        det = derandomize(auto)
+        for n in range(25):
+            expected = min(n, 20)
+            assert det.state_after(n) == expected
+
+    def test_morris_argmax_freezes_low_levels(self):
+        """For a=1, stay-probability > move-probability once X >= 1, so
+        the derandomized Morris gets stuck at X = 1 — the proof's point
+        that randomness is load-bearing."""
+        det = derandomize(morris_automaton(1.0, 20))
+        assert det.state_after(0) == 0
+        assert det.state_after(1) == 1
+        assert det.state_after(1000) == 1
+
+    def test_tie_break_lexicographic(self):
+        """Equal-probability transitions pick the smallest state."""
+        t = np.array([[0.5, 0.5], [0.0, 1.0]])
+        from repro.lowerbound.automaton import CounterAutomaton
+
+        auto = CounterAutomaton(
+            t, np.array([1.0, 0.0]), np.array([0.0, 1.0])
+        )
+        det = derandomize(auto)
+        assert det.next_state[0] == 0  # stays, does not move
+
+    def test_orbit_cycle_acceleration(self):
+        """state_after for huge n agrees with iterated stepping."""
+        det = derandomize(morris_automaton(1.0, 8))
+        state = det.initial_state
+        for _ in range(100):
+            state = int(det.next_state[state])
+        assert det.state_after(100) == state
+        assert det.state_after(10**15) == det.state_after(
+            100 + ((10**15 - 100) % 1)
+        ) or det.state_after(10**15) == state  # fixed point here
+
+    def test_error_amplification(self):
+        det = derandomize(exact_automaton(4))
+        assert det.error_amplification(3, 2) == 2.0 ** 9
+        with pytest.raises(ParameterError):
+            det.error_amplification(0, 2)
+
+    def test_negative_n_rejected(self):
+        det = derandomize(exact_automaton(4))
+        with pytest.raises(ParameterError):
+            det.state_after(-1)

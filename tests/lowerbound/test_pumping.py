@@ -1,0 +1,56 @@
+"""Tests for the pumping argument (§3 step 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.lowerbound.automaton import exact_automaton, morris_automaton
+from repro.lowerbound.derandomize import derandomize
+from repro.lowerbound.pumping import find_pumping_witness
+
+
+class TestWitnessStructure:
+    def test_witness_ranges(self):
+        det = derandomize(morris_automaton(1.0, 15))
+        t = 1000
+        witness = find_pumping_witness(det, t)
+        assert witness is not None
+        assert 0 <= witness.n_small < witness.n_collide <= t // 2
+        assert 2 * t <= witness.n_large <= 4 * t
+        assert witness.period == witness.n_collide - witness.n_small
+
+    def test_witness_states_actually_collide(self):
+        det = derandomize(morris_automaton(1.0, 15))
+        witness = find_pumping_witness(det, 1000)
+        assert det.state_after(witness.n_small) == det.state_after(
+            witness.n_large
+        )
+        assert det.state_after(witness.n_small) == witness.state
+
+    def test_small_automaton_always_pumped(self):
+        """Any automaton with <= T/2 states must yield a witness."""
+        for cap in (3, 7, 100):
+            det = derandomize(exact_automaton(cap))
+            witness = find_pumping_witness(det, 4 * (cap + 2))
+            assert witness is not None
+
+    def test_large_exact_counter_survives(self):
+        det = derandomize(exact_automaton(600))
+        assert find_pumping_witness(det, 1000) is None
+
+    def test_boundary_cap_exactly_half(self):
+        """cap = T/2 means states 0..T/2 are all distinct: survives."""
+        t = 100
+        det = derandomize(exact_automaton(t // 2))
+        assert find_pumping_witness(det, t) is None
+
+    def test_boundary_cap_one_less(self):
+        t = 100
+        det = derandomize(exact_automaton(t // 2 - 1))
+        assert find_pumping_witness(det, t) is not None
+
+    def test_validation(self):
+        det = derandomize(exact_automaton(4))
+        with pytest.raises(ParameterError):
+            find_pumping_witness(det, 3)

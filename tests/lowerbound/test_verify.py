@@ -1,0 +1,67 @@
+"""Tests for the end-to-end Theorem 3.1 verification."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.lowerbound.automaton import (
+    csuros_automaton,
+    exact_automaton,
+    morris_automaton,
+    simplified_ny_automaton,
+)
+from repro.lowerbound.verify import (
+    min_bits_to_survive,
+    verify_theorem_3_1,
+)
+
+
+class TestVerify:
+    def test_small_randomized_counters_break(self):
+        t = 2048
+        for auto in (
+            morris_automaton(1.0, 31),
+            simplified_ny_automaton(4, 7),
+            csuros_automaton(2, 31),
+        ):
+            report = verify_theorem_3_1(auto, t)
+            assert report.broken, auto.label
+
+    def test_large_exact_counter_survives(self):
+        report = verify_theorem_3_1(exact_automaton(8192), 2048)
+        assert not report.broken
+        assert report.witness is None
+
+    def test_describe_mentions_outcome(self):
+        broken = verify_theorem_3_1(morris_automaton(1.0, 15), 512)
+        assert "BROKEN" in broken.describe()
+        survives = verify_theorem_3_1(exact_automaton(8192), 512)
+        assert "survives" in survives.describe()
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            verify_theorem_3_1(exact_automaton(8), 2)
+
+
+class TestMinBits:
+    def test_matches_log_t(self):
+        for t in (64, 256, 1024, 4096):
+            assert min_bits_to_survive(t) == math.ceil(math.log2(t // 2 + 1))
+
+    def test_is_exactly_the_survival_threshold(self):
+        """Exact counters survive iff their width >= min_bits_to_survive."""
+        for t in (64, 256, 1024):
+            bits = min_bits_to_survive(t)
+            surviving = exact_automaton((1 << bits) - 1)
+            assert not verify_theorem_3_1(surviving, t).broken
+            breaking = exact_automaton((1 << (bits - 1)) - 1)
+            assert verify_theorem_3_1(breaking, t).broken
+
+    def test_omega_log_shape(self):
+        """min bits grows by ~1 per doubling of T: the Ω(log T) shape."""
+        values = [min_bits_to_survive(1 << k) for k in range(6, 15)]
+        gaps = [b - a for a, b in zip(values, values[1:])]
+        assert all(gap == 1 for gap in gaps)

@@ -1,0 +1,147 @@
+"""Machine-vs-counter equivalence.
+
+The register machines and the abstract counters consume randomness through
+the same ``bernoulli_pow2`` primitive in the same order, so identical
+seeds must produce *identical state trajectories* — the strongest
+equivalence between the algorithm and its finite implementation.  The
+Morris(1) machine, which replaces the float-based accept of
+``MorrisCounter``, is validated distributionally against the exact DP.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.nelson_yu import NelsonYuCounter
+from repro.core.simplified_ny import SimplifiedNYCounter
+from repro.errors import BudgetError
+from repro.machine.counters import (
+    Morris2Machine,
+    NelsonYuMachine,
+    SimplifiedNYMachine,
+)
+from repro.rng.bitstream import BitBudgetedRandom
+from repro.theory.flajolet import morris_state_distribution
+
+
+class TestSimplifiedEquivalence:
+    def test_identical_trajectories(self):
+        seed, n = 7, 5000
+        machine = SimplifiedNYMachine(64, 12, BitBudgetedRandom(seed))
+        counter = SimplifiedNYCounter(64, t_max=12, rng=BitBudgetedRandom(seed))
+        for step in range(n):
+            machine.increment()
+            counter.increment()
+            assert (machine.y, machine.t) == (counter.y, counter.t), step
+
+    def test_declared_bits_match_counter_accounting(self):
+        machine = SimplifiedNYMachine(8192, 7, BitBudgetedRandom(0))
+        counter = SimplifiedNYCounter(8192, t_max=7, seed=0)
+        assert machine.state_bits == counter.state_bits() == 17
+
+    def test_estimates_agree(self):
+        seed = 11
+        machine = SimplifiedNYMachine(16, 10, BitBudgetedRandom(seed))
+        counter = SimplifiedNYCounter(16, t_max=10, rng=BitBudgetedRandom(seed))
+        for _ in range(2000):
+            machine.increment()
+            counter.increment()
+        assert machine.estimate() == counter.estimate()
+
+
+class TestNelsonYuEquivalence:
+    def test_identical_trajectories(self):
+        seed, n = 13, 20_000
+        epsilon, exponent = 0.3, 4
+        machine = NelsonYuMachine(
+            epsilon, exponent, n_max=n, rng=BitBudgetedRandom(seed)
+        )
+        counter = NelsonYuCounter(
+            epsilon, exponent, rng=BitBudgetedRandom(seed)
+        )
+        for step in range(n):
+            machine.increment()
+            counter.increment()
+            assert (machine.x, machine.y, machine.t) == (
+                counter.x,
+                counter.y,
+                counter.t,
+            ), step
+
+    def test_estimate_agrees_at_end(self):
+        seed = 17
+        machine = NelsonYuMachine(
+            0.25, 6, n_max=10_000, rng=BitBudgetedRandom(seed)
+        )
+        counter = NelsonYuCounter(0.25, 6, rng=BitBudgetedRandom(seed))
+        for _ in range(10_000):
+            machine.increment()
+            counter.increment()
+        assert machine.estimate() == counter.estimate()
+
+    def test_declared_widths_hold_for_larger_runs(self):
+        """The schedule walk must size registers for the whole stream —
+        a longer run than n_max is the overflow stress."""
+        machine = NelsonYuMachine(
+            0.3, 4, n_max=50_000, rng=BitBudgetedRandom(19)
+        )
+        for _ in range(50_000):
+            machine.increment()  # must not raise BudgetError
+
+    def test_state_bits_within_theorem_scale(self):
+        machine = NelsonYuMachine(
+            0.25, 10, n_max=1 << 20, rng=BitBudgetedRandom(0)
+        )
+        # O(log log N + log 1/eps + log log 1/delta): tens of bits.
+        assert machine.state_bits < 40
+
+
+class TestMorris2Machine:
+    def test_matches_exact_dp(self):
+        n, trials = 100, 4000
+        exact = morris_state_distribution(1.0, n)
+        root = BitBudgetedRandom(23)
+        observed = np.zeros(len(exact))
+        for trial in range(trials):
+            machine = Morris2Machine(8, root.split(trial))
+            for _ in range(n):
+                machine.increment()
+            observed[min(machine.x, len(exact) - 1)] += 1
+        chi, dof = 0.0, -1
+        pooled_e = pooled_o = 0.0
+        for level in range(len(exact)):
+            expected = exact[level] * trials
+            if expected >= 5:
+                chi += (observed[level] - expected) ** 2 / expected
+                dof += 1
+            else:
+                pooled_e += expected
+                pooled_o += observed[level]
+        if pooled_e > 0:
+            chi += (pooled_o - pooled_e) ** 2 / max(pooled_e, 1e-9)
+            dof += 1
+        dof = max(1, dof)
+        assert chi < dof + 5 * math.sqrt(2 * dof) + 5
+
+    def test_coin_only_randomness(self):
+        """The machine must consume ~2 bits per increment on average
+        (early-exit coin protocol), never 53-bit uniforms."""
+        rng = BitBudgetedRandom(29)
+        machine = Morris2Machine.for_stream(10_000, rng)
+        for _ in range(10_000):
+            machine.increment()
+        assert rng.bits_consumed < 3 * 10_000
+
+    def test_estimate(self):
+        machine = Morris2Machine(8, BitBudgetedRandom(1))
+        machine.increment()
+        assert machine.estimate() == 1.0
+
+    def test_overflow_surfaces(self):
+        machine = Morris2Machine(1, BitBudgetedRandom(2))
+        with pytest.raises(BudgetError):
+            for _ in range(100):
+                machine.increment()

@@ -1,0 +1,75 @@
+"""Tests for width-enforced registers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BudgetError, ParameterError
+from repro.machine.registers import BoundedRegister, RegisterFile
+
+
+class TestBoundedRegister:
+    def test_stores_within_width(self):
+        register = BoundedRegister("r", 4)
+        register.store(15)
+        assert register.value == 15
+        assert register.capacity == 15
+
+    def test_overflow_raises(self):
+        register = BoundedRegister("r", 4)
+        with pytest.raises(BudgetError, match="r"):
+            register.store(16)
+
+    def test_increment_overflow_raises(self):
+        register = BoundedRegister("r", 2, value=3)
+        with pytest.raises(BudgetError):
+            register.increment()
+
+    def test_negative_rejected(self):
+        register = BoundedRegister("r", 4)
+        with pytest.raises(BudgetError):
+            register.store(-1)
+
+    def test_shift_right(self):
+        register = BoundedRegister("r", 6, value=40)
+        register.shift_right(2)
+        assert register.value == 10
+
+    def test_clear(self):
+        register = BoundedRegister("r", 4, value=9)
+        register.clear()
+        assert register.value == 0
+
+    def test_width_validation(self):
+        with pytest.raises(ParameterError):
+            BoundedRegister("r", 0)
+
+    def test_initial_value_checked(self):
+        with pytest.raises(BudgetError):
+            BoundedRegister("r", 2, value=4)
+
+
+class TestRegisterFile:
+    def test_total_bits(self):
+        file = RegisterFile(
+            BoundedRegister("a", 3), BoundedRegister("b", 5)
+        )
+        assert file.total_bits == 8
+
+    def test_lookup(self):
+        a = BoundedRegister("a", 3)
+        file = RegisterFile(a)
+        assert file["a"] is a
+        assert "a" in file and "z" not in file
+        with pytest.raises(ParameterError):
+            file["z"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ParameterError):
+            RegisterFile(BoundedRegister("a", 1), BoundedRegister("a", 2))
+
+    def test_snapshot(self):
+        file = RegisterFile(
+            BoundedRegister("a", 3, value=5), BoundedRegister("b", 2)
+        )
+        assert file.snapshot() == {"a": 5, "b": 0}

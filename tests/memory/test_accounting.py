@@ -1,0 +1,58 @@
+"""Tests for cross-trial space histograms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.memory.accounting import SpaceHistogram
+
+
+class TestSpaceHistogram:
+    def test_summary(self):
+        histogram = SpaceHistogram()
+        for bits in (10, 10, 11, 12, 10):
+            histogram.add(bits)
+        summary = histogram.summary()
+        assert summary.trials == 5
+        assert summary.min_bits == 10
+        assert summary.max_bits == 12
+        assert summary.p50_bits == 10
+        assert summary.mean_bits == pytest.approx(53 / 5)
+
+    def test_quantiles(self):
+        histogram = SpaceHistogram()
+        for bits in range(1, 101):
+            histogram.add(bits)
+        assert histogram.quantile(0.5) == 50
+        assert histogram.quantile(0.99) == 99
+        assert histogram.quantile(1.0) == 100
+        assert histogram.quantile(0.0) <= 1
+
+    def test_tail_fraction(self):
+        histogram = SpaceHistogram()
+        for bits in (8, 8, 8, 9, 12):
+            histogram.add(bits)
+        assert histogram.tail_fraction(8) == pytest.approx(2 / 5)
+        assert histogram.tail_fraction(12) == 0.0
+
+    def test_empty_errors(self):
+        with pytest.raises(ParameterError):
+            SpaceHistogram().summary()
+        with pytest.raises(ParameterError):
+            SpaceHistogram().quantile(0.5)
+        with pytest.raises(ParameterError):
+            SpaceHistogram().tail_fraction(4)
+
+    def test_bad_inputs(self):
+        histogram = SpaceHistogram()
+        with pytest.raises(ParameterError):
+            histogram.add(-1)
+        histogram.add(4)
+        with pytest.raises(ParameterError):
+            histogram.quantile(1.5)
+
+    def test_string_rendering(self):
+        histogram = SpaceHistogram()
+        histogram.add(17)
+        assert "17b" in str(histogram.summary())

@@ -1,0 +1,54 @@
+"""Tests for the bit-cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.memory.model import (
+    SpaceModel,
+    fields_bits,
+    uint_bits,
+    uint_capacity_bits,
+)
+
+
+class TestUintBits:
+    def test_zero_takes_one_bit(self):
+        assert uint_bits(0) == 1
+
+    def test_powers_of_two(self):
+        assert uint_bits(1) == 1
+        assert uint_bits(2) == 2
+        assert uint_bits(255) == 8
+        assert uint_bits(256) == 9
+
+    def test_matches_formula(self):
+        for v in range(1, 2000):
+            assert uint_bits(v) == v.bit_length()
+
+    def test_negative_rejected(self):
+        with pytest.raises(ParameterError):
+            uint_bits(-1)
+
+
+class TestCapacityBits:
+    def test_capacity(self):
+        assert uint_capacity_bits(0) == 1
+        assert uint_capacity_bits(7) == 3
+        assert uint_capacity_bits(8) == 4
+
+    def test_negative_rejected(self):
+        with pytest.raises(ParameterError):
+            uint_capacity_bits(-1)
+
+
+class TestFieldsBits:
+    def test_sums_fields(self):
+        assert fields_bits(3, 0, 255) == 2 + 1 + 8
+
+
+class TestSpaceModel:
+    def test_two_conventions_exist(self):
+        assert SpaceModel.AUTOMATON is not SpaceModel.WORD_RAM
+        assert SpaceModel("automaton") is SpaceModel.AUTOMATON

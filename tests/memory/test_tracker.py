@@ -1,0 +1,35 @@
+"""Tests for the running space tracker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.memory.tracker import SpaceTracker
+
+
+class TestSpaceTracker:
+    def test_initial_state(self):
+        tracker = SpaceTracker()
+        assert tracker.current_bits == 0
+        assert tracker.max_bits == 0
+        assert tracker.observations == 0
+
+    def test_tracks_maximum(self):
+        tracker = SpaceTracker()
+        for bits in (3, 9, 5, 12, 7):
+            tracker.observe(bits)
+        assert tracker.max_bits == 12
+        assert tracker.current_bits == 7
+        assert tracker.observations == 5
+
+    def test_reset(self):
+        tracker = SpaceTracker()
+        tracker.observe(10)
+        tracker.reset()
+        assert tracker.max_bits == 0
+        assert tracker.observations == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ParameterError):
+            SpaceTracker().observe(-1)

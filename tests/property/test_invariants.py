@@ -1,0 +1,212 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These cover structural invariants that must hold for *every* parameter
+choice and seed, not just the tuned configurations the unit tests use.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.csuros import CsurosCounter
+from repro.core.estimators import csuros_estimate, morris_estimate
+from repro.core.morris import MorrisCounter
+from repro.core.morris_plus import MorrisPlusCounter
+from repro.core.nelson_yu import NelsonYuCounter
+from repro.core.params import (
+    morris_a_for_bits,
+    morris_x_capacity,
+    simplified_ny_for_bits,
+)
+from repro.core.simplified_ny import SimplifiedNYCounter
+from repro.memory.model import uint_bits
+from repro.rng.bernoulli import DyadicProbability
+from repro.rng.bitstream import BitBudgetedRandom
+
+_SMALL_SEEDS = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+class TestDyadicRounding:
+    @given(p=st.floats(min_value=1e-12, max_value=1.0, exclude_min=False))
+    def test_round_up_brackets(self, p):
+        """2^-(t+1) < p <= 2^-t for the chosen t (Remark 2.2)."""
+        dyadic = DyadicProbability.at_least(p)
+        assert dyadic.value >= p
+        assert dyadic.value / 2.0 < p
+
+
+class TestMorrisEstimatorAlgebra:
+    @given(
+        a=st.floats(min_value=1e-6, max_value=2.0),
+        x=st.integers(min_value=0, max_value=500),
+    )
+    def test_estimate_monotone_in_x(self, a, x):
+        assert morris_estimate(x + 1, a) > morris_estimate(x, a)
+
+    @given(
+        a=st.floats(min_value=1e-6, max_value=2.0),
+        n=st.integers(min_value=1, max_value=10**9),
+    )
+    def test_capacity_covers_target(self, a, n):
+        x = morris_x_capacity(a, n, headroom=2.0)
+        assert morris_estimate(x, a) >= 2.0 * n * (1 - 1e-9)
+
+
+class TestCsurosEstimatorAlgebra:
+    @given(
+        d=st.integers(min_value=0, max_value=12),
+        x=st.integers(min_value=0, max_value=5000),
+    )
+    def test_strictly_monotone(self, d, x):
+        assert csuros_estimate(x + 1, d) > csuros_estimate(x, d)
+
+    @given(d=st.integers(min_value=0, max_value=12))
+    def test_exact_through_first_window(self, d):
+        for x in range(1 << d):
+            assert csuros_estimate(x, d) == x
+
+
+class TestCounterStateInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=_SMALL_SEEDS,
+        a=st.floats(min_value=0.01, max_value=1.5),
+        n=st.integers(min_value=0, max_value=20_000),
+    )
+    def test_morris_state_reachable(self, seed, a, n):
+        """X never exceeds n and the space tracker follows state_bits."""
+        counter = MorrisCounter(a, seed=seed)
+        counter.add(n)
+        assert 0 <= counter.x <= n
+        assert counter.max_state_bits >= counter.state_bits() - 1
+        assert counter.n_increments == n
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=_SMALL_SEEDS,
+        resolution=st.integers(min_value=1, max_value=256),
+        n=st.integers(min_value=0, max_value=20_000),
+    )
+    def test_simplified_y_range_and_estimate_parity(self, seed, resolution, n):
+        """Y in [0, 2s) always; estimate is Y << t; estimate <= capacity."""
+        counter = SimplifiedNYCounter(resolution, seed=seed)
+        counter.add(n)
+        assert 0 <= counter.y < 2 * resolution
+        assert counter.estimate() == float(counter.y << counter.t)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=_SMALL_SEEDS,
+        eps=st.floats(min_value=0.05, max_value=0.45),
+        exponent=st.integers(min_value=2, max_value=30),
+        n=st.integers(min_value=0, max_value=30_000),
+    )
+    def test_nelson_yu_trigger_invariant(self, seed, eps, exponent, n):
+        """After any run, Y·2^t <= T and X >= X0."""
+        counter = NelsonYuCounter(eps, exponent, seed=seed)
+        counter.add(n)
+        assert (counter.y << counter.t) <= counter._threshold
+        assert counter.x >= counter._x0
+        assert counter.n_increments == n
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=_SMALL_SEEDS,
+        a=st.floats(min_value=0.005, max_value=0.5),
+        n=st.integers(min_value=0, max_value=5_000),
+    )
+    def test_morris_plus_exact_or_morris(self, seed, a, n):
+        """The estimate is either the exact prefix or the Morris value."""
+        counter = MorrisPlusCounter(a, seed=seed)
+        counter.add(n)
+        if n <= counter.transition:
+            assert counter.estimate() == float(n)
+        else:
+            assert counter.estimate() == counter.morris.estimate()
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=_SMALL_SEEDS,
+        d=st.integers(min_value=0, max_value=10),
+        n=st.integers(min_value=0, max_value=20_000),
+    )
+    def test_csuros_x_monotone_bounded(self, seed, d, n):
+        counter = CsurosCounter(d, seed=seed)
+        counter.add(n)
+        assert 0 <= counter.x <= n
+
+
+class TestAddSplitEquivalence:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=_SMALL_SEEDS,
+        n1=st.integers(min_value=0, max_value=3000),
+        n2=st.integers(min_value=0, max_value=3000),
+    )
+    def test_add_split_same_stream_same_result(self, seed, n1, n2):
+        """add(n1); add(n2) with the same RNG stream equals add(n1+n2)
+        only in distribution — but bookkeeping must agree exactly."""
+        counter = MorrisCounter(0.1, seed=seed)
+        counter.add(n1)
+        counter.add(n2)
+        assert counter.n_increments == n1 + n2
+
+
+class TestBitBudgetFitting:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        bits=st.integers(min_value=8, max_value=24),
+        n_max=st.integers(min_value=100, max_value=5_000_000),
+    )
+    def test_morris_fit_within_budget(self, bits, n_max):
+        a = morris_a_for_bits(bits, n_max)
+        assert morris_x_capacity(a, n_max) <= (1 << bits) - 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        bits=st.integers(min_value=6, max_value=24),
+        n_max=st.integers(min_value=100, max_value=5_000_000),
+    )
+    def test_simplified_fit_within_budget(self, bits, n_max):
+        config = simplified_ny_for_bits(bits, n_max)
+        assert config.total_bits <= bits
+        assert config.capacity >= 2 * n_max
+
+
+class TestSnapshotRoundtrips:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=_SMALL_SEEDS, n=st.integers(min_value=0, max_value=5000))
+    def test_every_counter_roundtrips(self, seed, n):
+        counters = [
+            MorrisCounter(0.2, seed=seed),
+            MorrisPlusCounter(0.2, seed=seed),
+            SimplifiedNYCounter(32, seed=seed),
+            CsurosCounter(4, seed=seed),
+            NelsonYuCounter(0.3, 6, seed=seed),
+        ]
+        for counter in counters:
+            counter.add(n)
+            snap = counter.snapshot()
+            clone = type(counter)(**snap.params, seed=seed + 1)
+            clone.restore(snap)
+            assert clone.estimate() == counter.estimate()
+            assert clone.state_bits() == counter.state_bits()
+
+
+class TestRandomBitAccounting:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=_SMALL_SEEDS, k=st.integers(min_value=0, max_value=200))
+    def test_getbits_accounting_exact(self, seed, k):
+        rng = BitBudgetedRandom(seed)
+        rng.getbits(k)
+        assert rng.bits_consumed == k
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=_SMALL_SEEDS)
+    def test_uint_bits_matches_python(self, seed):
+        rng = BitBudgetedRandom(seed)
+        value = rng.getbits(40)
+        assert uint_bits(value) == max(1, value.bit_length())

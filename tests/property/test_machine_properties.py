@@ -1,0 +1,81 @@
+"""Property-based tests for the register-machine layer."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.nelson_yu import NelsonYuCounter
+from repro.core.simplified_ny import SimplifiedNYCounter
+from repro.errors import BudgetError
+from repro.machine.counters import NelsonYuMachine, SimplifiedNYMachine
+from repro.machine.registers import BoundedRegister
+from repro.rng.bitstream import BitBudgetedRandom
+
+_SEEDS = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+class TestRegisterProperties:
+    @given(
+        width=st.integers(min_value=1, max_value=40),
+        value=st.integers(min_value=0, max_value=2**45),
+    )
+    def test_store_accepts_iff_fits(self, width, value):
+        register = BoundedRegister("r", width)
+        if value <= (1 << width) - 1:
+            register.store(value)
+            assert register.value == value
+        else:
+            try:
+                register.store(value)
+            except BudgetError:
+                assert register.value == 0  # unchanged on failure
+            else:  # pragma: no cover - would be a real bug
+                raise AssertionError("overflow not detected")
+
+    @given(
+        width=st.integers(min_value=2, max_value=30),
+        value=st.integers(min_value=0, max_value=2**30 - 1),
+        shift=st.integers(min_value=0, max_value=12),
+    )
+    def test_shift_right_matches_python(self, width, value, shift):
+        register = BoundedRegister("r", width)
+        register.store(value & ((1 << width) - 1))
+        expected = register.value >> shift
+        register.shift_right(shift)
+        assert register.value == expected
+
+
+class TestMachineEquivalenceProperty:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=_SEEDS, n=st.integers(min_value=0, max_value=3000))
+    def test_simplified_machine_equals_counter(self, seed, n):
+        machine = SimplifiedNYMachine(16, 16, BitBudgetedRandom(seed))
+        counter = SimplifiedNYCounter(
+            16, t_max=16, rng=BitBudgetedRandom(seed)
+        )
+        for _ in range(n):
+            machine.increment()
+            counter.increment()
+        assert (machine.y, machine.t) == (counter.y, counter.t)
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        seed=_SEEDS,
+        n=st.integers(min_value=0, max_value=4000),
+        eps=st.sampled_from([0.2, 0.3, 0.45]),
+        exponent=st.sampled_from([2, 4, 8]),
+    )
+    def test_nelson_yu_machine_equals_counter(self, seed, n, eps, exponent):
+        machine = NelsonYuMachine(
+            eps, exponent, n_max=max(1, n), rng=BitBudgetedRandom(seed)
+        )
+        counter = NelsonYuCounter(eps, exponent, rng=BitBudgetedRandom(seed))
+        for _ in range(n):
+            machine.increment()
+            counter.increment()
+        assert (machine.x, machine.y, machine.t) == (
+            counter.x,
+            counter.y,
+            counter.t,
+        )

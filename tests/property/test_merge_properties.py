@@ -1,0 +1,75 @@
+"""Property-based tests for merging."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.merge import merge_all, merge_counters
+from repro.core.morris import MorrisCounter
+from repro.core.nelson_yu import NelsonYuCounter
+from repro.core.simplified_ny import SimplifiedNYCounter
+from repro.rng.bitstream import BitBudgetedRandom
+
+_SEEDS = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+class TestMergeBookkeeping:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=_SEEDS,
+        counts=st.lists(
+            st.integers(min_value=0, max_value=3000), min_size=1, max_size=5
+        ),
+    )
+    def test_merge_all_sums_counts_morris(self, seed, counts):
+        counters = []
+        for i, n in enumerate(counts):
+            counter = MorrisCounter(0.3, rng=BitBudgetedRandom(seed + i))
+            counter.add(n)
+            counters.append(counter)
+        merged = merge_all(counters)
+        assert merged.n_increments == sum(counts)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=_SEEDS,
+        n1=st.integers(min_value=0, max_value=5000),
+        n2=st.integers(min_value=0, max_value=5000),
+    )
+    def test_merge_counters_nondestructive_simplified(self, seed, n1, n2):
+        a = SimplifiedNYCounter(32, mergeable=True, rng=BitBudgetedRandom(seed))
+        b = SimplifiedNYCounter(
+            32, mergeable=True, rng=BitBudgetedRandom(seed + 1)
+        )
+        a.add(n1)
+        b.add(n2)
+        state_a, state_b = (a.y, a.t), (b.y, b.t)
+        merged = merge_counters(a, b)
+        assert (a.y, a.t) == state_a
+        assert (b.y, b.t) == state_b
+        assert merged.n_increments == n1 + n2
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=_SEEDS,
+        n1=st.integers(min_value=0, max_value=8000),
+        n2=st.integers(min_value=0, max_value=8000),
+    )
+    def test_nelson_yu_merge_invariants_hold_after_merge(self, seed, n1, n2):
+        a = NelsonYuCounter(
+            0.3, 4, mergeable=True, rng=BitBudgetedRandom(seed)
+        )
+        b = NelsonYuCounter(
+            0.3, 4, mergeable=True, rng=BitBudgetedRandom(seed + 1)
+        )
+        a.add(n1)
+        b.add(n2)
+        a.merge_from(b)
+        # Post-merge the structural invariants must still hold.
+        assert (a.y << a.t) <= a._threshold
+        assert a.x >= a._x0
+        assert a.n_increments == n1 + n2
+        # And the merged counter must keep working.
+        a.add(100)
+        assert a.n_increments == n1 + n2 + 100

@@ -1,0 +1,64 @@
+"""Tests for dyadic probabilities (the Remark 2.2 α representation)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.rng.bernoulli import DyadicProbability, sample_bernoulli
+
+
+class TestAtLeast:
+    def test_rounds_up(self):
+        """The chosen 2^-t must be >= p (Remark 2.2's direction)."""
+        for p in (0.3, 0.6, 0.1, 1e-5, 0.999, 2.0 ** -17 + 1e-9):
+            dyadic = DyadicProbability.at_least(p)
+            assert dyadic.value >= p
+
+    def test_is_tight(self):
+        """One more halving would undershoot p."""
+        for p in (0.3, 0.6, 0.1, 1e-5, 0.7):
+            dyadic = DyadicProbability.at_least(p)
+            assert dyadic.value / 2.0 < p
+
+    def test_exact_powers(self):
+        for t in range(0, 40):
+            assert DyadicProbability.at_least(2.0 ** -t).t == t
+
+    def test_one(self):
+        assert DyadicProbability.at_least(1.0).t == 0
+
+    def test_invalid_probability(self):
+        with pytest.raises(ParameterError):
+            DyadicProbability.at_least(0.0)
+        with pytest.raises(ParameterError):
+            DyadicProbability.at_least(1.5)
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(ParameterError):
+            DyadicProbability(-1)
+
+
+class TestStorage:
+    def test_storage_bits_is_exponent_length(self):
+        assert DyadicProbability(0).storage_bits() == 1
+        assert DyadicProbability(5).storage_bits() == 3
+        assert DyadicProbability(1023).storage_bits() == 10
+
+    def test_float_conversion(self):
+        assert float(DyadicProbability(4)) == 0.0625
+
+
+class TestSampling:
+    def test_sample_rate(self, rng):
+        dyadic = DyadicProbability(2)
+        n = 40_000
+        hits = sum(dyadic.sample(rng) for _ in range(n))
+        assert abs(hits - n / 4) < 5 * math.sqrt(n * 3 / 16)
+
+    def test_sample_bernoulli_dispatch(self, rng):
+        assert sample_bernoulli(rng, DyadicProbability(0)) is True
+        assert sample_bernoulli(rng, 1.0) is True
+        assert sample_bernoulli(rng, 0.0) is False

@@ -1,0 +1,159 @@
+"""Tests for the bit-metered random source."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.rng.bitstream import BitBudgetedRandom
+
+
+class TestBitAccounting:
+    def test_coin_costs_one_bit(self, rng):
+        rng.coin()
+        assert rng.bits_consumed == 1
+
+    def test_getbits_costs_k(self, rng):
+        rng.getbits(13)
+        assert rng.bits_consumed == 13
+
+    def test_getbits_zero_is_free(self, rng):
+        assert rng.getbits(0) == 0
+        assert rng.bits_consumed == 0
+
+    def test_uniform53_costs_53(self, rng):
+        rng.uniform53()
+        assert rng.bits_consumed == 53
+
+    def test_bernoulli_pow2_early_exit(self, rng):
+        """Expected cost is < 2 bits regardless of t."""
+        trials = 2000
+        before = rng.bits_consumed
+        for _ in range(trials):
+            rng.bernoulli_pow2(40)
+        cost = (rng.bits_consumed - before) / trials
+        assert cost < 2.5
+
+    def test_bernoulli_pow2_zero_costs_nothing(self, rng):
+        assert rng.bernoulli_pow2(0) is True
+        assert rng.bits_consumed == 0
+
+    def test_no_entropy_discarded_between_calls(self, rng):
+        """Buffered bits keep total consumption exact across mixed calls."""
+        rng.getbits(7)
+        rng.coin()
+        rng.getbits(64)
+        assert rng.bits_consumed == 7 + 1 + 64
+
+
+class TestDistributions:
+    def test_getbits_range(self, rng):
+        for _ in range(500):
+            assert 0 <= rng.getbits(5) < 32
+
+    def test_coin_is_fair(self, rng):
+        n = 20_000
+        heads = sum(rng.coin() for _ in range(n))
+        assert abs(heads - n / 2) < 5 * math.sqrt(n / 4)
+
+    def test_bernoulli_pow2_rate(self, rng):
+        n = 30_000
+        hits = sum(rng.bernoulli_pow2(3) for _ in range(n))
+        expected = n / 8
+        assert abs(hits - expected) < 5 * math.sqrt(expected)
+
+    def test_bernoulli_edge_cases(self, rng):
+        assert rng.bernoulli(0.0) is False
+        assert rng.bernoulli(1.0) is True
+
+    def test_bernoulli_rate(self, rng):
+        n = 30_000
+        hits = sum(rng.bernoulli(0.3) for _ in range(n))
+        assert abs(hits - 0.3 * n) < 5 * math.sqrt(n * 0.21)
+
+    def test_geometric_mean(self, rng):
+        p = 0.2
+        n = 20_000
+        total = sum(rng.geometric(p) for _ in range(n))
+        mean = total / n
+        std_of_mean = math.sqrt((1 - p) / p**2 / n)
+        assert abs(mean - 1 / p) < 6 * std_of_mean
+
+    def test_geometric_p1(self, rng):
+        assert rng.geometric(1.0) == 1
+
+    def test_geometric_support_starts_at_one(self, rng):
+        assert all(rng.geometric(0.9) >= 1 for _ in range(1000))
+
+    def test_geometric_pow2_matches_geometric(self, rng):
+        """Small-t (coin protocol) and large-t (inverse CDF) agree."""
+        n = 20_000
+        small = sum(rng.geometric_pow2(3) for _ in range(n)) / n
+        assert abs(small - 8.0) < 6 * math.sqrt(56.0 / n)
+
+    def test_randint_below_uniform(self, rng):
+        counts = [0] * 7
+        n = 21_000
+        for _ in range(n):
+            counts[rng.randint_below(7)] += 1
+        for c in counts:
+            assert abs(c - n / 7) < 6 * math.sqrt(n / 7)
+
+    def test_randint_inclusive_bounds(self, rng):
+        values = {rng.randint(3, 5) for _ in range(200)}
+        assert values == {3, 4, 5}
+
+    def test_shuffle_is_permutation(self, rng):
+        items = list(range(50))
+        rng.shuffle(items)
+        assert sorted(items) == list(range(50))
+
+    def test_uniform_open_never_zero(self, rng):
+        assert all(0.0 < rng.uniform_open() < 1.0 for _ in range(2000))
+
+
+class TestSplitting:
+    def test_split_reproducible(self):
+        a = BitBudgetedRandom(5).split(1, 2)
+        b = BitBudgetedRandom(5).split(1, 2)
+        assert [a.getbits(32) for _ in range(4)] == [
+            b.getbits(32) for _ in range(4)
+        ]
+
+    def test_split_independent_of_consumption(self):
+        a = BitBudgetedRandom(5)
+        a.getbits(640)
+        b = BitBudgetedRandom(5)
+        assert a.split(9).getbits(64) == b.split(9).getbits(64)
+
+    def test_distinct_keys_distinct_streams(self):
+        root = BitBudgetedRandom(5)
+        assert root.split(1).getbits(64) != root.split(2).getbits(64)
+
+
+class TestValidation:
+    def test_negative_bits_rejected(self, rng):
+        with pytest.raises(ParameterError):
+            rng.getbits(-1)
+
+    def test_bad_bernoulli_probability(self, rng):
+        with pytest.raises(ParameterError):
+            rng.bernoulli(1.5)
+
+    def test_bad_geometric_probability(self, rng):
+        with pytest.raises(ParameterError):
+            rng.geometric(0.0)
+
+    def test_negative_pow2_exponent(self, rng):
+        with pytest.raises(ParameterError):
+            rng.bernoulli_pow2(-1)
+
+    def test_randint_below_zero(self, rng):
+        with pytest.raises(ParameterError):
+            rng.randint_below(0)
+
+    def test_empty_randint_range(self, rng):
+        with pytest.raises(ParameterError):
+            rng.randint(5, 4)

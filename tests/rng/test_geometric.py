@@ -1,0 +1,86 @@
+"""Tests for geometric helpers and exact binomial sampling."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.rng.geometric import (
+    expected_trials_until_overflow,
+    geometric_mean,
+    geometric_variance,
+    sample_binomial,
+    sample_truncated_geometric,
+)
+from repro.theory.bounds import binomial_pmf
+
+
+class TestMoments:
+    def test_mean(self):
+        assert geometric_mean(0.25) == 4.0
+
+    def test_variance(self):
+        assert geometric_variance(0.5) == pytest.approx(2.0)
+
+    def test_invalid_p(self):
+        with pytest.raises(ParameterError):
+            geometric_mean(0.0)
+        with pytest.raises(ParameterError):
+            geometric_variance(1.5)
+
+
+class TestTruncated:
+    def test_overflow_probability(self, rng):
+        p, limit, n = 0.05, 20, 20_000
+        overflows = sum(
+            sample_truncated_geometric(rng, p, limit) is None
+            for _ in range(n)
+        )
+        expected = expected_trials_until_overflow(p, limit) * n
+        assert abs(overflows - expected) < 5 * math.sqrt(expected)
+
+    def test_values_within_limit(self, rng):
+        for _ in range(500):
+            g = sample_truncated_geometric(rng, 0.3, 7)
+            assert g is None or 1 <= g <= 7
+
+    def test_invalid_limit(self, rng):
+        with pytest.raises(ParameterError):
+            sample_truncated_geometric(rng, 0.5, 0)
+
+
+class TestBinomial:
+    def test_edge_cases(self, rng):
+        assert sample_binomial(rng, 0, 0.5) == 0
+        assert sample_binomial(rng, 10, 0.0) == 0
+        assert sample_binomial(rng, 10, 1.0) == 10
+
+    def test_small_n_distribution(self, rng):
+        """n <= 16 path: exact match to binomial pmf by chi-square."""
+        n, p, trials = 8, 0.4, 30_000
+        counts = [0] * (n + 1)
+        for _ in range(trials):
+            counts[sample_binomial(rng, n, p)] += 1
+        chi = 0.0
+        for k in range(n + 1):
+            expected = binomial_pmf(n, k, p) * trials
+            if expected > 5:
+                chi += (counts[k] - expected) ** 2 / expected
+        assert chi < 30.0  # ~9 dof; 30 is far beyond any sane quantile
+
+    def test_large_n_gap_method_mean(self, rng):
+        """n > 16 path: mean and variance match np, np(1-p)."""
+        n, p, trials = 500, 0.02, 4000
+        samples = [sample_binomial(rng, n, p) for _ in range(trials)]
+        mean = sum(samples) / trials
+        expected = n * p
+        std_of_mean = math.sqrt(n * p * (1 - p) / trials)
+        assert abs(mean - expected) < 6 * std_of_mean
+
+    def test_validation(self, rng):
+        with pytest.raises(ParameterError):
+            sample_binomial(rng, -1, 0.5)
+        with pytest.raises(ParameterError):
+            sample_binomial(rng, 5, 1.5)

@@ -1,0 +1,76 @@
+"""Tests for the geometric skip-ahead engine.
+
+The load-bearing property: ``step(p, budget)`` must be distributionally
+identical to flipping Bernoulli(p) up to ``budget`` times and stopping at
+the first success.  We check acceptance probability and the conditional
+law of the consumed count.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.rng.skip import GeometricSkipper
+
+
+class TestStep:
+    def test_p_one_accepts_immediately(self, rng):
+        outcome = GeometricSkipper(rng).step(1.0, 100)
+        assert outcome.accepted and outcome.consumed == 1
+
+    def test_p_zero_never_accepts(self, rng):
+        outcome = GeometricSkipper(rng).step(0.0, 100)
+        assert not outcome.accepted and outcome.consumed == 100
+
+    def test_consumed_never_exceeds_budget(self, rng):
+        skipper = GeometricSkipper(rng)
+        for _ in range(2000):
+            outcome = skipper.step(0.05, 17)
+            assert 1 <= outcome.consumed <= 17
+            if not outcome.accepted:
+                assert outcome.consumed == 17
+
+    def test_acceptance_probability(self, rng):
+        """P[accept within budget] = 1 - (1-p)^budget."""
+        skipper = GeometricSkipper(rng)
+        p, budget, trials = 0.1, 10, 30_000
+        accepted = sum(
+            skipper.step(p, budget).accepted for _ in range(trials)
+        )
+        expected = (1.0 - (1.0 - p) ** budget) * trials
+        assert abs(accepted - expected) < 5 * math.sqrt(trials * 0.25)
+
+    def test_consumed_distribution_geometric(self, rng):
+        """Conditioned on acceptance, consumed ~ truncated geometric."""
+        skipper = GeometricSkipper(rng)
+        p, budget, trials = 0.3, 8, 40_000
+        counts = [0] * (budget + 1)
+        accepted_total = 0
+        for _ in range(trials):
+            outcome = skipper.step(p, budget)
+            if outcome.accepted:
+                counts[outcome.consumed] += 1
+                accepted_total += 1
+        for g in range(1, budget + 1):
+            expected = (1 - p) ** (g - 1) * p * trials
+            if expected > 50:
+                assert abs(counts[g] - expected) < 6 * math.sqrt(expected)
+
+    def test_pow2_matches_float_path(self, rng):
+        skipper = GeometricSkipper(rng)
+        trials = 30_000
+        accepted = sum(
+            skipper.step_pow2(3, 5).accepted for _ in range(trials)
+        )
+        expected = (1.0 - (1.0 - 0.125) ** 5) * trials
+        assert abs(accepted - expected) < 6 * math.sqrt(trials * 0.25)
+
+    def test_budget_validation(self, rng):
+        skipper = GeometricSkipper(rng)
+        with pytest.raises(ParameterError):
+            skipper.step(0.5, 0)
+        with pytest.raises(ParameterError):
+            skipper.step_pow2(1, 0)

@@ -1,0 +1,45 @@
+"""Tests for the stream runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.deterministic import ExactCounter
+from repro.core.morris import MorrisCounter
+from repro.stream.runner import run_counter
+from repro.stream.source import FixedLengthStream, TraceStream, UniformLengthStream
+
+
+class TestRunCounter:
+    def test_exact_counter_trajectory(self):
+        result = run_counter(
+            ExactCounter(seed=0), TraceStream((10, 100, 1000))
+        )
+        assert [c.n for c in result.checkpoints] == [10, 100, 1000]
+        assert [c.estimate for c in result.checkpoints] == [10, 100, 1000]
+        assert all(c.relative_error == 0.0 for c in result.checkpoints)
+        assert result.final.n == 1000
+
+    def test_morris_records_space_and_bits(self):
+        result = run_counter(MorrisCounter(0.5, seed=1), FixedLengthStream(5000))
+        assert result.max_state_bits >= result.final.state_bits - 1
+        assert result.random_bits > 0
+
+    def test_plan_rng_reproducible_across_algorithms(self):
+        """Two counters given the same plan source see the same N."""
+        from repro.rng.bitstream import BitBudgetedRandom
+
+        source = UniformLengthStream(1000, 2000)
+        r1 = run_counter(
+            ExactCounter(seed=0), source, plan_rng=BitBudgetedRandom(5)
+        )
+        r2 = run_counter(
+            MorrisCounter(0.5, seed=9), source, plan_rng=BitBudgetedRandom(5)
+        )
+        assert r1.final.n == r2.final.n
+
+    def test_default_plan_rng_split_from_counter(self):
+        source = UniformLengthStream(100, 200)
+        r1 = run_counter(ExactCounter(seed=4), source)
+        r2 = run_counter(ExactCounter(seed=4), source)
+        assert r1.final.n == r2.final.n

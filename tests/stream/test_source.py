@@ -1,0 +1,68 @@
+"""Tests for stream sources."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.rng.bitstream import BitBudgetedRandom
+from repro.stream.source import (
+    FixedLengthStream,
+    TraceStream,
+    UniformLengthStream,
+)
+
+
+class TestFixed:
+    def test_plan(self, rng):
+        assert FixedLengthStream(100).plan(rng) == [100]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ParameterError):
+            FixedLengthStream(-1)
+
+
+class TestUniform:
+    def test_range(self, rng):
+        source = UniformLengthStream(10, 20)
+        for _ in range(200):
+            (n,) = source.plan(rng)
+            assert 10 <= n <= 20
+
+    def test_deterministic_given_rng(self):
+        source = UniformLengthStream(500_000, 999_999)
+        a = source.plan(BitBudgetedRandom(3))
+        b = source.plan(BitBudgetedRandom(3))
+        assert a == b
+
+    def test_figure1_range_shape(self, rng):
+        """The paper's draw: a 20-bit number."""
+        source = UniformLengthStream(500_000, 999_999)
+        (n,) = source.plan(rng)
+        assert n.bit_length() == 20
+
+    def test_invalid_range(self):
+        with pytest.raises(ParameterError):
+            UniformLengthStream(10, 5)
+
+
+class TestTrace:
+    def test_plan_returns_points(self, rng):
+        trace = TraceStream((1, 5, 100))
+        assert trace.plan(rng) == [1, 5, 100]
+
+    def test_requires_increasing(self):
+        with pytest.raises(ParameterError):
+            TraceStream((1, 1))
+        with pytest.raises(ParameterError):
+            TraceStream(())
+
+    def test_geometric_grid(self):
+        trace = TraceStream.geometric_grid(1000, points_per_decade=3)
+        points = trace.points
+        assert points[0] == 1
+        assert points[-1] == 1000
+        assert list(points) == sorted(set(points))
+
+    def test_geometric_grid_small(self):
+        assert TraceStream.geometric_grid(1).points == (1,)

@@ -1,0 +1,51 @@
+"""Tests for trace persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StateError
+from repro.stream.trace_io import load_trace_stream, read_trace, write_trace
+
+
+class TestRoundtrip:
+    def test_write_read(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        write_trace(path, [1, 10, 100], comment="for test")
+        assert read_trace(path) == [1, 10, 100]
+
+    def test_comment_preserved_in_file(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        write_trace(path, [5], comment="two\nlines")
+        text = path.read_text()
+        assert "# two" in text and "# lines" in text
+
+    def test_load_as_stream(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        write_trace(path, [2, 20, 200])
+        stream = load_trace_stream(path)
+        assert stream.points == (2, 20, 200)
+
+
+class TestFailureInjection:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StateError):
+            read_trace(tmp_path / "nope.txt")
+
+    def test_garbage_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1\nbanana\n3\n")
+        with pytest.raises(StateError, match="banana"):
+            read_trace(path)
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# only a comment\n")
+        with pytest.raises(StateError, match="no checkpoints"):
+            read_trace(path)
+
+    def test_non_increasing_trace_rejected_as_stream(self, tmp_path):
+        path = tmp_path / "dup.txt"
+        write_trace(path, [5, 5])
+        with pytest.raises(StateError, match="not a valid plan"):
+            load_trace_stream(path)

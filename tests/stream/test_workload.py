@@ -1,0 +1,77 @@
+"""Tests for keyed workload generators."""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.stream.workload import (
+    burst_workload,
+    uniform_workload,
+    zipf_workload,
+)
+
+
+class TestZipf:
+    def test_event_count(self, rng):
+        events = list(zipf_workload(rng, 50, 1000))
+        assert len(events) == 1000
+
+    def test_head_heavier_than_tail(self, rng):
+        counts = Counter(
+            e.key for e in zipf_workload(rng, 100, 20_000, exponent=1.2)
+        )
+        top = counts.most_common(1)[0][1]
+        assert top > 20_000 / 100 * 5  # rank 1 way above uniform share
+
+    def test_rank_frequencies_follow_power_law(self, rng):
+        n_events = 60_000
+        counts = Counter(
+            e.key for e in zipf_workload(rng, 20, n_events, exponent=1.0)
+        )
+        harmonic = sum(1 / r for r in range(1, 21))
+        expected_top = n_events / harmonic
+        observed_top = counts["page-000000"]
+        assert abs(observed_top - expected_top) < 6 * math.sqrt(expected_top)
+
+    def test_validation(self, rng):
+        with pytest.raises(ParameterError):
+            list(zipf_workload(rng, 0, 10))
+        with pytest.raises(ParameterError):
+            list(zipf_workload(rng, 5, -1))
+        with pytest.raises(ParameterError):
+            list(zipf_workload(rng, 5, 10, exponent=0.0))
+
+
+class TestUniform:
+    def test_balanced(self, rng):
+        n_keys, n_events = 10, 30_000
+        counts = Counter(e.key for e in uniform_workload(rng, n_keys, n_events))
+        for key, count in counts.items():
+            assert abs(count - n_events / n_keys) < 6 * math.sqrt(
+                n_events / n_keys
+            )
+
+
+class TestBurst:
+    def test_hot_key_share(self, rng):
+        n_events = 20_000
+        counts = Counter(
+            e.key
+            for e in burst_workload(
+                rng, 10, n_events, hot_key_index=3, hot_fraction=0.5
+            )
+        )
+        hot = counts["page-000003"]
+        # Hot key gets 50% + 1/10 of the remaining 50% = 55%.
+        expected = n_events * 0.55
+        assert abs(hot - expected) < 6 * math.sqrt(n_events * 0.25)
+
+    def test_validation(self, rng):
+        with pytest.raises(ParameterError):
+            list(burst_workload(rng, 5, 10, hot_key_index=9))
+        with pytest.raises(ParameterError):
+            list(burst_workload(rng, 5, 10, hot_fraction=1.5))

@@ -1,0 +1,113 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nonsense"])
+
+    def test_figure1_defaults(self):
+        args = build_parser().parse_args(["figure1"])
+        assert args.trials == 1000
+        assert args.bits == 17
+
+
+class TestCommands:
+    def test_count_nelson_yu(self, capsys):
+        assert main(["count", "--algorithm", "nelson_yu", "--n", "50000"]) == 0
+        out = capsys.readouterr().out
+        assert "nelson_yu" in out
+        assert "rel.err" in out
+
+    def test_count_morris_with_explicit_a(self, capsys):
+        assert (
+            main(
+                [
+                    "count",
+                    "--algorithm",
+                    "morris",
+                    "--n",
+                    "10000",
+                    "--a",
+                    "0.01",
+                ]
+            )
+            == 0
+        )
+        assert "morris" in capsys.readouterr().out
+
+    def test_count_all_registry_algorithms(self, capsys):
+        for algorithm in (
+            "morris",
+            "morris_plus",
+            "nelson_yu",
+            "simplified_ny",
+            "csuros",
+            "saturating",
+            "exact",
+        ):
+            assert (
+                main(["count", "--algorithm", algorithm, "--n", "5000"]) == 0
+            ), algorithm
+
+    def test_figure1_small(self, capsys):
+        assert main(["figure1", "--trials", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "KS distance" in out
+        assert "% of runs" in out
+
+    def test_appendix_a(self, capsys):
+        assert main(["appendix-a"]) == 0
+        assert "vanilla" in capsys.readouterr().out
+
+    def test_space_delta(self, capsys):
+        assert main(["space", "--sweep", "delta", "--trials", "3"]) == 0
+        assert "NelsonYu" in capsys.readouterr().out
+
+    def test_space_n(self, capsys):
+        assert main(["space", "--sweep", "n", "--trials", "3"]) == 0
+        assert "exact counter bits" in capsys.readouterr().out
+
+    def test_floor(self, capsys):
+        assert main(["floor"]) == 0
+        assert "a=1 miss" in capsys.readouterr().out
+
+    def test_lowerbound(self, capsys):
+        assert main(["lowerbound", "--t", "1024"]) == 0
+        out = capsys.readouterr().out
+        assert "broken" in out
+        assert "predicted min bits" in out
+
+    def test_merge_morris(self, capsys):
+        assert main(["merge", "--family", "morris", "--trials", "300"]) == 0
+        assert "chi^2" in capsys.readouterr().out
+
+    def test_tradeoff(self, capsys):
+        assert main(["tradeoff", "--trials", "20"]) == 0
+        assert "bits" in capsys.readouterr().out
+
+    def test_bank(self, capsys):
+        assert main(["bank", "--counters", "30"]) == 0
+        assert "bits/ctr" in capsys.readouterr().out
+
+    def test_ablation_transition(self, capsys):
+        assert main(["ablation", "--which", "transition"]) == 0
+        assert "8/a" in capsys.readouterr().out
+
+    def test_ablation_chernoff(self, capsys):
+        assert main(["ablation", "--which", "chernoff", "--trials", "30"]) == 0
+        assert "epoch dispersion" in capsys.readouterr().out
+
+    def test_ablation_rounding(self, capsys):
+        assert main(["ablation", "--which", "rounding", "--trials", "30"]) == 0
+        assert "dyadic" in capsys.readouterr().out

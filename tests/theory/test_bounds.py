@@ -1,0 +1,96 @@
+"""Tests for the probability-bound helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.theory.bounds import (
+    binomial_pmf,
+    binomial_tail_upper_exact,
+    chebyshev_failure,
+    chernoff_lower_tail,
+    chernoff_upper_tail,
+    union_bound,
+)
+
+
+class TestChernoff:
+    def test_decreases_with_mean(self):
+        assert chernoff_upper_tail(100, 0.5) < chernoff_upper_tail(10, 0.5)
+
+    def test_upper_tail_formula(self):
+        assert chernoff_upper_tail(100, 0.5) == pytest.approx(
+            math.exp(-0.25 * 100 / 2.5)
+        )
+
+    def test_lower_tail_formula(self):
+        assert chernoff_lower_tail(100, 0.5) == pytest.approx(
+            math.exp(-0.25 * 100 / 2)
+        )
+
+    def test_bounds_actual_binomial_tail(self):
+        """Chernoff must upper-bound the exact tail."""
+        n, p = 200, 0.3
+        mean = n * p
+        for eps in (0.2, 0.5, 1.0):
+            exact = binomial_tail_upper_exact(
+                n, math.ceil((1 + eps) * mean), p
+            )
+            assert exact <= chernoff_upper_tail(mean, eps) * 1.0001
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            chernoff_upper_tail(-1, 0.5)
+        with pytest.raises(ParameterError):
+            chernoff_lower_tail(10, 1.5)
+
+
+class TestChebyshev:
+    def test_formula(self):
+        assert chebyshev_failure(4.0, 4.0) == pytest.approx(0.25)
+
+    def test_capped_at_one(self):
+        assert chebyshev_failure(100.0, 1.0) == 1.0
+
+
+class TestUnionBound:
+    def test_sums(self):
+        assert union_bound([0.1, 0.2]) == pytest.approx(0.3)
+
+    def test_caps(self):
+        assert union_bound([0.7, 0.7]) == 1.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            union_bound([-0.5])
+
+
+class TestBinomial:
+    def test_pmf_sums_to_one(self):
+        n, p = 20, 0.37
+        total = sum(binomial_pmf(n, k, p) for k in range(n + 1))
+        assert total == pytest.approx(1.0)
+
+    def test_pmf_known_value(self):
+        assert binomial_pmf(4, 2, 0.5) == pytest.approx(6 / 16)
+
+    def test_pmf_edges(self):
+        assert binomial_pmf(5, 0, 0.0) == 1.0
+        assert binomial_pmf(5, 5, 1.0) == 1.0
+        assert binomial_pmf(5, 3, 0.0) == 0.0
+
+    def test_tail_monotone(self):
+        tails = [binomial_tail_upper_exact(30, k, 0.4) for k in range(31)]
+        assert tails == sorted(tails, reverse=True)
+
+    def test_tail_beyond_n_is_zero(self):
+        assert binomial_tail_upper_exact(10, 11, 0.5) == 0.0
+
+    def test_pmf_validation(self):
+        with pytest.raises(ParameterError):
+            binomial_pmf(5, 6, 0.5)
+        with pytest.raises(ParameterError):
+            binomial_pmf(5, 2, 1.5)

@@ -1,0 +1,79 @@
+"""Tests for the closed-form probabilities ([Fla85] Eq. (46) style).
+
+Two independent derivations of the same quantities — the dynamic program
+and the partial-fraction closed form — agreeing to machine precision is
+the strongest possible cross-validation of both.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.theory.closed_form import (
+    morris_pmf_exact_base2,
+    morris_tail_exact_base2,
+    morris_tail_float,
+)
+from repro.theory.flajolet import morris_state_distribution
+
+
+class TestExactBase2:
+    def test_boundaries(self):
+        assert morris_tail_exact_base2(0, 5) == 1
+        assert morris_tail_exact_base2(3, 0) == 0
+        assert morris_tail_exact_base2(1, 1) == 1
+
+    def test_too_few_increments(self):
+        # X >= 5 needs at least 5 increments.
+        assert morris_tail_exact_base2(5, 4) == 0
+
+    def test_hand_computed_n2(self):
+        # After 2 increments: X >= 2 with probability 1/2.
+        assert morris_tail_exact_base2(2, 2) == Fraction(1, 2)
+
+    def test_hand_computed_n3(self):
+        # P[X=1]=1/4, P[X=2]=5/8, P[X=3]=1/8 after 3 increments.
+        assert morris_pmf_exact_base2(1, 3) == Fraction(1, 4)
+        assert morris_pmf_exact_base2(2, 3) == Fraction(5, 8)
+        assert morris_pmf_exact_base2(3, 3) == Fraction(1, 8)
+
+    @pytest.mark.parametrize("n", [5, 25, 100, 250])
+    def test_matches_dp_to_machine_precision(self, n):
+        dp = morris_state_distribution(1.0, n)
+        for level in range(min(len(dp), 20)):
+            closed = float(morris_pmf_exact_base2(level, n))
+            assert closed == pytest.approx(dp[level], abs=1e-12)
+
+    def test_pmf_sums_to_one(self):
+        n = 60
+        total = sum(morris_pmf_exact_base2(level, n) for level in range(25))
+        assert total == pytest.approx(1.0, abs=1e-12)
+
+    def test_tail_monotone_in_l(self):
+        n = 40
+        tails = [morris_tail_exact_base2(level, n) for level in range(15)]
+        assert tails == sorted(tails, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            morris_tail_exact_base2(-1, 5)
+        with pytest.raises(ParameterError):
+            morris_tail_exact_base2(1, -5)
+
+
+class TestFloatGeneralA:
+    @pytest.mark.parametrize("a", [1.0, 0.5, 0.25])
+    @pytest.mark.parametrize("n", [20, 100])
+    def test_matches_dp(self, a, n):
+        dp = morris_state_distribution(a, n)
+        for level in range(2, 14):
+            tail_dp = float(dp[level:].sum())
+            tail_cf = morris_tail_float(a, level, n)
+            assert tail_cf == pytest.approx(tail_dp, abs=1e-8)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            morris_tail_float(0.0, 3, 5)

@@ -1,0 +1,114 @@
+"""Tests for failure-probability predictions."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.theory.failure import (
+    appendix_a_adversarial_n,
+    appendix_a_event_probability,
+    chebyshev_predicted_failure,
+    morris_a1_window_failure,
+    morris_low_failure_scan,
+    optimal_predicted_failure,
+    vanilla_small_n_failure_exact,
+)
+
+
+class TestChebyshev:
+    def test_formula(self):
+        a, eps, n = 2e-4, 0.1, 10_000
+        assert chebyshev_predicted_failure(a, eps, n) == pytest.approx(
+            a * (n - 1) / (2 * eps * eps * n)
+        )
+
+    def test_tuning_gives_delta(self):
+        """a = 2ε²δ makes the prediction ≈ δ."""
+        eps, delta = 0.1, 0.01
+        a = 2 * eps * eps * delta
+        assert chebyshev_predicted_failure(a, eps, 10**6) == pytest.approx(
+            delta, rel=1e-3
+        )
+
+
+class TestOptimal:
+    def test_tuning_gives_2delta(self):
+        eps, delta = 0.2, 1e-4
+        a = eps * eps / (8 * math.log(1 / delta))
+        assert optimal_predicted_failure(a, eps) == pytest.approx(2 * delta)
+
+
+class TestA1Floor:
+    def test_constant_in_n(self):
+        """§1.1: the window-miss probability is flat in N."""
+        values = [
+            morris_a1_window_failure(n, 1.0)
+            for n in (1 << 8, 1 << 10, 1 << 12, 1 << 14)
+        ]
+        assert max(values) - min(values) < 0.01
+        assert min(values) > 0.05  # bounded away from zero
+
+    def test_decreases_with_window(self):
+        assert morris_a1_window_failure(1024, 2.0) < morris_a1_window_failure(
+            1024, 1.0
+        )
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            morris_a1_window_failure(0, 1.0)
+        with pytest.raises(ParameterError):
+            morris_a1_window_failure(100, 0.0)
+
+
+class TestAppendixA:
+    def test_adversarial_n_formula(self):
+        a, eps, c = 1e-4, 0.2, 2.0 ** -8
+        expected = math.ceil(c * eps ** (4 / 3) / a)
+        assert appendix_a_adversarial_n(a, eps, c) == max(2, expected)
+
+    def test_event_bound_positive(self):
+        assert appendix_a_event_probability(1e-4, 0.2, 2.0 ** -8) > 0
+
+    def test_vanilla_failure_exceeds_delta(self):
+        """The appendix's conclusion with exact numbers."""
+        eps, delta = 0.2, 1e-9
+        a = eps * eps / (8 * math.log(1 / delta))
+        n_adv = appendix_a_adversarial_n(a, eps, 2.0 ** -8)
+        failure = vanilla_small_n_failure_exact(a, eps, n_adv)
+        assert failure > 1000 * delta
+
+    def test_exact_failure_matches_hand_computation(self):
+        """n = 2: failure = P[X <= 1] = P[2nd increment rejected]."""
+        a, eps = 0.01, 0.2
+        expected = 1.0 - 1.0 / (1.0 + a)
+        # (1-eps)*2 = 1.6 > estimate(X=1) = 1, < estimate(X=2) = 2+a.
+        assert vanilla_small_n_failure_exact(a, eps, 2) == pytest.approx(
+            expected, rel=1e-9
+        )
+
+    def test_scan_matches_single_calls(self):
+        a, eps = 0.002, 0.2
+        points = [5, 17, 40]
+        scanned = morris_low_failure_scan(a, eps, points)
+        singles = [
+            vanilla_small_n_failure_exact(a, eps, n) for n in points
+        ]
+        for s, single in zip(scanned, singles):
+            assert s == pytest.approx(single, rel=1e-6, abs=1e-12)
+
+    def test_scan_preserves_request_order(self):
+        a, eps = 0.002, 0.2
+        forward = morris_low_failure_scan(a, eps, [5, 40])
+        backward = morris_low_failure_scan(a, eps, [40, 5])
+        assert forward == list(reversed(backward))
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            appendix_a_adversarial_n(0.0, 0.2, 2.0 ** -8)
+        with pytest.raises(ParameterError):
+            appendix_a_adversarial_n(1e-4, 0.3, 2.0 ** -8)
+        with pytest.raises(ParameterError):
+            morris_low_failure_scan(0.01, 0.2, [])

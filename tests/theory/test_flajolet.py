@@ -1,0 +1,108 @@
+"""Tests for the exact DP — the library's correctness oracle.
+
+The DP itself is validated against the paper's closed forms:
+``E[estimator] = N`` exactly and ``Var = a N (N-1)/2`` exactly (§1.2).
+If these hold to float precision the recurrence is implemented right.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.theory.flajolet import (
+    morris_estimate_moments,
+    morris_failure_probability,
+    morris_state_distribution,
+    morris_x_window_probability,
+    subsample_estimate_moments,
+    subsample_state_distribution,
+)
+
+
+class TestMorrisDP:
+    @pytest.mark.parametrize("a", [1.0, 0.5, 0.1, 0.01])
+    @pytest.mark.parametrize("n", [0, 1, 10, 200])
+    def test_mass_sums_to_one(self, a, n):
+        p = morris_state_distribution(a, n)
+        assert p.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_small_cases_by_hand(self):
+        # n = 2, a = 1: X=1 w.p. 1/2, X=2 w.p. 1/2.
+        p = morris_state_distribution(1.0, 2)
+        assert p[1] == pytest.approx(0.5)
+        assert p[2] == pytest.approx(0.5)
+
+    def test_n3_by_hand(self):
+        # n = 3, a = 1: X=1: 1/4, X=2: 5/8, X=3: 1/8.
+        p = morris_state_distribution(1.0, 3)
+        assert p[1] == pytest.approx(1 / 4)
+        assert p[2] == pytest.approx(5 / 8)
+        assert p[3] == pytest.approx(1 / 8)
+
+    @pytest.mark.parametrize(
+        "a,n", [(1.0, 100), (0.5, 77), (0.1, 500), (0.02, 1000)]
+    )
+    def test_unbiased_exactly(self, a, n):
+        mean, _ = morris_estimate_moments(a, n)
+        assert mean == pytest.approx(n, rel=1e-9)
+
+    @pytest.mark.parametrize(
+        "a,n", [(1.0, 100), (0.5, 77), (0.1, 500), (0.02, 1000)]
+    )
+    def test_variance_closed_form(self, a, n):
+        _, variance = morris_estimate_moments(a, n)
+        assert variance == pytest.approx(a * n * (n - 1) / 2, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            morris_state_distribution(0.0, 10)
+        with pytest.raises(ParameterError):
+            morris_state_distribution(1.0, -1)
+
+
+class TestFailureProbability:
+    def test_failure_decreases_with_epsilon(self):
+        tight = morris_failure_probability(1.0, 500, 0.5)
+        loose = morris_failure_probability(1.0, 500, 2.0)
+        assert loose < tight
+
+    def test_failure_decreases_with_a(self):
+        large_a = morris_failure_probability(1.0, 500, 0.5)
+        small_a = morris_failure_probability(0.01, 500, 0.5)
+        assert small_a < large_a
+
+    def test_chebyshev_bound_respected(self):
+        """Exact failure must be below the Chebyshev bound."""
+        a, n, eps = 0.1, 500, 0.5
+        exact = morris_failure_probability(a, n, eps)
+        chebyshev = a * n * (n - 1) / 2 / (eps * n) ** 2
+        assert exact <= chebyshev
+
+    def test_window_probability(self):
+        p = morris_x_window_probability(1.0, 1024, 0, 10_000)
+        assert p == pytest.approx(1.0, abs=1e-9)
+
+
+class TestSubsampleDP:
+    @pytest.mark.parametrize("n", [0, 1, 7, 100])
+    def test_mass_sums_to_one(self, n):
+        p = subsample_state_distribution(4, n, t_cap=8)
+        assert p.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_deterministic_below_2s(self):
+        p = subsample_state_distribution(4, 5, t_cap=3)
+        assert p[0, 5] == pytest.approx(1.0)
+
+    def test_first_halving_deterministic(self):
+        p = subsample_state_distribution(4, 8, t_cap=3)
+        assert p[1, 4] == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("n", [10, 50, 300])
+    def test_unbiased_exactly(self, n):
+        mean, _ = subsample_estimate_moments(4, n, t_cap=10)
+        assert mean == pytest.approx(n, rel=1e-9)
+
+    def test_variance_positive_after_sampling_starts(self):
+        _, variance = subsample_estimate_moments(4, 100, t_cap=10)
+        assert variance > 0

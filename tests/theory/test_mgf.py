@@ -1,0 +1,98 @@
+"""Tests for the §2.2 MGF concentration machinery."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.rng.bitstream import BitBudgetedRandom
+from repro.theory.mgf import (
+    k_window,
+    prefix_sum_mean,
+    prefix_sum_variance,
+    prefix_tail_bound,
+    theorem_1_2_failure_bound,
+)
+
+
+class TestPrefixMoments:
+    def test_mean_is_geometric_series(self):
+        a, k = 0.2, 10
+        expected = sum((1 + a) ** i for i in range(k + 1))
+        assert prefix_sum_mean(a, k) == pytest.approx(expected)
+
+    def test_variance_formula(self):
+        a, k = 0.3, 5
+        expected = sum(
+            (1 - (1 + a) ** -i) / ((1 + a) ** -i) ** 2 for i in range(k + 1)
+        )
+        assert prefix_sum_variance(a, k) == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            prefix_sum_mean(1.5, 3)
+        with pytest.raises(ParameterError):
+            prefix_sum_mean(0.2, -1)
+
+
+class TestTailBounds:
+    def test_bound_in_unit_interval(self):
+        assert 0.0 < prefix_tail_bound(0.1, 30, 0.3) <= 1.0
+
+    def test_specializes_to_theorem_1_2(self):
+        """For k > 1/a the per-side bound is <= e^{-ε²/8a}."""
+        a, eps = 0.05, 0.3
+        k = int(1 / a) + 5
+        per_side = prefix_tail_bound(a, k, eps)
+        assert per_side <= math.exp(-eps * eps / (8 * a)) * 1.0001
+
+    def test_theorem_bound_with_optimal_a_is_2delta(self):
+        eps, delta = 0.2, 0.01
+        a = eps * eps / (8 * math.log(1 / delta))
+        assert theorem_1_2_failure_bound(a, eps) == pytest.approx(2 * delta)
+
+    def test_bound_actually_holds_empirically(self):
+        """Simulate prefix sums of geometrics; tail must be below bound."""
+        a, eps, k, trials = 0.2, 0.3, 12, 4000
+        mean = prefix_sum_mean(a, k)
+        rng = BitBudgetedRandom(61)
+        exceed = 0
+        for _ in range(trials):
+            total = sum(
+                rng.geometric((1 + a) ** -i) for i in range(k + 1)
+            )
+            if total >= (1 + eps) * mean:
+                exceed += 1
+        bound = prefix_tail_bound(a, k, eps)
+        # Empirical rate should be below bound + 5 sigma of its estimator.
+        noise = 5 * math.sqrt(max(bound, 1e-4) / trials)
+        assert exceed / trials <= bound + noise
+
+
+class TestKWindow:
+    def test_window_brackets_n(self):
+        a, eps, n = 0.05, 0.2, 100_000
+        k1, k2 = k_window(a, eps, n)
+        assert (1 + eps) * prefix_sum_mean(a, k1) < n
+        assert (1 + eps) * prefix_sum_mean(a, k1 + 1) >= n
+        assert (1 - eps) * prefix_sum_mean(a, k2) >= n
+        if k2 > 0:
+            assert (1 - eps) * prefix_sum_mean(a, k2 - 1) < n
+
+    def test_window_ordering(self):
+        k1, k2 = k_window(0.1, 0.3, 10_000)
+        assert k1 < k2
+
+    def test_estimate_squeeze(self):
+        """X in (k1, k2] implies the estimator is within (1±2ε)n."""
+        from repro.core.estimators import morris_estimate
+
+        a, eps, n = 0.05, 0.2, 50_000
+        k1, k2 = k_window(a, eps, n)
+        # estimate at X = k1+1 is mean(k1) - something; both ends inside.
+        low = morris_estimate(k1 + 1, a)
+        high = morris_estimate(k2, a)
+        assert low >= (1 - 2 * eps) * n * 0.95
+        assert high <= (1 + 2 * eps) * n / (1 - eps) * 1.05

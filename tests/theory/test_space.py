@@ -1,0 +1,80 @@
+"""Tests for the predicted space curves."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.theory.space import (
+    classical_space_bits,
+    lower_bound_bits,
+    morris_plus_space_bits,
+    morris_space_bits,
+    nelson_yu_space_bits,
+    optimal_space_bits,
+)
+
+
+class TestSkeletons:
+    def test_optimal_below_classical(self):
+        for delta in (1e-2, 1e-6, 1e-12):
+            assert optimal_space_bits(10**6, 0.1, delta) <= classical_space_bits(
+                10**6, 0.1, delta
+            )
+
+    def test_delta_scaling_shapes(self):
+        """Squaring 1/δ adds ~1 to optimal, doubles classical's δ term."""
+        n, eps = 10**6, 0.1
+        optimal_gap = optimal_space_bits(n, eps, 1e-12) - optimal_space_bits(
+            n, eps, 1e-6
+        )
+        classical_gap = classical_space_bits(
+            n, eps, 1e-12
+        ) - classical_space_bits(n, eps, 1e-6)
+        assert optimal_gap == pytest.approx(1.0, abs=0.5)
+        assert classical_gap == pytest.approx(math_log2_ratio(), abs=0.5)
+
+    def test_lower_bound_min_structure(self):
+        # Tiny n: the log n branch wins.
+        assert lower_bound_bits(8, 0.01, 1e-9) == pytest.approx(3.0)
+        # Large n: the optimal branch wins.
+        large = lower_bound_bits(2**40, 0.25, 0.25)
+        assert large < 40 / 2
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            optimal_space_bits(0, 0.1, 0.1)
+
+
+def math_log2_ratio() -> float:
+    import math
+
+    return math.log2(1e12) - math.log2(1e6)
+
+
+class TestConcretePredictions:
+    def test_morris_prediction_brackets_measurement(self):
+        """Predicted register covers simulated X with headroom."""
+        from repro.core.morris import MorrisCounter
+
+        a, n = 0.01, 50_000
+        predicted = morris_space_bits(a, n)
+        counter = MorrisCounter(a, seed=0)
+        counter.add(n)
+        assert counter.state_bits() <= predicted
+
+    def test_nelson_yu_prediction_brackets_measurement(self):
+        from repro.core.nelson_yu import NelsonYuCounter
+
+        eps, exponent, n = 0.25, 10, 1 << 20
+        predicted = nelson_yu_space_bits(eps, 2.0 ** -exponent, n)
+        counter = NelsonYuCounter(eps, exponent, seed=0)
+        counter.add(n)
+        assert counter.state_bits() <= predicted + 2
+
+    def test_morris_plus_adds_prefix(self):
+        eps, delta, n = 0.2, 0.01, 10**6
+        from repro.core.params import morris_a_optimal
+
+        a = morris_a_optimal(eps, delta)
+        assert morris_plus_space_bits(eps, delta, n) > morris_space_bits(a, n)
