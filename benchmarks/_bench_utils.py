@@ -10,7 +10,9 @@ the paper's 5,000).
 
 from __future__ import annotations
 
+import json
 import pathlib
+from typing import Any
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -20,4 +22,20 @@ def write_result(name: str, text: str) -> pathlib.Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n", encoding="utf-8")
+    return path
+
+
+def write_json_result(name: str, payload: dict[str, Any]) -> pathlib.Path:
+    """Persist one benchmark's machine-readable output.
+
+    Writes ``benchmarks/results/BENCH_<name>.json`` with the shared
+    schema: ``{"benchmark": name, "seed": ..., "workload": {...},
+    "rows": [...]}`` — ``rows`` is the per-configuration sweep.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
     return path

@@ -1,0 +1,196 @@
+"""Cluster benchmark: events/sec and global error vs node count.
+
+Runs the distributed counting cluster over the Zipf workload at 1, 2, 4
+and 8 nodes, measuring ingest throughput, merged-view relative error, and
+state bits — the scaling story of Remark 2.4 (sharding is free in
+accuracy) made measurable.  Results land in
+``benchmarks/results/BENCH_cluster.json`` with the shared schema
+(``benchmark`` / ``seed`` / ``workload`` / ``rows``).
+
+Two entry points:
+
+* pytest-benchmark (``pytest benchmarks/bench_cluster.py``) — the full
+  sweep plus a crash-recovery benchmark;
+* script mode (``python benchmarks/bench_cluster.py [-q]``) — the same
+  sweep standalone; ``-q`` is the smoke path used by tier-1 tests
+  (reduced workload, same schema, seconds not minutes).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from _bench_utils import write_json_result, write_result
+
+from repro.cluster import (
+    ClusterConfig,
+    ClusterSimulation,
+    NodeFailure,
+    default_template,
+)
+from repro.experiments.records import TextTable
+from repro.rng.bitstream import BitBudgetedRandom
+from repro.stream.workload import zipf_workload
+
+_SEED = 2020_10_06
+_FULL_EVENTS = 1_000_000
+_QUICK_EVENTS = 20_000
+_KEYS = 2000
+_EXPONENT = 1.1
+_NODE_SWEEP = (1, 2, 4, 8)
+
+
+def _run_sweep(n_events: int) -> dict:
+    """Sweep node counts over the same workload; returns the JSON payload."""
+    rows = []
+    for n_nodes in _NODE_SWEEP:
+        config = ClusterConfig(
+            n_nodes=n_nodes,
+            template=default_template("simplified_ny"),
+            seed=_SEED,
+            buffer_limit=512,
+            checkpoint_every=max(n_events // (4 * n_nodes), 1000),
+            failures=(
+                # Crash the last node mid-run in every multi-node config:
+                # recovery is part of the steady state being measured.
+                (NodeFailure(at_event=n_events // 2, node_id=n_nodes - 1),)
+                if n_nodes > 1
+                else ()
+            ),
+        )
+        events = zipf_workload(
+            BitBudgetedRandom(_SEED),
+            n_keys=_KEYS,
+            n_events=n_events,
+            exponent=_EXPONENT,
+        )
+        result = ClusterSimulation(config).run(events)
+        rows.append(
+            {
+                "nodes": n_nodes,
+                "events": result.total_events,
+                "keys": result.n_keys,
+                "events_per_sec": round(result.events_per_sec, 1),
+                "mean_relative_error": result.mean_relative_error,
+                "rms_relative_error": result.rms_relative_error,
+                "max_relative_error": result.max_relative_error,
+                "state_bits": result.total_state_bits,
+                "merge_rounds": result.merge_rounds,
+                "checkpoints": result.checkpoints,
+                "recoveries": result.recoveries,
+            }
+        )
+    return {
+        "benchmark": "cluster",
+        "seed": _SEED,
+        "workload": {
+            "kind": "zipf",
+            "events": n_events,
+            "keys": _KEYS,
+            "exponent": _EXPONENT,
+        },
+        "rows": rows,
+    }
+
+
+def _render(payload: dict) -> str:
+    table = TextTable(
+        ["nodes", "events/s", "rms err", "max err", "state bits", "recov"]
+    )
+    for row in payload["rows"]:
+        table.add_row(
+            str(row["nodes"]),
+            f"{row['events_per_sec']:,.0f}",
+            f"{100 * row['rms_relative_error']:.3f}%",
+            f"{100 * row['max_relative_error']:.3f}%",
+            f"{row['state_bits']:,}",
+            str(row["recoveries"]),
+        )
+    workload = payload["workload"]
+    return "\n".join(
+        [
+            "Cluster scaling — events/sec and merged-view error vs nodes",
+            f"zipf({workload['exponent']}) {workload['events']:,} events "
+            f"over {workload['keys']:,} keys, seed {payload['seed']}",
+            "",
+            table.render(),
+            "",
+            "Remark 2.4 check: error stays flat as node count grows — "
+            "sharded merge is exact.",
+        ]
+    )
+
+
+def _check(payload: dict) -> None:
+    """The invariants any sweep (full or quick) must satisfy."""
+    rows = payload["rows"]
+    assert [row["nodes"] for row in rows] == list(_NODE_SWEEP)
+    single = rows[0]
+    for row in rows:
+        assert row["events"] == payload["workload"]["events"]
+        # Sharding must not degrade accuracy (Remark 2.4): every
+        # multi-node rms error stays within noise of the single node's.
+        assert row["rms_relative_error"] < max(
+            3 * single["rms_relative_error"], 0.02
+        )
+        if row["nodes"] > 1:
+            assert row["recoveries"] >= 1
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+def test_cluster_scaling(benchmark):
+    """Full node-count sweep; writes BENCH_cluster.json."""
+    payload = benchmark.pedantic(
+        lambda: _run_sweep(_FULL_EVENTS), rounds=1, iterations=1
+    )
+    _check(payload)
+    write_json_result("cluster", payload)
+    write_result("BENCH_cluster", _render(payload))
+
+
+def test_cluster_recovery_determinism(benchmark):
+    """Crash-heavy run is bit-deterministic across replays."""
+
+    def run_once():
+        config = ClusterConfig(
+            n_nodes=4,
+            template=default_template("simplified_ny"),
+            seed=_SEED,
+            checkpoint_every=5000,
+            failures=(
+                NodeFailure(10_000, 0),
+                NodeFailure(25_000, 2),
+                NodeFailure(40_000, 0),
+            ),
+        )
+        events = zipf_workload(
+            BitBudgetedRandom(_SEED), n_keys=500, n_events=50_000
+        )
+        return ClusterSimulation(config).run(events)
+
+    first = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    replay = run_once()
+    assert first.node_stats == replay.node_stats
+    assert first.top == replay.top
+    assert first.rms_relative_error == replay.rms_relative_error
+
+
+# ----------------------------------------------------------------------
+# script mode (the tier-1 smoke path)
+# ----------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    quick = "-q" in args or "--quick" in args
+    payload = _run_sweep(_QUICK_EVENTS if quick else _FULL_EVENTS)
+    _check(payload)
+    path = write_json_result("cluster", payload)
+    write_result("BENCH_cluster", _render(payload))
+    print(_render(payload))
+    print(f"\nwrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""The distributed counting cluster, end to end.
+
+Simulates the deployment the paper's §1 motivates: a router spreads a
+heavy-tailed keyed event stream over N ingest nodes, each node coalesces
+increments in a write buffer and flushes batches into its bank of
+approximate counters, checkpoints bound the blast radius of a crash, and
+a merge-tree aggregator assembles the global view — exact in distribution
+by Remark 2.4.  Halfway through, one node is killed and recovers from its
+last checkpoint plus durable-log replay; the run stays deterministic.
+
+Usage::
+
+    python examples/cluster_simulation.py [n_nodes] [n_events]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.cluster import (
+    ClusterConfig,
+    ClusterSimulation,
+    NodeFailure,
+    default_template,
+)
+from repro.rng.bitstream import BitBudgetedRandom
+from repro.stream.workload import zipf_workload
+
+
+def main() -> None:
+    n_nodes = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    n_events = int(sys.argv[2]) if len(sys.argv) > 2 else 500_000
+    seed = 2024
+
+    victim = n_nodes - 1
+    config = ClusterConfig(
+        n_nodes=n_nodes,
+        template=default_template("simplified_ny"),
+        seed=seed,
+        buffer_limit=512,
+        checkpoint_every=max(n_events // (4 * n_nodes), 1000),
+        hot_key_threshold=max(n_events // 20, 100),
+        failures=(NodeFailure(at_event=n_events // 2, node_id=victim),),
+    )
+    events = zipf_workload(
+        BitBudgetedRandom(seed), n_keys=2000, n_events=n_events, exponent=1.1
+    )
+
+    print(
+        f"cluster of {n_nodes} nodes ingesting {n_events:,} Zipf events; "
+        f"node {victim} is killed at event {n_events // 2:,} and recovers "
+        "from its checkpoint\n"
+    )
+    result = ClusterSimulation(config).run(events)
+    print(result.table())
+    print(
+        "\nThe merged view is distributed exactly as a single counter per "
+        "key that saw the\nglobal stream (Remark 2.4) — sharding, hot-key "
+        "splitting, and recovery cost\nnothing in ε or δ."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -13,6 +13,7 @@ are bookkeeping, never part of the reported memory.
 
 from __future__ import annotations
 
+import heapq
 from typing import Callable, Iterable, Iterator
 
 from repro.analytics.report import BankErrorReport, KeyError_
@@ -22,17 +23,18 @@ from repro.memory.model import SpaceModel
 from repro.rng.bitstream import BitBudgetedRandom
 from repro.stream.workload import KeyedEvent
 
-__all__ = ["CounterBank"]
+__all__ = ["CounterBank", "stable_key_hash"]
 
 _FNV_OFFSET = 0xCBF29CE484222325
 _FNV_PRIME = 0x100000001B3
 
 
-def _stable_hash(key: str) -> int:
+def stable_key_hash(key: str) -> int:
     """64-bit FNV-1a over the key's UTF-8 bytes.
 
     Python's built-in ``hash`` is salted per process, which would make
-    per-key random streams differ between runs; this one is stable.
+    per-key random streams (and cluster key routing) differ between runs;
+    this one is stable.
     """
     h = _FNV_OFFSET
     for byte in key.encode("utf-8"):
@@ -73,30 +75,51 @@ class CounterBank:
     def _counter_for(self, key: str) -> ApproximateCounter:
         counter = self._counters.get(key)
         if counter is None:
-            key_rng = self._root.split(_stable_hash(key), len(key))
+            key_rng = self._root.split(stable_key_hash(key), len(key))
             counter = self._factory(key_rng)
             self._counters[key] = counter
         return counter
 
     def record(self, key: str, count: int = 1) -> None:
-        """Record ``count`` events for ``key``."""
+        """Record ``count`` events for ``key``.
+
+        A zero count is a no-op: it does not materialize a counter, so
+        no-op events never inflate key counts or state-bit accounting
+        (use :meth:`materialize` to create a counter at count 0).
+        """
         if count < 0:
             raise ParameterError(f"count must be non-negative, got {count}")
+        if count == 0:
+            return
         self._counter_for(key).add(count)
         if self._track_truth:
             self._truth[key] = self._truth.get(key, 0) + count
 
     def consume(self, events: Iterable[KeyedEvent]) -> int:
-        """Ingest a keyed event stream; returns the number of events."""
+        """Ingest a keyed event stream; returns the increments applied.
+
+        Each event contributes ``event.count`` increments (1 for plain
+        events), so coalesced/batched streams are ingested faithfully.
+        """
         n = 0
         for event in events:
-            self.record(event.key)
-            n += 1
+            self.record(event.key, event.count)
+            n += event.count
         return n
 
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
+    @property
+    def seed(self) -> int:
+        """The bank seed (per-key streams derive from it)."""
+        return self._root.seed
+
+    @property
+    def tracks_truth(self) -> bool:
+        """Whether exact shadow counts are kept."""
+        return self._track_truth
+
     def __len__(self) -> int:
         return len(self._counters)
 
@@ -106,6 +129,24 @@ class CounterBank:
     def keys(self) -> Iterator[str]:
         """Iterate over tracked keys."""
         return iter(self._counters)
+
+    def items(self) -> Iterator[tuple[str, ApproximateCounter]]:
+        """Iterate over ``(key, counter)`` pairs (live references)."""
+        return iter(self._counters.items())
+
+    def counter(self, key: str) -> ApproximateCounter | None:
+        """The live counter for ``key``, or ``None`` if unseen."""
+        return self._counters.get(key)
+
+    def materialize(self, key: str) -> ApproximateCounter:
+        """The counter for ``key``, creating it (at count 0) if unseen.
+
+        The created counter gets the same derived random stream it would
+        have received from :meth:`record`, so materializing a key before
+        restoring a snapshot onto it (checkpoint recovery) reproduces the
+        bank a straight run would have built.
+        """
+        return self._counter_for(key)
 
     def estimate(self, key: str) -> float:
         """Estimated count for ``key`` (0 for unseen keys)."""
@@ -118,15 +159,31 @@ class CounterBank:
             raise ParameterError("bank was built with track_truth=False")
         return self._truth.get(key, 0)
 
+    def set_truth(self, key: str, count: int) -> None:
+        """Install an exact shadow count (checkpoint restore only).
+
+        Regular ingestion must go through :meth:`record`; this exists so a
+        restored bank carries the shadow counts its checkpoint recorded.
+        """
+        if not self._track_truth:
+            raise ParameterError("bank was built with track_truth=False")
+        if count < 0:
+            raise ParameterError(f"count must be non-negative, got {count}")
+        self._truth[key] = count
+
     def top_keys(self, k: int) -> list[tuple[str, float]]:
-        """The ``k`` keys with the largest estimates, descending."""
+        """The ``k`` keys with the largest estimates, descending.
+
+        ``heapq`` keeps this O(n log k), so top-k over millions of keys
+        does not pay for a full sort.
+        """
         if k < 0:
             raise ParameterError(f"k must be non-negative, got {k}")
-        ranked = sorted(
+        return heapq.nsmallest(
+            k,
             ((key, c.estimate()) for key, c in self._counters.items()),
             key=lambda pair: (-pair[1], pair[0]),
         )
-        return ranked[:k]
 
     # ------------------------------------------------------------------
     # accounting

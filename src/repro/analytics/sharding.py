@@ -47,12 +47,14 @@ class ShardedCounter:
     ) -> None:
         if n_shards < 1:
             raise ParameterError(f"n_shards must be >= 1, got {n_shards}")
-        root = BitBudgetedRandom(seed)
+        self._factory = factory
+        self._root = BitBudgetedRandom(seed)
+        self._window = 0
         self._shards = [
-            factory(root.split(0x73686172, index))
+            factory(self._root.split(0x73686172, index))
             for index in range(n_shards)
         ]
-        self._route_rng = root.split(0x726F757465)
+        self._route_rng = self._root.split(0x726F757465)
 
     @property
     def n_shards(self) -> int:
@@ -102,9 +104,23 @@ class ShardedCounter:
         """Merge all shards into one counter and return it.
 
         The shard counters are left intact (merging clones them), so the
-        caller decides whether to reset or keep them.
+        caller decides whether to :meth:`reset` or keep them.
         """
         return merge_all(self._shards)
+
+    def reset(self) -> None:
+        """Start a new counting window with fresh, empty shards.
+
+        Every shard is rebuilt from a fresh split of the root seed keyed by
+        the window index, so successive windows are deterministic yet use
+        unrelated random streams — the end-of-window flow is
+        ``archived = collapse(); reset()``.
+        """
+        self._window += 1
+        self._shards = [
+            self._factory(self._root.split(0x73686172, index, self._window))
+            for index in range(len(self._shards))
+        ]
 
     def total_state_bits(self, model: SpaceModel = SpaceModel.AUTOMATON) -> int:
         """Total state across shards (the price of sharding)."""

@@ -10,6 +10,7 @@ Usage::
     python -m repro.cli merge --family morris
     python -m repro.cli tradeoff
     python -m repro.cli throughput
+    python -m repro.cli cluster --nodes 4 --events 1000000 --kill 2@500000
     python -m repro.cli count --algorithm nelson_yu --n 1000000
 
 Every subcommand prints the same tables the benchmark suite writes to
@@ -130,6 +131,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ablation.add_argument("--trials", type=int, default=400)
 
+    cluster = subparsers.add_parser(
+        "cluster", help="simulate the distributed counting cluster"
+    )
+    cluster.add_argument("--nodes", type=int, default=4)
+    cluster.add_argument("--events", type=int, default=200_000)
+    cluster.add_argument("--keys", type=int, default=2000)
+    cluster.add_argument("--exponent", type=float, default=1.1)
+    cluster.add_argument(
+        "--algorithm",
+        choices=(
+            "exact",
+            "morris",
+            "morris_plus",
+            "simplified_ny",
+            "nelson_yu",
+        ),
+        default="simplified_ny",
+        help="mergeable counter preset for every node",
+    )
+    cluster.add_argument("--buffer", type=int, default=512)
+    cluster.add_argument("--checkpoint-every", type=int, default=50_000)
+    cluster.add_argument(
+        "--hot-threshold",
+        type=int,
+        default=None,
+        help="split keys across nodes once they reach this many events",
+    )
+    cluster.add_argument(
+        "--kill",
+        action="append",
+        default=[],
+        metavar="NODE@EVENT",
+        help="crash NODE at stream position EVENT (repeatable)",
+    )
+
     count = subparsers.add_parser(
         "count", help="run one counter over N increments"
     )
@@ -144,6 +180,53 @@ def build_parser() -> argparse.ArgumentParser:
     count.add_argument("--a", type=float, default=None)
 
     return parser
+
+
+def _run_cluster(args: argparse.Namespace) -> str:
+    from repro.cluster import (
+        ClusterConfig,
+        ClusterSimulation,
+        NodeFailure,
+        default_template,
+    )
+    from repro.rng.bitstream import BitBudgetedRandom
+    from repro.stream.workload import zipf_workload
+
+    from repro.errors import ParameterError
+
+    failures = []
+    for spec in args.kill:
+        try:
+            node_part, event_part = spec.split("@", 1)
+            node_id, at_event = int(node_part), int(event_part)
+        except ValueError:
+            raise SystemExit(
+                f"--kill expects NODE@EVENT (e.g. 2@100000), got {spec!r}"
+            )
+        try:
+            failures.append(NodeFailure(at_event=at_event, node_id=node_id))
+        except ParameterError as exc:
+            raise SystemExit(f"invalid --kill {spec!r}: {exc}")
+    try:
+        config = ClusterConfig(
+            n_nodes=args.nodes,
+            template=default_template(args.algorithm),
+            seed=args.seed,
+            buffer_limit=args.buffer,
+            checkpoint_every=args.checkpoint_every or None,
+            hot_key_threshold=args.hot_threshold,
+            failures=tuple(sorted(failures, key=lambda f: f.at_event)),
+        )
+    except ParameterError as exc:
+        raise SystemExit(f"invalid cluster configuration: {exc}")
+    events = zipf_workload(
+        BitBudgetedRandom(args.seed),
+        n_keys=args.keys,
+        n_events=args.events,
+        exponent=args.exponent,
+    )
+    result = ClusterSimulation(config).run(events)
+    return result.table()
 
 
 def _run_count(args: argparse.Namespace) -> str:
@@ -266,6 +349,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             )
         else:
             print(run_transition_ablation().table())
+    elif args.command == "cluster":
+        print(_run_cluster(args))
     elif args.command == "count":
         print(_run_count(args))
     else:  # pragma: no cover - argparse enforces choices

@@ -1,0 +1,54 @@
+"""The distributed counting cluster — §1's deployment, end to end.
+
+The paper's motivating system keeps one approximate counter per key across
+many machines.  This package composes the library's primitives into that
+deployment:
+
+* :class:`~repro.cluster.node.IngestNode` — a
+  :class:`~repro.analytics.counter_bank.CounterBank` behind a coalescing
+  write buffer (batched flushes ride the ``add`` fast-forward);
+* :class:`~repro.cluster.router.StableHashRouter` — deterministic
+  stable-hash key routing with hot-key splitting;
+* :class:`~repro.cluster.aggregator.MergeTreeAggregator` — merge-tree
+  aggregation of per-node banks into a :class:`~repro.cluster.aggregator.
+  GlobalView`, exact by Remark 2.4 (scratch merges for periodic queries,
+  destructive collapse at window end);
+* :class:`~repro.cluster.checkpoint.BankCheckpoint` — whole-bank
+  snapshot/restore built on :mod:`repro.core.codec`, so a crashed node
+  recovers deterministically;
+* :class:`~repro.cluster.simulation.ClusterSimulation` — the event-loop
+  driver with failure injection, durable-log replay, and throughput /
+  state-bits metrics.
+
+Invariants the tier-1 tests pin down: merging loses nothing (an ``exact``
+template cluster reproduces ground truth bit-for-bit, any template matches
+a single-node run statistically), and checkpoint recovery is deterministic
+(same config + same stream ⇒ identical estimates, crashes included).
+"""
+
+from repro.cluster.aggregator import GlobalView, MergeTreeAggregator
+from repro.cluster.checkpoint import BankCheckpoint
+from repro.cluster.node import CounterTemplate, IngestNode, default_template
+from repro.cluster.router import StableHashRouter
+from repro.cluster.simulation import (
+    ClusterConfig,
+    ClusterSimulation,
+    NodeFailure,
+    NodeStats,
+    SimulationResult,
+)
+
+__all__ = [
+    "BankCheckpoint",
+    "ClusterConfig",
+    "ClusterSimulation",
+    "CounterTemplate",
+    "GlobalView",
+    "IngestNode",
+    "MergeTreeAggregator",
+    "NodeFailure",
+    "NodeStats",
+    "SimulationResult",
+    "StableHashRouter",
+    "default_template",
+]

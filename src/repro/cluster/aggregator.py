@@ -1,0 +1,214 @@
+"""Merge-tree aggregation: the cluster's read path.
+
+Each ingest node holds a partial, per-key view of the traffic (a full view
+for cold keys it homes, a slice for split hot keys).  The aggregator folds
+the per-node counters for a key up a ``fanout``-ary merge tree — the shape
+a distributed reduction would use, with ``ceil(log_fanout(n))`` rounds —
+using :func:`~repro.core.merge.merge_all`, which Remark 2.4
+guarantees is distribution-exact: the merged counter is statistically
+identical to a single counter that ingested the global stream, so nothing
+is lost in ε or δ by sharding.
+
+Two query styles mirror :class:`~repro.analytics.sharding.ShardedCounter`:
+
+* *scratch merges* (:meth:`global_estimate`, :meth:`global_view`) clone
+  into fresh counters and leave the node banks untouched — the periodic
+  "what does the world look like" query;
+* *end-of-window collapse* (:meth:`collapse_window`) produces the final
+  :class:`GlobalView` for the window and resets every node to an empty
+  bank on a fresh window-derived seed, so the next window starts clean.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.analytics.report import BankErrorReport, KeyError_
+from repro.cluster.node import IngestNode
+from repro.core.base import ApproximateCounter
+from repro.core.merge import merge_all
+from repro.errors import MergeError, ParameterError
+from repro.memory.model import SpaceModel
+
+__all__ = ["GlobalView", "MergeTreeAggregator"]
+
+
+@dataclass(frozen=True)
+class GlobalView:
+    """The aggregator's merged, cluster-wide answer at one instant.
+
+    Attributes
+    ----------
+    counters:
+        One merged counter per key (fresh clones, safe to keep or mutate).
+    truth:
+        Exact global shadow counts, when every contributing bank tracked
+        them (``None`` otherwise).
+    merge_rounds:
+        Depth of the merge tree that produced the widest key.
+    """
+
+    counters: Mapping[str, ApproximateCounter]
+    truth: Mapping[str, int] | None
+    merge_rounds: int
+
+    @property
+    def n_keys(self) -> int:
+        """Number of distinct keys in the view."""
+        return len(self.counters)
+
+    def estimate(self, key: str) -> float:
+        """Merged estimate for ``key`` (0 for unseen keys)."""
+        counter = self.counters.get(key)
+        return counter.estimate() if counter is not None else 0.0
+
+    def top_keys(self, k: int) -> list[tuple[str, float]]:
+        """The ``k`` keys with the largest merged estimates, descending."""
+        if k < 0:
+            raise ParameterError(f"k must be non-negative, got {k}")
+        return heapq.nsmallest(
+            k,
+            ((key, c.estimate()) for key, c in self.counters.items()),
+            key=lambda pair: (-pair[1], pair[0]),
+        )
+
+    def total_state_bits(
+        self, model: SpaceModel = SpaceModel.AUTOMATON
+    ) -> int:
+        """State of the merged view (one counter per key), in bits."""
+        return sum(c.state_bits(model) for c in self.counters.values())
+
+    def error_report(self) -> BankErrorReport:
+        """Per-key error statistics against the global shadow counts."""
+        if self.truth is None:
+            raise ParameterError(
+                "global view has no shadow counts (a bank had "
+                "track_truth=False)"
+            )
+        entries = [
+            KeyError_(
+                key=key,
+                truth=self.truth.get(key, 0),
+                estimate=counter.estimate(),
+            )
+            for key, counter in self.counters.items()
+        ]
+        return BankErrorReport.from_entries(
+            entries, total_state_bits=self.total_state_bits()
+        )
+
+
+class MergeTreeAggregator:
+    """Folds per-node banks into global answers via a merge tree.
+
+    Parameters
+    ----------
+    nodes:
+        The ingest nodes to aggregate over.
+    fanout:
+        Merge-tree arity; 2 models pairwise reduction rounds, larger
+        values model wider aggregator machines.
+    """
+
+    def __init__(self, nodes: Sequence[IngestNode], fanout: int = 2) -> None:
+        if not nodes:
+            raise ParameterError("aggregator needs at least one node")
+        if fanout < 2:
+            raise ParameterError(f"fanout must be >= 2, got {fanout}")
+        self._nodes = list(nodes)
+        self._fanout = fanout
+
+    @property
+    def nodes(self) -> list[IngestNode]:
+        """The aggregated nodes (live references)."""
+        return list(self._nodes)
+
+    # ------------------------------------------------------------------
+    # merge tree
+    # ------------------------------------------------------------------
+    def _tree_merge(
+        self, counters: Sequence[ApproximateCounter]
+    ) -> tuple[ApproximateCounter, int]:
+        """Fold counters up a ``fanout``-ary tree; returns (merged, rounds).
+
+        Each group folds through :func:`~repro.core.merge.merge_all`,
+        which clones before merging — so even single-counter input yields
+        a fresh counter, never an alias of node state.
+        """
+        level = list(counters)
+        if len(level) == 1:
+            return merge_all(level), 0
+        rounds = 0
+        while len(level) > 1:
+            level = [
+                merge_all(level[i : i + self._fanout])
+                for i in range(0, len(level), self._fanout)
+            ]
+            rounds += 1
+        return level[0], rounds
+
+    # ------------------------------------------------------------------
+    # scratch-merge queries
+    # ------------------------------------------------------------------
+    def global_estimate(self, key: str) -> float:
+        """Cluster-wide estimate for one key (non-destructive)."""
+        counters = [
+            bank.counter(key)
+            for bank in (node.bank for node in self._nodes)
+        ]
+        present = [c for c in counters if c is not None]
+        if not present:
+            return 0.0
+        merged, _ = self._tree_merge(present)
+        return merged.estimate()
+
+    def global_view(self) -> GlobalView:
+        """Merge every key across all nodes (non-destructive).
+
+        Nodes are flushed first so the view reflects all accepted traffic.
+        """
+        for node in self._nodes:
+            node.flush()
+        per_key: dict[str, list[ApproximateCounter]] = {}
+        for node in self._nodes:
+            for key, counter in node.bank.items():
+                per_key.setdefault(key, []).append(counter)
+        track_truth = all(node.bank.tracks_truth for node in self._nodes)
+        truth: dict[str, int] | None = {} if track_truth else None
+        merged: dict[str, ApproximateCounter] = {}
+        max_rounds = 0
+        for key in sorted(per_key):
+            try:
+                merged[key], rounds = self._tree_merge(per_key[key])
+            except MergeError as exc:
+                raise MergeError(
+                    f"cannot aggregate key {key!r}: {exc}"
+                ) from exc
+            max_rounds = max(max_rounds, rounds)
+            if truth is not None:
+                truth[key] = sum(
+                    node.bank.truth(key)
+                    for node in self._nodes
+                    if key in node.bank
+                )
+        return GlobalView(
+            counters=merged, truth=truth, merge_rounds=max_rounds
+        )
+
+    # ------------------------------------------------------------------
+    # end-of-window collapse
+    # ------------------------------------------------------------------
+    def collapse_window(self, window: int = 1) -> GlobalView:
+        """Final view for the window, then reset every node to empty.
+
+        Each node gets a fresh bank built from its template on a seed
+        derived from the old bank's seed and ``window``, so successive
+        windows are deterministic yet use unrelated random streams (the
+        :meth:`~repro.analytics.sharding.ShardedCounter.reset` convention).
+        """
+        view = self.global_view()
+        for node in self._nodes:
+            node.reset(window)
+        return view

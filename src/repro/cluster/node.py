@@ -1,0 +1,258 @@
+"""Ingest nodes: the per-machine write path of the counting cluster.
+
+An :class:`IngestNode` owns one :class:`~repro.analytics.counter_bank.
+CounterBank` plus a *write buffer* in front of it.  The buffer coalesces
+per-key increments (a hot key hit 10,000 times between flushes becomes one
+``record(key, 10_000)`` call) and flushes in batches, so the expensive
+counter updates run through the distribution-exact ``add`` fast-forward
+instead of one transition per raw event.  This is the same batching real
+ingest tiers do to survive heavy traffic, and here it is also the main
+single-node throughput lever.
+
+Because a node may crash, its bank can be captured into a
+:class:`~repro.cluster.checkpoint.BankCheckpoint` and rebuilt from it; the
+buffer is volatile by design (the simulation redelivers unacknowledged
+events from its durable log on recovery).
+
+Counters are described by a :class:`CounterTemplate` — a serializable
+(algorithm name, parameters) pair — rather than a bare factory closure, so
+checkpoints can record how to rebuild every counter they contain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.analytics.counter_bank import CounterBank
+from repro.core.base import ApproximateCounter
+from repro.core.factory import COUNTER_TYPES
+from repro.errors import ParameterError
+from repro.memory.model import SpaceModel
+from repro.rng.bitstream import BitBudgetedRandom
+from repro.rng.splitmix import derive_seed
+from repro.stream.workload import KeyedEvent
+
+__all__ = ["CounterTemplate", "IngestNode", "default_template"]
+
+_WINDOW_SEED_KEY = 0x77696E64  # "wind"
+
+
+@dataclass(frozen=True)
+class CounterTemplate:
+    """A serializable recipe for one counter: algorithm name + parameters.
+
+    Unlike a factory closure, a template survives a round-trip through a
+    checkpoint, so a recovering node can rebuild counters identical in
+    kind to the ones it lost.
+    """
+
+    algorithm: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in COUNTER_TYPES:
+            known = ", ".join(sorted(COUNTER_TYPES))
+            raise ParameterError(
+                f"unknown algorithm {self.algorithm!r}; known: {known}"
+            )
+        object.__setattr__(self, "params", dict(self.params))
+
+    def build(self, rng: BitBudgetedRandom) -> ApproximateCounter:
+        """Instantiate one counter on the given random source."""
+        return COUNTER_TYPES[self.algorithm](**self.params, rng=rng)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation (inverse of :meth:`from_dict`)."""
+        return {"algorithm": self.algorithm, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CounterTemplate":
+        """Rebuild a template from :meth:`to_dict` output."""
+        return cls(
+            algorithm=data["algorithm"], params=dict(data.get("params", {}))
+        )
+
+
+def default_template(algorithm: str = "simplified_ny") -> CounterTemplate:
+    """A sensible cluster template for each mergeable counter family.
+
+    Cluster aggregation needs mergeable counters (Remark 2.4), so the
+    NY-family presets enable ``mergeable=True``.
+    """
+    presets: dict[str, dict[str, Any]] = {
+        "exact": {},
+        "morris": {"a": 0.05},
+        "morris_plus": {"a": 0.05},
+        "simplified_ny": {"resolution": 1024, "mergeable": True},
+        "nelson_yu": {
+            "epsilon": 0.1,
+            "delta_exponent": 10,
+            "mergeable": True,
+        },
+    }
+    if algorithm not in presets:
+        known = ", ".join(sorted(presets))
+        raise ParameterError(
+            f"no cluster preset for {algorithm!r}; known: {known}"
+        )
+    return CounterTemplate(algorithm, presets[algorithm])
+
+
+class IngestNode:
+    """One cluster machine: a counter bank behind a coalescing write buffer.
+
+    Parameters
+    ----------
+    node_id:
+        Stable identifier used by the router and checkpoints.
+    template:
+        Counter recipe for the node's bank.
+    seed:
+        Bank seed (derive it from the cluster seed and ``node_id`` so
+        nodes are independent but the deployment is reproducible).
+    buffer_limit:
+        Flush automatically once this many increments are buffered.
+    track_truth:
+        Keep exact shadow counts in the bank for evaluation.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        template: CounterTemplate,
+        seed: int,
+        buffer_limit: int = 512,
+        track_truth: bool = True,
+    ) -> None:
+        if node_id < 0:
+            raise ParameterError(f"node_id must be >= 0, got {node_id}")
+        if buffer_limit < 1:
+            raise ParameterError(
+                f"buffer_limit must be >= 1, got {buffer_limit}"
+            )
+        self._node_id = node_id
+        self._template = template
+        self._buffer_limit = buffer_limit
+        self._bank = CounterBank(
+            template.build, seed=seed, track_truth=track_truth
+        )
+        self._buffer: dict[str, int] = {}
+        self._buffered = 0
+        # Lifetime stats (restored from checkpoints on recovery).
+        self.events_ingested = 0
+        self.n_flushes = 0
+
+    # ------------------------------------------------------------------
+    # identity and introspection
+    # ------------------------------------------------------------------
+    @property
+    def node_id(self) -> int:
+        """This node's stable identifier."""
+        return self._node_id
+
+    @property
+    def template(self) -> CounterTemplate:
+        """The counter recipe used by this node's bank."""
+        return self._template
+
+    @property
+    def bank(self) -> CounterBank:
+        """The node's counter bank (flushed state only)."""
+        return self._bank
+
+    @property
+    def buffer_limit(self) -> int:
+        """Increments buffered before an automatic flush."""
+        return self._buffer_limit
+
+    @property
+    def pending(self) -> int:
+        """Increments sitting in the write buffer (not yet in the bank)."""
+        return self._buffered
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    def submit(self, event: KeyedEvent) -> None:
+        """Accept one event into the write buffer, flushing when full."""
+        if event.count == 0:
+            return
+        self._buffer[event.key] = self._buffer.get(event.key, 0) + event.count
+        self._buffered += event.count
+        self.events_ingested += event.count
+        if self._buffered >= self._buffer_limit:
+            self.flush()
+
+    def submit_all(self, events: Iterable[KeyedEvent]) -> int:
+        """Accept a batch of events; returns the increments accepted."""
+        before = self.events_ingested
+        for event in events:
+            self.submit(event)
+        return self.events_ingested - before
+
+    def flush(self) -> int:
+        """Apply the coalesced buffer to the bank; returns increments.
+
+        Keys are applied in sorted order so a flush is deterministic no
+        matter what order events arrived in.
+        """
+        if not self._buffer:
+            return 0
+        flushed = self._buffered
+        for key in sorted(self._buffer):
+            self._bank.record(key, self._buffer[key])
+        self._buffer.clear()
+        self._buffered = 0
+        self.n_flushes += 1
+        return flushed
+
+    def adopt_bank(self, bank: CounterBank) -> None:
+        """Install a restored bank (crash recovery), dropping the buffer.
+
+        The buffer is volatile by design — events that were only buffered
+        at crash time must be redelivered by the caller's durable log.
+        """
+        self._buffer.clear()
+        self._buffered = 0
+        self._bank = bank
+
+    def reset(self, window: int = 1) -> None:
+        """Start a new counting window: drop the buffer, fresh empty bank.
+
+        The new bank's seed derives from the old one and ``window``, so
+        successive windows are deterministic yet use unrelated random
+        streams (the same convention as
+        :meth:`~repro.analytics.sharding.ShardedCounter.reset`).  Lifetime
+        stats (``events_ingested``, ``n_flushes``) are preserved.
+        """
+        old = self._bank
+        self._buffer.clear()
+        self._buffered = 0
+        self._bank = CounterBank(
+            self._template.build,
+            seed=derive_seed(old.seed, _WINDOW_SEED_KEY, window),
+            track_truth=old.tracks_truth,
+        )
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    def estimate(self, key: str) -> float:
+        """Estimated count for ``key`` including buffered increments.
+
+        The flushed estimate comes from the bank; buffered increments are
+        added exactly (they have not gone through the counter yet, so no
+        approximation has touched them).
+        """
+        return self._bank.estimate(key) + float(self._buffer.get(key, 0))
+
+    def state_bits(self, model: SpaceModel = SpaceModel.AUTOMATON) -> int:
+        """Approximate-counter memory held by this node, in bits."""
+        return self._bank.total_state_bits(model)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"IngestNode(id={self._node_id}, keys={len(self._bank)}, "
+            f"pending={self._buffered}, ingested={self.events_ingested})"
+        )

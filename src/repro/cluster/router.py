@@ -1,0 +1,127 @@
+"""Key routing: which ingest node owns which key's traffic.
+
+The router assigns every key a *home node* by stable hash (FNV-1a via
+:func:`~repro.analytics.counter_bank.stable_key_hash`, salted and
+re-mixed), so routing is deterministic across processes and sessions —
+the property that makes the whole cluster simulation replayable.
+
+Hot-key splitting
+-----------------
+A single scorching key would turn its home node into the cluster
+bottleneck.  Keys marked hot (explicitly, or automatically once their
+observed traffic passes ``hot_key_threshold`` increments) are instead
+*split*: successive events for the key rotate round-robin over all nodes,
+each of which grows its own counter for the key.  Remark 2.4 makes this
+free in accuracy — the aggregator's merged counter for the key is
+distributed exactly as one counter that saw every event.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.analytics.counter_bank import stable_key_hash
+from repro.errors import ParameterError
+from repro.rng.splitmix import mix64
+from repro.stream.workload import KeyedEvent
+
+__all__ = ["StableHashRouter"]
+
+
+class StableHashRouter:
+    """Stable-hash key routing over ``n_nodes``, with hot-key splitting.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of ingest nodes.
+    hot_keys:
+        Keys to split across all nodes from the start.
+    hot_key_threshold:
+        When set, any key whose routed traffic reaches this many
+        increments is promoted to hot automatically.
+    salt:
+        Mixed into the hash so distinct routers (e.g. successive window
+        generations) shuffle keys differently.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        hot_keys: Iterable[str] = (),
+        hot_key_threshold: int | None = None,
+        salt: int = 0,
+    ) -> None:
+        if n_nodes < 1:
+            raise ParameterError(f"n_nodes must be >= 1, got {n_nodes}")
+        if hot_key_threshold is not None and hot_key_threshold < 1:
+            raise ParameterError(
+                f"hot_key_threshold must be >= 1, got {hot_key_threshold}"
+            )
+        self._n_nodes = n_nodes
+        self._salt = salt
+        self._threshold = hot_key_threshold
+        #: hot key -> round-robin cursor
+        self._hot: dict[str, int] = {key: 0 for key in hot_keys}
+        #: observed increments per key (only kept while auto-detection is on)
+        self._traffic: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        """Number of ingest nodes routed over."""
+        return self._n_nodes
+
+    @property
+    def hot_keys(self) -> frozenset[str]:
+        """Keys currently being split across all nodes."""
+        return frozenset(self._hot)
+
+    def home_node(self, key: str) -> int:
+        """The key's stable home node (ignores hot-key splitting)."""
+        return mix64(stable_key_hash(key) ^ self._salt) % self._n_nodes
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def mark_hot(self, key: str) -> None:
+        """Split ``key``'s future traffic across all nodes."""
+        self._hot.setdefault(key, 0)
+
+    def route(self, key: str, count: int = 1) -> int:
+        """The node that should ingest the next ``count`` increments.
+
+        Hot keys rotate round-robin starting from their home node; cold
+        keys always map to their home node.
+        """
+        if self._threshold is not None and key not in self._hot:
+            seen = self._traffic.get(key, 0) + count
+            self._traffic[key] = seen
+            if seen >= self._threshold:
+                self.mark_hot(key)
+                del self._traffic[key]
+                # Fall through: the promoting event already splits.
+        cursor = self._hot.get(key)
+        if cursor is None:
+            return self.home_node(key)
+        self._hot[key] = cursor + 1
+        return (self.home_node(key) + cursor) % self._n_nodes
+
+    def route_event(self, event: KeyedEvent) -> int:
+        """Route one event (weighted by its ``count``)."""
+        return self.route(event.key, max(event.count, 1))
+
+    def partition(
+        self, events: Iterable[KeyedEvent]
+    ) -> Iterator[tuple[int, KeyedEvent]]:
+        """Lazily annotate an event stream with its destination node."""
+        for event in events:
+            yield self.route_event(event), event
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"StableHashRouter(n_nodes={self._n_nodes}, "
+            f"hot={len(self._hot)}, salt={self._salt:#x})"
+        )

@@ -1,0 +1,422 @@
+"""Deterministic end-to-end driver for the counting cluster.
+
+The simulation wires the cluster together the way a real deployment would:
+a :class:`~repro.cluster.router.StableHashRouter` spreads a
+:class:`~repro.stream.workload.KeyedEvent` stream over N
+:class:`~repro.cluster.node.IngestNode` machines, nodes coalesce and flush
+batches into their banks, periodic :class:`~repro.cluster.checkpoint.
+BankCheckpoint` snapshots bound the blast radius of a crash, and a
+:class:`~repro.cluster.aggregator.MergeTreeAggregator` produces the global
+merged view at the end.
+
+Failure injection and recovery
+------------------------------
+``ClusterConfig.failures`` schedules crashes at exact stream positions.  A
+crash destroys the node's volatile state (bank and write buffer); recovery
+restores the last checkpoint (on a fresh incarnation-derived seed, so the
+replica does not share coin flips with its dead predecessor) and replays
+the *durable log* — the events delivered to the node since that checkpoint,
+which the simulation retains exactly as a real ingest tier would keep
+unacknowledged messages in its queue.  Recovery is therefore lossless in
+ground truth and fully deterministic: the same config and stream produce
+bit-identical final estimates, crashes included.
+
+Everything except wall-clock throughput metrics is derived from the
+config seed, which is what the determinism tests pin down.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.cluster.aggregator import GlobalView, MergeTreeAggregator
+from repro.cluster.checkpoint import BankCheckpoint
+from repro.cluster.node import CounterTemplate, IngestNode, default_template
+from repro.cluster.router import StableHashRouter
+from repro.errors import ParameterError
+from repro.experiments.records import TextTable
+from repro.rng.splitmix import derive_seed
+from repro.stream.workload import KeyedEvent
+
+__all__ = [
+    "NodeFailure",
+    "ClusterConfig",
+    "NodeStats",
+    "SimulationResult",
+    "ClusterSimulation",
+]
+
+_NODE_SEED_KEY = 0x6E6F6465  # "node"
+_ROUTER_SEED_KEY = 0x726F7574  # "rout"
+
+
+@dataclass(frozen=True, slots=True)
+class NodeFailure:
+    """Crash ``node_id`` just before stream position ``at_event``."""
+
+    at_event: int
+    node_id: int
+
+    def __post_init__(self) -> None:
+        if self.at_event < 0:
+            raise ParameterError(
+                f"at_event must be non-negative, got {self.at_event}"
+            )
+        if self.node_id < 0:
+            raise ParameterError(
+                f"node_id must be non-negative, got {self.node_id}"
+            )
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Shape of one simulated deployment."""
+
+    n_nodes: int = 4
+    template: CounterTemplate = field(default_factory=default_template)
+    seed: int = 0
+    buffer_limit: int = 512
+    checkpoint_every: int | None = 50_000
+    hot_keys: tuple[str, ...] = ()
+    hot_key_threshold: int | None = None
+    failures: tuple[NodeFailure, ...] = ()
+    track_truth: bool = True
+    fanout: int = 2
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ParameterError(
+                f"n_nodes must be >= 1, got {self.n_nodes}"
+            )
+        if self.checkpoint_every is not None and self.checkpoint_every < 1:
+            raise ParameterError(
+                "checkpoint_every must be >= 1 or None, "
+                f"got {self.checkpoint_every}"
+            )
+        for failure in self.failures:
+            if failure.node_id >= self.n_nodes:
+                raise ParameterError(
+                    f"failure targets node {failure.node_id}, cluster has "
+                    f"{self.n_nodes} nodes"
+                )
+
+
+@dataclass(frozen=True, slots=True)
+class NodeStats:
+    """Per-node accounting at the end of a run."""
+
+    node_id: int
+    events: int
+    keys: int
+    flushes: int
+    checkpoints: int
+    recoveries: int
+    state_bits: int
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Everything a run produced, ready for tables and JSON.
+
+    ``elapsed_s`` and ``events_per_sec`` are wall-clock measurements and
+    the only non-deterministic fields; everything else is a pure function
+    of the config and the event stream.
+    """
+
+    n_nodes: int
+    total_events: int
+    n_keys: int
+    hot_keys: int
+    merge_rounds: int
+    total_state_bits: int
+    node_stats: tuple[NodeStats, ...]
+    top: tuple[tuple[str, float, int | None], ...]
+    mean_relative_error: float | None
+    rms_relative_error: float | None
+    max_relative_error: float | None
+    elapsed_s: float
+    events_per_sec: float
+
+    @property
+    def recoveries(self) -> int:
+        """Total node recoveries across the run."""
+        return sum(s.recoveries for s in self.node_stats)
+
+    @property
+    def checkpoints(self) -> int:
+        """Total checkpoints taken across the run."""
+        return sum(s.checkpoints for s in self.node_stats)
+
+    def table(self) -> str:
+        """Render the per-node table, top keys, and global summary."""
+        nodes = TextTable(
+            [
+                "node",
+                "events",
+                "keys",
+                "flushes",
+                "ckpts",
+                "recoveries",
+                "state bits",
+            ]
+        )
+        for s in self.node_stats:
+            nodes.add_row(
+                f"node-{s.node_id}",
+                f"{s.events:,}",
+                f"{s.keys:,}",
+                f"{s.flushes:,}",
+                str(s.checkpoints),
+                str(s.recoveries),
+                f"{s.state_bits:,}",
+            )
+        lines = [nodes.render()]
+        if self.top:
+            top = TextTable(["top key", "estimate", "truth", "rel. error"])
+            for key, estimate, truth in self.top:
+                if truth is None or truth == 0:
+                    top.add_row(key, f"{estimate:,.0f}", "-", "-")
+                else:
+                    top.add_row(
+                        key,
+                        f"{estimate:,.0f}",
+                        f"{truth:,}",
+                        f"{100 * abs(estimate - truth) / truth:.3f}%",
+                    )
+            lines.append("")
+            lines.append(top.render())
+        lines.append("")
+        lines.append(
+            f"{self.n_nodes} nodes, {self.total_events:,} events over "
+            f"{self.n_keys:,} keys ({self.hot_keys} split hot), "
+            f"merge depth {self.merge_rounds}"
+        )
+        lines.append(
+            f"throughput {self.events_per_sec:,.0f} events/s "
+            f"({self.elapsed_s:.2f} s); merged view "
+            f"{self.total_state_bits:,} state bits"
+        )
+        if self.rms_relative_error is not None:
+            lines.append(
+                f"global error vs truth: mean "
+                f"{100 * self.mean_relative_error:.3f}%  rms "
+                f"{100 * self.rms_relative_error:.3f}%  max "
+                f"{100 * self.max_relative_error:.3f}%"
+            )
+        if self.recoveries:
+            lines.append(
+                f"{self.recoveries} node recoveries from "
+                f"{self.checkpoints} checkpoints (durable-log replay)"
+            )
+        return "\n".join(lines)
+
+
+class ClusterSimulation:
+    """Event-loop driver over a configured cluster.
+
+    One instance drives one window; :meth:`run` may be called once per
+    event stream.  All cluster components are reachable (``nodes``,
+    ``router``, ``aggregator``) for white-box assertions.
+    """
+
+    def __init__(self, config: ClusterConfig) -> None:
+        self._config = config
+        self._router = StableHashRouter(
+            config.n_nodes,
+            hot_keys=config.hot_keys,
+            hot_key_threshold=config.hot_key_threshold,
+            salt=derive_seed(config.seed, _ROUTER_SEED_KEY),
+        )
+        self._nodes = [
+            IngestNode(
+                node_id,
+                config.template,
+                seed=derive_seed(config.seed, _NODE_SEED_KEY, node_id, 0),
+                buffer_limit=config.buffer_limit,
+                track_truth=config.track_truth,
+            )
+            for node_id in range(config.n_nodes)
+        ]
+        self._aggregator = MergeTreeAggregator(
+            self._nodes, fanout=config.fanout
+        )
+        n = config.n_nodes
+        self._last_checkpoint: list[str | None] = [None] * n
+        self._wal: list[list[KeyedEvent]] = [[] for _ in range(n)]
+        self._since_checkpoint = [0] * n
+        self._incarnation = [0] * n
+        self._recoveries = [0] * n
+        self._checkpoints = [0] * n
+
+    # ------------------------------------------------------------------
+    # component access
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> ClusterConfig:
+        """The deployment shape this simulation drives."""
+        return self._config
+
+    @property
+    def nodes(self) -> list[IngestNode]:
+        """The live ingest nodes."""
+        return list(self._nodes)
+
+    @property
+    def router(self) -> StableHashRouter:
+        """The key router."""
+        return self._router
+
+    @property
+    def aggregator(self) -> MergeTreeAggregator:
+        """The merge-tree aggregator over the live nodes."""
+        return self._aggregator
+
+    # ------------------------------------------------------------------
+    # event loop
+    # ------------------------------------------------------------------
+    def run(self, events: Iterable[KeyedEvent]) -> SimulationResult:
+        """Drive the cluster over ``events`` and aggregate at the end."""
+        failures: dict[int, list[int]] = {}
+        for failure in self._config.failures:
+            failures.setdefault(failure.at_event, []).append(failure.node_id)
+        started = time.perf_counter()
+        position = 0
+        for event in events:
+            for node_id in failures.get(position, ()):
+                self.crash_node(node_id)
+            self._deliver(event)
+            position += 1
+        for node in self._nodes:
+            node.flush()
+        elapsed = time.perf_counter() - started
+        view = self._aggregator.global_view()
+        return self._result(view, elapsed)
+
+    def _deliver(self, event: KeyedEvent) -> None:
+        node_id = self._router.route_event(event)
+        self._wal[node_id].append(event)
+        self._nodes[node_id].submit(event)
+        self._since_checkpoint[node_id] += event.count
+        every = self._config.checkpoint_every
+        if every is not None and self._since_checkpoint[node_id] >= every:
+            self.checkpoint_node(node_id)
+
+    # ------------------------------------------------------------------
+    # checkpointing and failure
+    # ------------------------------------------------------------------
+    def checkpoint_node(self, node_id: int) -> str:
+        """Flush and checkpoint one node; truncates its durable log."""
+        node = self._nodes[node_id]
+        node.flush()
+        checkpoint = BankCheckpoint.capture(
+            node.bank,
+            node.template,
+            meta={
+                "node_id": node_id,
+                "incarnation": self._incarnation[node_id],
+                "events_ingested": node.events_ingested,
+                "n_flushes": node.n_flushes,
+            },
+        )
+        line = checkpoint.encode()
+        self._last_checkpoint[node_id] = line
+        self._wal[node_id].clear()
+        self._since_checkpoint[node_id] = 0
+        self._checkpoints[node_id] += 1
+        return line
+
+    def crash_node(self, node_id: int) -> None:
+        """Destroy a node's volatile state, then recover it.
+
+        Recovery = restore the last checkpoint (or an empty bank if none
+        was ever taken) on a fresh incarnation seed, then replay the
+        durable log of events delivered since that checkpoint.
+        """
+        if not 0 <= node_id < len(self._nodes):
+            raise ParameterError(
+                f"node {node_id} out of range [0, {len(self._nodes)})"
+            )
+        config = self._config
+        self._incarnation[node_id] += 1
+        incarnation_seed = derive_seed(
+            config.seed, _NODE_SEED_KEY, node_id, self._incarnation[node_id]
+        )
+        node = IngestNode(
+            node_id,
+            config.template,
+            seed=incarnation_seed,
+            buffer_limit=config.buffer_limit,
+            track_truth=config.track_truth,
+        )
+        line = self._last_checkpoint[node_id]
+        if line is not None:
+            checkpoint = BankCheckpoint.decode(line)
+            node.adopt_bank(checkpoint.restore(seed=incarnation_seed))
+            node.events_ingested = int(
+                checkpoint.meta.get("events_ingested", 0)
+            )
+            node.n_flushes = int(checkpoint.meta.get("n_flushes", 0))
+        self._nodes[node_id] = node
+        # The aggregator must see the replacement node, not the corpse.
+        self._aggregator = MergeTreeAggregator(
+            self._nodes, fanout=config.fanout
+        )
+        for event in self._wal[node_id]:
+            node.submit(event)
+        self._since_checkpoint[node_id] = sum(
+            event.count for event in self._wal[node_id]
+        )
+        self._recoveries[node_id] += 1
+
+    # ------------------------------------------------------------------
+    # result assembly
+    # ------------------------------------------------------------------
+    def _result(
+        self, view: GlobalView, elapsed: float
+    ) -> SimulationResult:
+        node_stats = tuple(
+            NodeStats(
+                node_id=node.node_id,
+                events=node.events_ingested,
+                keys=len(node.bank),
+                flushes=node.n_flushes,
+                checkpoints=self._checkpoints[node.node_id],
+                recoveries=self._recoveries[node.node_id],
+                state_bits=node.state_bits(),
+            )
+            for node in self._nodes
+        )
+        total_events = sum(s.events for s in node_stats)
+        mean = rms = worst = None
+        if view.truth is not None and view.n_keys:
+            report = view.error_report()
+            mean = report.mean_relative_error
+            rms = report.rms_relative_error
+            worst = report.max_relative_error
+        top = tuple(
+            (
+                key,
+                estimate,
+                view.truth.get(key, 0) if view.truth is not None else None,
+            )
+            for key, estimate in view.top_keys(5)
+        )
+        return SimulationResult(
+            n_nodes=self._config.n_nodes,
+            total_events=total_events,
+            n_keys=view.n_keys,
+            hot_keys=len(self._router.hot_keys),
+            merge_rounds=view.merge_rounds,
+            total_state_bits=view.total_state_bits(),
+            node_stats=node_stats,
+            top=top,
+            mean_relative_error=mean,
+            rms_relative_error=rms,
+            max_relative_error=worst,
+            elapsed_s=elapsed,
+            events_per_sec=(
+                total_events / elapsed if elapsed > 0 else float("inf")
+            ),
+        )

@@ -30,9 +30,21 @@ __all__ = ["KeyedEvent", "zipf_workload", "uniform_workload", "burst_workload"]
 
 @dataclass(frozen=True, slots=True)
 class KeyedEvent:
-    """One increment event for one key."""
+    """``count`` increments for one key (``count=1`` is a plain event).
+
+    Weighted events let pre-aggregated streams — an upstream buffer that
+    coalesced per-key increments, or a batched replication feed — be
+    expressed without expanding back into unit increments.
+    """
 
     key: str
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ParameterError(
+                f"event count must be non-negative, got {self.count}"
+            )
 
 
 def _key_name(index: int) -> str:

@@ -53,6 +53,31 @@ class TestRecording:
         events = zipf_workload(BitBudgetedRandom(1), 20, 500)
         assert bank.consume(events) == 500
 
+    def test_consume_weighted_events(self):
+        from repro.stream.workload import KeyedEvent
+
+        bank = _morris_bank()
+        events = [KeyedEvent("a", 100), KeyedEvent("b"), KeyedEvent("a", 7)]
+        assert bank.consume(events) == 108
+        assert bank.truth("a") == 107
+        assert bank.truth("b") == 1
+
+    def test_zero_count_does_not_materialize(self):
+        from repro.stream.workload import KeyedEvent
+
+        bank = _morris_bank()
+        assert bank.consume([KeyedEvent("x", 0)]) == 0
+        bank.record("y", 0)
+        assert len(bank) == 0
+        assert bank.total_state_bits() == 0
+        assert bank.top_keys(5) == []
+
+    def test_negative_event_count_rejected(self):
+        from repro.stream.workload import KeyedEvent
+
+        with pytest.raises(ParameterError):
+            KeyedEvent("a", -1)
+
 
 class TestDeterminism:
     def test_same_seed_same_estimates(self):
@@ -78,6 +103,18 @@ class TestReporting:
         bank.record("small", 10)
         top = bank.top_keys(1)
         assert top[0][0] == "big"
+
+    def test_top_keys_matches_full_sort(self):
+        """The heap-based top-k agrees with a full sort, ties included."""
+        bank = CounterBank(lambda rng: NelsonYuCounter(0.25, 10, rng=rng))
+        for i in range(40):
+            bank.record(f"key-{i:02d}", 1 + i % 5)  # deliberate ties
+        full = sorted(
+            ((key, bank.estimate(key)) for key in bank.keys()),
+            key=lambda pair: (-pair[1], pair[0]),
+        )
+        for k in (0, 1, 7, 40, 100):
+            assert bank.top_keys(k) == full[:k]
 
     def test_error_report_aggregates(self):
         bank = _morris_bank()

@@ -81,3 +81,44 @@ class TestAggregation:
         for shard in range(3):
             sharded.add(30_000, shard=shard)
         assert abs(sharded.estimate() - 90_000) / 90_000 < 0.2
+
+
+class TestWindowReset:
+    def test_reset_empties_shards(self):
+        sharded = _sharded(seed=6)
+        for shard in range(4):
+            sharded.add(5000, shard=shard)
+        archived = sharded.collapse()
+        sharded.reset()
+        assert sharded.n_increments == 0
+        assert all(s.n_increments == 0 for s in sharded.shards)
+        assert sharded.n_shards == 4
+        # The archived window is untouched by the reset.
+        assert archived.n_increments == 20_000
+
+    def test_new_window_counts_independently(self):
+        sharded = _sharded(seed=7)
+        sharded.add(10_000, shard=0)
+        sharded.reset()
+        sharded.add(30_000, shard=1)
+        assert abs(sharded.estimate() - 30_000) / 30_000 < 0.25
+
+    def test_windows_use_fresh_streams(self):
+        """Same per-window traffic, yet successive windows draw from
+        unrelated streams — estimates differ across windows."""
+        sharded = _sharded(seed=8)
+        sharded.add(100_000, shard=0)
+        first = sharded.estimate()
+        sharded.reset()
+        sharded.add(100_000, shard=0)
+        assert sharded.estimate() != first
+
+    def test_reset_is_deterministic(self):
+        def run():
+            sharded = _sharded(seed=9)
+            sharded.add(20_000, shard=2)
+            sharded.reset()
+            sharded.add(20_000, shard=2)
+            return sharded.estimate()
+
+        assert run() == run()

@@ -1,0 +1,131 @@
+"""Tests for merge-tree aggregation and the global view."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.aggregator import MergeTreeAggregator
+from repro.cluster.node import IngestNode, default_template
+from repro.errors import MergeError, ParameterError
+from repro.stream.workload import KeyedEvent
+
+
+def _nodes(n: int, algorithm: str = "simplified_ny") -> list[IngestNode]:
+    template = default_template(algorithm)
+    return [
+        IngestNode(i, template, seed=100 + i, buffer_limit=64)
+        for i in range(n)
+    ]
+
+
+class TestMergeExactness:
+    def test_exact_template_loses_nothing(self):
+        """With exact counters, the merged view equals ground truth —
+        the routing/merging plumbing adds zero error of its own."""
+        nodes = _nodes(4, "exact")
+        for i, node in enumerate(nodes):
+            node.submit(KeyedEvent("shared", count=1000 + i))
+            node.submit(KeyedEvent(f"own-{i}", count=50))
+        aggregator = MergeTreeAggregator(nodes)
+        view = aggregator.global_view()
+        assert view.estimate("shared") == sum(1000 + i for i in range(4))
+        for i in range(4):
+            assert view.estimate(f"own-{i}") == 50
+        assert view.error_report().max_relative_error == 0.0
+
+    def test_merged_estimate_tracks_truth(self):
+        nodes = _nodes(4)
+        for node in nodes:
+            node.submit(KeyedEvent("k", count=25_000))
+        view = MergeTreeAggregator(nodes).global_view()
+        assert abs(view.estimate("k") - 100_000) / 100_000 < 0.1
+
+    def test_single_node_key_is_cloned_not_aliased(self):
+        nodes = _nodes(1)
+        nodes[0].submit(KeyedEvent("k", count=500))
+        view = MergeTreeAggregator(nodes).global_view()
+        merged = view.counters["k"]
+        assert merged is not nodes[0].bank.counter("k")
+        merged.add(100)
+        assert nodes[0].bank.truth("k") == 500  # original untouched
+
+    def test_scratch_merge_is_non_destructive(self):
+        nodes = _nodes(3)
+        for node in nodes:
+            node.submit(KeyedEvent("k", count=5000))
+            node.flush()
+        before = [node.bank.counter("k").snapshot() for node in nodes]
+        MergeTreeAggregator(nodes).global_view()
+        after = [node.bank.counter("k").snapshot() for node in nodes]
+        assert before == after
+
+    def test_unmergeable_template_reports_key(self):
+        template = default_template("simplified_ny")
+        broken = {**template.params, "mergeable": False}
+        from repro.cluster.node import CounterTemplate
+
+        nodes = [
+            IngestNode(
+                i,
+                CounterTemplate("simplified_ny", broken),
+                seed=i,
+                buffer_limit=8,
+            )
+            for i in range(2)
+        ]
+        for node in nodes:
+            node.submit(KeyedEvent("k", count=10))
+        with pytest.raises(MergeError, match="'k'"):
+            MergeTreeAggregator(nodes).global_view()
+
+
+class TestMergeTreeShape:
+    @pytest.mark.parametrize(
+        "n_nodes,fanout,rounds", [(4, 2, 2), (8, 2, 3), (8, 4, 2), (1, 2, 0)]
+    )
+    def test_rounds(self, n_nodes, fanout, rounds):
+        nodes = _nodes(n_nodes, "exact")
+        for node in nodes:
+            node.submit(KeyedEvent("k"))
+        view = MergeTreeAggregator(nodes, fanout=fanout).global_view()
+        assert view.merge_rounds == rounds
+
+    def test_fanout_validated(self):
+        with pytest.raises(ParameterError):
+            MergeTreeAggregator(_nodes(2), fanout=1)
+        with pytest.raises(ParameterError):
+            MergeTreeAggregator([])
+
+
+class TestQueriesAndCollapse:
+    def test_global_estimate_single_key(self):
+        nodes = _nodes(3, "exact")
+        for node in nodes:
+            node.submit(KeyedEvent("k", count=10))
+        aggregator = MergeTreeAggregator(nodes)
+        # flush happens inside global_view, not global_estimate
+        for node in nodes:
+            node.flush()
+        assert aggregator.global_estimate("k") == 30
+        assert aggregator.global_estimate("unseen") == 0.0
+
+    def test_top_keys(self):
+        nodes = _nodes(2, "exact")
+        nodes[0].submit(KeyedEvent("big", count=1000))
+        nodes[1].submit(KeyedEvent("big", count=1000))
+        nodes[0].submit(KeyedEvent("small", count=3))
+        view = MergeTreeAggregator(nodes).global_view()
+        assert view.top_keys(1) == [("big", 2000.0)]
+
+    def test_collapse_window_resets_nodes(self):
+        nodes = _nodes(2, "exact")
+        for node in nodes:
+            node.submit(KeyedEvent("k", count=7))
+        aggregator = MergeTreeAggregator(nodes)
+        view = aggregator.collapse_window(window=1)
+        assert view.estimate("k") == 14
+        # Next window starts clean.
+        for node in nodes:
+            assert len(node.bank) == 0
+        second = aggregator.global_view()
+        assert second.n_keys == 0

@@ -1,0 +1,51 @@
+"""Tier-1 smoke test for the cluster benchmark's quick path.
+
+Runs ``python benchmarks/bench_cluster.py -q`` as a subprocess and
+validates the ``BENCH_cluster.json`` it writes against the shared schema
+(``benchmark`` / ``seed`` / ``workload`` / ``rows``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+_REPO = pathlib.Path(__file__).resolve().parents[2]
+_BENCH = _REPO / "benchmarks" / "bench_cluster.py"
+_RESULT = _REPO / "benchmarks" / "results" / "BENCH_cluster.json"
+
+
+class TestBenchClusterSmoke:
+    def test_quick_path_writes_schema(self):
+        env = dict(os.environ)
+        src = str(_REPO / "src")
+        env["PYTHONPATH"] = (
+            src + os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH")
+            else src
+        )
+        completed = subprocess.run(
+            [sys.executable, str(_BENCH), "-q"],
+            capture_output=True,
+            text=True,
+            timeout=600,
+            env=env,
+        )
+        assert completed.returncode == 0, completed.stderr[-2000:]
+        assert "events/s" in completed.stdout
+
+        payload = json.loads(_RESULT.read_text(encoding="utf-8"))
+        assert payload["benchmark"] == "cluster"
+        assert isinstance(payload["seed"], int)
+        assert payload["workload"]["kind"] == "zipf"
+        rows = payload["rows"]
+        assert [row["nodes"] for row in rows] == [1, 2, 4, 8]
+        for row in rows:
+            assert row["events_per_sec"] > 0
+            assert 0.0 <= row["rms_relative_error"] < 0.02
+            assert row["state_bits"] > 0
+            if row["nodes"] > 1:
+                assert row["recoveries"] >= 1

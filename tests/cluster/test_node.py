@@ -1,0 +1,129 @@
+"""Tests for ingest nodes and counter templates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.node import CounterTemplate, IngestNode, default_template
+from repro.errors import ParameterError
+from repro.stream.workload import KeyedEvent
+
+
+def _node(buffer_limit: int = 100, **kwargs) -> IngestNode:
+    return IngestNode(
+        0,
+        default_template("simplified_ny"),
+        seed=7,
+        buffer_limit=buffer_limit,
+        **kwargs,
+    )
+
+
+class TestCounterTemplate:
+    def test_build(self):
+        from repro.rng.bitstream import BitBudgetedRandom
+
+        template = CounterTemplate("morris", {"a": 0.5})
+        counter = template.build(BitBudgetedRandom(1))
+        counter.add(100)
+        assert counter.n_increments == 100
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ParameterError):
+            CounterTemplate("hyperloglog")
+
+    def test_dict_roundtrip(self):
+        template = default_template("nelson_yu")
+        clone = CounterTemplate.from_dict(template.to_dict())
+        assert clone == template
+
+    def test_default_template_unknown(self):
+        with pytest.raises(ParameterError):
+            default_template("csuros")  # not mergeable, no preset
+
+
+class TestWriteBuffer:
+    def test_coalescing(self):
+        node = _node(buffer_limit=1000)
+        for _ in range(10):
+            node.submit(KeyedEvent("hot"))
+        node.submit(KeyedEvent("cold"))
+        assert node.pending == 11
+        assert len(node.bank) == 0  # nothing flushed yet
+        node.flush()
+        assert node.pending == 0
+        assert node.bank.truth("hot") == 10
+        assert node.bank.truth("cold") == 1
+        assert node.n_flushes == 1
+
+    def test_auto_flush_at_limit(self):
+        node = _node(buffer_limit=5)
+        for i in range(5):
+            node.submit(KeyedEvent(f"k{i}"))
+        assert node.pending == 0  # hit the limit, flushed itself
+        assert node.n_flushes == 1
+
+    def test_weighted_events(self):
+        node = _node(buffer_limit=100)
+        node.submit(KeyedEvent("k", count=60))
+        node.submit(KeyedEvent("k", count=60))  # 120 >= limit
+        assert node.pending == 0
+        assert node.bank.truth("k") == 120
+        assert node.events_ingested == 120
+
+    def test_zero_count_is_noop(self):
+        node = _node()
+        node.submit(KeyedEvent("k", count=0))
+        assert node.pending == 0
+        assert node.events_ingested == 0
+
+    def test_estimate_sees_buffered_increments(self):
+        node = _node(buffer_limit=1000)
+        node.submit(KeyedEvent("k", count=42))
+        assert node.estimate("k") == 42.0  # exact while still buffered
+
+    def test_flush_is_order_independent(self):
+        streams = (
+            [KeyedEvent("a", 3), KeyedEvent("b", 5), KeyedEvent("a", 2)],
+            [KeyedEvent("b", 5), KeyedEvent("a", 2), KeyedEvent("a", 3)],
+        )
+        estimates = []
+        for events in streams:
+            node = _node(buffer_limit=1000)
+            node.submit_all(events)
+            node.flush()
+            estimates.append((node.estimate("a"), node.estimate("b")))
+        assert estimates[0] == estimates[1]
+
+
+class TestValidationAndReset:
+    def test_bad_parameters(self):
+        template = default_template()
+        with pytest.raises(ParameterError):
+            IngestNode(-1, template, seed=0)
+        with pytest.raises(ParameterError):
+            IngestNode(0, template, seed=0, buffer_limit=0)
+
+    def test_reset_starts_empty_window(self):
+        node = _node(buffer_limit=10_000)
+        node.submit(KeyedEvent("k", count=500))
+        node.flush()
+        node.submit(KeyedEvent("pending", count=3))
+        node.reset()
+        assert node.pending == 0
+        assert len(node.bank) == 0
+        assert node.estimate("k") == 0.0
+        # Lifetime stats survive the window roll.
+        assert node.events_ingested == 503
+
+    def test_reset_windows_are_deterministic(self):
+        def run():
+            node = _node(buffer_limit=10_000)
+            node.submit(KeyedEvent("k", count=10_000))
+            node.flush()
+            node.reset()
+            node.submit(KeyedEvent("k", count=10_000))
+            node.flush()
+            return node.estimate("k")
+
+        assert run() == run()

@@ -1,0 +1,71 @@
+"""Tests for stable-hash routing and hot-key splitting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.router import StableHashRouter
+from repro.errors import ParameterError
+from repro.stream.workload import KeyedEvent
+
+
+class TestStableRouting:
+    def test_deterministic_across_instances(self):
+        keys = [f"page-{i}" for i in range(200)]
+        a = StableHashRouter(8, salt=5)
+        b = StableHashRouter(8, salt=5)
+        assert [a.route(k) for k in keys] == [b.route(k) for k in keys]
+
+    def test_salt_reshuffles(self):
+        keys = [f"page-{i}" for i in range(200)]
+        a = StableHashRouter(8, salt=1)
+        b = StableHashRouter(8, salt=2)
+        assert [a.route(k) for k in keys] != [b.route(k) for k in keys]
+
+    def test_cold_keys_are_sticky(self):
+        router = StableHashRouter(5)
+        assert len({router.route("k") for _ in range(50)}) == 1
+
+    def test_spreads_over_nodes(self):
+        router = StableHashRouter(4)
+        homes = [router.route(f"page-{i}") for i in range(1000)]
+        loads = [homes.count(n) for n in range(4)]
+        assert all(load > 150 for load in loads)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            StableHashRouter(0)
+        with pytest.raises(ParameterError):
+            StableHashRouter(2, hot_key_threshold=0)
+
+
+class TestHotKeySplitting:
+    def test_explicit_hot_key_rotates(self):
+        router = StableHashRouter(4, hot_keys=["hot"])
+        nodes = [router.route("hot") for _ in range(8)]
+        assert sorted(set(nodes)) == [0, 1, 2, 3]
+        # Round-robin: each node sees exactly 2 of the 8 events.
+        assert all(nodes.count(n) == 2 for n in range(4))
+
+    def test_auto_promotion_at_threshold(self):
+        router = StableHashRouter(4, hot_key_threshold=100)
+        for _ in range(99):
+            router.route("popular")
+        assert "popular" not in router.hot_keys
+        router.route("popular")
+        assert "popular" in router.hot_keys
+        # After promotion, traffic spreads.
+        nodes = {router.route("popular") for _ in range(8)}
+        assert len(nodes) == 4
+
+    def test_weighted_counts_speed_promotion(self):
+        router = StableHashRouter(2, hot_key_threshold=100)
+        router.route("bulk", count=100)
+        assert "bulk" in router.hot_keys
+
+    def test_partition_annotates_stream(self):
+        router = StableHashRouter(3)
+        events = [KeyedEvent(f"k{i}") for i in range(10)]
+        pairs = list(router.partition(events))
+        assert [event for _, event in pairs] == events
+        assert all(0 <= node < 3 for node, _ in pairs)

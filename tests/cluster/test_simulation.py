@@ -1,0 +1,172 @@
+"""End-to-end cluster simulation tests: exactness, recovery, determinism.
+
+These are the scaled-down tier-1 versions of the acceptance scenario the
+benchmark runs at 1M events: a ≥4-node cluster over a Zipf workload whose
+global merged estimate is statistically indistinguishable from a
+single-node run (Remark 2.4 exactness), with a node killed mid-run
+recovering from its checkpoint and the whole simulation staying
+deterministic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    ClusterConfig,
+    ClusterSimulation,
+    NodeFailure,
+    default_template,
+)
+from repro.errors import ParameterError
+from repro.rng.bitstream import BitBudgetedRandom
+from repro.stream.workload import KeyedEvent, zipf_workload
+
+_SEED = 1234
+
+
+def _events(n_events: int, n_keys: int = 300):
+    return zipf_workload(BitBudgetedRandom(_SEED), n_keys, n_events)
+
+
+def _run(n_events: int = 30_000, **overrides) -> "SimulationResult":
+    settings = dict(
+        seed=_SEED,
+        template=default_template("simplified_ny"),
+        buffer_limit=256,
+        checkpoint_every=5000,
+    )
+    settings.update(overrides)
+    return ClusterSimulation(ClusterConfig(**settings)).run(_events(n_events))
+
+
+class TestMergeExactness:
+    def test_exact_cluster_is_lossless(self):
+        """Exact counters through the full pipeline — routing, buffering,
+        checkpoints, a crash, aggregation — reproduce ground truth."""
+        result = _run(
+            n_events=20_000,
+            template=default_template("exact"),
+            failures=(NodeFailure(at_event=9000, node_id=2),),
+            hot_key_threshold=1000,
+        )
+        assert result.total_events == 20_000
+        assert result.max_relative_error == 0.0
+
+    def test_multinode_error_matches_single_node(self):
+        """Remark 2.4: sharding over 4 nodes costs nothing in accuracy
+        relative to a single node at the same seed-class."""
+        single = _run(n_nodes=1)
+        cluster = _run(n_nodes=4)
+        assert cluster.total_events == single.total_events == 30_000
+        assert cluster.n_keys == single.n_keys
+        # Both runs resolve the same workload to comparable accuracy.
+        assert single.rms_relative_error < 0.02
+        assert cluster.rms_relative_error < 0.02
+        assert cluster.rms_relative_error < max(
+            3 * single.rms_relative_error, 0.005
+        )
+
+    def test_hot_key_split_keeps_accuracy(self):
+        result = _run(n_nodes=4, hot_key_threshold=500)
+        assert result.hot_keys >= 1  # Zipf head crosses the threshold
+        assert result.rms_relative_error < 0.02
+        # The split head key is still estimated well.
+        key, estimate, truth = result.top[0]
+        assert key == "page-000000"
+        assert abs(estimate - truth) / truth < 0.05
+
+
+class TestCrashRecovery:
+    def test_recovery_preserves_ground_truth(self):
+        result = _run(
+            n_nodes=4,
+            failures=(NodeFailure(at_event=15_000, node_id=1),),
+        )
+        assert result.recoveries == 1
+        # Durable-log replay is lossless: every delivered event is
+        # accounted for in the final merged view.
+        assert result.total_events == 30_000
+        assert result.rms_relative_error < 0.02
+
+    def test_crash_before_first_checkpoint(self):
+        result = _run(
+            n_events=4000,
+            n_nodes=3,
+            checkpoint_every=100_000,  # never reached
+            failures=(NodeFailure(at_event=2000, node_id=0),),
+        )
+        assert result.recoveries == 1
+        assert result.checkpoints == 0
+        assert result.total_events == 4000
+
+    def test_repeated_crashes_same_node(self):
+        result = _run(
+            n_nodes=4,
+            failures=(
+                NodeFailure(at_event=8000, node_id=2),
+                NodeFailure(at_event=16_000, node_id=2),
+                NodeFailure(at_event=24_000, node_id=2),
+            ),
+        )
+        assert result.node_stats[2].recoveries == 3
+        assert result.total_events == 30_000
+        assert result.rms_relative_error < 0.02
+
+    def test_failure_validation(self):
+        with pytest.raises(ParameterError):
+            ClusterConfig(n_nodes=2, failures=(NodeFailure(10, 5),))
+        with pytest.raises(ParameterError):
+            NodeFailure(at_event=-1, node_id=0)
+
+
+class TestDeterminism:
+    def test_identical_runs_bit_identical(self):
+        kwargs = dict(
+            n_nodes=4,
+            failures=(NodeFailure(at_event=12_000, node_id=3),),
+            hot_key_threshold=800,
+        )
+        first = _run(**kwargs)
+        replay = _run(**kwargs)
+        assert first.node_stats == replay.node_stats
+        assert first.top == replay.top
+        assert first.rms_relative_error == replay.rms_relative_error
+        assert first.total_state_bits == replay.total_state_bits
+
+    def test_seed_changes_estimates_not_truth(self):
+        base = ClusterConfig(seed=1, n_nodes=2, checkpoint_every=None)
+        other = ClusterConfig(seed=2, n_nodes=2, checkpoint_every=None)
+        stream = list(_events(5000, n_keys=20))
+        a = ClusterSimulation(base).run(iter(stream))
+        b = ClusterSimulation(other).run(iter(stream))
+        assert a.total_events == b.total_events == 5000
+        truths_a = {key: truth for key, _, truth in a.top}
+        truths_b = {key: truth for key, _, truth in b.top}
+        assert truths_a == truths_b  # ground truth is seed-independent
+
+
+class TestMetrics:
+    def test_result_accounting(self):
+        result = _run(n_nodes=4)
+        assert len(result.node_stats) == 4
+        assert sum(s.events for s in result.node_stats) == 30_000
+        assert all(s.flushes > 0 for s in result.node_stats)
+        assert result.checkpoints > 0
+        assert result.events_per_sec > 0
+        assert result.total_state_bits > 0
+
+    def test_table_renders(self):
+        text = _run(n_events=2000, n_nodes=2).table()
+        assert "node-0" in text
+        assert "events/s" in text
+        assert "global error" in text
+
+    def test_weighted_events_accepted(self):
+        config = ClusterConfig(
+            n_nodes=2, template=default_template("exact"), seed=0
+        )
+        events = [KeyedEvent("a", 10), KeyedEvent("b", 5), KeyedEvent("a", 1)]
+        result = ClusterSimulation(config).run(iter(events))
+        assert result.total_events == 16
+        assert result.max_relative_error == 0.0

@@ -7,6 +7,7 @@ import json
 import pytest
 
 from repro.core.codec import decode_snapshot, encode_snapshot, restore_counter
+from repro.core.factory import COUNTER_TYPES, make_counter
 from repro.core.morris import MorrisCounter
 from repro.core.nelson_yu import NelsonYuCounter
 from repro.core.simplified_ny import SimplifiedNYCounter
@@ -15,6 +16,46 @@ from repro.errors import StateError
 
 def _roundtrip(counter):
     return restore_counter(encode_snapshot(counter.snapshot()), seed=99)
+
+
+#: One representative parameterization per registered counter family.
+_FAMILY_PARAMS = {
+    "exact": {},
+    "saturating": {"bits": 12},
+    "morris": {"a": 0.25},
+    "morris_plus": {"a": 0.25},
+    "nelson_yu": {"epsilon": 0.3, "delta_exponent": 4, "mergeable": True},
+    "simplified_ny": {"resolution": 128, "mergeable": True},
+    "csuros": {"d": 8},
+}
+
+
+class TestEveryFamilyRoundtrips:
+    def test_param_table_covers_registry(self):
+        assert set(_FAMILY_PARAMS) == set(COUNTER_TYPES)
+
+    @pytest.mark.parametrize("algorithm", sorted(_FAMILY_PARAMS))
+    def test_roundtrip(self, algorithm):
+        counter = make_counter(
+            algorithm, **_FAMILY_PARAMS[algorithm], seed=7
+        )
+        counter.add(3000)
+        restored = _roundtrip(counter)
+        assert restored.algorithm_name == algorithm
+        assert restored.estimate() == counter.estimate()
+        assert restored.n_increments == counter.n_increments
+        assert restored.state_bits() == counter.state_bits()
+        assert restored.snapshot() == counter.snapshot()
+
+    @pytest.mark.parametrize("algorithm", sorted(_FAMILY_PARAMS))
+    def test_restored_counter_keeps_counting(self, algorithm):
+        counter = make_counter(
+            algorithm, **_FAMILY_PARAMS[algorithm], seed=8
+        )
+        counter.add(500)
+        restored = _roundtrip(counter)
+        restored.add(500)
+        assert restored.n_increments == 1000
 
 
 class TestRoundtrip:

@@ -111,3 +111,51 @@ class TestCommands:
     def test_ablation_rounding(self, capsys):
         assert main(["ablation", "--which", "rounding", "--trials", "30"]) == 0
         assert "dyadic" in capsys.readouterr().out
+
+    def test_cluster(self, capsys):
+        assert (
+            main(
+                [
+                    "cluster",
+                    "--nodes",
+                    "3",
+                    "--events",
+                    "5000",
+                    "--keys",
+                    "100",
+                    "--checkpoint-every",
+                    "2000",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "node-2" in out
+        assert "events/s" in out
+        assert "global error" in out
+
+    def test_cluster_with_kill(self, capsys):
+        assert (
+            main(
+                [
+                    "cluster",
+                    "--nodes",
+                    "2",
+                    "--events",
+                    "4000",
+                    "--keys",
+                    "50",
+                    "--checkpoint-every",
+                    "1000",
+                    "--kill",
+                    "1@2000",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "1 node recoveries" in out
+
+    def test_cluster_bad_kill_spec(self):
+        with pytest.raises(SystemExit):
+            main(["cluster", "--events", "100", "--kill", "nonsense"])
