@@ -7,13 +7,21 @@ accuracy) made measurable.  Results land in
 ``benchmarks/results/BENCH_cluster.json`` with the shared schema
 (``benchmark`` / ``seed`` / ``workload`` / ``rows``).
 
-Two entry points:
+A second scenario measures *elasticity*: a cluster that scales 2→4→3
+mid-stream (with live key migration and a tumbling retention policy)
+against a static 3-node run of the same workload — rebalancing must stay
+within 1.5× of the static topology's rms error at equal state bits,
+because key migration is just merging (Remark 2.4).  Results land in
+``benchmarks/results/BENCH_cluster_elastic.json``.
+
+Entry points:
 
 * pytest-benchmark (``pytest benchmarks/bench_cluster.py``) — the full
-  sweep plus a crash-recovery benchmark;
-* script mode (``python benchmarks/bench_cluster.py [-q]``) — the same
-  sweep standalone; ``-q`` is the smoke path used by tier-1 tests
-  (reduced workload, same schema, seconds not minutes).
+  sweep plus crash-recovery and elasticity benchmarks;
+* script mode (``python benchmarks/bench_cluster.py [-q] [--scenario
+  scaling|elastic]``) — the same runs standalone; ``-q`` is the smoke
+  path used by tier-1 tests (reduced workload, same schema, seconds not
+  minutes).
 """
 
 from __future__ import annotations
@@ -26,6 +34,8 @@ from repro.cluster import (
     ClusterConfig,
     ClusterSimulation,
     NodeFailure,
+    ScaleEvent,
+    TumblingRetention,
     default_template,
 )
 from repro.experiments.records import TextTable
@@ -138,6 +148,137 @@ def _check(payload: dict) -> None:
 
 
 # ----------------------------------------------------------------------
+# elastic scenario: 2→4→3 with retention vs a static 3-node run
+# ----------------------------------------------------------------------
+def _elastic_row(label: str, result) -> dict:
+    return {
+        "scenario": label,
+        "nodes_final": result.n_nodes,
+        "events": result.total_events,
+        "keys": result.n_keys,
+        "events_per_sec": round(result.events_per_sec, 1),
+        "rms_relative_error": result.rms_relative_error,
+        "max_relative_error": result.max_relative_error,
+        "state_bits": result.total_state_bits,
+        "epoch": result.epoch,
+        "keys_migrated": result.keys_migrated,
+        "migration_bytes": result.migration_bytes,
+        "windows_collapsed": result.windows_collapsed,
+        "recoveries": result.recoveries,
+    }
+
+
+def _run_elastic(n_events: int) -> dict:
+    """Elastic 2→4→3 run vs static 3-node run; returns the JSON payload.
+
+    Both runs see the identical workload, counter template, and tumbling
+    retention policy, so the only difference is live topology change —
+    which Remark 2.4 says should cost nothing in accuracy.
+    """
+    retention = lambda: TumblingRetention(  # noqa: E731 - fresh per run
+        window_events=max(n_events // 3, 1)
+    )
+    shared = dict(
+        template=default_template("simplified_ny"),
+        seed=_SEED,
+        buffer_limit=512,
+        checkpoint_every=max(n_events // 8, 1000),
+        routing="ring",
+    )
+    static_config = ClusterConfig(
+        n_nodes=3, retention=retention(), **shared
+    )
+    elastic_config = ClusterConfig(
+        n_nodes=2,
+        retention=retention(),
+        scale_events=(
+            ScaleEvent(at_event=n_events // 4, action="add"),
+            ScaleEvent(at_event=n_events // 2, action="add"),
+            ScaleEvent(
+                at_event=(3 * n_events) // 4, action="remove", node_id=1
+            ),
+        ),
+        **shared,
+    )
+    rows = []
+    for label, config in (
+        ("static", static_config),
+        ("elastic", elastic_config),
+    ):
+        events = zipf_workload(
+            BitBudgetedRandom(_SEED),
+            n_keys=_KEYS,
+            n_events=n_events,
+            exponent=_EXPONENT,
+        )
+        rows.append(_elastic_row(label, ClusterSimulation(config).run(events)))
+    return {
+        "benchmark": "cluster_elastic",
+        "seed": _SEED,
+        "workload": {
+            "kind": "zipf",
+            "events": n_events,
+            "keys": _KEYS,
+            "exponent": _EXPONENT,
+        },
+        "rows": rows,
+    }
+
+
+def _render_elastic(payload: dict) -> str:
+    table = TextTable(
+        [
+            "scenario",
+            "final nodes",
+            "rms err",
+            "state bits",
+            "migrated",
+            "windows",
+        ]
+    )
+    for row in payload["rows"]:
+        table.add_row(
+            row["scenario"],
+            str(row["nodes_final"]),
+            f"{100 * row['rms_relative_error']:.3f}%",
+            f"{row['state_bits']:,}",
+            f"{row['keys_migrated']:,}",
+            str(row["windows_collapsed"]),
+        )
+    workload = payload["workload"]
+    return "\n".join(
+        [
+            "Elastic scaling — 2→4→3 live rebalance vs static 3-node run",
+            f"zipf({workload['exponent']}) {workload['events']:,} events "
+            f"over {workload['keys']:,} keys, seed {payload['seed']}",
+            "",
+            table.render(),
+            "",
+            "Remark 2.4 check: live key migration (merge-based) keeps rms "
+            "error within 1.5x of the static topology at equal state bits.",
+        ]
+    )
+
+
+def _check_elastic(payload: dict) -> None:
+    """The elastic-scenario invariants (full or quick)."""
+    rows = {row["scenario"]: row for row in payload["rows"]}
+    static, elastic = rows["static"], rows["elastic"]
+    assert static["events"] == elastic["events"]
+    assert elastic["nodes_final"] == static["nodes_final"] == 3
+    assert elastic["epoch"] == 3 and elastic["keys_migrated"] > 0
+    assert elastic["windows_collapsed"] >= 2
+    # Rebalancing is merge-based, so it must not degrade accuracy:
+    # within 1.5x of the static run (with an absolute floor for runs
+    # where both errors are within sampling noise of zero).
+    assert elastic["rms_relative_error"] <= max(
+        1.5 * static["rms_relative_error"], 0.005
+    )
+    # ... at comparable state: same template, same key horizon.
+    assert elastic["state_bits"] <= 1.5 * static["state_bits"]
+
+
+# ----------------------------------------------------------------------
 # pytest-benchmark entry points
 # ----------------------------------------------------------------------
 def test_cluster_scaling(benchmark):
@@ -177,17 +318,45 @@ def test_cluster_recovery_determinism(benchmark):
     assert first.rms_relative_error == replay.rms_relative_error
 
 
+def test_cluster_elastic(benchmark):
+    """Elastic 2→4→3 vs static; writes BENCH_cluster_elastic.json."""
+    payload = benchmark.pedantic(
+        lambda: _run_elastic(_FULL_EVENTS), rounds=1, iterations=1
+    )
+    _check_elastic(payload)
+    write_json_result("cluster_elastic", payload)
+    write_result("BENCH_cluster_elastic", _render_elastic(payload))
+
+
 # ----------------------------------------------------------------------
 # script mode (the tier-1 smoke path)
 # ----------------------------------------------------------------------
 def main(argv: list[str] | None = None) -> int:
     args = sys.argv[1:] if argv is None else argv
     quick = "-q" in args or "--quick" in args
-    payload = _run_sweep(_QUICK_EVENTS if quick else _FULL_EVENTS)
-    _check(payload)
-    path = write_json_result("cluster", payload)
-    write_result("BENCH_cluster", _render(payload))
-    print(_render(payload))
+    scenario = "scaling"
+    if "--scenario" in args:
+        try:
+            scenario = args[args.index("--scenario") + 1]
+        except IndexError:
+            print("--scenario expects 'scaling' or 'elastic'")
+            return 2
+    if scenario not in ("scaling", "elastic"):
+        print(f"unknown scenario {scenario!r}; use 'scaling' or 'elastic'")
+        return 2
+    n_events = _QUICK_EVENTS if quick else _FULL_EVENTS
+    if scenario == "elastic":
+        payload = _run_elastic(n_events)
+        _check_elastic(payload)
+        path = write_json_result("cluster_elastic", payload)
+        write_result("BENCH_cluster_elastic", _render_elastic(payload))
+        print(_render_elastic(payload))
+    else:
+        payload = _run_sweep(n_events)
+        _check(payload)
+        path = write_json_result("cluster", payload)
+        write_result("BENCH_cluster", _render(payload))
+        print(_render(payload))
     print(f"\nwrote {path}")
     return 0
 

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Docs link checker: every repo-relative reference must resolve.
+
+Scans the documentation set (``README.md``, ``docs/*.md``, and the other
+root-level ``*.md`` files) for
+
+* markdown links ``[text](target)`` whose target is a relative path, and
+* backtick references like ```src/repro/cluster/rebalance.py``` that
+  look like repo paths,
+
+and fails (exit 1) listing every target that does not exist on disk —
+so renaming a module or example cannot silently strand the docs.
+External (``http://``/``https://``), in-page (``#...``), and absolute
+targets are skipped; so are backtick paths with glob or placeholder
+characters.
+
+Usage::
+
+    python scripts/check_docs_links.py [--quiet]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+
+_MARKDOWN_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_BACKTICK_PATH = re.compile(
+    r"`((?:src|docs|tests|benchmarks|examples|scripts)/[A-Za-z0-9_\-./]+)`"
+)
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "#", "/")
+_PLACEHOLDER_CHARS = ("*", "<", ">", "{", "}")
+#: Generated / externally-sourced inputs, not maintained documentation:
+#: ISSUE.md is rewritten by the PR driver, PAPER(S).md and SNIPPETS.md
+#: are retrieval artifacts that quote other repos' paths verbatim.
+_EXCLUDED = {"ISSUE.md", "PAPER.md", "PAPERS.md", "SNIPPETS.md"}
+
+
+def doc_files() -> list[pathlib.Path]:
+    """The documentation set, deterministically ordered."""
+    files = sorted(REPO.glob("*.md")) + sorted((REPO / "docs").glob("*.md"))
+    return [
+        path
+        for path in files
+        if path.is_file() and path.name not in _EXCLUDED
+    ]
+
+
+def references(text: str) -> set[str]:
+    """All checkable repo-relative targets mentioned in a document."""
+    found: set[str] = set()
+    for match in _MARKDOWN_LINK.finditer(text):
+        target = match.group(1).split("#", 1)[0]
+        if not target or target.startswith(_SKIP_PREFIXES):
+            continue
+        found.add(target)
+    for match in _BACKTICK_PATH.finditer(text):
+        target = match.group(1)
+        if any(ch in target for ch in _PLACEHOLDER_CHARS):
+            continue
+        found.add(target)
+    return found
+
+
+def unresolved(path: pathlib.Path, targets: set[str]) -> list[str]:
+    """The subset of ``targets`` that do not resolve to files/dirs.
+
+    Markdown-link targets resolve relative to the document's directory
+    (standard markdown semantics); backtick paths resolve from the repo
+    root, falling back to document-relative.
+    """
+    missing = []
+    for target in sorted(targets):
+        candidates = (path.parent / target, REPO / target)
+        if not any(c.exists() for c in candidates):
+            missing.append(target)
+    return missing
+
+
+def broken_references(path: pathlib.Path) -> list[str]:
+    """Referenced targets in ``path`` that do not resolve."""
+    return unresolved(path, references(path.read_text(encoding="utf-8")))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quiet", action="store_true", help="only print failures"
+    )
+    args = parser.parse_args(argv)
+    failures = 0
+    checked = 0
+    for path in doc_files():
+        targets = references(path.read_text(encoding="utf-8"))
+        checked += len(targets)
+        for target in unresolved(path, targets):
+            failures += 1
+            print(f"{path.relative_to(REPO)}: broken reference -> {target}")
+    if failures:
+        print(f"\n{failures} broken reference(s)")
+        return 1
+    if not args.quiet:
+        print(
+            f"docs links ok: {checked} references across "
+            f"{len(doc_files())} documents"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

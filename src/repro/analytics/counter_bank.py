@@ -138,6 +138,30 @@ class CounterBank:
         """The live counter for ``key``, or ``None`` if unseen."""
         return self._counters.get(key)
 
+    def remove(self, key: str) -> tuple[ApproximateCounter, int | None] | None:
+        """Evict ``key`` from the bank, returning its state for transfer.
+
+        Returns ``(counter, truth)`` — the live counter plus its exact
+        shadow count (``None`` when truth is untracked) — or ``None`` if
+        the key was never materialized.  The cluster's rebalancer drains
+        migrating keys through this so a key's state lives on exactly one
+        owner at a time.
+
+        >>> from repro.core.factory import make_counter
+        >>> bank = CounterBank(lambda rng: make_counter("exact", rng=rng))
+        >>> bank.record("k", 3)
+        >>> counter, truth = bank.remove("k")
+        >>> (counter.estimate(), truth, "k" in bank)
+        (3.0, 3, False)
+        >>> bank.remove("never-seen") is None
+        True
+        """
+        counter = self._counters.pop(key, None)
+        if counter is None:
+            return None
+        truth = self._truth.pop(key, 0) if self._track_truth else None
+        return counter, truth
+
     def materialize(self, key: str) -> ApproximateCounter:
         """The counter for ``key``, creating it (at count 0) if unseen.
 

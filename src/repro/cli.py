@@ -11,6 +11,8 @@ Usage::
     python -m repro.cli tradeoff
     python -m repro.cli throughput
     python -m repro.cli cluster --nodes 4 --events 1000000 --kill 2@500000
+    python -m repro.cli cluster --routing ring --grow 300000 \\
+        --shrink 1@600000 --window-every 250000 --retain 3
     python -m repro.cli count --algorithm nelson_yu --n 1000000
 
 Every subcommand prints the same tables the benchmark suite writes to
@@ -165,6 +167,56 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NODE@EVENT",
         help="crash NODE at stream position EVENT (repeatable)",
     )
+    cluster.add_argument(
+        "--routing",
+        choices=("hash", "ring"),
+        default="hash",
+        help=(
+            "placement strategy: salted stable hash (full reshuffle per "
+            "resize) or consistent hash ring (minimal key movement)"
+        ),
+    )
+    cluster.add_argument(
+        "--ring-points",
+        type=int,
+        default=64,
+        help="virtual nodes per physical node for --routing ring",
+    )
+    cluster.add_argument(
+        "--grow",
+        action="append",
+        default=[],
+        metavar="EVENT",
+        type=int,
+        help="add one ingest node at stream position EVENT (repeatable)",
+    )
+    cluster.add_argument(
+        "--shrink",
+        action="append",
+        default=[],
+        metavar="NODE@EVENT",
+        help=(
+            "drain and remove node NODE at stream position EVENT "
+            "(repeatable)"
+        ),
+    )
+    cluster.add_argument(
+        "--window-every",
+        type=int,
+        default=None,
+        metavar="EVENTS",
+        help="tumbling retention: collapse a window every EVENTS events",
+    )
+    cluster.add_argument(
+        "--retain",
+        type=int,
+        default=None,
+        metavar="WINDOWS",
+        help=(
+            "retain only the last WINDOWS collapsed windows "
+            "(default: keep all; requires --window-every)"
+        ),
+    )
 
     count = subparsers.add_parser(
         "count", help="run one counter over N increments"
@@ -187,6 +239,8 @@ def _run_cluster(args: argparse.Namespace) -> str:
         ClusterConfig,
         ClusterSimulation,
         NodeFailure,
+        ScaleEvent,
+        TumblingRetention,
         default_template,
     )
     from repro.rng.bitstream import BitBudgetedRandom
@@ -207,6 +261,51 @@ def _run_cluster(args: argparse.Namespace) -> str:
             failures.append(NodeFailure(at_event=at_event, node_id=node_id))
         except ParameterError as exc:
             raise SystemExit(f"invalid --kill {spec!r}: {exc}")
+    scale_events = []
+    for at_event in args.grow:
+        try:
+            scale_events.append(ScaleEvent(at_event=at_event, action="add"))
+        except ParameterError as exc:
+            raise SystemExit(f"invalid --grow {at_event!r}: {exc}")
+    for spec in args.shrink:
+        try:
+            node_part, event_part = spec.split("@", 1)
+            node_id, at_event = int(node_part), int(event_part)
+        except ValueError:
+            raise SystemExit(
+                f"--shrink expects NODE@EVENT (e.g. 1@600000), got {spec!r}"
+            )
+        try:
+            scale_events.append(
+                ScaleEvent(
+                    at_event=at_event, action="remove", node_id=node_id
+                )
+            )
+        except ParameterError as exc:
+            raise SystemExit(f"invalid --shrink {spec!r}: {exc}")
+    for failure in failures:
+        if failure.at_event >= args.events:
+            raise SystemExit(
+                f"--kill at event {failure.at_event} is past the end of "
+                f"the stream ({args.events} events); it would never fire"
+            )
+    for scale in scale_events:
+        if scale.at_event >= args.events:
+            raise SystemExit(
+                f"--grow/--shrink at event {scale.at_event} is past the "
+                f"end of the stream ({args.events} events); it would "
+                "never fire"
+            )
+    retention = None
+    if args.window_every is not None:
+        try:
+            retention = TumblingRetention(
+                window_events=args.window_every, keep_windows=args.retain
+            )
+        except ParameterError as exc:
+            raise SystemExit(f"invalid retention policy: {exc}")
+    elif args.retain is not None:
+        raise SystemExit("--retain requires --window-every")
     try:
         config = ClusterConfig(
             n_nodes=args.nodes,
@@ -216,6 +315,12 @@ def _run_cluster(args: argparse.Namespace) -> str:
             checkpoint_every=args.checkpoint_every or None,
             hot_key_threshold=args.hot_threshold,
             failures=tuple(sorted(failures, key=lambda f: f.at_event)),
+            routing=args.routing,
+            ring_points=args.ring_points,
+            scale_events=tuple(
+                sorted(scale_events, key=lambda s: s.at_event)
+            ),
+            retention=retention,
         )
     except ParameterError as exc:
         raise SystemExit(f"invalid cluster configuration: {exc}")
@@ -225,7 +330,10 @@ def _run_cluster(args: argparse.Namespace) -> str:
         n_events=args.events,
         exponent=args.exponent,
     )
-    result = ClusterSimulation(config).run(events)
+    try:
+        result = ClusterSimulation(config).run(events)
+    except ParameterError as exc:
+        raise SystemExit(f"cluster run failed: {exc}")
     return result.table()
 
 

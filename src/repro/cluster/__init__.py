@@ -6,49 +6,99 @@ deployment:
 
 * :class:`~repro.cluster.node.IngestNode` — a
   :class:`~repro.analytics.counter_bank.CounterBank` behind a coalescing
-  write buffer (batched flushes ride the ``add`` fast-forward);
-* :class:`~repro.cluster.router.StableHashRouter` — deterministic
-  stable-hash key routing with hot-key splitting;
+  write buffer (batched flushes ride the ``add`` fast-forward), with
+  drain/absorb APIs for key migration;
+* :class:`~repro.cluster.router.ClusterRouter` — deterministic key
+  routing with hot-key splitting over a pluggable
+  :class:`~repro.cluster.router.RoutingStrategy` (salted stable hash or
+  consistent hash ring) and topology epochs for elastic membership;
+* :mod:`~repro.cluster.rebalance` — incremental key migration between
+  nodes as codec-serialized batches, exact by Remark 2.4;
+* :mod:`~repro.cluster.retention` — tumbling / sliding window policies
+  that bound a long-running cluster's state bits;
 * :class:`~repro.cluster.aggregator.MergeTreeAggregator` — merge-tree
   aggregation of per-node banks into a :class:`~repro.cluster.aggregator.
   GlobalView`, exact by Remark 2.4 (scratch merges for periodic queries,
-  destructive collapse at window end);
+  destructive collapse at window end, :func:`~repro.cluster.aggregator.
+  merge_views` to assemble retention horizons);
 * :class:`~repro.cluster.checkpoint.BankCheckpoint` — whole-bank
-  snapshot/restore built on :mod:`repro.core.codec`, so a crashed node
-  recovers deterministically;
+  snapshot/restore built on :mod:`repro.core.codec` and stamped with the
+  capturing topology, so a crashed node recovers deterministically;
 * :class:`~repro.cluster.simulation.ClusterSimulation` — the event-loop
-  driver with failure injection, durable-log replay, and throughput /
-  state-bits metrics.
+  driver with failure injection, durable-log replay, scale events, and
+  retention, plus throughput / state-bits metrics.
 
 Invariants the tier-1 tests pin down: merging loses nothing (an ``exact``
-template cluster reproduces ground truth bit-for-bit, any template matches
-a single-node run statistically), and checkpoint recovery is deterministic
-(same config + same stream ⇒ identical estimates, crashes included).
+template cluster reproduces ground truth bit-for-bit through routing,
+rebalancing, and retention; any template matches a single-node run
+statistically), and checkpoint recovery is deterministic (same config +
+same stream ⇒ identical estimates, crashes and resizes included).
 """
 
-from repro.cluster.aggregator import GlobalView, MergeTreeAggregator
+from repro.cluster.aggregator import (
+    GlobalView,
+    MergeTreeAggregator,
+    merge_views,
+)
 from repro.cluster.checkpoint import BankCheckpoint
 from repro.cluster.node import CounterTemplate, IngestNode, default_template
-from repro.cluster.router import StableHashRouter
+from repro.cluster.rebalance import (
+    KeyMove,
+    MigrationBatch,
+    RebalancePlan,
+    RebalanceReport,
+    execute_rebalance,
+    plan_rebalance,
+)
+from repro.cluster.retention import (
+    RetentionPolicy,
+    SlidingRetention,
+    TumblingRetention,
+)
+from repro.cluster.router import (
+    ClusterRouter,
+    HashRingStrategy,
+    ModuloHashStrategy,
+    RoutingStrategy,
+    StableHashRouter,
+    make_strategy,
+)
 from repro.cluster.simulation import (
     ClusterConfig,
     ClusterSimulation,
     NodeFailure,
     NodeStats,
+    ScaleEvent,
     SimulationResult,
 )
 
 __all__ = [
     "BankCheckpoint",
     "ClusterConfig",
+    "ClusterRouter",
     "ClusterSimulation",
     "CounterTemplate",
     "GlobalView",
+    "HashRingStrategy",
     "IngestNode",
+    "KeyMove",
     "MergeTreeAggregator",
+    "MigrationBatch",
+    "ModuloHashStrategy",
     "NodeFailure",
     "NodeStats",
+    "RebalancePlan",
+    "RebalanceReport",
+    "RetentionPolicy",
+    "RoutingStrategy",
+    "ScaleEvent",
     "SimulationResult",
+    "SlidingRetention",
     "StableHashRouter",
+    "TumblingRetention",
     "default_template",
+    "execute_rebalance",
+    "make_strategy",
+    "merge_views",
+    "plan_rebalance",
 ]

@@ -32,7 +32,7 @@ from repro.core.merge import merge_all
 from repro.errors import MergeError, ParameterError
 from repro.memory.model import SpaceModel
 
-__all__ = ["GlobalView", "MergeTreeAggregator"]
+__all__ = ["GlobalView", "MergeTreeAggregator", "merge_views"]
 
 
 @dataclass(frozen=True)
@@ -48,11 +48,16 @@ class GlobalView:
         them (``None`` otherwise).
     merge_rounds:
         Depth of the merge tree that produced the widest key.
+    epoch:
+        Router topology epoch the view was captured under (0 for a
+        never-rescaled cluster); lets consumers of archived window views
+        tell which topology generation produced them.
     """
 
     counters: Mapping[str, ApproximateCounter]
     truth: Mapping[str, int] | None
     merge_rounds: int
+    epoch: int = 0
 
     @property
     def n_keys(self) -> int:
@@ -112,18 +117,45 @@ class MergeTreeAggregator:
         values model wider aggregator machines.
     """
 
-    def __init__(self, nodes: Sequence[IngestNode], fanout: int = 2) -> None:
+    def __init__(
+        self,
+        nodes: Sequence[IngestNode],
+        fanout: int = 2,
+        epoch: int = 0,
+    ) -> None:
         if not nodes:
             raise ParameterError("aggregator needs at least one node")
         if fanout < 2:
             raise ParameterError(f"fanout must be >= 2, got {fanout}")
         self._nodes = list(nodes)
         self._fanout = fanout
+        self._epoch = epoch
 
     @property
     def nodes(self) -> list[IngestNode]:
         """The aggregated nodes (live references)."""
         return list(self._nodes)
+
+    @property
+    def epoch(self) -> int:
+        """Topology epoch stamped into produced views."""
+        return self._epoch
+
+    def set_nodes(
+        self, nodes: Sequence[IngestNode], epoch: int | None = None
+    ) -> None:
+        """Swap the aggregated membership (elastic scaling, recovery).
+
+        The simulation calls this whenever a node is added, removed, or
+        replaced after a crash, passing the router's new epoch so views
+        produced from here on are stamped with the topology generation
+        that made them.
+        """
+        if not nodes:
+            raise ParameterError("aggregator needs at least one node")
+        self._nodes = list(nodes)
+        if epoch is not None:
+            self._epoch = epoch
 
     # ------------------------------------------------------------------
     # merge tree
@@ -194,7 +226,10 @@ class MergeTreeAggregator:
                     if key in node.bank
                 )
         return GlobalView(
-            counters=merged, truth=truth, merge_rounds=max_rounds
+            counters=merged,
+            truth=truth,
+            merge_rounds=max_rounds,
+            epoch=self._epoch,
         )
 
     # ------------------------------------------------------------------
@@ -212,3 +247,54 @@ class MergeTreeAggregator:
         for node in self._nodes:
             node.reset(window)
         return view
+
+
+def merge_views(views: Sequence[GlobalView]) -> GlobalView:
+    """Merge several :class:`GlobalView`\\ s into one combined view.
+
+    The retention layer uses this to assemble the cluster's *horizon*
+    answer: archived window views plus the live view fold together
+    per key via :func:`~repro.core.merge.merge_all`, which Remark 2.4
+    guarantees is distribution-exact — so a windowed cluster's horizon
+    estimate is distributed identically to one that never collapsed.
+
+    Truth maps are summed when every input view carries one (``None``
+    otherwise); ``merge_rounds`` reports the deepest input tree plus one
+    extra cross-view round when views actually combined; ``epoch`` is
+    the newest input epoch.
+
+    Raises :class:`~repro.errors.ParameterError` on an empty sequence.
+    """
+    if not views:
+        raise ParameterError("cannot merge an empty sequence of views")
+    if len(views) == 1:
+        return views[0]
+    per_key: dict[str, list[ApproximateCounter]] = {}
+    for view in views:
+        for key, counter in view.counters.items():
+            per_key.setdefault(key, []).append(counter)
+    tracked = all(view.truth is not None for view in views)
+    truth: dict[str, int] | None = {} if tracked else None
+    merged: dict[str, ApproximateCounter] = {}
+    combined = any(len(counters) > 1 for counters in per_key.values())
+    for key in sorted(per_key):
+        try:
+            merged[key] = merge_all(per_key[key])
+        except MergeError as exc:
+            raise MergeError(
+                f"cannot merge views at key {key!r}: {exc}"
+            ) from exc
+        if truth is not None:
+            truth[key] = sum(
+                view.truth.get(key, 0)
+                for view in views
+                if view.truth is not None
+            )
+    return GlobalView(
+        counters=merged,
+        truth=truth,
+        merge_rounds=(
+            max(view.merge_rounds for view in views) + (1 if combined else 0)
+        ),
+        epoch=max(view.epoch for view in views),
+    )

@@ -25,29 +25,24 @@ same convention as :func:`repro.core.codec.restore_counter`.
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 from repro.analytics.counter_bank import CounterBank
 from repro.cluster.node import CounterTemplate
 from repro.core.base import CounterSnapshot
-from repro.core.codec import decode_snapshot, encode_snapshot
+from repro.core.codec import (
+    decode_checksummed_line,
+    decode_snapshot,
+    encode_checksummed_line,
+    encode_snapshot,
+)
 from repro.errors import StateError
-from repro.rng.splitmix import mix64
 
 __all__ = ["BankCheckpoint"]
 
 _FORMAT_VERSION = 1
 _CHECKSUM_SEED = 0xC1E5CB0A75E57A11
-
-
-def _checksum(payload: str) -> int:
-    """64-bit checksum over a canonical string, via the library mixer."""
-    h = _CHECKSUM_SEED
-    for byte in payload.encode("utf-8"):
-        h = mix64(h ^ byte)
-    return h
 
 
 @dataclass(frozen=True)
@@ -66,6 +61,13 @@ class BankCheckpoint:
         Exact shadow counts (``None`` when the bank did not track truth).
     meta:
         Caller metadata carried verbatim (node id, incarnation, ...).
+    topology:
+        Optional cluster-topology stamp at capture time — a mapping with
+        ``epoch`` (router topology epoch), ``nodes`` (sorted live node
+        ids), and ``routing`` (strategy name).  ``None`` for standalone
+        bank checkpoints; the simulation always records it so a restored
+        node can detect that it woke up under a stale routing view
+        (its checkpoint epoch ≠ the router's current epoch).
     """
 
     template: CounterTemplate
@@ -73,6 +75,7 @@ class BankCheckpoint:
     snapshots: Mapping[str, CounterSnapshot]
     truth: Mapping[str, int] | None = None
     meta: Mapping[str, Any] = field(default_factory=dict)
+    topology: Mapping[str, Any] | None = None
 
     # ------------------------------------------------------------------
     # capture / restore
@@ -83,6 +86,7 @@ class BankCheckpoint:
         bank: CounterBank,
         template: CounterTemplate,
         meta: Mapping[str, Any] | None = None,
+        topology: Mapping[str, Any] | None = None,
     ) -> "BankCheckpoint":
         """Snapshot every counter (and shadow count) in ``bank``."""
         snapshots = {
@@ -99,6 +103,7 @@ class BankCheckpoint:
             snapshots=snapshots,
             truth=truth,
             meta=dict(meta or {}),
+            topology=dict(topology) if topology is not None else None,
         )
 
     def restore(self, seed: int | None = None) -> CounterBank:
@@ -133,13 +138,11 @@ class BankCheckpoint:
             },
             "truth": dict(self.truth) if self.truth is not None else None,
             "meta": dict(self.meta),
+            "topology": (
+                dict(self.topology) if self.topology is not None else None
+            ),
         }
-        payload = json.dumps(body, sort_keys=True, separators=(",", ":"))
-        return json.dumps(
-            {"payload": body, "checksum": _checksum(payload)},
-            sort_keys=True,
-            separators=(",", ":"),
-        )
+        return encode_checksummed_line(body, _CHECKSUM_SEED)
 
     @classmethod
     def decode(cls, line: str) -> "BankCheckpoint":
@@ -149,17 +152,9 @@ class BankCheckpoint:
         version mismatch, or checksum mismatch (including corruption in
         any embedded counter record).
         """
-        try:
-            wrapper = json.loads(line)
-            body = wrapper["payload"]
-            claimed = wrapper["checksum"]
-        except (json.JSONDecodeError, KeyError, TypeError) as exc:
-            raise StateError(f"malformed bank checkpoint: {exc}") from exc
-        payload = json.dumps(body, sort_keys=True, separators=(",", ":"))
-        if _checksum(payload) != claimed:
-            raise StateError(
-                "bank checkpoint checksum mismatch (corrupted record)"
-            )
+        body = decode_checksummed_line(
+            line, _CHECKSUM_SEED, kind="bank checkpoint"
+        )
         if body.get("v") != _FORMAT_VERSION:
             raise StateError(
                 f"unsupported bank checkpoint version {body.get('v')!r}"
@@ -181,6 +176,11 @@ class BankCheckpoint:
                     else None
                 ),
                 meta=dict(body.get("meta", {})),
+                topology=(
+                    dict(body["topology"])
+                    if body.get("topology") is not None
+                    else None
+                ),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise StateError(f"malformed bank checkpoint: {exc}") from exc

@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
 
 from repro.analytics.counter_bank import CounterBank
-from repro.core.base import ApproximateCounter
+from repro.core.base import ApproximateCounter, CounterSnapshot
 from repro.core.factory import COUNTER_TYPES
 from repro.errors import ParameterError
 from repro.memory.model import SpaceModel
@@ -45,6 +45,16 @@ class CounterTemplate:
     Unlike a factory closure, a template survives a round-trip through a
     checkpoint, so a recovering node can rebuild counters identical in
     kind to the ones it lost.
+
+    >>> template = CounterTemplate("exact")
+    >>> CounterTemplate.from_dict(template.to_dict()) == template
+    True
+    >>> CounterTemplate("no-such-algorithm")
+    Traceback (most recent call last):
+        ...
+    repro.errors.ParameterError: unknown algorithm 'no-such-algorithm'; \
+known: csuros, exact, morris, morris_plus, nelson_yu, saturating, \
+simplified_ny
     """
 
     algorithm: str
@@ -79,6 +89,11 @@ def default_template(algorithm: str = "simplified_ny") -> CounterTemplate:
 
     Cluster aggregation needs mergeable counters (Remark 2.4), so the
     NY-family presets enable ``mergeable=True``.
+
+    >>> default_template("exact")
+    CounterTemplate(algorithm='exact', params={})
+    >>> default_template("simplified_ny").params["mergeable"]
+    True
     """
     presets: dict[str, dict[str, Any]] = {
         "exact": {},
@@ -206,6 +221,76 @@ class IngestNode:
         self._buffered = 0
         self.n_flushes += 1
         return flushed
+
+    # ------------------------------------------------------------------
+    # key migration (elastic scaling)
+    # ------------------------------------------------------------------
+    def drain(
+        self, keys: Iterable[str]
+    ) -> list[tuple[str, CounterSnapshot, int | None]]:
+        """Flush, then evict ``keys``, returning their transfer records.
+
+        Each record is ``(key, snapshot, truth)`` — the counter's
+        serializable snapshot plus its exact shadow count (``None`` when
+        the bank does not track truth) — sorted by key for determinism.
+        Keys this node never materialized are silently skipped, so a
+        rebalance plan may over-approximate.  After a drain the node no
+        longer answers for those keys; the caller must deliver every
+        record to the new owner (see
+        :meth:`absorb` and :mod:`repro.cluster.rebalance`).
+
+        >>> node = IngestNode(0, CounterTemplate("exact"), seed=1)
+        >>> node.submit_all([KeyedEvent("a", 4), KeyedEvent("b", 2)])
+        6
+        >>> [(k, t) for k, _, t in node.drain(["a", "unseen"])]
+        [('a', 4)]
+        >>> node.estimate("a")
+        0.0
+        """
+        self.flush()
+        records: list[tuple[str, CounterSnapshot, int | None]] = []
+        for key in sorted(set(keys)):
+            removed = self._bank.remove(key)
+            if removed is None:
+                continue
+            counter, truth = removed
+            records.append((key, counter.snapshot(), truth))
+        return records
+
+    def absorb(
+        self,
+        key: str,
+        counter: ApproximateCounter,
+        truth: int | None = None,
+    ) -> None:
+        """Merge a migrated counter (and its truth) into this node's bank.
+
+        The key's local counter is materialized (at count 0, on the
+        bank's usual derived stream) if absent, then ``counter`` is
+        merged in — distribution-exact by Remark 2.4, so migration costs
+        nothing in accuracy.  ``truth`` (from the source's shadow
+        counts) is added to the local shadow count when both sides track
+        it; if the source did *not* track truth (``truth=None``) but
+        this bank does, the migrated increments are unknowable and the
+        local shadow count undercounts from here on — mixed-tracking
+        clusters should treat error reports as approximate.
+
+        >>> src = IngestNode(0, CounterTemplate("exact"), seed=1)
+        >>> src.submit(KeyedEvent("a", 4))
+        >>> dst = IngestNode(1, CounterTemplate("exact"), seed=2)
+        >>> dst.submit(KeyedEvent("a", 1))
+        >>> for k, snap, t in src.drain(["a"]):
+        ...     from repro.core.factory import COUNTER_TYPES
+        ...     moved = COUNTER_TYPES[snap.algorithm](**snap.params, seed=9)
+        ...     moved.restore(snap)
+        ...     dst.absorb(k, moved, truth=t)
+        >>> dst.flush() and dst.estimate("a")
+        5.0
+        """
+        target = self._bank.materialize(key)
+        target.merge_from(counter)
+        if truth is not None and self._bank.tracks_truth:
+            self._bank.set_truth(key, self._bank.truth(key) + truth)
 
     def adopt_bank(self, bank: CounterBank) -> None:
         """Install a restored bank (crash recovery), dropping the buffer.

@@ -1,0 +1,336 @@
+"""Live node rebalancing: incremental key migration between ingest nodes.
+
+When the topology changes (a node added under load, a node drained for
+removal), every key whose home moved must carry its counter state to the
+new owner.  Remark 2.4 of conf_pods_NelsonY22 makes this safe: merging
+counters is distribution-exact, so *moving a counter is just a merge* —
+drain the key from the old owner, ship its snapshot, merge it into the
+new owner — and elasticity costs nothing in ε or δ.
+
+The flow has three deterministic steps:
+
+1. :func:`plan_rebalance` diffs every live bank against the router's
+   post-change placement and emits a :class:`RebalancePlan` (a sorted
+   list of :class:`KeyMove`\\ s).
+2. The plan's moves are grouped into per-``(source, target)``
+   :class:`MigrationBatch`\\ es — codec-serialized, checksummed JSON
+   lines, exactly what would go over the wire between real machines.
+3. :func:`execute_rebalance` drains each source
+   (:meth:`~repro.cluster.node.IngestNode.drain`), round-trips every
+   batch through its encoded form, and merges the restored counters
+   into their new owners (:meth:`~repro.cluster.node.IngestNode.absorb`).
+   Restored counters get seeds derived from ``(seed, epoch, key)`` so
+   migration is replayable and migrated replicas never share future
+   coin flips with anything else.
+
+Hot-key slices are migrated like any other key (their merged-at-home
+counter is still exact by Remark 2.4); future hot traffic re-splits
+round-robin over the new topology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.analytics.counter_bank import stable_key_hash
+from repro.cluster.node import IngestNode
+from repro.core.base import ApproximateCounter, CounterSnapshot
+from repro.core.codec import (
+    decode_checksummed_line,
+    decode_snapshot,
+    encode_checksummed_line,
+    encode_snapshot,
+)
+from repro.core.factory import COUNTER_TYPES
+from repro.errors import ParameterError, StateError
+from repro.rng.splitmix import derive_seed
+
+__all__ = [
+    "KeyMove",
+    "RebalancePlan",
+    "MigrationBatch",
+    "RebalanceReport",
+    "plan_rebalance",
+    "execute_rebalance",
+]
+
+_BATCH_VERSION = 1
+_BATCH_CHECKSUM_SEED = 0xBA7C4C4EC4B2AE5D
+_MIGRATE_SEED_KEY = 0x6D696772  # "migr"
+
+
+@dataclass(frozen=True, slots=True)
+class KeyMove:
+    """One key changing owners: drain from ``source``, merge into ``target``."""
+
+    key: str
+    source: int
+    target: int
+
+    def __post_init__(self) -> None:
+        if self.source == self.target:
+            raise ParameterError(
+                f"key {self.key!r} move is a no-op (node {self.source})"
+            )
+
+
+@dataclass(frozen=True)
+class RebalancePlan:
+    """The full diff one topology change implies.
+
+    Attributes
+    ----------
+    epoch:
+        Router epoch the plan was computed for, stamped into every
+        shipped batch so wire records are auditable.  Executing a plan
+        is the caller's responsibility to sequence — the simulation
+        always plans and executes within one topology change.
+    moves:
+        Every key changing owners, sorted by ``(source, target, key)``.
+    """
+
+    epoch: int
+    moves: tuple[KeyMove, ...]
+
+    @property
+    def n_moves(self) -> int:
+        """Number of keys changing owners."""
+        return len(self.moves)
+
+    def grouped(self) -> dict[tuple[int, int], list[str]]:
+        """Moves grouped into ``(source, target) -> sorted keys`` batches."""
+        groups: dict[tuple[int, int], list[str]] = {}
+        for move in self.moves:
+            groups.setdefault((move.source, move.target), []).append(
+                move.key
+            )
+        return groups
+
+
+def plan_rebalance(
+    nodes: Mapping[int, IngestNode],
+    owner_of: Callable[[str], int],
+    epoch: int = 0,
+) -> RebalancePlan:
+    """Diff live banks against a placement function.
+
+    Every node is flushed first (buffered increments must be in the bank
+    to migrate), then each key whose ``owner_of(key)`` is a *different
+    live node* becomes a :class:`KeyMove`.  Keys already home stay put —
+    with a consistent-hash-ring router only ``~1/n`` of keys move.
+
+    Parameters
+    ----------
+    nodes:
+        Live nodes by id (the post-change membership).
+    owner_of:
+        The new placement, typically
+        :meth:`~repro.cluster.router.ClusterRouter.home_node`.
+    epoch:
+        Router epoch to stamp into the plan.
+
+    Returns
+    -------
+    RebalancePlan
+        Deterministically ordered (nodes, then keys, sorted).
+
+    >>> from repro.cluster.node import CounterTemplate
+    >>> from repro.stream.workload import KeyedEvent
+    >>> a = IngestNode(0, CounterTemplate("exact"), seed=1)
+    >>> a.submit_all([KeyedEvent("x", 2), KeyedEvent("y", 1)])
+    3
+    >>> plan = plan_rebalance({0: a, 1: IngestNode(1,
+    ...     CounterTemplate("exact"), seed=2)}, owner_of=lambda key: 1)
+    >>> [(m.key, m.source, m.target) for m in plan.moves]
+    [('x', 0, 1), ('y', 0, 1)]
+    """
+    moves: list[KeyMove] = []
+    for node_id in sorted(nodes):
+        node = nodes[node_id]
+        node.flush()
+        for key in sorted(node.bank.keys()):
+            target = owner_of(key)
+            if target not in nodes:
+                raise ParameterError(
+                    f"placement sends {key!r} to unknown node {target}"
+                )
+            if target != node_id:
+                moves.append(KeyMove(key, node_id, target))
+    moves.sort(key=lambda m: (m.source, m.target, m.key))
+    return RebalancePlan(epoch=epoch, moves=tuple(moves))
+
+
+@dataclass(frozen=True)
+class MigrationBatch:
+    """Everything one source ships to one target for one rebalance.
+
+    The wire format mirrors :class:`~repro.cluster.checkpoint.
+    BankCheckpoint`: per-key counter snapshots (via
+    :mod:`repro.core.codec`), exact shadow counts when tracked, and a
+    checksummed single-line JSON encoding, so a truncated or corrupted
+    batch fails loudly instead of silently losing keys in flight.
+    """
+
+    source: int
+    target: int
+    epoch: int
+    snapshots: Mapping[str, CounterSnapshot]
+    truth: Mapping[str, int] | None = None
+    meta: Mapping[str, Any] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.snapshots)
+
+    def encode(self) -> str:
+        """Serialize to a single checksummed JSON line."""
+        body = {
+            "v": _BATCH_VERSION,
+            "source": self.source,
+            "target": self.target,
+            "epoch": self.epoch,
+            "counters": {
+                key: encode_snapshot(snap)
+                for key, snap in sorted(self.snapshots.items())
+            },
+            "truth": dict(self.truth) if self.truth is not None else None,
+            "meta": dict(self.meta),
+        }
+        return encode_checksummed_line(body, _BATCH_CHECKSUM_SEED)
+
+    @classmethod
+    def decode(cls, line: str) -> "MigrationBatch":
+        """Parse a line produced by :meth:`encode`.
+
+        Raises :class:`~repro.errors.StateError` on malformed input,
+        version mismatch, or checksum mismatch (including corruption in
+        any embedded counter record).
+        """
+        body = decode_checksummed_line(
+            line, _BATCH_CHECKSUM_SEED, kind="migration batch"
+        )
+        if body.get("v") != _BATCH_VERSION:
+            raise StateError(
+                f"unsupported migration batch version {body.get('v')!r}"
+            )
+        try:
+            truth = body["truth"]
+            return cls(
+                source=int(body["source"]),
+                target=int(body["target"]),
+                epoch=int(body["epoch"]),
+                snapshots={
+                    key: decode_snapshot(record)
+                    for key, record in body["counters"].items()
+                },
+                truth=(
+                    {k: int(v) for k, v in truth.items()}
+                    if truth is not None
+                    else None
+                ),
+                meta=dict(body.get("meta", {})),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StateError(f"malformed migration batch: {exc}") from exc
+
+
+@dataclass(frozen=True, slots=True)
+class RebalanceReport:
+    """What one executed rebalance did (for metrics and tables)."""
+
+    epoch: int
+    keys_moved: int
+    n_batches: int
+    bytes_shipped: int
+
+
+def _restore(snapshot: CounterSnapshot, seed: int) -> ApproximateCounter:
+    """Build a live counter from a migrated snapshot on a fresh stream."""
+    cls = COUNTER_TYPES[snapshot.algorithm]
+    try:
+        counter = cls(**snapshot.params, seed=seed)
+        counter.restore(snapshot)
+    except (TypeError, ValueError) as exc:
+        raise StateError(
+            f"migrated snapshot incompatible with {cls.__name__}: {exc}"
+        ) from exc
+    return counter
+
+
+def execute_rebalance(
+    plan: RebalancePlan,
+    nodes: Mapping[int, IngestNode],
+    seed: int = 0,
+) -> RebalanceReport:
+    """Drain, ship, and merge every move in ``plan``.
+
+    Batches are processed in sorted ``(source, target)`` order; each is
+    encoded to its wire line and decoded back before merging, so every
+    rebalance exercises the exact bytes a distributed deployment would
+    ship.  Restored counters take seeds derived from
+    ``(seed, epoch, key)``; merging into the new owner is
+    distribution-exact (Remark 2.4), so ground truth and accuracy are
+    both preserved — the invariant ``tests/cluster/test_rebalance.py``
+    pins down.
+
+    Returns
+    -------
+    RebalanceReport
+        Keys moved, batches shipped, and wire bytes.
+    """
+    total_bytes = 0
+    keys_moved = 0
+    n_batches = 0
+    groups = plan.grouped()
+    for source, target in sorted(groups):
+        if source not in nodes or target not in nodes:
+            raise ParameterError(
+                f"plan references unknown node in batch "
+                f"{source}->{target}"
+            )
+        records = nodes[source].drain(groups[(source, target)])
+        if not records:
+            continue
+        tracked = all(truth is not None for _, _, truth in records)
+        batch = MigrationBatch(
+            source=source,
+            target=target,
+            epoch=plan.epoch,
+            snapshots={key: snap for key, snap, _ in records},
+            truth=(
+                {key: truth for key, _, truth in records}
+                if tracked
+                else None
+            ),
+        )
+        line = batch.encode()
+        n_batches += 1
+        total_bytes += len(line.encode("utf-8"))
+        received = MigrationBatch.decode(line)
+        destination = nodes[target]
+        for key in sorted(received.snapshots):
+            counter = _restore(
+                received.snapshots[key],
+                seed=derive_seed(
+                    seed,
+                    _MIGRATE_SEED_KEY,
+                    plan.epoch,
+                    stable_key_hash(key),
+                ),
+            )
+            destination.absorb(
+                key,
+                counter,
+                truth=(
+                    received.truth[key]
+                    if received.truth is not None
+                    else None
+                ),
+            )
+        keys_moved += len(received)
+    return RebalanceReport(
+        epoch=plan.epoch,
+        keys_moved=keys_moved,
+        n_batches=n_batches,
+        bytes_shipped=total_bytes,
+    )

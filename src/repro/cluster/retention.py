@@ -1,0 +1,160 @@
+"""Windowed retention: bounding a long-running cluster's state bits.
+
+A cluster that never forgets grows one counter per key forever.  A
+:class:`RetentionPolicy` chops the event stream into fixed-size windows:
+at each boundary the simulation collapses the live banks into an archived
+:class:`~repro.cluster.aggregator.GlobalView`
+(:meth:`~repro.cluster.aggregator.MergeTreeAggregator.collapse_window`)
+and every node restarts empty on a fresh window-derived seed (the
+:meth:`~repro.analytics.sharding.ShardedCounter.reset` convention) —
+so live state is bounded by one window's key set, and history is bounded
+by how many archived views the policy retains.
+
+Two shapes cover the standard semantics:
+
+* :class:`TumblingRetention` — back-to-back windows of ``window_events``
+  events; the cluster's horizon is the retained archive plus the live
+  window.  ``keep_windows=None`` retains everything (the query horizon
+  stays the full stream; only *live* state is bounded), ``keep_windows=k``
+  drops windows older than ``k`` (state and horizon both bounded).
+* :class:`SlidingRetention` — a sliding horizon of ``panes`` sub-windows
+  of ``pane_events`` each; queries always cover the last
+  ``panes × pane_events`` events (pane-granular), the standard paned
+  approximation of a sliding window.
+
+Because an archived view's counters merge exactly (Remark 2.4), the
+"retained ⊕ live" horizon view the simulation reports is distributed
+identically to a single cluster that simply never collapsed — windowing,
+like sharding, is free in accuracy over the horizon it keeps.
+
+>>> policy = TumblingRetention(window_events=1000)
+>>> [p for p in (0, 999, 1000, 1500, 2000) if policy.is_boundary(p)]
+[1000, 2000]
+>>> policy.retained_windows is None
+True
+>>> SlidingRetention(pane_events=500, panes=4).retained_windows
+4
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import ClassVar
+
+from repro.errors import ParameterError
+
+__all__ = ["RetentionPolicy", "TumblingRetention", "SlidingRetention"]
+
+
+class RetentionPolicy(abc.ABC):
+    """When to collapse a window, and how many collapsed views to keep.
+
+    Parameters
+    ----------
+    window_events:
+        Events per window; a boundary fires every ``window_events``
+        delivered events (before the event at that position is
+        delivered, so each window holds exactly ``window_events``
+        events).
+    """
+
+    #: Registry-style name for tables and configs.
+    kind: ClassVar[str] = ""
+
+    def __init__(self, window_events: int) -> None:
+        if window_events < 1:
+            raise ParameterError(
+                f"window_events must be >= 1, got {window_events}"
+            )
+        self._window_events = window_events
+
+    @property
+    def window_events(self) -> int:
+        """Events per collapsed window."""
+        return self._window_events
+
+    @property
+    @abc.abstractmethod
+    def retained_windows(self) -> int | None:
+        """Archived views to keep (``None`` = keep every window)."""
+
+    def is_boundary(self, position: int) -> bool:
+        """Whether a window closes just before stream position ``position``."""
+        return position > 0 and position % self._window_events == 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"{type(self).__name__}(window_events={self._window_events}, "
+            f"retained={self.retained_windows})"
+        )
+
+
+class TumblingRetention(RetentionPolicy):
+    """Back-to-back fixed windows, optionally keeping only the last few.
+
+    Parameters
+    ----------
+    window_events:
+        Events per tumbling window.
+    keep_windows:
+        Archived views retained after each collapse; ``None`` keeps all
+        (full-stream horizon, bounded live state), ``k`` bounds the
+        horizon to ``k`` archived windows plus the live one.
+
+    >>> TumblingRetention(100, keep_windows=2).retained_windows
+    2
+    """
+
+    kind = "tumbling"
+
+    def __init__(
+        self, window_events: int, keep_windows: int | None = None
+    ) -> None:
+        super().__init__(window_events)
+        if keep_windows is not None and keep_windows < 0:
+            raise ParameterError(
+                f"keep_windows must be >= 0 or None, got {keep_windows}"
+            )
+        self._keep_windows = keep_windows
+
+    @property
+    def retained_windows(self) -> int | None:
+        return self._keep_windows
+
+
+class SlidingRetention(RetentionPolicy):
+    """Pane-based sliding horizon: the last ``panes`` sub-windows.
+
+    The horizon slides forward one pane at a time — the classic
+    approximation of a true sliding window, with staleness bounded by
+    one pane.
+
+    Parameters
+    ----------
+    pane_events:
+        Events per pane (the collapse granularity).
+    panes:
+        Panes covered by the horizon; queries span
+        ``panes × pane_events`` events plus the live pane.
+
+    >>> policy = SlidingRetention(pane_events=250, panes=8)
+    >>> policy.window_events, policy.retained_windows
+    (250, 8)
+    """
+
+    kind = "sliding"
+
+    def __init__(self, pane_events: int, panes: int) -> None:
+        super().__init__(pane_events)
+        if panes < 1:
+            raise ParameterError(f"panes must be >= 1, got {panes}")
+        self._panes = panes
+
+    @property
+    def panes(self) -> int:
+        """Sub-windows covered by the sliding horizon."""
+        return self._panes
+
+    @property
+    def retained_windows(self) -> int:
+        return self._panes

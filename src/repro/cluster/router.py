@@ -1,78 +1,321 @@
 """Key routing: which ingest node owns which key's traffic.
 
-The router assigns every key a *home node* by stable hash (FNV-1a via
-:func:`~repro.analytics.counter_bank.stable_key_hash`, salted and
-re-mixed), so routing is deterministic across processes and sessions —
-the property that makes the whole cluster simulation replayable.
+The router assigns every key a *home node* through a pluggable
+:class:`RoutingStrategy`, so routing is deterministic across processes
+and sessions — the property that makes the whole cluster simulation
+replayable — while the placement function itself can be swapped:
+
+* :class:`ModuloHashStrategy` — stable hash (FNV-1a via
+  :func:`~repro.analytics.counter_bank.stable_key_hash`, salted and
+  re-mixed) modulo the node count.  On a topology change the router
+  regenerates its salt, reshuffling *every* key onto the new node set —
+  the simple "salt-regenerated stable-hash" rebalancing scheme.
+* :class:`HashRingStrategy` — a consistent hash ring with virtual
+  nodes.  Surviving nodes keep their ring points across topology
+  changes, so growing or shrinking the cluster only moves the ``~1/n``
+  of keys adjacent to the added or removed node's points.
+
+Either way, moving a key between nodes is just a counter merge (Remark
+2.4 of conf_pods_NelsonY22), so rebalancing costs nothing in accuracy —
+see :mod:`repro.cluster.rebalance`.
+
+Topology epochs
+---------------
+A :class:`ClusterRouter` owns a *topology epoch*: every membership
+change (:meth:`ClusterRouter.set_nodes`, :meth:`ClusterRouter.add_node`,
+:meth:`ClusterRouter.remove_node`) increments it.  Strategies that
+declare ``reshuffles_on_epoch`` get a fresh epoch-derived salt each
+time, and checkpoints record the epoch so a restored cluster can detect
+a stale routing view.
 
 Hot-key splitting
 -----------------
 A single scorching key would turn its home node into the cluster
 bottleneck.  Keys marked hot (explicitly, or automatically once their
 observed traffic passes ``hot_key_threshold`` increments) are instead
-*split*: successive events for the key rotate round-robin over all nodes,
-each of which grows its own counter for the key.  Remark 2.4 makes this
-free in accuracy — the aggregator's merged counter for the key is
-distributed exactly as one counter that saw every event.
+*split*: successive events for the key rotate round-robin over all
+nodes, each of which grows its own counter for the key.  Remark 2.4
+makes this free in accuracy — the aggregator's merged counter for the
+key is distributed exactly as one counter that saw every event.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+import abc
+import bisect
+from typing import ClassVar, Iterable, Iterator
 
 from repro.analytics.counter_bank import stable_key_hash
 from repro.errors import ParameterError
-from repro.rng.splitmix import mix64
+from repro.rng.splitmix import derive_seed, mix64
 from repro.stream.workload import KeyedEvent
 
-__all__ = ["StableHashRouter"]
+__all__ = [
+    "RoutingStrategy",
+    "ModuloHashStrategy",
+    "HashRingStrategy",
+    "ClusterRouter",
+    "StableHashRouter",
+    "make_strategy",
+]
+
+_EPOCH_SALT_KEY = 0x65706F63  # "epoc"
+_RING_POINT_KEY = 0x72696E67  # "ring"
 
 
-class StableHashRouter:
-    """Stable-hash key routing over ``n_nodes``, with hot-key splitting.
+class RoutingStrategy(abc.ABC):
+    """Placement function: key hash × node set × salt → owning node.
+
+    A strategy must be a pure function of its arguments (instances may
+    cache derived structures, keyed by the arguments), so that two
+    routers built the same way route identically — the cluster's
+    determinism rests on it.
+    """
+
+    #: Registry name (used by :func:`make_strategy` and configs).
+    name: ClassVar[str] = ""
+    #: Whether the router should regenerate its salt on each topology
+    #: epoch.  True for full-reshuffle schemes, False for schemes (like
+    #: the consistent ring) whose stability across epochs is the point.
+    reshuffles_on_epoch: ClassVar[bool] = False
+
+    @abc.abstractmethod
+    def owner(
+        self, key_hash: int, nodes: tuple[int, ...], salt: int
+    ) -> int:
+        """The node id owning ``key_hash`` under this placement.
+
+        Parameters
+        ----------
+        key_hash:
+            64-bit stable hash of the key.
+        nodes:
+            Sorted tuple of live node ids (non-empty).
+        salt:
+            The router's current epoch salt.
+
+        Returns
+        -------
+        int
+            A member of ``nodes``.
+        """
+
+
+class ModuloHashStrategy(RoutingStrategy):
+    """Salted stable hash modulo the node count.
+
+    The classic stateless scheme: cheap, perfectly balanced in
+    expectation, but a topology change remaps nearly every key (the
+    router regenerates its salt per epoch, making the reshuffle explicit
+    and deterministic).
+
+    >>> strategy = ModuloHashStrategy()
+    >>> nodes = (0, 1, 2, 3)
+    >>> owner = strategy.owner(stable_key_hash("page-42"), nodes, salt=7)
+    >>> owner in nodes
+    True
+    >>> owner == strategy.owner(stable_key_hash("page-42"), nodes, 7)
+    True
+    """
+
+    name = "hash"
+    reshuffles_on_epoch = True
+
+    def owner(
+        self, key_hash: int, nodes: tuple[int, ...], salt: int
+    ) -> int:
+        """Pick ``nodes[mix64(key_hash ^ salt) % len(nodes)]``."""
+        return nodes[mix64(key_hash ^ salt) % len(nodes)]
+
+
+class HashRingStrategy(RoutingStrategy):
+    """Consistent hashing: nodes own arcs of a 64-bit ring.
+
+    Each node contributes ``points_per_node`` pseudo-random ring points
+    (virtual nodes, for load smoothing); a key belongs to the first node
+    point clockwise of its own position.  Because a node's points depend
+    only on the node id and the salt, adding or removing one node leaves
+    every other node's points — and therefore ``~(n-1)/n`` of all key
+    assignments — untouched.  That minimal movement is what makes
+    incremental key migration cheap.
 
     Parameters
     ----------
-    n_nodes:
-        Number of ingest nodes.
+    points_per_node:
+        Virtual nodes per physical node; more points smooth the load
+        split at the cost of a larger ring.
+    """
+
+    name = "ring"
+    reshuffles_on_epoch = False
+
+    def __init__(self, points_per_node: int = 64) -> None:
+        if points_per_node < 1:
+            raise ParameterError(
+                f"points_per_node must be >= 1, got {points_per_node}"
+            )
+        self._points_per_node = points_per_node
+        self._cache_key: tuple[tuple[int, ...], int] | None = None
+        self._ring: list[tuple[int, int]] = []
+        self._positions: list[int] = []
+
+    @property
+    def points_per_node(self) -> int:
+        """Virtual nodes contributed by each physical node."""
+        return self._points_per_node
+
+    def _build_ring(self, nodes: tuple[int, ...], salt: int) -> None:
+        """(Re)build the sorted ring for a (nodes, salt) pair, cached."""
+        if self._cache_key == (nodes, salt):
+            return
+        ring = [
+            (derive_seed(salt, _RING_POINT_KEY, node, replica), node)
+            for node in nodes
+            for replica in range(self._points_per_node)
+        ]
+        ring.sort()
+        self._ring = ring
+        self._positions = [position for position, _ in ring]
+        self._cache_key = (nodes, salt)
+
+    def owner(
+        self, key_hash: int, nodes: tuple[int, ...], salt: int
+    ) -> int:
+        """First node point clockwise of the key's ring position."""
+        self._build_ring(nodes, salt)
+        point = mix64(key_hash ^ salt)
+        index = bisect.bisect_right(self._positions, point)
+        if index == len(self._ring):
+            index = 0
+        return self._ring[index][1]
+
+
+#: Strategy registry for configs and CLI flags.
+ROUTING_STRATEGIES: dict[str, type[RoutingStrategy]] = {
+    ModuloHashStrategy.name: ModuloHashStrategy,
+    HashRingStrategy.name: HashRingStrategy,
+}
+
+
+def make_strategy(name: str, **params: object) -> RoutingStrategy:
+    """Build a routing strategy by registry name.
+
+    >>> make_strategy("hash").name
+    'hash'
+    >>> make_strategy("ring", points_per_node=8).points_per_node
+    8
+    """
+    if name not in ROUTING_STRATEGIES:
+        known = ", ".join(sorted(ROUTING_STRATEGIES))
+        raise ParameterError(
+            f"unknown routing strategy {name!r}; known: {known}"
+        )
+    return ROUTING_STRATEGIES[name](**params)  # type: ignore[arg-type]
+
+
+class ClusterRouter:
+    """Elastic key routing over an explicit node-id set.
+
+    The router owns the live topology (a sorted tuple of node ids, not
+    necessarily contiguous — removed ids leave gaps, added ids extend
+    past the original range), the epoch counter, and the hot-key state;
+    placement itself is delegated to a :class:`RoutingStrategy`.
+
+    Parameters
+    ----------
+    nodes:
+        Initial node ids (any iterable of distinct non-negative ints).
+    strategy:
+        Placement function; defaults to :class:`ModuloHashStrategy`,
+        which reproduces the pre-elastic router bit for bit on a
+        ``range(n)`` topology.
     hot_keys:
         Keys to split across all nodes from the start.
     hot_key_threshold:
         When set, any key whose routed traffic reaches this many
         increments is promoted to hot automatically.
     salt:
-        Mixed into the hash so distinct routers (e.g. successive window
-        generations) shuffle keys differently.
+        Base salt; mixed into the hash so distinct routers (e.g.
+        successive window generations) shuffle keys differently.
+
+    >>> router = ClusterRouter([0, 1, 2])
+    >>> router.route("page-1") == router.route("page-1")  # sticky
+    True
+    >>> router.epoch
+    0
+    >>> router.add_node()  # new id = max + 1; epoch advances
+    3
+    >>> router.epoch, router.nodes
+    (1, (0, 1, 2, 3))
     """
 
     def __init__(
         self,
-        n_nodes: int,
+        nodes: Iterable[int],
+        strategy: RoutingStrategy | None = None,
         hot_keys: Iterable[str] = (),
         hot_key_threshold: int | None = None,
         salt: int = 0,
     ) -> None:
-        if n_nodes < 1:
-            raise ParameterError(f"n_nodes must be >= 1, got {n_nodes}")
         if hot_key_threshold is not None and hot_key_threshold < 1:
             raise ParameterError(
                 f"hot_key_threshold must be >= 1, got {hot_key_threshold}"
             )
-        self._n_nodes = n_nodes
+        self._strategy = strategy if strategy is not None else ModuloHashStrategy()
+        self._base_salt = salt
         self._salt = salt
+        self._epoch = 0
+        self._nodes: tuple[int, ...] = ()
+        self._index: dict[int, int] = {}
+        self._install(self._validated_ids(nodes))
         self._threshold = hot_key_threshold
         #: hot key -> round-robin cursor
         self._hot: dict[str, int] = {key: 0 for key in hot_keys}
         #: observed increments per key (only kept while auto-detection is on)
         self._traffic: dict[str, int] = {}
 
+    @staticmethod
+    def _validated_ids(nodes: Iterable[int]) -> tuple[int, ...]:
+        ids = tuple(sorted(nodes))
+        if not ids:
+            raise ParameterError("router needs at least one node")
+        if len(set(ids)) != len(ids):
+            raise ParameterError(f"duplicate node ids: {ids}")
+        if ids[0] < 0:
+            raise ParameterError(f"node ids must be >= 0, got {ids[0]}")
+        return ids
+
+    def _install(self, ids: tuple[int, ...]) -> None:
+        self._nodes = ids
+        self._index = {node: i for i, node in enumerate(ids)}
+
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     @property
+    def nodes(self) -> tuple[int, ...]:
+        """Sorted live node ids."""
+        return self._nodes
+
+    @property
     def n_nodes(self) -> int:
         """Number of ingest nodes routed over."""
-        return self._n_nodes
+        return len(self._nodes)
+
+    @property
+    def epoch(self) -> int:
+        """Topology epoch: number of membership changes so far."""
+        return self._epoch
+
+    @property
+    def salt(self) -> int:
+        """The current epoch salt placement runs under."""
+        return self._salt
+
+    @property
+    def strategy(self) -> RoutingStrategy:
+        """The placement function in use."""
+        return self._strategy
 
     @property
     def hot_keys(self) -> frozenset[str]:
@@ -81,7 +324,49 @@ class StableHashRouter:
 
     def home_node(self, key: str) -> int:
         """The key's stable home node (ignores hot-key splitting)."""
-        return mix64(stable_key_hash(key) ^ self._salt) % self._n_nodes
+        return self._strategy.owner(
+            stable_key_hash(key), self._nodes, self._salt
+        )
+
+    # ------------------------------------------------------------------
+    # topology changes
+    # ------------------------------------------------------------------
+    def set_nodes(self, nodes: Iterable[int]) -> int:
+        """Install a new node-id set; returns the (new) epoch.
+
+        A no-op when the set is unchanged.  Otherwise the epoch
+        advances, and strategies with ``reshuffles_on_epoch`` get a
+        fresh salt derived from the base salt and the epoch.  Hot-key
+        round-robin cursors survive (they rotate over whatever the
+        current node list is).
+        """
+        ids = self._validated_ids(nodes)
+        if ids == self._nodes:
+            return self._epoch
+        self._epoch += 1
+        self._install(ids)
+        if self._strategy.reshuffles_on_epoch:
+            self._salt = derive_seed(
+                self._base_salt, _EPOCH_SALT_KEY, self._epoch
+            )
+        return self._epoch
+
+    def add_node(self, node_id: int | None = None) -> int:
+        """Add one node (``max(nodes) + 1`` when unnamed); returns its id."""
+        if node_id is None:
+            node_id = self._nodes[-1] + 1
+        if node_id in self._index:
+            raise ParameterError(f"node {node_id} already routed")
+        self.set_nodes(self._nodes + (node_id,))
+        return node_id
+
+    def remove_node(self, node_id: int) -> None:
+        """Remove one node from the topology (at least one must remain)."""
+        if node_id not in self._index:
+            raise ParameterError(f"node {node_id} not in topology")
+        if len(self._nodes) == 1:
+            raise ParameterError("cannot remove the last node")
+        self.set_nodes(tuple(n for n in self._nodes if n != node_id))
 
     # ------------------------------------------------------------------
     # routing
@@ -107,7 +392,8 @@ class StableHashRouter:
         if cursor is None:
             return self.home_node(key)
         self._hot[key] = cursor + 1
-        return (self.home_node(key) + cursor) % self._n_nodes
+        start = self._index[self.home_node(key)]
+        return self._nodes[(start + cursor) % len(self._nodes)]
 
     def route_event(self, event: KeyedEvent) -> int:
         """Route one event (weighted by its ``count``)."""
@@ -122,6 +408,38 @@ class StableHashRouter:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
-            f"StableHashRouter(n_nodes={self._n_nodes}, "
+            f"{type(self).__name__}(nodes={self._nodes}, "
+            f"epoch={self._epoch}, strategy={self._strategy.name!r}, "
             f"hot={len(self._hot)}, salt={self._salt:#x})"
+        )
+
+
+class StableHashRouter(ClusterRouter):
+    """Frozen-topology stable-hash router (the pre-elastic interface).
+
+    Routes over ``range(n_nodes)`` with :class:`ModuloHashStrategy`;
+    kept as the simple entry point for fixed deployments and for
+    backward compatibility.  Use :class:`ClusterRouter` directly when
+    the topology must change at runtime.
+
+    >>> StableHashRouter(4, salt=5).route("k") == \\
+    ...     StableHashRouter(4, salt=5).route("k")
+    True
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        hot_keys: Iterable[str] = (),
+        hot_key_threshold: int | None = None,
+        salt: int = 0,
+    ) -> None:
+        if n_nodes < 1:
+            raise ParameterError(f"n_nodes must be >= 1, got {n_nodes}")
+        super().__init__(
+            range(n_nodes),
+            strategy=ModuloHashStrategy(),
+            hot_keys=hot_keys,
+            hot_key_threshold=hot_key_threshold,
+            salt=salt,
         )

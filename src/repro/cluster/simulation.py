@@ -1,7 +1,7 @@
 """Deterministic end-to-end driver for the counting cluster.
 
 The simulation wires the cluster together the way a real deployment would:
-a :class:`~repro.cluster.router.StableHashRouter` spreads a
+a :class:`~repro.cluster.router.ClusterRouter` spreads a
 :class:`~repro.stream.workload.KeyedEvent` stream over N
 :class:`~repro.cluster.node.IngestNode` machines, nodes coalesce and flush
 batches into their banks, periodic :class:`~repro.cluster.checkpoint.
@@ -21,20 +21,57 @@ unacknowledged messages in its queue.  Recovery is therefore lossless in
 ground truth and fully deterministic: the same config and stream produce
 bit-identical final estimates, crashes included.
 
+Elastic scaling
+---------------
+``ClusterConfig.scale_events`` schedules topology changes at exact stream
+positions: a :class:`ScaleEvent` adds a node (``"add"``) or drains and
+removes one (``"remove"``).  Each change advances the router's topology
+epoch, computes the key-migration diff
+(:func:`~repro.cluster.rebalance.plan_rebalance`), and ships the affected
+counters to their new owners as codec-serialized batches
+(:func:`~repro.cluster.rebalance.execute_rebalance`) — a pure sequence of
+merges, so Remark 2.4 keeps the cluster exact through every resize.
+After a migration every live node takes a *fence checkpoint* (and its
+durable log truncates), so a later crash can never resurrect
+pre-migration state: recovery stays "last checkpoint + log replay" with
+no special cases.
+
+Windowed retention
+------------------
+``ClusterConfig.retention`` bounds long-running state: at each policy
+boundary the live banks collapse into an archived window view and every
+node restarts empty on a fresh window-derived seed (see
+:mod:`repro.cluster.retention`).  The final reported view merges the
+retained archive with the live window, so the horizon answer is still
+distribution-exact over everything the policy kept.
+
 Everything except wall-clock throughput metrics is derived from the
-config seed, which is what the determinism tests pin down.
+config seed, which is what the determinism tests pin down.  At one
+stream position the order is fixed: retention boundary, then scale
+events, then crashes, then the event itself.
 """
 
 from __future__ import annotations
 
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Any, Iterable
 
-from repro.cluster.aggregator import GlobalView, MergeTreeAggregator
+from repro.cluster.aggregator import (
+    GlobalView,
+    MergeTreeAggregator,
+    merge_views,
+)
 from repro.cluster.checkpoint import BankCheckpoint
 from repro.cluster.node import CounterTemplate, IngestNode, default_template
-from repro.cluster.router import StableHashRouter
+from repro.cluster.rebalance import execute_rebalance, plan_rebalance
+from repro.cluster.retention import RetentionPolicy
+from repro.cluster.router import (
+    ROUTING_STRATEGIES,
+    ClusterRouter,
+    make_strategy,
+)
 from repro.errors import ParameterError
 from repro.experiments.records import TextTable
 from repro.rng.splitmix import derive_seed
@@ -42,6 +79,7 @@ from repro.stream.workload import KeyedEvent
 
 __all__ = [
     "NodeFailure",
+    "ScaleEvent",
     "ClusterConfig",
     "NodeStats",
     "SimulationResult",
@@ -70,9 +108,56 @@ class NodeFailure:
             )
 
 
+@dataclass(frozen=True, slots=True)
+class ScaleEvent:
+    """One topology change, just before stream position ``at_event``.
+
+    ``action="add"`` brings up a new ingest node (``node_id`` picks its
+    id; ``None`` auto-assigns ``max(live ids) + 1``).  ``action="remove"``
+    drains ``node_id`` (required) into the surviving nodes and retires
+    it.  Both trigger an incremental key migration — see
+    :mod:`repro.cluster.rebalance`.
+
+    >>> ScaleEvent(at_event=1000, action="add")
+    ScaleEvent(at_event=1000, action='add', node_id=None)
+    >>> ScaleEvent(at_event=0, action="remove")
+    Traceback (most recent call last):
+        ...
+    repro.errors.ParameterError: remove needs an explicit node_id
+    """
+
+    at_event: int
+    action: str
+    node_id: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.at_event < 0:
+            raise ParameterError(
+                f"at_event must be non-negative, got {self.at_event}"
+            )
+        if self.action not in ("add", "remove"):
+            raise ParameterError(
+                f"action must be 'add' or 'remove', got {self.action!r}"
+            )
+        if self.action == "remove" and self.node_id is None:
+            raise ParameterError("remove needs an explicit node_id")
+        if self.node_id is not None and self.node_id < 0:
+            raise ParameterError(
+                f"node_id must be non-negative, got {self.node_id}"
+            )
+
+
 @dataclass(frozen=True)
 class ClusterConfig:
-    """Shape of one simulated deployment."""
+    """Shape of one simulated deployment.
+
+    ``routing`` picks the placement strategy (``"hash"`` = salted stable
+    hash with per-epoch salt regeneration, ``"ring"`` = consistent hash
+    ring with ``ring_points`` virtual nodes — minimal key movement per
+    resize).  ``scale_events`` and ``retention`` drive elasticity and
+    windowed retention; both default off, reproducing the frozen
+    topology of earlier versions bit for bit.
+    """
 
     n_nodes: int = 4
     template: CounterTemplate = field(default_factory=default_template)
@@ -84,6 +169,10 @@ class ClusterConfig:
     failures: tuple[NodeFailure, ...] = ()
     track_truth: bool = True
     fanout: int = 2
+    routing: str = "hash"
+    ring_points: int = 64
+    scale_events: tuple[ScaleEvent, ...] = ()
+    retention: RetentionPolicy | None = None
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
@@ -95,17 +184,90 @@ class ClusterConfig:
                 "checkpoint_every must be >= 1 or None, "
                 f"got {self.checkpoint_every}"
             )
-        for failure in self.failures:
-            if failure.node_id >= self.n_nodes:
-                raise ParameterError(
-                    f"failure targets node {failure.node_id}, cluster has "
-                    f"{self.n_nodes} nodes"
+        if self.routing not in ROUTING_STRATEGIES:
+            known = ", ".join(sorted(ROUTING_STRATEGIES))
+            raise ParameterError(
+                f"routing must be one of {known}, got {self.routing!r}"
+            )
+        if self.ring_points < 1:
+            raise ParameterError(
+                f"ring_points must be >= 1, got {self.ring_points}"
+            )
+        self._validate_schedule()
+
+    def _validate_schedule(self) -> None:
+        """Fail fast on impossible failure/scale targets.
+
+        Replays the scheduled topology changes the way the simulation
+        will (scale events before failures at the same position, listed
+        order within a position, monotone auto ids), so a typo'd node id
+        raises :class:`~repro.errors.ParameterError` at construction
+        instead of aborting mid-run.
+        """
+        if not self.scale_events:
+            for failure in self.failures:
+                if failure.node_id >= self.n_nodes:
+                    raise ParameterError(
+                        f"failure targets node {failure.node_id}, cluster "
+                        f"has {self.n_nodes} nodes"
+                    )
+            return
+        # kind 0 = scale, 1 = failure: matches the event-loop ordering.
+        schedule = sorted(
+            [
+                (scale.at_event, 0, index, scale)
+                for index, scale in enumerate(self.scale_events)
+            ]
+            + [
+                (failure.at_event, 1, index, failure)
+                for index, failure in enumerate(self.failures)
+            ]
+        )
+        live = set(range(self.n_nodes))
+        next_auto = self.n_nodes
+        for at_event, kind, _, action in schedule:
+            if kind == 1:
+                if action.node_id not in live:
+                    raise ParameterError(
+                        f"failure at event {at_event} targets node "
+                        f"{action.node_id}, which is not live there "
+                        f"(live: {sorted(live)})"
+                    )
+            elif action.action == "add":
+                node_id = (
+                    action.node_id if action.node_id is not None
+                    else next_auto
                 )
+                if node_id in live:
+                    raise ParameterError(
+                        f"scale event at event {at_event} adds node "
+                        f"{node_id}, which is already live"
+                    )
+                live.add(node_id)
+                next_auto = max(next_auto, node_id + 1)
+            else:
+                if action.node_id not in live:
+                    raise ParameterError(
+                        f"scale event at event {at_event} removes node "
+                        f"{action.node_id}, which is not live there "
+                        f"(live: {sorted(live)})"
+                    )
+                if len(live) == 1:
+                    raise ParameterError(
+                        f"scale event at event {at_event} would remove "
+                        "the last node"
+                    )
+                live.remove(action.node_id)
 
 
 @dataclass(frozen=True, slots=True)
 class NodeStats:
-    """Per-node accounting at the end of a run."""
+    """Per-node accounting at the end of a run.
+
+    ``retired`` marks nodes that were scaled out mid-run; their lifetime
+    counts stay in the result so every delivered event remains accounted
+    for exactly once.
+    """
 
     node_id: int
     events: int
@@ -114,6 +276,7 @@ class NodeStats:
     checkpoints: int
     recoveries: int
     state_bits: int
+    retired: bool = False
 
 
 @dataclass(frozen=True)
@@ -122,7 +285,8 @@ class SimulationResult:
 
     ``elapsed_s`` and ``events_per_sec`` are wall-clock measurements and
     the only non-deterministic fields; everything else is a pure function
-    of the config and the event stream.
+    of the config and the event stream.  ``n_nodes`` is the *final* live
+    node count (equal to the configured count unless scale events ran).
     """
 
     n_nodes: int
@@ -138,6 +302,13 @@ class SimulationResult:
     max_relative_error: float | None
     elapsed_s: float
     events_per_sec: float
+    epoch: int = 0
+    scale_events_applied: int = 0
+    keys_migrated: int = 0
+    migration_batches: int = 0
+    migration_bytes: int = 0
+    windows_collapsed: int = 0
+    windows_retained: int = 0
 
     @property
     def recoveries(self) -> int:
@@ -164,7 +335,7 @@ class SimulationResult:
         )
         for s in self.node_stats:
             nodes.add_row(
-                f"node-{s.node_id}",
+                f"node-{s.node_id}" + (" (retired)" if s.retired else ""),
                 f"{s.events:,}",
                 f"{s.keys:,}",
                 f"{s.flushes:,}",
@@ -198,6 +369,18 @@ class SimulationResult:
             f"({self.elapsed_s:.2f} s); merged view "
             f"{self.total_state_bits:,} state bits"
         )
+        if self.scale_events_applied:
+            lines.append(
+                f"{self.scale_events_applied} scale events "
+                f"(topology epoch {self.epoch}): {self.keys_migrated:,} "
+                f"keys migrated in {self.migration_batches} batches "
+                f"({self.migration_bytes:,} wire bytes)"
+            )
+        if self.windows_collapsed:
+            lines.append(
+                f"retention: {self.windows_collapsed} windows collapsed, "
+                f"{self.windows_retained} retained in the horizon view"
+            )
         if self.rms_relative_error is not None:
             lines.append(
                 f"global error vs truth: mean "
@@ -216,39 +399,93 @@ class SimulationResult:
 class ClusterSimulation:
     """Event-loop driver over a configured cluster.
 
-    One instance drives one window; :meth:`run` may be called once per
+    One instance drives one run; :meth:`run` may be called once per
     event stream.  All cluster components are reachable (``nodes``,
-    ``router``, ``aggregator``) for white-box assertions.
+    ``router``, ``aggregator``) for white-box assertions, and the
+    elastic operations (:meth:`scale_up`, :meth:`scale_down`,
+    :meth:`crash_node`, :meth:`collapse_window`) are public so tests
+    and notebooks can drive topology changes by hand.
     """
 
     def __init__(self, config: ClusterConfig) -> None:
         self._config = config
-        self._router = StableHashRouter(
-            config.n_nodes,
+        strategy_params: dict[str, Any] = (
+            {"points_per_node": config.ring_points}
+            if config.routing == "ring"
+            else {}
+        )
+        self._router = ClusterRouter(
+            range(config.n_nodes),
+            strategy=make_strategy(config.routing, **strategy_params),
             hot_keys=config.hot_keys,
             hot_key_threshold=config.hot_key_threshold,
             salt=derive_seed(config.seed, _ROUTER_SEED_KEY),
         )
-        self._nodes = [
-            IngestNode(
-                node_id,
-                config.template,
-                seed=derive_seed(config.seed, _NODE_SEED_KEY, node_id, 0),
-                buffer_limit=config.buffer_limit,
-                track_truth=config.track_truth,
-            )
+        self._nodes: dict[int, IngestNode] = {
+            node_id: self._fresh_node(node_id, incarnation=0)
             for node_id in range(config.n_nodes)
-        ]
+        }
         self._aggregator = MergeTreeAggregator(
-            self._nodes, fanout=config.fanout
+            self._ordered_nodes(), fanout=config.fanout
         )
-        n = config.n_nodes
-        self._last_checkpoint: list[str | None] = [None] * n
-        self._wal: list[list[KeyedEvent]] = [[] for _ in range(n)]
-        self._since_checkpoint = [0] * n
-        self._incarnation = [0] * n
-        self._recoveries = [0] * n
-        self._checkpoints = [0] * n
+        self._last_checkpoint: dict[int, str | None] = {}
+        self._wal: dict[int, list[KeyedEvent]] = {}
+        self._since_checkpoint: dict[int, int] = {}
+        #: node id -> incarnation counter; never forgets retired ids, so
+        #: a re-added id can never replay a predecessor's RNG streams.
+        self._incarnation: dict[int, int] = {}
+        self._recoveries: dict[int, int] = {}
+        self._checkpoints: dict[int, int] = {}
+        for node_id in self._nodes:
+            self._init_bookkeeping(node_id)
+            self._incarnation[node_id] = 0
+        #: next auto-assigned node id; monotone over ids ever used, so
+        #: scale-up after scale-down does not resurrect a retired id.
+        self._next_auto_id = config.n_nodes
+        self._retired: list[NodeStats] = []
+        self._window = 0
+        self._archived: deque[GlobalView] = deque(
+            maxlen=(
+                config.retention.retained_windows
+                if config.retention is not None
+                else None
+            )
+        )
+        self._windows_collapsed = 0
+        self._scale_events_applied = 0
+        self._keys_migrated = 0
+        self._migration_batches = 0
+        self._migration_bytes = 0
+
+    def _fresh_node(self, node_id: int, incarnation: int) -> IngestNode:
+        config = self._config
+        return IngestNode(
+            node_id,
+            config.template,
+            seed=derive_seed(
+                config.seed, _NODE_SEED_KEY, node_id, incarnation
+            ),
+            buffer_limit=config.buffer_limit,
+            track_truth=config.track_truth,
+        )
+
+    def _init_bookkeeping(self, node_id: int) -> None:
+        # Incarnation is deliberately not reset here: it outlives a
+        # node's tenure so reused ids get fresh seeds.
+        self._last_checkpoint[node_id] = None
+        self._wal[node_id] = []
+        self._since_checkpoint[node_id] = 0
+        self._recoveries[node_id] = 0
+        self._checkpoints[node_id] = 0
+
+    def _ordered_nodes(self) -> list[IngestNode]:
+        return [self._nodes[node_id] for node_id in sorted(self._nodes)]
+
+    def _sync_membership(self) -> None:
+        """Point the aggregator at the current membership and epoch."""
+        self._aggregator.set_nodes(
+            self._ordered_nodes(), epoch=self._router.epoch
+        )
 
     # ------------------------------------------------------------------
     # component access
@@ -260,11 +497,11 @@ class ClusterSimulation:
 
     @property
     def nodes(self) -> list[IngestNode]:
-        """The live ingest nodes."""
-        return list(self._nodes)
+        """The live ingest nodes, ordered by node id."""
+        return self._ordered_nodes()
 
     @property
-    def router(self) -> StableHashRouter:
+    def router(self) -> ClusterRouter:
         """The key router."""
         return self._router
 
@@ -272,6 +509,11 @@ class ClusterSimulation:
     def aggregator(self) -> MergeTreeAggregator:
         """The merge-tree aggregator over the live nodes."""
         return self._aggregator
+
+    @property
+    def archived_windows(self) -> list[GlobalView]:
+        """Window views the retention policy has collapsed and kept."""
+        return list(self._archived)
 
     # ------------------------------------------------------------------
     # event loop
@@ -281,17 +523,27 @@ class ClusterSimulation:
         failures: dict[int, list[int]] = {}
         for failure in self._config.failures:
             failures.setdefault(failure.at_event, []).append(failure.node_id)
+        scales: dict[int, list[ScaleEvent]] = {}
+        for scale in self._config.scale_events:
+            scales.setdefault(scale.at_event, []).append(scale)
+        retention = self._config.retention
         started = time.perf_counter()
         position = 0
         for event in events:
+            if retention is not None and retention.is_boundary(position):
+                self.collapse_window()
+            for scale in scales.get(position, ()):
+                self._apply_scale(scale)
             for node_id in failures.get(position, ()):
                 self.crash_node(node_id)
             self._deliver(event)
             position += 1
-        for node in self._nodes:
+        for node in self._ordered_nodes():
             node.flush()
         elapsed = time.perf_counter() - started
         view = self._aggregator.global_view()
+        if self._archived:
+            view = merge_views([*self._archived, view])
         return self._result(view, elapsed)
 
     def _deliver(self, event: KeyedEvent) -> None:
@@ -306,6 +558,13 @@ class ClusterSimulation:
     # ------------------------------------------------------------------
     # checkpointing and failure
     # ------------------------------------------------------------------
+    def _topology_stamp(self) -> dict[str, Any]:
+        return {
+            "epoch": self._router.epoch,
+            "nodes": list(self._router.nodes),
+            "routing": self._router.strategy.name,
+        }
+
     def checkpoint_node(self, node_id: int) -> str:
         """Flush and checkpoint one node; truncates its durable log."""
         node = self._nodes[node_id]
@@ -319,6 +578,7 @@ class ClusterSimulation:
                 "events_ingested": node.events_ingested,
                 "n_flushes": node.n_flushes,
             },
+            topology=self._topology_stamp(),
         )
         line = checkpoint.encode()
         self._last_checkpoint[node_id] = line
@@ -327,6 +587,19 @@ class ClusterSimulation:
         self._checkpoints[node_id] += 1
         return line
 
+    def _fence_all(self) -> None:
+        """Checkpoint every live node (the window-collapse barrier).
+
+        After a collapse every bank was reset, so none matches what
+        "last checkpoint + log replay" would rebuild; the barrier
+        re-checkpoints everything (truncating the logs) and recovery
+        keeps its single code path — even when periodic checkpointing
+        is disabled.  Migrations use the narrower per-move fence in
+        :meth:`_rebalance`.
+        """
+        for node_id in sorted(self._nodes):
+            self.checkpoint_node(node_id)
+
     def crash_node(self, node_id: int) -> None:
         """Destroy a node's volatile state, then recover it.
 
@@ -334,9 +607,10 @@ class ClusterSimulation:
         was ever taken) on a fresh incarnation seed, then replay the
         durable log of events delivered since that checkpoint.
         """
-        if not 0 <= node_id < len(self._nodes):
+        if node_id not in self._nodes:
             raise ParameterError(
-                f"node {node_id} out of range [0, {len(self._nodes)})"
+                f"node {node_id} is not a live node "
+                f"(live: {sorted(self._nodes)})"
             )
         config = self._config
         self._incarnation[node_id] += 1
@@ -360,9 +634,7 @@ class ClusterSimulation:
             node.n_flushes = int(checkpoint.meta.get("n_flushes", 0))
         self._nodes[node_id] = node
         # The aggregator must see the replacement node, not the corpse.
-        self._aggregator = MergeTreeAggregator(
-            self._nodes, fanout=config.fanout
-        )
+        self._sync_membership()
         for event in self._wal[node_id]:
             node.submit(event)
         self._since_checkpoint[node_id] = sum(
@@ -371,12 +643,136 @@ class ClusterSimulation:
         self._recoveries[node_id] += 1
 
     # ------------------------------------------------------------------
+    # elastic scaling
+    # ------------------------------------------------------------------
+    def _apply_scale(self, scale: ScaleEvent) -> None:
+        if scale.action == "add":
+            self.scale_up(scale.node_id)
+        else:
+            assert scale.node_id is not None  # enforced by ScaleEvent
+            self.scale_down(scale.node_id)
+
+    def _rebalance(self) -> None:
+        """Migrate every key whose home moved, then fence the movers.
+
+        Only nodes a batch actually touched (sources and targets) need
+        a fence checkpoint: an untouched node's bank is still exactly
+        what its last checkpoint plus log replay rebuilds (a flush only
+        applies events already in the log), so its recovery path is
+        unaffected.  With ring routing this keeps a resize's checkpoint
+        cost proportional to the state that moved, not cluster size.
+        """
+        plan = plan_rebalance(
+            self._nodes,
+            self._router.home_node,
+            epoch=self._router.epoch,
+        )
+        report = execute_rebalance(
+            plan, self._nodes, seed=self._config.seed
+        )
+        self._keys_migrated += report.keys_moved
+        self._migration_batches += report.n_batches
+        self._migration_bytes += report.bytes_shipped
+        touched = {move.source for move in plan.moves} | {
+            move.target for move in plan.moves
+        }
+        # A node leaving the topology (scale-down source) is about to be
+        # retired; checkpointing its now-empty bank would be wasted.
+        for node_id in sorted(touched & set(self._router.nodes)):
+            self.checkpoint_node(node_id)
+
+    def scale_up(self, node_id: int | None = None) -> int:
+        """Add one ingest node and migrate its keys in; returns its id.
+
+        The new node's seed derives from the cluster seed, its id, and
+        its incarnation, exactly like an initial node — so an elastic
+        run is as reproducible as a static one.  Auto-assigned ids are
+        monotone over the cluster's whole history, and an explicitly
+        reused id starts at a bumped incarnation: either way a new node
+        can never share RNG streams with a retired predecessor, which
+        would break the independence Remark 2.4's merging assumes.
+        """
+        if node_id is None:
+            node_id = self._next_auto_id
+        new_id = self._router.add_node(node_id)
+        self._next_auto_id = max(self._next_auto_id, new_id + 1)
+        incarnation = self._incarnation.get(new_id, -1) + 1
+        self._incarnation[new_id] = incarnation
+        self._nodes[new_id] = self._fresh_node(new_id, incarnation)
+        self._init_bookkeeping(new_id)
+        self._sync_membership()
+        self._rebalance()
+        self._scale_events_applied += 1
+        return new_id
+
+    def scale_down(self, node_id: int) -> None:
+        """Drain one node into the survivors and retire it.
+
+        Every key the node holds migrates to its new home (the node is
+        no longer in the topology, so every key has one); its lifetime
+        stats — including the keys and state bits it held at drain time
+        — are preserved in the result as a ``retired`` row.
+        """
+        if node_id not in self._nodes:
+            raise ParameterError(
+                f"node {node_id} is not a live node "
+                f"(live: {sorted(self._nodes)})"
+            )
+        if len(self._nodes) == 1:
+            raise ParameterError("cannot remove the last node")
+        retiring = self._nodes[node_id]
+        retiring.flush()
+        keys_at_drain = len(retiring.bank)
+        state_bits_at_drain = retiring.state_bits()
+        self._router.remove_node(node_id)
+        # The retiring node stays in the mapping as a migration source;
+        # the router no longer targets it, so the rebalance empties it.
+        self._rebalance()
+        node = self._nodes.pop(node_id)
+        self._retired.append(
+            NodeStats(
+                node_id=node_id,
+                events=node.events_ingested,
+                keys=keys_at_drain,
+                flushes=node.n_flushes,
+                checkpoints=self._checkpoints.pop(node_id),
+                recoveries=self._recoveries.pop(node_id),
+                state_bits=state_bits_at_drain,
+                retired=True,
+            )
+        )
+        del self._last_checkpoint[node_id]
+        del self._wal[node_id]
+        del self._since_checkpoint[node_id]
+        self._sync_membership()
+        self._scale_events_applied += 1
+
+    # ------------------------------------------------------------------
+    # windowed retention
+    # ------------------------------------------------------------------
+    def collapse_window(self) -> GlobalView:
+        """Close the current window: archive its view, reset the banks.
+
+        Returns the archived view.  The archive keeps at most the
+        policy's ``retained_windows`` views (all of them for unbounded
+        policies); every node then takes a fence checkpoint of its
+        fresh, empty bank so crash recovery never resurrects the closed
+        window.
+        """
+        self._window += 1
+        view = self._aggregator.collapse_window(self._window)
+        self._archived.append(view)
+        self._windows_collapsed += 1
+        self._fence_all()
+        return view
+
+    # ------------------------------------------------------------------
     # result assembly
     # ------------------------------------------------------------------
     def _result(
         self, view: GlobalView, elapsed: float
     ) -> SimulationResult:
-        node_stats = tuple(
+        live_stats = [
             NodeStats(
                 node_id=node.node_id,
                 events=node.events_ingested,
@@ -386,7 +782,10 @@ class ClusterSimulation:
                 recoveries=self._recoveries[node.node_id],
                 state_bits=node.state_bits(),
             )
-            for node in self._nodes
+            for node in self._ordered_nodes()
+        ]
+        node_stats = tuple(
+            sorted(self._retired + live_stats, key=lambda s: s.node_id)
         )
         total_events = sum(s.events for s in node_stats)
         mean = rms = worst = None
@@ -404,7 +803,7 @@ class ClusterSimulation:
             for key, estimate in view.top_keys(5)
         )
         return SimulationResult(
-            n_nodes=self._config.n_nodes,
+            n_nodes=len(self._nodes),
             total_events=total_events,
             n_keys=view.n_keys,
             hot_keys=len(self._router.hot_keys),
@@ -419,4 +818,11 @@ class ClusterSimulation:
             events_per_sec=(
                 total_events / elapsed if elapsed > 0 else float("inf")
             ),
+            epoch=self._router.epoch,
+            scale_events_applied=self._scale_events_applied,
+            keys_migrated=self._keys_migrated,
+            migration_batches=self._migration_batches,
+            migration_bytes=self._migration_bytes,
+            windows_collapsed=self._windows_collapsed,
+            windows_retained=len(self._archived),
         )

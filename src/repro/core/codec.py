@@ -24,7 +24,13 @@ from repro.core.factory import COUNTER_TYPES
 from repro.errors import StateError
 from repro.rng.splitmix import mix64
 
-__all__ = ["encode_snapshot", "decode_snapshot", "restore_counter"]
+__all__ = [
+    "encode_snapshot",
+    "decode_snapshot",
+    "restore_counter",
+    "encode_checksummed_line",
+    "decode_checksummed_line",
+]
 
 _FORMAT_VERSION = 1
 
@@ -32,12 +38,53 @@ _FORMAT_VERSION = 1
 _CHECKSUM_SEED = 0xA5A5A5A5A5A5A5A5
 
 
-def _checksum(payload: str) -> int:
+def _checksum(payload: str, seed: int) -> int:
     """64-bit checksum over a canonical string, via the library mixer."""
-    h = _CHECKSUM_SEED
+    h = seed
     for byte in payload.encode("utf-8"):
         h = mix64(h ^ byte)
     return h
+
+
+def encode_checksummed_line(body: dict[str, Any], seed: int) -> str:
+    """Wrap a JSON-safe body in the library's checksummed line framing.
+
+    The body is canonicalized (sorted keys, no whitespace), checksummed
+    with the caller's ``seed`` (distinct per record kind, so a record
+    cannot be decoded as the wrong kind), and emitted as one
+    ``{"payload": ..., "checksum": ...}`` JSON line.  All durable /
+    wire formats — counter snapshots, bank checkpoints, migration
+    batches — share this framing via :func:`decode_checksummed_line`.
+    """
+    payload = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return json.dumps(
+        {"payload": body, "checksum": _checksum(payload, seed)},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def decode_checksummed_line(
+    line: str, seed: int, kind: str
+) -> dict[str, Any]:
+    """Unwrap and verify a :func:`encode_checksummed_line` record.
+
+    Returns the body.  Raises :class:`~repro.errors.StateError` (naming
+    ``kind``) on malformed input or checksum mismatch; version checks
+    stay with the caller, which owns its body schema.
+    """
+    try:
+        wrapper = json.loads(line)
+        body = wrapper["payload"]
+        claimed = wrapper["checksum"]
+    except (json.JSONDecodeError, KeyError, TypeError) as exc:
+        raise StateError(f"malformed {kind}: {exc}") from exc
+    payload = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    if _checksum(payload, seed) != claimed:
+        raise StateError(f"{kind} checksum mismatch (corrupted record)")
+    if not isinstance(body, dict):
+        raise StateError(f"malformed {kind}: payload is not an object")
+    return body
 
 
 def encode_snapshot(snapshot: CounterSnapshot) -> str:
@@ -49,12 +96,7 @@ def encode_snapshot(snapshot: CounterSnapshot) -> str:
         "state": _jsonable(dict(snapshot.state)),
         "n": snapshot.n_increments,
     }
-    payload = json.dumps(body, sort_keys=True, separators=(",", ":"))
-    return json.dumps(
-        {"payload": body, "checksum": _checksum(payload)},
-        sort_keys=True,
-        separators=(",", ":"),
-    )
+    return encode_checksummed_line(body, _CHECKSUM_SEED)
 
 
 def decode_snapshot(line: str) -> CounterSnapshot:
@@ -63,15 +105,9 @@ def decode_snapshot(line: str) -> CounterSnapshot:
     Raises :class:`~repro.errors.StateError` on malformed input, version
     mismatch, checksum mismatch, or unknown algorithm.
     """
-    try:
-        wrapper = json.loads(line)
-        body = wrapper["payload"]
-        claimed = wrapper["checksum"]
-    except (json.JSONDecodeError, KeyError, TypeError) as exc:
-        raise StateError(f"malformed snapshot record: {exc}") from exc
-    payload = json.dumps(body, sort_keys=True, separators=(",", ":"))
-    if _checksum(payload) != claimed:
-        raise StateError("snapshot checksum mismatch (corrupted record)")
+    body = decode_checksummed_line(
+        line, _CHECKSUM_SEED, kind="snapshot record"
+    )
     if body.get("v") != _FORMAT_VERSION:
         raise StateError(
             f"unsupported snapshot format version {body.get('v')!r}"

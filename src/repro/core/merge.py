@@ -49,6 +49,24 @@ def merge_counters(
     """Return a new counter distributed as one run on ``N_left + N_right``.
 
     Neither input is mutated.
+
+    Parameters
+    ----------
+    left, right:
+        Counters of the same mergeable family.
+
+    Returns
+    -------
+    ApproximateCounter
+        A fresh counter; for exact counters the merge is plain addition.
+
+    >>> from repro.core.factory import make_counter
+    >>> a = make_counter("exact", seed=1); a.add(10)
+    >>> b = make_counter("exact", seed=2); b.add(5)
+    >>> merge_counters(a, b).estimate()
+    15.0
+    >>> a.estimate()  # inputs are untouched
+    10.0
     """
     merged = _clone(left)
     merged.merge_from(right)
@@ -61,6 +79,35 @@ def merge_all(counters: Sequence[ApproximateCounter]) -> ApproximateCounter:
     Merging is associative in distribution (each merge is distributed as a
     freshly-run counter), so the fold order does not matter statistically;
     we fold left for determinism.
+
+    Parameters
+    ----------
+    counters:
+        Non-empty sequence of same-family mergeable counters.
+
+    Returns
+    -------
+    ApproximateCounter
+        A fresh counter distributed as one run on the summed stream.
+
+    Raises
+    ------
+    MergeError
+        On an empty sequence (and, from ``merge_from``, on mismatched
+        or unmergeable counter families).
+
+    >>> from repro.core.factory import make_counter
+    >>> shards = []
+    >>> for shard_seed in (1, 2, 3):
+    ...     shard = make_counter("exact", seed=shard_seed)
+    ...     shard.add(4)
+    ...     shards.append(shard)
+    >>> merge_all(shards).estimate()
+    12.0
+    >>> merge_all([])
+    Traceback (most recent call last):
+        ...
+    repro.errors.MergeError: cannot merge an empty collection of counters
     """
     if not counters:
         raise MergeError("cannot merge an empty collection of counters")

@@ -1,0 +1,278 @@
+"""End-to-end elastic scaling tests: the ISSUE-2 acceptance scenario.
+
+Pinned invariants:
+
+* **Merge exactness through resizes** — a cluster that scales 2→4→3
+  mid-stream reproduces ground truth bit-for-bit with ``exact``
+  templates (so its per-key estimates are identical to a static
+  single-node run over the same stream), and matches a static run's
+  error statistically for approximate templates.
+* **Checkpoint determinism mid-migration** — runs with scale events,
+  retention, and crashes adjacent to migrations are pure functions of
+  the config seed and event stream.
+* **Recovery losslessness** — no delivered event is dropped across
+  drain/migrate/crash sequences.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    BankCheckpoint,
+    ClusterConfig,
+    ClusterSimulation,
+    NodeFailure,
+    ScaleEvent,
+    TumblingRetention,
+    default_template,
+)
+from repro.errors import ParameterError
+from repro.rng.bitstream import BitBudgetedRandom
+from repro.stream.workload import zipf_workload
+
+_SEED = 4242
+_SCALE_2_4_3 = (
+    ScaleEvent(at_event=6000, action="add"),      # 2 -> 3
+    ScaleEvent(at_event=12_000, action="add"),    # 3 -> 4
+    ScaleEvent(at_event=18_000, action="remove", node_id=1),  # 4 -> 3
+)
+
+
+def _events(n_events: int = 24_000, n_keys: int = 300):
+    return zipf_workload(BitBudgetedRandom(_SEED), n_keys, n_events)
+
+
+def _run(n_events: int = 24_000, **overrides):
+    settings = dict(
+        seed=_SEED,
+        n_nodes=2,
+        template=default_template("exact"),
+        buffer_limit=256,
+        checkpoint_every=5000,
+        routing="ring",
+        scale_events=_SCALE_2_4_3,
+    )
+    settings.update(overrides)
+    return ClusterSimulation(ClusterConfig(**settings)).run(
+        _events(n_events)
+    )
+
+
+class TestScaleExactness:
+    def test_2_4_3_reproduces_ground_truth(self):
+        """The acceptance scenario: grow 2→3→4, drain back to 3, all
+        mid-stream — every estimate still equals the exact count."""
+        result = _run()
+        assert result.epoch == 3
+        assert result.scale_events_applied == 3
+        assert result.n_nodes == 3
+        assert result.keys_migrated > 0
+        assert result.total_events == 24_000
+        assert result.max_relative_error == 0.0
+
+    def test_matches_static_single_node_run(self):
+        """exact template: the elastic cluster's estimates are
+        bit-identical to a static single-node run (both reproduce the
+        stream's ground truth, which is seed-independent)."""
+        elastic = _run()
+        single = _run(n_nodes=1, scale_events=(), routing="hash")
+        assert elastic.total_events == single.total_events
+        assert elastic.n_keys == single.n_keys
+        assert elastic.max_relative_error == 0.0
+        assert single.max_relative_error == 0.0
+        # Identical per-key answers: same keys, same estimates, and
+        # estimate == truth on both sides.
+        assert [
+            (key, estimate) for key, estimate, _ in elastic.top
+        ] == [(key, estimate) for key, estimate, _ in single.top]
+
+    def test_approximate_template_matches_static_error(self):
+        """Remark 2.4: resizing costs nothing in accuracy — the elastic
+        run's rms error is within noise of a static run at the same
+        seed-class and state."""
+        elastic = _run(template=default_template("simplified_ny"))
+        static = _run(
+            template=default_template("simplified_ny"),
+            n_nodes=3,
+            scale_events=(),
+        )
+        assert elastic.rms_relative_error < 0.02
+        assert static.rms_relative_error < 0.02
+        assert elastic.rms_relative_error < max(
+            3 * static.rms_relative_error, 0.005
+        )
+
+    def test_both_routing_strategies_stay_exact(self):
+        for routing in ("hash", "ring"):
+            result = _run(routing=routing)
+            assert result.max_relative_error == 0.0, routing
+
+    def test_hot_keys_survive_resizes(self):
+        result = _run(hot_key_threshold=800)
+        assert result.hot_keys >= 1
+        assert result.max_relative_error == 0.0
+
+
+class TestMidMigrationRecovery:
+    def test_crash_right_after_scale_restores_deterministically(self):
+        """A checkpoint taken by the migration fence is what the crash
+        recovers from — twice over, bit-identically."""
+        kwargs = dict(
+            template=default_template("simplified_ny"),
+            failures=(
+                NodeFailure(at_event=6001, node_id=0),   # just migrated
+                NodeFailure(at_event=18_001, node_id=2),  # post-drain
+            ),
+        )
+        first = _run(**kwargs)
+        replay = _run(**kwargs)
+        assert first.recoveries == 2
+        assert first.node_stats == replay.node_stats
+        assert first.top == replay.top
+        assert first.rms_relative_error == replay.rms_relative_error
+        assert first.total_state_bits == replay.total_state_bits
+
+    def test_crash_after_scale_preserves_truth(self):
+        result = _run(
+            failures=(NodeFailure(at_event=12_001, node_id=3),),
+        )
+        assert result.recoveries == 1
+        assert result.total_events == 24_000
+        assert result.max_relative_error == 0.0
+
+    def test_full_elastic_determinism_with_retention(self):
+        """≥2 scale events + retention + a crash: bit-deterministic."""
+        kwargs = dict(
+            template=default_template("simplified_ny"),
+            retention=TumblingRetention(window_events=8000),
+            failures=(NodeFailure(at_event=15_000, node_id=0),),
+        )
+        first = _run(**kwargs)
+        replay = _run(**kwargs)
+        assert first.windows_collapsed == 2
+        assert first.scale_events_applied == 3
+        assert first.node_stats == replay.node_stats
+        assert first.top == replay.top
+        assert first.rms_relative_error == replay.rms_relative_error
+
+    def test_retention_plus_scaling_stays_lossless(self):
+        result = _run(
+            retention=TumblingRetention(window_events=9000),
+        )
+        assert result.windows_collapsed == 2
+        assert result.max_relative_error == 0.0
+
+
+class TestTopologyBookkeeping:
+    def test_retired_node_stats_preserved(self):
+        result = _run()
+        by_id = {s.node_id: s for s in result.node_stats}
+        assert by_id[1].retired
+        assert not by_id[0].retired
+        # The retired row reports what the node held at drain time, not
+        # its post-drain emptiness.
+        assert by_id[1].keys > 0 and by_id[1].state_bits > 0
+        assert by_id[1].events > 0  # lifetime counts survive retirement
+        assert sum(s.events for s in result.node_stats) == 24_000
+
+    def test_scale_up_after_down_never_reuses_seeds(self):
+        """A node added after a removal must not resurrect the retired
+        node's id or RNG streams (auto ids are monotone; explicit reuse
+        gets a bumped incarnation seed)."""
+        sim = ClusterSimulation(
+            ClusterConfig(n_nodes=3, seed=_SEED, scale_events=())
+        )
+        retired_seed = sim.nodes[2].bank.seed
+        sim.scale_down(2)
+        assert sim.scale_up() == 3  # not 2: ids are monotone
+        sim.scale_down(3)
+        # Explicitly reusing a retired id is allowed, but on a fresh
+        # incarnation-derived seed.
+        assert sim.scale_up(2) == 2
+        assert sim.nodes[-1].bank.seed != retired_seed
+
+    def test_checkpoints_carry_topology(self):
+        sim = ClusterSimulation(
+            ClusterConfig(n_nodes=2, seed=_SEED, scale_events=())
+        )
+        for event in _events(n_events=100):
+            sim.nodes[0].submit(event)
+        line = sim.checkpoint_node(0)
+        checkpoint = BankCheckpoint.decode(line)
+        assert checkpoint.topology == {
+            "epoch": 0,
+            "nodes": [0, 1],
+            "routing": "hash",
+        }
+        new_id = sim.scale_up()
+        assert new_id == 2
+        line = sim.checkpoint_node(0)
+        assert BankCheckpoint.decode(line).topology == {
+            "epoch": 1,
+            "nodes": [0, 1, 2],
+            "routing": "hash",
+        }
+
+    def test_scale_validation(self):
+        with pytest.raises(ParameterError):
+            ScaleEvent(at_event=-1, action="add")
+        with pytest.raises(ParameterError):
+            ScaleEvent(at_event=0, action="resize")
+        with pytest.raises(ParameterError):
+            ScaleEvent(at_event=0, action="remove")
+        sim = ClusterSimulation(ClusterConfig(n_nodes=1, seed=0))
+        with pytest.raises(ParameterError):
+            sim.scale_down(0)  # last node
+        with pytest.raises(ParameterError):
+            sim.scale_down(5)  # unknown node
+
+    def test_crashing_retired_node_rejected_at_config_time(self):
+        with pytest.raises(ParameterError):
+            ClusterConfig(
+                n_nodes=2,
+                seed=_SEED,
+                scale_events=(ScaleEvent(at_event=50, action="remove",
+                                         node_id=1),),
+                failures=(NodeFailure(at_event=100, node_id=1),),
+            )
+
+    def test_schedule_validation_fails_fast(self):
+        # Removing a node that never existed.
+        with pytest.raises(ParameterError):
+            ClusterConfig(
+                n_nodes=2,
+                scale_events=(ScaleEvent(at_event=10, action="remove",
+                                         node_id=7),),
+            )
+        # Adding an id that is already live.
+        with pytest.raises(ParameterError):
+            ClusterConfig(
+                n_nodes=2,
+                scale_events=(ScaleEvent(at_event=10, action="add",
+                                         node_id=1),),
+            )
+        # Removing down to zero nodes.
+        with pytest.raises(ParameterError):
+            ClusterConfig(
+                n_nodes=1,
+                scale_events=(ScaleEvent(at_event=10, action="remove",
+                                         node_id=0),),
+            )
+        # Killing a node before it is added.
+        with pytest.raises(ParameterError):
+            ClusterConfig(
+                n_nodes=2,
+                scale_events=(ScaleEvent(at_event=100, action="add"),),
+                failures=(NodeFailure(at_event=50, node_id=2),),
+            )
+        # ... but killing it after the add is fine (auto id = 2).
+        ClusterConfig(
+            n_nodes=2,
+            scale_events=(ScaleEvent(at_event=100, action="add"),),
+            failures=(NodeFailure(at_event=150, node_id=2),),
+        )
+
+    def test_static_config_still_validates_failures(self):
+        with pytest.raises(ParameterError):
+            ClusterConfig(n_nodes=2, failures=(NodeFailure(10, 5),))

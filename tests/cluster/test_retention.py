@@ -1,0 +1,176 @@
+"""Tests for windowed retention policies and their simulation semantics.
+
+Pinned invariants: a window boundary is exact (each window holds exactly
+``window_events`` events), collapse bounds live state, the horizon view
+(retained ⊕ live) preserves ground truth for ``exact`` templates, and a
+bounded policy really drops expired windows from the horizon.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    ClusterConfig,
+    ClusterSimulation,
+    SlidingRetention,
+    TumblingRetention,
+    default_template,
+)
+from repro.errors import ParameterError
+from repro.rng.bitstream import BitBudgetedRandom
+from repro.stream.workload import KeyedEvent, zipf_workload
+
+_SEED = 77
+
+
+def _events(n_events: int, n_keys: int = 200):
+    return zipf_workload(BitBudgetedRandom(_SEED), n_keys, n_events)
+
+
+def _run(n_events: int = 12_000, **overrides):
+    settings = dict(
+        seed=_SEED,
+        n_nodes=3,
+        template=default_template("exact"),
+        buffer_limit=128,
+        checkpoint_every=2500,
+    )
+    settings.update(overrides)
+    return ClusterSimulation(ClusterConfig(**settings)).run(
+        _events(n_events)
+    )
+
+
+class TestPolicies:
+    def test_boundaries(self):
+        policy = TumblingRetention(window_events=500)
+        assert not policy.is_boundary(0)
+        assert not policy.is_boundary(499)
+        assert policy.is_boundary(500)
+        assert policy.is_boundary(1000)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            TumblingRetention(0)
+        with pytest.raises(ParameterError):
+            TumblingRetention(10, keep_windows=-1)
+        with pytest.raises(ParameterError):
+            SlidingRetention(10, panes=0)
+
+    def test_retained_windows(self):
+        assert TumblingRetention(10).retained_windows is None
+        assert TumblingRetention(10, keep_windows=3).retained_windows == 3
+        assert SlidingRetention(10, panes=4).retained_windows == 4
+        assert SlidingRetention(10, panes=4).panes == 4
+
+
+class TestTumblingSimulation:
+    def test_keep_all_horizon_is_lossless(self):
+        """With every window retained, the horizon view reproduces the
+        full-stream ground truth bit for bit (exact template)."""
+        result = _run(retention=TumblingRetention(window_events=3000))
+        assert result.windows_collapsed == 3  # boundary before last 9k
+        assert result.windows_retained == 3
+        assert result.total_events == 12_000
+        assert result.max_relative_error == 0.0
+
+    def test_windowing_matches_unwindowed_truth(self):
+        """exact template: windowed horizon == unwindowed run's truth."""
+        windowed = _run(retention=TumblingRetention(window_events=5000))
+        plain = _run(retention=None)
+        assert windowed.windows_collapsed == 2
+        truths = lambda r: {key: t for key, _, t in r.top}  # noqa: E731
+        assert truths(windowed) == truths(plain)
+        assert windowed.max_relative_error == 0.0
+
+    def test_live_state_is_bounded(self):
+        """After a collapse, live banks only hold the current window."""
+        config = ClusterConfig(
+            seed=_SEED,
+            n_nodes=2,
+            template=default_template("exact"),
+            retention=TumblingRetention(window_events=1000),
+            checkpoint_every=None,
+        )
+        sim = ClusterSimulation(config)
+        result = sim.run(_events(5500, n_keys=400))
+        assert result.windows_collapsed == 5
+        # The live banks were reset 5 times; they hold only the tail
+        # window's keys, far fewer than the horizon's key set.
+        live_keys = sum(len(node.bank) for node in sim.nodes)
+        assert 0 < live_keys < result.n_keys
+        # Horizon still accounts for everything.
+        assert result.max_relative_error == 0.0
+
+    def test_bounded_horizon_drops_expired_windows(self):
+        """keep_windows=1: the horizon forgets all but the last archived
+        window (plus the live tail)."""
+        bounded = _run(
+            n_events=9000,
+            retention=TumblingRetention(window_events=3000, keep_windows=1),
+        )
+        unbounded = _run(
+            n_events=9000,
+            retention=TumblingRetention(window_events=3000),
+        )
+        # 9000 events / 3000-event windows: boundaries fire at 3000 and
+        # 6000; the final window stays live (no boundary at stream end).
+        assert bounded.windows_collapsed == 2
+        assert bounded.windows_retained == 1
+        assert unbounded.windows_retained == 2
+        # Horizon truth shrank: the bounded top key saw fewer events.
+        bounded_top_truth = bounded.top[0][2]
+        unbounded_top_truth = unbounded.top[0][2]
+        assert bounded_top_truth < unbounded_top_truth
+        # ... but what it does cover, it covers exactly.
+        assert bounded.max_relative_error == 0.0
+
+    def test_deterministic_across_reruns(self):
+        kwargs = dict(
+            template=default_template("simplified_ny"),
+            retention=TumblingRetention(window_events=2500, keep_windows=2),
+        )
+        first = _run(**kwargs)
+        replay = _run(**kwargs)
+        assert first.node_stats == replay.node_stats
+        assert first.top == replay.top
+        assert first.rms_relative_error == replay.rms_relative_error
+
+
+class TestSlidingSimulation:
+    def test_pane_horizon(self):
+        result = _run(
+            n_events=10_000,
+            retention=SlidingRetention(pane_events=2000, panes=2),
+        )
+        assert result.windows_collapsed == 4
+        assert result.windows_retained == 2
+        assert result.max_relative_error == 0.0
+
+    def test_crash_inside_window_stays_lossless(self):
+        from repro.cluster import NodeFailure
+
+        result = _run(
+            retention=TumblingRetention(window_events=4000),
+            failures=(NodeFailure(at_event=5000, node_id=1),),
+        )
+        assert result.recoveries == 1
+        assert result.total_events == 12_000
+        assert result.max_relative_error == 0.0
+
+    def test_weighted_events_count_by_position_not_weight(self):
+        """Window boundaries are event positions, matching failure
+        injection semantics."""
+        config = ClusterConfig(
+            n_nodes=2,
+            template=default_template("exact"),
+            seed=0,
+            retention=TumblingRetention(window_events=2),
+        )
+        events = [KeyedEvent("a", 10), KeyedEvent("b", 5),
+                  KeyedEvent("a", 1), KeyedEvent("c", 2)]
+        result = ClusterSimulation(config).run(iter(events))
+        assert result.windows_collapsed == 1
+        assert result.total_events == 18
+        assert result.max_relative_error == 0.0

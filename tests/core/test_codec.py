@@ -126,27 +126,21 @@ class TestCorruptionInjection:
     def test_version_mismatch(self):
         wrapper = json.loads(self._line())
         wrapper["payload"]["v"] = 42
-        # Recompute a valid checksum so the version check is reached.
-        from repro.core.codec import _checksum
+        # Re-frame with a valid checksum so the version check is reached.
+        from repro.core.codec import _CHECKSUM_SEED, encode_checksummed_line
 
-        payload = json.dumps(
-            wrapper["payload"], sort_keys=True, separators=(",", ":")
-        )
-        wrapper["checksum"] = _checksum(payload)
+        line = encode_checksummed_line(wrapper["payload"], _CHECKSUM_SEED)
         with pytest.raises(StateError, match="version"):
-            decode_snapshot(json.dumps(wrapper))
+            decode_snapshot(line)
 
     def test_unknown_algorithm(self):
         wrapper = json.loads(self._line())
         wrapper["payload"]["algorithm"] = "hyperloglog"
-        from repro.core.codec import _checksum
+        from repro.core.codec import _CHECKSUM_SEED, encode_checksummed_line
 
-        payload = json.dumps(
-            wrapper["payload"], sort_keys=True, separators=(",", ":")
-        )
-        wrapper["checksum"] = _checksum(payload)
+        line = encode_checksummed_line(wrapper["payload"], _CHECKSUM_SEED)
         with pytest.raises(StateError, match="unknown algorithm"):
-            decode_snapshot(json.dumps(wrapper))
+            decode_snapshot(line)
 
     def test_not_json(self):
         with pytest.raises(StateError):

@@ -1,0 +1,54 @@
+"""Tier-1 guard: documentation references resolve to real files.
+
+Runs ``scripts/check_docs_links.py`` the way CI would, so a rename that
+strands README/docs references fails loudly, and unit-tests the
+reference extractor itself.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+_REPO = pathlib.Path(__file__).resolve().parents[1]
+_SCRIPT = _REPO / "scripts" / "check_docs_links.py"
+
+sys.path.insert(0, str(_SCRIPT.parent))
+import check_docs_links  # noqa: E402
+
+
+class TestExtractor:
+    def test_markdown_links_and_backtick_paths(self):
+        text = (
+            "See [the docs](docs/cluster.md) and `src/repro/cli.py`, "
+            "plus [external](https://example.com), [anchor](#sec), "
+            "and a pattern `tests/**/*.py`."
+        )
+        assert check_docs_links.references(text) == {
+            "docs/cluster.md",
+            "src/repro/cli.py",
+        }
+
+    def test_anchor_suffix_stripped(self):
+        text = "[jump](docs/architecture.md#layers)"
+        assert check_docs_links.references(text) == {
+            "docs/architecture.md"
+        }
+
+
+class TestRepoDocs:
+    def test_repo_docs_have_no_broken_references(self):
+        completed = subprocess.run(
+            [sys.executable, str(_SCRIPT)],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert completed.returncode == 0, completed.stdout
+
+    def test_doc_set_includes_readme_and_docs(self):
+        names = {path.name for path in check_docs_links.doc_files()}
+        assert "README.md" in names
+        assert "architecture.md" in names
+        assert "cluster.md" in names

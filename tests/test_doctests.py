@@ -1,0 +1,56 @@
+"""Tier-1 doctest pass over the cluster layer and the merge helpers.
+
+Every ``>>>`` example in these modules is executable documentation; this
+test keeps README/docs-adjacent snippets honest.  Modules that promise
+examples (``EXPECTED_EXAMPLES``) must actually contain some, so the
+examples cannot silently be deleted.
+"""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.analytics.counter_bank
+import repro.cluster.aggregator
+import repro.cluster.checkpoint
+import repro.cluster.node
+import repro.cluster.rebalance
+import repro.cluster.retention
+import repro.cluster.router
+import repro.cluster.simulation
+import repro.core.merge
+
+MODULES = [
+    repro.analytics.counter_bank,
+    repro.cluster.aggregator,
+    repro.cluster.checkpoint,
+    repro.cluster.node,
+    repro.cluster.rebalance,
+    repro.cluster.retention,
+    repro.cluster.router,
+    repro.cluster.simulation,
+    repro.core.merge,
+]
+
+# Modules whose docstrings must carry at least one runnable example.
+EXPECTED_EXAMPLES = {
+    repro.analytics.counter_bank,
+    repro.cluster.node,
+    repro.cluster.rebalance,
+    repro.cluster.retention,
+    repro.cluster.router,
+    repro.cluster.simulation,
+    repro.core.merge,
+}
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0, f"{module.__name__}: {result.failed} failed"
+    if module in EXPECTED_EXAMPLES:
+        assert result.attempted > 0, (
+            f"{module.__name__} should carry runnable >>> examples"
+        )
