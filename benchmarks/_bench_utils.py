@@ -34,8 +34,12 @@ def write_json_result(name: str, payload: dict[str, Any]) -> pathlib.Path:
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"BENCH_{name}.json"
+    # allow_nan=False keeps the artifact strict JSON: a NaN/Infinity
+    # metric (e.g. an unclamped events/sec) fails the write loudly
+    # instead of emitting a file most parsers reject.
     path.write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        json.dumps(payload, indent=2, sort_keys=True, allow_nan=False)
+        + "\n",
         encoding="utf-8",
     )
     return path

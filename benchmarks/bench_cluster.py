@@ -14,19 +14,30 @@ within 1.5× of the static topology's rms error at equal state bits,
 because key migration is just merging (Remark 2.4).  Results land in
 ``benchmarks/results/BENCH_cluster_elastic.json``.
 
+A third scenario measures *durability*: the same crash-recovery workload
+on the in-process ``memory`` store versus the persisted ``file`` store
+(checkpoints + segmented write-ahead log on disk), at provably equal
+accuracy — the backend may only change where durable state lives, never
+what the cluster computes, so both rows must report bit-identical error.
+It also re-opens the file store with ``recover_cluster`` and asserts the
+recovered ``exact``-template view reproduces the pre-crash run bit for
+bit, crashes mid-migration included.  Results land in
+``benchmarks/results/BENCH_cluster_durability.json``.
+
 Entry points:
 
 * pytest-benchmark (``pytest benchmarks/bench_cluster.py``) — the full
-  sweep plus crash-recovery and elasticity benchmarks;
+  sweep plus crash-recovery, elasticity, and durability benchmarks;
 * script mode (``python benchmarks/bench_cluster.py [-q] [--scenario
-  scaling|elastic]``) — the same runs standalone; ``-q`` is the smoke
-  path used by tier-1 tests (reduced workload, same schema, seconds not
-  minutes).
+  scaling|elastic|durability]``) — the same runs standalone; ``-q`` is
+  the smoke path used by tier-1 tests (reduced workload, same schema,
+  seconds not minutes).
 """
 
 from __future__ import annotations
 
 import sys
+import tempfile
 
 from _bench_utils import write_json_result, write_result
 
@@ -37,6 +48,7 @@ from repro.cluster import (
     ScaleEvent,
     TumblingRetention,
     default_template,
+    recover_cluster,
 )
 from repro.experiments.records import TextTable
 from repro.rng.bitstream import BitBudgetedRandom
@@ -279,6 +291,161 @@ def _check_elastic(payload: dict) -> None:
 
 
 # ----------------------------------------------------------------------
+# durability scenario: memory vs file stores at equal accuracy
+# ----------------------------------------------------------------------
+def _run_durability(n_events: int) -> dict:
+    """Memory vs file durability run + recovery-from-disk check.
+
+    Both rows drive the identical crash-recovery workload; the only
+    difference is the storage backend, so accuracy must match *bit for
+    bit* while events/sec and retained bytes show what persistence
+    costs.  A second, ``exact``-template file run with a crash right
+    after a migration is then re-opened from disk via
+    :func:`~repro.cluster.simulation.recover_cluster` and its recovered
+    global view compared with the pre-crash view.
+    """
+    shared = dict(
+        n_nodes=4,
+        template=default_template("simplified_ny"),
+        seed=_SEED,
+        buffer_limit=512,
+        checkpoint_every=max(n_events // 8, 1000),
+        wal_segment_events=max(n_events // 16, 512),
+        failures=(NodeFailure(at_event=n_events // 2, node_id=3),),
+    )
+    rows = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for label in ("memory", "file"):
+            config = ClusterConfig(
+                storage=label,
+                storage_dir=(f"{tmp}/bench" if label == "file" else None),
+                **shared,
+            )
+            events = zipf_workload(
+                BitBudgetedRandom(_SEED),
+                n_keys=_KEYS,
+                n_events=n_events,
+                exponent=_EXPONENT,
+            )
+            with ClusterSimulation(config) as simulation:
+                result = simulation.run(events)
+            rows.append(
+                {
+                    "scenario": label,
+                    "events": result.total_events,
+                    "events_per_sec": round(result.events_per_sec, 1),
+                    "rms_relative_error": result.rms_relative_error,
+                    "max_relative_error": result.max_relative_error,
+                    "storage_bytes": result.storage_bytes,
+                    "checkpoints": result.checkpoints,
+                    "recoveries": result.recoveries,
+                }
+            )
+        # Recovery-from-disk proof on exact templates: crash one node
+        # right after a migration, run to the end, then rebuild the
+        # whole cluster from the store directory alone.
+        exact_dir = f"{tmp}/exact"
+        config = ClusterConfig(
+            n_nodes=2,
+            template=default_template("exact"),
+            seed=_SEED,
+            checkpoint_every=max(n_events // 8, 1000),
+            routing="ring",
+            scale_events=(
+                ScaleEvent(at_event=n_events // 3, action="add"),
+            ),
+            failures=(
+                NodeFailure(at_event=n_events // 3 + 1, node_id=0),
+            ),
+            storage="file",
+            storage_dir=exact_dir,
+        )
+        events = zipf_workload(
+            BitBudgetedRandom(_SEED),
+            n_keys=_KEYS,
+            n_events=n_events,
+            exponent=_EXPONENT,
+        )
+        with ClusterSimulation(config) as simulation:
+            simulation.run(events)
+            before = simulation.aggregator.global_view()
+        with recover_cluster(exact_dir) as recovered:
+            after = recovered.aggregator.global_view()
+        recovery_bit_identical = (
+            {key: c.estimate() for key, c in before.counters.items()}
+            == {key: c.estimate() for key, c in after.counters.items()}
+            and before.truth == after.truth
+        )
+    return {
+        "benchmark": "cluster_durability",
+        "seed": _SEED,
+        "workload": {
+            "kind": "zipf",
+            "events": n_events,
+            "keys": _KEYS,
+            "exponent": _EXPONENT,
+        },
+        "rows": rows,
+        "recovery_bit_identical": recovery_bit_identical,
+    }
+
+
+def _render_durability(payload: dict) -> str:
+    table = TextTable(
+        [
+            "scenario",
+            "events/s",
+            "rms err",
+            "store bytes",
+            "ckpts",
+            "recov",
+        ]
+    )
+    for row in payload["rows"]:
+        table.add_row(
+            row["scenario"],
+            f"{row['events_per_sec']:,.0f}",
+            f"{100 * row['rms_relative_error']:.3f}%",
+            f"{row['storage_bytes']:,}",
+            str(row["checkpoints"]),
+            str(row["recoveries"]),
+        )
+    workload = payload["workload"]
+    return "\n".join(
+        [
+            "Durability — in-process memory store vs on-disk file store",
+            f"zipf({workload['exponent']}) {workload['events']:,} events "
+            f"over {workload['keys']:,} keys, seed {payload['seed']}",
+            "",
+            table.render(),
+            "",
+            "Equal-accuracy check: the storage backend changes where "
+            "durable state lives, never what the cluster computes.",
+            "recovery from disk (exact templates, crash mid-migration): "
+            + (
+                "bit-identical"
+                if payload["recovery_bit_identical"]
+                else "MISMATCH"
+            ),
+        ]
+    )
+
+
+def _check_durability(payload: dict) -> None:
+    """The durability-scenario invariants (full or quick)."""
+    rows = {row["scenario"]: row for row in payload["rows"]}
+    memory, file = rows["memory"], rows["file"]
+    assert memory["events"] == file["events"]
+    # The backend must not change the computation: bit-identical error.
+    assert memory["rms_relative_error"] == file["rms_relative_error"]
+    assert memory["max_relative_error"] == file["max_relative_error"]
+    assert memory["checkpoints"] == file["checkpoints"]
+    assert memory["recoveries"] == file["recoveries"] >= 1
+    assert file["storage_bytes"] > 0
+    assert payload["recovery_bit_identical"] is True
+
+
+# ----------------------------------------------------------------------
 # pytest-benchmark entry points
 # ----------------------------------------------------------------------
 def test_cluster_scaling(benchmark):
@@ -328,6 +495,16 @@ def test_cluster_elastic(benchmark):
     write_result("BENCH_cluster_elastic", _render_elastic(payload))
 
 
+def test_cluster_durability(benchmark):
+    """Memory vs file stores; writes BENCH_cluster_durability.json."""
+    payload = benchmark.pedantic(
+        lambda: _run_durability(_FULL_EVENTS), rounds=1, iterations=1
+    )
+    _check_durability(payload)
+    write_json_result("cluster_durability", payload)
+    write_result("BENCH_cluster_durability", _render_durability(payload))
+
+
 # ----------------------------------------------------------------------
 # script mode (the tier-1 smoke path)
 # ----------------------------------------------------------------------
@@ -339,10 +516,13 @@ def main(argv: list[str] | None = None) -> int:
         try:
             scenario = args[args.index("--scenario") + 1]
         except IndexError:
-            print("--scenario expects 'scaling' or 'elastic'")
+            print("--scenario expects 'scaling', 'elastic', or 'durability'")
             return 2
-    if scenario not in ("scaling", "elastic"):
-        print(f"unknown scenario {scenario!r}; use 'scaling' or 'elastic'")
+    if scenario not in ("scaling", "elastic", "durability"):
+        print(
+            f"unknown scenario {scenario!r}; use 'scaling', 'elastic', "
+            "or 'durability'"
+        )
         return 2
     n_events = _QUICK_EVENTS if quick else _FULL_EVENTS
     if scenario == "elastic":
@@ -351,6 +531,14 @@ def main(argv: list[str] | None = None) -> int:
         path = write_json_result("cluster_elastic", payload)
         write_result("BENCH_cluster_elastic", _render_elastic(payload))
         print(_render_elastic(payload))
+    elif scenario == "durability":
+        payload = _run_durability(n_events)
+        _check_durability(payload)
+        path = write_json_result("cluster_durability", payload)
+        write_result(
+            "BENCH_cluster_durability", _render_durability(payload)
+        )
+        print(_render_durability(payload))
     else:
         payload = _run_sweep(n_events)
         _check(payload)

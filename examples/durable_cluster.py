@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Durable cluster storage: persist a run, then recover it from disk.
+
+A file-backed cluster writes every checkpoint, a segmented write-ahead
+log, and a topology manifest under one directory.  This example runs a
+crash-recovery workload against that store, then *throws the simulation
+away* and rebuilds the whole cluster from the directory alone with
+``recover_cluster`` — topology epoch, per-node checkpoints, and
+durable-log replay.  With ``exact`` counter templates the recovered
+global view reproduces the pre-crash view bit for bit, which is the
+recovery-losslessness invariant made visible.
+
+The write-ahead log segments also bound memory: even with periodic
+checkpointing disabled, a filled segment forces a fence checkpoint, so
+the retained log never grows with stream length.
+
+Usage::
+
+    python examples/durable_cluster.py [n_events]
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+
+from repro.cluster import (
+    ClusterConfig,
+    ClusterSimulation,
+    NodeFailure,
+    ScaleEvent,
+    default_template,
+    recover_cluster,
+)
+from repro.rng.bitstream import BitBudgetedRandom
+from repro.stream.workload import zipf_workload
+
+
+def main() -> None:
+    n_events = int(sys.argv[1]) if len(sys.argv) > 1 else 200_000
+    seed = 2024
+
+    with tempfile.TemporaryDirectory() as storage_dir:
+        config = ClusterConfig(
+            n_nodes=3,
+            template=default_template("exact"),
+            seed=seed,
+            checkpoint_every=max(n_events // 6, 1000),
+            wal_segment_events=max(n_events // 12, 500),
+            routing="ring",
+            scale_events=(
+                ScaleEvent(at_event=n_events // 3, action="add"),
+            ),
+            failures=(
+                # Crash right after the migration: recovery must come
+                # from a post-fence checkpoint plus log replay.
+                NodeFailure(at_event=n_events // 3 + 1, node_id=0),
+                NodeFailure(at_event=(2 * n_events) // 3, node_id=2),
+            ),
+            storage="file",
+            storage_dir=storage_dir,
+        )
+        events = zipf_workload(
+            BitBudgetedRandom(seed),
+            n_keys=1500,
+            n_events=n_events,
+            exponent=1.1,
+        )
+
+        print(
+            f"file-backed cluster ingesting {n_events:,} Zipf events "
+            f"into {storage_dir}\n(scale 3→4 mid-stream, two crashes, "
+            "checkpoints + segmented WAL on disk)\n"
+        )
+        with ClusterSimulation(config) as simulation:
+            result = simulation.run(events)
+            print(result.table())
+
+            before = simulation.aggregator.global_view()
+            max_retained = max(
+                simulation.store.wal.retained_events(node.node_id)
+                for node in simulation.nodes
+            )
+        print(
+            f"\nretained WAL after the run: <= {max_retained:,} events "
+            f"per node (segment bound {config.wal_segment_events:,})"
+        )
+
+        print("\nrebuilding the cluster from the store directory alone…")
+        with recover_cluster(storage_dir) as recovered:
+            after = recovered.aggregator.global_view()
+            n_recovered = len(recovered.nodes)
+            epoch = recovered.router.epoch
+        identical = (
+            {k: c.estimate() for k, c in before.counters.items()}
+            == {k: c.estimate() for k, c in after.counters.items()}
+            and before.truth == after.truth
+        )
+        print(
+            f"recovered {n_recovered} nodes at topology epoch "
+            f"{epoch}; global view bit-identical to the "
+            f"pre-crash run: {identical}"
+        )
+        if not identical:
+            raise SystemExit("recovery mismatch — invariant broken")
+
+
+if __name__ == "__main__":
+    main()

@@ -13,6 +13,8 @@ Usage::
     python -m repro.cli cluster --nodes 4 --events 1000000 --kill 2@500000
     python -m repro.cli cluster --routing ring --grow 300000 \\
         --shrink 1@600000 --window-every 250000 --retain 3
+    python -m repro.cli cluster --storage file --storage-dir /tmp/cluster \\
+        --wal-segment 4096
     python -m repro.cli count --algorithm nelson_yu --n 1000000
 
 Every subcommand prints the same tables the benchmark suite writes to
@@ -217,6 +219,43 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: keep all; requires --window-every)"
         ),
     )
+    cluster.add_argument(
+        "--storage",
+        choices=("memory", "file"),
+        default="memory",
+        help=(
+            "durability backend: in-process (memory) or persisted "
+            "checkpoints + write-ahead log under --storage-dir (file)"
+        ),
+    )
+    cluster.add_argument(
+        "--storage-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "cluster storage directory for --storage file; a finished "
+            "run can be re-opened with repro.cluster.recover_cluster"
+        ),
+    )
+    cluster.add_argument(
+        "--wal-segment",
+        type=int,
+        default=None,
+        metavar="EVENTS",
+        help=(
+            "roll write-ahead-log segments every EVENTS events; a "
+            "filled segment forces a fence checkpoint, bounding the "
+            "retained log even with --checkpoint-every 0"
+        ),
+    )
+    cluster.add_argument(
+        "--storage-overwrite",
+        action="store_true",
+        help=(
+            "allow --storage file to discard a cluster already "
+            "persisted in --storage-dir (refused by default)"
+        ),
+    )
 
     count = subparsers.add_parser(
         "count", help="run one counter over N increments"
@@ -246,7 +285,7 @@ def _run_cluster(args: argparse.Namespace) -> str:
     from repro.rng.bitstream import BitBudgetedRandom
     from repro.stream.workload import zipf_workload
 
-    from repro.errors import ParameterError
+    from repro.errors import ParameterError, StateError
 
     failures = []
     for spec in args.kill:
@@ -306,6 +345,12 @@ def _run_cluster(args: argparse.Namespace) -> str:
             raise SystemExit(f"invalid retention policy: {exc}")
     elif args.retain is not None:
         raise SystemExit("--retain requires --window-every")
+    if args.storage == "file" and args.storage_dir is None:
+        raise SystemExit("--storage file requires --storage-dir")
+    if args.storage_dir is not None and args.storage != "file":
+        raise SystemExit("--storage-dir requires --storage file")
+    if args.storage_overwrite and args.storage != "file":
+        raise SystemExit("--storage-overwrite requires --storage file")
     try:
         config = ClusterConfig(
             n_nodes=args.nodes,
@@ -321,6 +366,10 @@ def _run_cluster(args: argparse.Namespace) -> str:
                 sorted(scale_events, key=lambda s: s.at_event)
             ),
             retention=retention,
+            storage=args.storage,
+            storage_dir=args.storage_dir,
+            storage_overwrite=args.storage_overwrite,
+            wal_segment_events=args.wal_segment,
         )
     except ParameterError as exc:
         raise SystemExit(f"invalid cluster configuration: {exc}")
@@ -331,10 +380,22 @@ def _run_cluster(args: argparse.Namespace) -> str:
         exponent=args.exponent,
     )
     try:
-        result = ClusterSimulation(config).run(events)
+        simulation = ClusterSimulation(config)
+    except StateError as exc:
+        raise SystemExit(f"cluster storage refused: {exc}")
+    try:
+        result = simulation.run(events)
     except ParameterError as exc:
         raise SystemExit(f"cluster run failed: {exc}")
-    return result.table()
+    finally:
+        simulation.close()
+    table = result.table()
+    if args.storage == "file":
+        table += (
+            f"\npersisted to {args.storage_dir} — re-open with "
+            "repro.cluster.recover_cluster()"
+        )
+    return table
 
 
 def _run_count(args: argparse.Namespace) -> str:

@@ -24,9 +24,17 @@ deployment:
 * :class:`~repro.cluster.checkpoint.BankCheckpoint` — whole-bank
   snapshot/restore built on :mod:`repro.core.codec` and stamped with the
   capturing topology, so a crashed node recovers deterministically;
+* :mod:`~repro.cluster.storage` — the pluggable durability layer:
+  :class:`~repro.cluster.storage.CheckpointStore` (in-process
+  ``MemoryStore`` or on-disk ``FileStore`` with atomic, checksummed
+  records) plus the segmented :class:`~repro.cluster.storage.
+  WriteAheadLog`, which bounds retained-log memory by forcing a fence
+  checkpoint whenever a segment fills;
 * :class:`~repro.cluster.simulation.ClusterSimulation` — the event-loop
   driver with failure injection, durable-log replay, scale events, and
-  retention, plus throughput / state-bits metrics.
+  retention, plus throughput / state-bits metrics;
+  :func:`~repro.cluster.simulation.recover_cluster` rebuilds a live
+  simulation from a ``FileStore`` directory after process death.
 
 Invariants the tier-1 tests pin down: merging loses nothing (an ``exact``
 template cluster reproduces ground truth bit-for-bit through routing,
@@ -70,18 +78,31 @@ from repro.cluster.simulation import (
     NodeStats,
     ScaleEvent,
     SimulationResult,
+    recover_cluster,
+)
+from repro.cluster.storage import (
+    STORAGE_BACKENDS,
+    CheckpointStore,
+    FileStore,
+    MemoryStore,
+    SegmentedLog,
+    WriteAheadLog,
+    make_store,
 )
 
 __all__ = [
     "BankCheckpoint",
+    "CheckpointStore",
     "ClusterConfig",
     "ClusterRouter",
     "ClusterSimulation",
     "CounterTemplate",
+    "FileStore",
     "GlobalView",
     "HashRingStrategy",
     "IngestNode",
     "KeyMove",
+    "MemoryStore",
     "MergeTreeAggregator",
     "MigrationBatch",
     "ModuloHashStrategy",
@@ -91,14 +112,19 @@ __all__ = [
     "RebalanceReport",
     "RetentionPolicy",
     "RoutingStrategy",
+    "STORAGE_BACKENDS",
     "ScaleEvent",
+    "SegmentedLog",
     "SimulationResult",
     "SlidingRetention",
     "StableHashRouter",
     "TumblingRetention",
+    "WriteAheadLog",
     "default_template",
     "execute_rebalance",
+    "make_store",
     "make_strategy",
     "merge_views",
     "plan_rebalance",
+    "recover_cluster",
 ]

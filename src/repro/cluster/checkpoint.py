@@ -8,7 +8,10 @@ counters, the exact shadow counts when tracked, and arbitrary caller
 metadata (node id, incarnation, events ingested).  The whole document is a
 single JSON line guarded by the library's SplitMix64 checksum, so a
 truncated or corrupted checkpoint fails loudly instead of resurrecting a
-silently wrong node.
+silently wrong node.  Where that line *lives* — process memory or an
+atomically-replaced file on disk — is the
+:class:`~repro.cluster.storage.CheckpointStore`'s concern: this module
+defines the record, :mod:`repro.cluster.storage` defines its durability.
 
 Restore semantics
 -----------------

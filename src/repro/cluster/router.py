@@ -37,12 +37,21 @@ observed traffic passes ``hot_key_threshold`` increments) are instead
 nodes, each of which grows its own counter for the key.  Remark 2.4
 makes this free in accuracy — the aggregator's merged counter for the
 key is distributed exactly as one counter that saw every event.
+
+The auto-detection traffic table is *bounded*: it holds at most
+``traffic_table_limit`` cold keys, evicting the coldest (deterministic
+lowest-count-first, ties by key) when it overflows.  An unbounded table
+would grow one entry per distinct key forever — a memory leak under
+production-scale key cardinality.  Eviction only forgets partial
+progress toward promotion; keys that stay in the table promote exactly
+as before.
 """
 
 from __future__ import annotations
 
 import abc
 import bisect
+import heapq
 from typing import ClassVar, Iterable, Iterator
 
 from repro.analytics.counter_bank import stable_key_hash
@@ -237,6 +246,10 @@ class ClusterRouter:
     salt:
         Base salt; mixed into the hash so distinct routers (e.g.
         successive window generations) shuffle keys differently.
+    traffic_table_limit:
+        Maximum cold keys tracked by hot-key auto-detection (``None`` =
+        unbounded, the pre-PR-3 behavior).  Past the limit the coldest
+        half of the table is evicted, deterministically.
 
     >>> router = ClusterRouter([0, 1, 2])
     >>> router.route("page-1") == router.route("page-1")  # sticky
@@ -256,10 +269,16 @@ class ClusterRouter:
         hot_keys: Iterable[str] = (),
         hot_key_threshold: int | None = None,
         salt: int = 0,
+        traffic_table_limit: int | None = 4096,
     ) -> None:
         if hot_key_threshold is not None and hot_key_threshold < 1:
             raise ParameterError(
                 f"hot_key_threshold must be >= 1, got {hot_key_threshold}"
+            )
+        if traffic_table_limit is not None and traffic_table_limit < 1:
+            raise ParameterError(
+                "traffic_table_limit must be >= 1 or None, "
+                f"got {traffic_table_limit}"
             )
         self._strategy = strategy if strategy is not None else ModuloHashStrategy()
         self._base_salt = salt
@@ -269,9 +288,11 @@ class ClusterRouter:
         self._index: dict[int, int] = {}
         self._install(self._validated_ids(nodes))
         self._threshold = hot_key_threshold
+        self._table_limit = traffic_table_limit
         #: hot key -> round-robin cursor
         self._hot: dict[str, int] = {key: 0 for key in hot_keys}
-        #: observed increments per key (only kept while auto-detection is on)
+        #: observed increments per key (only kept while auto-detection is
+        #: on; bounded by ``traffic_table_limit``)
         self._traffic: dict[str, int] = {}
 
     @staticmethod
@@ -322,6 +343,16 @@ class ClusterRouter:
         """Keys currently being split across all nodes."""
         return frozenset(self._hot)
 
+    @property
+    def traffic_table_limit(self) -> int | None:
+        """Bound on the auto-detection traffic table (None = unbounded)."""
+        return self._table_limit
+
+    @property
+    def traffic_table_size(self) -> int:
+        """Cold keys currently tracked toward hot promotion."""
+        return len(self._traffic)
+
     def home_node(self, key: str) -> int:
         """The key's stable home node (ignores hot-key splitting)."""
         return self._strategy.owner(
@@ -368,6 +399,34 @@ class ClusterRouter:
             raise ParameterError("cannot remove the last node")
         self.set_nodes(tuple(n for n in self._nodes if n != node_id))
 
+    def restore_topology(self, nodes: Iterable[int], epoch: int) -> None:
+        """Install a *recovered* topology at its original epoch.
+
+        Crash recovery from a persisted manifest (see
+        :func:`~repro.cluster.simulation.recover_cluster`) must not
+        advance the epoch — the membership is not changing, it is being
+        re-learned — and the salt must come out exactly as the live
+        router's did at that epoch, so every key routes to the same home
+        it had before the crash.
+
+        >>> live = ClusterRouter([0, 1], salt=9)
+        >>> live.add_node()  # epoch 1, salt re-derived
+        2
+        >>> recovered = ClusterRouter([0], salt=9)
+        >>> recovered.restore_topology(live.nodes, epoch=live.epoch)
+        >>> (recovered.epoch, recovered.salt) == (live.epoch, live.salt)
+        True
+        """
+        if epoch < 0:
+            raise ParameterError(f"epoch must be >= 0, got {epoch}")
+        self._install(self._validated_ids(nodes))
+        self._epoch = epoch
+        self._salt = (
+            derive_seed(self._base_salt, _EPOCH_SALT_KEY, epoch)
+            if self._strategy.reshuffles_on_epoch and epoch > 0
+            else self._base_salt
+        )
+
     # ------------------------------------------------------------------
     # routing
     # ------------------------------------------------------------------
@@ -388,12 +447,36 @@ class ClusterRouter:
                 self.mark_hot(key)
                 del self._traffic[key]
                 # Fall through: the promoting event already splits.
+            elif (
+                self._table_limit is not None
+                and len(self._traffic) > self._table_limit
+            ):
+                self._evict_cold_traffic()
         cursor = self._hot.get(key)
         if cursor is None:
             return self.home_node(key)
         self._hot[key] = cursor + 1
         start = self._index[self.home_node(key)]
         return self._nodes[(start + cursor) % len(self._nodes)]
+
+    def _evict_cold_traffic(self) -> None:
+        """Shrink the traffic table to its hottest half, deterministically.
+
+        Keeps the ``limit // 2`` entries with the highest counts (ties
+        broken by key), so repeated overflow costs amortized
+        ``O(log limit)`` per routed event instead of a sort per event.
+        Evicted keys lose their partial progress toward promotion — the
+        standard lossy-counting trade — but keys that survive promote
+        with unchanged semantics.
+        """
+        keep = max(self._table_limit // 2, 1)
+        self._traffic = dict(
+            heapq.nlargest(
+                keep,
+                self._traffic.items(),
+                key=lambda item: (item[1], item[0]),
+            )
+        )
 
     def route_event(self, event: KeyedEvent) -> int:
         """Route one event (weighted by its ``count``)."""
@@ -433,6 +516,7 @@ class StableHashRouter(ClusterRouter):
         hot_keys: Iterable[str] = (),
         hot_key_threshold: int | None = None,
         salt: int = 0,
+        traffic_table_limit: int | None = 4096,
     ) -> None:
         if n_nodes < 1:
             raise ParameterError(f"n_nodes must be >= 1, got {n_nodes}")
@@ -442,4 +526,5 @@ class StableHashRouter(ClusterRouter):
             hot_keys=hot_keys,
             hot_key_threshold=hot_key_threshold,
             salt=salt,
+            traffic_table_limit=traffic_table_limit,
         )

@@ -16,10 +16,26 @@ crash destroys the node's volatile state (bank and write buffer); recovery
 restores the last checkpoint (on a fresh incarnation-derived seed, so the
 replica does not share coin flips with its dead predecessor) and replays
 the *durable log* — the events delivered to the node since that checkpoint,
-which the simulation retains exactly as a real ingest tier would keep
+which the durability layer retains exactly as a real ingest tier would keep
 unacknowledged messages in its queue.  Recovery is therefore lossless in
 ground truth and fully deterministic: the same config and stream produce
 bit-identical final estimates, crashes included.
+
+Durability
+----------
+All checkpoint and durable-log bookkeeping flows through a pluggable
+:class:`~repro.cluster.storage.CheckpointStore`
+(``ClusterConfig.storage``): ``"memory"`` keeps everything in process
+(the historical behavior), ``"file"`` persists checkpoints, the
+write-ahead log, and a topology manifest under ``storage_dir`` so a
+simulation can be rebuilt from disk with :func:`recover_cluster`.
+``wal_segment_events`` bounds the retained log: the
+:class:`~repro.cluster.storage.SegmentedLog` rolls fixed-size segments
+and the simulation takes a *forced* fence checkpoint whenever a segment
+fills, so replay cost — and retained-log memory — is proportional to the
+segment size even with ``checkpoint_every=None``.  The backend never
+changes what a run computes: memory- and file-backed runs of the same
+config are bit-identical.
 
 Elastic scaling
 ---------------
@@ -55,7 +71,7 @@ from __future__ import annotations
 
 import time
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Any, Iterable
 
 from repro.cluster.aggregator import (
@@ -72,7 +88,13 @@ from repro.cluster.router import (
     ClusterRouter,
     make_strategy,
 )
-from repro.errors import ParameterError
+from repro.cluster.storage import (
+    STORAGE_BACKENDS,
+    CheckpointStore,
+    FileStore,
+    make_store,
+)
+from repro.errors import ParameterError, StateError
 from repro.experiments.records import TextTable
 from repro.rng.splitmix import derive_seed
 from repro.stream.workload import KeyedEvent
@@ -84,10 +106,17 @@ __all__ = [
     "NodeStats",
     "SimulationResult",
     "ClusterSimulation",
+    "recover_cluster",
 ]
 
 _NODE_SEED_KEY = 0x6E6F6465  # "node"
 _ROUTER_SEED_KEY = 0x726F7574  # "rout"
+
+#: Wall-clock floor: a sub-nanosecond elapsed time (possible when a tiny
+#: run lands inside one ``perf_counter`` tick) would otherwise make
+#: ``events_per_sec`` infinite — which is both meaningless and invalid
+#: strict JSON when benchmarks serialize it.
+_MIN_ELAPSED_S = 1e-9
 
 
 @dataclass(frozen=True, slots=True)
@@ -157,6 +186,13 @@ class ClusterConfig:
     resize).  ``scale_events`` and ``retention`` drive elasticity and
     windowed retention; both default off, reproducing the frozen
     topology of earlier versions bit for bit.
+
+    ``storage`` picks the durability backend (``"memory"`` in-process,
+    ``"file"`` persisted under ``storage_dir`` — see
+    :mod:`repro.cluster.storage`); ``wal_segment_events`` bounds the
+    retained durable log per node (a filled segment forces a fence
+    checkpoint), and ``traffic_table_limit`` bounds the router's hot-key
+    auto-detection table.
     """
 
     n_nodes: int = 4
@@ -173,6 +209,11 @@ class ClusterConfig:
     ring_points: int = 64
     scale_events: tuple[ScaleEvent, ...] = ()
     retention: RetentionPolicy | None = None
+    storage: str = "memory"
+    storage_dir: str | None = None
+    storage_overwrite: bool = False
+    wal_segment_events: int | None = None
+    traffic_table_limit: int | None = 4096
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
@@ -192,6 +233,31 @@ class ClusterConfig:
         if self.ring_points < 1:
             raise ParameterError(
                 f"ring_points must be >= 1, got {self.ring_points}"
+            )
+        if self.storage not in STORAGE_BACKENDS:
+            known = ", ".join(STORAGE_BACKENDS)
+            raise ParameterError(
+                f"storage must be one of {known}, got {self.storage!r}"
+            )
+        if self.storage == "file" and self.storage_dir is None:
+            raise ParameterError(
+                "storage='file' needs a storage_dir"
+            )
+        if (
+            self.wal_segment_events is not None
+            and self.wal_segment_events < 1
+        ):
+            raise ParameterError(
+                "wal_segment_events must be >= 1 or None, "
+                f"got {self.wal_segment_events}"
+            )
+        if (
+            self.traffic_table_limit is not None
+            and self.traffic_table_limit < 1
+        ):
+            raise ParameterError(
+                "traffic_table_limit must be >= 1 or None, "
+                f"got {self.traffic_table_limit}"
             )
         self._validate_schedule()
 
@@ -309,6 +375,7 @@ class SimulationResult:
     migration_bytes: int = 0
     windows_collapsed: int = 0
     windows_retained: int = 0
+    storage_bytes: int = 0
 
     @property
     def recoveries(self) -> int:
@@ -393,6 +460,11 @@ class SimulationResult:
                 f"{self.recoveries} node recoveries from "
                 f"{self.checkpoints} checkpoints (durable-log replay)"
             )
+        if self.storage_bytes:
+            lines.append(
+                f"durability: {self.storage_bytes:,} bytes retained "
+                "(checkpoints + write-ahead log)"
+            )
         return "\n".join(lines)
 
 
@@ -401,26 +473,47 @@ class ClusterSimulation:
 
     One instance drives one run; :meth:`run` may be called once per
     event stream.  All cluster components are reachable (``nodes``,
-    ``router``, ``aggregator``) for white-box assertions, and the
-    elastic operations (:meth:`scale_up`, :meth:`scale_down`,
+    ``router``, ``aggregator``, ``store``) for white-box assertions, and
+    the elastic operations (:meth:`scale_up`, :meth:`scale_down`,
     :meth:`crash_node`, :meth:`collapse_window`) are public so tests
     and notebooks can drive topology changes by hand.
+
+    ``store`` injects a prebuilt :class:`~repro.cluster.storage.
+    CheckpointStore` (defaults to one built from the config);
+    ``resume=True`` rebuilds the simulation from the store's persisted
+    state instead of starting fresh — use :func:`recover_cluster` rather
+    than passing it directly.
     """
 
-    def __init__(self, config: ClusterConfig) -> None:
+    def __init__(
+        self,
+        config: ClusterConfig,
+        store: CheckpointStore | None = None,
+        resume: bool = False,
+    ) -> None:
         self._config = config
-        strategy_params: dict[str, Any] = (
-            {"points_per_node": config.ring_points}
-            if config.routing == "ring"
-            else {}
+        self._store = (
+            store
+            if store is not None
+            else make_store(
+                config.storage,
+                wal_segment_events=config.wal_segment_events,
+                directory=config.storage_dir,
+                overwrite=config.storage_overwrite,
+            )
         )
-        self._router = ClusterRouter(
-            range(config.n_nodes),
-            strategy=make_strategy(config.routing, **strategy_params),
-            hot_keys=config.hot_keys,
-            hot_key_threshold=config.hot_key_threshold,
-            salt=derive_seed(config.seed, _ROUTER_SEED_KEY),
+        self._archived: deque[GlobalView] = deque(
+            maxlen=(
+                config.retention.retained_windows
+                if config.retention is not None
+                else None
+            )
         )
+        if resume:
+            self._restore(self._store.load())
+            return
+        self._store.initialize()
+        self._router = self._fresh_router(range(config.n_nodes))
         self._nodes: dict[int, IngestNode] = {
             node_id: self._fresh_node(node_id, incarnation=0)
             for node_id in range(config.n_nodes)
@@ -428,8 +521,6 @@ class ClusterSimulation:
         self._aggregator = MergeTreeAggregator(
             self._ordered_nodes(), fanout=config.fanout
         )
-        self._last_checkpoint: dict[int, str | None] = {}
-        self._wal: dict[int, list[KeyedEvent]] = {}
         self._since_checkpoint: dict[int, int] = {}
         #: node id -> incarnation counter; never forgets retired ids, so
         #: a re-added id can never replay a predecessor's RNG streams.
@@ -444,18 +535,29 @@ class ClusterSimulation:
         self._next_auto_id = config.n_nodes
         self._retired: list[NodeStats] = []
         self._window = 0
-        self._archived: deque[GlobalView] = deque(
-            maxlen=(
-                config.retention.retained_windows
-                if config.retention is not None
-                else None
-            )
-        )
         self._windows_collapsed = 0
         self._scale_events_applied = 0
         self._keys_migrated = 0
         self._migration_batches = 0
         self._migration_bytes = 0
+        self._mid_migration = False
+        self._sync_manifest()
+
+    def _fresh_router(self, node_ids: Iterable[int]) -> ClusterRouter:
+        config = self._config
+        strategy_params: dict[str, Any] = (
+            {"points_per_node": config.ring_points}
+            if config.routing == "ring"
+            else {}
+        )
+        return ClusterRouter(
+            node_ids,
+            strategy=make_strategy(config.routing, **strategy_params),
+            hot_keys=config.hot_keys,
+            hot_key_threshold=config.hot_key_threshold,
+            salt=derive_seed(config.seed, _ROUTER_SEED_KEY),
+            traffic_table_limit=config.traffic_table_limit,
+        )
 
     def _fresh_node(self, node_id: int, incarnation: int) -> IngestNode:
         config = self._config
@@ -472,8 +574,7 @@ class ClusterSimulation:
     def _init_bookkeeping(self, node_id: int) -> None:
         # Incarnation is deliberately not reset here: it outlives a
         # node's tenure so reused ids get fresh seeds.
-        self._last_checkpoint[node_id] = None
-        self._wal[node_id] = []
+        self._store.register(node_id)
         self._since_checkpoint[node_id] = 0
         self._recoveries[node_id] = 0
         self._checkpoints[node_id] = 0
@@ -486,6 +587,132 @@ class ClusterSimulation:
         self._aggregator.set_nodes(
             self._ordered_nodes(), epoch=self._router.epoch
         )
+
+    # ------------------------------------------------------------------
+    # durability manifest
+    # ------------------------------------------------------------------
+    def _manifest_payload(self) -> dict[str, Any]:
+        """Everything :func:`recover_cluster` needs, JSON-safe.
+
+        The schedule fields (``failures``, ``scale_events``,
+        ``retention``) are deliberately absent: they describe one run's
+        stream positions, which a recovered simulation has already
+        consumed.  Archived retention windows are likewise volatile —
+        recovery resumes the *live* window only.
+        """
+        config = self._config
+        return {
+            "config": {
+                "template": config.template.to_dict(),
+                "seed": config.seed,
+                "buffer_limit": config.buffer_limit,
+                "checkpoint_every": config.checkpoint_every,
+                "hot_keys": list(config.hot_keys),
+                "hot_key_threshold": config.hot_key_threshold,
+                "track_truth": config.track_truth,
+                "fanout": config.fanout,
+                "routing": config.routing,
+                "ring_points": config.ring_points,
+                "wal_segment_events": config.wal_segment_events,
+                "traffic_table_limit": config.traffic_table_limit,
+            },
+            "topology": self._topology_stamp(),
+            "incarnations": {
+                str(node_id): incarnation
+                for node_id, incarnation in self._incarnation.items()
+            },
+            "checkpoints": {
+                str(node_id): count
+                for node_id, count in self._checkpoints.items()
+            },
+            "recoveries": {
+                str(node_id): count
+                for node_id, count in self._recoveries.items()
+            },
+            "next_auto_id": self._next_auto_id,
+            "window": self._window,
+            "mid_migration": self._mid_migration,
+            "counters": {
+                "windows_collapsed": self._windows_collapsed,
+                "scale_events_applied": self._scale_events_applied,
+                "keys_migrated": self._keys_migrated,
+                "migration_batches": self._migration_batches,
+                "migration_bytes": self._migration_bytes,
+            },
+            "retired": [asdict(stats) for stats in self._retired],
+        }
+
+    def _sync_manifest(self) -> None:
+        """Persist the manifest so on-disk state is always recoverable."""
+        self._store.write_manifest(self._manifest_payload())
+
+    def _restore(self, manifest: dict[str, Any]) -> None:
+        """Rebuild the simulation from a loaded store manifest.
+
+        Every node goes through the standard recovery path — bumped
+        incarnation, checkpoint restore, durable-log replay — exactly as
+        if the whole cluster had crashed at once (it did: the process
+        died).  See :func:`recover_cluster`.
+        """
+        if manifest.get("mid_migration"):
+            # Migrated counters move between banks in memory and only
+            # reach durability at the per-node fence checkpoints that
+            # end the migration; dying in that window can leave a key's
+            # count in no checkpoint and no log.  Refuse loudly rather
+            # than rebuild a silently wrong cluster.  (Journaling the
+            # migration batches themselves is a ROADMAP item.)
+            raise StateError(
+                "cluster died mid-migration: migrated counters may be "
+                "absent from every checkpoint, so the persisted state "
+                "cannot be recovered losslessly"
+            )
+        self._mid_migration = False
+        try:
+            topology = manifest["topology"]
+            node_ids = sorted(int(node) for node in topology["nodes"])
+            epoch = int(topology["epoch"])
+            self._incarnation = {
+                int(node): int(count)
+                for node, count in manifest["incarnations"].items()
+            }
+            self._checkpoints = {
+                int(node): int(count)
+                for node, count in manifest["checkpoints"].items()
+            }
+            self._recoveries = {
+                int(node): int(count)
+                for node, count in manifest["recoveries"].items()
+            }
+            self._next_auto_id = int(manifest["next_auto_id"])
+            self._window = int(manifest["window"])
+            counters = manifest["counters"]
+            self._windows_collapsed = int(counters["windows_collapsed"])
+            self._scale_events_applied = int(
+                counters["scale_events_applied"]
+            )
+            self._keys_migrated = int(counters["keys_migrated"])
+            self._migration_batches = int(counters["migration_batches"])
+            self._migration_bytes = int(counters["migration_bytes"])
+            self._retired = [
+                NodeStats(**entry) for entry in manifest.get("retired", ())
+            ]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StateError(f"malformed cluster manifest: {exc}") from exc
+        self._router = self._fresh_router(node_ids)
+        self._router.restore_topology(node_ids, epoch=epoch)
+        self._nodes = {}
+        self._since_checkpoint = {}
+        self._aggregator = None  # type: ignore[assignment]
+        for node_id in node_ids:
+            self._recover_node(node_id)
+        self._aggregator = MergeTreeAggregator(
+            self._ordered_nodes(),
+            fanout=self._config.fanout,
+            epoch=self._router.epoch,
+        )
+        for node_id in node_ids:
+            self._maybe_checkpoint(node_id)
+        self._sync_manifest()
 
     # ------------------------------------------------------------------
     # component access
@@ -509,6 +736,29 @@ class ClusterSimulation:
     def aggregator(self) -> MergeTreeAggregator:
         """The merge-tree aggregator over the live nodes."""
         return self._aggregator
+
+    @property
+    def store(self) -> CheckpointStore:
+        """The durability backend (checkpoints + write-ahead log)."""
+        return self._store
+
+    def close(self) -> None:
+        """Release the store's backend resources (open WAL handles).
+
+        Durable state is flushed as it is written, so closing loses
+        nothing; a closed file-backed cluster can be re-opened with
+        :func:`recover_cluster`.  Also usable as a context manager::
+
+            with ClusterSimulation(config) as sim:
+                sim.run(events)
+        """
+        self._store.close()
+
+    def __enter__(self) -> "ClusterSimulation":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     @property
     def archived_windows(self) -> list[GlobalView]:
@@ -541,6 +791,7 @@ class ClusterSimulation:
         for node in self._ordered_nodes():
             node.flush()
         elapsed = time.perf_counter() - started
+        self._sync_manifest()
         view = self._aggregator.global_view()
         if self._archived:
             view = merge_views([*self._archived, view])
@@ -548,11 +799,23 @@ class ClusterSimulation:
 
     def _deliver(self, event: KeyedEvent) -> None:
         node_id = self._router.route_event(event)
-        self._wal[node_id].append(event)
+        self._store.wal.append(node_id, event)
         self._nodes[node_id].submit(event)
         self._since_checkpoint[node_id] += event.count
+        self._maybe_checkpoint(node_id)
+
+    def _maybe_checkpoint(self, node_id: int) -> None:
+        """Checkpoint when the periodic budget or a WAL segment fills.
+
+        The second condition is the forced *segment fence*: a filled
+        :class:`~repro.cluster.storage.SegmentedLog` segment triggers a
+        checkpoint even when periodic checkpointing is disabled, which
+        is what bounds the retained durable log by the segment size.
+        """
         every = self._config.checkpoint_every
-        if every is not None and self._since_checkpoint[node_id] >= every:
+        if (
+            every is not None and self._since_checkpoint[node_id] >= every
+        ) or self._store.wal.needs_fence(node_id):
             self.checkpoint_node(node_id)
 
     # ------------------------------------------------------------------
@@ -577,14 +840,21 @@ class ClusterSimulation:
                 "incarnation": self._incarnation[node_id],
                 "events_ingested": node.events_ingested,
                 "n_flushes": node.n_flushes,
+                # The WAL fence position this checkpoint covers.  If the
+                # process dies after the save but before the fence,
+                # recovery truncates the log through this sequence so
+                # the covered events can never be replayed on top of
+                # themselves (the torn-fence protocol).
+                "wal_seq": self._store.wal.sequence(node_id),
             },
             topology=self._topology_stamp(),
         )
         line = checkpoint.encode()
-        self._last_checkpoint[node_id] = line
-        self._wal[node_id].clear()
+        self._store.save(node_id, line)
+        self._store.wal.fence(node_id)
         self._since_checkpoint[node_id] = 0
         self._checkpoints[node_id] += 1
+        self._sync_manifest()
         return line
 
     def _fence_all(self) -> None:
@@ -600,20 +870,18 @@ class ClusterSimulation:
         for node_id in sorted(self._nodes):
             self.checkpoint_node(node_id)
 
-    def crash_node(self, node_id: int) -> None:
-        """Destroy a node's volatile state, then recover it.
+    def _recover_node(self, node_id: int) -> None:
+        """The single recovery path: checkpoint restore + log replay.
 
-        Recovery = restore the last checkpoint (or an empty bank if none
-        was ever taken) on a fresh incarnation seed, then replay the
-        durable log of events delivered since that checkpoint.
+        Bumps the node's incarnation (fresh seed — the replica must not
+        share future coin flips with its dead predecessor), restores the
+        store's latest checkpoint (or an empty bank if none was ever
+        taken), then replays the durable log of events delivered since
+        that checkpoint.  Used by :meth:`crash_node` for a single crash
+        and by :func:`recover_cluster` for whole-process recovery.
         """
-        if node_id not in self._nodes:
-            raise ParameterError(
-                f"node {node_id} is not a live node "
-                f"(live: {sorted(self._nodes)})"
-            )
         config = self._config
-        self._incarnation[node_id] += 1
+        self._incarnation[node_id] = self._incarnation.get(node_id, -1) + 1
         incarnation_seed = derive_seed(
             config.seed, _NODE_SEED_KEY, node_id, self._incarnation[node_id]
         )
@@ -624,7 +892,7 @@ class ClusterSimulation:
             buffer_limit=config.buffer_limit,
             track_truth=config.track_truth,
         )
-        line = self._last_checkpoint[node_id]
+        line = self._store.latest(node_id)
         if line is not None:
             checkpoint = BankCheckpoint.decode(line)
             node.adopt_bank(checkpoint.restore(seed=incarnation_seed))
@@ -632,15 +900,44 @@ class ClusterSimulation:
                 checkpoint.meta.get("events_ingested", 0)
             )
             node.n_flushes = int(checkpoint.meta.get("n_flushes", 0))
+            wal_seq = checkpoint.meta.get("wal_seq")
+            if wal_seq is not None:
+                # Discard log entries the checkpoint already covers —
+                # present only if the writer died between saving the
+                # checkpoint and fencing its log.
+                self._store.wal.truncate_through(node_id, int(wal_seq))
         self._nodes[node_id] = node
-        # The aggregator must see the replacement node, not the corpse.
-        self._sync_membership()
-        for event in self._wal[node_id]:
+        if self._aggregator is not None:
+            # The aggregator must see the replacement, not the corpse.
+            self._sync_membership()
+        replayed = self._store.wal.replay(node_id)
+        for event in replayed:
             node.submit(event)
         self._since_checkpoint[node_id] = sum(
-            event.count for event in self._wal[node_id]
+            event.count for event in replayed
         )
-        self._recoveries[node_id] += 1
+        self._recoveries[node_id] = self._recoveries.get(node_id, 0) + 1
+
+    def crash_node(self, node_id: int) -> None:
+        """Destroy a node's volatile state, then recover it.
+
+        Recovery = restore the last checkpoint (or an empty bank if none
+        was ever taken) on a fresh incarnation seed, then replay the
+        durable log of events delivered since that checkpoint.  If the
+        replay leaves the node *overdue* — ``_since_checkpoint`` already
+        at or past ``checkpoint_every``, or a WAL segment already full —
+        the checkpoint is taken eagerly rather than deferred to the next
+        delivery, so a crash-recover-crash at the same stream position
+        can never replay the same log twice.
+        """
+        if node_id not in self._nodes:
+            raise ParameterError(
+                f"node {node_id} is not a live node "
+                f"(live: {sorted(self._nodes)})"
+            )
+        self._recover_node(node_id)
+        self._maybe_checkpoint(node_id)
+        self._sync_manifest()
 
     # ------------------------------------------------------------------
     # elastic scaling
@@ -661,7 +958,16 @@ class ClusterSimulation:
         applies events already in the log), so its recovery path is
         unaffected.  With ring routing this keeps a resize's checkpoint
         cost proportional to the state that moved, not cluster size.
+
+        The whole move happens in process memory and only reaches
+        durability at the closing fence checkpoints, so the durable
+        state is *inconsistent* until the last fence lands.  The
+        manifest flags that window (``mid_migration``) before the first
+        counter moves; :func:`recover_cluster` refuses a store whose
+        writer died inside it.
         """
+        self._mid_migration = True
+        self._sync_manifest()
         plan = plan_rebalance(
             self._nodes,
             self._router.home_node,
@@ -680,6 +986,9 @@ class ClusterSimulation:
         # retired; checkpointing its now-empty bank would be wasted.
         for node_id in sorted(touched & set(self._router.nodes)):
             self.checkpoint_node(node_id)
+        self._mid_migration = False
+        # The caller (scale_up / scale_down) syncs the manifest, making
+        # the cleared flag — and the completed migration — durable.
 
     def scale_up(self, node_id: int | None = None) -> int:
         """Add one ingest node and migrate its keys in; returns its id.
@@ -703,6 +1012,7 @@ class ClusterSimulation:
         self._sync_membership()
         self._rebalance()
         self._scale_events_applied += 1
+        self._sync_manifest()
         return new_id
 
     def scale_down(self, node_id: int) -> None:
@@ -741,11 +1051,11 @@ class ClusterSimulation:
                 retired=True,
             )
         )
-        del self._last_checkpoint[node_id]
-        del self._wal[node_id]
+        self._store.drop(node_id)
         del self._since_checkpoint[node_id]
         self._sync_membership()
         self._scale_events_applied += 1
+        self._sync_manifest()
 
     # ------------------------------------------------------------------
     # windowed retention
@@ -772,6 +1082,10 @@ class ClusterSimulation:
     def _result(
         self, view: GlobalView, elapsed: float
     ) -> SimulationResult:
+        # Clamp the wall-clock floor so events_per_sec stays finite (and
+        # therefore valid strict JSON) even when a tiny run lands inside
+        # a single perf_counter tick.
+        elapsed = max(elapsed, _MIN_ELAPSED_S)
         live_stats = [
             NodeStats(
                 node_id=node.node_id,
@@ -815,9 +1129,7 @@ class ClusterSimulation:
             rms_relative_error=rms,
             max_relative_error=worst,
             elapsed_s=elapsed,
-            events_per_sec=(
-                total_events / elapsed if elapsed > 0 else float("inf")
-            ),
+            events_per_sec=total_events / elapsed,
             epoch=self._router.epoch,
             scale_events_applied=self._scale_events_applied,
             keys_migrated=self._keys_migrated,
@@ -825,4 +1137,88 @@ class ClusterSimulation:
             migration_bytes=self._migration_bytes,
             windows_collapsed=self._windows_collapsed,
             windows_retained=len(self._archived),
+            storage_bytes=self._store.storage_bytes(),
         )
+
+
+# ----------------------------------------------------------------------
+# crash recovery from disk
+# ----------------------------------------------------------------------
+def _config_from_manifest(
+    manifest: dict[str, Any], storage_dir: str
+) -> ClusterConfig:
+    """Rebuild a :class:`ClusterConfig` from a persisted manifest.
+
+    Schedule fields (failures, scale events, retention) are not part of
+    the manifest — they describe stream positions a recovered cluster
+    has already consumed — so the rebuilt config carries none.
+    """
+    try:
+        echoed = manifest["config"]
+        return ClusterConfig(
+            n_nodes=max(len(manifest["topology"]["nodes"]), 1),
+            template=CounterTemplate.from_dict(echoed["template"]),
+            seed=int(echoed["seed"]),
+            buffer_limit=int(echoed["buffer_limit"]),
+            checkpoint_every=(
+                int(echoed["checkpoint_every"])
+                if echoed["checkpoint_every"] is not None
+                else None
+            ),
+            hot_keys=tuple(echoed["hot_keys"]),
+            hot_key_threshold=(
+                int(echoed["hot_key_threshold"])
+                if echoed["hot_key_threshold"] is not None
+                else None
+            ),
+            track_truth=bool(echoed["track_truth"]),
+            fanout=int(echoed["fanout"]),
+            routing=str(echoed["routing"]),
+            ring_points=int(echoed["ring_points"]),
+            storage="file",
+            storage_dir=storage_dir,
+            wal_segment_events=(
+                int(echoed["wal_segment_events"])
+                if echoed["wal_segment_events"] is not None
+                else None
+            ),
+            traffic_table_limit=(
+                int(echoed["traffic_table_limit"])
+                if echoed["traffic_table_limit"] is not None
+                else None
+            ),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise StateError(f"malformed cluster manifest: {exc}") from exc
+
+
+def recover_cluster(path: str) -> ClusterSimulation:
+    """Rebuild a live simulation from a :class:`~repro.cluster.storage.
+    FileStore` directory.
+
+    The directory's manifest supplies the topology stamp (router epoch
+    and node ids) and the config echo; every node then runs the standard
+    recovery path — bumped incarnation, latest checkpoint restore,
+    durable-log replay — exactly as if the whole cluster crashed at
+    once.  On ``exact`` templates the recovered
+    :meth:`~repro.cluster.aggregator.MergeTreeAggregator.global_view` is
+    bit-identical to the pre-crash cluster's, crashes mid-migration
+    included (a tier-1 invariant).
+
+    Not recovered (volatile by design): archived retention windows (the
+    live window resumes), the router's hot-key cursors and traffic
+    table, and any un-fired failure/scale schedule.
+
+    Raises :class:`~repro.errors.StateError` when the directory holds no
+    manifest or any persisted record fails its checksum.
+    """
+    store = FileStore(path)
+    try:
+        manifest = store.load()
+        config = _config_from_manifest(manifest, storage_dir=str(path))
+        return ClusterSimulation(config, store=store, resume=True)
+    except BaseException:
+        # Failed recovery (no/corrupt manifest, mid-migration refusal,
+        # checksum mismatch) must not leak the WAL handles load opened.
+        store.close()
+        raise

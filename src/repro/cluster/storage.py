@@ -1,0 +1,818 @@
+"""Durable checkpoint stores and the segmented write-ahead log.
+
+Before this layer existed, the simulation's durability bookkeeping was a
+pair of Python dicts: one holding the last :class:`~repro.cluster.
+checkpoint.BankCheckpoint` line per node, one holding the *entire* list
+of events delivered since that checkpoint.  With ``checkpoint_every=None``
+the second dict retained the whole stream — an unbounded memory leak
+dressed up as a durable log.  This module replaces both dicts with a
+pluggable abstraction:
+
+* :class:`CheckpointStore` — where the latest checkpoint line per node
+  lives, plus the cluster *manifest* (topology stamp, incarnations,
+  config echo) that recovery needs to rebuild a simulation;
+* :class:`WriteAheadLog` — the per-node durable log of events delivered
+  since the node's last checkpoint fence.
+
+Three concrete backends ship:
+
+* :class:`MemoryStore` — the historical in-process behavior, extracted.
+  Nothing touches disk; ``load`` (cold recovery) is impossible.
+* :class:`FileStore` — one directory per cluster.  Checkpoint lines and
+  the manifest are written atomically (write to a temp file, then
+  ``os.replace``) so a crash mid-write can never leave a torn record,
+  and every line is checksummed so corruption fails loudly with
+  :class:`~repro.errors.StateError`.  A simulation persisted this way
+  can be re-opened from disk with
+  :func:`~repro.cluster.simulation.recover_cluster`.
+* :class:`SegmentedLog` — the write-ahead log used by both stores.  It
+  rolls fixed-size segments and truncates *every* segment at a node's
+  checkpoint fence; when a segment fills before a fence arrives, the
+  log reports :meth:`~SegmentedLog.needs_fence` and the simulation takes
+  a forced checkpoint.  Replay cost is therefore proportional to
+  ``min(checkpoint_every, segment size)`` — never to stream length —
+  which fixes the unbounded-log leak by construction.
+
+Store layout of a :class:`FileStore` directory::
+
+    <dir>/manifest.json            # checksummed topology + config stamp
+    <dir>/checkpoints/node-<id>.ckpt   # latest checkpoint line per node
+    <dir>/wal/node-<id>/seg-<n>.log    # one delivered event per line
+
+Determinism
+-----------
+The storage backend must never change *what* a simulation computes, only
+where its durable state lives: the same config seed and event stream
+produce bit-identical results on :class:`MemoryStore` and
+:class:`FileStore` (a tier-1 invariant).  Both therefore share the same
+in-memory :class:`SegmentedLog` segment/fence logic; the file backend
+only adds persistence side effects.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+import os
+import pathlib
+import shutil
+from typing import IO, Any, Mapping
+
+from repro.core.codec import (
+    decode_checksummed_line,
+    encode_checksummed_line,
+)
+from repro.errors import ParameterError, StateError
+from repro.stream.workload import KeyedEvent
+
+__all__ = [
+    "WriteAheadLog",
+    "SegmentedLog",
+    "CheckpointStore",
+    "MemoryStore",
+    "FileStore",
+    "STORAGE_BACKENDS",
+    "make_store",
+    "encode_event",
+    "decode_event",
+]
+
+_MANIFEST_VERSION = 1
+_MANIFEST_CHECKSUM_SEED = 0x5AFE_C0DE_D15C_0001
+
+
+def encode_event(event: KeyedEvent) -> str:
+    """One WAL line for one delivered event.
+
+    >>> encode_event(KeyedEvent("page-7", 3))
+    '["page-7",3]'
+    """
+    return json.dumps([event.key, event.count], separators=(",", ":"))
+
+
+def decode_event(line: str) -> KeyedEvent:
+    """Inverse of :func:`encode_event`; loud on corruption.
+
+    >>> decode_event('["page-7",3]')
+    KeyedEvent(key='page-7', count=3)
+    >>> decode_event('["torn')
+    Traceback (most recent call last):
+        ...
+    repro.errors.StateError: corrupt WAL record '["torn'
+    """
+    try:
+        key, count = json.loads(line)
+        return KeyedEvent(str(key), int(count))
+    except (json.JSONDecodeError, TypeError, ValueError) as exc:
+        raise StateError(f"corrupt WAL record {line!r}") from exc
+
+
+# ----------------------------------------------------------------------
+# write-ahead log
+# ----------------------------------------------------------------------
+class WriteAheadLog(abc.ABC):
+    """Per-node durable log of events delivered since the last fence.
+
+    The simulation appends every routed event before handing it to the
+    node, replays the log during crash recovery, and *fences* the log
+    (truncating it) whenever the node checkpoints — so the log always
+    holds exactly the events a recovery must redeliver on top of the
+    last checkpoint.
+    """
+
+    @abc.abstractmethod
+    def register(self, node_id: int) -> None:
+        """Start tracking ``node_id`` (idempotent)."""
+
+    @abc.abstractmethod
+    def append(self, node_id: int, event: KeyedEvent) -> None:
+        """Record one delivered event."""
+
+    @abc.abstractmethod
+    def replay(self, node_id: int) -> list[KeyedEvent]:
+        """Events delivered since the node's last fence, in order."""
+
+    @abc.abstractmethod
+    def fence(self, node_id: int) -> None:
+        """Checkpoint taken: truncate everything logged so far."""
+
+    @abc.abstractmethod
+    def drop(self, node_id: int) -> None:
+        """Stop tracking a retired node and discard its log."""
+
+    @abc.abstractmethod
+    def retained_events(self, node_id: int) -> int:
+        """Number of events currently retained for ``node_id``."""
+
+    @abc.abstractmethod
+    def sequence(self, node_id: int) -> int:
+        """Lifetime append count — the fence position a checkpoint covers.
+
+        A checkpoint taken *now* covers every event appended so far, so
+        recording ``sequence(node_id)`` in the checkpoint lets recovery
+        discard any log entry the checkpoint already includes (see
+        :meth:`truncate_through`), even if the process died between
+        writing the checkpoint and fencing the log.
+        """
+
+    @abc.abstractmethod
+    def truncate_through(self, node_id: int, seq: int) -> None:
+        """Drop retained events with sequence below ``seq``.
+
+        The recovery-side half of the torn-fence protocol: replaying on
+        top of a checkpoint that records fence position ``seq`` must
+        skip events the checkpoint already covers, or they would count
+        twice.
+        """
+
+    def needs_fence(self, node_id: int) -> bool:
+        """Whether a filled segment is waiting on a checkpoint fence."""
+        return False
+
+    def storage_bytes(self) -> int:
+        """Bytes of log state currently retained (all nodes)."""
+        return 0
+
+
+class SegmentedLog(WriteAheadLog):
+    """A WAL that rolls fixed-size segments and truncates at fences.
+
+    ``segment_events=None`` reproduces the historical single unbounded
+    segment (the log only ever shrinks at a checkpoint fence).  With a
+    limit, the active segment seals once it holds ``segment_events``
+    events and :meth:`needs_fence` turns true — the simulation reacts by
+    taking a forced checkpoint, whose fence truncates every segment.
+    Retained log length is therefore bounded by the segment size even
+    when periodic checkpointing is disabled.
+
+    >>> log = SegmentedLog(segment_events=2)
+    >>> log.register(0)
+    >>> for key in ("a", "b", "c"):
+    ...     log.append(0, KeyedEvent(key))
+    >>> log.retained_events(0)
+    3
+    >>> log.needs_fence(0)  # segment ['a', 'b'] sealed, awaiting fence
+    True
+    >>> [event.key for event in log.replay(0)]
+    ['a', 'b', 'c']
+    >>> log.fence(0)  # checkpoint taken: all segments truncate
+    >>> log.retained_events(0), log.needs_fence(0)
+    (0, False)
+    """
+
+    def __init__(self, segment_events: int | None = None) -> None:
+        if segment_events is not None and segment_events < 1:
+            raise ParameterError(
+                f"segment_events must be >= 1 or None, got {segment_events}"
+            )
+        self._segment_events = segment_events
+        #: node id -> list of segments; the last one is the active segment.
+        self._segments: dict[int, list[list[KeyedEvent]]] = {}
+        #: node id -> lifetime append count (next event's sequence).
+        self._next_seq: dict[int, int] = {}
+        #: node id -> sequence of the first retained event.
+        self._base_seq: dict[int, int] = {}
+
+    @property
+    def segment_events(self) -> int | None:
+        """Events per segment (``None`` = one unbounded segment)."""
+        return self._segment_events
+
+    def _node_segments(self, node_id: int) -> list[list[KeyedEvent]]:
+        try:
+            return self._segments[node_id]
+        except KeyError:
+            raise StateError(
+                f"node {node_id} is not registered with the WAL"
+            ) from None
+
+    def register(self, node_id: int) -> None:
+        if node_id in self._segments:
+            return
+        self._segments[node_id] = [[]]
+        self._next_seq[node_id] = 0
+        self._base_seq[node_id] = 0
+        self._persist_register(node_id)
+
+    def append(self, node_id: int, event: KeyedEvent) -> None:
+        segments = self._node_segments(node_id)
+        segments[-1].append(event)
+        self._next_seq[node_id] += 1
+        self._persist_append(node_id, event)
+        if (
+            self._segment_events is not None
+            and len(segments[-1]) >= self._segment_events
+        ):
+            segments.append([])  # seal the active segment, roll a new one
+            self._persist_roll(node_id)
+
+    def replay(self, node_id: int) -> list[KeyedEvent]:
+        return [
+            event
+            for segment in self._node_segments(node_id)
+            for event in segment
+        ]
+
+    def fence(self, node_id: int) -> None:
+        self._node_segments(node_id)[:] = [[]]
+        self._base_seq[node_id] = self._next_seq[node_id]
+        self._persist_fence(node_id)
+
+    def drop(self, node_id: int) -> None:
+        self._node_segments(node_id)
+        del self._segments[node_id]
+        del self._next_seq[node_id]
+        del self._base_seq[node_id]
+        self._persist_drop(node_id)
+
+    def retained_events(self, node_id: int) -> int:
+        return sum(len(segment) for segment in self._node_segments(node_id))
+
+    def sequence(self, node_id: int) -> int:
+        self._node_segments(node_id)
+        return self._next_seq[node_id]
+
+    def truncate_through(self, node_id: int, seq: int) -> None:
+        segments = self._node_segments(node_id)
+        if seq > self._next_seq[node_id]:
+            # The sequence bookkeeping was reconstructed from segment
+            # files that a torn fence partially deleted, so it lags the
+            # checkpoint — which is authoritative: everything retained
+            # is covered by it.  Re-fence at the checkpoint's sequence
+            # so future appends (and their persisted segment names)
+            # continue from the true position instead of recycling
+            # covered sequence numbers, which a later recovery would
+            # truncate away as if they were old events.
+            segments[:] = [[]]
+            self._next_seq[node_id] = seq
+            self._base_seq[node_id] = seq
+            self._persist_fence(node_id)
+            return
+        drop = seq - self._base_seq[node_id]
+        if drop <= 0:
+            return
+        # Trim whole segments first, then the head of the survivor.
+        # Disk segments are left alone: a later fence deletes them, and
+        # a re-load re-applies this same truncation from the checkpoint.
+        for index, segment in enumerate(segments):
+            if drop < len(segment):
+                segments[index] = segment[drop:]
+                del segments[:index]
+                break
+            drop -= len(segment)
+        else:
+            segments[:] = [[]]
+        self._base_seq[node_id] = seq
+
+    def needs_fence(self, node_id: int) -> bool:
+        """True once the retained log has reached a full segment's worth.
+
+        Measured in *events retained*, not segments: a partial segment
+        re-loaded from disk after a restart must not trigger a spurious
+        fence checkpoint, so merely re-opening a store never rewrites
+        its state.
+        """
+        if self._segment_events is None:
+            return False
+        return self.retained_events(node_id) >= self._segment_events
+
+    def storage_bytes(self) -> int:
+        """Retained log size, measured as its serialized line bytes."""
+        return sum(
+            len(encode_event(event)) + 1  # trailing newline
+            for segments in self._segments.values()
+            for segment in segments
+            for event in segment
+        )
+
+    # Persistence hooks — no-ops for the in-memory log; the file-backed
+    # subclass overrides them.  Segment/fence *logic* stays identical
+    # across backends, which is what keeps runs bit-reproducible no
+    # matter where the log lives.
+    def _persist_register(self, node_id: int) -> None:
+        pass
+
+    def _persist_append(self, node_id: int, event: KeyedEvent) -> None:
+        pass
+
+    def _persist_roll(self, node_id: int) -> None:
+        pass
+
+    def _persist_fence(self, node_id: int) -> None:
+        pass
+
+    def _persist_drop(self, node_id: int) -> None:
+        pass
+
+    def close(self) -> None:
+        """Release any backend resources (no-op in memory)."""
+
+
+class _FileSegmentedLog(SegmentedLog):
+    """File-backed :class:`SegmentedLog`: one directory per node.
+
+    Each segment is one append-only file of :func:`encode_event` lines,
+    flushed per append so a recovery process sees every delivered event.
+    A fence deletes all of the node's segment files.  A segment file is
+    named by the *sequence number* of its first event (monotone over the
+    node's lifetime), so a re-opened log can reconstruct every retained
+    event's sequence — which is what lets recovery skip entries an
+    already-persisted checkpoint covers (the torn-fence protocol).
+    """
+
+    def __init__(
+        self, directory: pathlib.Path, segment_events: int | None = None
+    ) -> None:
+        super().__init__(segment_events)
+        self._dir = pathlib.Path(directory)
+        self._handles: dict[int, IO[str]] = {}
+
+    def _node_dir(self, node_id: int) -> pathlib.Path:
+        return self._dir / f"node-{node_id}"
+
+    def _open_segment(self, node_id: int) -> None:
+        start_seq = self._next_seq.get(node_id, 0)
+        node_dir = self._node_dir(node_id)
+        node_dir.mkdir(parents=True, exist_ok=True)
+        old = self._handles.pop(node_id, None)
+        if old is not None:
+            old.close()
+        self._handles[node_id] = open(
+            node_dir / f"seg-{start_seq:012d}.log", "a", encoding="utf-8"
+        )
+
+    def _persist_register(self, node_id: int) -> None:
+        self._open_segment(node_id)
+
+    def _persist_append(self, node_id: int, event: KeyedEvent) -> None:
+        handle = self._handles[node_id]
+        handle.write(encode_event(event) + "\n")
+        handle.flush()
+
+    def _persist_roll(self, node_id: int) -> None:
+        self._open_segment(node_id)
+
+    def _persist_fence(self, node_id: int) -> None:
+        handle = self._handles.pop(node_id, None)
+        if handle is not None:
+            handle.close()
+        node_dir = self._node_dir(node_id)
+        # Delete oldest-first: a crash mid-loop then leaves a contiguous
+        # *suffix* of the chain, which load() accepts and the checkpoint
+        # just saved fully covers — never a mid-chain gap it must refuse.
+        for path in sorted(node_dir.glob("seg-*.log")):
+            path.unlink()
+        self._open_segment(node_id)
+
+    def _persist_drop(self, node_id: int) -> None:
+        handle = self._handles.pop(node_id, None)
+        if handle is not None:
+            handle.close()
+        shutil.rmtree(self._node_dir(node_id), ignore_errors=True)
+
+    def load(self, node_id: int) -> None:
+        """Rebuild the in-memory log for one node from its segment files.
+
+        Loaded events stay attributed to their on-disk segments; new
+        appends go to a fresh segment file, so the disk always holds the
+        full retained log.  Sequence bookkeeping is reconstructed from
+        the file names (start sequence) plus line counts.  Raises
+        :class:`~repro.errors.StateError` on a corrupt record.
+        """
+        node_dir = self._node_dir(node_id)
+        segments: list[list[KeyedEvent]] = []
+        base_seq = 0
+        next_seq = 0
+        expected_start: int | None = None
+        for index, path in enumerate(sorted(node_dir.glob("seg-*.log"))):
+            try:
+                start_seq = int(path.stem.split("-", 1)[1])
+            except ValueError as exc:
+                raise StateError(
+                    f"unrecognized WAL segment file {path.name!r}"
+                ) from exc
+            if expected_start is not None and start_seq != expected_start:
+                # A segment's successor must start where it ended; a gap
+                # means log records were lost (a deleted segment, or a
+                # predecessor that lost tail lines) and a count-based
+                # replay would silently misalign.
+                raise StateError(
+                    f"WAL gap for node {node_id}: {path.name} starts at "
+                    f"sequence {start_seq}, expected {expected_start} "
+                    "(lost log records)"
+                )
+            lines = path.read_text(encoding="utf-8").splitlines()
+            if index == 0:
+                base_seq = start_seq
+            segments.append([decode_event(line) for line in lines])
+            next_seq = start_seq + len(lines)
+            expected_start = next_seq
+        self._segments[node_id] = segments if segments else [[]]
+        self._base_seq[node_id] = base_seq
+        self._next_seq[node_id] = next_seq
+        if segments:
+            self._segments[node_id].append([])  # fresh active segment
+        self._open_segment(node_id)
+
+    def storage_bytes(self) -> int:
+        """Bytes of segment files currently on disk (all nodes)."""
+        return sum(
+            path.stat().st_size
+            for path in self._dir.glob("node-*/seg-*.log")
+        )
+
+    def close(self) -> None:
+        for handle in self._handles.values():
+            handle.close()
+        self._handles.clear()
+
+
+# ----------------------------------------------------------------------
+# checkpoint stores
+# ----------------------------------------------------------------------
+class CheckpointStore(abc.ABC):
+    """Latest-checkpoint-per-node storage plus the cluster manifest.
+
+    A store owns a paired :class:`WriteAheadLog` (:attr:`wal`): the two
+    together are the whole durability contract — recovery of any node is
+    ``latest(node_id)`` + ``wal.replay(node_id)``, and nothing else.
+    """
+
+    @property
+    @abc.abstractmethod
+    def wal(self) -> WriteAheadLog:
+        """The write-ahead log paired with this store."""
+
+    @abc.abstractmethod
+    def initialize(self) -> None:
+        """Prepare for a *fresh* cluster, discarding any prior state."""
+
+    @abc.abstractmethod
+    def load(self) -> dict[str, Any]:
+        """Open existing durable state; returns the manifest.
+
+        Raises :class:`~repro.errors.StateError` when there is nothing
+        to recover or the persisted state is corrupt.
+        """
+
+    @abc.abstractmethod
+    def register(self, node_id: int) -> None:
+        """Start tracking a node (and register it with the WAL)."""
+
+    @abc.abstractmethod
+    def save(self, node_id: int, line: str) -> None:
+        """Durably record ``line`` as the node's latest checkpoint."""
+
+    @abc.abstractmethod
+    def latest(self, node_id: int) -> str | None:
+        """The node's latest checkpoint line (``None`` if never taken)."""
+
+    @abc.abstractmethod
+    def drop(self, node_id: int) -> None:
+        """Forget a retired node's checkpoint and WAL state."""
+
+    @abc.abstractmethod
+    def write_manifest(self, payload: Mapping[str, Any]) -> None:
+        """Durably record the cluster manifest (topology, incarnations)."""
+
+    @abc.abstractmethod
+    def manifest(self) -> dict[str, Any] | None:
+        """The last written/loaded manifest (``None`` before the first)."""
+
+    def storage_bytes(self) -> int:
+        """Bytes of durable state retained (checkpoints + WAL + manifest)."""
+        return 0
+
+    def close(self) -> None:
+        """Release backend resources (file handles)."""
+
+
+class MemoryStore(CheckpointStore):
+    """The historical in-process behavior, extracted behind the API.
+
+    Checkpoint lines and the manifest live in dicts; the WAL is a
+    :class:`SegmentedLog` holding plain event lists.  ``load`` always
+    fails — process memory does not survive the process.
+
+    >>> store = MemoryStore()
+    >>> store.initialize()
+    >>> store.register(0)
+    >>> store.latest(0) is None
+    True
+    >>> store.save(0, "checkpoint-line")
+    >>> store.latest(0)
+    'checkpoint-line'
+    >>> store.load()
+    Traceback (most recent call last):
+        ...
+    repro.errors.StateError: memory store has no durable state to recover
+    """
+
+    def __init__(self, wal_segment_events: int | None = None) -> None:
+        self._wal = SegmentedLog(wal_segment_events)
+        self._lines: dict[int, str | None] = {}
+        self._manifest: dict[str, Any] | None = None
+
+    @property
+    def wal(self) -> SegmentedLog:
+        return self._wal
+
+    def initialize(self) -> None:
+        self._wal = SegmentedLog(self._wal.segment_events)
+        self._lines = {}
+        self._manifest = None
+
+    def load(self) -> dict[str, Any]:
+        raise StateError("memory store has no durable state to recover")
+
+    def register(self, node_id: int) -> None:
+        self._lines.setdefault(node_id, None)
+        self._wal.register(node_id)
+
+    def save(self, node_id: int, line: str) -> None:
+        if node_id not in self._lines:
+            raise StateError(f"node {node_id} is not registered")
+        self._lines[node_id] = line
+
+    def latest(self, node_id: int) -> str | None:
+        try:
+            return self._lines[node_id]
+        except KeyError:
+            raise StateError(f"node {node_id} is not registered") from None
+
+    def drop(self, node_id: int) -> None:
+        self._lines.pop(node_id, None)
+        self._wal.drop(node_id)
+
+    def write_manifest(self, payload: Mapping[str, Any]) -> None:
+        self._manifest = dict(payload)
+
+    def manifest(self) -> dict[str, Any] | None:
+        return self._manifest
+
+    def storage_bytes(self) -> int:
+        checkpoint_bytes = sum(
+            len(line.encode("utf-8")) + 1
+            for line in self._lines.values()
+            if line is not None
+        )
+        return checkpoint_bytes + self._wal.storage_bytes()
+
+
+def _atomic_write(path: pathlib.Path, text: str) -> None:
+    """Write-then-rename so readers never observe a torn file."""
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text, encoding="utf-8")
+    os.replace(tmp, path)
+
+
+class FileStore(CheckpointStore):
+    """One directory per cluster; every durable record is checksummed.
+
+    Layout (see the module docstring): ``manifest.json`` at the root,
+    one ``checkpoints/node-<id>.ckpt`` per node (the latest checkpoint
+    line, replaced atomically), and a :class:`SegmentedLog` directory
+    per node under ``wal/``.  Checkpoint lines carry the
+    :class:`~repro.cluster.checkpoint.BankCheckpoint` checksum and the
+    manifest its own, so a truncated or bit-flipped file raises
+    :class:`~repro.errors.StateError` instead of resurrecting a silently
+    wrong cluster.
+
+    :meth:`initialize` refuses to clobber a directory that already holds
+    a cluster manifest unless ``overwrite=True`` — the durability layer
+    must never destroy durable state by accident.  The constructor has
+    no filesystem side effects, so probing a wrong path with
+    :func:`~repro.cluster.simulation.recover_cluster` leaves nothing
+    behind.
+
+    >>> import tempfile
+    >>> with tempfile.TemporaryDirectory() as tmp:
+    ...     store = FileStore(tmp, wal_segment_events=4)
+    ...     store.initialize()
+    ...     store.register(0)
+    ...     store.save(0, "checkpoint-line")
+    ...     store.write_manifest({"topology": {"nodes": [0]}})
+    ...     reopened = FileStore(tmp)
+    ...     manifest = reopened.load()
+    ...     found = (reopened.latest(0), manifest["topology"]["nodes"])
+    ...     store.close(); reopened.close()
+    >>> found
+    ('checkpoint-line', [0])
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike[str],
+        wal_segment_events: int | None = None,
+        overwrite: bool = False,
+    ) -> None:
+        self._dir = pathlib.Path(directory)
+        self._checkpoint_dir = self._dir / "checkpoints"
+        self._wal_dir = self._dir / "wal"
+        self._manifest_path = self._dir / "manifest.json"
+        self._overwrite = overwrite
+        self._wal = _FileSegmentedLog(self._wal_dir, wal_segment_events)
+        self._lines: dict[int, str | None] = {}
+        self._manifest: dict[str, Any] | None = None
+
+    @property
+    def directory(self) -> pathlib.Path:
+        """The cluster's storage directory."""
+        return self._dir
+
+    @property
+    def wal(self) -> SegmentedLog:
+        return self._wal
+
+    def _checkpoint_path(self, node_id: int) -> pathlib.Path:
+        return self._checkpoint_dir / f"node-{node_id}.ckpt"
+
+    def initialize(self) -> None:
+        """Start a fresh cluster in the directory.
+
+        Refuses (``StateError``) when the directory already holds a
+        cluster manifest, unless the store was built with
+        ``overwrite=True`` — re-running a simulation over a durable
+        cluster must be an explicit decision, never an accident.
+        """
+        if self._manifest_path.exists() and not self._overwrite:
+            raise StateError(
+                f"{self._dir} already holds a cluster manifest; "
+                "recover it with recover_cluster(), choose a fresh "
+                "directory, or pass overwrite=True to discard it"
+            )
+        self._wal.close()
+        shutil.rmtree(self._checkpoint_dir, ignore_errors=True)
+        shutil.rmtree(self._wal_dir, ignore_errors=True)
+        self._dir.mkdir(parents=True, exist_ok=True)
+        self._manifest_path.unlink(missing_ok=True)
+        self._checkpoint_dir.mkdir(parents=True, exist_ok=True)
+        self._wal_dir.mkdir(parents=True, exist_ok=True)
+        self._wal = _FileSegmentedLog(
+            self._wal_dir, self._wal.segment_events
+        )
+        self._lines = {}
+        self._manifest = None
+
+    def load(self) -> dict[str, Any]:
+        """Open a persisted cluster: manifest, checkpoints, WAL replay.
+
+        The WAL segment size is taken from the manifest's config echo,
+        so a recovered log fences exactly like the one that wrote it.
+        """
+        if self._manifest is not None:
+            return self._manifest
+        if not self._manifest_path.exists():
+            raise StateError(
+                f"no cluster manifest at {self._manifest_path}"
+            )
+        body = decode_checksummed_line(
+            self._manifest_path.read_text(encoding="utf-8").strip(),
+            _MANIFEST_CHECKSUM_SEED,
+            kind="cluster manifest",
+        )
+        if body.get("manifest_version") != _MANIFEST_VERSION:
+            raise StateError(
+                "unsupported cluster manifest version "
+                f"{body.get('manifest_version')!r}"
+            )
+        manifest = dict(body)
+        segment_events = manifest.get("config", {}).get(
+            "wal_segment_events"
+        )
+        self._wal.close()
+        self._wal = _FileSegmentedLog(self._wal_dir, segment_events)
+        try:
+            node_ids = [
+                int(node) for node in manifest["topology"]["nodes"]
+            ]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StateError(
+                f"malformed cluster manifest: {exc}"
+            ) from exc
+        for node_id in node_ids:
+            path = self._checkpoint_path(node_id)
+            self._lines[node_id] = (
+                path.read_text(encoding="utf-8").strip()
+                if path.exists()
+                else None
+            )
+            self._wal.load(node_id)
+        self._manifest = manifest
+        return manifest
+
+    def register(self, node_id: int) -> None:
+        self._checkpoint_dir.mkdir(parents=True, exist_ok=True)
+        self._lines.setdefault(node_id, None)
+        self._wal.register(node_id)
+
+    def save(self, node_id: int, line: str) -> None:
+        if node_id not in self._lines:
+            raise StateError(f"node {node_id} is not registered")
+        _atomic_write(self._checkpoint_path(node_id), line + "\n")
+        self._lines[node_id] = line
+
+    def latest(self, node_id: int) -> str | None:
+        try:
+            return self._lines[node_id]
+        except KeyError:
+            raise StateError(f"node {node_id} is not registered") from None
+
+    def drop(self, node_id: int) -> None:
+        self._checkpoint_path(node_id).unlink(missing_ok=True)
+        self._lines.pop(node_id, None)
+        self._wal.drop(node_id)
+
+    def write_manifest(self, payload: Mapping[str, Any]) -> None:
+        body = dict(payload)
+        body["manifest_version"] = _MANIFEST_VERSION
+        _atomic_write(
+            self._manifest_path,
+            encode_checksummed_line(body, _MANIFEST_CHECKSUM_SEED) + "\n",
+        )
+        self._manifest = body
+
+    def manifest(self) -> dict[str, Any] | None:
+        return self._manifest
+
+    def storage_bytes(self) -> int:
+        """Actual bytes on disk under the store directory."""
+        return sum(
+            path.stat().st_size
+            for path in self._dir.rglob("*")
+            if path.is_file()
+        )
+
+    def close(self) -> None:
+        self._wal.close()
+
+
+#: Backend registry for configs and CLI flags.
+STORAGE_BACKENDS: tuple[str, ...] = ("memory", "file")
+
+
+def make_store(
+    storage: str,
+    wal_segment_events: int | None = None,
+    directory: str | os.PathLike[str] | None = None,
+    overwrite: bool = False,
+) -> CheckpointStore:
+    """Build a checkpoint store by backend name.
+
+    >>> make_store("memory").latest  # doctest: +ELLIPSIS
+    <bound method MemoryStore.latest of ...>
+    >>> make_store("file")
+    Traceback (most recent call last):
+        ...
+    repro.errors.ParameterError: file storage needs a directory
+    """
+    if storage == "memory":
+        return MemoryStore(wal_segment_events)
+    if storage == "file":
+        if directory is None:
+            raise ParameterError("file storage needs a directory")
+        return FileStore(directory, wal_segment_events, overwrite=overwrite)
+    known = ", ".join(STORAGE_BACKENDS)
+    raise ParameterError(
+        f"unknown storage backend {storage!r}; known: {known}"
+    )

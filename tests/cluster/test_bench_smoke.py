@@ -1,8 +1,11 @@
-"""Tier-1 smoke test for the cluster benchmark's quick path.
+"""Tier-1 smoke tests for the cluster benchmark's quick paths.
 
-Runs ``python benchmarks/bench_cluster.py -q`` as a subprocess and
-validates the ``BENCH_cluster.json`` it writes against the shared schema
-(``benchmark`` / ``seed`` / ``workload`` / ``rows``).
+Runs ``python benchmarks/bench_cluster.py -q`` (and ``--scenario
+durability``) as subprocesses and validates the ``BENCH_cluster*.json``
+they write against the shared schema (``benchmark`` / ``seed`` /
+``workload`` / ``rows``).  Every payload must also survive a *strict*
+JSON round-trip (``allow_nan=False``) — the regression guard for the
+``events_per_sec: Infinity`` bug.
 """
 
 from __future__ import annotations
@@ -15,25 +18,38 @@ import sys
 
 _REPO = pathlib.Path(__file__).resolve().parents[2]
 _BENCH = _REPO / "benchmarks" / "bench_cluster.py"
-_RESULT = _REPO / "benchmarks" / "results" / "BENCH_cluster.json"
+_RESULTS = _REPO / "benchmarks" / "results"
+_RESULT = _RESULTS / "BENCH_cluster.json"
+_DURABILITY_RESULT = _RESULTS / "BENCH_cluster_durability.json"
+
+
+def _run_bench(*args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    src = str(_REPO / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src
+    )
+    return subprocess.run(
+        [sys.executable, str(_BENCH), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        env=env,
+    )
+
+
+def _assert_strict_json_roundtrip(payload: dict) -> None:
+    """Every row must survive json.dumps(..., allow_nan=False)."""
+    for row in payload["rows"]:
+        assert json.loads(json.dumps(row, allow_nan=False)) == row
+    assert json.loads(json.dumps(payload, allow_nan=False)) == payload
 
 
 class TestBenchClusterSmoke:
     def test_quick_path_writes_schema(self):
-        env = dict(os.environ)
-        src = str(_REPO / "src")
-        env["PYTHONPATH"] = (
-            src + os.pathsep + env["PYTHONPATH"]
-            if env.get("PYTHONPATH")
-            else src
-        )
-        completed = subprocess.run(
-            [sys.executable, str(_BENCH), "-q"],
-            capture_output=True,
-            text=True,
-            timeout=600,
-            env=env,
-        )
+        completed = _run_bench("-q")
         assert completed.returncode == 0, completed.stderr[-2000:]
         assert "events/s" in completed.stdout
 
@@ -49,3 +65,33 @@ class TestBenchClusterSmoke:
             assert row["state_bits"] > 0
             if row["nodes"] > 1:
                 assert row["recoveries"] >= 1
+        _assert_strict_json_roundtrip(payload)
+
+
+class TestBenchDurabilitySmoke:
+    def test_durability_quick_path(self):
+        """Tmp-dir FileStore vs memory at equal accuracy, plus the
+        recovery-from-disk bit-for-bit proof on exact templates."""
+        completed = _run_bench("-q", "--scenario", "durability")
+        assert completed.returncode == 0, completed.stderr[-2000:]
+        assert "bit-identical" in completed.stdout
+
+        payload = json.loads(
+            _DURABILITY_RESULT.read_text(encoding="utf-8")
+        )
+        assert payload["benchmark"] == "cluster_durability"
+        assert payload["workload"]["kind"] == "zipf"
+        rows = {row["scenario"]: row for row in payload["rows"]}
+        assert set(rows) == {"memory", "file"}
+        # Equal accuracy is bit-equality: the backend may not change
+        # what the cluster computes.
+        assert (
+            rows["memory"]["rms_relative_error"]
+            == rows["file"]["rms_relative_error"]
+        )
+        assert rows["file"]["storage_bytes"] > 0
+        assert rows["memory"]["events_per_sec"] > 0
+        assert rows["file"]["events_per_sec"] > 0
+        # Recovery from disk reproduced the pre-crash run exactly.
+        assert payload["recovery_bit_identical"] is True
+        _assert_strict_json_roundtrip(payload)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cluster.router import StableHashRouter
+from repro.cluster.router import ClusterRouter, StableHashRouter
 from repro.errors import ParameterError
 from repro.stream.workload import KeyedEvent
 
@@ -69,3 +69,93 @@ class TestHotKeySplitting:
         pairs = list(router.partition(events))
         assert [event for _, event in pairs] == events
         assert all(0 <= node < 3 for node, _ in pairs)
+
+
+class TestTrafficTableBound:
+    def test_table_bounded_under_100k_distinct_cold_keys(self):
+        """The ISSUE-3 leak regression: one entry per distinct cold key
+        forever.  With the bound, 100k one-shot keys stay within it."""
+        router = StableHashRouter(
+            4, hot_key_threshold=1000, traffic_table_limit=1000
+        )
+        for i in range(100_000):
+            router.route(f"cold-{i}")
+        assert router.traffic_table_size <= 1000
+        assert not router.hot_keys  # nothing ever crossed the threshold
+
+    def test_surviving_keys_still_promote(self):
+        """Eviction only forgets the coldest entries; a key hot enough
+        to stay in the table promotes with unchanged semantics."""
+        router = StableHashRouter(
+            2, hot_key_threshold=50, traffic_table_limit=100
+        )
+        for round_ in range(49):
+            router.route("warm")  # stays hottest in the table
+            for i in range(400):
+                router.route(f"noise-{round_}-{i}")
+        assert "warm" not in router.hot_keys
+        router.route("warm")  # 50th observation promotes
+        assert "warm" in router.hot_keys
+
+    def test_eviction_keeps_hottest_half(self):
+        router = ClusterRouter(
+            [0, 1], hot_key_threshold=10_000, traffic_table_limit=10
+        )
+        for i in range(10):
+            for _ in range(i + 1):
+                router.route(f"k{i}")  # k9 hottest ... k0 coldest
+        router.route("overflow")  # 11th entry trips the eviction
+        assert router.traffic_table_size == 5
+        survivors = set(router._traffic)
+        assert survivors == {"k9", "k8", "k7", "k6", "k5"}
+
+    def test_unbounded_legacy_mode(self):
+        router = StableHashRouter(
+            2, hot_key_threshold=1000, traffic_table_limit=None
+        )
+        for i in range(5000):
+            router.route(f"cold-{i}")
+        assert router.traffic_table_size == 5000
+
+    def test_eviction_is_deterministic(self):
+        def fill():
+            router = StableHashRouter(
+                4, hot_key_threshold=500, traffic_table_limit=64
+            )
+            for i in range(3000):
+                router.route(f"key-{i % 900}")
+            return sorted(router._traffic.items())
+
+        assert fill() == fill()
+
+    def test_limit_validation(self):
+        with pytest.raises(ParameterError):
+            StableHashRouter(2, traffic_table_limit=0)
+
+
+class TestRestoreTopology:
+    def test_restores_epoch_and_salt(self):
+        live = ClusterRouter([0, 1, 2], salt=77)
+        live.add_node()
+        live.remove_node(1)
+        recovered = ClusterRouter([0], salt=77)
+        recovered.restore_topology(live.nodes, epoch=live.epoch)
+        assert recovered.epoch == live.epoch
+        assert recovered.salt == live.salt
+        keys = [f"page-{i}" for i in range(200)]
+        assert [recovered.home_node(k) for k in keys] == [
+            live.home_node(k) for k in keys
+        ]
+
+    def test_epoch_zero_restores_base_salt(self):
+        router = ClusterRouter([0, 1], salt=5)
+        router.add_node()
+        router.restore_topology([0, 1], epoch=0)
+        assert router.salt == 5
+
+    def test_validation(self):
+        router = ClusterRouter([0, 1])
+        with pytest.raises(ParameterError):
+            router.restore_topology([0, 1], epoch=-1)
+        with pytest.raises(ParameterError):
+            router.restore_topology([], epoch=0)

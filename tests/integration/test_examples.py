@@ -13,6 +13,7 @@ _EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
 #: script -> args keeping runtime test-friendly
 _CASES = {
     "cluster_simulation.py": ["4", "60000"],
+    "durable_cluster.py": ["40000"],
     "elastic_cluster.py": ["60000"],
     "quickstart.py": ["200000"],
     "wikipedia_page_views.py": ["100", "2000000"],

@@ -159,3 +159,65 @@ class TestCommands:
     def test_cluster_bad_kill_spec(self):
         with pytest.raises(SystemExit):
             main(["cluster", "--events", "100", "--kill", "nonsense"])
+
+    def test_cluster_file_storage(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "cluster",
+                    "--nodes",
+                    "2",
+                    "--events",
+                    "4000",
+                    "--keys",
+                    "50",
+                    "--checkpoint-every",
+                    "1000",
+                    "--storage",
+                    "file",
+                    "--storage-dir",
+                    str(tmp_path),
+                    "--wal-segment",
+                    "500",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "bytes retained" in out
+        assert "recover_cluster" in out
+        assert (tmp_path / "manifest.json").exists()
+        assert list(tmp_path.glob("checkpoints/node-*.ckpt"))
+
+    def test_cluster_file_storage_requires_dir(self):
+        with pytest.raises(SystemExit):
+            main(["cluster", "--events", "100", "--storage", "file"])
+
+    def test_cluster_storage_dir_requires_file_backend(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["cluster", "--events", "100", "--storage-dir", "/tmp/x"]
+            )
+
+    def test_cluster_storage_overwrite_requires_file_backend(self):
+        with pytest.raises(SystemExit):
+            main(["cluster", "--events", "100", "--storage-overwrite"])
+
+    def test_cluster_refuses_existing_storage_dir(self, tmp_path):
+        args = [
+            "cluster",
+            "--nodes",
+            "2",
+            "--events",
+            "2000",
+            "--keys",
+            "50",
+            "--storage",
+            "file",
+            "--storage-dir",
+            str(tmp_path),
+        ]
+        assert main(args) == 0
+        with pytest.raises(SystemExit):
+            main(args)  # same dir again: refused without overwrite
+        assert main([*args, "--storage-overwrite"]) == 0

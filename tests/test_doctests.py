@@ -20,6 +20,7 @@ import repro.cluster.rebalance
 import repro.cluster.retention
 import repro.cluster.router
 import repro.cluster.simulation
+import repro.cluster.storage
 import repro.core.merge
 
 MODULES = [
@@ -31,6 +32,7 @@ MODULES = [
     repro.cluster.retention,
     repro.cluster.router,
     repro.cluster.simulation,
+    repro.cluster.storage,
     repro.core.merge,
 ]
 
@@ -42,6 +44,7 @@ EXPECTED_EXAMPLES = {
     repro.cluster.retention,
     repro.cluster.router,
     repro.cluster.simulation,
+    repro.cluster.storage,
     repro.core.merge,
 }
 
