@@ -24,20 +24,35 @@ recovered ``exact``-template view reproduces the pre-crash run bit for
 bit, crashes mid-migration included.  Results land in
 ``benchmarks/results/BENCH_cluster_durability.json``.
 
+A fourth scenario measures *parallel ingest throughput*: the same
+durable (group-commit fsync) ingest workload delivered by the serial
+event loop versus worker-sharded delivery at 2, 4, and 8 ingest
+workers.  The worker count may only change wall-clock numbers — every
+row must report bit-identical accuracy, and a separate
+``exact``-template run (crash + live migration included) pins the
+parallel ``GlobalView`` bit-for-bit against serial.  The full run must
+show ≥ 1.5× events/sec at 4 workers.  Results land in
+``benchmarks/results/BENCH_cluster_throughput.json``.
+
 Entry points:
 
 * pytest-benchmark (``pytest benchmarks/bench_cluster.py``) — the full
-  sweep plus crash-recovery, elasticity, and durability benchmarks;
+  sweep plus crash-recovery, elasticity, durability, and throughput
+  benchmarks;
 * script mode (``python benchmarks/bench_cluster.py [-q] [--scenario
-  scaling|elastic|durability]``) — the same runs standalone; ``-q`` is
-  the smoke path used by tier-1 tests (reduced workload, same schema,
-  seconds not minutes).
+  scaling|elastic|durability|throughput]``) — the same runs standalone;
+  ``-q`` is the smoke path used by tier-1 tests (reduced workload, same
+  schema, seconds not minutes).  Scenarios live in the ``_SCENARIOS``
+  registry; an unknown ``--scenario`` is a clean argparse error listing
+  the valid names.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 import tempfile
+from typing import Callable, NamedTuple
 
 from _bench_utils import write_json_result, write_result
 
@@ -446,6 +461,199 @@ def _check_durability(payload: dict) -> None:
 
 
 # ----------------------------------------------------------------------
+# throughput scenario: serial vs worker-sharded durable ingest
+# ----------------------------------------------------------------------
+_WORKER_SWEEP = (1, 2, 4, 8)
+_THROUGHPUT_NODES = 8
+#: Group-commit cadence.  fsync releases the GIL, so this is the stall
+#: the worker pool overlaps — the honest source of thread speedup for a
+#: pure-Python ingest path.
+_THROUGHPUT_FSYNC = 4
+_THROUGHPUT_BATCH = 64
+#: The full throughput run is scenario-specific: fsync-per-4-appends
+#: makes 1M-event rows needlessly slow without changing the story.
+_THROUGHPUT_FULL_EVENTS = 400_000
+
+
+def _run_throughput(n_events: int) -> dict:
+    """Serial vs 2/4/8-worker delivery on a durable ingest tier.
+
+    Every row drives the identical workload and config except
+    ``ingest_workers`` — a file-backed store whose WAL group-commits
+    (fsyncs) every ``_THROUGHPUT_FSYNC`` appends, i.e. the deployment
+    where delivery actually blocks.  Accuracy must be bit-identical
+    across rows (the plan may never change what the cluster computes);
+    a second, ``exact``-template comparison with a crash and a live
+    migration mid-stream pins serial-vs-parallel bit-identity of the
+    full ``GlobalView``.
+    """
+    throughput_events = min(n_events, _THROUGHPUT_FULL_EVENTS)
+    rows = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for workers in _WORKER_SWEEP:
+            config = ClusterConfig(
+                n_nodes=_THROUGHPUT_NODES,
+                template=default_template("simplified_ny"),
+                seed=_SEED,
+                buffer_limit=512,
+                checkpoint_every=max(throughput_events // 8, 1000),
+                storage="file",
+                storage_dir=f"{tmp}/workers-{workers}",
+                wal_fsync_every=_THROUGHPUT_FSYNC,
+                ingest_workers=workers,
+                delivery_batch=_THROUGHPUT_BATCH,
+            )
+            events = zipf_workload(
+                BitBudgetedRandom(_SEED),
+                n_keys=_KEYS,
+                n_events=throughput_events,
+                exponent=_EXPONENT,
+            )
+            with ClusterSimulation(config) as simulation:
+                result = simulation.run(events)
+            rows.append(
+                {
+                    "workers": workers,
+                    "mode": "serial" if workers == 1 else "parallel",
+                    "events": result.total_events,
+                    "events_per_sec": round(result.events_per_sec, 1),
+                    "rms_relative_error": result.rms_relative_error,
+                    "max_relative_error": result.max_relative_error,
+                    "checkpoints": result.checkpoints,
+                    "state_bits": result.total_state_bits,
+                }
+            )
+        serial_eps = rows[0]["events_per_sec"]
+        for row in rows:
+            row["speedup_vs_serial"] = round(
+                row["events_per_sec"] / serial_eps, 3
+            )
+        # Bit-identity proof on exact templates: a crash and a live
+        # migration mid-stream, serial vs 4 workers, same seed.
+        fingerprints = []
+        for workers in (1, 4):
+            config = ClusterConfig(
+                n_nodes=4,
+                template=default_template("exact"),
+                seed=_SEED,
+                checkpoint_every=max(throughput_events // 8, 1000),
+                routing="ring",
+                scale_events=(
+                    ScaleEvent(
+                        at_event=throughput_events // 3, action="add"
+                    ),
+                ),
+                failures=(
+                    NodeFailure(
+                        at_event=throughput_events // 2, node_id=1
+                    ),
+                ),
+                ingest_workers=workers,
+                delivery_batch=_THROUGHPUT_BATCH,
+            )
+            events = zipf_workload(
+                BitBudgetedRandom(_SEED),
+                n_keys=_KEYS,
+                n_events=throughput_events,
+                exponent=_EXPONENT,
+            )
+            simulation = ClusterSimulation(config)
+            simulation.run(events)
+            view = simulation.aggregator.global_view()
+            fingerprints.append(
+                (
+                    {
+                        key: counter.estimate()
+                        for key, counter in view.counters.items()
+                    },
+                    view.truth,
+                )
+            )
+        parallel_bit_identical = fingerprints[0] == fingerprints[1]
+    return {
+        "benchmark": "cluster_throughput",
+        "seed": _SEED,
+        "workload": {
+            "kind": "zipf",
+            "events": throughput_events,
+            "keys": _KEYS,
+            "exponent": _EXPONENT,
+        },
+        "config": {
+            "nodes": _THROUGHPUT_NODES,
+            "wal_fsync_every": _THROUGHPUT_FSYNC,
+            "delivery_batch": _THROUGHPUT_BATCH,
+        },
+        "rows": rows,
+        "parallel_bit_identical": parallel_bit_identical,
+    }
+
+
+def _render_throughput(payload: dict) -> str:
+    table = TextTable(
+        ["workers", "events/s", "speedup", "rms err", "ckpts"]
+    )
+    for row in payload["rows"]:
+        table.add_row(
+            f"{row['workers']} ({row['mode']})",
+            f"{row['events_per_sec']:,.0f}",
+            f"{row['speedup_vs_serial']:.2f}x",
+            f"{100 * row['rms_relative_error']:.3f}%",
+            str(row["checkpoints"]),
+        )
+    workload = payload["workload"]
+    config = payload["config"]
+    return "\n".join(
+        [
+            "Parallel ingest — serial loop vs worker-sharded delivery",
+            f"zipf({workload['exponent']}) {workload['events']:,} events "
+            f"over {workload['keys']:,} keys, seed {payload['seed']}; "
+            f"{config['nodes']} nodes, file store, "
+            f"fsync every {config['wal_fsync_every']} appends",
+            "",
+            table.render(),
+            "",
+            "Plan-invariance check: every row reports bit-identical "
+            "accuracy — workers only move wall-clock.",
+            "serial vs 4-worker GlobalView (exact templates, crash + "
+            "migration mid-stream): "
+            + (
+                "bit-identical"
+                if payload["parallel_bit_identical"]
+                else "MISMATCH"
+            ),
+        ]
+    )
+
+
+def _check_throughput(payload: dict) -> None:
+    """The throughput-scenario invariants (full or quick)."""
+    rows = payload["rows"]
+    assert [row["workers"] for row in rows] == list(_WORKER_SWEEP)
+    serial = rows[0]
+    assert serial["mode"] == "serial"
+    for row in rows:
+        assert row["events"] == payload["workload"]["events"]
+        # The execution plan must never change what the cluster
+        # computes: bit-identical accuracy and state at every width.
+        assert row["rms_relative_error"] == serial["rms_relative_error"]
+        assert row["max_relative_error"] == serial["max_relative_error"]
+        assert row["checkpoints"] == serial["checkpoints"]
+        assert row["state_bits"] == serial["state_bits"]
+        assert row["events_per_sec"] > 0
+    assert payload["parallel_bit_identical"] is True
+    if payload["workload"]["events"] >= _THROUGHPUT_FULL_EVENTS:
+        # The acceptance bar (full runs only — smoke timings are noise):
+        # worker-sharded delivery must overlap enough commit stall to
+        # reach 1.5x serial at 4 workers.
+        by_workers = {row["workers"]: row for row in rows}
+        assert by_workers[4]["speedup_vs_serial"] >= 1.5, (
+            f"4-worker speedup {by_workers[4]['speedup_vs_serial']}x "
+            "below the 1.5x acceptance bar"
+        )
+
+
+# ----------------------------------------------------------------------
 # pytest-benchmark entry points
 # ----------------------------------------------------------------------
 def test_cluster_scaling(benchmark):
@@ -505,46 +713,78 @@ def test_cluster_durability(benchmark):
     write_result("BENCH_cluster_durability", _render_durability(payload))
 
 
+def test_cluster_throughput(benchmark):
+    """Serial vs parallel ingest; writes BENCH_cluster_throughput.json."""
+    payload = benchmark.pedantic(
+        lambda: _run_throughput(_FULL_EVENTS), rounds=1, iterations=1
+    )
+    _check_throughput(payload)
+    write_json_result("cluster_throughput", payload)
+    write_result("BENCH_cluster_throughput", _render_throughput(payload))
+
+
 # ----------------------------------------------------------------------
 # script mode (the tier-1 smoke path)
 # ----------------------------------------------------------------------
+class _Scenario(NamedTuple):
+    """One registered scenario: how to run, validate, and persist it."""
+
+    run: Callable[[int], dict]
+    check: Callable[[dict], None]
+    render: Callable[[dict], str]
+    artifact: str  # BENCH_<artifact>.json / .txt
+
+
+#: The scenario registry — ``--scenario`` choices come from here, so an
+#: unknown name is a clean argparse error listing the valid scenarios
+#: instead of a traceback, and adding a scenario is one entry.
+_SCENARIOS: dict[str, _Scenario] = {
+    "scaling": _Scenario(_run_sweep, _check, _render, "cluster"),
+    "elastic": _Scenario(
+        _run_elastic, _check_elastic, _render_elastic, "cluster_elastic"
+    ),
+    "durability": _Scenario(
+        _run_durability,
+        _check_durability,
+        _render_durability,
+        "cluster_durability",
+    ),
+    "throughput": _Scenario(
+        _run_throughput,
+        _check_throughput,
+        _render_throughput,
+        "cluster_throughput",
+    ),
+}
+
+
 def main(argv: list[str] | None = None) -> int:
-    args = sys.argv[1:] if argv is None else argv
-    quick = "-q" in args or "--quick" in args
-    scenario = "scaling"
-    if "--scenario" in args:
-        try:
-            scenario = args[args.index("--scenario") + 1]
-        except IndexError:
-            print("--scenario expects 'scaling', 'elastic', or 'durability'")
-            return 2
-    if scenario not in ("scaling", "elastic", "durability"):
-        print(
-            f"unknown scenario {scenario!r}; use 'scaling', 'elastic', "
-            "or 'durability'"
+    parser = argparse.ArgumentParser(
+        description=(
+            "Cluster benchmark scenarios (scaling, elasticity, "
+            "durability, parallel-ingest throughput)"
         )
-        return 2
-    n_events = _QUICK_EVENTS if quick else _FULL_EVENTS
-    if scenario == "elastic":
-        payload = _run_elastic(n_events)
-        _check_elastic(payload)
-        path = write_json_result("cluster_elastic", payload)
-        write_result("BENCH_cluster_elastic", _render_elastic(payload))
-        print(_render_elastic(payload))
-    elif scenario == "durability":
-        payload = _run_durability(n_events)
-        _check_durability(payload)
-        path = write_json_result("cluster_durability", payload)
-        write_result(
-            "BENCH_cluster_durability", _render_durability(payload)
-        )
-        print(_render_durability(payload))
-    else:
-        payload = _run_sweep(n_events)
-        _check(payload)
-        path = write_json_result("cluster", payload)
-        write_result("BENCH_cluster", _render(payload))
-        print(_render(payload))
+    )
+    parser.add_argument(
+        "-q",
+        "--quick",
+        action="store_true",
+        help="smoke path: reduced workload, same schema and checks",
+    )
+    parser.add_argument(
+        "--scenario",
+        choices=sorted(_SCENARIOS),
+        default="scaling",
+        help="which scenario to run (default: scaling)",
+    )
+    args = parser.parse_args(argv)
+    scenario = _SCENARIOS[args.scenario]
+    n_events = _QUICK_EVENTS if args.quick else _FULL_EVENTS
+    payload = scenario.run(n_events)
+    scenario.check(payload)
+    path = write_json_result(scenario.artifact, payload)
+    write_result(f"BENCH_{scenario.artifact}", scenario.render(payload))
+    print(scenario.render(payload))
     print(f"\nwrote {path}")
     return 0
 

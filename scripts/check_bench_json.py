@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Validate every ``BENCH_*.json`` artifact: strict JSON + shared schema.
+
+The benchmark suite writes machine-readable artifacts under
+``benchmarks/results/`` with a shared schema (``benchmark`` / ``seed`` /
+``workload`` / ``rows``).  This checker fails (exit 1) when any artifact
+
+* is not *strict* JSON — ``NaN`` / ``Infinity`` / ``-Infinity`` are
+  rejected with ``json.loads(..., parse_constant=...)``, the regression
+  guard for the ``events_per_sec: Infinity`` bug, and a re-dump with
+  ``allow_nan=False`` must round-trip;
+* is missing a required key, or carries one with the wrong shape
+  (``rows`` must be a non-empty list of objects, ``workload`` an
+  object, ``seed`` an integer);
+* names a different benchmark than its filename promises
+  (``BENCH_<name>.json`` must carry ``"benchmark": "<name>"``).
+
+Usage::
+
+    python scripts/check_bench_json.py [paths...] [--quiet]
+
+With no paths, checks every ``BENCH_*.json`` under
+``benchmarks/results/`` and fails if there are none (run the bench
+smoke first; CI does).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+RESULTS_DIR = REPO / "benchmarks" / "results"
+
+_REQUIRED_KEYS = ("benchmark", "seed", "workload", "rows")
+
+
+def _reject_constant(token: str) -> float:
+    """Refuse the non-finite constants strict JSON does not allow."""
+    raise ValueError(f"non-finite JSON constant {token!r}")
+
+
+def check_payload(payload: object, expected_name: str | None) -> list[str]:
+    """Schema problems with one parsed artifact (empty when valid)."""
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return [f"top level must be an object, got {type(payload).__name__}"]
+    for key in _REQUIRED_KEYS:
+        if key not in payload:
+            problems.append(f"missing required key {key!r}")
+    if problems:
+        return problems
+    if expected_name is not None and payload["benchmark"] != expected_name:
+        problems.append(
+            f"benchmark name {payload['benchmark']!r} does not match "
+            f"the filename's {expected_name!r}"
+        )
+    if not isinstance(payload["seed"], int):
+        problems.append("seed must be an integer")
+    if not isinstance(payload["workload"], dict):
+        problems.append("workload must be an object")
+    rows = payload["rows"]
+    if not isinstance(rows, list) or not rows:
+        problems.append("rows must be a non-empty list")
+    elif not all(isinstance(row, dict) for row in rows):
+        problems.append("every row must be an object")
+    return problems
+
+
+def check_file(path: pathlib.Path) -> list[str]:
+    """All problems with one artifact file (empty when valid)."""
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        return [f"unreadable: {exc}"]
+    try:
+        payload = json.loads(text, parse_constant=_reject_constant)
+    except ValueError as exc:
+        return [f"not strict JSON: {exc}"]
+    name = path.name
+    expected = (
+        name[len("BENCH_"):-len(".json")]
+        if name.startswith("BENCH_") and name.endswith(".json")
+        else None
+    )
+    problems = check_payload(payload, expected)
+    try:
+        json.dumps(payload, allow_nan=False)
+    except ValueError as exc:  # pragma: no cover - loads would fail first
+        problems.append(f"does not re-serialize strictly: {exc}")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=pathlib.Path,
+        help=(
+            "artifact files to check (default: benchmarks/results/"
+            "BENCH_*.json)"
+        ),
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="only print failures"
+    )
+    args = parser.parse_args(argv)
+    paths = args.paths or sorted(RESULTS_DIR.glob("BENCH_*.json"))
+    if not paths:
+        print(
+            f"no BENCH_*.json artifacts under {RESULTS_DIR} — run the "
+            "bench smoke first (python benchmarks/bench_cluster.py -q)"
+        )
+        return 1
+    failures = 0
+    for path in paths:
+        for problem in check_file(path):
+            failures += 1
+            try:
+                shown = path.relative_to(REPO)
+            except ValueError:
+                shown = path
+            print(f"{shown}: {problem}")
+    if failures:
+        print(f"\n{failures} problem(s) across {len(paths)} artifact(s)")
+        return 1
+    if not args.quiet:
+        print(f"bench JSON ok: {len(paths)} artifact(s) validated")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

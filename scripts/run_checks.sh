@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# The single entry point CI and humans share: everything the repo
+# considers "green", in the order CI runs it.
+#
+#   scripts/run_checks.sh            # full check suite (~5 minutes)
+#   scripts/run_checks.sh --no-bench # skip the bench smoke + JSON check
+#
+# Steps:
+#   1. tier-1 pytest  (includes the doctest pass, docs-link tests, and
+#      the bench smoke rows that tier-1 already pins)
+#   2. explicit doctest pass           (same tests, surfaced separately)
+#   3. docs link check                 (scripts/check_docs_links.py)
+#   4. bench smoke, every scenario     (scaling, elastic, durability,
+#      throughput — writes BENCH_*.json)
+#   5. strict-JSON artifact validation (scripts/check_bench_json.py)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+run_bench=1
+for arg in "$@"; do
+  case "$arg" in
+    --no-bench) run_bench=0 ;;
+    *) echo "unknown option: $arg (supported: --no-bench)" >&2; exit 2 ;;
+  esac
+done
+
+echo "== tier-1 test suite =="
+python -m pytest -x -q
+
+echo
+echo "== doctest pass =="
+python -m pytest tests/test_doctests.py -q
+
+echo
+echo "== docs link check =="
+python scripts/check_docs_links.py
+
+if [ "$run_bench" -eq 1 ]; then
+  echo
+  echo "== bench smoke (every scenario) =="
+  for scenario in scaling elastic durability throughput; do
+    echo "-- scenario: $scenario"
+    python benchmarks/bench_cluster.py -q --scenario "$scenario" >/dev/null
+  done
+
+  echo
+  echo "== bench JSON validation =="
+  python scripts/check_bench_json.py
+fi
+
+echo
+echo "all checks passed"

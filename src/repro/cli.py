@@ -15,6 +15,8 @@ Usage::
         --shrink 1@600000 --window-every 250000 --retain 3
     python -m repro.cli cluster --storage file --storage-dir /tmp/cluster \\
         --wal-segment 4096
+    python -m repro.cli cluster --workers 4 --batch 64 --storage file \\
+        --storage-dir /tmp/cluster --wal-fsync 8
     python -m repro.cli count --algorithm nelson_yu --n 1000000
 
 Every subcommand prints the same tables the benchmark suite writes to
@@ -256,6 +258,33 @@ def build_parser() -> argparse.ArgumentParser:
             "persisted in --storage-dir (refused by default)"
         ),
     )
+    cluster.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "ingest worker threads; 1 (default) keeps the serial event "
+            "loop, more shard delivery per owning node — results are "
+            "bit-identical either way"
+        ),
+    )
+    cluster.add_argument(
+        "--batch",
+        type=int,
+        default=64,
+        metavar="EVENTS",
+        help="events per worker delivery batch (used with --workers > 1)",
+    )
+    cluster.add_argument(
+        "--wal-fsync",
+        type=int,
+        default=None,
+        metavar="EVENTS",
+        help=(
+            "group-commit cadence: fsync a node's write-ahead log every "
+            "EVENTS appends (requires --storage file)"
+        ),
+    )
 
     count = subparsers.add_parser(
         "count", help="run one counter over N increments"
@@ -351,6 +380,8 @@ def _run_cluster(args: argparse.Namespace) -> str:
         raise SystemExit("--storage-dir requires --storage file")
     if args.storage_overwrite and args.storage != "file":
         raise SystemExit("--storage-overwrite requires --storage file")
+    if args.wal_fsync is not None and args.storage != "file":
+        raise SystemExit("--wal-fsync requires --storage file")
     try:
         config = ClusterConfig(
             n_nodes=args.nodes,
@@ -370,6 +401,9 @@ def _run_cluster(args: argparse.Namespace) -> str:
             storage_dir=args.storage_dir,
             storage_overwrite=args.storage_overwrite,
             wal_segment_events=args.wal_segment,
+            ingest_workers=args.workers,
+            delivery_batch=args.batch,
+            wal_fsync_every=args.wal_fsync,
         )
     except ParameterError as exc:
         raise SystemExit(f"invalid cluster configuration: {exc}")
@@ -390,6 +424,11 @@ def _run_cluster(args: argparse.Namespace) -> str:
     finally:
         simulation.close()
     table = result.table()
+    if args.workers > 1:
+        table += (
+            f"\nparallel ingest: {args.workers} workers, "
+            f"delivery batch {args.batch}"
+        )
     if args.storage == "file":
         table += (
             f"\npersisted to {args.storage_dir} — re-open with "

@@ -34,7 +34,11 @@ deployment:
   driver with failure injection, durable-log replay, scale events, and
   retention, plus throughput / state-bits metrics;
   :func:`~repro.cluster.simulation.recover_cluster` rebuilds a live
-  simulation from a ``FileStore`` directory after process death.
+  simulation from a ``FileStore`` directory after process death;
+* :mod:`~repro.cluster.pipeline` — pluggable execution plans for that
+  loop: the serial reference path, or worker-sharded parallel delivery
+  (``ClusterConfig.ingest_workers``) whose per-node batch chains and
+  drain-handshake fences keep parallel runs bit-identical to serial.
 
 Invariants the tier-1 tests pin down: merging loses nothing (an ``exact``
 template cluster reproduces ground truth bit-for-bit through routing,
@@ -50,6 +54,12 @@ from repro.cluster.aggregator import (
 )
 from repro.cluster.checkpoint import BankCheckpoint
 from repro.cluster.node import CounterTemplate, IngestNode, default_template
+from repro.cluster.pipeline import (
+    ExecutionPlan,
+    ParallelPlan,
+    SerialPlan,
+    make_plan,
+)
 from repro.cluster.rebalance import (
     KeyMove,
     MigrationBatch,
@@ -97,6 +107,7 @@ __all__ = [
     "ClusterRouter",
     "ClusterSimulation",
     "CounterTemplate",
+    "ExecutionPlan",
     "FileStore",
     "GlobalView",
     "HashRingStrategy",
@@ -108,6 +119,7 @@ __all__ = [
     "ModuloHashStrategy",
     "NodeFailure",
     "NodeStats",
+    "ParallelPlan",
     "RebalancePlan",
     "RebalanceReport",
     "RetentionPolicy",
@@ -115,6 +127,7 @@ __all__ = [
     "STORAGE_BACKENDS",
     "ScaleEvent",
     "SegmentedLog",
+    "SerialPlan",
     "SimulationResult",
     "SlidingRetention",
     "StableHashRouter",
@@ -122,6 +135,7 @@ __all__ = [
     "WriteAheadLog",
     "default_template",
     "execute_rebalance",
+    "make_plan",
     "make_store",
     "make_strategy",
     "merge_views",

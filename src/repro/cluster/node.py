@@ -19,6 +19,17 @@ the durable log live).
 Counters are described by a :class:`CounterTemplate` — a serializable
 (algorithm name, parameters) pair — rather than a bare factory closure, so
 checkpoints can record how to rebuild every counter they contain.
+
+Threading contract
+------------------
+An :class:`IngestNode` is **thread-confined, not thread-safe**: at any
+moment at most one thread may touch it.  The parallel ingest pipeline
+(:mod:`repro.cluster.pipeline`) honors this by chaining each node's
+delivery batches onto one worker at a time and *draining* the node —
+no batch in flight — before the coordinator flushes, checkpoints,
+drains, or crash-recovers it (the drain handshake).  Nodes share no
+state with each other, so confinement alone makes worker-sharded
+delivery safe without any locking on this hot path.
 """
 
 from __future__ import annotations
@@ -189,7 +200,7 @@ class IngestNode:
         return self._buffered
 
     # ------------------------------------------------------------------
-    # write path
+    # write path (thread-confined: one thread per node at a time)
     # ------------------------------------------------------------------
     def submit(self, event: KeyedEvent) -> None:
         """Accept one event into the write buffer, flushing when full."""

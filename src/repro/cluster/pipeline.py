@@ -1,0 +1,323 @@
+"""Execution plans: how the event stream reaches the ingest nodes.
+
+The simulation's event loop is pluggable.  An :class:`ExecutionPlan`
+owns the *delivery* of a routed stream — everything between "the next
+:class:`~repro.stream.workload.KeyedEvent` exists" and "its owning
+:class:`~repro.cluster.node.IngestNode` has buffered it" — while the
+simulation keeps owning routing, checkpoints, crashes, scale events,
+and retention.  Two plans ship:
+
+* :class:`SerialPlan` (the default, ``ingest_workers=1``) — the
+  historical single-threaded loop, extracted verbatim.  Route, append
+  to the WAL, submit, maybe checkpoint, one event at a time.
+* :class:`ParallelPlan` (``ingest_workers > 1``) — worker-sharded
+  delivery.  The coordinator thread routes every event in stream order
+  (hot-key round-robin cursors and topology epochs stay sequential),
+  accumulates per-node batches of ``delivery_batch`` events, and hands
+  each batch to a ``ThreadPoolExecutor`` worker that appends the
+  events to the node's write-ahead log and applies them to the node's
+  coalescing buffer.
+
+Why the parallel plan is bit-identical to the serial one
+--------------------------------------------------------
+Three facts carry the proof:
+
+1. **Per-node order is preserved.**  Batches for one node form a chain
+   (each worker task waits for the node's previous batch), so every
+   node sees exactly its serial sub-stream, in arrival order.  Nodes
+   share no mutable state — a node's bank, buffer, and WAL segments
+   are touched only by the one worker currently confined to it.
+2. **Control decisions are pure functions of the routed stream.**
+   Checkpoint positions (the periodic budget and the WAL segment
+   fence) depend only on per-node delivered counts, which the
+   coordinator tracks as it routes; it therefore fences at exactly
+   the stream positions the serial loop would.
+3. **Barriers drain.**  Retention boundaries, scale events, and
+   crashes only run after a *drain handshake* — every dispatched
+   batch applied, no worker in flight — so they observe exactly the
+   state the serial loop would at that position, and recovery
+   semantics (checkpoint + log replay) are untouched.
+
+Merges being distribution-exact (Remark 2.4) is what makes this worth
+having: sharding the stream over workers costs nothing in accuracy, so
+a parallel run must reproduce the serial run's ``GlobalView`` bit for
+bit on ``exact`` templates and identically at the same seed on every
+template — ``tests/cluster/test_pipeline.py`` pins both.
+
+Where the speedup comes from
+----------------------------
+Pure-Python counter updates serialize on the GIL, so worker-sharding
+pays off where delivery *blocks*: durable ingest.  With a file-backed
+store and group-commit fsync (``wal_fsync_every``), each node's worker
+spends most of its time in ``os.fsync`` — which releases the GIL — so
+N workers overlap N nodes' commit stalls instead of paying them
+end-to-end on one thread (``benchmarks/bench_cluster.py --scenario
+throughput`` measures exactly this).
+
+>>> from repro.cluster.simulation import ClusterConfig
+>>> make_plan(ClusterConfig(n_nodes=2)).name
+'serial'
+>>> plan = make_plan(ClusterConfig(n_nodes=2, ingest_workers=4))
+>>> plan.name, plan.workers, plan.delivery_batch
+('parallel', 4, 64)
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import defaultdict
+from concurrent.futures import Future, ThreadPoolExecutor
+from threading import Lock
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.errors import ParameterError, StateError
+from repro.stream.workload import KeyedEvent
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.cluster.simulation import (
+        ClusterConfig,
+        ClusterSimulation,
+        ScaleEvent,
+    )
+
+__all__ = ["ExecutionPlan", "SerialPlan", "ParallelPlan", "make_plan"]
+
+
+def _index_schedule(
+    config: "ClusterConfig",
+) -> tuple[dict[int, list["ScaleEvent"]], dict[int, list[int]]]:
+    """Position-indexed lookups for the config's scale/failure schedule."""
+    scales: dict[int, list["ScaleEvent"]] = {}
+    for scale in config.scale_events:
+        scales.setdefault(scale.at_event, []).append(scale)
+    failures: dict[int, list[int]] = {}
+    for failure in config.failures:
+        failures.setdefault(failure.at_event, []).append(failure.node_id)
+    return scales, failures
+
+
+class ExecutionPlan(abc.ABC):
+    """Strategy for driving one event stream through a simulation.
+
+    A plan may reorder *wall-clock* work however it likes, but must
+    deliver every node's sub-stream in arrival order and run the
+    scheduled barriers (retention boundary, scale events, crashes —
+    in that order, before the event at their position) against fully
+    drained nodes, so that what the cluster computes stays a pure
+    function of ``(config, stream)``.
+    """
+
+    #: Short name used in logs, reprs, and tests.
+    name: str = "?"
+
+    @abc.abstractmethod
+    def execute(
+        self,
+        simulation: "ClusterSimulation",
+        events: Iterable[KeyedEvent],
+    ) -> None:
+        """Deliver ``events``; returns when every event is buffered."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class SerialPlan(ExecutionPlan):
+    """The historical single-threaded event loop, extracted.
+
+    At one stream position the order is fixed: retention boundary,
+    then scale events, then crashes, then the event itself — the
+    contract every plan (and the determinism tests) relies on.
+    """
+
+    name = "serial"
+
+    def execute(
+        self,
+        simulation: "ClusterSimulation",
+        events: Iterable[KeyedEvent],
+    ) -> None:
+        config = simulation.config
+        scales, failures = _index_schedule(config)
+        retention = config.retention
+        position = 0
+        for event in events:
+            if retention is not None and retention.is_boundary(position):
+                simulation.collapse_window()
+            for scale in scales.get(position, ()):
+                simulation.apply_scale(scale)
+            for node_id in failures.get(position, ()):
+                simulation.crash_node(node_id)
+            simulation.deliver_event(event)
+            position += 1
+
+
+class ParallelPlan(ExecutionPlan):
+    """Worker-sharded delivery behind a sequential coordinator.
+
+    The coordinator routes (stream order), batches per owning node,
+    and decides checkpoints from its own delivered-count bookkeeping;
+    ``workers`` pool threads apply the batches.  Per-node batches are
+    chained — a batch's task first waits on the node's previous batch
+    — so one node is only ever touched by one thread at a time, which
+    each task also *verifies* with a non-blocking lock (a violation
+    raises :class:`~repro.errors.StateError` instead of corrupting a
+    bank).  Checkpoints, crashes, scale events, and window collapses
+    fence through a drain handshake: dispatch what is pending, wait
+    for the affected nodes' chains, then act.
+    """
+
+    name = "parallel"
+
+    def __init__(self, workers: int, delivery_batch: int = 64) -> None:
+        if workers < 1:
+            raise ParameterError(f"workers must be >= 1, got {workers}")
+        if delivery_batch < 1:
+            raise ParameterError(
+                f"delivery_batch must be >= 1, got {delivery_batch}"
+            )
+        self._workers = workers
+        self._delivery_batch = delivery_batch
+
+    @property
+    def workers(self) -> int:
+        """Size of the node-worker thread pool."""
+        return self._workers
+
+    @property
+    def delivery_batch(self) -> int:
+        """Routed events accumulated per node before dispatch."""
+        return self._delivery_batch
+
+    def execute(
+        self,
+        simulation: "ClusterSimulation",
+        events: Iterable[KeyedEvent],
+    ) -> None:
+        config = simulation.config
+        scales, failures = _index_schedule(config)
+        retention = config.retention
+        segment = config.wal_segment_events
+        wal = simulation.store.wal
+
+        #: node id -> routed-but-undispatched events, in stream order.
+        pending: dict[int, list[KeyedEvent]] = defaultdict(list)
+        #: node id -> the tail of the node's batch chain.
+        tails: dict[int, Future] = {}
+        #: node id -> confinement guard asserting one-thread-per-node.
+        locks: dict[int, Lock] = defaultdict(Lock)
+        #: Coordinator's mirror of each node's retained WAL length —
+        #: exact at every sync point, predictive in between (workers
+        #: may lag).  This is what lets the coordinator fire the
+        #: forced segment fence at the same stream position the serial
+        #: loop would, without waiting on the workers.
+        retained: dict[int, int] = {}
+
+        def refresh_retained() -> None:
+            retained.clear()
+            for node in simulation.nodes:
+                retained[node.node_id] = wal.retained_events(node.node_id)
+
+        with ThreadPoolExecutor(
+            max_workers=self._workers, thread_name_prefix="repro-ingest"
+        ) as executor:
+
+            def dispatch(node_id: int) -> None:
+                batch = pending[node_id]
+                if not batch:
+                    return
+                pending[node_id] = []
+                previous = tails.get(node_id)
+                lock = locks[node_id]
+
+                def apply_batch(
+                    node_id: int = node_id,
+                    batch: list[KeyedEvent] = batch,
+                    previous: Future | None = previous,
+                    lock: Lock = lock,
+                ) -> None:
+                    if previous is not None:
+                        # Order handshake: the node's prior batch must
+                        # land first (re-raises its failure, if any).
+                        previous.result()
+                    if not lock.acquire(blocking=False):
+                        raise StateError(
+                            f"node {node_id} batch applied concurrently; "
+                            "per-node delivery must be thread-confined"
+                        )
+                    try:
+                        simulation.apply_events(node_id, batch)
+                    finally:
+                        lock.release()
+
+                tails[node_id] = executor.submit(apply_batch)
+
+            def drain(node_ids: Sequence[int]) -> None:
+                for node_id in node_ids:
+                    dispatch(node_id)
+                for node_id in node_ids:
+                    future = tails.pop(node_id, None)
+                    if future is not None:
+                        future.result()
+
+            def drain_all() -> None:
+                drain(sorted(set(pending) | set(tails)))
+
+            refresh_retained()
+            position = 0
+            try:
+                for event in events:
+                    boundary = retention is not None and retention.is_boundary(
+                        position
+                    )
+                    position_scales = scales.get(position, ())
+                    position_failures = failures.get(position, ())
+                    if boundary or position_scales or position_failures:
+                        # Global fence: barriers act on drained nodes
+                        # only, exactly like the serial loop's state at
+                        # this position.
+                        drain_all()
+                        if boundary:
+                            simulation.collapse_window()
+                        for scale in position_scales:
+                            simulation.apply_scale(scale)
+                        for node_id in position_failures:
+                            simulation.crash_node(node_id)
+                        refresh_retained()
+                    node_id = simulation.route_event(event)
+                    pending[node_id].append(event)
+                    retained[node_id] = retained.get(node_id, 0) + 1
+                    checkpoint_due = simulation.record_delivery(
+                        node_id, event.count
+                    )
+                    if checkpoint_due or (
+                        segment is not None and retained[node_id] >= segment
+                    ):
+                        # Per-node fence: only this node's chain must
+                        # land before its checkpoint; the other nodes
+                        # keep streaming.
+                        drain((node_id,))
+                        simulation.checkpoint_node(node_id)
+                        retained[node_id] = 0
+                    elif len(pending[node_id]) >= self._delivery_batch:
+                        dispatch(node_id)
+                    position += 1
+                drain_all()
+            except BaseException:
+                # Unwind cleanly: queued batches must not keep applying
+                # while the caller handles the failure (running ones
+                # finish under the executor's shutdown).
+                for future in tails.values():
+                    future.cancel()
+                raise
+
+
+def make_plan(config: "ClusterConfig") -> ExecutionPlan:
+    """The execution plan a config asks for.
+
+    ``ingest_workers=1`` (the default) keeps the serial loop — the
+    reference semantics every other plan must reproduce bit for bit.
+    """
+    if config.ingest_workers <= 1:
+        return SerialPlan()
+    return ParallelPlan(config.ingest_workers, config.delivery_batch)

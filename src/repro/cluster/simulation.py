@@ -61,6 +61,19 @@ node restarts empty on a fresh window-derived seed (see
 retained archive with the live window, so the horizon answer is still
 distribution-exact over everything the policy kept.
 
+Parallel ingest
+---------------
+Delivery is pluggable (:mod:`repro.cluster.pipeline`):
+``ClusterConfig.ingest_workers`` selects the execution plan.  The
+default (``1``) is the historical serial loop; with more workers the
+coordinator thread still routes every event in stream order, but
+per-node batches of ``delivery_batch`` events are applied — WAL append
+plus buffer submit — by a thread pool, one thread per node at a time.
+Checkpoints, migrations, retention collapses, and crashes fence through
+a drain handshake, so recovery semantics are untouched and a parallel
+run is bit-identical to the serial run at the same seed (a tier-1
+invariant, ``tests/cluster/test_pipeline.py``).
+
 Everything except wall-clock throughput metrics is derived from the
 config seed, which is what the determinism tests pin down.  At one
 stream position the order is fixed: retention boundary, then scale
@@ -81,6 +94,7 @@ from repro.cluster.aggregator import (
 )
 from repro.cluster.checkpoint import BankCheckpoint
 from repro.cluster.node import CounterTemplate, IngestNode, default_template
+from repro.cluster.pipeline import make_plan
 from repro.cluster.rebalance import execute_rebalance, plan_rebalance
 from repro.cluster.retention import RetentionPolicy
 from repro.cluster.router import (
@@ -193,6 +207,13 @@ class ClusterConfig:
     retained durable log per node (a filled segment forces a fence
     checkpoint), and ``traffic_table_limit`` bounds the router's hot-key
     auto-detection table.
+
+    ``ingest_workers`` selects the execution plan (see
+    :mod:`repro.cluster.pipeline`): ``1`` is the serial event loop,
+    more shards delivery over a worker pool in ``delivery_batch``-event
+    batches — bit-identical results either way.  ``wal_fsync_every``
+    turns on group-commit fsync for file-backed WAL appends (the
+    memory backend has no files and ignores it).
     """
 
     n_nodes: int = 4
@@ -214,6 +235,9 @@ class ClusterConfig:
     storage_overwrite: bool = False
     wal_segment_events: int | None = None
     traffic_table_limit: int | None = 4096
+    ingest_workers: int = 1
+    delivery_batch: int = 64
+    wal_fsync_every: int | None = None
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
@@ -258,6 +282,19 @@ class ClusterConfig:
             raise ParameterError(
                 "traffic_table_limit must be >= 1 or None, "
                 f"got {self.traffic_table_limit}"
+            )
+        if self.ingest_workers < 1:
+            raise ParameterError(
+                f"ingest_workers must be >= 1, got {self.ingest_workers}"
+            )
+        if self.delivery_batch < 1:
+            raise ParameterError(
+                f"delivery_batch must be >= 1, got {self.delivery_batch}"
+            )
+        if self.wal_fsync_every is not None and self.wal_fsync_every < 1:
+            raise ParameterError(
+                "wal_fsync_every must be >= 1 or None, "
+                f"got {self.wal_fsync_every}"
             )
         self._validate_schedule()
 
@@ -500,6 +537,7 @@ class ClusterSimulation:
                 wal_segment_events=config.wal_segment_events,
                 directory=config.storage_dir,
                 overwrite=config.storage_overwrite,
+                wal_fsync_every=config.wal_fsync_every,
             )
         )
         self._archived: deque[GlobalView] = deque(
@@ -615,6 +653,9 @@ class ClusterSimulation:
                 "ring_points": config.ring_points,
                 "wal_segment_events": config.wal_segment_events,
                 "traffic_table_limit": config.traffic_table_limit,
+                "ingest_workers": config.ingest_workers,
+                "delivery_batch": config.delivery_batch,
+                "wal_fsync_every": config.wal_fsync_every,
             },
             "topology": self._topology_stamp(),
             "incarnations": {
@@ -769,25 +810,17 @@ class ClusterSimulation:
     # event loop
     # ------------------------------------------------------------------
     def run(self, events: Iterable[KeyedEvent]) -> SimulationResult:
-        """Drive the cluster over ``events`` and aggregate at the end."""
-        failures: dict[int, list[int]] = {}
-        for failure in self._config.failures:
-            failures.setdefault(failure.at_event, []).append(failure.node_id)
-        scales: dict[int, list[ScaleEvent]] = {}
-        for scale in self._config.scale_events:
-            scales.setdefault(scale.at_event, []).append(scale)
-        retention = self._config.retention
+        """Drive the cluster over ``events`` and aggregate at the end.
+
+        Delivery goes through the execution plan the config selects
+        (:func:`~repro.cluster.pipeline.make_plan`): the serial loop at
+        ``ingest_workers=1``, worker-sharded batches otherwise.  Either
+        way the result is the same pure function of ``(config,
+        stream)``; only the wall-clock fields differ.
+        """
+        plan = make_plan(self._config)
         started = time.perf_counter()
-        position = 0
-        for event in events:
-            if retention is not None and retention.is_boundary(position):
-                self.collapse_window()
-            for scale in scales.get(position, ()):
-                self._apply_scale(scale)
-            for node_id in failures.get(position, ()):
-                self.crash_node(node_id)
-            self._deliver(event)
-            position += 1
+        plan.execute(self, events)
         for node in self._ordered_nodes():
             node.flush()
         elapsed = time.perf_counter() - started
@@ -797,12 +830,56 @@ class ClusterSimulation:
             view = merge_views([*self._archived, view])
         return self._result(view, elapsed)
 
-    def _deliver(self, event: KeyedEvent) -> None:
+    # ------------------------------------------------------------------
+    # execution-plan hooks (repro.cluster.pipeline)
+    # ------------------------------------------------------------------
+    def deliver_event(self, event: KeyedEvent) -> None:
+        """Serial delivery of one event: route, log, apply, maybe fence."""
         node_id = self._router.route_event(event)
         self._store.wal.append(node_id, event)
         self._nodes[node_id].submit(event)
         self._since_checkpoint[node_id] += event.count
         self._maybe_checkpoint(node_id)
+
+    def route_event(self, event: KeyedEvent) -> int:
+        """Route one event to its owning node id (coordinator thread).
+
+        Routing mutates sequential state — hot-key round-robin cursors
+        and the traffic table — so plans must call this in stream
+        order, never from a worker.
+        """
+        return self._router.route_event(event)
+
+    def apply_events(
+        self, node_id: int, events: Iterable[KeyedEvent]
+    ) -> None:
+        """WAL-append and buffer-apply one node's routed batch, in order.
+
+        Worker-thread entry point of the parallel plan.  It touches
+        only ``node_id``'s state (its WAL segments and its node's
+        buffer/bank), which is what makes concurrent calls for
+        *different* nodes safe without locks; the caller guarantees at
+        most one in-flight call per node (the drain handshake).
+        """
+        wal_append = self._store.wal.append
+        submit = self._nodes[node_id].submit
+        for event in events:
+            wal_append(node_id, event)
+            submit(event)
+
+    def record_delivery(self, node_id: int, count: int) -> bool:
+        """Coordinator-side bookkeeping for one routed event.
+
+        Accumulates the node's checkpoint budget exactly as serial
+        delivery does and returns whether the periodic budget is now
+        due — the parallel plan reacts by draining the node and calling
+        :meth:`checkpoint_node`, which resets the budget.
+        """
+        self._since_checkpoint[node_id] += count
+        every = self._config.checkpoint_every
+        return (
+            every is not None and self._since_checkpoint[node_id] >= every
+        )
 
     def _maybe_checkpoint(self, node_id: int) -> None:
         """Checkpoint when the periodic budget or a WAL segment fills.
@@ -942,7 +1019,8 @@ class ClusterSimulation:
     # ------------------------------------------------------------------
     # elastic scaling
     # ------------------------------------------------------------------
-    def _apply_scale(self, scale: ScaleEvent) -> None:
+    def apply_scale(self, scale: ScaleEvent) -> None:
+        """Apply one scheduled topology change (execution-plan hook)."""
         if scale.action == "add":
             self.scale_up(scale.node_id)
         else:
@@ -1185,6 +1263,14 @@ def _config_from_manifest(
             traffic_table_limit=(
                 int(echoed["traffic_table_limit"])
                 if echoed["traffic_table_limit"] is not None
+                else None
+            ),
+            # Absent from pre-parallel-ingest manifests: default serial.
+            ingest_workers=int(echoed.get("ingest_workers", 1)),
+            delivery_batch=int(echoed.get("delivery_batch", 64)),
+            wal_fsync_every=(
+                int(echoed["wal_fsync_every"])
+                if echoed.get("wal_fsync_every") is not None
                 else None
             ),
         )

@@ -118,6 +118,21 @@ class WriteAheadLog(abc.ABC):
     (truncating it) whenever the node checkpoints — so the log always
     holds exactly the events a recovery must redeliver on top of the
     last checkpoint.
+
+    Threading contract (the parallel ingest pipeline relies on it):
+    :meth:`append` for a given ``node_id`` is called only from the one
+    worker thread currently confined to that node, and appends for
+    distinct nodes touch disjoint per-node state — so concurrent
+    appends to *different* nodes need no locking.  Every other
+    operation (``register`` / ``fence`` / ``replay`` / ``drop`` /
+    ``sequence`` / ``truncate_through``) runs on the coordinator
+    thread after a drain handshake for the node it operates on — no
+    append in flight *for that node*; appends to **other** nodes may
+    still be running (a per-node checkpoint drains only its node).
+    Implementations must therefore keep cross-node state out of these
+    operations: everything they touch has to be partitioned by node
+    id, as the shipped :class:`SegmentedLog` backends are.  See
+    :mod:`repro.cluster.pipeline`.
     """
 
     @abc.abstractmethod
@@ -358,17 +373,43 @@ class _FileSegmentedLog(SegmentedLog):
     node's lifetime), so a re-opened log can reconstruct every retained
     event's sequence — which is what lets recovery skip entries an
     already-persisted checkpoint covers (the torn-fence protocol).
+
+    ``fsync_every`` adds *group commit*: every ``fsync_every``-th append
+    to a node's log calls ``os.fsync``, pushing the lines past the OS
+    page cache to stable storage (a sealed or closed segment always
+    syncs its tail).  Per-append flushes already survive a *process*
+    death; group commit bounds what a *machine* death can lose to the
+    last ``fsync_every - 1`` appends per node.  The fsync blocks with
+    the GIL released, which is exactly the stall the parallel ingest
+    pipeline overlaps across node workers — see
+    :mod:`repro.cluster.pipeline`.
     """
 
     def __init__(
-        self, directory: pathlib.Path, segment_events: int | None = None
+        self,
+        directory: pathlib.Path,
+        segment_events: int | None = None,
+        fsync_every: int | None = None,
     ) -> None:
         super().__init__(segment_events)
+        if fsync_every is not None and fsync_every < 1:
+            raise ParameterError(
+                f"fsync_every must be >= 1 or None, got {fsync_every}"
+            )
         self._dir = pathlib.Path(directory)
+        self._fsync_every = fsync_every
+        #: node id -> appends since that node's last fsync.
+        self._unsynced: dict[int, int] = {}
         self._handles: dict[int, IO[str]] = {}
 
     def _node_dir(self, node_id: int) -> pathlib.Path:
         return self._dir / f"node-{node_id}"
+
+    def _sync_handle(self, node_id: int, handle: IO[str]) -> None:
+        """Flush a node's pending group commit (sealing or closing)."""
+        if self._unsynced.pop(node_id, 0):
+            handle.flush()
+            os.fsync(handle.fileno())
 
     def _open_segment(self, node_id: int) -> None:
         start_seq = self._next_seq.get(node_id, 0)
@@ -376,6 +417,7 @@ class _FileSegmentedLog(SegmentedLog):
         node_dir.mkdir(parents=True, exist_ok=True)
         old = self._handles.pop(node_id, None)
         if old is not None:
+            self._sync_handle(node_id, old)
             old.close()
         self._handles[node_id] = open(
             node_dir / f"seg-{start_seq:012d}.log", "a", encoding="utf-8"
@@ -388,12 +430,19 @@ class _FileSegmentedLog(SegmentedLog):
         handle = self._handles[node_id]
         handle.write(encode_event(event) + "\n")
         handle.flush()
+        if self._fsync_every is not None:
+            unsynced = self._unsynced.get(node_id, 0) + 1
+            if unsynced >= self._fsync_every:
+                os.fsync(handle.fileno())
+                unsynced = 0
+            self._unsynced[node_id] = unsynced
 
     def _persist_roll(self, node_id: int) -> None:
         self._open_segment(node_id)
 
     def _persist_fence(self, node_id: int) -> None:
         handle = self._handles.pop(node_id, None)
+        self._unsynced.pop(node_id, None)  # files are about to be deleted
         if handle is not None:
             handle.close()
         node_dir = self._node_dir(node_id)
@@ -406,6 +455,7 @@ class _FileSegmentedLog(SegmentedLog):
 
     def _persist_drop(self, node_id: int) -> None:
         handle = self._handles.pop(node_id, None)
+        self._unsynced.pop(node_id, None)
         if handle is not None:
             handle.close()
         shutil.rmtree(self._node_dir(node_id), ignore_errors=True)
@@ -462,7 +512,8 @@ class _FileSegmentedLog(SegmentedLog):
         )
 
     def close(self) -> None:
-        for handle in self._handles.values():
+        for node_id, handle in self._handles.items():
+            self._sync_handle(node_id, handle)
             handle.close()
         self._handles.clear()
 
@@ -645,13 +696,17 @@ class FileStore(CheckpointStore):
         directory: str | os.PathLike[str],
         wal_segment_events: int | None = None,
         overwrite: bool = False,
+        wal_fsync_every: int | None = None,
     ) -> None:
         self._dir = pathlib.Path(directory)
         self._checkpoint_dir = self._dir / "checkpoints"
         self._wal_dir = self._dir / "wal"
         self._manifest_path = self._dir / "manifest.json"
         self._overwrite = overwrite
-        self._wal = _FileSegmentedLog(self._wal_dir, wal_segment_events)
+        self._wal_fsync_every = wal_fsync_every
+        self._wal = _FileSegmentedLog(
+            self._wal_dir, wal_segment_events, wal_fsync_every
+        )
         self._lines: dict[int, str | None] = {}
         self._manifest: dict[str, Any] | None = None
 
@@ -689,7 +744,7 @@ class FileStore(CheckpointStore):
         self._checkpoint_dir.mkdir(parents=True, exist_ok=True)
         self._wal_dir.mkdir(parents=True, exist_ok=True)
         self._wal = _FileSegmentedLog(
-            self._wal_dir, self._wal.segment_events
+            self._wal_dir, self._wal.segment_events, self._wal_fsync_every
         )
         self._lines = {}
         self._manifest = None
@@ -717,11 +772,13 @@ class FileStore(CheckpointStore):
                 f"{body.get('manifest_version')!r}"
             )
         manifest = dict(body)
-        segment_events = manifest.get("config", {}).get(
-            "wal_segment_events"
-        )
+        config_echo = manifest.get("config", {})
+        segment_events = config_echo.get("wal_segment_events")
+        fsync_every = config_echo.get("wal_fsync_every")
         self._wal.close()
-        self._wal = _FileSegmentedLog(self._wal_dir, segment_events)
+        self._wal = _FileSegmentedLog(
+            self._wal_dir, segment_events, fsync_every
+        )
         try:
             node_ids = [
                 int(node) for node in manifest["topology"]["nodes"]
@@ -796,8 +853,13 @@ def make_store(
     wal_segment_events: int | None = None,
     directory: str | os.PathLike[str] | None = None,
     overwrite: bool = False,
+    wal_fsync_every: int | None = None,
 ) -> CheckpointStore:
     """Build a checkpoint store by backend name.
+
+    ``wal_fsync_every`` enables group-commit fsync on file-backed WAL
+    appends; the memory backend has no files to sync and ignores it (so
+    one config can be replayed on both backends unchanged).
 
     >>> make_store("memory").latest  # doctest: +ELLIPSIS
     <bound method MemoryStore.latest of ...>
@@ -811,7 +873,12 @@ def make_store(
     if storage == "file":
         if directory is None:
             raise ParameterError("file storage needs a directory")
-        return FileStore(directory, wal_segment_events, overwrite=overwrite)
+        return FileStore(
+            directory,
+            wal_segment_events,
+            overwrite=overwrite,
+            wal_fsync_every=wal_fsync_every,
+        )
     known = ", ".join(STORAGE_BACKENDS)
     raise ParameterError(
         f"unknown storage backend {storage!r}; known: {known}"

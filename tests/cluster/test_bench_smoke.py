@@ -21,6 +21,7 @@ _BENCH = _REPO / "benchmarks" / "bench_cluster.py"
 _RESULTS = _REPO / "benchmarks" / "results"
 _RESULT = _RESULTS / "BENCH_cluster.json"
 _DURABILITY_RESULT = _RESULTS / "BENCH_cluster_durability.json"
+_THROUGHPUT_RESULT = _RESULTS / "BENCH_cluster_throughput.json"
 
 
 def _run_bench(*args: str) -> subprocess.CompletedProcess:
@@ -94,4 +95,35 @@ class TestBenchDurabilitySmoke:
         assert rows["file"]["events_per_sec"] > 0
         # Recovery from disk reproduced the pre-crash run exactly.
         assert payload["recovery_bit_identical"] is True
+        _assert_strict_json_roundtrip(payload)
+
+
+class TestBenchThroughputSmoke:
+    def test_throughput_quick_path(self):
+        """Serial vs worker-sharded delivery: bit-identical accuracy at
+        every worker count, plus the exact-template GlobalView proof.
+        (The >=1.5x speedup bar is asserted on full runs only — smoke
+        timings are noise.)"""
+        completed = _run_bench("-q", "--scenario", "throughput")
+        assert completed.returncode == 0, completed.stderr[-2000:]
+        assert "bit-identical" in completed.stdout
+
+        payload = json.loads(
+            _THROUGHPUT_RESULT.read_text(encoding="utf-8")
+        )
+        assert payload["benchmark"] == "cluster_throughput"
+        assert payload["workload"]["kind"] == "zipf"
+        rows = payload["rows"]
+        assert [row["workers"] for row in rows] == [1, 2, 4, 8]
+        serial = rows[0]
+        assert serial["mode"] == "serial"
+        for row in rows:
+            assert row["events_per_sec"] > 0
+            # The execution plan may only move wall-clock numbers.
+            assert (
+                row["rms_relative_error"] == serial["rms_relative_error"]
+            )
+            assert row["checkpoints"] == serial["checkpoints"]
+            assert row["state_bits"] == serial["state_bits"]
+        assert payload["parallel_bit_identical"] is True
         _assert_strict_json_roundtrip(payload)

@@ -1,0 +1,338 @@
+"""Determinism-under-concurrency: the parallel plan equals the serial one.
+
+The execution plan (:mod:`repro.cluster.pipeline`) may only move
+wall-clock work around — never what the cluster computes.  These tests
+pin that down the strongest way available: a worker-sharded run must
+reproduce the serial run **bit for bit** at the same seed — the full
+``GlobalView`` (every counter estimate and the truth table), the
+per-node stats, and the error report — on ``exact`` templates *and* on
+approximate ones, with crashes mid-run, a live migration mid-stream,
+retention collapses, and file-backed storage in the mix, across three
+seeds and a sweep of worker counts and delivery batch sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    ClusterConfig,
+    ClusterSimulation,
+    ExecutionPlan,
+    NodeFailure,
+    ParallelPlan,
+    ScaleEvent,
+    SerialPlan,
+    TumblingRetention,
+    default_template,
+    make_plan,
+    recover_cluster,
+)
+from repro.errors import ParameterError
+from repro.rng.bitstream import BitBudgetedRandom
+from repro.stream.workload import zipf_workload
+
+_SEEDS = (11, 2023, 40961)
+_EVENTS = 12_000
+
+
+def _events(seed: int, n_events: int = _EVENTS, n_keys: int = 250):
+    return zipf_workload(BitBudgetedRandom(seed), n_keys, n_events)
+
+
+def _run(config: ClusterConfig, seed: int, n_events: int = _EVENTS):
+    """Run one simulation; returns (result, view fingerprint)."""
+    with ClusterSimulation(config) as simulation:
+        result = simulation.run(_events(seed, n_events))
+        view = simulation.aggregator.global_view()
+        fingerprint = (
+            {
+                key: counter.estimate()
+                for key, counter in view.counters.items()
+            },
+            view.truth,
+        )
+    return result, fingerprint
+
+
+def _comparable(result) -> tuple:
+    """Every deterministic field of a result (wall clock excluded)."""
+    return (
+        result.n_nodes,
+        result.total_events,
+        result.n_keys,
+        result.hot_keys,
+        result.node_stats,
+        result.top,
+        result.mean_relative_error,
+        result.rms_relative_error,
+        result.max_relative_error,
+        result.epoch,
+        result.scale_events_applied,
+        result.keys_migrated,
+        result.windows_collapsed,
+        result.windows_retained,
+        result.total_state_bits,
+    )
+
+
+class TestPlanSelection:
+    def test_default_config_is_serial(self):
+        plan = make_plan(ClusterConfig(n_nodes=2))
+        assert isinstance(plan, SerialPlan)
+        assert plan.name == "serial"
+
+    def test_workers_select_parallel(self):
+        plan = make_plan(
+            ClusterConfig(n_nodes=2, ingest_workers=4, delivery_batch=32)
+        )
+        assert isinstance(plan, ParallelPlan)
+        assert plan.name == "parallel"
+        assert (plan.workers, plan.delivery_batch) == (4, 32)
+
+    def test_plans_are_execution_plans(self):
+        assert issubclass(SerialPlan, ExecutionPlan)
+        assert issubclass(ParallelPlan, ExecutionPlan)
+
+    def test_config_rejects_bad_parallelism(self):
+        with pytest.raises(ParameterError):
+            ClusterConfig(ingest_workers=0)
+        with pytest.raises(ParameterError):
+            ClusterConfig(delivery_batch=0)
+        with pytest.raises(ParameterError):
+            ClusterConfig(wal_fsync_every=0)
+        with pytest.raises(ParameterError):
+            ParallelPlan(workers=0)
+        with pytest.raises(ParameterError):
+            ParallelPlan(workers=2, delivery_batch=0)
+
+
+class TestBitIdenticalExact:
+    """Exact templates: parallel == serial == ground truth, bit for bit."""
+
+    @pytest.mark.parametrize("seed", _SEEDS)
+    def test_crashes_mid_run(self, seed):
+        """Serial vs 4 workers with two crashes and checkpoint fences."""
+        shared = dict(
+            n_nodes=4,
+            template=default_template("exact"),
+            seed=seed,
+            buffer_limit=128,
+            checkpoint_every=2500,
+            failures=(
+                NodeFailure(at_event=4000, node_id=1),
+                NodeFailure(at_event=9000, node_id=3),
+            ),
+        )
+        serial_result, serial_view = _run(
+            ClusterConfig(**shared), seed
+        )
+        parallel_result, parallel_view = _run(
+            ClusterConfig(**shared, ingest_workers=4, delivery_batch=32),
+            seed,
+        )
+        assert serial_view == parallel_view
+        assert _comparable(serial_result) == _comparable(parallel_result)
+        assert parallel_result.max_relative_error == 0.0
+        assert parallel_result.recoveries == 2
+
+    @pytest.mark.parametrize("seed", _SEEDS)
+    def test_migration_mid_stream(self, seed):
+        """A live grow + shrink (ring routing) with a crash right after
+        the first migration — the barriers the drain handshake fences."""
+        shared = dict(
+            n_nodes=2,
+            template=default_template("exact"),
+            seed=seed,
+            checkpoint_every=2500,
+            routing="ring",
+            scale_events=(
+                ScaleEvent(at_event=3000, action="add"),
+                ScaleEvent(at_event=8000, action="remove", node_id=0),
+            ),
+            failures=(NodeFailure(at_event=3001, node_id=1),),
+        )
+        serial_result, serial_view = _run(ClusterConfig(**shared), seed)
+        parallel_result, parallel_view = _run(
+            ClusterConfig(**shared, ingest_workers=4, delivery_batch=16),
+            seed,
+        )
+        assert serial_view == parallel_view
+        assert _comparable(serial_result) == _comparable(parallel_result)
+        assert parallel_result.scale_events_applied == 2
+        assert parallel_result.keys_migrated > 0
+
+    def test_retention_boundaries(self):
+        """Window collapses are global fences; the horizon view must
+        still match bit for bit."""
+        shared = dict(
+            n_nodes=3,
+            template=default_template("exact"),
+            seed=77,
+            checkpoint_every=3000,
+            retention=TumblingRetention(window_events=4000),
+            failures=(NodeFailure(at_event=6000, node_id=2),),
+        )
+        serial_result, _ = _run(ClusterConfig(**shared), 77)
+        parallel_result, _ = _run(
+            ClusterConfig(**shared, ingest_workers=3, delivery_batch=64),
+            77,
+        )
+        assert _comparable(serial_result) == _comparable(parallel_result)
+        assert parallel_result.windows_collapsed >= 2
+        assert parallel_result.max_relative_error == 0.0
+
+
+class TestBitIdenticalApproximate:
+    """Approximate templates: still bit-identical — the plan moves
+    wall-clock only, so even the coin flips line up."""
+
+    @pytest.mark.parametrize("seed", _SEEDS)
+    def test_simplified_ny_with_crash(self, seed):
+        shared = dict(
+            n_nodes=4,
+            template=default_template("simplified_ny"),
+            seed=seed,
+            buffer_limit=256,
+            checkpoint_every=3000,
+            failures=(NodeFailure(at_event=5000, node_id=0),),
+        )
+        serial_result, serial_view = _run(ClusterConfig(**shared), seed)
+        parallel_result, parallel_view = _run(
+            ClusterConfig(**shared, ingest_workers=4, delivery_batch=48),
+            seed,
+        )
+        assert serial_view == parallel_view
+        assert _comparable(serial_result) == _comparable(parallel_result)
+
+    def test_hot_key_splitting(self):
+        """Hot-key round-robin cursors live on the coordinator; the
+        split must land identically under parallel delivery."""
+        shared = dict(
+            n_nodes=4,
+            template=default_template("simplified_ny"),
+            seed=5,
+            hot_key_threshold=400,
+            checkpoint_every=4000,
+        )
+        serial_result, serial_view = _run(ClusterConfig(**shared), 5)
+        parallel_result, parallel_view = _run(
+            ClusterConfig(**shared, ingest_workers=4), 5
+        )
+        assert serial_result.hot_keys >= 1
+        assert serial_view == parallel_view
+        assert _comparable(serial_result) == _comparable(parallel_result)
+
+
+class TestPlanParameterInvariance:
+    """Worker count and batch size are pure wall-clock knobs."""
+
+    def test_worker_count_invariance(self):
+        shared = dict(
+            n_nodes=4,
+            template=default_template("simplified_ny"),
+            seed=13,
+            checkpoint_every=2500,
+            failures=(NodeFailure(at_event=4000, node_id=2),),
+        )
+        baseline = None
+        for workers in (1, 2, 3, 8):
+            result, view = _run(
+                ClusterConfig(**shared, ingest_workers=workers), 13
+            )
+            stamp = (_comparable(result), view)
+            if baseline is None:
+                baseline = stamp
+            assert stamp == baseline, f"workers={workers} diverged"
+
+    def test_delivery_batch_invariance(self):
+        shared = dict(
+            n_nodes=4,
+            template=default_template("simplified_ny"),
+            seed=29,
+            checkpoint_every=2500,
+            ingest_workers=4,
+        )
+        baseline = None
+        for batch in (1, 7, 64, 4096):
+            result, view = _run(
+                ClusterConfig(**shared, delivery_batch=batch), 29
+            )
+            stamp = (_comparable(result), view)
+            if baseline is None:
+                baseline = stamp
+            assert stamp == baseline, f"delivery_batch={batch} diverged"
+
+
+class TestParallelDurability:
+    """Parallel delivery composes with the durability layer unchanged."""
+
+    def test_file_store_matches_memory_serial(self, tmp_path):
+        """Four-way equality: {serial, parallel} x {memory, file} — the
+        plan and the backend are both transparent, group-commit fsync
+        included, and the forced segment fence fires at the same
+        positions under parallel delivery."""
+        shared = dict(
+            n_nodes=4,
+            template=default_template("simplified_ny"),
+            seed=31,
+            checkpoint_every=None,  # only the WAL segment fence remains
+            wal_segment_events=1500,
+            failures=(NodeFailure(at_event=7000, node_id=1),),
+        )
+        stamps = {}
+        for label, extra in {
+            "serial-memory": {},
+            "parallel-memory": dict(ingest_workers=4, delivery_batch=32),
+            "serial-file": dict(
+                storage="file",
+                storage_dir=str(tmp_path / "serial"),
+                wal_fsync_every=8,
+            ),
+            "parallel-file": dict(
+                storage="file",
+                storage_dir=str(tmp_path / "parallel"),
+                wal_fsync_every=8,
+                ingest_workers=4,
+                delivery_batch=32,
+            ),
+        }.items():
+            result, view = _run(ClusterConfig(**shared, **extra), 31)
+            stamps[label] = (_comparable(result), view)
+            assert result.checkpoints > 0  # the segment fence fired
+        baseline = stamps["serial-memory"]
+        for label, stamp in stamps.items():
+            assert stamp == baseline, f"{label} changed the computation"
+
+    def test_recover_cluster_after_parallel_run(self, tmp_path):
+        """A parallel file-backed run recovers from disk bit-for-bit on
+        exact templates, and the manifest round-trips the plan config."""
+        config = ClusterConfig(
+            n_nodes=3,
+            template=default_template("exact"),
+            seed=17,
+            checkpoint_every=2500,
+            routing="ring",
+            scale_events=(ScaleEvent(at_event=4000, action="add"),),
+            failures=(NodeFailure(at_event=4001, node_id=0),),
+            storage="file",
+            storage_dir=str(tmp_path),
+            wal_segment_events=2000,
+            wal_fsync_every=4,
+            ingest_workers=4,
+            delivery_batch=16,
+        )
+        _, before = _run(config, 17)
+        with recover_cluster(str(tmp_path)) as recovered:
+            view = recovered.aggregator.global_view()
+            after = (
+                {
+                    key: counter.estimate()
+                    for key, counter in view.counters.items()
+                },
+                view.truth,
+            )
+            assert recovered.config.ingest_workers == 4
+            assert recovered.config.delivery_batch == 16
+            assert recovered.config.wal_fsync_every == 4
+        assert before == after

@@ -237,7 +237,7 @@ class TestEagerCheckpointAfterRecovery:
         )
         sim = ClusterSimulation(config)
         for i in range(50):
-            sim._deliver(KeyedEvent(f"k{i}"))
+            sim.deliver_event(KeyedEvent(f"k{i}"))
         sim.crash_node(0)
         assert sim._since_checkpoint[0] == 50
         assert sim.store.latest(0) is None  # still below the budget

@@ -403,7 +403,7 @@ class TestRecoverCluster:
         recovered = recover_cluster(str(tmp_path))
         extra = [KeyedEvent("page-000000", 5), KeyedEvent("fresh-key", 7)]
         for event in extra:
-            recovered._deliver(event)
+            recovered.deliver_event(event)
         view = recovered.aggregator.global_view()
         assert view.estimate("fresh-key") == 7.0
         assert (
@@ -538,7 +538,7 @@ class TestRecoverCluster:
         )
         simulation = ClusterSimulation(config)
         for event in _events(500):
-            simulation._deliver(event)
+            simulation.deliver_event(event)
         for node in simulation.nodes:
             simulation.checkpoint_node(node.node_id)
         simulation.close()
@@ -549,7 +549,7 @@ class TestRecoverCluster:
         first = recover_cluster(str(tmp_path))
         extra = [KeyedEvent(f"extra-{i}") for i in range(30)]
         for event in extra:
-            first._deliver(event)
+            first.deliver_event(event)
         first.close()
         # Crash again before any checkpoint: the 30 post-recovery
         # events exist only in the WAL and must survive replay.
@@ -570,7 +570,7 @@ class TestRecoverCluster:
         simulation = ClusterSimulation(config)
         stream = list(_events(2000))
         for event in stream:
-            simulation._deliver(event)
+            simulation.deliver_event(event)
         truth = simulation.aggregator.global_view().truth
         # Take a checkpoint whose fence "never happens" (process dies
         # between the atomic checkpoint replace and the WAL unlink).

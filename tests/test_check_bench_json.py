@@ -1,0 +1,104 @@
+"""The bench-artifact validator rejects what CI must never ship."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_SCRIPT = (
+    pathlib.Path(__file__).resolve().parents[1]
+    / "scripts"
+    / "check_bench_json.py"
+)
+_spec = importlib.util.spec_from_file_location("check_bench_json", _SCRIPT)
+check_bench_json = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_bench_json)
+
+
+def _valid_payload(name: str = "cluster") -> dict:
+    return {
+        "benchmark": name,
+        "seed": 2020,
+        "workload": {"kind": "zipf", "events": 1000},
+        "rows": [{"nodes": 1, "events_per_sec": 123.4}],
+    }
+
+
+def _write(tmp_path: pathlib.Path, name: str, text: str) -> pathlib.Path:
+    path = tmp_path / name
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+class TestCheckFile:
+    def test_valid_artifact_passes(self, tmp_path):
+        path = _write(
+            tmp_path, "BENCH_cluster.json", json.dumps(_valid_payload())
+        )
+        assert check_bench_json.check_file(path) == []
+
+    def test_rejects_infinity(self, tmp_path):
+        """The events_per_sec: Infinity regression must stay dead."""
+        payload = _valid_payload()
+        payload["rows"][0]["events_per_sec"] = float("inf")
+        path = _write(
+            tmp_path, "BENCH_cluster.json", json.dumps(payload)
+        )  # stdlib dumps emits the non-strict 'Infinity' token
+        problems = check_bench_json.check_file(path)
+        assert problems and "not strict JSON" in problems[0]
+
+    def test_rejects_nan(self, tmp_path):
+        payload = _valid_payload()
+        payload["rows"][0]["events_per_sec"] = float("nan")
+        path = _write(tmp_path, "BENCH_cluster.json", json.dumps(payload))
+        problems = check_bench_json.check_file(path)
+        assert problems and "not strict JSON" in problems[0]
+
+    def test_rejects_torn_file(self, tmp_path):
+        path = _write(tmp_path, "BENCH_cluster.json", '{"benchmark": "clu')
+        problems = check_bench_json.check_file(path)
+        assert problems and "not strict JSON" in problems[0]
+
+    @pytest.mark.parametrize("key", ["benchmark", "seed", "workload", "rows"])
+    def test_rejects_missing_required_key(self, tmp_path, key):
+        payload = _valid_payload()
+        del payload[key]
+        path = _write(tmp_path, "BENCH_cluster.json", json.dumps(payload))
+        problems = check_bench_json.check_file(path)
+        assert any(key in problem for problem in problems)
+
+    def test_rejects_empty_rows(self, tmp_path):
+        payload = _valid_payload()
+        payload["rows"] = []
+        path = _write(tmp_path, "BENCH_cluster.json", json.dumps(payload))
+        assert check_bench_json.check_file(path)
+
+    def test_rejects_filename_mismatch(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "BENCH_cluster_elastic.json",
+            json.dumps(_valid_payload("cluster")),
+        )
+        problems = check_bench_json.check_file(path)
+        assert any("does not match" in problem for problem in problems)
+
+
+class TestMain:
+    def test_passes_on_valid_paths(self, tmp_path, capsys):
+        path = _write(
+            tmp_path, "BENCH_cluster.json", json.dumps(_valid_payload())
+        )
+        assert check_bench_json.main([str(path)]) == 0
+        assert "1 artifact(s) validated" in capsys.readouterr().out
+
+    def test_fails_on_invalid_paths(self, tmp_path, capsys):
+        path = _write(tmp_path, "BENCH_cluster.json", "not json")
+        assert check_bench_json.main([str(path)]) == 1
+        assert "not strict JSON" in capsys.readouterr().out
+
+    def test_checked_in_artifacts_are_valid(self):
+        """Whatever BENCH_*.json the repo currently carries must pass."""
+        assert check_bench_json.main(["--quiet"]) == 0

@@ -1,10 +1,18 @@
-"""Tests for the command-line interface."""
+"""Tests for the command-line interfaces (repro.cli + bench scripts)."""
 
 from __future__ import annotations
+
+import os
+import pathlib
+import subprocess
+import sys
 
 import pytest
 
 from repro.cli import build_parser, main
+
+_REPO = pathlib.Path(__file__).resolve().parents[1]
+_BENCH_CLUSTER = _REPO / "benchmarks" / "bench_cluster.py"
 
 
 class TestParser:
@@ -203,6 +211,39 @@ class TestCommands:
         with pytest.raises(SystemExit):
             main(["cluster", "--events", "100", "--storage-overwrite"])
 
+    def test_cluster_parallel_ingest(self, capsys):
+        assert (
+            main(
+                [
+                    "cluster",
+                    "--nodes",
+                    "3",
+                    "--events",
+                    "6000",
+                    "--keys",
+                    "100",
+                    "--checkpoint-every",
+                    "2000",
+                    "--workers",
+                    "3",
+                    "--batch",
+                    "32",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "parallel ingest: 3 workers, delivery batch 32" in out
+        assert "events/s" in out
+
+    def test_cluster_rejects_zero_workers(self):
+        with pytest.raises(SystemExit):
+            main(["cluster", "--events", "100", "--workers", "0"])
+
+    def test_cluster_wal_fsync_requires_file_backend(self):
+        with pytest.raises(SystemExit):
+            main(["cluster", "--events", "100", "--wal-fsync", "8"])
+
     def test_cluster_refuses_existing_storage_dir(self, tmp_path):
         args = [
             "cluster",
@@ -221,3 +262,45 @@ class TestCommands:
         with pytest.raises(SystemExit):
             main(args)  # same dir again: refused without overwrite
         assert main([*args, "--storage-overwrite"]) == 0
+
+
+class TestBenchClusterScenarioRegistry:
+    """The bench script's --scenario flag is a real argparse choice:
+    an unknown scenario exits 2 with the valid names listed, never a
+    traceback."""
+
+    def _run(self, *args: str) -> subprocess.CompletedProcess:
+        env = dict(os.environ)
+        src = str(_REPO / "src")
+        env["PYTHONPATH"] = (
+            src + os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH")
+            else src
+        )
+        return subprocess.run(
+            [sys.executable, str(_BENCH_CLUSTER), *args],
+            capture_output=True,
+            text=True,
+            timeout=120,
+            env=env,
+        )
+
+    def test_unknown_scenario_is_a_clean_error(self):
+        completed = self._run("--scenario", "bogus")
+        assert completed.returncode == 2
+        assert "invalid choice: 'bogus'" in completed.stderr
+        for scenario in ("scaling", "elastic", "durability", "throughput"):
+            assert scenario in completed.stderr
+        assert "Traceback" not in completed.stderr
+
+    def test_missing_scenario_value_is_a_clean_error(self):
+        completed = self._run("--scenario")
+        assert completed.returncode == 2
+        assert "expected one argument" in completed.stderr
+        assert "Traceback" not in completed.stderr
+
+    def test_help_lists_scenarios(self):
+        completed = self._run("--help")
+        assert completed.returncode == 0
+        for scenario in ("scaling", "elastic", "durability", "throughput"):
+            assert scenario in completed.stdout

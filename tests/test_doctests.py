@@ -16,6 +16,7 @@ import repro.analytics.counter_bank
 import repro.cluster.aggregator
 import repro.cluster.checkpoint
 import repro.cluster.node
+import repro.cluster.pipeline
 import repro.cluster.rebalance
 import repro.cluster.retention
 import repro.cluster.router
@@ -28,6 +29,7 @@ MODULES = [
     repro.cluster.aggregator,
     repro.cluster.checkpoint,
     repro.cluster.node,
+    repro.cluster.pipeline,
     repro.cluster.rebalance,
     repro.cluster.retention,
     repro.cluster.router,
@@ -40,6 +42,7 @@ MODULES = [
 EXPECTED_EXAMPLES = {
     repro.analytics.counter_bank,
     repro.cluster.node,
+    repro.cluster.pipeline,
     repro.cluster.rebalance,
     repro.cluster.retention,
     repro.cluster.router,
