@@ -34,13 +34,22 @@ parallel ``GlobalView`` bit-for-bit against serial.  The full run must
 show ≥ 1.5× events/sec at 4 workers.  Results land in
 ``benchmarks/results/BENCH_cluster_throughput.json``.
 
+A fifth scenario measures *gossip aggregation*: clusters of 2, 4 and 8
+nodes running ``aggregation="gossip"`` on ``exact`` templates (a crash
+mid-run included), recording rounds-to-convergence after the stream,
+the maximum pre-convergence staleness in events, and whether every
+node's decentralized read equals the central merge-tree answer bit for
+bit (it must).  Results land in
+``benchmarks/results/BENCH_cluster_gossip.json``.
+
 Entry points:
 
 * pytest-benchmark (``pytest benchmarks/bench_cluster.py``) — the full
-  sweep plus crash-recovery, elasticity, durability, and throughput
-  benchmarks;
+  sweep plus crash-recovery, elasticity, durability, throughput, and
+  gossip benchmarks;
 * script mode (``python benchmarks/bench_cluster.py [-q] [--scenario
-  scaling|elastic|durability|throughput]``) — the same runs standalone;
+  scaling|elastic|durability|throughput|gossip]``) — the same runs
+  standalone;
   ``-q`` is the smoke path used by tier-1 tests (reduced workload, same
   schema, seconds not minutes).  Scenarios live in the ``_SCENARIOS``
   registry; an unknown ``--scenario`` is a clean argparse error listing
@@ -50,6 +59,7 @@ Entry points:
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 import tempfile
 from typing import Callable, NamedTuple
@@ -64,6 +74,7 @@ from repro.cluster import (
     TumblingRetention,
     default_template,
     recover_cluster,
+    view_fingerprint,
 )
 from repro.experiments.records import TextTable
 from repro.rng.bitstream import BitBudgetedRandom
@@ -654,6 +665,152 @@ def _check_throughput(payload: dict) -> None:
 
 
 # ----------------------------------------------------------------------
+# gossip scenario: decentralized reads converge to the central answer
+# ----------------------------------------------------------------------
+_GOSSIP_SWEEP = (2, 4, 8)
+_GOSSIP_FANOUT = 1
+
+
+def _run_gossip(n_events: int) -> dict:
+    """Gossip aggregation at 2/4/8 nodes on ``exact`` templates.
+
+    Each run schedules a push-pull round every eighth of the stream and
+    crashes the last node mid-run (so the digest-rebuild path is part
+    of what is measured).  Per node count the payload records the
+    rounds the end-of-stream anti-entropy pass needed (the O(log n)
+    claim made measurable), the worst pre-convergence staleness in
+    events (the "stale but bounded" guarantee), and whether every
+    node's decentralized read equals the central merge tree's answer
+    bit for bit — the gossip counterpart of Remark 2.4's exactness.
+    """
+    gossip_every = max(n_events // 8, 1)
+    rows = []
+    for n_nodes in _GOSSIP_SWEEP:
+        config = ClusterConfig(
+            n_nodes=n_nodes,
+            template=default_template("exact"),
+            seed=_SEED,
+            buffer_limit=512,
+            checkpoint_every=max(n_events // (4 * n_nodes), 1000),
+            aggregation="gossip",
+            gossip_fanout=_GOSSIP_FANOUT,
+            gossip_every=gossip_every,
+            failures=(
+                NodeFailure(at_event=n_events // 2, node_id=n_nodes - 1),
+            ),
+        )
+        events = zipf_workload(
+            BitBudgetedRandom(_SEED),
+            n_keys=_KEYS,
+            n_events=n_events,
+            exponent=_EXPONENT,
+        )
+        with ClusterSimulation(config) as simulation:
+            result = simulation.run(events)
+            central = view_fingerprint(
+                simulation.aggregator.global_view()
+            )
+            equivalent = all(
+                view_fingerprint(simulation.node_view(node.node_id))
+                == central
+                for node in simulation.nodes
+            )
+        rows.append(
+            {
+                "nodes": n_nodes,
+                "events": result.total_events,
+                "events_per_sec": round(result.events_per_sec, 1),
+                "gossip_rounds": result.gossip_rounds,
+                "rounds_to_convergence": (
+                    result.gossip_convergence_rounds
+                ),
+                "max_staleness_events": result.gossip_max_staleness,
+                "central_read_equivalent": equivalent,
+                "max_relative_error": result.max_relative_error,
+                "recoveries": result.recoveries,
+            }
+        )
+    return {
+        "benchmark": "cluster_gossip",
+        "seed": _SEED,
+        "workload": {
+            "kind": "zipf",
+            "events": n_events,
+            "keys": _KEYS,
+            "exponent": _EXPONENT,
+        },
+        "config": {
+            "fanout": _GOSSIP_FANOUT,
+            "gossip_every": gossip_every,
+            "template": "exact",
+        },
+        "rows": rows,
+    }
+
+
+def _render_gossip(payload: dict) -> str:
+    table = TextTable(
+        [
+            "nodes",
+            "events/s",
+            "rounds (stream)",
+            "rounds to converge",
+            "max staleness",
+            "local == central",
+        ]
+    )
+    for row in payload["rows"]:
+        table.add_row(
+            str(row["nodes"]),
+            f"{row['events_per_sec']:,.0f}",
+            str(row["gossip_rounds"]),
+            str(row["rounds_to_convergence"]),
+            f"{row['max_staleness_events']:,}",
+            "yes" if row["central_read_equivalent"] else "NO",
+        )
+    workload = payload["workload"]
+    config = payload["config"]
+    return "\n".join(
+        [
+            "Gossip aggregation — decentralized reads vs the central "
+            "merge tree",
+            f"zipf({workload['exponent']}) {workload['events']:,} events "
+            f"over {workload['keys']:,} keys, seed {payload['seed']}; "
+            f"fanout {config['fanout']}, round every "
+            f"{config['gossip_every']:,} events, exact templates",
+            "",
+            table.render(),
+            "",
+            "Exactness check: after convergence every node's gossiped "
+            "view is bit-identical to the central answer — digests "
+            "merge by version, never by sum, so epidemic exchange "
+            "costs nothing in accuracy (Remark 2.4).",
+        ]
+    )
+
+
+def _check_gossip(payload: dict) -> None:
+    """The gossip-scenario invariants (full or quick)."""
+    rows = payload["rows"]
+    assert [row["nodes"] for row in rows] == list(_GOSSIP_SWEEP)
+    for row in rows:
+        assert row["events"] == payload["workload"]["events"]
+        # Every node's decentralized read must equal the central
+        # merge-tree answer bit for bit on exact templates.
+        assert row["central_read_equivalent"] is True
+        assert row["max_relative_error"] == 0.0
+        # Convergence is O(log n) rounds: generous constant, but the
+        # bound must scale logarithmically, not linearly.
+        bound = 3 * (math.ceil(math.log2(row["nodes"])) + 1)
+        assert 1 <= row["rounds_to_convergence"] <= bound, (
+            f"{row['nodes']} nodes took "
+            f"{row['rounds_to_convergence']} rounds (bound {bound})"
+        )
+        assert row["max_staleness_events"] >= 0
+        assert row["recoveries"] >= 1  # the crash is part of the run
+
+
+# ----------------------------------------------------------------------
 # pytest-benchmark entry points
 # ----------------------------------------------------------------------
 def test_cluster_scaling(benchmark):
@@ -723,6 +880,16 @@ def test_cluster_throughput(benchmark):
     write_result("BENCH_cluster_throughput", _render_throughput(payload))
 
 
+def test_cluster_gossip(benchmark):
+    """Gossip aggregation sweep; writes BENCH_cluster_gossip.json."""
+    payload = benchmark.pedantic(
+        lambda: _run_gossip(_FULL_EVENTS), rounds=1, iterations=1
+    )
+    _check_gossip(payload)
+    write_json_result("cluster_gossip", payload)
+    write_result("BENCH_cluster_gossip", _render_gossip(payload))
+
+
 # ----------------------------------------------------------------------
 # script mode (the tier-1 smoke path)
 # ----------------------------------------------------------------------
@@ -755,6 +922,9 @@ _SCENARIOS: dict[str, _Scenario] = {
         _render_throughput,
         "cluster_throughput",
     ),
+    "gossip": _Scenario(
+        _run_gossip, _check_gossip, _render_gossip, "cluster_gossip"
+    ),
 }
 
 
@@ -762,7 +932,8 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description=(
             "Cluster benchmark scenarios (scaling, elasticity, "
-            "durability, parallel-ingest throughput)"
+            "durability, parallel-ingest throughput, gossip "
+            "aggregation)"
         )
     )
     parser.add_argument(

@@ -2,8 +2,9 @@
 # The single entry point CI and humans share: everything the repo
 # considers "green", in the order CI runs it.
 #
-#   scripts/run_checks.sh            # full check suite (~5 minutes)
+#   scripts/run_checks.sh            # full check suite (~8 minutes)
 #   scripts/run_checks.sh --no-bench # skip the bench smoke + JSON check
+#   scripts/run_checks.sh --no-cov   # skip the coverage report + floor
 #
 # Steps:
 #   1. tier-1 pytest  (includes the doctest pass, docs-link tests, and
@@ -11,18 +12,23 @@
 #   2. explicit doctest pass           (same tests, surfaced separately)
 #   3. docs link check                 (scripts/check_docs_links.py)
 #   4. bench smoke, every scenario     (scaling, elastic, durability,
-#      throughput — writes BENCH_*.json)
+#      throughput, gossip — writes BENCH_*.json)
 #   5. strict-JSON artifact validation (scripts/check_bench_json.py)
+#   6. cluster coverage report + floor (scripts/run_coverage.py —
+#      pytest-cov when installed, stdlib tracer otherwise; fails below
+#      the floor on src/repro/cluster/)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 run_bench=1
+run_cov=1
 for arg in "$@"; do
   case "$arg" in
     --no-bench) run_bench=0 ;;
-    *) echo "unknown option: $arg (supported: --no-bench)" >&2; exit 2 ;;
+    --no-cov) run_cov=0 ;;
+    *) echo "unknown option: $arg (supported: --no-bench, --no-cov)" >&2; exit 2 ;;
   esac
 done
 
@@ -40,7 +46,7 @@ python scripts/check_docs_links.py
 if [ "$run_bench" -eq 1 ]; then
   echo
   echo "== bench smoke (every scenario) =="
-  for scenario in scaling elastic durability throughput; do
+  for scenario in scaling elastic durability throughput gossip; do
     echo "-- scenario: $scenario"
     python benchmarks/bench_cluster.py -q --scenario "$scenario" >/dev/null
   done
@@ -48,6 +54,12 @@ if [ "$run_bench" -eq 1 ]; then
   echo
   echo "== bench JSON validation =="
   python scripts/check_bench_json.py
+fi
+
+if [ "$run_cov" -eq 1 ]; then
+  echo
+  echo "== cluster coverage (floor on src/repro/cluster/) =="
+  python scripts/run_coverage.py
 fi
 
 echo

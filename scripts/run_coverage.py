@@ -1,0 +1,327 @@
+#!/usr/bin/env python3
+"""Line-coverage report for the cluster subsystem, with a floor.
+
+Runs the cluster test suite (``tests/cluster``, minus the bench-smoke
+subprocess tests — child processes contribute no in-process coverage)
+and measures line coverage of ``src/repro/cluster/``.  Two engines:
+
+* **pytest-cov**, when installed (CI installs it): the standard
+  ``pytest --cov=repro.cluster --cov-report=json`` run;
+* a **stdlib fallback** otherwise: a ``sys.settrace`` /
+  ``threading.settrace`` line collector restricted to the target
+  directory, with executable lines derived from the compiled code
+  objects (``co_lines``) minus ``pragma: no cover`` blocks and
+  ``TYPE_CHECKING`` guards — no *coverage* packages required.  (The
+  test suite itself still needs its own dependencies: pytest and
+  hypothesis.)
+
+Either way the script writes ``coverage/cluster_coverage.json`` (plus a
+rendered ``.txt`` summary, both uploaded as CI artifacts) and exits 1
+when overall coverage of ``src/repro/cluster/`` falls below the floor.
+
+Usage::
+
+    PYTHONPATH=src python scripts/run_coverage.py [--floor 85]
+        [--out coverage] [--engine auto|pytest-cov|stdlib]
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import pathlib
+import subprocess
+import sys
+import types
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+TARGET_DIR = REPO / "src" / "repro" / "cluster"
+TEST_ARGS = [
+    str(REPO / "tests" / "cluster"),
+    f"--ignore={REPO / 'tests' / 'cluster' / 'test_bench_smoke.py'}",
+    "-q",
+    "-p",
+    "no:cacheprovider",
+]
+DEFAULT_FLOOR = 85.0
+
+
+# ----------------------------------------------------------------------
+# executable-line analysis (stdlib engine)
+# ----------------------------------------------------------------------
+def _pragma_excluded_lines(source: str, tree: ast.Module) -> set[int]:
+    """Lines excluded from the denominator, coverage.py-style.
+
+    A ``pragma: no cover`` comment excludes its own line; on a
+    ``def`` / ``class`` / branch header it excludes the whole block.
+    ``if TYPE_CHECKING:`` bodies never run by design and are excluded
+    the same way.
+    """
+    lines = source.splitlines()
+    pragma = {
+        number
+        for number, text in enumerate(lines, 1)
+        if "pragma: no cover" in text
+    }
+    excluded = set(pragma)
+
+    def _block(node: ast.AST) -> None:
+        end = getattr(node, "end_lineno", None)
+        if end is not None:
+            excluded.update(range(node.lineno, end + 1))
+
+    for node in ast.walk(tree):
+        lineno = getattr(node, "lineno", None)
+        if lineno is None:
+            continue
+        if isinstance(
+            node,
+            (
+                ast.FunctionDef,
+                ast.AsyncFunctionDef,
+                ast.ClassDef,
+                ast.If,
+                ast.For,
+                ast.While,
+                ast.Try,
+                ast.With,
+            ),
+        ):
+            header_end = getattr(
+                getattr(node, "body", [node])[0], "lineno", lineno
+            )
+            if any(n in pragma for n in range(lineno, header_end)):
+                _block(node)
+        if isinstance(node, ast.If):
+            test = node.test
+            name = (
+                test.id
+                if isinstance(test, ast.Name)
+                else test.attr
+                if isinstance(test, ast.Attribute)
+                else None
+            )
+            if name == "TYPE_CHECKING":
+                # The guard line itself runs; its body never does.
+                for child in node.body:
+                    _block(child)
+    return excluded
+
+
+def executable_lines(path: pathlib.Path) -> set[int]:
+    """Line numbers the compiled module can actually execute."""
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    code = compile(source, str(path), "exec")
+    lines: set[int] = set()
+    stack = [code]
+    while stack:
+        current = stack.pop()
+        for const in current.co_consts:
+            if isinstance(const, types.CodeType):
+                stack.append(const)
+        for _, _, line in current.co_lines():
+            if line is not None:
+                lines.add(line)
+    return lines - _pragma_excluded_lines(source, tree)
+
+
+# ----------------------------------------------------------------------
+# stdlib engine: settrace collector around an in-process pytest run
+# ----------------------------------------------------------------------
+def _run_stdlib_engine() -> tuple[dict[str, dict], int]:
+    """Trace the cluster tests; returns (per-file report, pytest rc)."""
+    import threading
+
+    import pytest
+
+    prefix = str(TARGET_DIR) + "/"
+    hits: dict[str, set[int]] = {}
+
+    def tracer(frame, event, arg):
+        filename = frame.f_code.co_filename
+        if not filename.startswith(prefix):
+            return None
+        if event == "line":
+            hits.setdefault(filename, set()).add(frame.f_lineno)
+        return tracer
+
+    # Target modules may already be imported (pytest plugins, conftest);
+    # purge them so their import-time lines (def/class statements) run
+    # under the tracer like everything else.
+    for name in [
+        name for name in sys.modules if name.startswith("repro")
+    ]:
+        del sys.modules[name]
+
+    threading.settrace(tracer)  # worker threads (the parallel plan)
+    sys.settrace(tracer)
+    try:
+        return_code = pytest.main(TEST_ARGS)
+    finally:
+        sys.settrace(None)
+        threading.settrace(None)  # type: ignore[arg-type]
+
+    report: dict[str, dict] = {}
+    for path in sorted(TARGET_DIR.glob("*.py")):
+        expected = executable_lines(path)
+        covered = hits.get(str(path), set()) & expected
+        missing = sorted(expected - covered)
+        report[path.name] = {
+            "statements": len(expected),
+            "covered": len(covered),
+            "percent": (
+                round(100.0 * len(covered) / len(expected), 2)
+                if expected
+                else 100.0
+            ),
+            "missing_lines": missing,
+        }
+    return report, int(return_code)
+
+
+# ----------------------------------------------------------------------
+# pytest-cov engine
+# ----------------------------------------------------------------------
+def _run_pytest_cov_engine(
+    out_dir: pathlib.Path,
+) -> tuple[dict[str, dict], int]:
+    """The real thing: ``pytest --cov`` in a subprocess, JSON report."""
+    raw = out_dir / "pytest_cov_raw.json"
+    completed = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            *TEST_ARGS,
+            "--cov=repro.cluster",
+            f"--cov-report=json:{raw}",
+        ],
+        cwd=REPO,
+    )
+    if not raw.exists():
+        # pytest died before the plugin could write its report (missing
+        # pytest-cov, collection error, ...): surface the pytest exit
+        # code instead of an unrelated parse failure.
+        return {}, completed.returncode or 1
+    payload = json.loads(raw.read_text(encoding="utf-8"))
+    report: dict[str, dict] = {}
+    for filename, data in sorted(payload.get("files", {}).items()):
+        path = pathlib.Path(filename)
+        if TARGET_DIR not in (REPO / path).parents:
+            continue
+        summary = data["summary"]
+        report[path.name] = {
+            "statements": summary["num_statements"],
+            "covered": summary["covered_lines"],
+            "percent": round(summary["percent_covered"], 2),
+            "missing_lines": data.get("missing_lines", []),
+        }
+    return report, completed.returncode
+
+
+# ----------------------------------------------------------------------
+# reporting
+# ----------------------------------------------------------------------
+def _render(report: dict[str, dict], overall: float, engine: str) -> str:
+    width = max(len(name) for name in report)
+    lines = [
+        f"Coverage of src/repro/cluster/ (engine: {engine})",
+        "",
+        f"{'file'.ljust(width)}  stmts  covered  percent",
+    ]
+    for name, row in report.items():
+        lines.append(
+            f"{name.ljust(width)}  {row['statements']:5d}  "
+            f"{row['covered']:7d}  {row['percent']:6.2f}%"
+        )
+    lines.append("")
+    lines.append(f"TOTAL: {overall:.2f}%")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="cluster-subsystem coverage report with a floor"
+    )
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=DEFAULT_FLOOR,
+        help=f"minimum overall percent (default {DEFAULT_FLOOR})",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(REPO / "coverage"),
+        help="artifact directory (default: <repo>/coverage)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("auto", "pytest-cov", "stdlib"),
+        default="auto",
+        help=(
+            "auto picks pytest-cov when installed, else the stdlib "
+            "settrace fallback"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    engine = args.engine
+    if engine == "auto":
+        try:
+            import pytest_cov  # noqa: F401
+
+            engine = "pytest-cov"
+        except ImportError:
+            engine = "stdlib"
+
+    if engine == "pytest-cov":
+        report, test_rc = _run_pytest_cov_engine(out_dir)
+    else:
+        report, test_rc = _run_stdlib_engine()
+    if test_rc != 0:
+        print(f"cluster tests failed (pytest exit {test_rc})")
+        return test_rc
+
+    total_statements = sum(row["statements"] for row in report.values())
+    total_covered = sum(row["covered"] for row in report.values())
+    overall = (
+        100.0 * total_covered / total_statements if total_statements else 0.0
+    )
+
+    payload = {
+        "target": "src/repro/cluster/",
+        "engine": engine,
+        "floor_percent": args.floor,
+        "overall_percent": round(overall, 2),
+        "files": report,
+    }
+    json_path = out_dir / "cluster_coverage.json"
+    json_path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True, allow_nan=False)
+        + "\n",
+        encoding="utf-8",
+    )
+    text = _render(report, overall, engine)
+    (out_dir / "cluster_coverage.txt").write_text(
+        text + "\n", encoding="utf-8"
+    )
+    print(text)
+    print(f"\nwrote {json_path}")
+
+    if overall < args.floor:
+        print(
+            f"FAIL: overall coverage {overall:.2f}% is below the "
+            f"{args.floor:.2f}% floor"
+        )
+        return 1
+    print(f"floor {args.floor:.2f}% met")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

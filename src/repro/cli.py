@@ -17,6 +17,8 @@ Usage::
         --wal-segment 4096
     python -m repro.cli cluster --workers 4 --batch 64 --storage file \\
         --storage-dir /tmp/cluster --wal-fsync 8
+    python -m repro.cli cluster --aggregation gossip --gossip-fanout 2 \\
+        --gossip-every 25000
     python -m repro.cli count --algorithm nelson_yu --n 1000000
 
 Every subcommand prints the same tables the benchmark suite writes to
@@ -286,6 +288,35 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    cluster.add_argument(
+        "--aggregation",
+        choices=("tree", "gossip"),
+        default="tree",
+        help=(
+            "read path: central merge tree (tree) or per-node "
+            "epoch-stamped digests exchanged in seeded push-pull "
+            "rounds (gossip) — decentralized reads that converge to "
+            "the exact central answer"
+        ),
+    )
+    cluster.add_argument(
+        "--gossip-fanout",
+        type=int,
+        default=1,
+        metavar="PEERS",
+        help="peers each node exchanges digests with per gossip round",
+    )
+    cluster.add_argument(
+        "--gossip-every",
+        type=int,
+        default=None,
+        metavar="EVENTS",
+        help=(
+            "run a gossip round every EVENTS delivered events "
+            "(default with --aggregation gossip: events/8)"
+        ),
+    )
+
     count = subparsers.add_parser(
         "count", help="run one counter over N increments"
     )
@@ -382,6 +413,20 @@ def _run_cluster(args: argparse.Namespace) -> str:
         raise SystemExit("--storage-overwrite requires --storage file")
     if args.wal_fsync is not None and args.storage != "file":
         raise SystemExit("--wal-fsync requires --storage file")
+    if args.aggregation != "gossip":
+        if args.gossip_every is not None:
+            raise SystemExit("--gossip-every requires --aggregation gossip")
+        if args.gossip_fanout != 1:
+            raise SystemExit(
+                "--gossip-fanout requires --aggregation gossip"
+            )
+        gossip_every = None
+    else:
+        gossip_every = (
+            args.gossip_every
+            if args.gossip_every is not None
+            else max(args.events // 8, 1)
+        )
     try:
         config = ClusterConfig(
             n_nodes=args.nodes,
@@ -404,6 +449,9 @@ def _run_cluster(args: argparse.Namespace) -> str:
             ingest_workers=args.workers,
             delivery_batch=args.batch,
             wal_fsync_every=args.wal_fsync,
+            aggregation=args.aggregation,
+            gossip_fanout=args.gossip_fanout,
+            gossip_every=gossip_every,
         )
     except ParameterError as exc:
         raise SystemExit(f"invalid cluster configuration: {exc}")
@@ -424,6 +472,12 @@ def _run_cluster(args: argparse.Namespace) -> str:
     finally:
         simulation.close()
     table = result.table()
+    if args.aggregation == "gossip":
+        table += (
+            f"\ngossip aggregation: fanout {args.gossip_fanout}, "
+            f"round every {gossip_every:,} events — every node's local "
+            "view converged to the central answer"
+        )
     if args.workers > 1:
         table += (
             f"\nparallel ingest: {args.workers} workers, "

@@ -21,6 +21,11 @@ deployment:
   GlobalView`, exact by Remark 2.4 (scratch merges for periodic queries,
   destructive collapse at window end, :func:`~repro.cluster.aggregator.
   merge_views` to assemble retention horizons);
+* :mod:`~repro.cluster.gossip` — the decentralized read path:
+  per-node epoch-stamped partial-view digests exchanged in seeded
+  push-pull rounds (``ClusterConfig.aggregation="gossip"``); a
+  converged node's local view equals the central merge-tree answer
+  bit for bit on ``exact`` templates;
 * :class:`~repro.cluster.checkpoint.BankCheckpoint` — whole-bank
   snapshot/restore built on :mod:`repro.core.codec` and stamped with the
   capturing topology, so a crashed node recovers deterministically;
@@ -51,8 +56,16 @@ from repro.cluster.aggregator import (
     GlobalView,
     MergeTreeAggregator,
     merge_views,
+    tree_merge,
+    view_fingerprint,
 )
 from repro.cluster.checkpoint import BankCheckpoint
+from repro.cluster.gossip import (
+    AGGREGATION_MODES,
+    DigestEntry,
+    GossipNetwork,
+    NodeDigest,
+)
 from repro.cluster.node import CounterTemplate, IngestNode, default_template
 from repro.cluster.pipeline import (
     ExecutionPlan,
@@ -101,15 +114,18 @@ from repro.cluster.storage import (
 )
 
 __all__ = [
+    "AGGREGATION_MODES",
     "BankCheckpoint",
     "CheckpointStore",
     "ClusterConfig",
     "ClusterRouter",
     "ClusterSimulation",
     "CounterTemplate",
+    "DigestEntry",
     "ExecutionPlan",
     "FileStore",
     "GlobalView",
+    "GossipNetwork",
     "HashRingStrategy",
     "IngestNode",
     "KeyMove",
@@ -117,6 +133,7 @@ __all__ = [
     "MergeTreeAggregator",
     "MigrationBatch",
     "ModuloHashStrategy",
+    "NodeDigest",
     "NodeFailure",
     "NodeStats",
     "ParallelPlan",
@@ -141,4 +158,6 @@ __all__ = [
     "merge_views",
     "plan_rebalance",
     "recover_cluster",
+    "tree_merge",
+    "view_fingerprint",
 ]

@@ -32,7 +32,59 @@ from repro.core.merge import merge_all
 from repro.errors import MergeError, ParameterError
 from repro.memory.model import SpaceModel
 
-__all__ = ["GlobalView", "MergeTreeAggregator", "merge_views"]
+__all__ = [
+    "GlobalView",
+    "MergeTreeAggregator",
+    "merge_views",
+    "tree_merge",
+    "view_fingerprint",
+]
+
+
+def view_fingerprint(
+    view: "GlobalView",
+) -> tuple[dict[str, float], dict[str, int] | None]:
+    """A comparable stamp of a view: per-key estimates plus truth.
+
+    :class:`GlobalView` holds live counter objects (which compare by
+    identity), so equality of *answers* — central vs gossiped, serial
+    vs parallel, pre- vs post-recovery — is asserted on this
+    fingerprint; it is the convention every bit-identity test in
+    ``tests/cluster/`` uses.
+    """
+    return (
+        {key: counter.estimate() for key, counter in view.counters.items()},
+        dict(view.truth) if view.truth is not None else None,
+    )
+
+
+def tree_merge(
+    counters: Sequence[ApproximateCounter], fanout: int
+) -> tuple[ApproximateCounter, int]:
+    """Fold counters up a ``fanout``-ary tree; returns ``(merged, rounds)``.
+
+    Each group folds through :func:`~repro.core.merge.merge_all`, which
+    clones before merging — so even single-counter input yields a fresh
+    counter, never an alias of node state.  This is the one merge shape
+    both read paths share: the central
+    :class:`MergeTreeAggregator` and the decentralized gossip digests
+    (:mod:`repro.cluster.gossip`) fold per-key counters exactly the same
+    way, which is what makes a converged gossip read equal the central
+    answer bit for bit on ``exact`` templates.
+    """
+    if fanout < 2:
+        raise ParameterError(f"fanout must be >= 2, got {fanout}")
+    level = list(counters)
+    if len(level) == 1:
+        return merge_all(level), 0
+    rounds = 0
+    while len(level) > 1:
+        level = [
+            merge_all(level[i : i + fanout])
+            for i in range(0, len(level), fanout)
+        ]
+        rounds += 1
+    return level[0], rounds
 
 
 @dataclass(frozen=True)
@@ -163,23 +215,8 @@ class MergeTreeAggregator:
     def _tree_merge(
         self, counters: Sequence[ApproximateCounter]
     ) -> tuple[ApproximateCounter, int]:
-        """Fold counters up a ``fanout``-ary tree; returns (merged, rounds).
-
-        Each group folds through :func:`~repro.core.merge.merge_all`,
-        which clones before merging — so even single-counter input yields
-        a fresh counter, never an alias of node state.
-        """
-        level = list(counters)
-        if len(level) == 1:
-            return merge_all(level), 0
-        rounds = 0
-        while len(level) > 1:
-            level = [
-                merge_all(level[i : i + self._fanout])
-                for i in range(0, len(level), self._fanout)
-            ]
-            rounds += 1
-        return level[0], rounds
+        """Fold counters up the aggregator's tree (see :func:`tree_merge`)."""
+        return tree_merge(counters, self._fanout)
 
     # ------------------------------------------------------------------
     # scratch-merge queries

@@ -101,10 +101,10 @@ class ExecutionPlan(abc.ABC):
 
     A plan may reorder *wall-clock* work however it likes, but must
     deliver every node's sub-stream in arrival order and run the
-    scheduled barriers (retention boundary, scale events, crashes —
-    in that order, before the event at their position) against fully
-    drained nodes, so that what the cluster computes stays a pure
-    function of ``(config, stream)``.
+    scheduled barriers (retention boundary, gossip round, scale
+    events, crashes — in that order, before the event at their
+    position) against fully drained nodes, so that what the cluster
+    computes stays a pure function of ``(config, stream)``.
     """
 
     #: Short name used in logs, reprs, and tests.
@@ -126,8 +126,9 @@ class SerialPlan(ExecutionPlan):
     """The historical single-threaded event loop, extracted.
 
     At one stream position the order is fixed: retention boundary,
-    then scale events, then crashes, then the event itself — the
-    contract every plan (and the determinism tests) relies on.
+    then gossip round, then scale events, then crashes, then the event
+    itself — the contract every plan (and the determinism tests)
+    relies on.
     """
 
     name = "serial"
@@ -144,6 +145,8 @@ class SerialPlan(ExecutionPlan):
         for event in events:
             if retention is not None and retention.is_boundary(position):
                 simulation.collapse_window()
+            if simulation.gossip_due(position):
+                simulation.gossip_round()
             for scale in scales.get(position, ()):
                 simulation.apply_scale(scale)
             for node_id in failures.get(position, ()):
@@ -270,15 +273,25 @@ class ParallelPlan(ExecutionPlan):
                     boundary = retention is not None and retention.is_boundary(
                         position
                     )
+                    gossip_round = simulation.gossip_due(position)
                     position_scales = scales.get(position, ())
                     position_failures = failures.get(position, ())
-                    if boundary or position_scales or position_failures:
+                    if (
+                        boundary
+                        or gossip_round
+                        or position_scales
+                        or position_failures
+                    ):
                         # Global fence: barriers act on drained nodes
                         # only, exactly like the serial loop's state at
-                        # this position.
+                        # this position.  (A gossip round flushes every
+                        # bank into its digest entry, so it must see no
+                        # batch in flight.)
                         drain_all()
                         if boundary:
                             simulation.collapse_window()
+                        if gossip_round:
+                            simulation.gossip_round()
                         for scale in position_scales:
                             simulation.apply_scale(scale)
                         for node_id in position_failures:

@@ -74,10 +74,24 @@ a drain handshake, so recovery semantics are untouched and a parallel
 run is bit-identical to the serial run at the same seed (a tier-1
 invariant, ``tests/cluster/test_pipeline.py``).
 
+Gossip aggregation
+------------------
+``ClusterConfig.aggregation="gossip"`` adds the decentralized read path
+(:mod:`repro.cluster.gossip`): every node keeps an epoch-stamped
+partial-view digest, and every ``gossip_every`` delivered events the
+simulation runs a push-pull round — each node refreshes its own digest
+entry and exchanges digests with ``gossip_fanout`` seeded-random peers.
+Rounds are deterministic event-stream entries that fence through the
+execution plan's drain handshake (like retention boundaries), so a
+parallel gossip run is bit-identical to the serial one.  At end of
+stream the digests converge (anti-entropy rounds, counted in the
+result); a converged node's :meth:`ClusterSimulation.node_view` equals
+the central merge tree's answer bit for bit on ``exact`` templates.
+
 Everything except wall-clock throughput metrics is derived from the
 config seed, which is what the determinism tests pin down.  At one
-stream position the order is fixed: retention boundary, then scale
-events, then crashes, then the event itself.
+stream position the order is fixed: retention boundary, then gossip
+round, then scale events, then crashes, then the event itself.
 """
 
 from __future__ import annotations
@@ -93,6 +107,7 @@ from repro.cluster.aggregator import (
     merge_views,
 )
 from repro.cluster.checkpoint import BankCheckpoint
+from repro.cluster.gossip import AGGREGATION_MODES, GossipNetwork
 from repro.cluster.node import CounterTemplate, IngestNode, default_template
 from repro.cluster.pipeline import make_plan
 from repro.cluster.rebalance import execute_rebalance, plan_rebalance
@@ -214,6 +229,15 @@ class ClusterConfig:
     batches — bit-identical results either way.  ``wal_fsync_every``
     turns on group-commit fsync for file-backed WAL appends (the
     memory backend has no files and ignores it).
+
+    ``aggregation`` picks the read path: ``"tree"`` (the central merge
+    tree, historical behavior) or ``"gossip"`` (every node additionally
+    keeps an epoch-stamped partial-view digest and exchanges it with
+    ``gossip_fanout`` seeded-random peers every ``gossip_every``
+    delivered events — see :mod:`repro.cluster.gossip`).
+    ``gossip_every=None`` with gossip aggregation schedules no
+    in-stream rounds; the run still converges the digests after the
+    stream so every node's local read equals the central answer.
     """
 
     n_nodes: int = 4
@@ -238,6 +262,9 @@ class ClusterConfig:
     ingest_workers: int = 1
     delivery_batch: int = 64
     wal_fsync_every: int | None = None
+    aggregation: str = "tree"
+    gossip_fanout: int = 1
+    gossip_every: int | None = None
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
@@ -296,6 +323,32 @@ class ClusterConfig:
                 "wal_fsync_every must be >= 1 or None, "
                 f"got {self.wal_fsync_every}"
             )
+        if self.aggregation not in AGGREGATION_MODES:
+            known = ", ".join(AGGREGATION_MODES)
+            raise ParameterError(
+                f"aggregation must be one of {known}, "
+                f"got {self.aggregation!r}"
+            )
+        if self.gossip_fanout < 1:
+            raise ParameterError(
+                f"gossip_fanout must be >= 1, got {self.gossip_fanout}"
+            )
+        if self.gossip_every is not None and self.gossip_every < 1:
+            raise ParameterError(
+                "gossip_every must be >= 1 or None, "
+                f"got {self.gossip_every}"
+            )
+        if self.aggregation != "gossip":
+            # Gossip knobs on a tree cluster would be silently ignored;
+            # refuse them so a forgotten aggregation switch is loud.
+            if self.gossip_every is not None:
+                raise ParameterError(
+                    "gossip_every requires aggregation='gossip'"
+                )
+            if self.gossip_fanout != 1:
+                raise ParameterError(
+                    "gossip_fanout requires aggregation='gossip'"
+                )
         self._validate_schedule()
 
     def _validate_schedule(self) -> None:
@@ -413,6 +466,9 @@ class SimulationResult:
     windows_collapsed: int = 0
     windows_retained: int = 0
     storage_bytes: int = 0
+    gossip_rounds: int = 0
+    gossip_convergence_rounds: int = 0
+    gossip_max_staleness: int | None = None
 
     @property
     def recoveries(self) -> int:
@@ -484,6 +540,17 @@ class SimulationResult:
             lines.append(
                 f"retention: {self.windows_collapsed} windows collapsed, "
                 f"{self.windows_retained} retained in the horizon view"
+            )
+        if self.gossip_rounds:
+            staleness = (
+                f"{self.gossip_max_staleness:,}"
+                if self.gossip_max_staleness is not None
+                else "untracked"
+            )
+            lines.append(
+                f"gossip: {self.gossip_rounds} push-pull rounds "
+                f"({self.gossip_convergence_rounds} to converge after "
+                f"the stream); max staleness {staleness} events"
             )
         if self.rms_relative_error is not None:
             lines.append(
@@ -579,7 +646,20 @@ class ClusterSimulation:
         self._migration_batches = 0
         self._migration_bytes = 0
         self._mid_migration = False
+        self._gossip = self._fresh_gossip()
+        if self._gossip is not None:
+            for node_id in sorted(self._nodes):
+                self._gossip.add_node(node_id)
+        self._gossip_convergence_rounds = 0
+        self._gossip_max_staleness: int | None = None
         self._sync_manifest()
+
+    def _fresh_gossip(self) -> GossipNetwork | None:
+        """The gossip layer the config asks for (``None`` for tree)."""
+        config = self._config
+        if config.aggregation != "gossip":
+            return None
+        return GossipNetwork(seed=config.seed, fanout=config.gossip_fanout)
 
     def _fresh_router(self, node_ids: Iterable[int]) -> ClusterRouter:
         config = self._config
@@ -656,6 +736,9 @@ class ClusterSimulation:
                 "ingest_workers": config.ingest_workers,
                 "delivery_batch": config.delivery_batch,
                 "wal_fsync_every": config.wal_fsync_every,
+                "aggregation": config.aggregation,
+                "gossip_fanout": config.gossip_fanout,
+                "gossip_every": config.gossip_every,
             },
             "topology": self._topology_stamp(),
             "incarnations": {
@@ -753,6 +836,21 @@ class ClusterSimulation:
         )
         for node_id in node_ids:
             self._maybe_checkpoint(node_id)
+        # Digests are volatile by design: rebuild every node's own entry
+        # from its recovered bank (= checkpoint + WAL replay); what the
+        # dead process had learned about peers is re-learned by the
+        # anti-entropy rounds that follow.
+        self._gossip = self._fresh_gossip()
+        if self._gossip is not None:
+            for node_id in node_ids:
+                self._gossip.add_node(node_id)
+                self._gossip.refresh(
+                    self._nodes[node_id],
+                    epoch=self._router.epoch,
+                    window=self._window,
+                )
+        self._gossip_convergence_rounds = 0
+        self._gossip_max_staleness = None
         self._sync_manifest()
 
     # ------------------------------------------------------------------
@@ -782,6 +880,64 @@ class ClusterSimulation:
     def store(self) -> CheckpointStore:
         """The durability backend (checkpoints + write-ahead log)."""
         return self._store
+
+    @property
+    def gossip(self) -> GossipNetwork | None:
+        """The gossip layer (``None`` unless ``aggregation='gossip'``)."""
+        return self._gossip
+
+    # ------------------------------------------------------------------
+    # gossip aggregation
+    # ------------------------------------------------------------------
+    def gossip_due(self, position: int) -> bool:
+        """Whether a gossip round is scheduled just before ``position``.
+
+        Like retention boundaries, gossip rounds are exact stream
+        positions — every ``gossip_every`` delivered events — so the
+        execution plans can fence them through the drain handshake and
+        a parallel run gossips against exactly the serial state.
+        """
+        every = self._config.gossip_every
+        return (
+            self._gossip is not None
+            and every is not None
+            and position > 0
+            and position % every == 0
+        )
+
+    def gossip_round(self) -> int:
+        """Run one scheduled push-pull round over the live nodes.
+
+        Every node refreshes its own digest entry (flushing its bank —
+        a flush only applies events already in the durable log, so
+        recovery semantics are untouched), then exchanges digests with
+        its seeded-random peers.  Returns the lifetime round index.
+        """
+        if self._gossip is None:
+            raise StateError(
+                "gossip_round() needs aggregation='gossip' "
+                f"(this cluster runs {self._config.aggregation!r})"
+            )
+        return self._gossip.run_round(
+            self._nodes, epoch=self._router.epoch, window=self._window
+        )
+
+    def node_view(self, node_id: int) -> GlobalView:
+        """One node's decentralized read: its gossip digest, merged.
+
+        The view covers whatever the node's digest has learned so far —
+        stale by at most the traffic since each origin's last refresh,
+        and after :meth:`~repro.cluster.gossip.GossipNetwork.converge`
+        (which :meth:`run` performs at end of stream) bit-identical to
+        :meth:`~repro.cluster.aggregator.MergeTreeAggregator.
+        global_view` on ``exact`` templates.
+        """
+        if self._gossip is None:
+            raise StateError(
+                "node_view() needs aggregation='gossip' "
+                f"(this cluster runs {self._config.aggregation!r})"
+            )
+        return self._gossip.node_view(node_id, fanout=self._config.fanout)
 
     def close(self) -> None:
         """Release the store's backend resources (open WAL handles).
@@ -824,6 +980,17 @@ class ClusterSimulation:
         for node in self._ordered_nodes():
             node.flush()
         elapsed = time.perf_counter() - started
+        if self._gossip is not None:
+            # Staleness is measured *before* the final anti-entropy pass
+            # — it is the lag a decentralized read would have seen at
+            # end of stream; the convergence rounds then drive every
+            # node's view to the exact central answer.
+            self._gossip_max_staleness = self._gossip.max_staleness(
+                self._nodes
+            )
+            self._gossip_convergence_rounds = self._gossip.converge(
+                self._nodes, epoch=self._router.epoch, window=self._window
+            )
         self._sync_manifest()
         view = self._aggregator.global_view()
         if self._archived:
@@ -1014,6 +1181,17 @@ class ClusterSimulation:
             )
         self._recover_node(node_id)
         self._maybe_checkpoint(node_id)
+        if self._gossip is not None:
+            # The digest died with the node's volatile state; rebuild
+            # its own entry from the recovered bank (checkpoint + log
+            # replay).  Entries learned from peers are re-learned by
+            # later anti-entropy rounds.
+            self._gossip.reset_node(node_id)
+            self._gossip.refresh(
+                self._nodes[node_id],
+                epoch=self._router.epoch,
+                window=self._window,
+            )
         self._sync_manifest()
 
     # ------------------------------------------------------------------
@@ -1087,6 +1265,8 @@ class ClusterSimulation:
         self._incarnation[new_id] = incarnation
         self._nodes[new_id] = self._fresh_node(new_id, incarnation)
         self._init_bookkeeping(new_id)
+        if self._gossip is not None:
+            self._gossip.add_node(new_id)
         self._sync_membership()
         self._rebalance()
         self._scale_events_applied += 1
@@ -1131,6 +1311,11 @@ class ClusterSimulation:
         )
         self._store.drop(node_id)
         del self._since_checkpoint[node_id]
+        if self._gossip is not None:
+            # The drained keys now live in the survivors' banks, so the
+            # retiring origin's entry must leave every digest — keeping
+            # it would double-count its traffic forever.
+            self._gossip.remove_node(node_id)
         self._sync_membership()
         self._scale_events_applied += 1
         self._sync_manifest()
@@ -1216,6 +1401,11 @@ class ClusterSimulation:
             windows_collapsed=self._windows_collapsed,
             windows_retained=len(self._archived),
             storage_bytes=self._store.storage_bytes(),
+            gossip_rounds=(
+                self._gossip.rounds if self._gossip is not None else 0
+            ),
+            gossip_convergence_rounds=self._gossip_convergence_rounds,
+            gossip_max_staleness=self._gossip_max_staleness,
         )
 
 
@@ -1271,6 +1461,14 @@ def _config_from_manifest(
             wal_fsync_every=(
                 int(echoed["wal_fsync_every"])
                 if echoed.get("wal_fsync_every") is not None
+                else None
+            ),
+            # Absent from pre-gossip manifests: default central tree.
+            aggregation=str(echoed.get("aggregation", "tree")),
+            gossip_fanout=int(echoed.get("gossip_fanout", 1)),
+            gossip_every=(
+                int(echoed["gossip_every"])
+                if echoed.get("gossip_every") is not None
                 else None
             ),
         )

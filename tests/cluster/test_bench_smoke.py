@@ -22,6 +22,7 @@ _RESULTS = _REPO / "benchmarks" / "results"
 _RESULT = _RESULTS / "BENCH_cluster.json"
 _DURABILITY_RESULT = _RESULTS / "BENCH_cluster_durability.json"
 _THROUGHPUT_RESULT = _RESULTS / "BENCH_cluster_throughput.json"
+_GOSSIP_RESULT = _RESULTS / "BENCH_cluster_gossip.json"
 
 
 def _run_bench(*args: str) -> subprocess.CompletedProcess:
@@ -126,4 +127,32 @@ class TestBenchThroughputSmoke:
             assert row["checkpoints"] == serial["checkpoints"]
             assert row["state_bits"] == serial["state_bits"]
         assert payload["parallel_bit_identical"] is True
+        _assert_strict_json_roundtrip(payload)
+
+
+class TestBenchGossipSmoke:
+    def test_gossip_quick_path(self):
+        """Gossip aggregation on exact templates: every node's
+        decentralized read equals the central merge-tree answer bit
+        for bit, convergence stays O(log n) rounds, and staleness is
+        recorded."""
+        completed = _run_bench("-q", "--scenario", "gossip")
+        assert completed.returncode == 0, completed.stderr[-2000:]
+        assert "local == central" in completed.stdout
+
+        payload = json.loads(_GOSSIP_RESULT.read_text(encoding="utf-8"))
+        assert payload["benchmark"] == "cluster_gossip"
+        assert payload["workload"]["kind"] == "zipf"
+        rows = payload["rows"]
+        assert [row["nodes"] for row in rows] == [2, 4, 8]
+        for row in rows:
+            assert row["central_read_equivalent"] is True
+            assert row["max_relative_error"] == 0.0
+            # O(log n): 2 nodes converge faster than a generous
+            # log-scaled bound at 8; never linear in n.
+            assert 1 <= row["rounds_to_convergence"] <= 12
+            assert row["max_staleness_events"] >= 0
+            assert row["gossip_rounds"] > row["rounds_to_convergence"]
+            assert row["recoveries"] >= 1
+            assert row["events_per_sec"] > 0
         _assert_strict_json_roundtrip(payload)

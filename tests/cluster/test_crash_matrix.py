@@ -1,0 +1,248 @@
+"""One crash matrix instead of hand-picked crash points.
+
+Every fence type the cluster has — periodic checkpoint, forced WAL
+segment fence, migration fence, retention collapse, gossip round — is
+crossed with *every* node id and both storage backends, crashing the
+node at the fence's exact stream position (the event-loop order puts
+the failure right after the fence action).  The assertion is always the
+same, and always the strongest available on ``exact`` templates:
+
+* recovery is lossless — the final global view equals the workload's
+  ground truth bit for bit, and
+* the storage backend is transparent — the memory- and file-backed
+  runs of the same crash are bit-identical.
+
+A second class covers the ``recover_cluster`` edge cases the
+example-based tests skipped: a freshly-initialized store that never saw
+an event, a store recovered twice in a row, and recovery immediately
+followed by a gossip round (the digest-rebuild path).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.cluster import (
+    ClusterConfig,
+    ClusterSimulation,
+    NodeFailure,
+    ScaleEvent,
+    TumblingRetention,
+    default_template,
+    merge_views,
+    recover_cluster,
+    view_fingerprint,
+)
+from repro.rng.bitstream import BitBudgetedRandom
+from repro.stream.workload import zipf_workload
+
+_SEED = 424242
+_EVENTS = 3000
+_NODES = 3
+_FENCE_AT = 1000  # every fence type fires just before this position
+
+
+def _workload():
+    return list(
+        zipf_workload(
+            BitBudgetedRandom(_SEED), n_keys=120, n_events=_EVENTS
+        )
+    )
+
+
+def _truth(events) -> dict[str, int]:
+    counts: Counter[str] = Counter()
+    for event in events:
+        counts[event.key] += event.count
+    return dict(counts)
+
+
+#: fence type -> config fields that make that fence fire at _FENCE_AT.
+_FENCES: dict[str, dict] = {
+    "checkpoint": dict(checkpoint_every=500),
+    "segment": dict(checkpoint_every=None, wal_segment_events=250),
+    "migration": dict(
+        checkpoint_every=500,
+        routing="ring",
+        scale_events=(ScaleEvent(at_event=_FENCE_AT, action="add"),),
+    ),
+    "retention": dict(
+        checkpoint_every=500,
+        retention=TumblingRetention(window_events=_FENCE_AT),
+    ),
+    "gossip": dict(
+        checkpoint_every=500,
+        aggregation="gossip",
+        gossip_fanout=1,
+        gossip_every=_FENCE_AT,
+    ),
+}
+
+
+def _run_crash(
+    fence: str, node_id: int, storage: str, directory
+) -> tuple[tuple, int]:
+    config = ClusterConfig(
+        n_nodes=_NODES,
+        template=default_template("exact"),
+        seed=_SEED,
+        buffer_limit=64,
+        failures=(NodeFailure(at_event=_FENCE_AT, node_id=node_id),),
+        storage=storage,
+        storage_dir=(str(directory) if storage == "file" else None),
+        **_FENCES[fence],
+    )
+    with ClusterSimulation(config) as simulation:
+        result = simulation.run(iter(_workload()))
+        view = simulation.aggregator.global_view()
+        if simulation.archived_windows:
+            # The horizon answer (retention keeps every window here).
+            view = merge_views([*simulation.archived_windows, view])
+        return view_fingerprint(view), result.recoveries
+
+
+class TestCrashMatrix:
+    @pytest.mark.parametrize("fence", sorted(_FENCES))
+    @pytest.mark.parametrize("node_id", range(_NODES))
+    def test_crash_at_fence_is_lossless_on_both_backends(
+        self, fence, node_id, tmp_path
+    ):
+        expected = _truth(_workload())
+        stamps = {}
+        for storage in ("memory", "file"):
+            fingerprint, recoveries = _run_crash(
+                fence, node_id, storage, tmp_path / storage
+            )
+            assert recoveries == 1
+            estimates, truth = fingerprint
+            # Losslessness: checkpoint + WAL replay drops nothing.
+            assert truth == expected, (
+                f"{fence}/{storage}: truth diverged after crashing "
+                f"node {node_id}"
+            )
+            assert estimates == {
+                key: float(count) for key, count in expected.items()
+            }
+            stamps[storage] = fingerprint
+        # Backend transparency: same crash, same bits.
+        assert stamps["memory"] == stamps["file"]
+
+    def test_crash_the_freshly_added_node_at_the_migration_fence(
+        self, tmp_path
+    ):
+        """The node that joined at the fence position is crash-target
+        number one in a real deployment; it has no checkpoint yet."""
+        config = ClusterConfig(
+            n_nodes=_NODES,
+            template=default_template("exact"),
+            seed=_SEED,
+            checkpoint_every=500,
+            routing="ring",
+            scale_events=(ScaleEvent(at_event=_FENCE_AT, action="add"),),
+            failures=(NodeFailure(at_event=_FENCE_AT, node_id=_NODES),),
+            storage="file",
+            storage_dir=str(tmp_path),
+        )
+        events = _workload()
+        with ClusterSimulation(config) as simulation:
+            result = simulation.run(iter(events))
+            estimates, truth = view_fingerprint(
+                simulation.aggregator.global_view()
+            )
+        assert result.recoveries == 1
+        assert truth == _truth(events)
+
+
+class TestRecoverClusterEdgeCases:
+    def _config(self, directory, **overrides) -> ClusterConfig:
+        base = dict(
+            n_nodes=_NODES,
+            template=default_template("exact"),
+            seed=_SEED,
+            checkpoint_every=500,
+            storage="file",
+            storage_dir=str(directory),
+        )
+        base.update(overrides)
+        return ClusterConfig(**base)
+
+    def test_recover_freshly_initialized_empty_store(self, tmp_path):
+        """A store that never saw an event recovers to an empty, *live*
+        cluster: it can run a stream afterwards and stays exact."""
+        with ClusterSimulation(self._config(tmp_path)):
+            pass  # initialized the store, delivered nothing
+        events = _workload()
+        with recover_cluster(str(tmp_path)) as recovered:
+            view = recovered.aggregator.global_view()
+            assert view.n_keys == 0
+            assert len(recovered.nodes) == _NODES
+            # Every node went through the standard recovery path even
+            # though there was nothing to replay.
+            result = recovered.run(iter(events))
+            estimates, truth = view_fingerprint(
+                recovered.aggregator.global_view()
+            )
+        assert truth == _truth(events)
+        assert result.total_events == sum(truth.values())
+
+    def test_recover_twice_in_a_row_is_stable(self, tmp_path):
+        """Recovery must be idempotent on the answer: re-opening the
+        same store twice (incarnations bump each time) reproduces the
+        identical global view, and never rewrites on-disk state into
+        something a third recovery would read differently."""
+        config = self._config(
+            tmp_path,
+            failures=(NodeFailure(at_event=_FENCE_AT, node_id=1),),
+        )
+        events = _workload()
+        with ClusterSimulation(config) as simulation:
+            simulation.run(iter(events))
+            before = view_fingerprint(simulation.aggregator.global_view())
+        fingerprints = []
+        for _ in range(2):
+            with recover_cluster(str(tmp_path)) as recovered:
+                fingerprints.append(
+                    view_fingerprint(recovered.aggregator.global_view())
+                )
+        assert fingerprints[0] == before
+        assert fingerprints[1] == before
+
+    def test_recovery_immediately_followed_by_gossip_round(self, tmp_path):
+        """After process death the digests are rebuilt from checkpoint +
+        WAL replay; a gossip round (and the anti-entropy pass) must
+        bring every node's local read back to the central answer."""
+        config = self._config(
+            tmp_path,
+            aggregation="gossip",
+            gossip_fanout=1,
+            gossip_every=_FENCE_AT,
+        )
+        events = _workload()
+        with ClusterSimulation(config) as simulation:
+            simulation.run(iter(events))
+            before = view_fingerprint(simulation.aggregator.global_view())
+        with recover_cluster(str(tmp_path)) as recovered:
+            assert recovered.config.aggregation == "gossip"
+            assert recovered.config.gossip_every == _FENCE_AT
+            # Each digest knows only its own rebuilt entry so far.
+            for node in recovered.nodes:
+                assert recovered.gossip.digest(node.node_id).origins == (
+                    node.node_id,
+                )
+            recovered.gossip_round()
+            rounds = recovered.gossip.converge(
+                {node.node_id: node for node in recovered.nodes},
+                epoch=recovered.router.epoch,
+            )
+            central = view_fingerprint(
+                recovered.aggregator.global_view()
+            )
+            assert central == before
+            for node in recovered.nodes:
+                assert (
+                    view_fingerprint(recovered.node_view(node.node_id))
+                    == central
+                )
+        assert central[1] == _truth(events)

@@ -1,0 +1,313 @@
+"""Unit tests for the gossip layer (`repro.cluster.gossip`).
+
+The digest algebra (version-wins merges, never sums), peer-selection
+determinism, convergence, membership changes, and the simulation-level
+wiring: scheduled rounds at exact stream positions, digest rebuild on
+crash recovery, and equality of every converged decentralized read with
+the central merge-tree answer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    ClusterConfig,
+    ClusterSimulation,
+    GossipNetwork,
+    NodeFailure,
+    ScaleEvent,
+    default_template,
+    view_fingerprint,
+)
+from repro.cluster.gossip import DigestEntry, NodeDigest
+from repro.cluster.node import CounterTemplate, IngestNode
+from repro.errors import ParameterError, StateError
+from repro.rng.bitstream import BitBudgetedRandom
+from repro.stream.workload import KeyedEvent, zipf_workload
+
+
+def _node(node_id: int, counts: dict[str, int]) -> IngestNode:
+    node = IngestNode(node_id, CounterTemplate("exact"), seed=100 + node_id)
+    for key, count in counts.items():
+        node.submit(KeyedEvent(key, count))
+    return node
+
+
+def _network(nodes: dict[int, IngestNode], fanout: int = 1) -> GossipNetwork:
+    network = GossipNetwork(seed=7, fanout=fanout)
+    for node_id in nodes:
+        network.add_node(node_id)
+    return network
+
+
+class TestDigestAlgebra:
+    def test_capture_is_a_clone_not_an_alias(self):
+        node = _node(0, {"a": 5})
+        entry = DigestEntry.capture(node, version=1)
+        node.submit(KeyedEvent("a", 3))
+        node.flush()
+        # The entry froze the bank at capture time.
+        assert entry.counters["a"].estimate() == 5.0
+        assert node.estimate("a") == 8.0
+        assert entry.truth == {"a": 5}
+        assert entry.events == 5
+
+    def test_capture_does_not_perturb_future_coin_flips(self):
+        """Capturing a digest entry must not consume node RNG: two runs
+        that differ only in an extra capture stay bit-identical."""
+        results = []
+        for capture_mid_run in (False, True):
+            node = IngestNode(
+                0, default_template("simplified_ny"), seed=42
+            )
+            node.submit(KeyedEvent("k", 500))
+            if capture_mid_run:
+                DigestEntry.capture(node, version=1)
+            node.submit(KeyedEvent("k", 500))
+            node.flush()
+            results.append(node.estimate("k"))
+        assert results[0] == results[1]
+
+    def test_merge_keeps_higher_version_never_sums(self):
+        node = _node(0, {"a": 5})
+        old = DigestEntry.capture(node, version=1)
+        node.submit(KeyedEvent("a", 2))
+        new = DigestEntry.capture(node, version=2)
+        digest = NodeDigest(9)
+        assert digest.merge_entry(old) is True
+        assert digest.merge_entry(new) is True
+        # Re-merging the stale entry (any number of times) is a no-op.
+        assert digest.merge_entry(old) is False
+        assert digest.merge_entry(old) is False
+        assert digest.view().estimate("a") == 7.0
+        assert digest.view().truth == {"a": 7}
+
+    def test_view_merges_across_origins_exactly_once(self):
+        digest = NodeDigest(0)
+        for node_id, counts in ((0, {"a": 3}), (1, {"a": 4, "b": 1})):
+            digest.merge_entry(
+                DigestEntry.capture(_node(node_id, counts), version=1)
+            )
+        # Forward the same entries again through another digest: still
+        # counted once.
+        other = NodeDigest(1)
+        other.merge_digest(digest)
+        digest.merge_digest(other)
+        view = digest.view()
+        assert view.estimate("a") == 7.0
+        assert view.estimate("b") == 1.0
+        assert view.truth == {"a": 7, "b": 1}
+
+    def test_empty_digest_view(self):
+        view = NodeDigest(0).view()
+        assert view.n_keys == 0
+        assert view.truth == {}
+        assert view.epoch == 0
+
+
+class TestGossipNetwork:
+    def test_rounds_are_deterministic(self):
+        fingerprints = []
+        for _ in range(2):
+            nodes = {
+                node_id: _node(node_id, {f"k{node_id}": node_id + 1})
+                for node_id in range(5)
+            }
+            network = _network(nodes, fanout=1)
+            for _ in range(3):
+                network.run_round(nodes)
+            fingerprints.append(
+                {
+                    node_id: view_fingerprint(network.node_view(node_id))
+                    for node_id in network.node_ids
+                }
+            )
+        assert fingerprints[0] == fingerprints[1]
+
+    def test_converge_reaches_central_answer(self):
+        nodes = {
+            node_id: _node(node_id, {"hot": 10 + node_id, f"n{node_id}": 1})
+            for node_id in range(6)
+        }
+        network = _network(nodes, fanout=1)
+        rounds = network.converge(nodes)
+        assert rounds >= 1
+        expected_hot = float(sum(10 + i for i in range(6)))
+        for node_id in network.node_ids:
+            view = network.node_view(node_id)
+            assert view.estimate("hot") == expected_hot
+            assert view.truth["hot"] == int(expected_hot)
+        assert network.converged()
+
+    def test_single_node_converges_trivially(self):
+        nodes = {0: _node(0, {"a": 2})}
+        network = _network(nodes)
+        assert network.converge(nodes) == 0
+        assert network.node_view(0).estimate("a") == 2.0
+
+    def test_staleness_shrinks_with_rounds(self):
+        nodes = {node_id: _node(node_id, {"k": 100}) for node_id in range(4)}
+        network = _network(nodes, fanout=1)
+        before = network.max_staleness(nodes)
+        assert before == 400  # nothing propagated yet
+        network.converge(nodes)
+        assert network.max_staleness(nodes) == 0
+
+    def test_remove_node_purges_its_entries_everywhere(self):
+        nodes = {node_id: _node(node_id, {"k": 1}) for node_id in range(3)}
+        network = _network(nodes, fanout=2)
+        network.converge(nodes)
+        network.remove_node(2)
+        assert network.node_ids == (0, 1)
+        for node_id in network.node_ids:
+            assert 2 not in network.digest(node_id).origins
+
+    def test_reset_then_refresh_outversions_stale_entries(self):
+        """A recovered node's rebuilt entry must win against the
+        pre-crash entry peers still hold."""
+        nodes = {node_id: _node(node_id, {"k": 5}) for node_id in range(2)}
+        network = _network(nodes, fanout=1)
+        network.converge(nodes)
+        # Node 0 "crashes": digest wiped, bank replaced (recovery).
+        nodes[0] = _node(0, {"k": 9})
+        network.reset_node(0)
+        entry = network.refresh(nodes[0])
+        assert entry.version >= 2  # version table survived the crash
+        network.converge(nodes)
+        for node_id in network.node_ids:
+            assert network.node_view(node_id).estimate("k") == 14.0
+
+    def test_parameter_errors(self):
+        with pytest.raises(ParameterError):
+            GossipNetwork(seed=1, fanout=0)
+        network = GossipNetwork(seed=1)
+        network.add_node(0)
+        with pytest.raises(ParameterError):
+            network.add_node(0)
+        with pytest.raises(ParameterError):
+            network.digest(3)
+        with pytest.raises(ParameterError):
+            network.remove_node(3)
+
+
+class TestConfigValidation:
+    def test_aggregation_choices(self):
+        with pytest.raises(ParameterError):
+            ClusterConfig(aggregation="broadcast")
+        with pytest.raises(ParameterError):
+            ClusterConfig(aggregation="gossip", gossip_fanout=0)
+        with pytest.raises(ParameterError):
+            ClusterConfig(aggregation="gossip", gossip_every=0)
+        with pytest.raises(ParameterError):
+            ClusterConfig(gossip_every=100)  # tree aggregation
+        with pytest.raises(ParameterError):
+            ClusterConfig(gossip_fanout=3)  # tree aggregation
+        config = ClusterConfig(
+            aggregation="gossip", gossip_fanout=2, gossip_every=100
+        )
+        assert config.aggregation == "gossip"
+
+    def test_tree_cluster_refuses_gossip_reads(self):
+        simulation = ClusterSimulation(ClusterConfig(n_nodes=2))
+        assert simulation.gossip is None
+        with pytest.raises(StateError):
+            simulation.gossip_round()
+        with pytest.raises(StateError):
+            simulation.node_view(0)
+
+
+class TestSimulationWiring:
+    def _run(self, **overrides):
+        config = ClusterConfig(
+            n_nodes=3,
+            template=default_template("exact"),
+            seed=11,
+            checkpoint_every=1500,
+            aggregation="gossip",
+            gossip_fanout=1,
+            gossip_every=2000,
+            **overrides,
+        )
+        simulation = ClusterSimulation(config)
+        events = zipf_workload(
+            BitBudgetedRandom(11), n_keys=150, n_events=8000
+        )
+        result = simulation.run(events)
+        return simulation, result
+
+    def test_scheduled_rounds_and_convergence(self):
+        simulation, result = self._run()
+        # 8000 events / 2000 = 3 in-stream rounds (position 0 skipped),
+        # plus whatever the final convergence pass needed.
+        assert result.gossip_rounds >= 3 + result.gossip_convergence_rounds
+        assert result.gossip_max_staleness is not None
+        central = view_fingerprint(simulation.aggregator.global_view())
+        for node in simulation.nodes:
+            assert view_fingerprint(
+                simulation.node_view(node.node_id)
+            ) == central
+        assert result.max_relative_error == 0.0
+
+    def test_crash_rebuilds_digest_from_recovery(self):
+        simulation, result = self._run(
+            failures=(NodeFailure(at_event=4000, node_id=1),)
+        )
+        assert result.recoveries == 1
+        central = view_fingerprint(simulation.aggregator.global_view())
+        for node in simulation.nodes:
+            assert view_fingerprint(
+                simulation.node_view(node.node_id)
+            ) == central
+
+    def test_scale_events_update_membership(self):
+        simulation, result = self._run(
+            routing="ring",
+            scale_events=(
+                ScaleEvent(at_event=2500, action="add"),
+                ScaleEvent(at_event=5500, action="remove", node_id=0),
+            ),
+        )
+        assert result.scale_events_applied == 2
+        live = tuple(node.node_id for node in simulation.nodes)
+        assert simulation.gossip.node_ids == live
+        central = view_fingerprint(simulation.aggregator.global_view())
+        for node_id in live:
+            # Retired node 0 appears in no digest; every read is exact.
+            assert 0 not in simulation.gossip.digest(node_id).origins
+            assert view_fingerprint(
+                simulation.node_view(node_id)
+            ) == central
+
+    def test_gossip_run_is_pure_function_of_seed(self):
+        stamps = []
+        for _ in range(2):
+            simulation, result = self._run(
+                failures=(NodeFailure(at_event=4000, node_id=2),)
+            )
+            stamps.append(
+                (
+                    view_fingerprint(simulation.aggregator.global_view()),
+                    result.gossip_rounds,
+                    result.gossip_convergence_rounds,
+                    result.gossip_max_staleness,
+                    {
+                        node.node_id: view_fingerprint(
+                            simulation.node_view(node.node_id)
+                        )
+                        for node in simulation.nodes
+                    },
+                )
+            )
+        assert stamps[0] == stamps[1]
+
+    def test_gossip_off_results_carry_no_gossip_stats(self):
+        config = ClusterConfig(
+            n_nodes=2, template=default_template("exact"), seed=5
+        )
+        result = ClusterSimulation(config).run(
+            zipf_workload(BitBudgetedRandom(5), n_keys=50, n_events=1000)
+        )
+        assert result.gossip_rounds == 0
+        assert result.gossip_convergence_rounds == 0
+        assert result.gossip_max_staleness is None

@@ -27,6 +27,7 @@ from repro.cluster import (
     default_template,
     make_plan,
     recover_cluster,
+    view_fingerprint,
 )
 from repro.errors import ParameterError
 from repro.rng.bitstream import BitBudgetedRandom
@@ -44,14 +45,7 @@ def _run(config: ClusterConfig, seed: int, n_events: int = _EVENTS):
     """Run one simulation; returns (result, view fingerprint)."""
     with ClusterSimulation(config) as simulation:
         result = simulation.run(_events(seed, n_events))
-        view = simulation.aggregator.global_view()
-        fingerprint = (
-            {
-                key: counter.estimate()
-                for key, counter in view.counters.items()
-            },
-            view.truth,
-        )
+        fingerprint = view_fingerprint(simulation.aggregator.global_view())
     return result, fingerprint
 
 
@@ -324,14 +318,7 @@ class TestParallelDurability:
         )
         _, before = _run(config, 17)
         with recover_cluster(str(tmp_path)) as recovered:
-            view = recovered.aggregator.global_view()
-            after = (
-                {
-                    key: counter.estimate()
-                    for key, counter in view.counters.items()
-                },
-                view.truth,
-            )
+            after = view_fingerprint(recovered.aggregator.global_view())
             assert recovered.config.ingest_workers == 4
             assert recovered.config.delivery_batch == 16
             assert recovered.config.wal_fsync_every == 4

@@ -1,0 +1,202 @@
+"""Seeded randomized property sweep over the cluster invariants.
+
+The example-based tests in ``tests/cluster/`` pin the ROADMAP
+invariants at hand-picked configurations; this sweep (hypothesis, in
+the ``tests/property`` style — no new dependencies) asserts them for
+*randomly drawn* templates, topologies, schedules, and seeds:
+
+* **merge exactness** (Remark 2.4) — an ``exact``-template cluster
+  reproduces the workload's ground truth bit for bit through routing,
+  hot-key splitting, crashes, and checkpointing, whatever the topology;
+* **gossip-vs-tree read equivalence** — with ``aggregation="gossip"``
+  every node's converged decentralized read equals the central
+  merge-tree answer bit for bit, and enabling gossip never changes
+  what an ``exact`` cluster computes;
+* **serial-vs-parallel bit-identity** — the execution plan moves
+  wall-clock only: worker-sharded delivery reproduces the serial run's
+  ``GlobalView`` and per-node stats bit for bit on approximate
+  templates too, crashes and gossip rounds included.
+
+``derandomize=True`` keeps the sweep a pure function of the test code
+(CI never sees a flaky draw); bump ``max_examples`` locally to sweep
+wider.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    ClusterConfig,
+    ClusterSimulation,
+    NodeFailure,
+    default_template,
+    view_fingerprint,
+)
+from repro.rng.bitstream import BitBudgetedRandom
+from repro.stream.workload import zipf_workload
+
+_SEEDS = st.integers(min_value=0, max_value=2**32 - 1)
+_NODES = st.integers(min_value=1, max_value=5)
+_EVENTS = st.integers(min_value=400, max_value=2500)
+_ROUTINGS = st.sampled_from(("hash", "ring"))
+_TEMPLATES = st.sampled_from(("exact", "simplified_ny", "morris"))
+
+
+def _workload(seed: int, n_events: int):
+    return list(
+        zipf_workload(
+            BitBudgetedRandom(seed), n_keys=80, n_events=n_events
+        )
+    )
+
+
+def _truth(events) -> dict[str, int]:
+    counts: Counter[str] = Counter()
+    for event in events:
+        counts[event.key] += event.count
+    return dict(counts)
+
+
+def _failures(n_nodes: int, n_events: int, crash: bool):
+    if not crash or n_nodes < 2:
+        return ()
+    return (NodeFailure(at_event=n_events // 2, node_id=n_nodes - 1),)
+
+
+class TestMergeExactness:
+    @settings(max_examples=10, deadline=None, derandomize=True)
+    @given(
+        seed=_SEEDS,
+        n_nodes=_NODES,
+        n_events=_EVENTS,
+        routing=_ROUTINGS,
+        crash=st.booleans(),
+        hot=st.booleans(),
+    )
+    def test_exact_cluster_reproduces_ground_truth(
+        self, seed, n_nodes, n_events, routing, crash, hot
+    ):
+        events = _workload(seed, n_events)
+        config = ClusterConfig(
+            n_nodes=n_nodes,
+            template=default_template("exact"),
+            seed=seed,
+            buffer_limit=64,
+            checkpoint_every=max(n_events // 4, 50),
+            routing=routing,
+            hot_key_threshold=(n_events // 10 if hot else None),
+            failures=_failures(n_nodes, n_events, crash),
+        )
+        simulation = ClusterSimulation(config)
+        result = simulation.run(iter(events))
+        estimates, truth = view_fingerprint(
+            simulation.aggregator.global_view()
+        )
+        expected = _truth(events)
+        assert truth == expected
+        assert estimates == {
+            key: float(count) for key, count in expected.items()
+        }
+        assert result.total_events == sum(expected.values())
+        assert result.max_relative_error == 0.0
+
+
+class TestGossipTreeEquivalence:
+    @settings(max_examples=10, deadline=None, derandomize=True)
+    @given(
+        seed=_SEEDS,
+        n_nodes=_NODES,
+        n_events=_EVENTS,
+        fanout=st.integers(min_value=1, max_value=3),
+        every_div=st.integers(min_value=2, max_value=8),
+        crash=st.booleans(),
+    )
+    def test_converged_gossip_reads_equal_central(
+        self, seed, n_nodes, n_events, fanout, every_div, crash
+    ):
+        events = _workload(seed, n_events)
+        shared = dict(
+            n_nodes=n_nodes,
+            template=default_template("exact"),
+            seed=seed,
+            checkpoint_every=max(n_events // 3, 50),
+            failures=_failures(n_nodes, n_events, crash),
+        )
+        tree = ClusterSimulation(ClusterConfig(**shared))
+        tree.run(iter(events))
+        tree_central = view_fingerprint(tree.aggregator.global_view())
+
+        gossip = ClusterSimulation(
+            ClusterConfig(
+                **shared,
+                aggregation="gossip",
+                gossip_fanout=fanout,
+                gossip_every=max(n_events // every_div, 1),
+            )
+        )
+        gossip.run(iter(events))
+        central = view_fingerprint(gossip.aggregator.global_view())
+        # Gossip is a read-path feature: it must not change what an
+        # exact cluster computes...
+        assert central == tree_central
+        # ...and every node's converged local read equals the central
+        # answer bit for bit.
+        for node in gossip.nodes:
+            assert (
+                view_fingerprint(gossip.node_view(node.node_id))
+                == central
+            )
+
+
+class TestSerialParallelBitIdentity:
+    @settings(max_examples=10, deadline=None, derandomize=True)
+    @given(
+        seed=_SEEDS,
+        n_nodes=st.integers(min_value=2, max_value=5),
+        n_events=_EVENTS,
+        template=_TEMPLATES,
+        workers=st.integers(min_value=2, max_value=6),
+        batch=st.sampled_from((1, 16, 64, 512)),
+        crash=st.booleans(),
+        use_gossip=st.booleans(),
+    )
+    def test_parallel_reproduces_serial_bit_for_bit(
+        self, seed, n_nodes, n_events, template, workers, batch, crash,
+        use_gossip,
+    ):
+        events = _workload(seed, n_events)
+        shared = dict(
+            n_nodes=n_nodes,
+            template=default_template(template),
+            seed=seed,
+            buffer_limit=128,
+            checkpoint_every=max(n_events // 4, 50),
+            failures=_failures(n_nodes, n_events, crash),
+        )
+        if use_gossip:
+            shared.update(
+                aggregation="gossip",
+                gossip_every=max(n_events // 4, 1),
+            )
+        stamps = []
+        for extra in ({}, dict(ingest_workers=workers,
+                               delivery_batch=batch)):
+            simulation = ClusterSimulation(ClusterConfig(**shared, **extra))
+            result = simulation.run(iter(events))
+            stamps.append(
+                (
+                    view_fingerprint(simulation.aggregator.global_view()),
+                    result.node_stats,
+                    result.rms_relative_error,
+                    result.max_relative_error,
+                    result.total_state_bits,
+                    result.gossip_rounds,
+                    result.gossip_convergence_rounds,
+                    result.gossip_max_staleness,
+                )
+            )
+        assert stamps[0] == stamps[1]

@@ -15,6 +15,7 @@ _CASES = {
     "cluster_simulation.py": ["4", "60000"],
     "durable_cluster.py": ["40000"],
     "elastic_cluster.py": ["60000"],
+    "gossip_cluster.py": ["30000"],
     "parallel_cluster.py": ["30000"],
     "quickstart.py": ["200000"],
     "wikipedia_page_views.py": ["100", "2000000"],

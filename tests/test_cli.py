@@ -168,6 +168,44 @@ class TestCommands:
         with pytest.raises(SystemExit):
             main(["cluster", "--events", "100", "--kill", "nonsense"])
 
+    def test_cluster_gossip_aggregation(self, capsys):
+        assert (
+            main(
+                [
+                    "cluster",
+                    "--nodes",
+                    "3",
+                    "--events",
+                    "5000",
+                    "--keys",
+                    "100",
+                    "--algorithm",
+                    "exact",
+                    "--checkpoint-every",
+                    "2000",
+                    "--aggregation",
+                    "gossip",
+                    "--gossip-fanout",
+                    "2",
+                    "--gossip-every",
+                    "1500",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "push-pull rounds" in out
+        assert "max staleness" in out
+        assert "gossip aggregation: fanout 2" in out
+
+    def test_cluster_gossip_every_requires_gossip_aggregation(self):
+        with pytest.raises(SystemExit):
+            main(["cluster", "--events", "100", "--gossip-every", "50"])
+
+    def test_cluster_gossip_fanout_requires_gossip_aggregation(self):
+        with pytest.raises(SystemExit):
+            main(["cluster", "--events", "100", "--gossip-fanout", "3"])
+
     def test_cluster_file_storage(self, capsys, tmp_path):
         assert (
             main(
@@ -289,7 +327,9 @@ class TestBenchClusterScenarioRegistry:
         completed = self._run("--scenario", "bogus")
         assert completed.returncode == 2
         assert "invalid choice: 'bogus'" in completed.stderr
-        for scenario in ("scaling", "elastic", "durability", "throughput"):
+        for scenario in (
+            "scaling", "elastic", "durability", "throughput", "gossip"
+        ):
             assert scenario in completed.stderr
         assert "Traceback" not in completed.stderr
 
@@ -302,5 +342,7 @@ class TestBenchClusterScenarioRegistry:
     def test_help_lists_scenarios(self):
         completed = self._run("--help")
         assert completed.returncode == 0
-        for scenario in ("scaling", "elastic", "durability", "throughput"):
+        for scenario in (
+            "scaling", "elastic", "durability", "throughput", "gossip"
+        ):
             assert scenario in completed.stdout

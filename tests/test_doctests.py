@@ -15,6 +15,7 @@ import pytest
 import repro.analytics.counter_bank
 import repro.cluster.aggregator
 import repro.cluster.checkpoint
+import repro.cluster.gossip
 import repro.cluster.node
 import repro.cluster.pipeline
 import repro.cluster.rebalance
@@ -28,6 +29,7 @@ MODULES = [
     repro.analytics.counter_bank,
     repro.cluster.aggregator,
     repro.cluster.checkpoint,
+    repro.cluster.gossip,
     repro.cluster.node,
     repro.cluster.pipeline,
     repro.cluster.rebalance,
@@ -41,6 +43,7 @@ MODULES = [
 # Modules whose docstrings must carry at least one runnable example.
 EXPECTED_EXAMPLES = {
     repro.analytics.counter_bank,
+    repro.cluster.gossip,
     repro.cluster.node,
     repro.cluster.pipeline,
     repro.cluster.rebalance,
