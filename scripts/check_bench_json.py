@@ -13,7 +13,12 @@ The benchmark suite writes machine-readable artifacts under
   (``rows`` must be a non-empty list of objects, ``workload`` an
   object, ``seed`` an integer);
 * names a different benchmark than its filename promises
-  (``BENCH_<name>.json`` must carry ``"benchmark": "<name>"``).
+  (``BENCH_<name>.json`` must carry ``"benchmark": "<name>"``);
+* embeds a malformed telemetry snapshot — a row's optional
+  ``metrics`` object (written by the cluster scenarios from
+  ``repro.obs``) must carry ``counters`` (string → non-negative int),
+  ``gauges`` (string → number), ``histograms`` (series →
+  buckets/count/sum) and ``stages`` (stage → count/total_s/max_s).
 
 Usage::
 
@@ -42,6 +47,51 @@ def _reject_constant(token: str) -> float:
     raise ValueError(f"non-finite JSON constant {token!r}")
 
 
+def _check_metrics(metrics: object, where: str) -> list[str]:
+    """Schema problems with one embedded telemetry snapshot."""
+    if not isinstance(metrics, dict):
+        return [f"{where}: metrics must be an object"]
+    problems: list[str] = []
+    for family in ("counters", "gauges", "histograms", "stages"):
+        if family not in metrics:
+            problems.append(f"{where}: metrics missing {family!r}")
+        elif not isinstance(metrics[family], dict):
+            problems.append(f"{where}: metrics {family} must be an object")
+    if problems:
+        return problems
+    for series, value in metrics["counters"].items():
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            problems.append(
+                f"{where}: counter {series!r} must be a non-negative "
+                f"integer, got {value!r}"
+            )
+    for series, value in metrics["gauges"].items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            problems.append(
+                f"{where}: gauge {series!r} must be numeric, got {value!r}"
+            )
+    for series, histogram in metrics["histograms"].items():
+        if not isinstance(histogram, dict) or not all(
+            key in histogram for key in ("buckets", "count", "sum")
+        ):
+            problems.append(
+                f"{where}: histogram {series!r} must carry "
+                "buckets/count/sum"
+            )
+        elif not isinstance(histogram["buckets"], list):
+            problems.append(
+                f"{where}: histogram {series!r} buckets must be a list"
+            )
+    for stage, cell in metrics["stages"].items():
+        if not isinstance(cell, dict) or not all(
+            key in cell for key in ("count", "total_s", "max_s")
+        ):
+            problems.append(
+                f"{where}: stage {stage!r} must carry count/total_s/max_s"
+            )
+    return problems
+
+
 def check_payload(payload: object, expected_name: str | None) -> list[str]:
     """Schema problems with one parsed artifact (empty when valid)."""
     problems: list[str] = []
@@ -66,6 +116,12 @@ def check_payload(payload: object, expected_name: str | None) -> list[str]:
         problems.append("rows must be a non-empty list")
     elif not all(isinstance(row, dict) for row in rows):
         problems.append("every row must be an object")
+    else:
+        for index, row in enumerate(rows):
+            if "metrics" in row:
+                problems.extend(
+                    _check_metrics(row["metrics"], f"rows[{index}]")
+                )
     return problems
 
 

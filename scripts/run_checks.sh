@@ -54,6 +54,17 @@ if [ "$run_bench" -eq 1 ]; then
   echo
   echo "== bench JSON validation =="
   python scripts/check_bench_json.py
+
+  echo
+  echo "== telemetry sample (metrics snapshot + structured trace) =="
+  sample_dir="$(mktemp -d)"
+  python src/repro/cli.py cluster \
+    --nodes 3 --events 20000 --keys 200 \
+    --checkpoint-every 5000 --kill 1@10000 \
+    --storage file --storage-dir "$sample_dir/store" \
+    --metrics-out benchmarks/results/TELEMETRY_metrics.json \
+    --trace-out benchmarks/results/TELEMETRY_trace.jsonl >/dev/null
+  rm -rf "$sample_dir"
 fi
 
 if [ "$run_cov" -eq 1 ]; then

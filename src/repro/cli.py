@@ -28,6 +28,7 @@ Every subcommand prints the same tables the benchmark suite writes to
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -289,6 +290,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     cluster.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write the end-of-run telemetry snapshot to PATH: "
+            "Prometheus text exposition when PATH ends in .prom, "
+            "strict JSON otherwise"
+        ),
+    )
+    cluster.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "stream the structured lifecycle trace (event_delivered, "
+            "checkpoint_fence, wal_fsync, migration, gossip_round, "
+            "crash, recover, ...) to PATH as JSON lines"
+        ),
+    )
+    cluster.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help=(
+            "disable the wall-clock telemetry layers (stage timers, "
+            "duration histograms, traces); deterministic counters "
+            "still run — results are bit-identical either way"
+        ),
+    )
+
+    cluster.add_argument(
         "--aggregation",
         choices=("tree", "gossip"),
         default="tree",
@@ -413,6 +444,16 @@ def _run_cluster(args: argparse.Namespace) -> str:
         raise SystemExit("--storage-overwrite requires --storage file")
     if args.wal_fsync is not None and args.storage != "file":
         raise SystemExit("--wal-fsync requires --storage file")
+    if args.no_telemetry and args.metrics_out is not None:
+        raise SystemExit(
+            "--metrics-out needs the telemetry layers; "
+            "drop --no-telemetry"
+        )
+    if args.no_telemetry and args.trace_out is not None:
+        raise SystemExit(
+            "--trace-out needs the telemetry layers; "
+            "drop --no-telemetry"
+        )
     if args.aggregation != "gossip":
         if args.gossip_every is not None:
             raise SystemExit("--gossip-every requires --aggregation gossip")
@@ -461,16 +502,43 @@ def _run_cluster(args: argparse.Namespace) -> str:
         n_events=args.events,
         exponent=args.exponent,
     )
+    from repro.obs import JsonlTraceSink, Telemetry
+
+    if args.no_telemetry:
+        telemetry = Telemetry.disabled()
+    else:
+        sink = (
+            JsonlTraceSink(args.trace_out)
+            if args.trace_out is not None
+            else None
+        )
+        telemetry = Telemetry(sink=sink)
     try:
-        simulation = ClusterSimulation(config)
+        simulation = ClusterSimulation(config, telemetry=telemetry)
     except StateError as exc:
+        telemetry.close()
         raise SystemExit(f"cluster storage refused: {exc}")
+    metrics_text = None
     try:
         result = simulation.run(events)
+        if args.metrics_out is not None:
+            if args.metrics_out.endswith(".prom"):
+                metrics_text = simulation.render_prometheus() + "\n"
+            else:
+                metrics_text = json.dumps(
+                    simulation.metrics_snapshot(),
+                    sort_keys=True,
+                    allow_nan=False,
+                    indent=2,
+                ) + "\n"
     except ParameterError as exc:
         raise SystemExit(f"cluster run failed: {exc}")
     finally:
         simulation.close()
+        telemetry.close()
+    if metrics_text is not None:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(metrics_text)
     table = result.table()
     if args.aggregation == "gossip":
         table += (
@@ -488,6 +556,15 @@ def _run_cluster(args: argparse.Namespace) -> str:
             f"\npersisted to {args.storage_dir} — re-open with "
             "repro.cluster.recover_cluster()"
         )
+    if args.metrics_out is not None:
+        kind = (
+            "Prometheus text"
+            if args.metrics_out.endswith(".prom")
+            else "strict JSON"
+        )
+        table += f"\ntelemetry snapshot ({kind}): {args.metrics_out}"
+    if args.trace_out is not None:
+        table += f"\nstructured trace (JSON lines): {args.trace_out}"
     return table
 
 

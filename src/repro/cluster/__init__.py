@@ -43,7 +43,12 @@ deployment:
 * :mod:`~repro.cluster.pipeline` — pluggable execution plans for that
   loop: the serial reference path, or worker-sharded parallel delivery
   (``ClusterConfig.ingest_workers``) whose per-node batch chains and
-  drain-handshake fences keep parallel runs bit-identical to serial.
+  drain-handshake fences keep parallel runs bit-identical to serial;
+* :mod:`repro.obs` (a sibling package) — the telemetry substrate every
+  cluster layer publishes into: a metrics registry, a structured
+  stream-position-stamped trace log, and delivery-path stage timers.
+  Telemetry is provably inert — runs with it off, on, or file-sinked
+  are bit-identical (see ``docs/observability.md``).
 
 Invariants the tier-1 tests pin down: merging loses nothing (an ``exact``
 template cluster reproduces ground truth bit-for-bit through routing,

@@ -66,7 +66,7 @@ True
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Any, Mapping
 
 from repro.cluster.aggregator import GlobalView, tree_merge
 from repro.cluster.node import IngestNode
@@ -299,7 +299,9 @@ class GossipNetwork:
         adopt the other's newer entries).
     """
 
-    def __init__(self, seed: int, fanout: int = 1) -> None:
+    def __init__(
+        self, seed: int, fanout: int = 1, registry: Any = None
+    ) -> None:
         if fanout < 1:
             raise ParameterError(f"fanout must be >= 1, got {fanout}")
         self._seed = seed
@@ -309,6 +311,9 @@ class GossipNetwork:
         #: ids, so a re-added id can never lose to a stale entry.
         self._versions: dict[int, int] = {}
         self._rounds = 0
+        #: optional :class:`~repro.obs.MetricsRegistry` publishing round
+        #: and digest-adoption counters (per-round cost, never per-event).
+        self._registry = registry
 
     @property
     def fanout(self) -> int:
@@ -419,14 +424,18 @@ class GossipNetwork:
         if refresh:
             for node_id in participants:
                 self.refresh(nodes[node_id], epoch=epoch, window=window)
+        adoptions = 0
         for node_id in participants:
             others = [peer for peer in participants if peer != node_id]
             for _ in range(min(self._fanout, len(others))):
                 peer = others.pop(_randbelow(rng, len(others)))
                 mine = self._digests[node_id]
                 theirs = self._digests[peer]
-                mine.merge_digest(theirs)   # pull
-                theirs.merge_digest(mine)   # push
+                adoptions += mine.merge_digest(theirs)   # pull
+                adoptions += theirs.merge_digest(mine)   # push
+        if self._registry is not None:
+            self._registry.inc("gossip_rounds_total")
+            self._registry.inc("gossip_digest_adoptions_total", adoptions)
         return self._rounds
 
     # ------------------------------------------------------------------

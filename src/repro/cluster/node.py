@@ -169,6 +169,7 @@ class IngestNode:
         self._buffered = 0
         # Lifetime stats (restored from checkpoints on recovery).
         self.events_ingested = 0
+        self.events_coalesced = 0
         self.n_flushes = 0
 
     # ------------------------------------------------------------------
@@ -203,10 +204,21 @@ class IngestNode:
     # write path (thread-confined: one thread per node at a time)
     # ------------------------------------------------------------------
     def submit(self, event: KeyedEvent) -> None:
-        """Accept one event into the write buffer, flushing when full."""
+        """Accept one event into the write buffer, flushing when full.
+
+        ``events_coalesced`` counts events that merged into a key the
+        buffer already held — the write amplification the coalescing
+        buffer saves.  Like ``events_ingested`` it is a deterministic
+        lifetime stat, persisted in checkpoints.
+        """
         if event.count == 0:
             return
-        self._buffer[event.key] = self._buffer.get(event.key, 0) + event.count
+        buffered = self._buffer.get(event.key)
+        if buffered is None:
+            self._buffer[event.key] = event.count
+        else:
+            self._buffer[event.key] = buffered + event.count
+            self.events_coalesced += 1
         self._buffered += event.count
         self.events_ingested += event.count
         if self._buffered >= self._buffer_limit:
@@ -322,7 +334,8 @@ class IngestNode:
         successive windows are deterministic yet use unrelated random
         streams (the same convention as
         :meth:`~repro.analytics.sharding.ShardedCounter.reset`).  Lifetime
-        stats (``events_ingested``, ``n_flushes``) are preserved.
+        stats (``events_ingested``, ``events_coalesced``, ``n_flushes``)
+        are preserved.
         """
         old = self._bank
         self._buffer.clear()

@@ -68,6 +68,7 @@ import abc
 from collections import defaultdict
 from concurrent.futures import Future, ThreadPoolExecutor
 from threading import Lock
+from time import perf_counter
 from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.errors import ParameterError, StateError
@@ -168,6 +169,16 @@ class ParallelPlan(ExecutionPlan):
     bank).  Checkpoints, crashes, scale events, and window collapses
     fence through a drain handshake: dispatch what is pending, wait
     for the affected nodes' chains, then act.
+
+    Profiling: when the simulation's telemetry is enabled, the
+    coordinator times the ``route`` stage around each routing decision
+    with its own thread-private
+    :class:`~repro.obs.timers.StageTimer`; workers time ``deliver`` /
+    ``bank_consume`` / ``fsync`` into theirs (see
+    :meth:`~repro.cluster.simulation.ClusterSimulation.apply_events`).
+    Per-worker timers are merged only at snapshot time, so the hot
+    path takes no locks and disabled telemetry skips the clock reads
+    entirely.
     """
 
     name = "parallel"
@@ -267,6 +278,9 @@ class ParallelPlan(ExecutionPlan):
                 drain(sorted(set(pending) | set(tails)))
 
             refresh_retained()
+            telemetry = simulation.telemetry
+            timed = telemetry.enabled
+            route_timer = telemetry.stage_timer() if timed else None
             position = 0
             try:
                 for event in events:
@@ -297,7 +311,14 @@ class ParallelPlan(ExecutionPlan):
                         for node_id in position_failures:
                             simulation.crash_node(node_id)
                         refresh_retained()
-                    node_id = simulation.route_event(event)
+                    if timed:
+                        start = perf_counter()
+                        node_id = simulation.route_event(event)
+                        route_timer.add(
+                            "route", perf_counter() - start
+                        )
+                    else:
+                        node_id = simulation.route_event(event)
                     pending[node_id].append(event)
                     retained[node_id] = retained.get(node_id, 0) + 1
                     checkpoint_due = simulation.record_delivery(

@@ -52,7 +52,7 @@ from __future__ import annotations
 import abc
 import bisect
 import heapq
-from typing import ClassVar, Iterable, Iterator
+from typing import Any, ClassVar, Iterable, Iterator
 
 from repro.analytics.counter_bank import stable_key_hash
 from repro.errors import ParameterError
@@ -270,6 +270,7 @@ class ClusterRouter:
         hot_key_threshold: int | None = None,
         salt: int = 0,
         traffic_table_limit: int | None = 4096,
+        registry: Any = None,
     ) -> None:
         if hot_key_threshold is not None and hot_key_threshold < 1:
             raise ParameterError(
@@ -294,6 +295,9 @@ class ClusterRouter:
         #: observed increments per key (only kept while auto-detection is
         #: on; bounded by ``traffic_table_limit``)
         self._traffic: dict[str, int] = {}
+        #: optional :class:`~repro.obs.MetricsRegistry` for promotion /
+        #: eviction counters — rare events only, never per-route cost.
+        self._registry = registry
 
     @staticmethod
     def _validated_ids(nodes: Iterable[int]) -> tuple[int, ...]:
@@ -446,6 +450,8 @@ class ClusterRouter:
             if seen >= self._threshold:
                 self.mark_hot(key)
                 del self._traffic[key]
+                if self._registry is not None:
+                    self._registry.inc("hot_keys_promoted_total")
                 # Fall through: the promoting event already splits.
             elif (
                 self._table_limit is not None
@@ -470,6 +476,7 @@ class ClusterRouter:
         with unchanged semantics.
         """
         keep = max(self._table_limit // 2, 1)
+        evicted = len(self._traffic) - keep
         self._traffic = dict(
             heapq.nlargest(
                 keep,
@@ -477,6 +484,31 @@ class ClusterRouter:
                 key=lambda item: (item[1], item[0]),
             )
         )
+        if self._registry is not None and evicted > 0:
+            self._registry.inc("traffic_evictions_total", evicted)
+
+    def traffic_top(self, k: int) -> list[tuple[str, int]]:
+        """The ``k`` hottest not-yet-promoted keys, by observed count.
+
+        Deterministic (count descending, then key) and read-only — the
+        public window onto the auto-detection traffic table that
+        telemetry snapshots publish as gauges.
+
+        >>> router = ClusterRouter([0], hot_key_threshold=100)
+        >>> for _ in range(3):
+        ...     _ = router.route("page-1")
+        >>> _ = router.route("page-2")
+        >>> router.traffic_top(2)
+        [('page-1', 3), ('page-2', 1)]
+        """
+        if k < 1:
+            raise ParameterError(f"k must be >= 1, got {k}")
+        ranked = heapq.nlargest(
+            k,
+            self._traffic.items(),
+            key=lambda item: (item[1], item[0]),
+        )
+        return [(key, count) for key, count in ranked]
 
     def route_event(self, event: KeyedEvent) -> int:
         """Route one event (weighted by its ``count``)."""

@@ -125,6 +125,7 @@ from repro.cluster.storage import (
 )
 from repro.errors import ParameterError, StateError
 from repro.experiments.records import TextTable
+from repro.obs import Telemetry
 from repro.rng.splitmix import derive_seed
 from repro.stream.workload import KeyedEvent
 
@@ -587,6 +588,18 @@ class ClusterSimulation:
     ``resume=True`` rebuilds the simulation from the store's persisted
     state instead of starting fresh — use :func:`recover_cluster` rather
     than passing it directly.
+
+    ``telemetry`` injects a :class:`~repro.obs.Telemetry` facade
+    (defaults to a fully-enabled one with a null trace sink).  All
+    run statistics — per-node checkpoint/recovery counts, migration
+    totals, retention counts — live in its
+    :class:`~repro.obs.MetricsRegistry`; the registry's deterministic
+    counters are always on and round-trip through the manifest, so
+    they survive :func:`recover_cluster` monotonically.  Only the
+    wall-clock layers (stage timers, duration histograms, trace
+    records) honor ``Telemetry.enabled``, and none of it ever changes
+    what a run computes (the inertness contract, pinned in
+    ``tests/cluster/test_properties.py``).
     """
 
     def __init__(
@@ -594,8 +607,16 @@ class ClusterSimulation:
         config: ClusterConfig,
         store: CheckpointStore | None = None,
         resume: bool = False,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self._config = config
+        self._telemetry = (
+            telemetry if telemetry is not None else Telemetry()
+        )
+        self._metrics = self._telemetry.registry
+        #: events delivered so far — the stream position stamped into
+        #: trace records (coordinator thread only).
+        self._stream_position = 0
         self._store = (
             store
             if store is not None
@@ -607,6 +628,7 @@ class ClusterSimulation:
                 wal_fsync_every=config.wal_fsync_every,
             )
         )
+        self._store.attach_telemetry(self._telemetry)
         self._archived: deque[GlobalView] = deque(
             maxlen=(
                 config.retention.retained_windows
@@ -630,8 +652,7 @@ class ClusterSimulation:
         #: node id -> incarnation counter; never forgets retired ids, so
         #: a re-added id can never replay a predecessor's RNG streams.
         self._incarnation: dict[int, int] = {}
-        self._recoveries: dict[int, int] = {}
-        self._checkpoints: dict[int, int] = {}
+        self._stats_base: dict[int, tuple[int, int]] = {}
         for node_id in self._nodes:
             self._init_bookkeeping(node_id)
             self._incarnation[node_id] = 0
@@ -640,11 +661,6 @@ class ClusterSimulation:
         self._next_auto_id = config.n_nodes
         self._retired: list[NodeStats] = []
         self._window = 0
-        self._windows_collapsed = 0
-        self._scale_events_applied = 0
-        self._keys_migrated = 0
-        self._migration_batches = 0
-        self._migration_bytes = 0
         self._mid_migration = False
         self._gossip = self._fresh_gossip()
         if self._gossip is not None:
@@ -659,7 +675,11 @@ class ClusterSimulation:
         config = self._config
         if config.aggregation != "gossip":
             return None
-        return GossipNetwork(seed=config.seed, fanout=config.gossip_fanout)
+        return GossipNetwork(
+            seed=config.seed,
+            fanout=config.gossip_fanout,
+            registry=self._metrics,
+        )
 
     def _fresh_router(self, node_ids: Iterable[int]) -> ClusterRouter:
         config = self._config
@@ -675,6 +695,7 @@ class ClusterSimulation:
             hot_key_threshold=config.hot_key_threshold,
             salt=derive_seed(config.seed, _ROUTER_SEED_KEY),
             traffic_table_limit=config.traffic_table_limit,
+            registry=self._metrics,
         )
 
     def _fresh_node(self, node_id: int, incarnation: int) -> IngestNode:
@@ -691,11 +712,29 @@ class ClusterSimulation:
 
     def _init_bookkeeping(self, node_id: int) -> None:
         # Incarnation is deliberately not reset here: it outlives a
-        # node's tenure so reused ids get fresh seeds.
+        # node's tenure so reused ids get fresh seeds.  Checkpoint and
+        # recovery counts live in the metrics registry, monotone over
+        # the node id's whole history; the baseline recorded here is
+        # what keeps ``NodeStats`` per-tenure when an id is explicitly
+        # reused after retirement.
         self._store.register(node_id)
         self._since_checkpoint[node_id] = 0
-        self._recoveries[node_id] = 0
-        self._checkpoints[node_id] = 0
+        self._stats_base[node_id] = (
+            self._metrics.counter("node_checkpoints", node=node_id),
+            self._metrics.counter("node_recoveries", node=node_id),
+        )
+
+    def _tenure_counts(self, node_id: int) -> tuple[int, int]:
+        """This tenure's (checkpoints, recoveries) for one live node."""
+        base_checkpoints, base_recoveries = self._stats_base.get(
+            node_id, (0, 0)
+        )
+        return (
+            self._metrics.counter("node_checkpoints", node=node_id)
+            - base_checkpoints,
+            self._metrics.counter("node_recoveries", node=node_id)
+            - base_recoveries,
+        )
 
     def _ordered_nodes(self) -> list[IngestNode]:
         return [self._nodes[node_id] for node_id in sorted(self._nodes)]
@@ -745,24 +784,45 @@ class ClusterSimulation:
                 str(node_id): incarnation
                 for node_id, incarnation in self._incarnation.items()
             },
+            # Per-tenure counts for the live nodes (the historical
+            # manifest schema); the registry's lifetime counters ride
+            # along under "metrics" below.
             "checkpoints": {
-                str(node_id): count
-                for node_id, count in self._checkpoints.items()
+                str(node_id): self._tenure_counts(node_id)[0]
+                for node_id in self._nodes
             },
             "recoveries": {
-                str(node_id): count
-                for node_id, count in self._recoveries.items()
+                str(node_id): self._tenure_counts(node_id)[1]
+                for node_id in self._nodes
+            },
+            "stats_base": {
+                str(node_id): list(base)
+                for node_id, base in self._stats_base.items()
             },
             "next_auto_id": self._next_auto_id,
             "window": self._window,
             "mid_migration": self._mid_migration,
             "counters": {
-                "windows_collapsed": self._windows_collapsed,
-                "scale_events_applied": self._scale_events_applied,
-                "keys_migrated": self._keys_migrated,
-                "migration_batches": self._migration_batches,
-                "migration_bytes": self._migration_bytes,
+                "windows_collapsed": self._metrics.counter(
+                    "windows_collapsed_total"
+                ),
+                "scale_events_applied": self._metrics.counter(
+                    "scale_events_total"
+                ),
+                "keys_migrated": self._metrics.counter(
+                    "keys_migrated_total"
+                ),
+                "migration_batches": self._metrics.counter(
+                    "migration_batches_total"
+                ),
+                "migration_bytes": self._metrics.counter(
+                    "migration_bytes_total"
+                ),
             },
+            # The full monotone counter state: every registry counter as
+            # [name, labels, value], re-imported by recovery so lifetime
+            # telemetry survives process death instead of resetting.
+            "metrics": {"counters": self._metrics.export_counters()},
             "retired": [asdict(stats) for stats in self._retired],
         }
 
@@ -799,29 +859,51 @@ class ClusterSimulation:
                 int(node): int(count)
                 for node, count in manifest["incarnations"].items()
             }
-            self._checkpoints = {
+            tenure_checkpoints = {
                 int(node): int(count)
                 for node, count in manifest["checkpoints"].items()
             }
-            self._recoveries = {
+            tenure_recoveries = {
                 int(node): int(count)
                 for node, count in manifest["recoveries"].items()
             }
+            # Post-telemetry manifests carry the per-tenure baselines
+            # and the full lifetime counter state; older ones default to
+            # zero baselines (lifetime == tenure without id reuse).
+            self._stats_base = {
+                int(node): (int(pair[0]), int(pair[1]))
+                for node, pair in manifest.get("stats_base", {}).items()
+            }
+            metrics_blob = manifest.get("metrics")
+            if metrics_blob is not None:
+                self._metrics.import_counters(metrics_blob["counters"])
+            else:
+                for node, count in tenure_checkpoints.items():
+                    self._metrics.load_counter(
+                        "node_checkpoints", count, node=node
+                    )
+                for node, count in tenure_recoveries.items():
+                    self._metrics.load_counter(
+                        "node_recoveries", count, node=node
+                    )
+                counters = manifest["counters"]
+                for name, key in (
+                    ("windows_collapsed_total", "windows_collapsed"),
+                    ("scale_events_total", "scale_events_applied"),
+                    ("keys_migrated_total", "keys_migrated"),
+                    ("migration_batches_total", "migration_batches"),
+                    ("migration_bytes_total", "migration_bytes"),
+                ):
+                    self._metrics.load_counter(name, int(counters[key]))
             self._next_auto_id = int(manifest["next_auto_id"])
             self._window = int(manifest["window"])
-            counters = manifest["counters"]
-            self._windows_collapsed = int(counters["windows_collapsed"])
-            self._scale_events_applied = int(
-                counters["scale_events_applied"]
-            )
-            self._keys_migrated = int(counters["keys_migrated"])
-            self._migration_batches = int(counters["migration_batches"])
-            self._migration_bytes = int(counters["migration_bytes"])
             self._retired = [
                 NodeStats(**entry) for entry in manifest.get("retired", ())
             ]
-        except (KeyError, TypeError, ValueError) as exc:
+        except (KeyError, TypeError, ValueError, ParameterError) as exc:
             raise StateError(f"malformed cluster manifest: {exc}") from exc
+        for node_id in node_ids:
+            self._stats_base.setdefault(node_id, (0, 0))
         self._router = self._fresh_router(node_ids)
         self._router.restore_topology(node_ids, epoch=epoch)
         self._nodes = {}
@@ -886,6 +968,85 @@ class ClusterSimulation:
         """The gossip layer (``None`` unless ``aggregation='gossip'``)."""
         return self._gossip
 
+    @property
+    def telemetry(self) -> Telemetry:
+        """The telemetry facade (registry + trace sink + stage timers)."""
+        return self._telemetry
+
+    # ------------------------------------------------------------------
+    # telemetry exporters
+    # ------------------------------------------------------------------
+    def _refresh_derived_metrics(self) -> None:
+        """Publish node/router/storage state the registry can't see.
+
+        Counters derived from node lifetime stats use ``load_counter``
+        (a monotone floor), so they can never regress even across crash
+        recovery; everything else here is a gauge and point-in-time by
+        definition.  Reading is side-effect-free on cluster state, so
+        exporting a snapshot is as inert as the rest of telemetry.
+        """
+        metrics = self._metrics
+        for node in self._ordered_nodes():
+            node_id = node.node_id
+            metrics.load_counter(
+                "events_delivered_total", node.events_ingested,
+                node=node_id,
+            )
+            metrics.load_counter(
+                "events_coalesced_total", node.events_coalesced,
+                node=node_id,
+            )
+            metrics.set_gauge(
+                "node_pending_events", node.pending, node=node_id
+            )
+            metrics.set_gauge("node_keys", len(node.bank), node=node_id)
+            metrics.set_gauge(
+                "node_state_bits", node.state_bits(), node=node_id
+            )
+        for stats in self._retired:
+            metrics.load_counter(
+                "events_delivered_total", stats.events,
+                node=stats.node_id,
+            )
+        metrics.set_gauge("live_nodes", len(self._nodes))
+        metrics.set_gauge("topology_epoch", self._router.epoch)
+        metrics.set_gauge("retention_window", self._window)
+        metrics.set_gauge(
+            "traffic_table_size", self._router.traffic_table_size
+        )
+        metrics.set_gauge("hot_key_count", len(self._router.hot_keys))
+        # The router's hot-key traffic table, top-k by observed count —
+        # republished wholesale because membership shifts as keys are
+        # promoted or evicted.
+        metrics.clear_gauges("traffic_top")
+        for key, count in self._router.traffic_top(10):
+            metrics.set_gauge("traffic_top", count, key=key)
+        metrics.set_gauge("storage_bytes", self._store.storage_bytes())
+        if self._gossip is not None:
+            metrics.set_gauge(
+                "gossip_fanout", self._config.gossip_fanout
+            )
+            if self._gossip_max_staleness is not None:
+                metrics.set_gauge(
+                    "gossip_max_staleness", self._gossip_max_staleness
+                )
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """The strict-JSON metrics document for this cluster, now.
+
+        Refreshes the derived gauges, then exports the registry's three
+        series families plus the merged per-worker ``stages`` timings.
+        Safe whenever no run is mid-flight (between runs, after
+        :meth:`run` returns, or on a freshly recovered cluster).
+        """
+        self._refresh_derived_metrics()
+        return self._telemetry.snapshot()
+
+    def render_prometheus(self) -> str:
+        """Prometheus text rendering of :meth:`metrics_snapshot`."""
+        self._refresh_derived_metrics()
+        return self._telemetry.render_prometheus()
+
     # ------------------------------------------------------------------
     # gossip aggregation
     # ------------------------------------------------------------------
@@ -918,9 +1079,15 @@ class ClusterSimulation:
                 "gossip_round() needs aggregation='gossip' "
                 f"(this cluster runs {self._config.aggregation!r})"
             )
-        return self._gossip.run_round(
+        round_index = self._gossip.run_round(
             self._nodes, epoch=self._router.epoch, window=self._window
         )
+        self._telemetry.trace(
+            "gossip_round",
+            position=self._stream_position,
+            round=round_index,
+        )
+        return round_index
 
     def node_view(self, node_id: int) -> GlobalView:
         """One node's decentralized read: its gossip digest, merged.
@@ -1001,10 +1168,38 @@ class ClusterSimulation:
     # execution-plan hooks (repro.cluster.pipeline)
     # ------------------------------------------------------------------
     def deliver_event(self, event: KeyedEvent) -> None:
-        """Serial delivery of one event: route, log, apply, maybe fence."""
-        node_id = self._router.route_event(event)
-        self._store.wal.append(node_id, event)
-        self._nodes[node_id].submit(event)
+        """Serial delivery of one event: route, log, apply, maybe fence.
+
+        When telemetry is enabled the three in-process stages are timed
+        individually (``route`` → ``deliver`` → ``bank_consume``; the
+        ``fsync`` stage is timed inside the file-backed WAL).  The
+        timed and untimed paths perform the identical state mutations —
+        telemetry only ever reads the clock.
+        """
+        telemetry = self._telemetry
+        self._stream_position += 1
+        if telemetry.enabled:
+            perf = time.perf_counter
+            timer = telemetry.stage_timer()
+            started = perf()
+            node_id = self._router.route_event(event)
+            routed = perf()
+            self._store.wal.append(node_id, event)
+            appended = perf()
+            self._nodes[node_id].submit(event)
+            consumed = perf()
+            timer.add("route", routed - started)
+            timer.add("deliver", appended - routed)
+            timer.add("bank_consume", consumed - appended)
+            if telemetry.sink.active:
+                telemetry.position = self._stream_position
+                telemetry.trace(
+                    "event_delivered", node=node_id, count=event.count
+                )
+        else:
+            node_id = self._router.route_event(event)
+            self._store.wal.append(node_id, event)
+            self._nodes[node_id].submit(event)
         self._since_checkpoint[node_id] += event.count
         self._maybe_checkpoint(node_id)
 
@@ -1027,12 +1222,29 @@ class ClusterSimulation:
         buffer/bank), which is what makes concurrent calls for
         *different* nodes safe without locks; the caller guarantees at
         most one in-flight call per node (the drain handshake).
+
+        With telemetry enabled each worker accumulates ``deliver`` and
+        ``bank_consume`` stage timings into its own thread-confined
+        timer (no locks on the hot path); the facade merges the
+        per-worker timers at snapshot time.
         """
         wal_append = self._store.wal.append
         submit = self._nodes[node_id].submit
+        if not self._telemetry.enabled:
+            for event in events:
+                wal_append(node_id, event)
+                submit(event)
+            return
+        perf = time.perf_counter
+        timer = self._telemetry.stage_timer()
         for event in events:
+            started = perf()
             wal_append(node_id, event)
+            appended = perf()
             submit(event)
+            consumed = perf()
+            timer.add("deliver", appended - started)
+            timer.add("bank_consume", consumed - appended)
 
     def record_delivery(self, node_id: int, count: int) -> bool:
         """Coordinator-side bookkeeping for one routed event.
@@ -1042,6 +1254,11 @@ class ClusterSimulation:
         due — the parallel plan reacts by draining the node and calling
         :meth:`checkpoint_node`, which resets the budget.
         """
+        telemetry = self._telemetry
+        self._stream_position += 1
+        if telemetry.trace_active:
+            telemetry.position = self._stream_position
+            telemetry.trace("event_delivered", node=node_id, count=count)
         self._since_checkpoint[node_id] += count
         every = self._config.checkpoint_every
         return (
@@ -1074,8 +1291,11 @@ class ClusterSimulation:
 
     def checkpoint_node(self, node_id: int) -> str:
         """Flush and checkpoint one node; truncates its durable log."""
+        telemetry = self._telemetry
+        started = time.perf_counter() if telemetry.enabled else 0.0
         node = self._nodes[node_id]
         node.flush()
+        wal_seq = self._store.wal.sequence(node_id)
         checkpoint = BankCheckpoint.capture(
             node.bank,
             node.template,
@@ -1083,13 +1303,14 @@ class ClusterSimulation:
                 "node_id": node_id,
                 "incarnation": self._incarnation[node_id],
                 "events_ingested": node.events_ingested,
+                "events_coalesced": node.events_coalesced,
                 "n_flushes": node.n_flushes,
                 # The WAL fence position this checkpoint covers.  If the
                 # process dies after the save but before the fence,
                 # recovery truncates the log through this sequence so
                 # the covered events can never be replayed on top of
                 # themselves (the torn-fence protocol).
-                "wal_seq": self._store.wal.sequence(node_id),
+                "wal_seq": wal_seq,
             },
             topology=self._topology_stamp(),
         )
@@ -1097,7 +1318,17 @@ class ClusterSimulation:
         self._store.save(node_id, line)
         self._store.wal.fence(node_id)
         self._since_checkpoint[node_id] = 0
-        self._checkpoints[node_id] += 1
+        self._metrics.inc("node_checkpoints", node=node_id)
+        if telemetry.enabled:
+            self._metrics.observe(
+                "checkpoint_seconds", time.perf_counter() - started
+            )
+        telemetry.trace(
+            "checkpoint_fence",
+            position=self._stream_position,
+            node=node_id,
+            wal_seq=wal_seq,
+        )
         self._sync_manifest()
         return line
 
@@ -1143,6 +1374,9 @@ class ClusterSimulation:
             node.events_ingested = int(
                 checkpoint.meta.get("events_ingested", 0)
             )
+            node.events_coalesced = int(
+                checkpoint.meta.get("events_coalesced", 0)
+            )
             node.n_flushes = int(checkpoint.meta.get("n_flushes", 0))
             wal_seq = checkpoint.meta.get("wal_seq")
             if wal_seq is not None:
@@ -1160,7 +1394,14 @@ class ClusterSimulation:
         self._since_checkpoint[node_id] = sum(
             event.count for event in replayed
         )
-        self._recoveries[node_id] = self._recoveries.get(node_id, 0) + 1
+        self._metrics.inc("node_recoveries", node=node_id)
+        self._telemetry.trace(
+            "recover",
+            position=self._stream_position,
+            node=node_id,
+            incarnation=self._incarnation[node_id],
+            replayed=len(replayed),
+        )
 
     def crash_node(self, node_id: int) -> None:
         """Destroy a node's volatile state, then recover it.
@@ -1179,6 +1420,10 @@ class ClusterSimulation:
                 f"node {node_id} is not a live node "
                 f"(live: {sorted(self._nodes)})"
             )
+        self._metrics.inc("node_crashes", node=node_id)
+        self._telemetry.trace(
+            "crash", position=self._stream_position, node=node_id
+        )
         self._recover_node(node_id)
         self._maybe_checkpoint(node_id)
         if self._gossip is not None:
@@ -1232,9 +1477,17 @@ class ClusterSimulation:
         report = execute_rebalance(
             plan, self._nodes, seed=self._config.seed
         )
-        self._keys_migrated += report.keys_moved
-        self._migration_batches += report.n_batches
-        self._migration_bytes += report.bytes_shipped
+        self._metrics.inc("keys_migrated_total", report.keys_moved)
+        self._metrics.inc("migration_batches_total", report.n_batches)
+        self._metrics.inc("migration_bytes_total", report.bytes_shipped)
+        self._telemetry.trace(
+            "migration",
+            position=self._stream_position,
+            epoch=self._router.epoch,
+            keys_moved=report.keys_moved,
+            batches=report.n_batches,
+            bytes_shipped=report.bytes_shipped,
+        )
         touched = {move.source for move in plan.moves} | {
             move.target for move in plan.moves
         }
@@ -1269,7 +1522,7 @@ class ClusterSimulation:
             self._gossip.add_node(new_id)
         self._sync_membership()
         self._rebalance()
-        self._scale_events_applied += 1
+        self._metrics.inc("scale_events_total")
         self._sync_manifest()
         return new_id
 
@@ -1297,18 +1550,20 @@ class ClusterSimulation:
         # the router no longer targets it, so the rebalance empties it.
         self._rebalance()
         node = self._nodes.pop(node_id)
+        checkpoints, recoveries = self._tenure_counts(node_id)
         self._retired.append(
             NodeStats(
                 node_id=node_id,
                 events=node.events_ingested,
                 keys=keys_at_drain,
                 flushes=node.n_flushes,
-                checkpoints=self._checkpoints.pop(node_id),
-                recoveries=self._recoveries.pop(node_id),
+                checkpoints=checkpoints,
+                recoveries=recoveries,
                 state_bits=state_bits_at_drain,
                 retired=True,
             )
         )
+        del self._stats_base[node_id]
         self._store.drop(node_id)
         del self._since_checkpoint[node_id]
         if self._gossip is not None:
@@ -1317,7 +1572,7 @@ class ClusterSimulation:
             # it would double-count its traffic forever.
             self._gossip.remove_node(node_id)
         self._sync_membership()
-        self._scale_events_applied += 1
+        self._metrics.inc("scale_events_total")
         self._sync_manifest()
 
     # ------------------------------------------------------------------
@@ -1335,7 +1590,13 @@ class ClusterSimulation:
         self._window += 1
         view = self._aggregator.collapse_window(self._window)
         self._archived.append(view)
-        self._windows_collapsed += 1
+        self._metrics.inc("windows_collapsed_total")
+        self._telemetry.trace(
+            "retention_collapse",
+            position=self._stream_position,
+            window=self._window,
+            archived_keys=view.n_keys,
+        )
         self._fence_all()
         return view
 
@@ -1355,8 +1616,8 @@ class ClusterSimulation:
                 events=node.events_ingested,
                 keys=len(node.bank),
                 flushes=node.n_flushes,
-                checkpoints=self._checkpoints[node.node_id],
-                recoveries=self._recoveries[node.node_id],
+                checkpoints=self._tenure_counts(node.node_id)[0],
+                recoveries=self._tenure_counts(node.node_id)[1],
                 state_bits=node.state_bits(),
             )
             for node in self._ordered_nodes()
@@ -1394,11 +1655,19 @@ class ClusterSimulation:
             elapsed_s=elapsed,
             events_per_sec=total_events / elapsed,
             epoch=self._router.epoch,
-            scale_events_applied=self._scale_events_applied,
-            keys_migrated=self._keys_migrated,
-            migration_batches=self._migration_batches,
-            migration_bytes=self._migration_bytes,
-            windows_collapsed=self._windows_collapsed,
+            scale_events_applied=self._metrics.counter(
+                "scale_events_total"
+            ),
+            keys_migrated=self._metrics.counter("keys_migrated_total"),
+            migration_batches=self._metrics.counter(
+                "migration_batches_total"
+            ),
+            migration_bytes=self._metrics.counter(
+                "migration_bytes_total"
+            ),
+            windows_collapsed=self._metrics.counter(
+                "windows_collapsed_total"
+            ),
             windows_retained=len(self._archived),
             storage_bytes=self._store.storage_bytes(),
             gossip_rounds=(

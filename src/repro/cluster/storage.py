@@ -56,6 +56,7 @@ import json
 import os
 import pathlib
 import shutil
+import time
 from typing import IO, Any, Mapping
 
 from repro.core.codec import (
@@ -221,6 +222,9 @@ class SegmentedLog(WriteAheadLog):
                 f"segment_events must be >= 1 or None, got {segment_events}"
             )
         self._segment_events = segment_events
+        #: Telemetry facade (``repro.obs.Telemetry``) or None; attached
+        #: by the owning store, never consulted for any WAL decision.
+        self._telemetry: Any = None
         #: node id -> list of segments; the last one is the active segment.
         self._segments: dict[int, list[list[KeyedEvent]]] = {}
         #: node id -> lifetime append count (next event's sequence).
@@ -232,6 +236,14 @@ class SegmentedLog(WriteAheadLog):
     def segment_events(self) -> int | None:
         """Events per segment (``None`` = one unbounded segment)."""
         return self._segment_events
+
+    def attach_telemetry(self, telemetry: Any) -> None:
+        """Point WAL instrumentation at a telemetry facade.
+
+        Purely observational: the log's segment/fence decisions never
+        read from it, so attaching (or not) cannot change a run.
+        """
+        self._telemetry = telemetry
 
     def _node_segments(self, node_id: int) -> list[list[KeyedEvent]]:
         try:
@@ -405,11 +417,38 @@ class _FileSegmentedLog(SegmentedLog):
     def _node_dir(self, node_id: int) -> pathlib.Path:
         return self._dir / f"node-{node_id}"
 
+    def _record_fsync(
+        self, node_id: int, seconds: float | None
+    ) -> None:
+        """Publish one fsync into the attached telemetry (if any).
+
+        ``seconds`` is ``None`` when the wall-clock layer is disabled —
+        the count is deterministic (one per physical fsync) and always
+        recorded; durations and traces are telemetry-gated extras.
+        """
+        telemetry = self._telemetry
+        if telemetry is None:
+            return
+        telemetry.registry.inc("wal_fsyncs_total", node=node_id)
+        if seconds is not None:
+            telemetry.registry.observe("wal_fsync_seconds", seconds)
+            telemetry.stage_timer().add("fsync", seconds)
+        telemetry.trace("wal_fsync", node=node_id)
+
     def _sync_handle(self, node_id: int, handle: IO[str]) -> None:
         """Flush a node's pending group commit (sealing or closing)."""
         if self._unsynced.pop(node_id, 0):
             handle.flush()
-            os.fsync(handle.fileno())
+            telemetry = self._telemetry
+            if telemetry is not None and telemetry.enabled:
+                start = time.perf_counter()
+                os.fsync(handle.fileno())
+                self._record_fsync(
+                    node_id, time.perf_counter() - start
+                )
+            else:
+                os.fsync(handle.fileno())
+                self._record_fsync(node_id, None)
 
     def _open_segment(self, node_id: int) -> None:
         start_seq = self._next_seq.get(node_id, 0)
@@ -433,7 +472,16 @@ class _FileSegmentedLog(SegmentedLog):
         if self._fsync_every is not None:
             unsynced = self._unsynced.get(node_id, 0) + 1
             if unsynced >= self._fsync_every:
-                os.fsync(handle.fileno())
+                telemetry = self._telemetry
+                if telemetry is not None and telemetry.enabled:
+                    start = time.perf_counter()
+                    os.fsync(handle.fileno())
+                    self._record_fsync(
+                        node_id, time.perf_counter() - start
+                    )
+                else:
+                    os.fsync(handle.fileno())
+                    self._record_fsync(node_id, None)
                 unsynced = 0
             self._unsynced[node_id] = unsynced
 
@@ -570,6 +618,17 @@ class CheckpointStore(abc.ABC):
     def manifest(self) -> dict[str, Any] | None:
         """The last written/loaded manifest (``None`` before the first)."""
 
+    def attach_telemetry(self, telemetry: Any) -> None:
+        """Forward a telemetry facade to the paired WAL.
+
+        Backends that rebuild their WAL (``initialize``/``load``) must
+        re-forward to the fresh instance; the base class remembers the
+        facade in ``self._telemetry`` for that purpose.  Observational
+        only — no storage decision ever reads from it.
+        """
+        self._telemetry = telemetry
+        self.wal.attach_telemetry(telemetry)
+
     def storage_bytes(self) -> int:
         """Bytes of durable state retained (checkpoints + WAL + manifest)."""
         return 0
@@ -610,6 +669,7 @@ class MemoryStore(CheckpointStore):
 
     def initialize(self) -> None:
         self._wal = SegmentedLog(self._wal.segment_events)
+        self._wal.attach_telemetry(getattr(self, "_telemetry", None))
         self._lines = {}
         self._manifest = None
 
@@ -746,6 +806,7 @@ class FileStore(CheckpointStore):
         self._wal = _FileSegmentedLog(
             self._wal_dir, self._wal.segment_events, self._wal_fsync_every
         )
+        self._wal.attach_telemetry(getattr(self, "_telemetry", None))
         self._lines = {}
         self._manifest = None
 
@@ -779,6 +840,7 @@ class FileStore(CheckpointStore):
         self._wal = _FileSegmentedLog(
             self._wal_dir, segment_events, fsync_every
         )
+        self._wal.attach_telemetry(getattr(self, "_telemetry", None))
         try:
             node_ids = [
                 int(node) for node in manifest["topology"]["nodes"]

@@ -1,0 +1,147 @@
+"""Structured trace log: pluggable sinks for lifecycle records.
+
+The second telemetry pillar is a *trace log*: an ordered sequence of
+small dict records, each stamped with the stream position at which the
+simulation emitted it, so a whole cluster run can be replayed as a
+timeline.  The record vocabulary (``type`` field) mirrors the cluster
+lifecycle:
+
+``event_delivered`` · ``checkpoint_fence`` · ``wal_fsync`` ·
+``migration`` · ``retention_collapse`` · ``gossip_round`` · ``crash``
+· ``recover``
+
+Sinks are deliberately dumb — they never inspect records beyond
+serializing them:
+
+* :class:`NullTraceSink` — the default; ``active`` is ``False`` so
+  emitters skip building records entirely (zero hot-path cost).
+* :class:`RingTraceSink` — a bounded in-memory ring buffer; the
+  newest ``capacity`` records survive.  The test and debugging sink.
+* :class:`JsonlTraceSink` — one strict-JSON object per line
+  (sorted keys, ``allow_nan=False``), the ``cli cluster --trace-out``
+  format.
+
+Every sink is safe to call from parallel-ingest workers (records from
+worker threads interleave at line granularity, never torn).
+
+>>> sink = RingTraceSink(capacity=2)
+>>> for position in range(3):
+...     sink.emit({"type": "event_delivered", "position": position})
+>>> [record["position"] for record in sink.records()]
+[1, 2]
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+import threading
+from collections import deque
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "JsonlTraceSink",
+    "NullTraceSink",
+    "RingTraceSink",
+    "TraceSink",
+]
+
+
+class TraceSink(abc.ABC):
+    """Destination for trace records.
+
+    ``active`` is a class-level fast-path flag: emitters check it
+    *before* constructing a record, so an inactive sink costs one
+    attribute read per potential trace point.
+    """
+
+    #: Whether emitters should bother building records for this sink.
+    active: bool = True
+
+    @abc.abstractmethod
+    def emit(self, record: Mapping[str, Any]) -> None:
+        """Accept one trace record (a flat, JSON-safe mapping)."""
+
+    def close(self) -> None:
+        """Release any resources held by the sink (idempotent)."""
+
+
+class NullTraceSink(TraceSink):
+    """Discards everything; ``active`` is ``False`` so emitters skip
+    record construction.  The default sink — telemetry with a null
+    sink still maintains every counter, it just keeps no timeline."""
+
+    active = False
+
+    def emit(self, record: Mapping[str, Any]) -> None:  # pragma: no cover
+        pass
+
+
+class RingTraceSink(TraceSink):
+    """Keeps the newest ``capacity`` records in memory.
+
+    >>> sink = RingTraceSink(capacity=8)
+    >>> sink.emit({"type": "crash", "position": 41, "node": 1})
+    >>> len(sink)
+    1
+    >>> sink.records()[0]["type"]
+    'crash'
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ParameterError(
+                f"ring capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = capacity
+        self._records: deque[dict[str, Any]] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def emit(self, record: Mapping[str, Any]) -> None:
+        with self._lock:
+            self._records.append(dict(record))
+
+    def records(self) -> list[dict[str, Any]]:
+        """Retained records, oldest first."""
+        with self._lock:
+            return [dict(record) for record in self._records]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+
+class JsonlTraceSink(TraceSink):
+    """Appends one strict-JSON object per record to a file.
+
+    Lines use sorted keys and ``allow_nan=False`` — the same strict
+    contract as the benchmark JSON artifacts — so a trace file is
+    byte-stable given identical records and always machine-parseable
+    line by line.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._handle = open(self.path, "w", encoding="utf-8")
+        self._lock = threading.Lock()
+
+    def emit(self, record: Mapping[str, Any]) -> None:
+        line = json.dumps(
+            dict(record),
+            sort_keys=True,
+            allow_nan=False,
+            separators=(",", ":"),
+        )
+        with self._lock:
+            if self._handle.closed:  # late stragglers after close
+                return
+            self._handle.write(line + "\n")
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.flush()
+                self._handle.close()

@@ -246,3 +246,35 @@ class TestRecoverClusterEdgeCases:
                     == central
                 )
         assert central[1] == _truth(events)
+
+    def test_metrics_counters_survive_recovery_monotonically(
+        self, tmp_path
+    ):
+        """Lifetime counters round-trip through the manifest: after
+        process death, ``recover_cluster`` restores every counter to at
+        least its pre-death value (monotone, never reset), and the
+        recovery pass itself shows up as incremented recoveries."""
+        config = self._config(
+            tmp_path,
+            failures=(NodeFailure(at_event=_FENCE_AT, node_id=1),),
+        )
+        with ClusterSimulation(config) as simulation:
+            simulation.run(iter(_workload()))
+            before = dict(simulation.metrics_snapshot()["counters"])
+        assert before["node_crashes{node=1}"] == 1
+        assert before["node_recoveries{node=1}"] == 1
+        with recover_cluster(str(tmp_path)) as recovered:
+            after = dict(recovered.metrics_snapshot()["counters"])
+        regressed = {
+            series: (value, after.get(series, 0))
+            for series, value in before.items()
+            if after.get(series, 0) < value
+        }
+        assert regressed == {}, f"counters went backwards: {regressed}"
+        # recover_cluster recovers every node once more on top of the
+        # in-run crash recovery.
+        for node_id in range(_NODES):
+            assert (
+                after[f"node_recoveries{{node={node_id}}}"]
+                == before.get(f"node_recoveries{{node={node_id}}}", 0) + 1
+            )

@@ -15,7 +15,11 @@ the ``tests/property`` style — no new dependencies) asserts them for
 * **serial-vs-parallel bit-identity** — the execution plan moves
   wall-clock only: worker-sharded delivery reproduces the serial run's
   ``GlobalView`` and per-node stats bit for bit on approximate
-  templates too, crashes and gossip rounds included.
+  templates too, crashes and gossip rounds included;
+* **telemetry inertness** — runs with telemetry disabled, enabled
+  (ring-sinked), and JSONL-file-sinked are bit-identical on the
+  ``GlobalView`` fingerprint and every deterministic result field,
+  serially and in parallel: observing a run never changes it.
 
 ``derandomize=True`` keeps the sweep a pure function of the test code
 (CI never sees a flaky draw); bump ``max_examples`` locally to sweep
@@ -24,6 +28,7 @@ wider.
 
 from __future__ import annotations
 
+import tempfile
 from collections import Counter
 
 from hypothesis import given, settings
@@ -36,6 +41,7 @@ from repro.cluster import (
     default_template,
     view_fingerprint,
 )
+from repro.obs import JsonlTraceSink, RingTraceSink, Telemetry
 from repro.rng.bitstream import BitBudgetedRandom
 from repro.stream.workload import zipf_workload
 
@@ -200,3 +206,76 @@ class TestSerialParallelBitIdentity:
                 )
             )
         assert stamps[0] == stamps[1]
+
+
+class TestTelemetryInertness:
+    """Observing a run must never change it (the hard constraint of
+    the telemetry subsystem): the same ``(config, stream)`` produces a
+    bit-identical cluster with telemetry off, on, and file-sinked —
+    whatever the execution plan."""
+
+    @settings(max_examples=10, deadline=None, derandomize=True)
+    @given(
+        seed=_SEEDS,
+        n_nodes=st.integers(min_value=2, max_value=5),
+        n_events=_EVENTS,
+        template=_TEMPLATES,
+        workers=st.sampled_from((1, 4)),
+        crash=st.booleans(),
+        use_gossip=st.booleans(),
+        hot=st.booleans(),
+    )
+    def test_telemetry_on_off_file_bit_identical(
+        self, seed, n_nodes, n_events, template, workers, crash,
+        use_gossip, hot,
+    ):
+        events = _workload(seed, n_events)
+        shared = dict(
+            n_nodes=n_nodes,
+            template=default_template(template),
+            seed=seed,
+            buffer_limit=128,
+            checkpoint_every=max(n_events // 4, 50),
+            hot_key_threshold=(n_events // 10 if hot else None),
+            failures=_failures(n_nodes, n_events, crash),
+            ingest_workers=workers,
+        )
+        if use_gossip:
+            shared.update(
+                aggregation="gossip",
+                gossip_every=max(n_events // 4, 1),
+            )
+        with tempfile.TemporaryDirectory() as tmp:
+            facades = (
+                Telemetry.disabled(),
+                Telemetry(sink=RingTraceSink()),
+                Telemetry(sink=JsonlTraceSink(f"{tmp}/trace.jsonl")),
+            )
+            stamps = []
+            for telemetry in facades:
+                simulation = ClusterSimulation(
+                    ClusterConfig(**shared), telemetry=telemetry
+                )
+                result = simulation.run(iter(events))
+                telemetry.close()
+                stamps.append(
+                    (
+                        view_fingerprint(
+                            simulation.aggregator.global_view()
+                        ),
+                        result.node_stats,
+                        result.rms_relative_error,
+                        result.max_relative_error,
+                        result.total_state_bits,
+                        result.checkpoints,
+                        result.recoveries,
+                        result.gossip_rounds,
+                    )
+                )
+            assert stamps[0] == stamps[1] == stamps[2]
+            # The deterministic counter layer is plan- and
+            # sink-independent too: identical exported counters.
+            exports = [
+                facade.registry.export_counters() for facade in facades
+            ]
+            assert exports[0] == exports[1] == exports[2]

@@ -509,7 +509,8 @@ class TestRecoverCluster:
         )
         simulation = ClusterSimulation(config)
         simulation.run(_events(50))  # far below every budget
-        assert simulation._checkpoints == {0: 0, 1: 0}
+        assert simulation._tenure_counts(0) == (0, 0)
+        assert simulation._tenure_counts(1) == (0, 0)
         retained = {
             node.node_id: simulation.store.wal.retained_events(
                 node.node_id
@@ -519,7 +520,8 @@ class TestRecoverCluster:
         assert sum(retained.values()) == 50
         simulation.close()
         recovered = recover_cluster(str(tmp_path))
-        assert recovered._checkpoints == {0: 0, 1: 0}
+        assert recovered._tenure_counts(0)[0] == 0
+        assert recovered._tenure_counts(1)[0] == 0
         for node_id, events in retained.items():
             assert (
                 recovered.store.wal.retained_events(node_id) == events

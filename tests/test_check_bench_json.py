@@ -86,6 +86,136 @@ class TestCheckFile:
         assert any("does not match" in problem for problem in problems)
 
 
+def _valid_metrics() -> dict:
+    return {
+        "counters": {"events_delivered_total{node=0}": 1000},
+        "gauges": {"live_nodes": 2},
+        "histograms": {
+            "wal_fsync_seconds": {
+                "buckets": [[0.001, 3], ["+Inf", 0]],
+                "count": 3,
+                "sum": 0.002,
+                "max": 0.001,
+            }
+        },
+        "stages": {"route": {"count": 1000, "total_s": 0.1, "max_s": 0.01}},
+    }
+
+
+class TestEmbeddedMetrics:
+    """The optional per-row telemetry snapshot is schema-checked too."""
+
+    def _payload_with(self, metrics: object) -> dict:
+        payload = _valid_payload()
+        payload["rows"][0]["metrics"] = metrics
+        return payload
+
+    def test_valid_snapshot_passes(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "BENCH_cluster.json",
+            json.dumps(self._payload_with(_valid_metrics())),
+        )
+        assert check_bench_json.check_file(path) == []
+
+    def test_rows_without_metrics_stay_valid(self, tmp_path):
+        """metrics is optional: the pre-telemetry schema still passes."""
+        path = _write(
+            tmp_path, "BENCH_cluster.json", json.dumps(_valid_payload())
+        )
+        assert check_bench_json.check_file(path) == []
+
+    def test_rejects_non_object_metrics(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "BENCH_cluster.json",
+            json.dumps(self._payload_with([1, 2])),
+        )
+        problems = check_bench_json.check_file(path)
+        assert any("must be an object" in problem for problem in problems)
+
+    @pytest.mark.parametrize(
+        "family", ["counters", "gauges", "histograms", "stages"]
+    )
+    def test_rejects_missing_family(self, tmp_path, family):
+        metrics = _valid_metrics()
+        del metrics[family]
+        path = _write(
+            tmp_path,
+            "BENCH_cluster.json",
+            json.dumps(self._payload_with(metrics)),
+        )
+        problems = check_bench_json.check_file(path)
+        assert any(family in problem for problem in problems)
+
+    def test_rejects_negative_counter(self, tmp_path):
+        metrics = _valid_metrics()
+        metrics["counters"]["events_delivered_total{node=0}"] = -1
+        path = _write(
+            tmp_path,
+            "BENCH_cluster.json",
+            json.dumps(self._payload_with(metrics)),
+        )
+        problems = check_bench_json.check_file(path)
+        assert any("non-negative" in problem for problem in problems)
+
+    def test_rejects_boolean_counter(self, tmp_path):
+        """True would pass an isinstance(int) check; the schema says no."""
+        metrics = _valid_metrics()
+        metrics["counters"]["events_delivered_total{node=0}"] = True
+        path = _write(
+            tmp_path,
+            "BENCH_cluster.json",
+            json.dumps(self._payload_with(metrics)),
+        )
+        problems = check_bench_json.check_file(path)
+        assert any("non-negative" in problem for problem in problems)
+
+    def test_rejects_non_numeric_gauge(self, tmp_path):
+        metrics = _valid_metrics()
+        metrics["gauges"]["live_nodes"] = "two"
+        path = _write(
+            tmp_path,
+            "BENCH_cluster.json",
+            json.dumps(self._payload_with(metrics)),
+        )
+        problems = check_bench_json.check_file(path)
+        assert any("must be numeric" in problem for problem in problems)
+
+    def test_rejects_histogram_without_buckets(self, tmp_path):
+        metrics = _valid_metrics()
+        del metrics["histograms"]["wal_fsync_seconds"]["buckets"]
+        path = _write(
+            tmp_path,
+            "BENCH_cluster.json",
+            json.dumps(self._payload_with(metrics)),
+        )
+        problems = check_bench_json.check_file(path)
+        assert any("buckets/count/sum" in problem for problem in problems)
+
+    def test_rejects_malformed_stage_cell(self, tmp_path):
+        metrics = _valid_metrics()
+        metrics["stages"]["route"] = {"count": 1000}
+        path = _write(
+            tmp_path,
+            "BENCH_cluster.json",
+            json.dumps(self._payload_with(metrics)),
+        )
+        problems = check_bench_json.check_file(path)
+        assert any(
+            "count/total_s/max_s" in problem for problem in problems
+        )
+
+    def test_problem_names_the_row(self, tmp_path):
+        payload = _valid_payload()
+        payload["rows"].append({"nodes": 2, "metrics": "bogus"})
+        path = _write(
+            tmp_path, "BENCH_cluster.json", json.dumps(payload)
+        )
+        problems = check_bench_json.check_file(path)
+        assert any("rows[1]" in problem for problem in problems)
+
+
 class TestMain:
     def test_passes_on_valid_paths(self, tmp_path, capsys):
         path = _write(

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 import subprocess
@@ -281,6 +282,149 @@ class TestCommands:
     def test_cluster_wal_fsync_requires_file_backend(self):
         with pytest.raises(SystemExit):
             main(["cluster", "--events", "100", "--wal-fsync", "8"])
+
+    def test_cluster_metrics_out_writes_strict_json(
+        self, capsys, tmp_path
+    ):
+        metrics_path = tmp_path / "metrics.json"
+        assert (
+            main(
+                [
+                    "cluster",
+                    "--nodes",
+                    "2",
+                    "--events",
+                    "3000",
+                    "--keys",
+                    "50",
+                    "--checkpoint-every",
+                    "1000",
+                    "--metrics-out",
+                    str(metrics_path),
+                ]
+            )
+            == 0
+        )
+        assert "telemetry snapshot" in capsys.readouterr().out
+        snapshot = json.loads(metrics_path.read_text(encoding="utf-8"))
+        assert set(snapshot) == {
+            "counters",
+            "gauges",
+            "histograms",
+            "stages",
+        }
+        delivered = sum(
+            value
+            for series, value in snapshot["counters"].items()
+            if series.startswith("events_delivered_total")
+        )
+        assert delivered == 3000
+        # Strict JSON: a re-dump with allow_nan=False must round-trip.
+        json.dumps(snapshot, sort_keys=True, allow_nan=False)
+
+    def test_cluster_metrics_out_prom_renders_prometheus(self, tmp_path):
+        metrics_path = tmp_path / "metrics.prom"
+        assert (
+            main(
+                [
+                    "cluster",
+                    "--nodes",
+                    "2",
+                    "--events",
+                    "2000",
+                    "--keys",
+                    "50",
+                    "--metrics-out",
+                    str(metrics_path),
+                ]
+            )
+            == 0
+        )
+        text = metrics_path.read_text(encoding="utf-8")
+        assert "# TYPE events_delivered_total counter" in text
+        assert 'events_delivered_total{node="0"}' in text
+
+    def test_cluster_trace_out_writes_jsonl(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        assert (
+            main(
+                [
+                    "cluster",
+                    "--nodes",
+                    "2",
+                    "--events",
+                    "3000",
+                    "--keys",
+                    "50",
+                    "--checkpoint-every",
+                    "1000",
+                    "--kill",
+                    "1@1500",
+                    "--trace-out",
+                    str(trace_path),
+                ]
+            )
+            == 0
+        )
+        assert "structured trace" in capsys.readouterr().out
+        records = [
+            json.loads(line)
+            for line in trace_path.read_text(
+                encoding="utf-8"
+            ).splitlines()
+        ]
+        kinds = {record["type"] for record in records}
+        assert {
+            "event_delivered",
+            "checkpoint_fence",
+            "crash",
+            "recover",
+        } <= kinds
+        assert all("position" in record for record in records)
+
+    def test_cluster_no_telemetry_still_runs(self, capsys):
+        assert (
+            main(
+                [
+                    "cluster",
+                    "--nodes",
+                    "2",
+                    "--events",
+                    "2000",
+                    "--keys",
+                    "50",
+                    "--no-telemetry",
+                ]
+            )
+            == 0
+        )
+        assert "events/s" in capsys.readouterr().out
+
+    def test_cluster_no_telemetry_refuses_metrics_out(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "cluster",
+                    "--events",
+                    "100",
+                    "--no-telemetry",
+                    "--metrics-out",
+                    "/tmp/metrics.json",
+                ]
+            )
+
+    def test_cluster_no_telemetry_refuses_trace_out(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "cluster",
+                    "--events",
+                    "100",
+                    "--no-telemetry",
+                    "--trace-out",
+                    "/tmp/trace.jsonl",
+                ]
+            )
 
     def test_cluster_refuses_existing_storage_dir(self, tmp_path):
         args = [
