@@ -49,14 +49,26 @@ node's decentralized read equals the central merge-tree answer bit for
 bit (it must).  Results land in
 ``benchmarks/results/BENCH_cluster_gossip.json``.
 
+A sixth scenario measures *self-healing membership*: clusters of 2, 4
+and 8 nodes with ``membership=True`` lose their last node mid-stream to
+a kill the driver never heals (``NodeFailure(heal=False)``) — the
+gossip-driven failure detector must suspect it, confirm the failure by
+quorum vote, and heal it on the cluster's own authority.  Per node
+count the payload records detection latency in gossip rounds (bounded
+by ``suspect_after`` + O(log n) dissemination) and whether the
+self-healed run's ``exact``-template global view is bit-identical to a
+driver-healed reference run of the same seed (it must be — recovery is
+lossless either way).  Results land in
+``benchmarks/results/BENCH_cluster_membership.json``.
+
 Entry points:
 
 * pytest-benchmark (``pytest benchmarks/bench_cluster.py``) — the full
-  sweep plus crash-recovery, elasticity, durability, throughput, and
-  gossip benchmarks;
+  sweep plus crash-recovery, elasticity, durability, throughput,
+  gossip, and membership benchmarks;
 * script mode (``python benchmarks/bench_cluster.py [-q] [--scenario
-  scaling|elastic|durability|throughput|gossip]``) — the same runs
-  standalone;
+  scaling|elastic|durability|throughput|gossip|membership]``) — the
+  same runs standalone;
   ``-q`` is the smoke path used by tier-1 tests (reduced workload, same
   schema, seconds not minutes).  Scenarios live in the ``_SCENARIOS``
   registry; an unknown ``--scenario`` is a clean argparse error listing
@@ -896,6 +908,185 @@ def _check_gossip(payload: dict) -> None:
 
 
 # ----------------------------------------------------------------------
+# membership scenario: self-healed kills match driver-healed runs
+# ----------------------------------------------------------------------
+_MEMBERSHIP_SWEEP = (2, 4, 8)
+_MEMBERSHIP_SUSPECT_AFTER = 2
+
+
+def _run_membership(n_events: int) -> dict:
+    """Self-healing membership at 2/4/8 nodes on ``exact`` templates.
+
+    Each sweep arm kills the last node at mid-stream with
+    ``NodeFailure(heal=False)`` — the driver walks away and the
+    membership layer must notice (digest staleness), agree (quorum
+    vote), and heal (checkpoint + WAL replay) on its own.  A paired
+    reference run of the identical seed and workload uses the classic
+    driver-healed crash instead; its global view is the ground the
+    self-healed run is held to, bit for bit.  Detection latency in
+    gossip rounds is recorded per arm and must stay within
+    ``suspect_after`` plus an O(log n) dissemination allowance.
+    """
+    gossip_every = max(n_events // 8, 1)
+    rows = []
+    for n_nodes in _MEMBERSHIP_SWEEP:
+        shared = dict(
+            n_nodes=n_nodes,
+            template=default_template("exact"),
+            seed=_SEED,
+            buffer_limit=512,
+            checkpoint_every=max(n_events // (4 * n_nodes), 1000),
+            aggregation="gossip",
+            gossip_fanout=_GOSSIP_FANOUT,
+            gossip_every=gossip_every,
+        )
+        kill_at = n_events // 2
+        fingerprints = {}
+        for arm in ("self-healed", "driver-healed"):
+            config = ClusterConfig(
+                membership=(arm == "self-healed"),
+                suspect_after=(
+                    _MEMBERSHIP_SUSPECT_AFTER
+                    if arm == "self-healed"
+                    else 2
+                ),
+                failures=(
+                    NodeFailure(
+                        at_event=kill_at,
+                        node_id=n_nodes - 1,
+                        heal=(arm == "driver-healed"),
+                    ),
+                ),
+                **shared,
+            )
+            events = zipf_workload(
+                BitBudgetedRandom(_SEED),
+                n_keys=_KEYS,
+                n_events=n_events,
+                exponent=_EXPONENT,
+            )
+            with ClusterSimulation(config) as simulation:
+                result = simulation.run(events)
+                fingerprints[arm] = view_fingerprint(
+                    simulation.aggregator.global_view()
+                )
+                if arm == "self-healed":
+                    metrics = simulation.metrics_snapshot()
+                    healed = result
+        rows.append(
+            {
+                "nodes": n_nodes,
+                "events": healed.total_events,
+                "events_per_sec": round(healed.events_per_sec, 1),
+                "kills": healed.membership_kills,
+                "suspicions": healed.membership_suspicions,
+                "confirmations": healed.membership_confirmations,
+                "heals": healed.membership_heals,
+                "detection_rounds": healed.membership_detection_rounds,
+                "healed_equivalent": (
+                    fingerprints["self-healed"]
+                    == fingerprints["driver-healed"]
+                ),
+                "max_relative_error": healed.max_relative_error,
+                "recoveries": healed.recoveries,
+                "metrics": metrics,
+            }
+        )
+    return {
+        "benchmark": "cluster_membership",
+        "seed": _SEED,
+        "workload": {
+            "kind": "zipf",
+            "events": n_events,
+            "keys": _KEYS,
+            "exponent": _EXPONENT,
+        },
+        "config": {
+            "fanout": _GOSSIP_FANOUT,
+            "gossip_every": gossip_every,
+            "suspect_after": _MEMBERSHIP_SUSPECT_AFTER,
+            "membership_heal": "auto",
+            "template": "exact",
+        },
+        "rows": rows,
+    }
+
+
+def _render_membership(payload: dict) -> str:
+    table = TextTable(
+        [
+            "nodes",
+            "events/s",
+            "suspicions",
+            "confirms",
+            "heals",
+            "detect rounds",
+            "healed == driver",
+        ]
+    )
+    for row in payload["rows"]:
+        table.add_row(
+            str(row["nodes"]),
+            f"{row['events_per_sec']:,.0f}",
+            str(row["suspicions"]),
+            str(row["confirmations"]),
+            str(row["heals"]),
+            str(row["detection_rounds"]),
+            "yes" if row["healed_equivalent"] else "NO",
+        )
+    workload = payload["workload"]
+    config = payload["config"]
+    return "\n".join(
+        [
+            "Self-healing membership — gossip-detected kills vs "
+            "driver-healed crashes",
+            f"zipf({workload['exponent']}) {workload['events']:,} events "
+            f"over {workload['keys']:,} keys, seed {payload['seed']}; "
+            f"suspect after {config['suspect_after']} stale rounds, "
+            f"round every {config['gossip_every']:,} events, "
+            "exact templates",
+            "",
+            table.render(),
+            "",
+            "Losslessness check: a kill the driver never heals "
+            "converges to the same exact global view as the classic "
+            "driver-healed crash — detection, quorum, and recovery "
+            "change when healing happens, never what the cluster "
+            "computes.",
+        ]
+    )
+
+
+def _check_membership(payload: dict) -> None:
+    """The membership-scenario invariants (full or quick)."""
+    rows = payload["rows"]
+    assert [row["nodes"] for row in rows] == list(_MEMBERSHIP_SWEEP)
+    suspect_after = payload["config"]["suspect_after"]
+    for row in rows:
+        assert row["events"] == payload["workload"]["events"]
+        # The one kill was detected, quorum-confirmed, and healed by
+        # the cluster itself (the heal shows up as a recovery too).
+        assert row["kills"] == 1
+        assert row["suspicions"] >= 1
+        assert row["confirmations"] >= 1
+        assert row["heals"] == 1
+        assert row["recoveries"] >= 1
+        # The self-healed run must be bit-identical to the
+        # driver-healed reference on exact templates.
+        assert row["healed_equivalent"] is True
+        assert row["max_relative_error"] == 0.0
+        # Detection latency: the suspicion threshold plus an O(log n)
+        # allowance for vote dissemination across the quorum.
+        bound = suspect_after + 2 + 3 * (
+            math.ceil(math.log2(row["nodes"])) + 1
+        )
+        assert 1 <= row["detection_rounds"] <= bound, (
+            f"{row['nodes']} nodes took "
+            f"{row['detection_rounds']} rounds to heal (bound {bound})"
+        )
+
+
+# ----------------------------------------------------------------------
 # pytest-benchmark entry points
 # ----------------------------------------------------------------------
 def test_cluster_scaling(benchmark):
@@ -975,6 +1166,18 @@ def test_cluster_gossip(benchmark):
     write_result("BENCH_cluster_gossip", _render_gossip(payload))
 
 
+def test_cluster_membership(benchmark):
+    """Self-healing sweep; writes BENCH_cluster_membership.json."""
+    payload = benchmark.pedantic(
+        lambda: _run_membership(_FULL_EVENTS), rounds=1, iterations=1
+    )
+    _check_membership(payload)
+    write_json_result("cluster_membership", payload)
+    write_result(
+        "BENCH_cluster_membership", _render_membership(payload)
+    )
+
+
 # ----------------------------------------------------------------------
 # script mode (the tier-1 smoke path)
 # ----------------------------------------------------------------------
@@ -1010,6 +1213,12 @@ _SCENARIOS: dict[str, _Scenario] = {
     "gossip": _Scenario(
         _run_gossip, _check_gossip, _render_gossip, "cluster_gossip"
     ),
+    "membership": _Scenario(
+        _run_membership,
+        _check_membership,
+        _render_membership,
+        "cluster_membership",
+    ),
 }
 
 
@@ -1018,7 +1227,7 @@ def main(argv: list[str] | None = None) -> int:
         description=(
             "Cluster benchmark scenarios (scaling, elasticity, "
             "durability, parallel-ingest throughput, gossip "
-            "aggregation)"
+            "aggregation, self-healing membership)"
         )
     )
     parser.add_argument(

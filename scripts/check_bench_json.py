@@ -18,7 +18,12 @@ The benchmark suite writes machine-readable artifacts under
   ``metrics`` object (written by the cluster scenarios from
   ``repro.obs``) must carry ``counters`` (string → non-negative int),
   ``gauges`` (string → number), ``histograms`` (series →
-  buckets/count/sum) and ``stages`` (stage → count/total_s/max_s).
+  buckets/count/sum) and ``stages`` (stage → count/total_s/max_s);
+* is a ``cluster_membership`` artifact whose rows break the scenario's
+  own acceptance shape — every row must carry ``nodes`` (positive
+  int), ``detection_rounds`` (non-negative int), and
+  ``healed_equivalent`` exactly ``true`` (a self-healed run that is
+  *not* bit-identical to its driver-healed reference must never ship).
 
 Usage::
 
@@ -92,6 +97,33 @@ def _check_metrics(metrics: object, where: str) -> list[str]:
     return problems
 
 
+def _check_membership_row(row: dict, where: str) -> list[str]:
+    """Schema problems with one ``cluster_membership`` scenario row."""
+    problems: list[str] = []
+    nodes = row.get("nodes")
+    if not isinstance(nodes, int) or isinstance(nodes, bool) or nodes < 1:
+        problems.append(
+            f"{where}: nodes must be a positive integer, got {nodes!r}"
+        )
+    rounds = row.get("detection_rounds")
+    if (
+        not isinstance(rounds, int)
+        or isinstance(rounds, bool)
+        or rounds < 0
+    ):
+        problems.append(
+            f"{where}: detection_rounds must be a non-negative "
+            f"integer, got {rounds!r}"
+        )
+    if row.get("healed_equivalent") is not True:
+        problems.append(
+            f"{where}: healed_equivalent must be true — a self-healed "
+            "run that diverged from its driver-healed reference must "
+            "never ship"
+        )
+    return problems
+
+
 def check_payload(payload: object, expected_name: str | None) -> list[str]:
     """Schema problems with one parsed artifact (empty when valid)."""
     problems: list[str] = []
@@ -121,6 +153,10 @@ def check_payload(payload: object, expected_name: str | None) -> list[str]:
             if "metrics" in row:
                 problems.extend(
                     _check_metrics(row["metrics"], f"rows[{index}]")
+                )
+            if payload["benchmark"] == "cluster_membership":
+                problems.extend(
+                    _check_membership_row(row, f"rows[{index}]")
                 )
     return problems
 

@@ -12,7 +12,7 @@
 #   2. explicit doctest pass           (same tests, surfaced separately)
 #   3. docs link check                 (scripts/check_docs_links.py)
 #   4. bench smoke, every scenario     (scaling, elastic, durability,
-#      throughput, gossip — writes BENCH_*.json)
+#      throughput, gossip, membership — writes BENCH_*.json)
 #   5. strict-JSON artifact validation (scripts/check_bench_json.py)
 #   6. cluster coverage report + floor (scripts/run_coverage.py —
 #      pytest-cov when installed, stdlib tracer otherwise; fails below
@@ -46,7 +46,7 @@ python scripts/check_docs_links.py
 if [ "$run_bench" -eq 1 ]; then
   echo
   echo "== bench smoke (every scenario) =="
-  for scenario in scaling elastic durability throughput gossip; do
+  for scenario in scaling elastic durability throughput gossip membership; do
     echo "-- scenario: $scenario"
     python benchmarks/bench_cluster.py -q --scenario "$scenario" >/dev/null
   done

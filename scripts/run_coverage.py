@@ -17,7 +17,10 @@ and measures line coverage of ``src/repro/cluster/``.  Two engines:
 
 Either way the script writes ``coverage/cluster_coverage.json`` (plus a
 rendered ``.txt`` summary, both uploaded as CI artifacts) and exits 1
-when overall coverage of ``src/repro/cluster/`` falls below the floor.
+when overall coverage of ``src/repro/cluster/`` falls below the floor —
+or when any module in the target directory has *no executed lines at
+all* (pytest-cov silently omits never-imported modules; a brand-new
+module must never pass the gate by shrinking the denominator).
 
 Usage::
 
@@ -286,6 +289,27 @@ def main(argv: list[str] | None = None) -> int:
     if test_rc != 0:
         print(f"cluster tests failed (pytest exit {test_rc})")
         return test_rc
+
+    # Every module in the target directory belongs in the report with
+    # at least one executed line.  pytest-cov silently omits modules
+    # nothing imported, and a module the suite never executes would
+    # otherwise shrink the denominator instead of failing the gate —
+    # exactly how a new subsystem escapes coverage enforcement.
+    unexecuted = sorted(
+        path.name
+        for path in TARGET_DIR.glob("*.py")
+        if path.name not in report
+        or (
+            report[path.name]["statements"] > 0
+            and report[path.name]["covered"] == 0
+        )
+    )
+    if unexecuted:
+        print(
+            "FAIL: modules in src/repro/cluster/ with no executed "
+            f"lines (missing from the suite entirely): {unexecuted}"
+        )
+        return 1
 
     total_statements = sum(row["statements"] for row in report.values())
     total_covered = sum(row["covered"] for row in report.values())

@@ -19,6 +19,8 @@ Usage::
         --storage-dir /tmp/cluster --wal-fsync 8
     python -m repro.cli cluster --aggregation gossip --gossip-fanout 2 \\
         --gossip-every 25000
+    python -m repro.cli cluster --aggregation gossip --membership \\
+        --kill-dead 2@500000 --suspect-after 2 --membership-heal auto
     python -m repro.cli count --algorithm nelson_yu --n 1000000
 
 Every subcommand prints the same tables the benchmark suite writes to
@@ -347,6 +349,60 @@ def build_parser() -> argparse.ArgumentParser:
             "(default with --aggregation gossip: events/8)"
         ),
     )
+    cluster.add_argument(
+        "--membership",
+        action="store_true",
+        help=(
+            "self-healing membership on top of --aggregation gossip: "
+            "nodes suspect peers whose digests go stale, confirm "
+            "failures by quorum vote, and the cluster heals "
+            "--kill-dead nodes on its own (lossless: same exact "
+            "answer as a driver-healed run)"
+        ),
+    )
+    cluster.add_argument(
+        "--kill-dead",
+        action="append",
+        default=[],
+        metavar="NODE@EVENT",
+        help=(
+            "crash NODE at EVENT and leave it down until the "
+            "membership layer detects and heals it (repeatable; "
+            "requires --membership)"
+        ),
+    )
+    cluster.add_argument(
+        "--suspect-after",
+        type=int,
+        default=2,
+        metavar="ROUNDS",
+        help=(
+            "gossip rounds a node's digest entry may go without a "
+            "refresh before peers suspect it (default 2)"
+        ),
+    )
+    cluster.add_argument(
+        "--membership-quorum",
+        type=int,
+        default=None,
+        metavar="VOTES",
+        help=(
+            "suspicion votes needed to confirm a failure (default: "
+            "every live node, the n-f bound that makes false "
+            "positives impossible)"
+        ),
+    )
+    cluster.add_argument(
+        "--membership-heal",
+        choices=("auto", "recover", "rebalance"),
+        default="auto",
+        help=(
+            "what a confirmed failure triggers: replay the node's "
+            "durable state (recover), migrate its keys to the "
+            "survivors (rebalance), or recover iff the store holds "
+            "any of its state (auto, the default)"
+        ),
+    )
 
     count = subparsers.add_parser(
         "count", help="run one counter over N increments"
@@ -391,6 +447,21 @@ def _run_cluster(args: argparse.Namespace) -> str:
             failures.append(NodeFailure(at_event=at_event, node_id=node_id))
         except ParameterError as exc:
             raise SystemExit(f"invalid --kill {spec!r}: {exc}")
+    for spec in args.kill_dead:
+        try:
+            node_part, event_part = spec.split("@", 1)
+            node_id, at_event = int(node_part), int(event_part)
+        except ValueError:
+            raise SystemExit(
+                f"--kill-dead expects NODE@EVENT (e.g. 2@100000), "
+                f"got {spec!r}"
+            )
+        try:
+            failures.append(
+                NodeFailure(at_event=at_event, node_id=node_id, heal=False)
+            )
+        except ParameterError as exc:
+            raise SystemExit(f"invalid --kill-dead {spec!r}: {exc}")
     scale_events = []
     for at_event in args.grow:
         try:
@@ -419,6 +490,17 @@ def _run_cluster(args: argparse.Namespace) -> str:
                 f"--kill at event {failure.at_event} is past the end of "
                 f"the stream ({args.events} events); it would never fire"
             )
+    if args.membership and args.aggregation != "gossip":
+        raise SystemExit("--membership requires --aggregation gossip")
+    if not args.membership:
+        if args.kill_dead:
+            raise SystemExit("--kill-dead requires --membership")
+        if args.suspect_after != 2:
+            raise SystemExit("--suspect-after requires --membership")
+        if args.membership_quorum is not None:
+            raise SystemExit("--membership-quorum requires --membership")
+        if args.membership_heal != "auto":
+            raise SystemExit("--membership-heal requires --membership")
     for scale in scale_events:
         if scale.at_event >= args.events:
             raise SystemExit(
@@ -493,6 +575,10 @@ def _run_cluster(args: argparse.Namespace) -> str:
             aggregation=args.aggregation,
             gossip_fanout=args.gossip_fanout,
             gossip_every=gossip_every,
+            membership=args.membership,
+            suspect_after=args.suspect_after,
+            membership_quorum=args.membership_quorum,
+            membership_heal=args.membership_heal,
         )
     except ParameterError as exc:
         raise SystemExit(f"invalid cluster configuration: {exc}")
@@ -545,6 +631,17 @@ def _run_cluster(args: argparse.Namespace) -> str:
             f"\ngossip aggregation: fanout {args.gossip_fanout}, "
             f"round every {gossip_every:,} events — every node's local "
             "view converged to the central answer"
+        )
+    if args.membership:
+        table += (
+            f"\nself-healing membership: suspect after "
+            f"{args.suspect_after} stale rounds, "
+            + (
+                f"quorum {args.membership_quorum} votes"
+                if args.membership_quorum is not None
+                else "quorum every live node"
+            )
+            + f", heal mode {args.membership_heal}"
         )
     if args.workers > 1:
         table += (

@@ -26,6 +26,12 @@ deployment:
   push-pull rounds (``ClusterConfig.aggregation="gossip"``); a
   converged node's local view equals the central merge-tree answer
   bit for bit on ``exact`` templates;
+* :mod:`~repro.cluster.membership` — self-healing membership on top of
+  gossip (``ClusterConfig.membership=True``): per-node failure
+  detection from digest round stamps, suspicion votes piggybacked on
+  the exchanges, phase-based quorum confirmation, and automatic
+  recover-or-rebalance-away healing of driver-killed nodes
+  (``NodeFailure(heal=False)``) — deterministic and lossless;
 * :class:`~repro.cluster.checkpoint.BankCheckpoint` — whole-bank
   snapshot/restore built on :mod:`repro.core.codec` and stamped with the
   capturing topology, so a crashed node recovers deterministically;
@@ -70,6 +76,14 @@ from repro.cluster.gossip import (
     DigestEntry,
     GossipNetwork,
     NodeDigest,
+)
+from repro.cluster.membership import (
+    ALIVE,
+    CONFIRMED_DEAD,
+    MEMBERSHIP_HEAL_MODES,
+    SUSPECT,
+    FailureDetector,
+    MembershipView,
 )
 from repro.cluster.node import CounterTemplate, IngestNode, default_template
 from repro.cluster.pipeline import (
@@ -120,7 +134,9 @@ from repro.cluster.storage import (
 
 __all__ = [
     "AGGREGATION_MODES",
+    "ALIVE",
     "BankCheckpoint",
+    "CONFIRMED_DEAD",
     "CheckpointStore",
     "ClusterConfig",
     "ClusterRouter",
@@ -128,12 +144,15 @@ __all__ = [
     "CounterTemplate",
     "DigestEntry",
     "ExecutionPlan",
+    "FailureDetector",
     "FileStore",
     "GlobalView",
     "GossipNetwork",
     "HashRingStrategy",
     "IngestNode",
     "KeyMove",
+    "MEMBERSHIP_HEAL_MODES",
+    "MembershipView",
     "MemoryStore",
     "MergeTreeAggregator",
     "MigrationBatch",
@@ -147,6 +166,7 @@ __all__ = [
     "RetentionPolicy",
     "RoutingStrategy",
     "STORAGE_BACKENDS",
+    "SUSPECT",
     "ScaleEvent",
     "SegmentedLog",
     "SerialPlan",

@@ -116,6 +116,11 @@ class DigestEntry:
     truth:
         The origin's exact shadow counts (``None`` when its bank does
         not track truth).
+    round:
+        Lifetime gossip-round index at capture — the failure detector's
+        staleness clock (:mod:`repro.cluster.membership`): an entry
+        whose stamp stops advancing is evidence its origin stopped
+        refreshing.
     """
 
     origin: int
@@ -125,6 +130,7 @@ class DigestEntry:
     window: int
     counters: Mapping[str, ApproximateCounter]
     truth: Mapping[str, int] | None
+    round: int = 0
 
     @classmethod
     def capture(
@@ -133,6 +139,7 @@ class DigestEntry:
         version: int,
         epoch: int = 0,
         window: int = 0,
+        round: int = 0,
     ) -> "DigestEntry":
         """Snapshot one node's flushed bank into a digest entry.
 
@@ -160,6 +167,7 @@ class DigestEntry:
             window=window,
             counters=counters,
             truth=truth,
+            round=round,
         )
 
 
@@ -310,10 +318,17 @@ class GossipNetwork:
         #: origin id -> latest issued version; never forgets retired
         #: ids, so a re-added id can never lose to a stale entry.
         self._versions: dict[int, int] = {}
+        #: origin id -> round index of its latest refresh (0 = never);
+        #: the detector's fallback clock for origins a digest has not
+        #: learned an entry for yet.
+        self._refresh_rounds: dict[int, int] = {}
         self._rounds = 0
         #: optional :class:`~repro.obs.MetricsRegistry` publishing round
         #: and digest-adoption counters (per-round cost, never per-event).
         self._registry = registry
+        #: optional :class:`~repro.cluster.membership.FailureDetector`
+        #: driven from every refreshing round (see :meth:`attach_detector`).
+        self._detector: Any = None
 
     @property
     def fanout(self) -> int:
@@ -343,6 +358,20 @@ class GossipNetwork:
     # ------------------------------------------------------------------
     # membership
     # ------------------------------------------------------------------
+    def attach_detector(self, detector: Any) -> None:
+        """Drive a failure detector from every refreshing round.
+
+        The detector (:class:`~repro.cluster.membership.FailureDetector`)
+        gets a view for every current and future participant, a
+        staleness assessment at the top of each refreshing round, and a
+        piggybacked suspicion merge on every digest exchange.
+        Anti-entropy rounds (``refresh=False``) carry frozen content
+        whose stamps do not advance, so they run no detection.
+        """
+        self._detector = detector
+        for node_id in self.node_ids:
+            detector.add_node(node_id)
+
     def add_node(self, node_id: int) -> None:
         """Start gossiping with a (new) node; its digest starts empty."""
         if node_id in self._digests:
@@ -351,6 +380,8 @@ class GossipNetwork:
             )
         self._digests[node_id] = NodeDigest(node_id)
         self._versions.setdefault(node_id, 0)
+        if self._detector is not None:
+            self._detector.add_node(node_id)
 
     def remove_node(self, node_id: int) -> None:
         """Retire a node: drop its digest and purge its origin entries.
@@ -366,10 +397,14 @@ class GossipNetwork:
         del self._digests[node_id]
         for digest in self._digests.values():
             digest.drop_origin(node_id)
+        if self._detector is not None:
+            self._detector.remove_node(node_id)
 
     def reset_node(self, node_id: int) -> None:
         """A crash wiped the node's volatile state, digest included."""
         self.digest(node_id).clear()
+        if self._detector is not None:
+            self._detector.reset_node(node_id)
 
     # ------------------------------------------------------------------
     # rounds
@@ -392,14 +427,20 @@ class GossipNetwork:
         self._versions[node.node_id] = (
             self._versions.get(node.node_id, 0) + 1
         )
+        self._refresh_rounds[node.node_id] = self._rounds
         entry = DigestEntry.capture(
             node,
             version=self._versions[node.node_id],
             epoch=epoch,
             window=window,
+            round=self._rounds,
         )
         digest.merge_entry(entry)
         return entry
+
+    def last_refresh_round(self, origin: int) -> int:
+        """Round index of the origin's latest refresh (0 = never)."""
+        return self._refresh_rounds.get(origin, 0)
 
     def run_round(
         self,
@@ -415,15 +456,23 @@ class GossipNetwork:
         both sides adopt the other's newer entries.  Within a round
         later exchanges see earlier adoptions (epidemic relay), which
         is what makes convergence logarithmic.
+
+        Participants are the ids in ``nodes``: a known node missing
+        from the mapping is *dead* — its entry neither refreshes nor
+        exchanges, so its round stamp goes stale at every peer, which
+        is exactly what an attached failure detector feeds on.
         """
         self._rounds += 1
         rng = BitBudgetedRandom(
             derive_seed(self._seed, _GOSSIP_SEED_KEY, self._rounds)
         )
-        participants = list(self.node_ids)
+        participants = [nid for nid in self.node_ids if nid in nodes]
+        detecting = refresh and self._detector is not None
         if refresh:
             for node_id in participants:
                 self.refresh(nodes[node_id], epoch=epoch, window=window)
+        if detecting:
+            self._detector.begin_round(self, participants)
         adoptions = 0
         for node_id in participants:
             others = [peer for peer in participants if peer != node_id]
@@ -433,6 +482,8 @@ class GossipNetwork:
                 theirs = self._digests[peer]
                 adoptions += mine.merge_digest(theirs)   # pull
                 adoptions += theirs.merge_digest(mine)   # push
+                if detecting:
+                    self._detector.observe_exchange(self, node_id, peer)
         if self._registry is not None:
             self._registry.inc("gossip_rounds_total")
             self._registry.inc("gossip_digest_adoptions_total", adoptions)

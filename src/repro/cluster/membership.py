@@ -1,0 +1,474 @@
+"""Self-healing membership: gossip-driven failure detection.
+
+The simulation driver has always been able to *inject* crashes; until
+now it also healed them.  This module is the layer that lets the
+cluster notice a dead peer **itself**: every node tracks, per origin,
+the gossip round at which the origin's digest entry last refreshed
+(:attr:`~repro.cluster.gossip.DigestEntry.round`).  An entry stale
+beyond ``suspect_after`` rounds moves that origin to SUSPECT; suspicion
+*votes* piggyback on the digest exchanges of each push-pull round; and
+a phase-based quorum promotes SUSPECT to CONFIRMED-DEAD, at which point
+the simulation runs the existing recover-or-rebalance-away machinery
+(see :meth:`~repro.cluster.simulation.ClusterSimulation.gossip_round`).
+
+The quorum loop is the f-of-n phased message-passing shape of
+``approximate-consensus-simulation``'s *AlgorithmTwo*: each node keeps,
+per suspected origin, a received-set of votes for the current suspicion
+*phase*; it accepts (confirms) when the votes reach ``n - f`` — here
+the live-node count, i.e. every survivor — and a message carrying a
+higher phase makes the receiver jump ahead, adopting the newer phase
+and its votes.  Phases quarantine stale episodes: when an origin's
+entry refreshes, its suspicion is *refuted* (votes dropped, phase floor
+kept), so votes cast before a refutation can never combine with a later
+episode's.
+
+Why false confirmation is structurally impossible at the default
+quorum: a node never assesses (and therefore never suspects) itself,
+so no vote set for origin ``o`` can ever contain ``o``.  While ``o`` is
+alive it is a live participant, the needed quorum is the live-node
+count *including* ``o``, and the achievable vote count is at most that
+minus one.  Only once the simulation actually kills ``o`` does the
+participant set — and with it the needed quorum — shrink to the
+survivors, all of whom eventually suspect.  Confirmation additionally
+rechecks the origin against the network's own refresh table (which,
+unlike a digest entry's round stamp, never lags), so a slow-but-alive
+node that refreshes within ``suspect_after`` rounds is never confirmed
+dead even when it sits out the round in which lagging suspicions reach
+a quorum.  An explicit ``membership_quorum`` below the live count
+trades the structural guarantee for faster confirmation; the
+simulation then simply ignores confirmations of origins that are not,
+in fact, dead.
+
+Everything here is deterministic: assessment order is sorted, votes are
+sets of node ids merged in sorted exchanges, and the detector runs only
+inside the gossip rounds the simulation schedules at exact stream
+positions — so serial and parallel runs detect, confirm, and heal at
+identical states (the same drain-handshake fence gossip already uses).
+
+>>> view = MembershipView(0)
+>>> view.status(1)
+'alive'
+>>> view.suspect(1)
+True
+>>> view.status(1), view.phase(1), sorted(view.votes(1))
+('suspect', 1, [0])
+>>> view.refute(1)
+True
+>>> view.status(1), view.phase(1)
+('alive', 1)
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro.errors import ParameterError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.cluster.gossip import GossipNetwork
+
+__all__ = [
+    "ALIVE",
+    "SUSPECT",
+    "CONFIRMED_DEAD",
+    "MEMBERSHIP_HEAL_MODES",
+    "MembershipView",
+    "FailureDetector",
+]
+
+#: The suspicion state machine's three states, in escalation order.
+ALIVE = "alive"
+SUSPECT = "suspect"
+CONFIRMED_DEAD = "confirmed-dead"
+
+#: How a confirmed-dead node is healed: ``recover`` replays its durable
+#: state into a fresh incarnation, ``rebalance`` migrates its key range
+#: to the survivors and retires the id, ``auto`` picks ``recover`` when
+#: the store holds any of the node's state (a checkpoint or retained
+#: WAL events) and ``rebalance`` otherwise.
+MEMBERSHIP_HEAL_MODES: tuple[str, ...] = ("auto", "recover", "rebalance")
+
+
+class MembershipView:
+    """One node's suspicion state machine over every other origin.
+
+    Per origin the view keeps a *phase* (a monotone suspicion-episode
+    counter), the set of first-person suspicion *votes* known at that
+    phase, and whether the origin has been confirmed dead.  The
+    transitions:
+
+    * ``suspect(o)`` — fresh staleness evidence: start a new episode
+      (phase + 1) with this node's own vote, or add the vote to the
+      current episode;
+    * ``refute(o)`` — the origin's entry refreshed: drop the votes and
+      any confirmation, keep the phase as a floor so the dead episode's
+      votes can never resurrect;
+    * ``merge_from(other, o)`` — piggybacked exchange: jump ahead to a
+      higher phase (adopting its votes, re-casting our own if we still
+      suspect), union votes at an equal phase, and propagate a
+      higher-phase refutation.
+    """
+
+    def __init__(self, node_id: int) -> None:
+        if node_id < 0:
+            raise ParameterError(f"node_id must be >= 0, got {node_id}")
+        self._node_id = node_id
+        self._phase: dict[int, int] = {}
+        self._votes: dict[int, set[int]] = {}
+        self._confirmed: set[int] = set()
+
+    @property
+    def node_id(self) -> int:
+        """The node whose suspicions this view holds."""
+        return self._node_id
+
+    def phase(self, origin: int) -> int:
+        """The origin's current suspicion-episode counter (0 = never)."""
+        return self._phase.get(origin, 0)
+
+    def votes(self, origin: int) -> frozenset[int]:
+        """The votes known for the origin's current episode."""
+        return frozenset(self._votes.get(origin, ()))
+
+    def suspects(self, origin: int) -> bool:
+        """Whether this view currently holds suspicion votes for origin."""
+        return origin in self._votes
+
+    def status(self, origin: int) -> str:
+        """ALIVE, SUSPECT, or CONFIRMED_DEAD, as this view sees it."""
+        if origin in self._confirmed:
+            return CONFIRMED_DEAD
+        if origin in self._votes:
+            return SUSPECT
+        return ALIVE
+
+    def suspect(self, origin: int) -> bool:
+        """First-person staleness evidence; returns True on a new episode."""
+        if origin == self._node_id:
+            raise ParameterError(
+                f"node {origin} cannot suspect itself"
+            )
+        if origin not in self._votes:
+            self._phase[origin] = self._phase.get(origin, 0) + 1
+            self._votes[origin] = {self._node_id}
+            return True
+        self._votes[origin].add(self._node_id)
+        return False
+
+    def refute(self, origin: int) -> bool:
+        """Fresh-entry evidence the origin is alive; returns True if the
+        view actually held suspicion state to drop.  The phase survives
+        as a floor: votes from the refuted episode, still circulating in
+        other views, can never merge into a later one."""
+        had = origin in self._votes or origin in self._confirmed
+        self._votes.pop(origin, None)
+        self._confirmed.discard(origin)
+        return had
+
+    def confirm(self, origin: int) -> None:
+        """Mark the origin confirmed dead (quorum reached)."""
+        self._confirmed.add(origin)
+
+    def merge_from(self, other: "MembershipView", origin: int) -> bool:
+        """Adopt ``other``'s suspicion state for one origin (one way).
+
+        Returns whether this view changed.  The three cases mirror the
+        AlgorithmTwo receive loop: jump-ahead on a higher phase, union
+        the received set at an equal phase, ignore lower phases.
+        """
+        other_phase = other.phase(origin)
+        own_phase = self.phase(origin)
+        if other_phase > own_phase:
+            self._phase[origin] = other_phase
+            other_votes = other._votes.get(origin)
+            if other_votes is not None:
+                merged = set(other_votes)
+                if origin in self._votes:
+                    # We were suspecting at the older phase; staleness
+                    # is current first-person evidence, so the vote
+                    # re-casts at the adopted phase.
+                    merged.add(self._node_id)
+                self._votes[origin] = merged
+            else:
+                # The newer episode was refuted — propagate it.
+                self._votes.pop(origin, None)
+                self._confirmed.discard(origin)
+            return True
+        if (
+            other_phase == own_phase
+            and origin in other._votes
+            and origin in self._votes
+        ):
+            before = len(self._votes[origin])
+            self._votes[origin] |= other._votes[origin]
+            return len(self._votes[origin]) != before
+        return False
+
+    def forget(self, origin: int) -> None:
+        """Drop every trace of a retired origin."""
+        self._phase.pop(origin, None)
+        self._votes.pop(origin, None)
+        self._confirmed.discard(origin)
+
+    def drop_voter(self, voter: int) -> None:
+        """Withdraw one node's votes everywhere (it was retired)."""
+        for votes in self._votes.values():
+            votes.discard(voter)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        suspected = {
+            origin: sorted(votes)
+            for origin, votes in sorted(self._votes.items())
+        }
+        return (
+            f"MembershipView(node={self._node_id}, "
+            f"suspected={suspected}, "
+            f"confirmed={sorted(self._confirmed)})"
+        )
+
+
+class FailureDetector:
+    """Cluster-wide failure detection over per-node membership views.
+
+    One detector attaches to a :class:`~repro.cluster.gossip.
+    GossipNetwork` (:meth:`GossipNetwork.attach_detector <repro.cluster.
+    gossip.GossipNetwork.attach_detector>`); the network then drives it
+    from every *refreshing* push-pull round: :meth:`begin_round` runs
+    each live node's staleness assessment, :meth:`observe_exchange`
+    piggybacks the suspicion-vote merge on each digest exchange, and the
+    simulation drains :meth:`take_confirmed` after the round to heal.
+    (Anti-entropy rounds — ``refresh=False`` — carry frozen content and
+    deliberately run no detection.)
+
+    Parameters
+    ----------
+    suspect_after:
+        Rounds an origin's entry may go without refreshing before it is
+        suspected.
+    quorum:
+        Votes needed to confirm.  ``None`` (the default) means the live
+        participant count of the current round — i.e. ``n - f`` with
+        ``f`` dead — which makes false confirmation structurally
+        impossible (see the module docstring).
+    registry / telemetry:
+        Optional :class:`~repro.obs.MetricsRegistry` /
+        :class:`~repro.obs.Telemetry` publishing suspicion, refutation,
+        and confirmation counters and trace records.  Both are inert:
+        the detector's decisions never depend on them.
+    """
+
+    def __init__(
+        self,
+        suspect_after: int = 2,
+        quorum: int | None = None,
+        registry: Any = None,
+        telemetry: Any = None,
+    ) -> None:
+        if suspect_after < 1:
+            raise ParameterError(
+                f"suspect_after must be >= 1, got {suspect_after}"
+            )
+        if quorum is not None and quorum < 1:
+            raise ParameterError(
+                f"quorum must be >= 1 or None, got {quorum}"
+            )
+        self._suspect_after = suspect_after
+        self._quorum = quorum
+        self._registry = registry
+        self._telemetry = telemetry
+        self._views: dict[int, MembershipView] = {}
+        self._live: tuple[int, ...] = ()
+        #: Confirmed origins awaiting the simulation's heal pass.
+        self._pending: set[int] = set()
+
+    @property
+    def suspect_after(self) -> int:
+        """Stale rounds tolerated before suspicion."""
+        return self._suspect_after
+
+    @property
+    def quorum(self) -> int | None:
+        """Explicit confirmation quorum (``None`` = live-node count)."""
+        return self._quorum
+
+    def needed_votes(self) -> int:
+        """Votes required to confirm, for the current round's roster."""
+        if self._quorum is not None:
+            return self._quorum
+        return max(len(self._live), 1)
+
+    def view(self, node_id: int) -> MembershipView:
+        """One node's membership view (for white-box assertions)."""
+        try:
+            return self._views[node_id]
+        except KeyError:
+            raise ParameterError(
+                f"node {node_id} has no membership view "
+                f"(known: {sorted(self._views)})"
+            ) from None
+
+    def status(self, node_id: int, origin: int) -> str:
+        """How ``node_id`` currently classifies ``origin``."""
+        return self.view(node_id).status(origin)
+
+    # ------------------------------------------------------------------
+    # roster maintenance (forwarded from the gossip network)
+    # ------------------------------------------------------------------
+    def add_node(self, node_id: int) -> None:
+        """A node joined: give it a blank view."""
+        self._views.setdefault(node_id, MembershipView(node_id))
+
+    def remove_node(self, node_id: int) -> None:
+        """A node retired: drop its view, its votes, and suspicion of it."""
+        self._views.pop(node_id, None)
+        self._pending.discard(node_id)
+        for view in self._views.values():
+            view.forget(node_id)
+            view.drop_voter(node_id)
+
+    def reset_node(self, node_id: int) -> None:
+        """A crash wiped the node's volatile state, its view included."""
+        if node_id in self._views:
+            self._views[node_id] = MembershipView(node_id)
+        self._pending.discard(node_id)
+
+    # ------------------------------------------------------------------
+    # round hooks (driven by GossipNetwork.run_round)
+    # ------------------------------------------------------------------
+    def _staleness(
+        self, network: "GossipNetwork", node_id: int, origin: int
+    ) -> int:
+        """Rounds since ``node_id`` last saw ``origin``'s entry refresh.
+
+        Decentralized when possible — the round stamp on the entry the
+        node's own digest holds — with the network's coordinator-side
+        refresh table as the fallback for origins the digest has not
+        learned yet (the same role the coordinator's version table
+        already plays for crash recovery).
+        """
+        entry = network.digest(node_id).entry(origin)
+        last = (
+            entry.round
+            if entry is not None
+            else network.last_refresh_round(origin)
+        )
+        return network.rounds - last
+
+    def _assess(
+        self, network: "GossipNetwork", node_id: int, origin: int
+    ) -> None:
+        """Suspect or refute one origin from one node's evidence."""
+        view = self._views[node_id]
+        if self._staleness(network, node_id, origin) > self._suspect_after:
+            if view.suspect(origin):
+                if self._registry is not None:
+                    self._registry.inc("membership_suspicions_total")
+                if self._telemetry is not None:
+                    self._telemetry.trace(
+                        "membership_suspect",
+                        node=node_id,
+                        origin=origin,
+                        phase=view.phase(origin),
+                    )
+        elif view.refute(origin):
+            if self._registry is not None:
+                self._registry.inc("membership_refutations_total")
+
+    def _check_confirmed(
+        self, network: "GossipNetwork", node_id: int
+    ) -> None:
+        """Confirm any origin whose votes reached the quorum.
+
+        Confirmation is the irreversible step, so it demands stricter
+        evidence than suspicion: besides the quorum of votes (each
+        cast from a possibly-lagging digest entry), the origin must be
+        stale on the network's own refresh table.  Without this, two
+        peers whose digests both lag could suspect a live node and —
+        in a round it happens to sit out — reach the shrunken quorum:
+        the false-positive bound ("refreshing within ``suspect_after``
+        is never confirmed dead") holds because the table never lags.
+        """
+        view = self._views[node_id]
+        needed = self.needed_votes()
+        for origin in sorted(view._votes):
+            if view.status(origin) == CONFIRMED_DEAD:
+                continue
+            if (
+                network.rounds - network.last_refresh_round(origin)
+                <= self._suspect_after
+            ):
+                continue
+            votes = view.votes(origin)
+            if len(votes) >= needed:
+                view.confirm(origin)
+                self._pending.add(origin)
+                if self._registry is not None:
+                    self._registry.inc("membership_confirmations_total")
+                if self._telemetry is not None:
+                    self._telemetry.trace(
+                        "membership_confirm",
+                        node=node_id,
+                        origin=origin,
+                        phase=view.phase(origin),
+                        votes=len(votes),
+                    )
+
+    def begin_round(
+        self, network: "GossipNetwork", participants: Sequence[int]
+    ) -> None:
+        """Per-round staleness assessment for every live participant.
+
+        Runs right after the round's digest refreshes: each live node
+        classifies every other known origin from the round stamp its
+        digest holds.  A single-survivor cluster confirms here (it has
+        no peer to exchange votes with).
+        """
+        self._live = tuple(sorted(participants))
+        for node_id in self._live:
+            for origin in sorted(network.node_ids):
+                if origin != node_id and origin in self._views:
+                    self._assess(network, node_id, origin)
+            self._check_confirmed(network, node_id)
+
+    def observe_exchange(
+        self, network: "GossipNetwork", left: int, right: int
+    ) -> None:
+        """Piggyback suspicion state on one digest exchange.
+
+        The digests already merged, so both sides first re-assess every
+        suspected origin against their (possibly fresher) entries —
+        a just-learned refresh refutes before any vote can spread —
+        then merge votes and phases both ways and check the quorum.
+        """
+        left_view = self._views[left]
+        right_view = self._views[right]
+        suspected = sorted(
+            (set(left_view._votes) | set(right_view._votes))
+            - {left, right}
+        )
+        for origin in suspected:
+            if origin in self._views:
+                self._assess(network, left, origin)
+                self._assess(network, right, origin)
+        for origin in suspected:
+            left_view.merge_from(right_view, origin)
+            right_view.merge_from(left_view, origin)
+        self._check_confirmed(network, left)
+        self._check_confirmed(network, right)
+
+    def confirmed(self) -> tuple[int, ...]:
+        """Origins confirmed dead and not yet healed, sorted."""
+        return tuple(sorted(self._pending))
+
+    def take_confirmed(self) -> tuple[int, ...]:
+        """Drain the confirmed set (the simulation's heal pass)."""
+        pending = self.confirmed()
+        self._pending.clear()
+        return pending
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"FailureDetector(suspect_after={self._suspect_after}, "
+            f"quorum={self._quorum}, views={sorted(self._views)}, "
+            f"pending={sorted(self._pending)})"
+        )

@@ -78,6 +78,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.cluster.simulation import (
         ClusterConfig,
         ClusterSimulation,
+        NodeFailure,
         ScaleEvent,
     )
 
@@ -86,14 +87,14 @@ __all__ = ["ExecutionPlan", "SerialPlan", "ParallelPlan", "make_plan"]
 
 def _index_schedule(
     config: "ClusterConfig",
-) -> tuple[dict[int, list["ScaleEvent"]], dict[int, list[int]]]:
+) -> tuple[dict[int, list["ScaleEvent"]], dict[int, list["NodeFailure"]]]:
     """Position-indexed lookups for the config's scale/failure schedule."""
     scales: dict[int, list["ScaleEvent"]] = {}
     for scale in config.scale_events:
         scales.setdefault(scale.at_event, []).append(scale)
-    failures: dict[int, list[int]] = {}
+    failures: dict[int, list["NodeFailure"]] = {}
     for failure in config.failures:
-        failures.setdefault(failure.at_event, []).append(failure.node_id)
+        failures.setdefault(failure.at_event, []).append(failure)
     return scales, failures
 
 
@@ -150,8 +151,8 @@ class SerialPlan(ExecutionPlan):
                 simulation.gossip_round()
             for scale in scales.get(position, ()):
                 simulation.apply_scale(scale)
-            for node_id in failures.get(position, ()):
-                simulation.crash_node(node_id)
+            for failure in failures.get(position, ()):
+                simulation.apply_failure(failure)
             simulation.deliver_event(event)
             position += 1
 
@@ -308,8 +309,8 @@ class ParallelPlan(ExecutionPlan):
                             simulation.gossip_round()
                         for scale in position_scales:
                             simulation.apply_scale(scale)
-                        for node_id in position_failures:
-                            simulation.crash_node(node_id)
+                        for failure in position_failures:
+                            simulation.apply_failure(failure)
                         refresh_retained()
                     if timed:
                         start = perf_counter()
@@ -325,7 +326,12 @@ class ParallelPlan(ExecutionPlan):
                         node_id, event.count
                     )
                     if checkpoint_due or (
-                        segment is not None and retained[node_id] >= segment
+                        segment is not None
+                        and retained[node_id] >= segment
+                        # A dead node's WAL grows past the segment bound
+                        # on purpose: it is the pending replay queue, and
+                        # fencing it would lose events.  The heal fences.
+                        and not simulation.is_node_dead(node_id)
                     ):
                         # Per-node fence: only this node's chain must
                         # land before its checkpoint; the other nodes

@@ -88,10 +88,26 @@ stream the digests converge (anti-entropy rounds, counted in the
 result); a converged node's :meth:`ClusterSimulation.node_view` equals
 the central merge tree's answer bit for bit on ``exact`` templates.
 
+Self-healing membership
+-----------------------
+``ClusterConfig.membership=True`` (requires gossip aggregation) makes
+the cluster survive crashes the driver does *not* heal
+(``NodeFailure(heal=False)``): every gossip round also runs the failure
+detector (:mod:`repro.cluster.membership`) — staleness assessment over
+the digest round stamps, suspicion votes piggybacked on the digest
+exchanges, phase-based quorum confirmation — and ends with a heal pass
+that recovers (or rebalances away) every origin the round confirmed
+dead.  Detection and healing happen only at gossip rounds, which both
+execution plans fence through the drain handshake, so a self-healed run
+stays bit-identical serial vs parallel, and on ``exact`` templates its
+final ``global_view()`` equals the driver-healed reference run's at the
+same seed (both are lossless, so both equal ground truth).
+
 Everything except wall-clock throughput metrics is derived from the
 config seed, which is what the determinism tests pin down.  At one
 stream position the order is fixed: retention boundary, then gossip
-round, then scale events, then crashes, then the event itself.
+round (detection + self-healing included), then scale events, then
+crashes, then the event itself.
 """
 
 from __future__ import annotations
@@ -108,6 +124,10 @@ from repro.cluster.aggregator import (
 )
 from repro.cluster.checkpoint import BankCheckpoint
 from repro.cluster.gossip import AGGREGATION_MODES, GossipNetwork
+from repro.cluster.membership import (
+    MEMBERSHIP_HEAL_MODES,
+    FailureDetector,
+)
 from repro.cluster.node import CounterTemplate, IngestNode, default_template
 from repro.cluster.pipeline import make_plan
 from repro.cluster.rebalance import execute_rebalance, plan_rebalance
@@ -151,10 +171,20 @@ _MIN_ELAPSED_S = 1e-9
 
 @dataclass(frozen=True, slots=True)
 class NodeFailure:
-    """Crash ``node_id`` just before stream position ``at_event``."""
+    """Crash ``node_id`` just before stream position ``at_event``.
+
+    With ``heal=True`` (the historical behavior) the driver recovers
+    the node immediately — crash and recovery are one stream entry.
+    ``heal=False`` is the fault-injection mode for self-healing
+    membership (:mod:`repro.cluster.membership`): the driver only
+    *kills* the node, and the cluster itself must notice the silence,
+    confirm the death by quorum, and run recovery — it requires
+    ``ClusterConfig.membership=True``.
+    """
 
     at_event: int
     node_id: int
+    heal: bool = True
 
     def __post_init__(self) -> None:
         if self.at_event < 0:
@@ -239,6 +269,16 @@ class ClusterConfig:
     ``gossip_every=None`` with gossip aggregation schedules no
     in-stream rounds; the run still converges the digests after the
     stream so every node's local read equals the central answer.
+
+    ``membership=True`` (requires gossip aggregation) turns on
+    self-healing membership (:mod:`repro.cluster.membership`): every
+    gossip round also runs failure detection — an origin whose digest
+    entry goes more than ``suspect_after`` rounds without refreshing is
+    suspected, suspicion votes piggyback on the digest exchanges, and
+    ``membership_quorum`` votes (default: every live node) confirm the
+    death, at which point the cluster heals it per ``membership_heal``
+    (``auto``/``recover``/``rebalance``).  This is what makes
+    ``NodeFailure(heal=False)`` kills survivable without driver help.
     """
 
     n_nodes: int = 4
@@ -266,6 +306,10 @@ class ClusterConfig:
     aggregation: str = "tree"
     gossip_fanout: int = 1
     gossip_every: int | None = None
+    membership: bool = False
+    suspect_after: int = 2
+    membership_quorum: int | None = None
+    membership_heal: str = "auto"
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
@@ -350,6 +394,49 @@ class ClusterConfig:
                 raise ParameterError(
                     "gossip_fanout requires aggregation='gossip'"
                 )
+        if self.suspect_after < 1:
+            raise ParameterError(
+                f"suspect_after must be >= 1, got {self.suspect_after}"
+            )
+        if self.membership_quorum is not None and self.membership_quorum < 1:
+            raise ParameterError(
+                "membership_quorum must be >= 1 or None, "
+                f"got {self.membership_quorum}"
+            )
+        if self.membership_heal not in MEMBERSHIP_HEAL_MODES:
+            known = ", ".join(MEMBERSHIP_HEAL_MODES)
+            raise ParameterError(
+                f"membership_heal must be one of {known}, "
+                f"got {self.membership_heal!r}"
+            )
+        if self.membership and self.aggregation != "gossip":
+            # Detection feeds on digest round stamps; without gossip
+            # there is nothing to detect from.
+            raise ParameterError(
+                "membership=True requires aggregation='gossip'"
+            )
+        if not self.membership:
+            # Same loudness rule as the gossip knobs: membership tuning
+            # on a cluster that runs no detection is a silent no-op.
+            if self.suspect_after != 2:
+                raise ParameterError(
+                    "suspect_after requires membership=True"
+                )
+            if self.membership_quorum is not None:
+                raise ParameterError(
+                    "membership_quorum requires membership=True"
+                )
+            if self.membership_heal != "auto":
+                raise ParameterError(
+                    "membership_heal requires membership=True"
+                )
+            for failure in self.failures:
+                if not failure.heal:
+                    raise ParameterError(
+                        f"failure at event {failure.at_event} has "
+                        "heal=False, which requires membership=True "
+                        "(nothing else would ever recover the node)"
+                    )
         self._validate_schedule()
 
     def _validate_schedule(self) -> None:
@@ -361,14 +448,6 @@ class ClusterConfig:
         raises :class:`~repro.errors.ParameterError` at construction
         instead of aborting mid-run.
         """
-        if not self.scale_events:
-            for failure in self.failures:
-                if failure.node_id >= self.n_nodes:
-                    raise ParameterError(
-                        f"failure targets node {failure.node_id}, cluster "
-                        f"has {self.n_nodes} nodes"
-                    )
-            return
         # kind 0 = scale, 1 = failure: matches the event-loop ordering.
         schedule = sorted(
             [
@@ -381,6 +460,11 @@ class ClusterConfig:
             ]
         )
         live = set(range(self.n_nodes))
+        # Nodes killed with heal=False stay dead until membership heals
+        # them — a gossip-round-timed action the replay cannot place —
+        # so the checks below are conservative: a killed node is treated
+        # as dead for the rest of the schedule.
+        dead: set[int] = set()
         next_auto = self.n_nodes
         for at_event, kind, _, action in schedule:
             if kind == 1:
@@ -390,6 +474,19 @@ class ClusterConfig:
                         f"{action.node_id}, which is not live there "
                         f"(live: {sorted(live)})"
                     )
+                if action.node_id in dead:
+                    raise ParameterError(
+                        f"failure at event {at_event} targets node "
+                        f"{action.node_id}, which an earlier heal=False "
+                        "kill may have left dead there"
+                    )
+                if not action.heal:
+                    dead.add(action.node_id)
+                    if len(live) - len(dead) < 1:
+                        raise ParameterError(
+                            f"kill at event {at_event} would leave no "
+                            "live survivor to detect it"
+                        )
             elif action.action == "add":
                 node_id = (
                     action.node_id if action.node_id is not None
@@ -402,6 +499,7 @@ class ClusterConfig:
                     )
                 live.add(node_id)
                 next_auto = max(next_auto, node_id + 1)
+                dead.clear()
             else:
                 if action.node_id not in live:
                     raise ParameterError(
@@ -415,6 +513,10 @@ class ClusterConfig:
                         "the last node"
                     )
                 live.remove(action.node_id)
+                # A scale event force-heals every dead node first (a
+                # topology change is a full-cluster coordination point),
+                # so from here the replay may treat them as live again.
+                dead.clear()
 
 
 @dataclass(frozen=True, slots=True)
@@ -470,6 +572,11 @@ class SimulationResult:
     gossip_rounds: int = 0
     gossip_convergence_rounds: int = 0
     gossip_max_staleness: int | None = None
+    membership_kills: int = 0
+    membership_suspicions: int = 0
+    membership_confirmations: int = 0
+    membership_heals: int = 0
+    membership_detection_rounds: int = 0
 
     @property
     def recoveries(self) -> int:
@@ -552,6 +659,14 @@ class SimulationResult:
                 f"gossip: {self.gossip_rounds} push-pull rounds "
                 f"({self.gossip_convergence_rounds} to converge after "
                 f"the stream); max staleness {staleness} events"
+            )
+        if self.membership_heals or self.membership_kills:
+            lines.append(
+                f"membership: {self.membership_kills} kills detected via "
+                f"{self.membership_suspicions} suspicions and "
+                f"{self.membership_confirmations} quorum confirmations, "
+                f"{self.membership_heals} self-heals (worst detection "
+                f"{self.membership_detection_rounds} gossip rounds)"
             )
         if self.rms_relative_error is not None:
             lines.append(
@@ -636,6 +751,11 @@ class ClusterSimulation:
                 else None
             )
         )
+        #: currently-dead node ids; populated by :meth:`kill_node`, reset
+        #: by :meth:`_fresh_membership`.  Initialized before the resume
+        #: branch because ``_restore`` checkpoints nodes (which consults
+        #: this set) before it rebuilds the membership layer.
+        self._dead: set[int] = set()
         if resume:
             self._restore(self._store.load())
             return
@@ -668,6 +788,7 @@ class ClusterSimulation:
                 self._gossip.add_node(node_id)
         self._gossip_convergence_rounds = 0
         self._gossip_max_staleness: int | None = None
+        self._membership = self._fresh_membership()
         self._sync_manifest()
 
     def _fresh_gossip(self) -> GossipNetwork | None:
@@ -680,6 +801,29 @@ class ClusterSimulation:
             fanout=config.gossip_fanout,
             registry=self._metrics,
         )
+
+    def _fresh_membership(self) -> FailureDetector | None:
+        """Attach a failure detector when the config asks for one.
+
+        Also (re-)initializes the kill bookkeeping: the set of
+        currently-dead node ids and the per-node kill-round stamps the
+        detection-latency accounting reads.
+        """
+        self._dead: set[int] = set()
+        self._kill_rounds: dict[int, int] = {}
+        self._membership_detection_rounds: dict[int, int] = {}
+        config = self._config
+        if not config.membership:
+            return None
+        assert self._gossip is not None  # enforced by ClusterConfig
+        detector = FailureDetector(
+            suspect_after=config.suspect_after,
+            quorum=config.membership_quorum,
+            registry=self._metrics,
+            telemetry=self._telemetry,
+        )
+        self._gossip.attach_detector(detector)
+        return detector
 
     def _fresh_router(self, node_ids: Iterable[int]) -> ClusterRouter:
         config = self._config
@@ -778,6 +922,10 @@ class ClusterSimulation:
                 "aggregation": config.aggregation,
                 "gossip_fanout": config.gossip_fanout,
                 "gossip_every": config.gossip_every,
+                "membership": config.membership,
+                "suspect_after": config.suspect_after,
+                "membership_quorum": config.membership_quorum,
+                "membership_heal": config.membership_heal,
             },
             "topology": self._topology_stamp(),
             "incarnations": {
@@ -933,6 +1081,10 @@ class ClusterSimulation:
                 )
         self._gossip_convergence_rounds = 0
         self._gossip_max_staleness = None
+        # Membership views are volatile; process recovery just recovered
+        # *every* node (checkpoint + WAL replay), so the rebuilt cluster
+        # starts with no dead nodes and a blank detector.
+        self._membership = self._fresh_membership()
         self._sync_manifest()
 
     # ------------------------------------------------------------------
@@ -967,6 +1119,20 @@ class ClusterSimulation:
     def gossip(self) -> GossipNetwork | None:
         """The gossip layer (``None`` unless ``aggregation='gossip'``)."""
         return self._gossip
+
+    @property
+    def membership(self) -> FailureDetector | None:
+        """The failure detector (``None`` unless ``membership=True``)."""
+        return self._membership
+
+    @property
+    def dead_nodes(self) -> tuple[int, ...]:
+        """Nodes killed with ``heal=False`` and not yet self-healed."""
+        return tuple(sorted(self._dead))
+
+    def is_node_dead(self, node_id: int) -> bool:
+        """Whether the node is currently dead (awaiting self-healing)."""
+        return node_id in self._dead
 
     @property
     def telemetry(self) -> Telemetry:
@@ -1073,20 +1239,35 @@ class ClusterSimulation:
         a flush only applies events already in the durable log, so
         recovery semantics are untouched), then exchanges digests with
         its seeded-random peers.  Returns the lifetime round index.
+
+        Dead nodes (killed with ``heal=False``) are excluded: their
+        entries neither refresh nor exchange, which is exactly the
+        silence the attached failure detector measures.  When membership
+        is on, the round ends with the heal pass — any origin the round
+        confirmed dead is recovered (or rebalanced away) right here, at
+        a drained fence position, so serial and parallel runs heal at
+        identical states.
         """
         if self._gossip is None:
             raise StateError(
                 "gossip_round() needs aggregation='gossip' "
                 f"(this cluster runs {self._config.aggregation!r})"
             )
+        participants = {
+            node_id: node
+            for node_id, node in self._nodes.items()
+            if node_id not in self._dead
+        }
         round_index = self._gossip.run_round(
-            self._nodes, epoch=self._router.epoch, window=self._window
+            participants, epoch=self._router.epoch, window=self._window
         )
         self._telemetry.trace(
             "gossip_round",
             position=self._stream_position,
             round=round_index,
         )
+        if self._membership is not None:
+            self._apply_membership()
         return round_index
 
     def node_view(self, node_id: int) -> GlobalView:
@@ -1144,6 +1325,26 @@ class ClusterSimulation:
         plan = make_plan(self._config)
         started = time.perf_counter()
         plan.execute(self, events)
+        if self._dead:
+            # The stream ended with nodes still dead: the cluster must
+            # notice and heal them itself before the run can finalize.
+            # Settling is plain gossip rounds — detection, quorum, and
+            # the heal all live inside gossip_round() — with a loud
+            # backstop (an unreachable explicit quorum would otherwise
+            # spin forever).
+            limit = (
+                self._config.suspect_after + 4 * len(self._nodes) + 16
+            )
+            settled = 0
+            while self._dead:
+                if settled >= limit:
+                    raise StateError(
+                        "membership failed to confirm dead nodes "
+                        f"{sorted(self._dead)} within {limit} settle "
+                        "rounds (is membership_quorum reachable?)"
+                    )
+                self.gossip_round()
+                settled += 1
         for node in self._ordered_nodes():
             node.flush()
         elapsed = time.perf_counter() - started
@@ -1178,7 +1379,29 @@ class ClusterSimulation:
         """
         telemetry = self._telemetry
         self._stream_position += 1
-        if telemetry.enabled:
+        if self._dead:
+            node_id = self._router.route_event(event)
+            if node_id in self._dead:
+                # The node is dead but still owns its key range: the
+                # event parks in its durable log (the ingest tier's
+                # unacknowledged queue) and replays into the bank when
+                # membership heals the node.  No submit, no checkpoint
+                # budget — volatile state stays untouched until then.
+                self._store.wal.append(node_id, event)
+                if telemetry.trace_active:
+                    telemetry.position = self._stream_position
+                    telemetry.trace(
+                        "event_deferred", node=node_id, count=event.count
+                    )
+                return
+            self._store.wal.append(node_id, event)
+            self._nodes[node_id].submit(event)
+            if telemetry.trace_active:
+                telemetry.position = self._stream_position
+                telemetry.trace(
+                    "event_delivered", node=node_id, count=event.count
+                )
+        elif telemetry.enabled:
             perf = time.perf_counter
             timer = telemetry.stage_timer()
             started = perf()
@@ -1229,6 +1452,12 @@ class ClusterSimulation:
         per-worker timers at snapshot time.
         """
         wal_append = self._store.wal.append
+        if node_id in self._dead:
+            # Dead node: the batch parks in its durable log only (see
+            # :meth:`deliver_event`); the heal's WAL replay applies it.
+            for event in events:
+                wal_append(node_id, event)
+            return
         submit = self._nodes[node_id].submit
         if not self._telemetry.enabled:
             for event in events:
@@ -1256,6 +1485,16 @@ class ClusterSimulation:
         """
         telemetry = self._telemetry
         self._stream_position += 1
+        if node_id in self._dead:
+            # Mirror of the serial dead branch: the event reached the
+            # durable log only, so no checkpoint budget accrues and no
+            # fence may fire while the node is down.
+            if telemetry.trace_active:
+                telemetry.position = self._stream_position
+                telemetry.trace(
+                    "event_deferred", node=node_id, count=count
+                )
+            return False
         if telemetry.trace_active:
             telemetry.position = self._stream_position
             telemetry.trace("event_delivered", node=node_id, count=count)
@@ -1273,6 +1512,11 @@ class ClusterSimulation:
         checkpoint even when periodic checkpointing is disabled, which
         is what bounds the retained durable log by the segment size.
         """
+        if node_id in self._dead:
+            # A dead node's WAL is its pending replay queue; fencing it
+            # would destroy undelivered events.  The heal checkpoints
+            # eagerly after replay, exactly like :meth:`crash_node`.
+            return
         every = self._config.checkpoint_every
         if (
             every is not None and self._since_checkpoint[node_id] >= every
@@ -1291,6 +1535,12 @@ class ClusterSimulation:
 
     def checkpoint_node(self, node_id: int) -> str:
         """Flush and checkpoint one node; truncates its durable log."""
+        if node_id in self._dead:
+            raise StateError(
+                f"node {node_id} is dead: checkpointing its empty "
+                "placeholder would fence away the WAL events pending "
+                "replay at its heal"
+            )
         telemetry = self._telemetry
         started = time.perf_counter() if telemetry.enabled else 0.0
         node = self._nodes[node_id]
@@ -1420,6 +1670,11 @@ class ClusterSimulation:
                 f"node {node_id} is not a live node "
                 f"(live: {sorted(self._nodes)})"
             )
+        if node_id in self._dead:
+            raise StateError(
+                f"node {node_id} is already dead; membership heals it, "
+                "the driver must not"
+            )
         self._metrics.inc("node_crashes", node=node_id)
         self._telemetry.trace(
             "crash", position=self._stream_position, node=node_id
@@ -1438,6 +1693,164 @@ class ClusterSimulation:
                 window=self._window,
             )
         self._sync_manifest()
+
+    # ------------------------------------------------------------------
+    # self-healing membership (repro.cluster.membership)
+    # ------------------------------------------------------------------
+    def apply_failure(self, failure: NodeFailure) -> None:
+        """Apply one scheduled failure (execution-plan hook)."""
+        if failure.heal:
+            self.crash_node(failure.node_id)
+        else:
+            self.kill_node(failure.node_id)
+
+    def kill_node(self, node_id: int) -> None:
+        """Destroy a node's volatile state and do **not** recover it.
+
+        The fault-injection half of self-healing membership: the node's
+        bank and buffer die (replaced by an empty placeholder at the
+        *same* incarnation — it draws no randomness, so the kill
+        consumes no RNG), its digest is wiped **without** a refresh, and
+        it stops participating in gossip rounds — so its entry's round
+        stamp goes stale at every peer, which is what the failure
+        detector feeds on.  The node stays in the router topology: its
+        key range keeps routing here, and the events park in its durable
+        WAL (no submits, no checkpoints) until the cluster confirms the
+        death by quorum and heals it (:meth:`gossip_round`).
+        """
+        if self._membership is None:
+            raise StateError(
+                "kill_node() needs membership=True: nothing else would "
+                "ever recover the node"
+            )
+        if node_id not in self._nodes:
+            raise ParameterError(
+                f"node {node_id} is not a live node "
+                f"(live: {sorted(self._nodes)})"
+            )
+        if node_id in self._dead:
+            raise StateError(f"node {node_id} is already dead")
+        if len(self._nodes) - len(self._dead) <= 1:
+            raise StateError(
+                f"killing node {node_id} would leave no live survivor "
+                "to detect it"
+            )
+        self._metrics.inc("node_crashes", node=node_id)
+        self._metrics.inc("membership_kills_total")
+        self._telemetry.trace(
+            "kill", position=self._stream_position, node=node_id
+        )
+        assert self._gossip is not None  # membership requires gossip
+        self._kill_rounds[node_id] = self._gossip.rounds
+        self._dead.add(node_id)
+        self._nodes[node_id] = self._fresh_node(
+            node_id, self._incarnation[node_id]
+        )
+        self._since_checkpoint[node_id] = 0
+        self._sync_membership()
+        self._gossip.reset_node(node_id)
+        self._sync_manifest()
+
+    def _apply_membership(self) -> None:
+        """Heal every origin the round just confirmed dead.
+
+        Runs at the tail of :meth:`gossip_round` — a drained fence
+        position in both execution plans, so serial and parallel runs
+        heal at identical states.  A confirmation of an origin that is
+        not actually dead (reachable only with an explicit
+        ``membership_quorum`` below the live-node count) heals nothing;
+        the origin's next refresh refutes it epidemically.
+        """
+        assert self._membership is not None
+        for origin in self._membership.take_confirmed():
+            if origin in self._dead:
+                self._heal_node(origin)
+
+    def _heal_node(self, origin: int) -> None:
+        """Quorum-confirmed recovery of one dead node.
+
+        ``membership_heal`` picks the path: ``recover`` replays the
+        node's durable state (checkpoint + WAL) into a fresh
+        incarnation; ``rebalance`` retires the id and migrates its key
+        range to the survivors — after recovering it first, so the
+        drain hands the survivors *everything* the dead node ever
+        accepted (losslessness).  ``auto`` recovers when the store
+        holds any of the node's state and rebalances away otherwise.
+        """
+        assert self._gossip is not None
+        mode = self._config.membership_heal
+        if mode == "auto":
+            has_state = (
+                self._store.latest(origin) is not None
+                or self._store.wal.retained_events(origin) > 0
+            )
+            mode = "recover" if has_state else "rebalance"
+        waited = self._gossip.rounds - self._kill_rounds.get(
+            origin, self._gossip.rounds
+        )
+        self._membership_detection_rounds[origin] = waited
+        if mode == "recover":
+            self._heal_recover(origin)
+        else:
+            # No rebalance may run while any node is dead: the router
+            # would migrate keys into an empty placeholder whose state
+            # is lost at its own heal.  Recover the origin inline
+            # (losslessness: the drain must hand the survivors
+            # everything the dead node ever accepted), fence-heal any
+            # *other* dead nodes, then drain the id away.  One
+            # ``membership_heals_total`` tick per resolved kill: the
+            # origin's is the increment below, the others' happen
+            # inside the fence.
+            self._heal_recover(origin)
+            self._fence_heal_dead()
+            self.scale_down(origin)
+        self._metrics.inc("membership_heals_total")
+        self._telemetry.trace(
+            "membership_heal",
+            position=self._stream_position,
+            node=origin,
+            mode=mode,
+            rounds=waited,
+        )
+        self._sync_manifest()
+
+    def _heal_recover(self, origin: int) -> None:
+        """The recover path of a heal: :meth:`crash_node` minus the
+        crash (that was accounted at the kill)."""
+        self._dead.discard(origin)
+        self._kill_rounds.pop(origin, None)
+        self._recover_node(origin)
+        self._maybe_checkpoint(origin)
+        assert self._gossip is not None
+        self._gossip.reset_node(origin)
+        self._gossip.refresh(
+            self._nodes[origin],
+            epoch=self._router.epoch,
+            window=self._window,
+        )
+
+    def _fence_heal_dead(self) -> None:
+        """Force-heal every dead node (recover path), quorum or not.
+
+        Topology changes and window collapses are full-cluster
+        coordination points: a rebalance must not migrate keys into a
+        dead placeholder, and a window must not archive a view missing
+        a dead node's counts.  Both therefore heal the dead first —
+        deterministically, at the same fenced stream position in serial
+        and parallel runs.
+        """
+        for origin in sorted(self._dead):
+            self._heal_recover(origin)
+            self._metrics.inc("membership_heals_total")
+            self._telemetry.trace(
+                "membership_heal",
+                position=self._stream_position,
+                node=origin,
+                mode="recover",
+                forced=True,
+            )
+        if self._kill_rounds:
+            self._kill_rounds.clear()
 
     # ------------------------------------------------------------------
     # elastic scaling
@@ -1510,6 +1923,7 @@ class ClusterSimulation:
         can never share RNG streams with a retired predecessor, which
         would break the independence Remark 2.4's merging assumes.
         """
+        self._fence_heal_dead()
         if node_id is None:
             node_id = self._next_auto_id
         new_id = self._router.add_node(node_id)
@@ -1541,6 +1955,7 @@ class ClusterSimulation:
             )
         if len(self._nodes) == 1:
             raise ParameterError("cannot remove the last node")
+        self._fence_heal_dead()
         retiring = self._nodes[node_id]
         retiring.flush()
         keys_at_drain = len(retiring.bank)
@@ -1587,6 +2002,7 @@ class ClusterSimulation:
         fresh, empty bank so crash recovery never resurrects the closed
         window.
         """
+        self._fence_heal_dead()
         self._window += 1
         view = self._aggregator.collapse_window(self._window)
         self._archived.append(view)
@@ -1675,6 +2091,21 @@ class ClusterSimulation:
             ),
             gossip_convergence_rounds=self._gossip_convergence_rounds,
             gossip_max_staleness=self._gossip_max_staleness,
+            membership_kills=self._metrics.counter(
+                "membership_kills_total"
+            ),
+            membership_suspicions=self._metrics.counter(
+                "membership_suspicions_total"
+            ),
+            membership_confirmations=self._metrics.counter(
+                "membership_confirmations_total"
+            ),
+            membership_heals=self._metrics.counter(
+                "membership_heals_total"
+            ),
+            membership_detection_rounds=max(
+                self._membership_detection_rounds.values(), default=0
+            ),
         )
 
 
@@ -1740,6 +2171,15 @@ def _config_from_manifest(
                 if echoed.get("gossip_every") is not None
                 else None
             ),
+            # Absent from pre-membership manifests: default detection off.
+            membership=bool(echoed.get("membership", False)),
+            suspect_after=int(echoed.get("suspect_after", 2)),
+            membership_quorum=(
+                int(echoed["membership_quorum"])
+                if echoed.get("membership_quorum") is not None
+                else None
+            ),
+            membership_heal=str(echoed.get("membership_heal", "auto")),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise StateError(f"malformed cluster manifest: {exc}") from exc

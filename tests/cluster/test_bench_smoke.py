@@ -23,6 +23,7 @@ _RESULT = _RESULTS / "BENCH_cluster.json"
 _DURABILITY_RESULT = _RESULTS / "BENCH_cluster_durability.json"
 _THROUGHPUT_RESULT = _RESULTS / "BENCH_cluster_throughput.json"
 _GOSSIP_RESULT = _RESULTS / "BENCH_cluster_gossip.json"
+_MEMBERSHIP_RESULT = _RESULTS / "BENCH_cluster_membership.json"
 
 
 def _run_bench(*args: str) -> subprocess.CompletedProcess:
@@ -153,6 +154,39 @@ class TestBenchGossipSmoke:
             assert 1 <= row["rounds_to_convergence"] <= 12
             assert row["max_staleness_events"] >= 0
             assert row["gossip_rounds"] > row["rounds_to_convergence"]
+            assert row["recoveries"] >= 1
+            assert row["events_per_sec"] > 0
+        _assert_strict_json_roundtrip(payload)
+
+
+class TestBenchMembershipSmoke:
+    def test_membership_quick_path(self):
+        """Self-healing membership: a kill the driver never heals is
+        detected, quorum-confirmed, and healed by the cluster, and the
+        self-healed exact view is bit-identical to the driver-healed
+        reference run's."""
+        completed = _run_bench("-q", "--scenario", "membership")
+        assert completed.returncode == 0, completed.stderr[-2000:]
+        assert "healed == driver" in completed.stdout
+
+        payload = json.loads(
+            _MEMBERSHIP_RESULT.read_text(encoding="utf-8")
+        )
+        assert payload["benchmark"] == "cluster_membership"
+        assert payload["workload"]["kind"] == "zipf"
+        assert payload["config"]["suspect_after"] >= 1
+        rows = payload["rows"]
+        assert [row["nodes"] for row in rows] == [2, 4, 8]
+        for row in rows:
+            assert row["kills"] == 1
+            assert row["suspicions"] >= 1
+            assert row["confirmations"] >= 1
+            assert row["heals"] == 1
+            assert row["healed_equivalent"] is True
+            assert row["max_relative_error"] == 0.0
+            # Detection latency: the staleness threshold plus an
+            # O(log n) dissemination allowance, never linear in n.
+            assert 1 <= row["detection_rounds"] <= 14
             assert row["recoveries"] >= 1
             assert row["events_per_sec"] > 0
         _assert_strict_json_roundtrip(payload)

@@ -16,10 +16,20 @@ A second class covers the ``recover_cluster`` edge cases the
 example-based tests skipped: a freshly-initialized store that never saw
 an event, a store recovered twice in a row, and recovery immediately
 followed by a gossip round (the digest-rebuild path).
+
+A third class is the *self-healing* axis: every node id is killed with
+``NodeFailure(heal=False)`` — the driver never heals it — crossed with
+both heal modes (``recover`` and ``rebalance``) and both storage
+backends.  The membership layer must detect, quorum-confirm, and heal
+on its own, and the result must be lossless, bit-identical to the
+driver-healed reference run of the same seed, and bit-identical between
+serial and parallel delivery.  ``REPRO_MEMBERSHIP_SEED`` reseeds the
+whole class (CI re-runs it at several seeds to pin determinism).
 """
 
 from __future__ import annotations
 
+import os
 from collections import Counter
 
 import pytest
@@ -278,3 +288,106 @@ class TestRecoverClusterEdgeCases:
                 after[f"node_recoveries{{node={node_id}}}"]
                 == before.get(f"node_recoveries{{node={node_id}}}", 0) + 1
             )
+
+
+#: CI re-runs the self-healing matrix at several seeds (the determinism
+#: sweep step); locally this is just the crash-matrix seed.
+_SELF_HEAL_SEED = int(os.environ.get("REPRO_MEMBERSHIP_SEED", _SEED))
+
+
+def _self_heal_workload():
+    return list(
+        zipf_workload(
+            BitBudgetedRandom(_SELF_HEAL_SEED), n_keys=120, n_events=_EVENTS
+        )
+    )
+
+
+def _run_self_heal(
+    node_id: int,
+    storage: str,
+    directory,
+    heal_mode: str = "recover",
+    self_heal: bool = True,
+    workers: int = 1,
+) -> tuple[tuple, "object"]:
+    """One kill run: self-healed (``heal=False`` + membership) or the
+    driver-healed reference of the identical seed and workload."""
+    config = ClusterConfig(
+        n_nodes=_NODES,
+        template=default_template("exact"),
+        seed=_SELF_HEAL_SEED,
+        buffer_limit=64,
+        checkpoint_every=500,
+        aggregation="gossip",
+        gossip_fanout=1,
+        gossip_every=250,
+        membership=self_heal,
+        membership_heal=heal_mode if self_heal else "auto",
+        failures=(
+            NodeFailure(
+                at_event=_FENCE_AT, node_id=node_id, heal=not self_heal
+            ),
+        ),
+        storage=storage,
+        storage_dir=(str(directory) if storage == "file" else None),
+        ingest_workers=workers,
+    )
+    with ClusterSimulation(config) as simulation:
+        result = simulation.run(iter(_self_heal_workload()))
+        view = simulation.aggregator.global_view()
+        return view_fingerprint(view), result
+
+
+class TestSelfHealingMatrix:
+    """Every node x both heal modes x both backends, driver-healed
+    reference and serial-vs-parallel bit-identity included."""
+
+    @pytest.mark.parametrize("heal_mode", ("recover", "rebalance"))
+    @pytest.mark.parametrize("node_id", range(_NODES))
+    def test_self_heal_is_lossless_on_both_backends(
+        self, heal_mode, node_id, tmp_path
+    ):
+        expected = _truth(_self_heal_workload())
+        reference, _ = _run_self_heal(
+            node_id, "memory", None, self_heal=False
+        )
+        stamps = {}
+        for storage in ("memory", "file"):
+            fingerprint, result = _run_self_heal(
+                node_id, storage, tmp_path / storage, heal_mode=heal_mode
+            )
+            estimates, truth = fingerprint
+            # Losslessness: the kill the driver never healed still
+            # converges to the workload's exact ground truth.
+            assert truth == expected, (
+                f"{heal_mode}/{storage}: truth diverged after killing "
+                f"node {node_id}"
+            )
+            assert estimates == {
+                key: float(count) for key, count in expected.items()
+            }
+            # ...which is the driver-healed reference, bit for bit.
+            assert fingerprint == reference
+            assert result.membership_kills == 1
+            assert result.membership_heals == 1
+            assert result.membership_confirmations >= 1
+            assert result.membership_detection_rounds >= 1
+            if heal_mode == "rebalance":
+                assert result.n_nodes == _NODES - 1
+            stamps[storage] = fingerprint
+        # Backend transparency: same kill, same bits.
+        assert stamps["memory"] == stamps["file"]
+
+    @pytest.mark.parametrize("node_id", range(_NODES))
+    def test_self_heal_serial_parallel_bit_identical(self, node_id):
+        serial, serial_result = _run_self_heal(node_id, "memory", None)
+        parallel, parallel_result = _run_self_heal(
+            node_id, "memory", None, workers=3
+        )
+        assert serial == parallel
+        assert (
+            serial_result.membership_detection_rounds
+            == parallel_result.membership_detection_rounds
+        )
+        assert serial_result.node_stats == parallel_result.node_stats

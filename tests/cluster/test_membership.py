@@ -1,0 +1,587 @@
+"""Unit + property tests for self-healing membership.
+
+`repro.cluster.membership` in isolation (the suspicion state machine,
+the phase-based quorum, jump-ahead merges) and wired into the gossip
+network and the simulation: kills the driver never heals must be
+detected, quorum-confirmed, and healed by the cluster itself, with the
+final exact-template global view bit-identical to a driver-healed
+reference run of the same seed.
+
+The hypothesis layer sweeps random topologies, seeds, fanouts, and kill
+positions with ``derandomize=True`` (CI never sees a flaky draw), plus
+the false-positive bound: a slow-but-alive node whose entry refreshes
+within ``suspect_after`` rounds is never confirmed dead.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    ALIVE,
+    CONFIRMED_DEAD,
+    SUSPECT,
+    ClusterConfig,
+    ClusterSimulation,
+    FailureDetector,
+    GossipNetwork,
+    MembershipView,
+    NodeFailure,
+    default_template,
+    view_fingerprint,
+)
+from repro.cluster.node import CounterTemplate, IngestNode
+from repro.errors import ParameterError, StateError
+from repro.rng.bitstream import BitBudgetedRandom
+from repro.stream.workload import KeyedEvent, zipf_workload
+
+
+def _node(node_id: int) -> IngestNode:
+    node = IngestNode(node_id, CounterTemplate("exact"), seed=100 + node_id)
+    node.submit(KeyedEvent(f"k{node_id}", 1 + node_id))
+    return node
+
+
+def _detected_network(
+    n_nodes: int,
+    seed: int = 7,
+    fanout: int = 1,
+    suspect_after: int = 2,
+    quorum: int | None = None,
+) -> tuple[GossipNetwork, FailureDetector, dict[int, IngestNode]]:
+    network = GossipNetwork(seed=seed, fanout=fanout)
+    detector = FailureDetector(suspect_after=suspect_after, quorum=quorum)
+    network.attach_detector(detector)
+    nodes = {}
+    for node_id in range(n_nodes):
+        network.add_node(node_id)
+        nodes[node_id] = _node(node_id)
+    return network, detector, nodes
+
+
+class TestMembershipView:
+    def test_state_machine_alive_suspect_confirmed(self):
+        view = MembershipView(0)
+        assert view.status(1) == ALIVE
+        assert view.suspect(1) is True  # new episode
+        assert view.status(1) == SUSPECT
+        assert view.phase(1) == 1
+        assert view.votes(1) == frozenset({0})
+        view.confirm(1)
+        assert view.status(1) == CONFIRMED_DEAD
+
+    def test_never_suspects_itself(self):
+        view = MembershipView(3)
+        with pytest.raises(ParameterError):
+            view.suspect(3)
+
+    def test_negative_node_id_refused(self):
+        with pytest.raises(ParameterError):
+            MembershipView(-1)
+
+    def test_refute_drops_votes_keeps_phase_floor(self):
+        view = MembershipView(0)
+        view.suspect(1)
+        assert view.refute(1) is True
+        assert view.status(1) == ALIVE
+        # The phase survives as a floor for the dead episode...
+        assert view.phase(1) == 1
+        # ...so the next episode is strictly newer.
+        assert view.suspect(1) is True
+        assert view.phase(1) == 2
+        # Refuting an already-clear origin reports nothing.
+        assert view.refute(1) is True
+        assert view.refute(1) is False
+
+    def test_repeat_suspicion_same_episode(self):
+        view = MembershipView(0)
+        assert view.suspect(1) is True
+        assert view.suspect(1) is False  # same episode, same vote set
+        assert view.phase(1) == 1
+
+    def test_merge_jump_ahead_adopts_votes_and_recasts_own(self):
+        ours, theirs = MembershipView(0), MembershipView(1)
+        ours.suspect(2)  # phase 1, votes {0}
+        theirs.suspect(2)
+        theirs.refute(2)
+        theirs.suspect(2)  # phase 2, votes {1}
+        assert ours.merge_from(theirs, 2) is True
+        assert ours.phase(2) == 2
+        # We still held first-person staleness evidence, so our vote
+        # re-casts at the adopted phase.
+        assert ours.votes(2) == frozenset({0, 1})
+
+    def test_merge_equal_phase_unions_votes(self):
+        ours, theirs = MembershipView(0), MembershipView(1)
+        ours.suspect(2)
+        theirs.suspect(2)
+        assert ours.merge_from(theirs, 2) is True
+        assert ours.votes(2) == frozenset({0, 1})
+        # Nothing new the second time.
+        assert ours.merge_from(theirs, 2) is False
+
+    def test_merge_ignores_lower_phase(self):
+        ours, theirs = MembershipView(0), MembershipView(1)
+        ours.suspect(2)
+        ours.refute(2)
+        ours.suspect(2)  # phase 2
+        theirs.suspect(2)  # phase 1
+        assert ours.merge_from(theirs, 2) is False
+        assert ours.votes(2) == frozenset({0})
+
+    def test_merge_propagates_refutation_at_higher_phase(self):
+        ours, theirs = MembershipView(0), MembershipView(1)
+        ours.suspect(2)  # phase 1, still suspecting
+        ours.confirm(2)
+        theirs.suspect(2)
+        theirs.refute(2)
+        theirs.suspect(2)
+        theirs.refute(2)  # phase 2, refuted
+        assert ours.merge_from(theirs, 2) is True
+        assert ours.phase(2) == 2
+        assert ours.status(2) == ALIVE
+
+    def test_forget_and_drop_voter(self):
+        view = MembershipView(0)
+        view.suspect(2)
+        other = MembershipView(1)
+        other.suspect(2)
+        view.merge_from(other, 2)
+        view.drop_voter(1)
+        assert view.votes(2) == frozenset({0})
+        view.forget(2)
+        assert view.status(2) == ALIVE
+        assert view.phase(2) == 0
+
+
+class TestFailureDetectorUnit:
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            FailureDetector(suspect_after=0)
+        with pytest.raises(ParameterError):
+            FailureDetector(quorum=0)
+
+    def test_unknown_view_is_loud(self):
+        detector = FailureDetector()
+        with pytest.raises(ParameterError):
+            detector.view(9)
+
+    def test_needed_votes_default_is_live_count(self):
+        network, detector, nodes = _detected_network(4)
+        network.run_round(nodes)
+        assert detector.needed_votes() == 4
+        del nodes[3]
+        network.run_round(nodes)
+        assert detector.needed_votes() == 3
+
+    def test_needed_votes_explicit_quorum(self):
+        _, detector, _ = _detected_network(4, quorum=2)
+        assert detector.needed_votes() == 2
+
+
+class TestDetectionOnNetwork:
+    def test_all_live_nothing_suspected(self):
+        network, detector, nodes = _detected_network(4)
+        for _ in range(8):
+            network.run_round(nodes)
+        assert detector.confirmed() == ()
+        for node_id in nodes:
+            for origin in nodes:
+                if origin != node_id:
+                    assert detector.status(node_id, origin) == ALIVE
+
+    def test_dead_node_is_suspected_then_confirmed(self):
+        network, detector, nodes = _detected_network(4, suspect_after=2)
+        for _ in range(3):
+            network.run_round(nodes)
+        del nodes[3]  # dead: refreshes stop, round stamps go stale
+        confirmed_at = None
+        for round_index in range(1, 12):
+            network.run_round(nodes)
+            if detector.confirmed():
+                confirmed_at = round_index
+                break
+        assert detector.confirmed() == (3,)
+        # Not before the staleness threshold allows suspicion at all.
+        assert confirmed_at is not None and confirmed_at >= 3
+        assert detector.take_confirmed() == (3,)
+        assert detector.confirmed() == ()
+
+    def test_single_survivor_confirms_without_exchanges(self):
+        network, detector, nodes = _detected_network(2, suspect_after=1)
+        network.run_round(nodes)
+        del nodes[1]
+        for _ in range(4):
+            network.run_round(nodes)
+        assert detector.take_confirmed() == (1,)
+
+    def test_comeback_before_threshold_never_suspected(self):
+        """The false-positive bound: refreshing within ``suspect_after``
+        rounds keeps a slow node out of the suspicion machinery
+        entirely."""
+        network, detector, nodes = _detected_network(3, suspect_after=2)
+        slow = nodes.pop(2)
+        for _ in range(6):
+            # The slow node misses exactly suspect_after consecutive
+            # rounds (staleness == threshold, never above it)...
+            network.run_round({**nodes, 2: slow})
+            network.run_round(nodes)
+            network.run_round(nodes)
+        assert detector.confirmed() == ()
+        for node_id in (0, 1):
+            assert detector.status(node_id, 2) == ALIVE
+
+    def test_comeback_after_suspicion_is_refuted(self):
+        network, detector, nodes = _detected_network(
+            3, suspect_after=1, quorum=5
+        )
+        network.run_round(nodes)
+        slow = nodes.pop(2)
+        for _ in range(3):
+            network.run_round(nodes)
+        assert any(
+            detector.status(node_id, 2) == SUSPECT for node_id in (0, 1)
+        )
+        nodes[2] = slow
+        for _ in range(2):
+            network.run_round(nodes)
+        assert detector.confirmed() == ()
+        for node_id in (0, 1):
+            assert detector.status(node_id, 2) == ALIVE
+
+    def test_anti_entropy_rounds_run_no_detection(self):
+        network, detector, nodes = _detected_network(3, suspect_after=1)
+        network.run_round(nodes)
+        del nodes[2]
+        for _ in range(6):
+            network.run_round(nodes, refresh=False)
+        # Frozen-content rounds must not feed the detector: nothing
+        # was suspected even though the entries went arbitrarily stale.
+        assert detector.confirmed() == ()
+        assert detector.status(0, 2) == ALIVE
+
+    def test_default_quorum_cannot_confirm_live_origin(self):
+        """No vote set for a live origin can reach the live-count
+        quorum: the origin itself never votes, so the achievable count
+        is one short while it participates."""
+        network, detector, nodes = _detected_network(3, suspect_after=1)
+        network.run_round(nodes)
+        # Force both peers to suspect node 2 by hand (stronger than
+        # anything staleness could produce while 2 participates).
+        detector.view(0).suspect(2)
+        detector.view(1).suspect(2)
+        network.run_round(nodes)
+        assert detector.confirmed() == ()
+
+    def test_kill_before_first_round_is_detected(self):
+        """The coordinator-side refresh table covers origins no digest
+        ever learned: a node dead from round one still goes stale."""
+        network, detector, nodes = _detected_network(3, suspect_after=2)
+        del nodes[2]
+        for _ in range(8):
+            network.run_round(nodes)
+        assert 2 in detector.take_confirmed()
+
+
+def _membership_config(
+    n_nodes: int,
+    seed: int,
+    kill_at: int,
+    n_events: int,
+    heal: bool,
+    fanout: int = 1,
+    heal_mode: str = "auto",
+    quorum: int | None = None,
+    workers: int = 1,
+) -> ClusterConfig:
+    return ClusterConfig(
+        n_nodes=n_nodes,
+        template=default_template("exact"),
+        seed=seed,
+        buffer_limit=64,
+        checkpoint_every=max(n_events // 8, 50),
+        aggregation="gossip",
+        gossip_fanout=fanout,
+        gossip_every=max(n_events // 10, 1),
+        membership=not heal,
+        membership_heal=heal_mode if not heal else "auto",
+        membership_quorum=quorum if not heal else None,
+        failures=(
+            NodeFailure(at_event=kill_at, node_id=n_nodes - 1, heal=heal),
+        ),
+        ingest_workers=workers,
+    )
+
+
+def _run(config: ClusterConfig, seed: int, n_events: int):
+    events = zipf_workload(
+        BitBudgetedRandom(seed), n_keys=50, n_events=n_events
+    )
+    with ClusterSimulation(config) as simulation:
+        result = simulation.run(events)
+        return view_fingerprint(simulation.aggregator.global_view()), result
+
+
+class TestSimulationSelfHealing:
+    _EVENTS = 1200
+    _SEED = 11
+
+    def test_kill_without_heal_matches_driver_healed_reference(self):
+        fp_self, result = _run(
+            _membership_config(3, self._SEED, 600, self._EVENTS, False),
+            self._SEED,
+            self._EVENTS,
+        )
+        fp_ref, _ = _run(
+            _membership_config(3, self._SEED, 600, self._EVENTS, True),
+            self._SEED,
+            self._EVENTS,
+        )
+        assert fp_self == fp_ref
+        assert result.membership_kills == 1
+        assert result.membership_suspicions >= 1
+        assert result.membership_confirmations >= 1
+        assert result.membership_heals == 1
+        assert result.membership_detection_rounds >= 1
+        assert result.recoveries >= 1
+
+    def test_self_healing_is_deterministic(self):
+        config = _membership_config(3, self._SEED, 600, self._EVENTS, False)
+        first_fp, first = _run(config, self._SEED, self._EVENTS)
+        replay_fp, replay = _run(config, self._SEED, self._EVENTS)
+        assert first_fp == replay_fp
+        assert first.membership_suspicions == replay.membership_suspicions
+        assert (
+            first.membership_detection_rounds
+            == replay.membership_detection_rounds
+        )
+        assert first.node_stats == replay.node_stats
+
+    def test_rebalance_heal_retires_the_node(self):
+        fp_self, result = _run(
+            _membership_config(
+                3, self._SEED, 600, self._EVENTS, False,
+                heal_mode="rebalance",
+            ),
+            self._SEED,
+            self._EVENTS,
+        )
+        fp_ref, _ = _run(
+            _membership_config(3, self._SEED, 600, self._EVENTS, True),
+            self._SEED,
+            self._EVENTS,
+        )
+        # Losslessness: the retired node's counts migrated, exactly.
+        assert fp_self == fp_ref
+        assert result.membership_heals == 1
+        assert result.n_nodes == 2
+
+    def test_explicit_low_quorum_still_lossless(self):
+        fp_self, result = _run(
+            _membership_config(
+                4, self._SEED, 600, self._EVENTS, False, quorum=1
+            ),
+            self._SEED,
+            self._EVENTS,
+        )
+        fp_ref, _ = _run(
+            _membership_config(4, self._SEED, 600, self._EVENTS, True),
+            self._SEED,
+            self._EVENTS,
+        )
+        assert fp_self == fp_ref
+        assert result.membership_heals >= 1
+
+    def test_dead_node_refuses_checkpoint_and_second_crash(self):
+        config = ClusterConfig(
+            n_nodes=3,
+            template=default_template("exact"),
+            seed=self._SEED,
+            aggregation="gossip",
+            gossip_every=100,
+            membership=True,
+        )
+        events = list(
+            zipf_workload(
+                BitBudgetedRandom(self._SEED), n_keys=50, n_events=300
+            )
+        )
+        with ClusterSimulation(config) as simulation:
+            for event in events:
+                simulation.deliver_event(event)
+            simulation.kill_node(2)
+            assert simulation.dead_nodes == (2,)
+            assert simulation.is_node_dead(2)
+            with pytest.raises(StateError):
+                simulation.checkpoint_node(2)
+            with pytest.raises(StateError):
+                simulation.crash_node(2)
+            with pytest.raises(StateError):
+                simulation.kill_node(2)
+
+    def test_run_result_table_mentions_membership(self):
+        _, result = _run(
+            _membership_config(3, self._SEED, 600, self._EVENTS, False),
+            self._SEED,
+            self._EVENTS,
+        )
+        assert "membership" in result.table()
+
+
+class TestConfigValidation:
+    def test_membership_requires_gossip(self):
+        with pytest.raises(ParameterError):
+            ClusterConfig(
+                n_nodes=2,
+                template=default_template("exact"),
+                seed=1,
+                membership=True,
+            )
+
+    def test_kill_without_heal_requires_membership(self):
+        with pytest.raises(ParameterError):
+            ClusterConfig(
+                n_nodes=2,
+                template=default_template("exact"),
+                seed=1,
+                failures=(
+                    NodeFailure(at_event=10, node_id=1, heal=False),
+                ),
+            )
+
+    def test_membership_knobs_require_membership(self):
+        base = dict(
+            n_nodes=2, template=default_template("exact"), seed=1
+        )
+        with pytest.raises(ParameterError):
+            ClusterConfig(suspect_after=5, **base)
+        with pytest.raises(ParameterError):
+            ClusterConfig(membership_quorum=1, **base)
+        with pytest.raises(ParameterError):
+            ClusterConfig(membership_heal="recover", **base)
+
+    def test_invalid_membership_values(self):
+        base = dict(
+            n_nodes=2,
+            template=default_template("exact"),
+            seed=1,
+            aggregation="gossip",
+            gossip_every=10,
+            membership=True,
+        )
+        with pytest.raises(ParameterError):
+            ClusterConfig(suspect_after=0, **base)
+        with pytest.raises(ParameterError):
+            ClusterConfig(membership_quorum=0, **base)
+        with pytest.raises(ParameterError):
+            ClusterConfig(membership_heal="pray", **base)
+
+    def test_kill_needs_a_live_survivor(self):
+        with pytest.raises(ParameterError):
+            ClusterConfig(
+                n_nodes=1,
+                template=default_template("exact"),
+                seed=1,
+                aggregation="gossip",
+                gossip_every=10,
+                membership=True,
+                failures=(
+                    NodeFailure(at_event=10, node_id=0, heal=False),
+                ),
+            )
+
+
+class TestMembershipProperties:
+    """The hypothesis layer: random topologies, seeds, and fanouts."""
+
+    @given(
+        n_nodes=st.integers(min_value=2, max_value=5),
+        seed=st.integers(min_value=0, max_value=2**20),
+        fanout=st.integers(min_value=1, max_value=3),
+        kill_fraction=st.integers(min_value=3, max_value=7),
+    )
+    @settings(max_examples=10, deadline=None, derandomize=True)
+    def test_self_healed_equals_driver_healed(
+        self, n_nodes, seed, fanout, kill_fraction
+    ):
+        n_events = 600
+        kill_at = n_events * kill_fraction // 10
+        fp_self, result = _run(
+            _membership_config(
+                n_nodes, seed, kill_at, n_events, False, fanout=fanout
+            ),
+            seed,
+            n_events,
+        )
+        fp_ref, _ = _run(
+            _membership_config(
+                n_nodes, seed, kill_at, n_events, True, fanout=fanout
+            ),
+            seed,
+            n_events,
+        )
+        assert fp_self == fp_ref
+        assert result.membership_kills == result.membership_heals == 1
+
+    @given(
+        n_nodes=st.integers(min_value=2, max_value=6),
+        seed=st.integers(min_value=0, max_value=2**20),
+        fanout=st.integers(min_value=1, max_value=3),
+        rounds=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=10, deadline=None, derandomize=True)
+    def test_all_live_cluster_never_confirms(
+        self, n_nodes, seed, fanout, rounds
+    ):
+        network, detector, nodes = _detected_network(
+            n_nodes, seed=seed, fanout=fanout
+        )
+        for _ in range(rounds):
+            network.run_round(nodes)
+        assert detector.confirmed() == ()
+
+    @given(
+        n_nodes=st.integers(min_value=3, max_value=6),
+        seed=st.integers(min_value=0, max_value=2**20),
+        fanout=st.integers(min_value=1, max_value=2),
+        suspect_after=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=10, deadline=None, derandomize=True)
+    def test_slow_but_alive_never_confirmed(
+        self, n_nodes, seed, fanout, suspect_after
+    ):
+        """A node refreshing within ``suspect_after`` rounds is never
+        confirmed dead, whatever the topology or fanout."""
+        network, detector, nodes = _detected_network(
+            n_nodes, seed=seed, fanout=fanout, suspect_after=suspect_after
+        )
+        slow = nodes.pop(n_nodes - 1)
+        for _ in range(4):
+            network.run_round({**nodes, slow.node_id: slow})
+            for _ in range(suspect_after):
+                network.run_round(nodes)
+        assert slow.node_id not in detector.confirmed()
+
+    @given(
+        n_nodes=st.integers(min_value=2, max_value=5),
+        seed=st.integers(min_value=0, max_value=2**20),
+        suspect_after=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=10, deadline=None, derandomize=True)
+    def test_dead_node_always_confirmed_within_bound(
+        self, n_nodes, seed, suspect_after
+    ):
+        network, detector, nodes = _detected_network(
+            n_nodes, seed=seed, suspect_after=suspect_after
+        )
+        network.run_round(nodes)
+        del nodes[n_nodes - 1]
+        # suspect_after stale rounds + one to suspect + a generous
+        # dissemination allowance.
+        for _ in range(suspect_after + 2 + 4 * n_nodes):
+            network.run_round(nodes)
+            if (n_nodes - 1) in detector.confirmed():
+                break
+        assert (n_nodes - 1) in detector.confirmed()

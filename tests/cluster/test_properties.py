@@ -15,11 +15,13 @@ the ``tests/property`` style — no new dependencies) asserts them for
 * **serial-vs-parallel bit-identity** — the execution plan moves
   wall-clock only: worker-sharded delivery reproduces the serial run's
   ``GlobalView`` and per-node stats bit for bit on approximate
-  templates too, crashes and gossip rounds included;
+  templates too, crashes, gossip rounds, and self-healing membership
+  (kills the driver never heals) included;
 * **telemetry inertness** — runs with telemetry disabled, enabled
   (ring-sinked), and JSONL-file-sinked are bit-identical on the
   ``GlobalView`` fingerprint and every deterministic result field,
-  serially and in parallel: observing a run never changes it.
+  serially and in parallel, membership-enabled configurations
+  included: observing a run never changes it.
 
 ``derandomize=True`` keeps the sweep a pure function of the test code
 (CI never sees a flaky draw); bump ``max_examples`` locally to sweep
@@ -67,10 +69,14 @@ def _truth(events) -> dict[str, int]:
     return dict(counts)
 
 
-def _failures(n_nodes: int, n_events: int, crash: bool):
+def _failures(n_nodes: int, n_events: int, crash: bool, heal: bool = True):
     if not crash or n_nodes < 2:
         return ()
-    return (NodeFailure(at_event=n_events // 2, node_id=n_nodes - 1),)
+    return (
+        NodeFailure(
+            at_event=n_events // 2, node_id=n_nodes - 1, heal=heal
+        ),
+    )
 
 
 class TestMergeExactness:
@@ -169,11 +175,15 @@ class TestSerialParallelBitIdentity:
         batch=st.sampled_from((1, 16, 64, 512)),
         crash=st.booleans(),
         use_gossip=st.booleans(),
+        use_membership=st.booleans(),
     )
     def test_parallel_reproduces_serial_bit_for_bit(
         self, seed, n_nodes, n_events, template, workers, batch, crash,
-        use_gossip,
+        use_gossip, use_membership,
     ):
+        # Membership rides on gossip; its interesting case is a kill
+        # the driver never heals (crash with heal=False).
+        use_gossip = use_gossip or use_membership
         events = _workload(seed, n_events)
         shared = dict(
             n_nodes=n_nodes,
@@ -181,12 +191,15 @@ class TestSerialParallelBitIdentity:
             seed=seed,
             buffer_limit=128,
             checkpoint_every=max(n_events // 4, 50),
-            failures=_failures(n_nodes, n_events, crash),
+            failures=_failures(
+                n_nodes, n_events, crash, heal=not use_membership
+            ),
         )
         if use_gossip:
             shared.update(
                 aggregation="gossip",
                 gossip_every=max(n_events // 4, 1),
+                membership=use_membership,
             )
         stamps = []
         for extra in ({}, dict(ingest_workers=workers,
@@ -203,6 +216,11 @@ class TestSerialParallelBitIdentity:
                     result.gossip_rounds,
                     result.gossip_convergence_rounds,
                     result.gossip_max_staleness,
+                    result.membership_kills,
+                    result.membership_suspicions,
+                    result.membership_confirmations,
+                    result.membership_heals,
+                    result.membership_detection_rounds,
                 )
             )
         assert stamps[0] == stamps[1]
@@ -223,12 +241,14 @@ class TestTelemetryInertness:
         workers=st.sampled_from((1, 4)),
         crash=st.booleans(),
         use_gossip=st.booleans(),
+        use_membership=st.booleans(),
         hot=st.booleans(),
     )
     def test_telemetry_on_off_file_bit_identical(
         self, seed, n_nodes, n_events, template, workers, crash,
-        use_gossip, hot,
+        use_gossip, use_membership, hot,
     ):
+        use_gossip = use_gossip or use_membership
         events = _workload(seed, n_events)
         shared = dict(
             n_nodes=n_nodes,
@@ -237,13 +257,16 @@ class TestTelemetryInertness:
             buffer_limit=128,
             checkpoint_every=max(n_events // 4, 50),
             hot_key_threshold=(n_events // 10 if hot else None),
-            failures=_failures(n_nodes, n_events, crash),
+            failures=_failures(
+                n_nodes, n_events, crash, heal=not use_membership
+            ),
             ingest_workers=workers,
         )
         if use_gossip:
             shared.update(
                 aggregation="gossip",
                 gossip_every=max(n_events // 4, 1),
+                membership=use_membership,
             )
         with tempfile.TemporaryDirectory() as tmp:
             facades = (
@@ -270,6 +293,10 @@ class TestTelemetryInertness:
                         result.checkpoints,
                         result.recoveries,
                         result.gossip_rounds,
+                        result.membership_kills,
+                        result.membership_confirmations,
+                        result.membership_heals,
+                        result.membership_detection_rounds,
                     )
                 )
             assert stamps[0] == stamps[1] == stamps[2]

@@ -216,6 +216,97 @@ class TestEmbeddedMetrics:
         assert any("rows[1]" in problem for problem in problems)
 
 
+def _membership_payload() -> dict:
+    payload = _valid_payload("cluster_membership")
+    payload["rows"] = [
+        {
+            "nodes": 2,
+            "detection_rounds": 3,
+            "healed_equivalent": True,
+            "events_per_sec": 123.4,
+        }
+    ]
+    return payload
+
+
+class TestMembershipRows:
+    """cluster_membership artifacts carry scenario-specific row checks:
+    a self-healed run that diverged from its driver-healed reference
+    (``healed_equivalent`` != true) must never ship."""
+
+    def _check(self, tmp_path, payload: dict) -> list[str]:
+        path = _write(
+            tmp_path,
+            "BENCH_cluster_membership.json",
+            json.dumps(payload),
+        )
+        return check_bench_json.check_file(path)
+
+    def test_valid_membership_payload_passes(self, tmp_path):
+        assert self._check(tmp_path, _membership_payload()) == []
+
+    def test_other_benchmarks_skip_the_membership_shape(self, tmp_path):
+        """Rows without healed_equivalent stay valid off-scenario."""
+        path = _write(
+            tmp_path, "BENCH_cluster.json", json.dumps(_valid_payload())
+        )
+        assert check_bench_json.check_file(path) == []
+
+    def test_rejects_healed_equivalent_false(self, tmp_path):
+        payload = _membership_payload()
+        payload["rows"][0]["healed_equivalent"] = False
+        problems = self._check(tmp_path, payload)
+        assert any(
+            "healed_equivalent must be true" in problem
+            for problem in problems
+        )
+
+    def test_rejects_missing_healed_equivalent(self, tmp_path):
+        payload = _membership_payload()
+        del payload["rows"][0]["healed_equivalent"]
+        problems = self._check(tmp_path, payload)
+        assert any(
+            "healed_equivalent must be true" in problem
+            for problem in problems
+        )
+
+    def test_rejects_truthy_non_bool_healed_equivalent(self, tmp_path):
+        """JSON 1 is not true: the equivalence bit must be a boolean."""
+        payload = _membership_payload()
+        payload["rows"][0]["healed_equivalent"] = 1
+        problems = self._check(tmp_path, payload)
+        assert any(
+            "healed_equivalent must be true" in problem
+            for problem in problems
+        )
+
+    @pytest.mark.parametrize("rounds", [-1, 2.5, "3", True, None])
+    def test_rejects_bad_detection_rounds(self, tmp_path, rounds):
+        payload = _membership_payload()
+        payload["rows"][0]["detection_rounds"] = rounds
+        problems = self._check(tmp_path, payload)
+        assert any(
+            "detection_rounds" in problem for problem in problems
+        )
+
+    @pytest.mark.parametrize("nodes", [0, -2, True, "2", None])
+    def test_rejects_bad_nodes(self, tmp_path, nodes):
+        payload = _membership_payload()
+        payload["rows"][0]["nodes"] = nodes
+        problems = self._check(tmp_path, payload)
+        assert any(
+            "nodes must be a positive integer" in problem
+            for problem in problems
+        )
+
+    def test_problem_names_the_row(self, tmp_path):
+        payload = _membership_payload()
+        payload["rows"].append(dict(payload["rows"][0]))
+        payload["rows"][1]["healed_equivalent"] = False
+        problems = self._check(tmp_path, payload)
+        assert any("rows[1]" in problem for problem in problems)
+
+
 class TestMain:
     def test_passes_on_valid_paths(self, tmp_path, capsys):
         path = _write(
