@@ -79,6 +79,7 @@ from __future__ import annotations
 
 import argparse
 import math
+import os
 import sys
 import tempfile
 from typing import Callable, NamedTuple
@@ -513,6 +514,12 @@ _THROUGHPUT_BATCH = 64
 #: The full throughput run is scenario-specific: fsync-per-4-appends
 #: makes 1M-event rows needlessly slow without changing the story.
 _THROUGHPUT_FULL_EVENTS = 400_000
+#: The process arm compares serial / thread-parallel / process plans
+#: at these node counts (one worker process per node).
+_PROCESS_NODE_SWEEP = (2, 4)
+#: Pipe IPC makes full-length process rows needlessly slow without
+#: changing the comparison; cap the process arm's stream length.
+_PROCESS_ARM_EVENTS_CAP = _THROUGHPUT_FULL_EVENTS // 4
 
 
 def _run_throughput(n_events: int) -> dict:
@@ -526,6 +533,14 @@ def _run_throughput(n_events: int) -> dict:
     a second, ``exact``-template comparison with a crash and a live
     migration mid-stream pins serial-vs-parallel bit-identity of the
     full ``GlobalView``.
+
+    A third arm compares execution *plans* — serial vs thread-parallel
+    vs per-node OS worker processes (``plan="process"``) — on a
+    CPU-bound memory-store configuration at 2 and 4 nodes, and extends
+    the exact-template bit-identity proof to the process plan.  The
+    process speedup bar (>1x vs thread-parallel at 4 nodes) only
+    applies to full runs on multi-core machines; the payload records
+    ``cpus`` so the gate is auditable.
 
     The sweep arms run with the wall-clock telemetry layers disabled so
     the 1.5× speedup bar measures only the execution plan; a separate
@@ -581,33 +596,108 @@ def _run_throughput(n_events: int) -> dict:
             row["speedup_vs_serial"] = round(
                 row["events_per_sec"] / serial_eps, 3
             )
+        # Process arm: per-node OS worker processes on a CPU-bound
+        # (memory-store) configuration — the deployment where real
+        # cores, not overlapped fsync stalls, are the only speedup
+        # source.  Serial, thread-parallel, and process plans drive
+        # the identical workload at each node count; the plans may
+        # only move wall-clock numbers, never accuracy.
+        process_events = min(throughput_events, _PROCESS_ARM_EVENTS_CAP)
+        process_rows = []
+        for n_nodes in _PROCESS_NODE_SWEEP:
+            for arm, plan_fields in (
+                ("serial", {"plan": "serial"}),
+                (
+                    "parallel",
+                    {"plan": "parallel", "ingest_workers": n_nodes},
+                ),
+                ("process", {"plan": "process"}),
+            ):
+                config = ClusterConfig(
+                    n_nodes=n_nodes,
+                    template=default_template("simplified_ny"),
+                    seed=_SEED,
+                    buffer_limit=512,
+                    checkpoint_every=max(process_events // 4, 1000),
+                    delivery_batch=_THROUGHPUT_BATCH,
+                    **plan_fields,
+                )
+                events = zipf_workload(
+                    BitBudgetedRandom(_SEED),
+                    n_keys=_KEYS,
+                    n_events=process_events,
+                    exponent=_EXPONENT,
+                )
+                with ClusterSimulation(
+                    config, telemetry=Telemetry.disabled()
+                ) as simulation:
+                    result = simulation.run(events)
+                    metrics = simulation.metrics_snapshot()
+                process_rows.append(
+                    {
+                        "nodes": n_nodes,
+                        "arm": arm,
+                        "events": result.total_events,
+                        "events_per_sec": round(
+                            result.events_per_sec, 1
+                        ),
+                        "rms_relative_error": result.rms_relative_error,
+                        "max_relative_error": result.max_relative_error,
+                        "checkpoints": result.checkpoints,
+                        "state_bits": result.total_state_bits,
+                        "metrics": metrics,
+                    }
+                )
+        by_arm = {
+            (row["nodes"], row["arm"]): row for row in process_rows
+        }
+        for row in process_rows:
+            base_serial = by_arm[(row["nodes"], "serial")]
+            base_parallel = by_arm[(row["nodes"], "parallel")]
+            row["speedup_vs_serial"] = round(
+                row["events_per_sec"] / base_serial["events_per_sec"], 3
+            )
+            row["speedup_vs_parallel"] = round(
+                row["events_per_sec"]
+                / base_parallel["events_per_sec"],
+                3,
+            )
         # Bit-identity proof on exact templates: a crash and a live
-        # migration mid-stream, serial vs 4 workers, same seed.
+        # migration mid-stream, serial vs 4 workers vs per-node worker
+        # processes, same seed.  All three arms drive one stream
+        # (capped with the process arm: the property is length-free,
+        # the pipe IPC is not).
+        proof_events = process_events
         fingerprints = []
-        for workers in (1, 4):
+        for plan, workers in (
+            ("serial", 1),
+            ("parallel", 4),
+            ("process", 1),
+        ):
             config = ClusterConfig(
                 n_nodes=4,
                 template=default_template("exact"),
                 seed=_SEED,
-                checkpoint_every=max(throughput_events // 8, 1000),
+                checkpoint_every=max(proof_events // 8, 1000),
                 routing="ring",
                 scale_events=(
                     ScaleEvent(
-                        at_event=throughput_events // 3, action="add"
+                        at_event=proof_events // 3, action="add"
                     ),
                 ),
                 failures=(
                     NodeFailure(
-                        at_event=throughput_events // 2, node_id=1
+                        at_event=proof_events // 2, node_id=1
                     ),
                 ),
+                plan=plan,
                 ingest_workers=workers,
                 delivery_batch=_THROUGHPUT_BATCH,
             )
             events = zipf_workload(
                 BitBudgetedRandom(_SEED),
                 n_keys=_KEYS,
-                n_events=throughput_events,
+                n_events=proof_events,
                 exponent=_EXPONENT,
             )
             simulation = ClusterSimulation(config)
@@ -623,6 +713,7 @@ def _run_throughput(n_events: int) -> dict:
                 )
             )
         parallel_bit_identical = fingerprints[0] == fingerprints[1]
+        process_bit_identical = fingerprints[0] == fingerprints[2]
     return {
         "benchmark": "cluster_throughput",
         "seed": _SEED,
@@ -636,9 +727,14 @@ def _run_throughput(n_events: int) -> dict:
             "nodes": _THROUGHPUT_NODES,
             "wal_fsync_every": _THROUGHPUT_FSYNC,
             "delivery_batch": _THROUGHPUT_BATCH,
+            "process_nodes": list(_PROCESS_NODE_SWEEP),
+            "process_events": process_events,
         },
+        "cpus": os.cpu_count() or 1,
         "rows": rows,
+        "process_rows": process_rows,
         "parallel_bit_identical": parallel_bit_identical,
+        "process_bit_identical": process_bit_identical,
         "telemetry_overhead_pct": overhead_pct,
     }
 
@@ -694,6 +790,17 @@ def _render_throughput(payload: dict) -> str:
             f"{100 * row['rms_relative_error']:.3f}%",
             str(row["checkpoints"]),
         )
+    process_table = TextTable(
+        ["nodes", "plan", "events/s", "vs serial", "vs parallel"]
+    )
+    for row in payload["process_rows"]:
+        process_table.add_row(
+            str(row["nodes"]),
+            row["arm"],
+            f"{row['events_per_sec']:,.0f}",
+            f"{row['speedup_vs_serial']:.2f}x",
+            f"{row['speedup_vs_parallel']:.2f}x",
+        )
     workload = payload["workload"]
     config = payload["config"]
     return "\n".join(
@@ -706,6 +813,13 @@ def _render_throughput(payload: dict) -> str:
             "",
             table.render(),
             "",
+            "Process plans — per-node OS workers on a CPU-bound "
+            "(memory-store) config",
+            f"{config['process_events']:,} events, "
+            f"{payload['cpus']} CPU core(s) available",
+            "",
+            process_table.render(),
+            "",
             "Plan-invariance check: every row reports bit-identical "
             "accuracy — workers only move wall-clock.",
             "serial vs 4-worker GlobalView (exact templates, crash + "
@@ -713,6 +827,13 @@ def _render_throughput(payload: dict) -> str:
             + (
                 "bit-identical"
                 if payload["parallel_bit_identical"]
+                else "MISMATCH"
+            ),
+            "serial vs process-plan GlobalView (same crash + "
+            "migration stream): "
+            + (
+                "bit-identical"
+                if payload["process_bit_identical"]
                 else "MISMATCH"
             ),
             "telemetry overhead (paired serial runs, best of 5): "
@@ -737,7 +858,39 @@ def _check_throughput(payload: dict) -> None:
         assert row["checkpoints"] == serial["checkpoints"]
         assert row["state_bits"] == serial["state_bits"]
         assert row["events_per_sec"] > 0
+    process_rows = payload["process_rows"]
+    assert [(row["nodes"], row["arm"]) for row in process_rows] == [
+        (nodes, arm)
+        for nodes in _PROCESS_NODE_SWEEP
+        for arm in ("serial", "parallel", "process")
+    ]
+    by_arm = {(row["nodes"], row["arm"]): row for row in process_rows}
+    for row in process_rows:
+        base = by_arm[(row["nodes"], "serial")]
+        assert row["events"] == payload["config"]["process_events"]
+        # Same plan-invariance bar as the worker sweep: serial,
+        # thread-parallel, and process plans compute the same thing.
+        assert row["rms_relative_error"] == base["rms_relative_error"]
+        assert row["max_relative_error"] == base["max_relative_error"]
+        assert row["checkpoints"] == base["checkpoints"]
+        assert row["state_bits"] == base["state_bits"]
+        assert row["events_per_sec"] > 0
     assert payload["parallel_bit_identical"] is True
+    assert payload["process_bit_identical"] is True
+    if (
+        payload["workload"]["events"] >= _THROUGHPUT_FULL_EVENTS
+        and payload["cpus"] >= 2
+    ):
+        # The acceptance bar for the process arm (full runs on a
+        # multi-core box only — with one core, worker processes just
+        # time-slice and the comparison measures nothing): per-node OS
+        # workers must beat thread-parallel delivery on the CPU-bound
+        # template, where the GIL caps what threads can overlap.
+        speedup = by_arm[(4, "process")]["speedup_vs_parallel"]
+        assert speedup > 1.0, (
+            f"4-node process-plan speedup {speedup}x vs parallel "
+            "below the 1x acceptance bar"
+        )
     # The telemetry layer must be cheap on the delivery path.  Smoke
     # runs only pin that the measurement exists and is finite (20k-event
     # timings are scheduler noise); full runs enforce the 5% bar.

@@ -23,7 +23,14 @@ The benchmark suite writes machine-readable artifacts under
   own acceptance shape — every row must carry ``nodes`` (positive
   int), ``detection_rounds`` (non-negative int), and
   ``healed_equivalent`` exactly ``true`` (a self-healed run that is
-  *not* bit-identical to its driver-healed reference must never ship).
+  *not* bit-identical to its driver-healed reference must never ship);
+* is a ``cluster_throughput`` artifact that breaks the plan-arm shape
+  — ``parallel_bit_identical`` and ``process_bit_identical`` must be
+  exactly ``true`` (an execution plan that diverged from the serial
+  reference must never ship), and ``process_rows`` must be a
+  non-empty list whose rows carry ``nodes`` (positive int), ``arm``
+  (``serial`` / ``parallel`` / ``process``), and a positive
+  ``events_per_sec``.
 
 Usage::
 
@@ -124,6 +131,57 @@ def _check_membership_row(row: dict, where: str) -> list[str]:
     return problems
 
 
+_PLAN_ARMS = ("serial", "parallel", "process")
+
+
+def _check_throughput_extras(payload: dict) -> list[str]:
+    """Schema problems with ``cluster_throughput``'s plan-arm shape."""
+    problems: list[str] = []
+    for flag in ("parallel_bit_identical", "process_bit_identical"):
+        if payload.get(flag) is not True:
+            problems.append(
+                f"{flag} must be true — an execution plan that "
+                "diverged from the serial reference must never ship"
+            )
+    process_rows = payload.get("process_rows")
+    if not isinstance(process_rows, list) or not process_rows:
+        problems.append("process_rows must be a non-empty list")
+        return problems
+    for index, row in enumerate(process_rows):
+        where = f"process_rows[{index}]"
+        if not isinstance(row, dict):
+            problems.append(f"{where}: must be an object")
+            continue
+        nodes = row.get("nodes")
+        if (
+            not isinstance(nodes, int)
+            or isinstance(nodes, bool)
+            or nodes < 1
+        ):
+            problems.append(
+                f"{where}: nodes must be a positive integer, "
+                f"got {nodes!r}"
+            )
+        if row.get("arm") not in _PLAN_ARMS:
+            problems.append(
+                f"{where}: arm must be one of {_PLAN_ARMS}, "
+                f"got {row.get('arm')!r}"
+            )
+        rate = row.get("events_per_sec")
+        if (
+            isinstance(rate, bool)
+            or not isinstance(rate, (int, float))
+            or rate <= 0
+        ):
+            problems.append(
+                f"{where}: events_per_sec must be positive, "
+                f"got {rate!r}"
+            )
+        if "metrics" in row:
+            problems.extend(_check_metrics(row["metrics"], where))
+    return problems
+
+
 def check_payload(payload: object, expected_name: str | None) -> list[str]:
     """Schema problems with one parsed artifact (empty when valid)."""
     problems: list[str] = []
@@ -158,6 +216,8 @@ def check_payload(payload: object, expected_name: str | None) -> list[str]:
                 problems.extend(
                     _check_membership_row(row, f"rows[{index}]")
                 )
+    if payload["benchmark"] == "cluster_throughput":
+        problems.extend(_check_throughput_extras(payload))
     return problems
 
 

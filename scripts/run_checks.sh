@@ -14,7 +14,10 @@
 #   4. bench smoke, every scenario     (scaling, elastic, durability,
 #      throughput, gossip, membership — writes BENCH_*.json)
 #   5. strict-JSON artifact validation (scripts/check_bench_json.py)
-#   6. cluster coverage report + floor (scripts/run_coverage.py —
+#   6. process-plan smoke              (a crash-bearing stream through
+#      per-node worker processes plus a serve up/status/down round
+#      trip, each under a hard 120 s timeout)
+#   7. cluster coverage report + floor (scripts/run_coverage.py —
 #      pytest-cov when installed, stdlib tracer otherwise; fails below
 #      the floor on src/repro/cluster/)
 set -euo pipefail
@@ -54,6 +57,22 @@ if [ "$run_bench" -eq 1 ]; then
   echo
   echo "== bench JSON validation =="
   python scripts/check_bench_json.py
+
+  echo
+  echo "== process-plan smoke (2 workers, hard 120s budget) =="
+  process_dir="$(mktemp -d)"
+  timeout 120 python src/repro/cli.py cluster \
+    --nodes 2 --events 8000 --keys 200 \
+    --checkpoint-every 2000 --kill 1@4000 \
+    --plan process \
+    --storage file --storage-dir "$process_dir/store" >/dev/null
+  timeout 120 python src/repro/cli.py \
+    cluster serve up --dir "$process_dir/store" --nodes 2 >/dev/null
+  python src/repro/cli.py \
+    cluster serve status --dir "$process_dir/store" >/dev/null
+  python src/repro/cli.py \
+    cluster serve down --dir "$process_dir/store" >/dev/null
+  rm -rf "$process_dir"
 
   echo
   echo "== telemetry sample (metrics snapshot + structured trace) =="

@@ -21,6 +21,12 @@ Usage::
         --gossip-every 25000
     python -m repro.cli cluster --aggregation gossip --membership \\
         --kill-dead 2@500000 --suspect-after 2 --membership-heal auto
+    python -m repro.cli cluster --plan process --nodes 4 \\
+        --events 1000000 --kill 2@500000
+    python -m repro.cli cluster serve up --dir /tmp/cluster --nodes 2
+    python -m repro.cli cluster serve ps --dir /tmp/cluster
+    python -m repro.cli cluster serve status --dir /tmp/cluster
+    python -m repro.cli cluster serve down --dir /tmp/cluster
     python -m repro.cli count --algorithm nelson_yu --n 1000000
 
 Every subcommand prints the same tables the benchmark suite writes to
@@ -290,6 +296,20 @@ def build_parser() -> argparse.ArgumentParser:
             "EVENTS appends (requires --storage file)"
         ),
     )
+    from repro.cluster.pipeline import PLAN_NAMES
+
+    cluster.add_argument(
+        "--plan",
+        choices=("auto", *PLAN_NAMES),
+        default="auto",
+        help=(
+            "execution plan: the serial reference loop, thread-sharded "
+            "delivery (parallel), or one OS process per node behind the "
+            "checksummed wire protocol (process); auto (default) picks "
+            "serial or parallel from --workers — results are "
+            "bit-identical across plans"
+        ),
+    )
 
     cluster.add_argument(
         "--metrics-out",
@@ -402,6 +422,90 @@ def build_parser() -> argparse.ArgumentParser:
             "survivors (rebalance), or recover iff the store holds "
             "any of its state (auto, the default)"
         ),
+    )
+
+    cluster_modes = cluster.add_subparsers(
+        dest="cluster_command", required=False
+    )
+    serve = cluster_modes.add_parser(
+        "serve",
+        help=(
+            "manage long-running worker daemons (one per node, Unix "
+            "sockets under the storage dir)"
+        ),
+    )
+    serve_modes = serve.add_subparsers(dest="serve_command", required=True)
+
+    def _serve_dir(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--dir",
+            required=True,
+            metavar="DIR",
+            help=(
+                "cluster storage directory; the fleet lives under "
+                "DIR/serve/"
+            ),
+        )
+
+    serve_up = serve_modes.add_parser(
+        "up", help="launch one worker daemon per node and wait for ready"
+    )
+    _serve_dir(serve_up)
+    serve_up.add_argument("--nodes", type=int, default=4)
+    serve_up.add_argument(
+        "--algorithm",
+        choices=(
+            "exact",
+            "morris",
+            "morris_plus",
+            "simplified_ny",
+            "nelson_yu",
+        ),
+        default="simplified_ny",
+        help="mergeable counter preset for every node",
+    )
+    serve_up.add_argument("--buffer", type=int, default=512)
+    serve_up.add_argument(
+        "--no-track-truth",
+        action="store_true",
+        help="skip the exact shadow counts in every worker",
+    )
+    serve_up.add_argument(
+        "--timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="how long to wait for every worker socket to come up",
+    )
+    serve_down = serve_modes.add_parser(
+        "down",
+        help=(
+            "stop every worker (protocol shutdown, then SIGTERM, then "
+            "SIGKILL) and forget the fleet"
+        ),
+    )
+    _serve_dir(serve_down)
+    serve_down.add_argument(
+        "--timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="per-worker budget before escalating to signals",
+    )
+    serve_ps = serve_modes.add_parser(
+        "ps", help="list launched workers and whether they are alive"
+    )
+    _serve_dir(serve_ps)
+    serve_status = serve_modes.add_parser(
+        "status", help="ping every worker over its socket"
+    )
+    _serve_dir(serve_status)
+    serve_status.add_argument(
+        "--timeout",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="socket timeout per worker",
     )
 
     count = subparsers.add_parser(
@@ -572,6 +676,7 @@ def _run_cluster(args: argparse.Namespace) -> str:
             ingest_workers=args.workers,
             delivery_batch=args.batch,
             wal_fsync_every=args.wal_fsync,
+            plan=args.plan,
             aggregation=args.aggregation,
             gossip_fanout=args.gossip_fanout,
             gossip_every=gossip_every,
@@ -643,7 +748,12 @@ def _run_cluster(args: argparse.Namespace) -> str:
             )
             + f", heal mode {args.membership_heal}"
         )
-    if args.workers > 1:
+    if args.plan == "process":
+        table += (
+            f"\nprocess plan: one worker process per node, "
+            f"delivery batch {args.batch}"
+        )
+    elif args.workers > 1:
         table += (
             f"\nparallel ingest: {args.workers} workers, "
             f"delivery batch {args.batch}"
@@ -663,6 +773,66 @@ def _run_cluster(args: argparse.Namespace) -> str:
     if args.trace_out is not None:
         table += f"\nstructured trace (JSON lines): {args.trace_out}"
     return table
+
+
+def _run_serve(args: argparse.Namespace) -> str:
+    from repro.cluster import default_template
+    from repro.cluster.serve import (
+        fleet_down,
+        fleet_ps,
+        fleet_status,
+        fleet_up,
+    )
+    from repro.errors import ReproError
+
+    try:
+        if args.serve_command == "up":
+            workers = fleet_up(
+                args.dir,
+                n_nodes=args.nodes,
+                template=default_template(args.algorithm),
+                seed=args.seed,
+                buffer_limit=args.buffer,
+                track_truth=not args.no_track_truth,
+                timeout=args.timeout,
+            )
+            lines = [
+                f"node {record['node']}: pid {record['pid']} "
+                f"listening on {record['socket']}"
+                for record in workers
+            ]
+            lines.append(
+                f"{len(workers)} workers up under {args.dir} "
+                "(stop with 'cluster serve down')"
+            )
+        elif args.serve_command == "ps":
+            lines = [
+                f"node {row['node']}: {row['state']} "
+                f"pid {row['pid']} socket {row['socket']}"
+                for row in fleet_ps(args.dir)
+            ]
+        elif args.serve_command == "status":
+            lines = []
+            for row in fleet_status(args.dir, timeout=args.timeout):
+                if row["state"] == "running":
+                    lines.append(
+                        f"node {row['node']}: running pid {row['pid']} "
+                        f"keys {row['keys']} pending {row['pending']} "
+                        f"ingested {row['events_ingested']}"
+                    )
+                else:
+                    lines.append(
+                        f"node {row['node']}: {row['state']} "
+                        f"({row['error']})"
+                    )
+        else:
+            lines = [
+                f"node {row['node']}: {row['state']} (pid {row['pid']})"
+                for row in fleet_down(args.dir, timeout=args.timeout)
+            ]
+    except ReproError as exc:
+        raise SystemExit(f"cluster serve {args.serve_command}: {exc}")
+    return "\n".join(lines)
 
 
 def _run_count(args: argparse.Namespace) -> str:
@@ -786,7 +956,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         else:
             print(run_transition_ablation().table())
     elif args.command == "cluster":
-        print(_run_cluster(args))
+        if getattr(args, "cluster_command", None) == "serve":
+            print(_run_serve(args))
+        else:
+            print(_run_cluster(args))
     elif args.command == "count":
         print(_run_count(args))
     else:  # pragma: no cover - argparse enforces choices

@@ -47,9 +47,16 @@ deployment:
   :func:`~repro.cluster.simulation.recover_cluster` rebuilds a live
   simulation from a ``FileStore`` directory after process death;
 * :mod:`~repro.cluster.pipeline` — pluggable execution plans for that
-  loop: the serial reference path, or worker-sharded parallel delivery
-  (``ClusterConfig.ingest_workers``) whose per-node batch chains and
-  drain-handshake fences keep parallel runs bit-identical to serial;
+  loop, selected by name through a registry (``ClusterConfig.plan``):
+  the serial reference path, worker-sharded thread delivery
+  (``ClusterConfig.ingest_workers``), or one OS process per node
+  (:class:`~repro.cluster.pipeline.ProcessPlan`) — all bit-identical
+  to serial on exact templates;
+* :mod:`~repro.cluster.transport` — the length-prefixed, checksummed,
+  versioned frame protocol between the process-plan coordinator and
+  its :mod:`~repro.cluster.worker` subprocesses;
+  :mod:`~repro.cluster.serve` manages the long-running daemon shape of
+  the same workers (the ``cluster serve`` CLI lifecycle);
 * :mod:`repro.obs` (a sibling package) — the telemetry substrate every
   cluster layer publishes into: a metrics registry, a structured
   stream-position-stamped trace log, and delivery-path stage timers.
@@ -87,9 +94,13 @@ from repro.cluster.membership import (
 )
 from repro.cluster.node import CounterTemplate, IngestNode, default_template
 from repro.cluster.pipeline import (
+    PLAN_NAMES,
+    PLAN_REGISTRY,
     ExecutionPlan,
     ParallelPlan,
+    ProcessPlan,
     SerialPlan,
+    WorkerFleet,
     make_plan,
 )
 from repro.cluster.rebalance import (
@@ -120,6 +131,7 @@ from repro.cluster.simulation import (
     NodeStats,
     ScaleEvent,
     SimulationResult,
+    node_seed,
     recover_cluster,
 )
 from repro.cluster.storage import (
@@ -160,7 +172,10 @@ __all__ = [
     "NodeDigest",
     "NodeFailure",
     "NodeStats",
+    "PLAN_NAMES",
+    "PLAN_REGISTRY",
     "ParallelPlan",
+    "ProcessPlan",
     "RebalancePlan",
     "RebalanceReport",
     "RetentionPolicy",
@@ -174,6 +189,7 @@ __all__ = [
     "SlidingRetention",
     "StableHashRouter",
     "TumblingRetention",
+    "WorkerFleet",
     "WriteAheadLog",
     "default_template",
     "execute_rebalance",
@@ -181,6 +197,7 @@ __all__ = [
     "make_store",
     "make_strategy",
     "merge_views",
+    "node_seed",
     "plan_rebalance",
     "recover_cluster",
     "tree_merge",

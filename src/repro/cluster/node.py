@@ -327,6 +327,47 @@ class IngestNode:
         self._buffered = 0
         self._bank = bank
 
+    # ------------------------------------------------------------------
+    # volatile-state transfer (process deployment)
+    # ------------------------------------------------------------------
+    def export_volatile(self) -> dict[str, Any]:
+        """The node's state a bank checkpoint does *not* carry, JSON-safe.
+
+        A checkpoint captures the flushed bank; the coalescing buffer
+        and the lifetime stats live outside it.  The process transport
+        (:mod:`repro.cluster.transport`) ships both halves together —
+        checkpoint line plus this document — so a coordinator mirror
+        and a worker replica can exchange a node's exact state.
+
+        >>> node = IngestNode(0, CounterTemplate("exact"), seed=1)
+        >>> node.submit(KeyedEvent("a", 3))
+        >>> node.export_volatile()["buffer"]
+        {'a': 3}
+        """
+        return {
+            "buffer": dict(self._buffer),
+            "buffered": self._buffered,
+            "stats": {
+                "events_ingested": self.events_ingested,
+                "events_coalesced": self.events_coalesced,
+                "n_flushes": self.n_flushes,
+            },
+        }
+
+    def install_volatile(self, state: Mapping[str, Any]) -> None:
+        """Install an :meth:`export_volatile` document verbatim.
+
+        Overwrites the buffer and lifetime stats; the caller pairs this
+        with :meth:`adopt_bank` to transplant a node's full state.
+        """
+        buffer = state["buffer"]
+        self._buffer = {str(key): int(count) for key, count in buffer.items()}
+        self._buffered = int(state["buffered"])
+        stats = state["stats"]
+        self.events_ingested = int(stats["events_ingested"])
+        self.events_coalesced = int(stats["events_coalesced"])
+        self.n_flushes = int(stats["n_flushes"])
+
     def reset(self, window: int = 1) -> None:
         """Start a new counting window: drop the buffer, fresh empty bank.
 

@@ -5,18 +5,30 @@ owns the *delivery* of a routed stream — everything between "the next
 :class:`~repro.stream.workload.KeyedEvent` exists" and "its owning
 :class:`~repro.cluster.node.IngestNode` has buffered it" — while the
 simulation keeps owning routing, checkpoints, crashes, scale events,
-and retention.  Two plans ship:
+and retention.  Three plans ship, selected by name through
+``PLAN_REGISTRY`` (``ClusterConfig.plan``; the default ``"auto"``
+keeps the historical worker-count rule):
 
-* :class:`SerialPlan` (the default, ``ingest_workers=1``) — the
-  historical single-threaded loop, extracted verbatim.  Route, append
-  to the WAL, submit, maybe checkpoint, one event at a time.
-* :class:`ParallelPlan` (``ingest_workers > 1``) — worker-sharded
-  delivery.  The coordinator thread routes every event in stream order
-  (hot-key round-robin cursors and topology epochs stay sequential),
+* :class:`SerialPlan` (``"serial"``) — the historical single-threaded
+  loop, extracted verbatim.  Route, append to the WAL, submit, maybe
+  checkpoint, one event at a time.
+* :class:`ParallelPlan` (``"parallel"``) — worker-sharded delivery.
+  The coordinator thread routes every event in stream order (hot-key
+  round-robin cursors and topology epochs stay sequential),
   accumulates per-node batches of ``delivery_batch`` events, and hands
   each batch to a ``ThreadPoolExecutor`` worker that appends the
   events to the node's write-ahead log and applies them to the node's
   coalescing buffer.
+* :class:`ProcessPlan` (``"process"``) — one OS worker process per
+  node (a :class:`WorkerFleet` of ``python -m repro.cluster.worker``
+  subprocesses fed over the checksummed frame protocol of
+  :mod:`repro.cluster.transport`).  The coordinator still routes in
+  stream order and keeps ALL durable state — WAL appends at route
+  time, checkpoint saves (captured *in* the worker via the fence
+  handshake), migration journal, manifest — so ``recover_cluster``
+  and the torn-fence protocol apply unchanged; its in-process nodes
+  become passive mirrors, resynced from worker snapshots at every
+  barrier.  Scheduled crashes really ``SIGKILL`` the worker.
 
 Why the parallel plan is bit-identical to the serial one
 --------------------------------------------------------
@@ -65,13 +77,21 @@ throughput`` measures exactly this).
 from __future__ import annotations
 
 import abc
+import os
+import subprocess
+import sys
 from collections import defaultdict
 from concurrent.futures import Future, ThreadPoolExecutor
 from threading import Lock
 from time import perf_counter
-from typing import TYPE_CHECKING, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
 
+from repro.cluster.checkpoint import BankCheckpoint
+from repro.cluster.node import IngestNode
+from repro.cluster.rebalance import MigrationBatch
+from repro.cluster.transport import FrameStream
 from repro.errors import ParameterError, StateError
+from repro.obs import Telemetry
 from repro.stream.workload import KeyedEvent
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
@@ -82,7 +102,17 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
         ScaleEvent,
     )
 
-__all__ = ["ExecutionPlan", "SerialPlan", "ParallelPlan", "make_plan"]
+__all__ = [
+    "ExecutionPlan",
+    "SerialPlan",
+    "ParallelPlan",
+    "ProcessPlan",
+    "WorkerFleet",
+    "PLAN_NAMES",
+    "PLAN_REGISTRY",
+    "make_plan",
+    "worker_environment",
+]
 
 
 def _index_schedule(
@@ -352,12 +382,496 @@ class ParallelPlan(ExecutionPlan):
                 raise
 
 
+def worker_environment() -> dict[str, str]:
+    """Environment for a worker subprocess: this ``repro`` on the path.
+
+    Prepends the package root the coordinator imported ``repro`` from,
+    so ``python -m repro.cluster.worker`` resolves to the same code in
+    a test checkout, an installed package, or a tox venv.
+    """
+    import repro
+
+    root = os.path.dirname(
+        os.path.dirname(os.path.abspath(repro.__file__))
+    )
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = (
+        root + os.pathsep + existing if existing else root
+    )
+    return env
+
+
+class WorkerFleet:
+    """The coordinator's handle on a set of per-node worker processes.
+
+    One pipe-mode ``python -m repro.cluster.worker`` subprocess per
+    live node, addressed by node id.  The fleet speaks
+    :mod:`repro.cluster.transport` frames and knows nothing about
+    stream order or checkpoint policy — that is :class:`ProcessPlan`'s
+    job; the fleet just moves state and batches between the
+    coordinator's mirror nodes and the workers that own the live
+    banks.
+    """
+
+    def __init__(self, timed: bool = False) -> None:
+        self._timed = timed
+        self._procs: dict[int, subprocess.Popen[bytes]] = {}
+        self._streams: dict[int, FrameStream] = {}
+
+    def node_ids(self) -> list[int]:
+        """Ids with a live worker, ascending."""
+        return sorted(self._streams)
+
+    def spawn(self, node: IngestNode) -> None:
+        """Launch and init one worker as a bit-copy of ``node``'s
+        construction parameters (the live bank seed carries incarnation
+        and window derivations with it)."""
+        if node.node_id in self._streams:
+            raise StateError(
+                f"node {node.node_id} already has a worker process"
+            )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cluster.worker"],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            env=worker_environment(),
+        )
+        stream = FrameStream(proc.stdout, proc.stdin)
+        try:
+            stream.request(
+                "init",
+                "ok",
+                node_id=node.node_id,
+                template=node.template.to_dict(),
+                seed=node.bank.seed,
+                buffer_limit=node.buffer_limit,
+                track_truth=node.bank.tracks_truth,
+                timed=self._timed,
+            )
+        except BaseException:
+            proc.kill()
+            proc.wait()
+            stream.close()
+            raise
+        self._procs[node.node_id] = proc
+        self._streams[node.node_id] = stream
+
+    def deliver(
+        self, node_id: int, batch: Sequence[KeyedEvent]
+    ) -> None:
+        """Ship one routed batch (pipelined: no reply expected)."""
+        self._streams[node_id].send(
+            "deliver_batch",
+            events=[[event.key, event.count] for event in batch],
+        )
+
+    def drain(self, node_id: int) -> None:
+        """Sync handshake: every shipped frame has been applied."""
+        self._streams[node_id].request("drain", "drain_ack")
+
+    def checkpoint(
+        self,
+        node_id: int,
+        meta: dict[str, Any],
+        topology: dict[str, Any],
+    ) -> str:
+        """Run the flush-and-capture half of a checkpoint in the
+        worker; returns the encoded line for the coordinator to save."""
+        reply = self._streams[node_id].request(
+            "checkpoint_fence",
+            "checkpoint_reply",
+            meta=meta,
+            topology=topology,
+        )
+        return str(reply["line"])
+
+    def pull(self, node_id: int, mirror: IngestNode) -> None:
+        """Flush the worker and adopt its full state into ``mirror``."""
+        reply = self._streams[node_id].request(
+            "snapshot_request", "snapshot_reply", flush=True
+        )
+        mirror.adopt_bank(BankCheckpoint.decode(reply["line"]).restore())
+        mirror.install_volatile(reply["volatile"])
+
+    def pull_all(self, mirrors: dict[int, IngestNode]) -> None:
+        """Barrier pull: request every snapshot first (workers flush
+        concurrently), then collect and adopt in id order."""
+        ids = self.node_ids()
+        for node_id in ids:
+            self._streams[node_id].send("snapshot_request", flush=True)
+        for node_id in ids:
+            reply = self._streams[node_id].expect("snapshot_reply")
+            mirror = mirrors[node_id]
+            mirror.adopt_bank(
+                BankCheckpoint.decode(reply["line"]).restore()
+            )
+            mirror.install_volatile(reply["volatile"])
+
+    def push(self, node_id: int, mirror: IngestNode) -> None:
+        """Install ``mirror``'s full state into the worker (crash
+        recovery, window reset)."""
+        line = BankCheckpoint.capture(
+            mirror.bank, mirror.template, meta={"transfer": True}
+        ).encode()
+        self._streams[node_id].request(
+            "adopt_state",
+            "ok",
+            line=line,
+            volatile=mirror.export_volatile(),
+        )
+
+    def ship_batch(
+        self,
+        line: str,
+        seed: int,
+        mirrors: dict[int, IngestNode],
+    ) -> None:
+        """Replicate one migration batch into the fleet, in lockstep
+        with the coordinator's in-process rebalance.
+
+        The source worker drains the moved keys (discarding its reply
+        — the coordinator's line is the authoritative wire record);
+        the target worker absorbs the coordinator's line on the same
+        ``(seed, epoch, key)``-derived streams as the mirror.  A
+        scale-up target without a worker yet is spawned lazily and
+        synced from its mirror first, covering batches the mirror
+        already absorbed.
+        """
+        batch = MigrationBatch.decode(line)
+        if batch.source in self._streams:
+            self._streams[batch.source].request(
+                "migrate_out",
+                "migrate_reply",
+                keys=sorted(batch.snapshots),
+                target=batch.target,
+                epoch=batch.epoch,
+            )
+        if batch.target not in self._streams:
+            self.spawn(mirrors[batch.target])
+            self.push(batch.target, mirrors[batch.target])
+        self._streams[batch.target].request(
+            "absorb", "ok", line=line, seed=seed
+        )
+
+    def kill(self, node_id: int) -> None:
+        """SIGKILL one worker — the real crash injection."""
+        proc = self._procs.pop(node_id)
+        stream = self._streams.pop(node_id)
+        proc.kill()
+        proc.wait()
+        stream.close()
+
+    def collect_metrics(
+        self, node_id: int, telemetry: Telemetry
+    ) -> None:
+        """Pull one worker's stage timings into the facade."""
+        reply = self._streams[node_id].request(
+            "metrics_pull", "metrics_reply"
+        )
+        telemetry.absorb_stages(reply["stages"])
+
+    def shutdown(self, node_id: int) -> None:
+        """Clean protocol exit for one worker."""
+        proc = self._procs.pop(node_id)
+        stream = self._streams.pop(node_id)
+        try:
+            stream.send("shutdown")
+            stream.expect("bye")
+        finally:
+            stream.close()
+            proc.wait()
+
+    def reconcile(
+        self, mirrors: dict[int, IngestNode], telemetry: Telemetry
+    ) -> None:
+        """Match the fleet to the live topology after a scale event:
+        retire workers whose nodes left (salvaging their stage
+        timings), spawn workers for nodes that joined."""
+        live = set(mirrors)
+        for node_id in sorted(set(self._streams) - live):
+            self.collect_metrics(node_id, telemetry)
+            self.shutdown(node_id)
+        for node_id in sorted(live - set(self._streams)):
+            self.spawn(mirrors[node_id])
+
+    def shutdown_all(self, telemetry: Telemetry) -> None:
+        """End-of-stream teardown: salvage metrics, then clean exits."""
+        for node_id in self.node_ids():
+            self.collect_metrics(node_id, telemetry)
+        for node_id in self.node_ids():
+            self.shutdown(node_id)
+
+    def terminate(self) -> None:
+        """Hard unwind (exception path): SIGKILL everything left."""
+        for node_id in sorted(self._procs):
+            proc = self._procs.pop(node_id)
+            stream = self._streams.pop(node_id)
+            proc.kill()
+            proc.wait()
+            stream.close()
+
+
+class ProcessPlan(ExecutionPlan):
+    """One OS process per node behind the checksummed wire protocol.
+
+    The coordinator keeps the exact sequential skeleton of the other
+    plans — it routes every event in stream order, appends it to the
+    node's write-ahead log, and decides checkpoints from its own
+    delivered-count bookkeeping — but delivery batches ship over pipes
+    to per-node worker subprocesses (:mod:`repro.cluster.worker`),
+    each owning the node's live bank.  The coordinator's
+    ``simulation`` nodes become *mirrors*: passive twins synced from
+    the workers at every barrier, which is what lets checkpoints,
+    migrations, retention collapses, and crash recovery reuse the
+    simulation's existing code paths unchanged.
+
+    Division of authority:
+
+    * **Workers** own compute state: bank, coalescing buffer, lifetime
+      stats.  Frames per node arrive in stream order, so each worker
+      replays exactly the serial loop's per-node sub-stream.
+    * **The coordinator** owns all durable state: it WAL-appends every
+      routed event (so recovery is complete without trusting a
+      worker), saves checkpoint lines (captured *in* the worker via
+      the :meth:`~repro.cluster.simulation.ClusterSimulation.
+      set_checkpoint_capture` delegate), journals migration batches,
+      and writes the manifest — ``recover_cluster`` and the torn-fence
+      protocol are untouched.
+
+    Crash injection is real: a scheduled failure SIGKILLs the worker
+    process, the simulation recovers the mirror by the standard
+    checkpoint + WAL-replay path, and a fresh worker is spawned and
+    seeded with the recovered state.  On ``exact`` templates every
+    sync point is bit-identical to the serial loop (RNG-free
+    operations on identical state), so a process run's fingerprint
+    equals the serial run's at the same seed — crashes, migrations,
+    and retention included (pinned in
+    ``tests/cluster/test_pipeline.py``).
+
+    Unlike :class:`ParallelPlan` (which only overlaps GIL-releasing
+    fsync stalls), worker processes run counter updates on separate
+    interpreters — CPU-bound templates scale with cores.
+    """
+
+    name = "process"
+
+    def __init__(self, delivery_batch: int = 64) -> None:
+        if delivery_batch < 1:
+            raise ParameterError(
+                f"delivery_batch must be >= 1, got {delivery_batch}"
+            )
+        self._delivery_batch = delivery_batch
+
+    @property
+    def delivery_batch(self) -> int:
+        """Routed events accumulated per node before dispatch."""
+        return self._delivery_batch
+
+    def execute(
+        self,
+        simulation: "ClusterSimulation",
+        events: Iterable[KeyedEvent],
+    ) -> None:
+        config = simulation.config
+        if config.aggregation == "gossip":  # pragma: no cover
+            raise StateError(
+                "ProcessPlan does not support gossip aggregation "
+                "(refused at ClusterConfig construction)"
+            )
+        scales, failures = _index_schedule(config)
+        retention = config.retention
+        segment = config.wal_segment_events
+        wal = simulation.store.wal
+        telemetry = simulation.telemetry
+        timed = telemetry.enabled
+        route_timer = telemetry.stage_timer() if timed else None
+
+        #: node id -> routed-but-unshipped events, in stream order.
+        pending: dict[int, list[KeyedEvent]] = defaultdict(list)
+        #: Coordinator's mirror of each node's retained WAL length
+        #: (see ParallelPlan) — drives the forced segment fence.
+        retained: dict[int, int] = {}
+        fleet = WorkerFleet(timed=timed)
+
+        def mirrors() -> dict[int, IngestNode]:
+            return {node.node_id: node for node in simulation.nodes}
+
+        def refresh_retained() -> None:
+            retained.clear()
+            for node in simulation.nodes:
+                retained[node.node_id] = wal.retained_events(
+                    node.node_id
+                )
+
+        def dispatch(node_id: int) -> None:
+            batch = pending[node_id]
+            if batch:
+                pending[node_id] = []
+                fleet.deliver(node_id, batch)
+
+        def dispatch_all() -> None:
+            for node_id in sorted(pending):
+                dispatch(node_id)
+
+        def pull_all() -> None:
+            dispatch_all()
+            fleet.pull_all(mirrors())
+
+        def capture_in_worker(
+            node_id: int,
+            meta: dict[str, Any],
+            topology: dict[str, Any],
+        ) -> str:
+            return fleet.checkpoint(node_id, meta, topology)
+
+        def barrier(
+            boundary: bool,
+            position_scales: Sequence["ScaleEvent"],
+            position_failures: Sequence["NodeFailure"],
+        ) -> None:
+            """Run scheduled cluster operations at a drained position.
+
+            Boundary collapses and scale events first sync the mirrors
+            from the workers (pull-with-flush — the same stream
+            position where the serial loop flushes), then run the
+            simulation's own operation against the mirrors with the
+            worker capture delegate *off* (the mirrors are the ground
+            truth at a synced barrier), then re-sync the fleet.
+            Crashes skip the pull on purpose: the WAL is the
+            authoritative replay source, exactly as in a real death.
+            """
+            if boundary or position_scales:
+                pull_all()
+            simulation.set_checkpoint_capture(None)
+            try:
+                if boundary:
+                    simulation.collapse_window()
+                    # Every mirror was reset onto a fresh
+                    # window-derived seed; push the reset state so
+                    # workers resume bit-aligned (a full resync point
+                    # even on approximate templates).
+                    current = mirrors()
+                    for node_id in fleet.node_ids():
+                        fleet.push(node_id, current[node_id])
+                for scale in position_scales:
+                    simulation.set_migration_observer(
+                        lambda line: fleet.ship_batch(
+                            line, config.seed, mirrors()
+                        )
+                    )
+                    try:
+                        simulation.apply_scale(scale)
+                    finally:
+                        simulation.set_migration_observer(None)
+                    fleet.reconcile(mirrors(), telemetry)
+                for failure in position_failures:
+                    node_id = failure.node_id
+                    # Events already routed to the doomed node are in
+                    # its WAL — recovery replays them into the mirror,
+                    # so shipping them post-respawn would double-count.
+                    pending[node_id].clear()
+                    fleet.kill(node_id)
+                    simulation.apply_failure(failure)
+                    mirror = mirrors()[node_id]
+                    fleet.spawn(mirror)
+                    fleet.push(node_id, mirror)
+            finally:
+                simulation.set_checkpoint_capture(capture_in_worker)
+            refresh_retained()
+
+        for node in simulation.nodes:
+            fleet.spawn(node)
+        refresh_retained()
+        simulation.set_checkpoint_capture(capture_in_worker)
+        try:
+            position = 0
+            for event in events:
+                boundary = (
+                    retention is not None
+                    and retention.is_boundary(position)
+                )
+                position_scales = scales.get(position, ())
+                position_failures = failures.get(position, ())
+                if boundary or position_scales or position_failures:
+                    barrier(
+                        boundary, position_scales, position_failures
+                    )
+                if timed:
+                    started = perf_counter()
+                    node_id = simulation.route_event(event)
+                    routed = perf_counter()
+                    wal.append(node_id, event)
+                    appended = perf_counter()
+                    route_timer.add("route", routed - started)
+                    route_timer.add("deliver", appended - routed)
+                else:
+                    node_id = simulation.route_event(event)
+                    wal.append(node_id, event)
+                pending[node_id].append(event)
+                retained[node_id] = retained.get(node_id, 0) + 1
+                checkpoint_due = simulation.record_delivery(
+                    node_id, event.count
+                )
+                if checkpoint_due or (
+                    segment is not None
+                    and retained[node_id] >= segment
+                ):
+                    # Per-node fence: drain this worker, then the
+                    # checkpoint captures inside it via the delegate.
+                    dispatch(node_id)
+                    fleet.drain(node_id)
+                    simulation.checkpoint_node(node_id)
+                    retained[node_id] = 0
+                elif len(pending[node_id]) >= self._delivery_batch:
+                    dispatch(node_id)
+                position += 1
+            # End of stream: flush the fleet into the mirrors at the
+            # same point the serial loop runs its final flush, salvage
+            # the workers' stage timings, and exit cleanly.
+            pull_all()
+            fleet.shutdown_all(telemetry)
+        except BaseException:
+            fleet.terminate()
+            raise
+        finally:
+            simulation.set_checkpoint_capture(None)
+            simulation.set_migration_observer(None)
+
+
+#: Execution-plan registry: name -> factory over the cluster config.
+PLAN_REGISTRY: dict[
+    str, Callable[["ClusterConfig"], ExecutionPlan]
+] = {
+    "serial": lambda config: SerialPlan(),
+    "parallel": lambda config: ParallelPlan(
+        config.ingest_workers, config.delivery_batch
+    ),
+    "process": lambda config: ProcessPlan(config.delivery_batch),
+}
+
+#: Valid explicit plan names (``"auto"`` additionally resolves by
+#: worker count), for CLI choices and error messages.
+PLAN_NAMES: tuple[str, ...] = tuple(sorted(PLAN_REGISTRY))
+
+
 def make_plan(config: "ClusterConfig") -> ExecutionPlan:
     """The execution plan a config asks for.
 
-    ``ingest_workers=1`` (the default) keeps the serial loop — the
-    reference semantics every other plan must reproduce bit for bit.
+    ``plan="auto"`` (the default) keeps the historical rule: the
+    serial loop at ``ingest_workers=1`` — the reference semantics
+    every other plan must reproduce bit for bit — and the thread
+    parallel plan above.  Explicit names resolve through
+    :data:`PLAN_REGISTRY`; unknown names fail loudly with the valid
+    choices.
     """
-    if config.ingest_workers <= 1:
-        return SerialPlan()
-    return ParallelPlan(config.ingest_workers, config.delivery_batch)
+    name = config.plan
+    if name == "auto":
+        name = "serial" if config.ingest_workers <= 1 else "parallel"
+    factory = PLAN_REGISTRY.get(name)
+    if factory is None:
+        known = ", ".join(("auto", *PLAN_NAMES))
+        raise ParameterError(
+            f"unknown execution plan {name!r}; known: {known}"
+        )
+    return factory(config)

@@ -51,6 +51,8 @@ __all__ = [
     "RebalancePlan",
     "MigrationBatch",
     "RebalanceReport",
+    "absorb_batch",
+    "migrated_counter",
     "plan_rebalance",
     "execute_rebalance",
 ]
@@ -257,10 +259,56 @@ def _restore(snapshot: CounterSnapshot, seed: int) -> ApproximateCounter:
     return counter
 
 
+def migrated_counter(
+    snapshot: CounterSnapshot,
+    key: str,
+    seed: int = 0,
+    epoch: int = 0,
+) -> ApproximateCounter:
+    """Restore one migrated counter on its migration-derived stream.
+
+    The seed derives from ``(seed, epoch, key)`` — the same convention
+    :func:`execute_rebalance` uses — so any replayer of a
+    :class:`MigrationBatch` line (the in-process rebalance, a worker
+    process absorbing an ``absorb`` frame, or crash recovery replaying
+    the migration journal) rebuilds bit-identical counters.
+    """
+    return _restore(
+        snapshot,
+        seed=derive_seed(
+            seed, _MIGRATE_SEED_KEY, epoch, stable_key_hash(key)
+        ),
+    )
+
+
+def absorb_batch(
+    batch: MigrationBatch, destination: IngestNode, seed: int = 0
+) -> int:
+    """Merge one decoded batch into its destination node; returns keys.
+
+    The inner half of :func:`execute_rebalance`, shared with the worker
+    process (``absorb`` frames) and journal-replay recovery so all
+    three absorb identically.
+    """
+    for key in sorted(batch.snapshots):
+        counter = migrated_counter(
+            batch.snapshots[key], key, seed=seed, epoch=batch.epoch
+        )
+        destination.absorb(
+            key,
+            counter,
+            truth=(
+                batch.truth[key] if batch.truth is not None else None
+            ),
+        )
+    return len(batch)
+
+
 def execute_rebalance(
     plan: RebalancePlan,
     nodes: Mapping[int, IngestNode],
     seed: int = 0,
+    on_batch: Callable[[str], None] | None = None,
 ) -> RebalanceReport:
     """Drain, ship, and merge every move in ``plan``.
 
@@ -272,6 +320,11 @@ def execute_rebalance(
     distribution-exact (Remark 2.4), so ground truth and accuracy are
     both preserved — the invariant ``tests/cluster/test_rebalance.py``
     pins down.
+
+    ``on_batch`` observes each encoded wire line *after the source
+    drain and before the destination absorb* — the simulation journals
+    the line durably there (so a death mid-migration is recoverable)
+    and the process plan ships it to the worker fleet.
 
     Returns
     -------
@@ -306,28 +359,10 @@ def execute_rebalance(
         line = batch.encode()
         n_batches += 1
         total_bytes += len(line.encode("utf-8"))
+        if on_batch is not None:
+            on_batch(line)
         received = MigrationBatch.decode(line)
-        destination = nodes[target]
-        for key in sorted(received.snapshots):
-            counter = _restore(
-                received.snapshots[key],
-                seed=derive_seed(
-                    seed,
-                    _MIGRATE_SEED_KEY,
-                    plan.epoch,
-                    stable_key_hash(key),
-                ),
-            )
-            destination.absorb(
-                key,
-                counter,
-                truth=(
-                    received.truth[key]
-                    if received.truth is not None
-                    else None
-                ),
-            )
-        keys_moved += len(received)
+        keys_moved += absorb_batch(received, nodes[target], seed=seed)
     return RebalanceReport(
         epoch=plan.epoch,
         keys_moved=keys_moved,

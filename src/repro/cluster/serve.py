@@ -1,0 +1,361 @@
+"""``cluster serve``: worker daemons with a managed lifecycle.
+
+The process execution plan (:class:`~repro.cluster.pipeline.
+ProcessPlan`) spawns its workers as children for the duration of one
+run.  This module is the other deployment shape: *long-running* worker
+daemons, one per node, listening on Unix sockets under the cluster
+storage directory — brought up, inspected, and torn down by the
+``cluster serve up | ps | status | down`` CLI subcommands.
+
+Layout under ``<root>/serve/``::
+
+    fleet.json        what was launched (template, seed, worker table)
+    node-<id>.sock    the worker's Unix listening socket
+    node-<id>.pid     written by the worker *after* bind — readiness
+    node-<id>.log     the worker's captured stderr
+
+Every worker is a ``python -m repro.cluster.worker --listen ...``
+daemon (``start_new_session=True``, so it outlives the CLI process)
+seeded with :func:`~repro.cluster.simulation.node_seed` — the same
+derivation the in-process simulation uses, so state moves freely
+between deployment modes.  The pidfile doubles as the readiness
+marker: the worker writes it only once its socket is bound and
+accepting, which is what :func:`fleet_up` polls for.
+
+Lifecycle contract:
+
+* ``up`` refuses to run while a ``fleet.json`` exists — a half-dead
+  fleet is ``down``'s job to clean up, not ``up``'s to silently
+  replace.
+* ``down`` prefers the protocol (``shutdown`` → ``bye``, the worker
+  unlinks its own socket and pidfile), then escalates to ``SIGTERM``
+  and finally ``SIGKILL``, and always removes ``fleet.json`` so the
+  next ``up`` can proceed.  Logs are kept.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.cluster.node import CounterTemplate
+from repro.cluster.pipeline import worker_environment
+from repro.cluster.simulation import node_seed
+from repro.cluster.transport import FrameStream
+from repro.errors import ParameterError, StateError
+
+__all__ = [
+    "fleet_down",
+    "fleet_paths",
+    "fleet_ps",
+    "fleet_status",
+    "fleet_up",
+    "load_fleet",
+]
+
+_FLEET_FILE = "fleet.json"
+_POLL_S = 0.05
+
+
+def fleet_paths(root: str | Path) -> Path:
+    """The serve directory under a cluster storage root."""
+    return Path(root) / "serve"
+
+
+def _worker_paths(base: Path, node_id: int) -> tuple[Path, Path, Path]:
+    stem = f"node-{node_id}"
+    return (
+        base / f"{stem}.sock",
+        base / f"{stem}.pid",
+        base / f"{stem}.log",
+    )
+
+
+def _pid_alive(pid: int) -> bool:
+    # When the worker is our own child (the launching process is still
+    # around), a dead worker lingers as a zombie that signal 0 would
+    # report alive — reap it first.  ECHILD means it was launched by
+    # another process (the normal daemon case); signal 0 decides then.
+    try:
+        reaped, _ = os.waitpid(pid, os.WNOHANG)
+        if reaped == pid:
+            return False
+    except ChildProcessError:
+        pass
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, not ours
+        return True
+    return True
+
+
+def _read_pid(pidfile: Path) -> int | None:
+    try:
+        text = pidfile.read_text(encoding="utf-8").strip()
+    except OSError:
+        return None
+    return int(text) if text.isdigit() else None
+
+
+def load_fleet(root: str | Path) -> dict[str, Any]:
+    """The ``fleet.json`` record of the fleet launched under ``root``."""
+    path = fleet_paths(root) / _FLEET_FILE
+    try:
+        text = path.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        raise StateError(
+            f"no fleet is recorded under {path.parent} — "
+            "run 'cluster serve up' first"
+        )
+    return json.loads(text)
+
+
+def fleet_up(
+    root: str | Path,
+    n_nodes: int,
+    template: CounterTemplate,
+    seed: int = 0,
+    buffer_limit: int = 512,
+    track_truth: bool = True,
+    timeout: float = 10.0,
+) -> list[dict[str, Any]]:
+    """Launch one worker daemon per node; returns the worker table.
+
+    Blocks until every worker's pidfile appears (socket bound and
+    accepting) or ``timeout`` seconds pass — on timeout the stragglers
+    are killed and the launch fails whole, pointing at the dead
+    worker's log.
+    """
+    if n_nodes < 1:
+        raise ParameterError(f"n_nodes must be >= 1, got {n_nodes}")
+    base = fleet_paths(root)
+    base.mkdir(parents=True, exist_ok=True)
+    if (base / _FLEET_FILE).exists():
+        raise StateError(
+            f"a fleet is already recorded in {base / _FLEET_FILE} — "
+            "run 'cluster serve down' before launching another"
+        )
+    template_json = json.dumps(
+        template.to_dict(), sort_keys=True, allow_nan=False
+    )
+    workers: list[dict[str, Any]] = []
+    launched: list[subprocess.Popen[bytes]] = []
+    try:
+        for node_id in range(n_nodes):
+            sock_path, pid_path, log_path = _worker_paths(base, node_id)
+            for stale in (sock_path, pid_path):
+                stale.unlink(missing_ok=True)
+            command = [
+                sys.executable,
+                "-m",
+                "repro.cluster.worker",
+                "--listen",
+                str(sock_path),
+                "--pidfile",
+                str(pid_path),
+                "--node-id",
+                str(node_id),
+                "--template-json",
+                template_json,
+                "--seed",
+                str(node_seed(seed, node_id)),
+                "--buffer-limit",
+                str(buffer_limit),
+            ]
+            if not track_truth:
+                command.append("--no-track-truth")
+            with open(log_path, "ab") as log:
+                process = subprocess.Popen(
+                    command,
+                    stdin=subprocess.DEVNULL,
+                    stdout=log,
+                    stderr=log,
+                    env=worker_environment(),
+                    start_new_session=True,
+                )
+            launched.append(process)
+            workers.append(
+                {
+                    "node": node_id,
+                    "pid": process.pid,
+                    "socket": str(sock_path),
+                    "pidfile": str(pid_path),
+                    "log": str(log_path),
+                }
+            )
+        deadline = time.monotonic() + timeout
+        for record in workers:
+            pid_path = Path(record["pidfile"])
+            while not pid_path.exists():
+                if time.monotonic() > deadline:
+                    raise StateError(
+                        f"worker for node {record['node']} did not "
+                        f"become ready within {timeout:g}s — see "
+                        f"{record['log']}"
+                    )
+                time.sleep(_POLL_S)
+    except BaseException:
+        for process in launched:
+            process.kill()
+            process.wait()
+        for record in workers:
+            Path(record["pidfile"]).unlink(missing_ok=True)
+            Path(record["socket"]).unlink(missing_ok=True)
+        raise
+    payload = {
+        "version": 1,
+        "seed": seed,
+        "n_nodes": n_nodes,
+        "template": template.to_dict(),
+        "buffer_limit": buffer_limit,
+        "track_truth": track_truth,
+        "workers": workers,
+    }
+    (base / _FLEET_FILE).write_text(
+        json.dumps(payload, sort_keys=True, allow_nan=False, indent=2)
+        + "\n",
+        encoding="utf-8",
+    )
+    return workers
+
+
+def fleet_ps(root: str | Path) -> list[dict[str, Any]]:
+    """One row per launched worker: liveness from pidfile + signal 0."""
+    fleet = load_fleet(root)
+    rows = []
+    for record in fleet["workers"]:
+        pid = _read_pid(Path(record["pidfile"]))
+        if pid is None:
+            pid, state = record["pid"], "stopped"
+        else:
+            state = "running" if _pid_alive(pid) else "stopped"
+        rows.append(
+            {
+                "node": record["node"],
+                "pid": pid,
+                "state": state,
+                "socket": record["socket"],
+                "log": record["log"],
+            }
+        )
+    return rows
+
+
+def _connect(record: dict[str, Any], timeout: float) -> FrameStream:
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.settimeout(timeout)
+    try:
+        sock.connect(record["socket"])
+    except OSError:
+        sock.close()
+        raise
+    stream = FrameStream.from_socket(sock)
+    sock.close()  # the stream's file objects keep the fd alive
+    return stream
+
+
+def fleet_status(
+    root: str | Path, timeout: float = 5.0
+) -> list[dict[str, Any]]:
+    """One row per worker, filled by a live ``ping`` over its socket."""
+    fleet = load_fleet(root)
+    rows = []
+    for record in fleet["workers"]:
+        row: dict[str, Any] = {"node": record["node"]}
+        try:
+            stream = _connect(record, timeout)
+        except OSError as exc:
+            row.update(state="unreachable", error=str(exc))
+            rows.append(row)
+            continue
+        try:
+            pong = stream.request("ping", "pong")
+        except (StateError, OSError) as exc:
+            row.update(state="unreachable", error=str(exc))
+        else:
+            row.update(
+                state="running",
+                pid=pong["pid"],
+                keys=pong["keys"],
+                pending=pong["pending"],
+                events_ingested=pong["events_ingested"],
+            )
+        finally:
+            stream.close()
+        rows.append(row)
+    return rows
+
+
+def fleet_down(
+    root: str | Path, timeout: float = 10.0
+) -> list[dict[str, Any]]:
+    """Stop every worker and forget the fleet; returns outcome rows.
+
+    Per worker: protocol shutdown first (the worker unlinks its own
+    socket and pidfile), then ``SIGTERM``, then ``SIGKILL`` — each
+    escalation only after the previous one failed to end the process
+    within its share of ``timeout``.  Always removes ``fleet.json``.
+    """
+    base = fleet_paths(root)
+    fleet = load_fleet(root)
+    rows = []
+    for record in fleet["workers"]:
+        node_id = record["node"]
+        pid = _read_pid(Path(record["pidfile"])) or record["pid"]
+        if not _pid_alive(pid):
+            outcome = "already stopped"
+        else:
+            outcome = _stop_worker(record, pid, timeout)
+        Path(record["socket"]).unlink(missing_ok=True)
+        Path(record["pidfile"]).unlink(missing_ok=True)
+        rows.append({"node": node_id, "pid": pid, "state": outcome})
+    (base / _FLEET_FILE).unlink(missing_ok=True)
+    return rows
+
+
+def _stop_worker(
+    record: dict[str, Any], pid: int, timeout: float
+) -> str:
+    """Protocol shutdown → SIGTERM → SIGKILL; returns how it ended."""
+    share = max(timeout / 2, _POLL_S)
+    try:
+        stream = _connect(record, share)
+        try:
+            stream.send("shutdown")
+            stream.expect("bye")
+        finally:
+            stream.close()
+    except (StateError, OSError):
+        pass
+    else:
+        if _wait_dead(pid, share):
+            return "stopped"
+    for sig, outcome in (
+        (signal.SIGTERM, "terminated"),
+        (signal.SIGKILL, "killed"),
+    ):
+        try:
+            os.kill(pid, sig)
+        except ProcessLookupError:
+            return "stopped"
+        if _wait_dead(pid, share):
+            return outcome
+    return "killed"  # pragma: no cover - SIGKILL cannot be refused
+
+
+def _wait_dead(pid: int, timeout: float) -> bool:
+    deadline = time.monotonic() + timeout
+    while _pid_alive(pid):
+        if time.monotonic() > deadline:
+            return False
+        time.sleep(_POLL_S)
+    return True

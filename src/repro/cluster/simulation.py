@@ -115,7 +115,7 @@ from __future__ import annotations
 import time
 from collections import deque
 from dataclasses import asdict, dataclass, field
-from typing import Any, Iterable
+from typing import Any, Callable, Iterable
 
 from repro.cluster.aggregator import (
     GlobalView,
@@ -129,8 +129,13 @@ from repro.cluster.membership import (
     FailureDetector,
 )
 from repro.cluster.node import CounterTemplate, IngestNode, default_template
-from repro.cluster.pipeline import make_plan
-from repro.cluster.rebalance import execute_rebalance, plan_rebalance
+from repro.cluster.pipeline import PLAN_NAMES, make_plan
+from repro.cluster.rebalance import (
+    MigrationBatch,
+    absorb_batch,
+    execute_rebalance,
+    plan_rebalance,
+)
 from repro.cluster.retention import RetentionPolicy
 from repro.cluster.router import (
     ROUTING_STRATEGIES,
@@ -156,11 +161,26 @@ __all__ = [
     "NodeStats",
     "SimulationResult",
     "ClusterSimulation",
+    "node_seed",
     "recover_cluster",
 ]
 
 _NODE_SEED_KEY = 0x6E6F6465  # "node"
 _ROUTER_SEED_KEY = 0x726F7574  # "rout"
+
+
+def node_seed(
+    config_seed: int, node_id: int, incarnation: int = 0
+) -> int:
+    """The bank seed of ``node_id`` at ``incarnation``.
+
+    The one derivation every deployment mode shares: in-process nodes
+    (:meth:`ClusterSimulation._fresh_node`), crash recovery
+    (incarnation bumps), and ``cluster serve`` worker daemons
+    (:mod:`repro.cluster.serve`) all seed their banks here, which is
+    what lets state captured in one mode be adopted in another.
+    """
+    return derive_seed(config_seed, _NODE_SEED_KEY, node_id, incarnation)
 
 #: Wall-clock floor: a sub-nanosecond elapsed time (possible when a tiny
 #: run lands inside one ``perf_counter`` tick) would otherwise make
@@ -254,12 +274,16 @@ class ClusterConfig:
     checkpoint), and ``traffic_table_limit`` bounds the router's hot-key
     auto-detection table.
 
-    ``ingest_workers`` selects the execution plan (see
-    :mod:`repro.cluster.pipeline`): ``1`` is the serial event loop,
-    more shards delivery over a worker pool in ``delivery_batch``-event
-    batches — bit-identical results either way.  ``wal_fsync_every``
-    turns on group-commit fsync for file-backed WAL appends (the
-    memory backend has no files and ignores it).
+    ``plan`` names the execution plan explicitly (see
+    :mod:`repro.cluster.pipeline`): ``"serial"``, ``"parallel"``
+    (thread pool), or ``"process"`` (one OS worker process per node
+    behind the checksummed wire protocol).  The default ``"auto"``
+    keeps the historical rule — serial at ``ingest_workers=1``,
+    parallel above — where ``ingest_workers`` shards delivery over a
+    thread pool in ``delivery_batch``-event batches.  Results are
+    bit-identical across plans on exact templates.
+    ``wal_fsync_every`` turns on group-commit fsync for file-backed
+    WAL appends (the memory backend has no files and ignores it).
 
     ``aggregation`` picks the read path: ``"tree"`` (the central merge
     tree, historical behavior) or ``"gossip"`` (every node additionally
@@ -303,6 +327,7 @@ class ClusterConfig:
     ingest_workers: int = 1
     delivery_batch: int = 64
     wal_fsync_every: int | None = None
+    plan: str = "auto"
     aggregation: str = "tree"
     gossip_fanout: int = 1
     gossip_every: int | None = None
@@ -368,6 +393,29 @@ class ClusterConfig:
                 "wal_fsync_every must be >= 1 or None, "
                 f"got {self.wal_fsync_every}"
             )
+        if self.plan != "auto" and self.plan not in PLAN_NAMES:
+            known = ", ".join(("auto", *PLAN_NAMES))
+            raise ParameterError(
+                f"plan must be one of {known}, got {self.plan!r}"
+            )
+        if self.plan == "serial" and self.ingest_workers > 1:
+            raise ParameterError(
+                "plan='serial' is the single-threaded loop; "
+                f"ingest_workers={self.ingest_workers} would be "
+                "silently ignored (use plan='parallel' or 'auto')"
+            )
+        if self.plan == "process":
+            if self.ingest_workers > 1:
+                raise ParameterError(
+                    "plan='process' runs one OS process per node; "
+                    "ingest_workers does not apply (leave it at 1)"
+                )
+            if self.aggregation == "gossip":
+                raise ParameterError(
+                    "plan='process' does not support "
+                    "aggregation='gossip' yet: gossip rounds exchange "
+                    "digests between in-process node objects"
+                )
         if self.aggregation not in AGGREGATION_MODES:
             known = ", ".join(AGGREGATION_MODES)
             raise ParameterError(
@@ -756,6 +804,22 @@ class ClusterSimulation:
         #: branch because ``_restore`` checkpoints nodes (which consults
         #: this set) before it rebuilds the membership layer.
         self._dead: set[int] = set()
+        #: Optional checkpoint-capture delegate installed by an
+        #: execution plan: ``(node_id, meta, topology) -> encoded
+        #: checkpoint line``.  The process plan points it at the node's
+        #: worker subprocess (which flushes, fills in the lifetime
+        #: stats, and captures its live bank); ``None`` means the
+        #: serial in-process path.  Durable bookkeeping — save, WAL
+        #: fence, manifest — always stays here in the coordinator.
+        self._checkpoint_capture: (
+            Callable[[int, dict[str, Any], dict[str, Any]], str] | None
+        ) = None
+        #: Optional migration-batch observer: called with each encoded
+        #: :class:`~repro.cluster.rebalance.MigrationBatch` line after
+        #: it is journaled and before the in-process absorb.  The
+        #: process plan uses it to ship the move to the worker fleet in
+        #: lockstep with the coordinator's mirrors.
+        self._migration_observer: Callable[[str], None] | None = None
         if resume:
             self._restore(self._store.load())
             return
@@ -847,9 +911,7 @@ class ClusterSimulation:
         return IngestNode(
             node_id,
             config.template,
-            seed=derive_seed(
-                config.seed, _NODE_SEED_KEY, node_id, incarnation
-            ),
+            seed=node_seed(config.seed, node_id, incarnation),
             buffer_limit=config.buffer_limit,
             track_truth=config.track_truth,
         )
@@ -919,6 +981,7 @@ class ClusterSimulation:
                 "ingest_workers": config.ingest_workers,
                 "delivery_batch": config.delivery_batch,
                 "wal_fsync_every": config.wal_fsync_every,
+                "plan": config.plan,
                 "aggregation": config.aggregation,
                 "gossip_fanout": config.gossip_fanout,
                 "gossip_every": config.gossip_every,
@@ -986,18 +1049,25 @@ class ClusterSimulation:
         if the whole cluster had crashed at once (it did: the process
         died).  See :func:`recover_cluster`.
         """
+        journal = self._store.pending_migrations()
         if manifest.get("mid_migration"):
-            # Migrated counters move between banks in memory and only
-            # reach durability at the per-node fence checkpoints that
-            # end the migration; dying in that window can leave a key's
-            # count in no checkpoint and no log.  Refuse loudly rather
-            # than rebuild a silently wrong cluster.  (Journaling the
-            # migration batches themselves is a ROADMAP item.)
-            raise StateError(
-                "cluster died mid-migration: migrated counters may be "
-                "absent from every checkpoint, so the persisted state "
-                "cannot be recovered losslessly"
-            )
+            if not journal:
+                # Pre-journal store (or a hand-built manifest): between
+                # drain and fence a migrated counter exists in no
+                # checkpoint and no log, so without the journaled batch
+                # lines the state is genuinely unrecoverable.
+                raise StateError(
+                    "cluster died mid-migration and the store holds no "
+                    "migration journal: migrated counters may be "
+                    "absent from every checkpoint, so the persisted "
+                    "state cannot be recovered losslessly"
+                )
+        elif journal:
+            # The migration completed (its fences and the cleared
+            # manifest flag are durable) but the writer died before
+            # dropping the journal: stale, ignore it.
+            self._store.clear_migration_journal()
+            journal = []
         self._mid_migration = False
         try:
             topology = manifest["topology"]
@@ -1064,6 +1134,8 @@ class ClusterSimulation:
             fanout=self._config.fanout,
             epoch=self._router.epoch,
         )
+        if journal:
+            self._replay_migration_journal(journal)
         for node_id in node_ids:
             self._maybe_checkpoint(node_id)
         # Digests are volatile by design: rebuild every node's own entry
@@ -1086,6 +1158,80 @@ class ClusterSimulation:
         # starts with no dead nodes and a blank detector.
         self._membership = self._fresh_membership()
         self._sync_manifest()
+
+    def _replay_migration_journal(self, lines: list[str]) -> None:
+        """Finish a migration whose writer died before its fences.
+
+        Every node is already recovered (checkpoint + WAL replay), so
+        each holds its *pre-migration* state unless its fence
+        checkpoint landed before the death.  Per journaled batch:
+
+        * the **source** (if live and its checkpoint predates the
+          batch's topology epoch) drains the batch's keys again — the
+          drained copies are discarded, the journal line is the
+          authoritative moved state;
+        * the **target** (same epoch guard) absorbs the journaled
+          batch on the standard ``(seed, epoch, key)``-derived streams,
+          bit-identical to the absorb the dead process was executing.
+
+        The epoch guard is what makes replay idempotent: a fence
+        checkpoint stamps the post-change topology epoch, so a node
+        whose fence landed already has the move inside its checkpoint
+        and is skipped.  A torn *trailing* line (the writer died inside
+        the journal append) is dropped — its drain-side state was
+        rebuilt by the source's WAL replay, so nothing is lost; a torn
+        line anywhere else means the journal itself is corrupt and
+        recovery refuses.
+        """
+        batches: list[MigrationBatch] = []
+        for index, line in enumerate(lines):
+            try:
+                batches.append(MigrationBatch.decode(line))
+            except StateError:
+                if index == len(lines) - 1:
+                    self._telemetry.trace(
+                        "migration_journal_torn", dropped_line=index
+                    )
+                    break
+                raise
+        epoch_cache: dict[int, int] = {}
+
+        def checkpoint_epoch(node_id: int) -> int:
+            if node_id not in epoch_cache:
+                line = self._store.latest(node_id)
+                if line is None:
+                    epoch_cache[node_id] = -1
+                else:
+                    topology = BankCheckpoint.decode(line).topology or {}
+                    epoch_cache[node_id] = int(topology.get("epoch", -1))
+            return epoch_cache[node_id]
+
+        touched: set[int] = set()
+        replayed_keys = 0
+        for batch in batches:
+            if (
+                batch.source in self._nodes
+                and checkpoint_epoch(batch.source) < batch.epoch
+            ):
+                self._nodes[batch.source].drain(batch.snapshots.keys())
+                touched.add(batch.source)
+            if (
+                batch.target in self._nodes
+                and checkpoint_epoch(batch.target) < batch.epoch
+            ):
+                replayed_keys += absorb_batch(
+                    batch, self._nodes[batch.target], seed=self._config.seed
+                )
+                touched.add(batch.target)
+        for node_id in sorted(touched & set(self._router.nodes)):
+            self.checkpoint_node(node_id)
+        self._telemetry.trace(
+            "migration_replay",
+            batches=len(batches),
+            keys=replayed_keys,
+            nodes=sorted(touched),
+        )
+        self._store.clear_migration_journal()
 
     # ------------------------------------------------------------------
     # component access
@@ -1523,6 +1669,34 @@ class ClusterSimulation:
         ) or self._store.wal.needs_fence(node_id):
             self.checkpoint_node(node_id)
 
+    def set_checkpoint_capture(
+        self,
+        capture: (
+            Callable[[int, dict[str, Any], dict[str, Any]], str] | None
+        ),
+    ) -> None:
+        """Install (or clear) the checkpoint-capture delegate.
+
+        Execution-plan hook: while set, :meth:`checkpoint_node` asks
+        ``capture(node_id, meta, topology)`` for the encoded checkpoint
+        line instead of flushing and capturing the in-process node —
+        the process plan's workers own the live banks.  Every durable
+        step (save, WAL fence, manifest sync) still runs here.
+        """
+        self._checkpoint_capture = capture
+
+    def set_migration_observer(
+        self, observer: Callable[[str], None] | None
+    ) -> None:
+        """Install (or clear) the migration-batch wire observer.
+
+        Execution-plan hook: while set, :meth:`_rebalance` hands every
+        encoded batch line to ``observer`` (after journaling, before
+        the in-process absorb) so the plan can replicate the move into
+        its worker fleet at the same point in the move sequence.
+        """
+        self._migration_observer = observer
+
     # ------------------------------------------------------------------
     # checkpointing and failure
     # ------------------------------------------------------------------
@@ -1544,27 +1718,33 @@ class ClusterSimulation:
         telemetry = self._telemetry
         started = time.perf_counter() if telemetry.enabled else 0.0
         node = self._nodes[node_id]
-        node.flush()
         wal_seq = self._store.wal.sequence(node_id)
-        checkpoint = BankCheckpoint.capture(
-            node.bank,
-            node.template,
-            meta={
-                "node_id": node_id,
-                "incarnation": self._incarnation[node_id],
-                "events_ingested": node.events_ingested,
-                "events_coalesced": node.events_coalesced,
-                "n_flushes": node.n_flushes,
-                # The WAL fence position this checkpoint covers.  If the
-                # process dies after the save but before the fence,
-                # recovery truncates the log through this sequence so
-                # the covered events can never be replayed on top of
-                # themselves (the torn-fence protocol).
-                "wal_seq": wal_seq,
-            },
-            topology=self._topology_stamp(),
-        )
-        line = checkpoint.encode()
+        meta: dict[str, Any] = {
+            "node_id": node_id,
+            "incarnation": self._incarnation[node_id],
+            # The WAL fence position this checkpoint covers.  If the
+            # process dies after the save but before the fence,
+            # recovery truncates the log through this sequence so
+            # the covered events can never be replayed on top of
+            # themselves (the torn-fence protocol).
+            "wal_seq": wal_seq,
+        }
+        topology = self._topology_stamp()
+        if self._checkpoint_capture is not None:
+            # The plan's delegate owns the live bank (a worker
+            # subprocess): it flushes there, fills in the lifetime
+            # stats, and returns the encoded line.
+            line = self._checkpoint_capture(node_id, meta, topology)
+        else:
+            node.flush()
+            meta.update(
+                events_ingested=node.events_ingested,
+                events_coalesced=node.events_coalesced,
+                n_flushes=node.n_flushes,
+            )
+            line = BankCheckpoint.capture(
+                node.bank, node.template, meta=meta, topology=topology
+            ).encode()
         self._store.save(node_id, line)
         self._store.wal.fence(node_id)
         self._since_checkpoint[node_id] = 0
@@ -1607,8 +1787,8 @@ class ClusterSimulation:
         """
         config = self._config
         self._incarnation[node_id] = self._incarnation.get(node_id, -1) + 1
-        incarnation_seed = derive_seed(
-            config.seed, _NODE_SEED_KEY, node_id, self._incarnation[node_id]
+        incarnation_seed = node_seed(
+            config.seed, node_id, self._incarnation[node_id]
         )
         node = IngestNode(
             node_id,
@@ -1877,8 +2057,12 @@ class ClusterSimulation:
         durability at the closing fence checkpoints, so the durable
         state is *inconsistent* until the last fence lands.  The
         manifest flags that window (``mid_migration``) before the first
-        counter moves; :func:`recover_cluster` refuses a store whose
-        writer died inside it.
+        counter moves, and every batch line is journaled in the store
+        *before* its absorb — between drain and absorb the journal is
+        the only durable copy of the moved counters — so
+        :func:`recover_cluster` can replay a migration whose writer
+        died inside it (:meth:`_replay_migration_journal`) instead of
+        refusing.
         """
         self._mid_migration = True
         self._sync_manifest()
@@ -1887,8 +2071,17 @@ class ClusterSimulation:
             self._router.home_node,
             epoch=self._router.epoch,
         )
+        observer = self._migration_observer
+
+        def on_batch(line: str) -> None:
+            # Durability first: the journal append must land before the
+            # wire ship / in-process absorb consumes the drained state.
+            self._store.journal_migration(line)
+            if observer is not None:
+                observer(line)
+
         report = execute_rebalance(
-            plan, self._nodes, seed=self._config.seed
+            plan, self._nodes, seed=self._config.seed, on_batch=on_batch
         )
         self._metrics.inc("keys_migrated_total", report.keys_moved)
         self._metrics.inc("migration_batches_total", report.n_batches)
@@ -1909,8 +2102,13 @@ class ClusterSimulation:
         for node_id in sorted(touched & set(self._router.nodes)):
             self.checkpoint_node(node_id)
         self._mid_migration = False
-        # The caller (scale_up / scale_down) syncs the manifest, making
-        # the cleared flag — and the completed migration — durable.
+        # Ordering matters: the manifest must record the completed
+        # migration (flag cleared) *before* the journal is dropped.  A
+        # death in between leaves flag=False plus a stale journal,
+        # which recovery ignores and clears; the reverse order could
+        # leave flag=True with no journal — an unrecoverable refusal.
+        self._sync_manifest()
+        self._store.clear_migration_journal()
 
     def scale_up(self, node_id: int | None = None) -> int:
         """Add one ingest node and migrate its keys in; returns its id.
@@ -2163,6 +2361,8 @@ def _config_from_manifest(
                 if echoed.get("wal_fsync_every") is not None
                 else None
             ),
+            # Absent from pre-process-plan manifests: default auto.
+            plan=str(echoed.get("plan", "auto")),
             # Absent from pre-gossip manifests: default central tree.
             aggregation=str(echoed.get("aggregation", "tree")),
             gossip_fanout=int(echoed.get("gossip_fanout", 1)),

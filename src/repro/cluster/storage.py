@@ -618,6 +618,26 @@ class CheckpointStore(abc.ABC):
     def manifest(self) -> dict[str, Any] | None:
         """The last written/loaded manifest (``None`` before the first)."""
 
+    @abc.abstractmethod
+    def journal_migration(self, line: str) -> None:
+        """Durably append one in-flight migration batch line.
+
+        Written *before* the batch is absorbed anywhere: between the
+        source drain and the first absorb a migrated counter exists in
+        no bank, no checkpoint, and no WAL — the journal is the only
+        durable copy, which is what lets recovery survive a death
+        mid-migration (replay the journal) instead of refusing via the
+        manifest's ``mid_migration`` flag.
+        """
+
+    @abc.abstractmethod
+    def pending_migrations(self) -> list[str]:
+        """Journaled batch lines not yet cleared, in journal order."""
+
+    @abc.abstractmethod
+    def clear_migration_journal(self) -> None:
+        """Discard the journal — the migration's fences are durable."""
+
     def attach_telemetry(self, telemetry: Any) -> None:
         """Forward a telemetry facade to the paired WAL.
 
@@ -662,6 +682,7 @@ class MemoryStore(CheckpointStore):
         self._wal = SegmentedLog(wal_segment_events)
         self._lines: dict[int, str | None] = {}
         self._manifest: dict[str, Any] | None = None
+        self._journal: list[str] = []
 
     @property
     def wal(self) -> SegmentedLog:
@@ -672,6 +693,7 @@ class MemoryStore(CheckpointStore):
         self._wal.attach_telemetry(getattr(self, "_telemetry", None))
         self._lines = {}
         self._manifest = None
+        self._journal = []
 
     def load(self) -> dict[str, Any]:
         raise StateError("memory store has no durable state to recover")
@@ -700,6 +722,15 @@ class MemoryStore(CheckpointStore):
 
     def manifest(self) -> dict[str, Any] | None:
         return self._manifest
+
+    def journal_migration(self, line: str) -> None:
+        self._journal.append(line)
+
+    def pending_migrations(self) -> list[str]:
+        return list(self._journal)
+
+    def clear_migration_journal(self) -> None:
+        self._journal = []
 
     def storage_bytes(self) -> int:
         checkpoint_bytes = sum(
@@ -762,6 +793,7 @@ class FileStore(CheckpointStore):
         self._checkpoint_dir = self._dir / "checkpoints"
         self._wal_dir = self._dir / "wal"
         self._manifest_path = self._dir / "manifest.json"
+        self._journal_path = self._dir / "migration.journal"
         self._overwrite = overwrite
         self._wal_fsync_every = wal_fsync_every
         self._wal = _FileSegmentedLog(
@@ -801,6 +833,7 @@ class FileStore(CheckpointStore):
         shutil.rmtree(self._wal_dir, ignore_errors=True)
         self._dir.mkdir(parents=True, exist_ok=True)
         self._manifest_path.unlink(missing_ok=True)
+        self._journal_path.unlink(missing_ok=True)
         self._checkpoint_dir.mkdir(parents=True, exist_ok=True)
         self._wal_dir.mkdir(parents=True, exist_ok=True)
         self._wal = _FileSegmentedLog(
@@ -893,6 +926,25 @@ class FileStore(CheckpointStore):
 
     def manifest(self) -> dict[str, Any] | None:
         return self._manifest
+
+    def journal_migration(self, line: str) -> None:
+        # Append + fsync per batch: the journal is the only durable
+        # copy of an in-flight batch, so it must hit the platter before
+        # the absorb runs.  Migrations are rare (one per topology
+        # change), so per-line open/sync costs nothing that matters.
+        with open(self._journal_path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def pending_migrations(self) -> list[str]:
+        if not self._journal_path.exists():
+            return []
+        text = self._journal_path.read_text(encoding="utf-8")
+        return [line for line in text.splitlines() if line.strip()]
+
+    def clear_migration_journal(self) -> None:
+        self._journal_path.unlink(missing_ok=True)
 
     def storage_bytes(self) -> int:
         """Actual bytes on disk under the store directory."""

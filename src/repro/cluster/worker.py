@@ -1,0 +1,427 @@
+"""Per-node worker subprocess: one `IngestNode` behind the wire protocol.
+
+``python -m repro.cluster.worker`` is the process-deployment unit of the
+cluster: it owns exactly one :class:`~repro.cluster.node.IngestNode` and
+services :mod:`repro.cluster.transport` frames until told to shut down.
+Two transports are supported:
+
+* **Pipe mode** (default) — frames arrive on stdin and replies leave on
+  stdout; this is how :class:`~repro.cluster.pipeline.ProcessPlan`
+  drives a short-lived fleet.  Stdout belongs to the protocol, so the
+  worker never prints; diagnostics go to stderr.
+* **Socket mode** (``--listen PATH``) — the worker binds a Unix socket
+  and serves one coordinator connection at a time, accepting a new one
+  when the previous coordinator detaches.  This is the long-running
+  daemon behind ``repro.cli cluster serve``; ``--pidfile`` records the
+  worker's pid once the socket is ready, which the serve lifecycle
+  (``up``/``ps``/``down``) uses as its readiness and liveness marker.
+
+The worker is deliberately *stateless with respect to durability*: the
+coordinator owns the write-ahead log, the checkpoint store, and the
+manifest, exactly as in the in-process plans — so `recover_cluster`
+and the torn-fence protocol are untouched by where the bank lives.  A
+worker holds only the live compute state (bank + coalescing buffer),
+and every durable record it produces (checkpoint lines via
+``checkpoint_fence``, migration batches via ``migrate_out``) travels
+back to the coordinator as checksummed lines, never touching disk here.
+
+Determinism: a worker built from the same ``init`` parameters performs
+exactly the operations the serial loop would perform on that node —
+same submit order (frames per node arrive in stream order), same flush
+points, same migration-derived counter seeds — so on ``exact``
+templates a process-deployed cluster is bit-identical to the serial
+reference (pinned by ``tests/cluster/test_pipeline.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import sys
+import time
+from typing import Any, BinaryIO
+
+from repro.cluster.checkpoint import BankCheckpoint
+from repro.cluster.node import CounterTemplate, IngestNode
+from repro.cluster.rebalance import MigrationBatch, absorb_batch
+from repro.cluster.transport import read_frame, write_frame
+from repro.errors import StateError
+from repro.obs.timers import StageTimer
+from repro.stream.workload import KeyedEvent
+
+__all__ = ["NodeWorker", "main"]
+
+
+class NodeWorker:
+    """Frame handlers around one ingest node.
+
+    One instance serves one worker process (either transport).  The
+    node may be constructed up front (socket daemons, which must be
+    ready before any coordinator attaches) or lazily by the first
+    ``init`` frame (pipe fleets, where the coordinator knows the
+    parameters).
+    """
+
+    def __init__(self, node: IngestNode | None = None) -> None:
+        self.node = node
+        #: wall-clock stage timings; ``None`` until telemetry is asked
+        #: for (``init`` with ``timed=true``).  Purely observational —
+        #: the timed and untimed paths mutate identical state.
+        self.timer: StageTimer | None = None
+
+    # ------------------------------------------------------------------
+    # handlers (one per request frame type)
+    # ------------------------------------------------------------------
+    def _require_node(self) -> IngestNode:
+        if self.node is None:
+            raise StateError("worker received a node frame before init")
+        return self.node
+
+    def handle_init(self, body: dict[str, Any]) -> dict[str, Any]:
+        """Build the node from its construction parameters.
+
+        The parameters mirror :class:`~repro.cluster.node.IngestNode`'s
+        constructor, so an initialized worker is bit-identical to the
+        node the serial loop would have built — RNG state included.
+        """
+        self.node = IngestNode(
+            int(body["node_id"]),
+            CounterTemplate.from_dict(body["template"]),
+            seed=int(body["seed"]),
+            buffer_limit=int(body["buffer_limit"]),
+            track_truth=bool(body["track_truth"]),
+        )
+        self.timer = StageTimer() if body.get("timed") else None
+        return {"type": "ok"}
+
+    def handle_deliver_batch(
+        self, body: dict[str, Any]
+    ) -> dict[str, Any] | None:
+        """Apply one routed batch in order (pipelined: no reply)."""
+        node = self._require_node()
+        events = body["events"]
+        if self.timer is None:
+            for key, count in events:
+                node.submit(KeyedEvent(str(key), int(count)))
+            return None
+        started = time.perf_counter()
+        for key, count in events:
+            node.submit(KeyedEvent(str(key), int(count)))
+        self.timer.add("worker_consume", time.perf_counter() - started)
+        return None
+
+    def handle_drain(self, body: dict[str, Any]) -> dict[str, Any]:
+        """Sync point: every prior frame has been applied."""
+        node = self._require_node()
+        return {
+            "type": "drain_ack",
+            "node": node.node_id,
+            "pending": node.pending,
+            "events_ingested": node.events_ingested,
+        }
+
+    def handle_checkpoint_fence(
+        self, body: dict[str, Any]
+    ) -> dict[str, Any]:
+        """Flush and capture, exactly like the serial checkpoint path.
+
+        The coordinator supplies the durability metadata it owns
+        (node id, incarnation, the WAL fence sequence); the worker
+        contributes the state only it knows — the flushed bank and the
+        lifetime stats — and returns the encoded checkpoint line for
+        the coordinator to save and fence.
+        """
+        node = self._require_node()
+        node.flush()
+        meta = dict(body["meta"])
+        meta.update(
+            events_ingested=node.events_ingested,
+            events_coalesced=node.events_coalesced,
+            n_flushes=node.n_flushes,
+        )
+        checkpoint = BankCheckpoint.capture(
+            node.bank,
+            node.template,
+            meta=meta,
+            topology=body.get("topology"),
+        )
+        return {"type": "checkpoint_reply", "line": checkpoint.encode()}
+
+    def handle_snapshot_request(
+        self, body: dict[str, Any]
+    ) -> dict[str, Any]:
+        """Ship the node's full state: checkpoint line + volatile half.
+
+        With ``flush=true`` the bank is flushed first — the barrier
+        pull, landing at exactly the stream position where the serial
+        loop flushes (window collapse, migration planning, end of
+        run); ``flush=false`` is a pure read (``serve status``).
+        """
+        node = self._require_node()
+        if body.get("flush"):
+            node.flush()
+        checkpoint = BankCheckpoint.capture(
+            node.bank, node.template, meta={"transfer": True}
+        )
+        return {
+            "type": "snapshot_reply",
+            "node": node.node_id,
+            "line": checkpoint.encode(),
+            "volatile": node.export_volatile(),
+        }
+
+    def handle_adopt_state(self, body: dict[str, Any]) -> dict[str, Any]:
+        """Install a full node state pushed by the coordinator.
+
+        Used after a crash (the coordinator recovers the mirror from
+        checkpoint + WAL replay, then pushes the result) and after a
+        window collapse (the reset, empty bank).  The restored bank
+        keeps the seed captured in the line, so worker and mirror stay
+        seed-aligned.
+        """
+        node = self._require_node()
+        checkpoint = BankCheckpoint.decode(body["line"])
+        node.adopt_bank(checkpoint.restore())
+        node.install_volatile(body["volatile"])
+        return {"type": "ok"}
+
+    def handle_migrate_out(self, body: dict[str, Any]) -> dict[str, Any]:
+        """Drain the given keys out of this node (migration source).
+
+        Returns the worker's own encoded
+        :class:`~repro.cluster.rebalance.MigrationBatch` line — on
+        ``exact`` templates bit-identical to the line the coordinator
+        computed from its mirror, which the tests assert; ``None`` when
+        none of the keys were materialized here.
+        """
+        node = self._require_node()
+        records = node.drain(str(key) for key in body["keys"])
+        if not records:
+            return {"type": "migrate_reply", "line": None}
+        tracked = all(truth is not None for _, _, truth in records)
+        batch = MigrationBatch(
+            source=node.node_id,
+            target=int(body["target"]),
+            epoch=int(body["epoch"]),
+            snapshots={key: snap for key, snap, _ in records},
+            truth=(
+                {key: truth for key, _, truth in records}
+                if tracked
+                else None
+            ),
+        )
+        return {"type": "migrate_reply", "line": batch.encode()}
+
+    def handle_absorb(self, body: dict[str, Any]) -> dict[str, Any]:
+        """Merge one migration batch line in (migration target).
+
+        Counters restore on the same ``(seed, epoch, key)``-derived
+        streams as the in-process rebalance, so worker and mirror
+        absorb identically.
+        """
+        node = self._require_node()
+        batch = MigrationBatch.decode(body["line"])
+        absorbed = absorb_batch(batch, node, seed=int(body["seed"]))
+        return {"type": "ok", "absorbed": absorbed}
+
+    def handle_metrics_pull(self, body: dict[str, Any]) -> dict[str, Any]:
+        """This worker's stage-timing snapshot (empty when untimed)."""
+        stages = self.timer.snapshot() if self.timer is not None else {}
+        return {"type": "metrics_reply", "stages": stages}
+
+    def handle_ping(self, body: dict[str, Any]) -> dict[str, Any]:
+        """Liveness probe with a small status payload (serve status)."""
+        node = self.node
+        return {
+            "type": "pong",
+            "pid": os.getpid(),
+            "node": node.node_id if node is not None else None,
+            "keys": len(node.bank) if node is not None else 0,
+            "pending": node.pending if node is not None else 0,
+            "events_ingested": (
+                node.events_ingested if node is not None else 0
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    # frame service loop
+    # ------------------------------------------------------------------
+    def serve(self, reader: BinaryIO, writer: BinaryIO) -> str:
+        """Service frames until shutdown or EOF.
+
+        Returns ``"shutdown"`` (clean protocol exit) or ``"detached"``
+        (the coordinator closed its end).  A handler exception is
+        reported back as an ``error`` frame and ends the loop — the
+        worker's state can no longer be trusted to match the
+        coordinator's, so dying loudly beats diverging silently.
+        """
+        handlers = {
+            "init": self.handle_init,
+            "deliver_batch": self.handle_deliver_batch,
+            "drain": self.handle_drain,
+            "checkpoint_fence": self.handle_checkpoint_fence,
+            "snapshot_request": self.handle_snapshot_request,
+            "adopt_state": self.handle_adopt_state,
+            "migrate_out": self.handle_migrate_out,
+            "absorb": self.handle_absorb,
+            "metrics_pull": self.handle_metrics_pull,
+            "ping": self.handle_ping,
+        }
+        while True:
+            body = read_frame(reader)
+            if body is None:
+                return "detached"
+            frame_type = body["type"]
+            if frame_type == "shutdown":
+                write_frame(writer, "bye")
+                return "shutdown"
+            handler = handlers.get(frame_type)
+            try:
+                if handler is None:
+                    raise StateError(
+                        f"worker cannot service {frame_type!r} frames"
+                    )
+                reply = handler(body)
+            except Exception as exc:
+                write_frame(
+                    writer,
+                    "error",
+                    message=f"{type(exc).__name__}: {exc}",
+                )
+                raise
+            if reply is not None:
+                fields = {
+                    key: value
+                    for key, value in reply.items()
+                    if key != "type"
+                }
+                write_frame(writer, reply["type"], **fields)
+
+
+def _serve_pipe(worker: NodeWorker) -> int:
+    """Pipe transport: frames on stdin, replies on stdout."""
+    reader = sys.stdin.buffer
+    writer = sys.stdout.buffer
+    try:
+        worker.serve(reader, writer)
+    except Exception as exc:
+        print(f"repro-worker: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _serve_socket(
+    worker: NodeWorker, listen_path: str, pidfile: str | None
+) -> int:
+    """Unix-socket transport: accept coordinators until shutdown."""
+    server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    try:
+        if os.path.exists(listen_path):
+            os.unlink(listen_path)
+        server.bind(listen_path)
+        server.listen(1)
+        if pidfile is not None:
+            # Written only after the socket is live, so the pidfile
+            # doubles as the readiness marker `cluster serve up` polls.
+            with open(pidfile, "w", encoding="utf-8") as handle:
+                handle.write(f"{os.getpid()}\n")
+        while True:
+            conn, _ = server.accept()
+            reader = conn.makefile("rb")
+            writer = conn.makefile("wb")
+            try:
+                outcome = worker.serve(reader, writer)
+            except Exception as exc:
+                print(f"repro-worker: {exc}", file=sys.stderr)
+                return 1
+            finally:
+                for stream in (writer, reader):
+                    try:
+                        stream.close()
+                    except OSError:  # pragma: no cover - teardown race
+                        pass
+                conn.close()
+            if outcome == "shutdown":
+                return 0
+    finally:
+        server.close()
+        for path in (listen_path, pidfile):
+            if path is not None and os.path.exists(path):
+                try:
+                    os.unlink(path)
+                except OSError:  # pragma: no cover - cleanup race
+                    pass
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cluster.worker",
+        description=(
+            "Per-node cluster worker: services repro.cluster.transport "
+            "frames over stdin/stdout (default) or a Unix socket."
+        ),
+    )
+    parser.add_argument(
+        "--listen",
+        metavar="SOCKET",
+        default=None,
+        help="serve a Unix socket at this path instead of stdin/stdout",
+    )
+    parser.add_argument(
+        "--pidfile",
+        metavar="PATH",
+        default=None,
+        help="write the worker pid here once the socket is ready",
+    )
+    parser.add_argument(
+        "--node-id", type=int, default=None, help="node id (daemon mode)"
+    )
+    parser.add_argument(
+        "--template-json",
+        metavar="JSON",
+        default=None,
+        help="CounterTemplate.to_dict() JSON (daemon mode)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="bank seed (daemon mode)"
+    )
+    parser.add_argument(
+        "--buffer-limit", type=int, default=512, help="coalescing buffer"
+    )
+    parser.add_argument(
+        "--no-track-truth",
+        action="store_true",
+        help="skip exact shadow counts",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Worker entrypoint; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    node: IngestNode | None = None
+    if args.node_id is not None:
+        if args.template_json is None:
+            print(
+                "repro-worker: --node-id needs --template-json",
+                file=sys.stderr,
+            )
+            return 2
+        import json
+
+        node = IngestNode(
+            args.node_id,
+            CounterTemplate.from_dict(json.loads(args.template_json)),
+            seed=args.seed,
+            buffer_limit=args.buffer_limit,
+            track_truth=not args.no_track_truth,
+        )
+    worker = NodeWorker(node)
+    if args.listen is not None:
+        return _serve_socket(worker, args.listen, args.pidfile)
+    return _serve_pipe(worker)
+
+
+if __name__ == "__main__":  # pragma: no cover - subprocess entrypoint
+    sys.exit(main())

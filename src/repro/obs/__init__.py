@@ -107,6 +107,7 @@ class Telemetry:
         self._timers: list[StageTimer] = []
         self._timers_lock = threading.Lock()
         self._local = threading.local()
+        self._external_stages: list[dict[str, dict[str, Any]]] = []
 
     @classmethod
     def disabled(cls) -> "Telemetry":
@@ -150,11 +151,27 @@ class Telemetry:
             self._local.timer = timer
         return timer
 
+    def absorb_stages(
+        self, stages: dict[str, dict[str, Any]]
+    ) -> None:
+        """Fold in a stage snapshot produced outside this process.
+
+        The process execution plan pulls each worker subprocess's
+        :class:`StageTimer` snapshot over the wire (``metrics_pull``)
+        and absorbs it here, so :meth:`stage_snapshot` covers the whole
+        deployment exactly as it covers in-process worker threads.
+        """
+        if stages:
+            with self._timers_lock:
+                self._external_stages.append(dict(stages))
+
     def stage_snapshot(self) -> dict[str, dict[str, Any]]:
-        """All threads' stage timings merged.  Call only when workers
-        are quiescent (between runs / after ``run()`` returns)."""
+        """All threads' stage timings merged (plus any absorbed
+        worker-process snapshots).  Call only when workers are
+        quiescent (between runs / after ``run()`` returns)."""
         with self._timers_lock:
             snapshots = [timer.snapshot() for timer in self._timers]
+            snapshots.extend(self._external_stages)
         return merge_stage_snapshots(snapshots)
 
     # ------------------------------------------------------------------

@@ -128,6 +128,29 @@ class TestBenchThroughputSmoke:
             assert row["checkpoints"] == serial["checkpoints"]
             assert row["state_bits"] == serial["state_bits"]
         assert payload["parallel_bit_identical"] is True
+        # The process arm: serial vs thread-parallel vs per-node OS
+        # worker processes at 2 and 4 nodes, same plan-invariance bar.
+        # (The >1x-vs-parallel speedup bar is full-run, multi-core
+        # only; the payload records cpus so the gate is auditable.)
+        process_rows = payload["process_rows"]
+        assert [(row["nodes"], row["arm"]) for row in process_rows] == [
+            (nodes, arm)
+            for nodes in (2, 4)
+            for arm in ("serial", "parallel", "process")
+        ]
+        by_arm = {
+            (row["nodes"], row["arm"]): row for row in process_rows
+        }
+        for row in process_rows:
+            base = by_arm[(row["nodes"], "serial")]
+            assert row["events_per_sec"] > 0
+            assert (
+                row["rms_relative_error"] == base["rms_relative_error"]
+            )
+            assert row["checkpoints"] == base["checkpoints"]
+            assert row["state_bits"] == base["state_bits"]
+        assert payload["process_bit_identical"] is True
+        assert payload["cpus"] >= 1
         _assert_strict_json_roundtrip(payload)
 
 

@@ -16,11 +16,14 @@ from __future__ import annotations
 import pytest
 
 from repro.cluster import (
+    PLAN_NAMES,
+    PLAN_REGISTRY,
     ClusterConfig,
     ClusterSimulation,
     ExecutionPlan,
     NodeFailure,
     ParallelPlan,
+    ProcessPlan,
     ScaleEvent,
     SerialPlan,
     TumblingRetention,
@@ -99,6 +102,54 @@ class TestPlanSelection:
             ParallelPlan(workers=0)
         with pytest.raises(ParameterError):
             ParallelPlan(workers=2, delivery_batch=0)
+        with pytest.raises(ParameterError):
+            ProcessPlan(delivery_batch=0)
+
+    def test_registry_covers_every_plan(self):
+        assert PLAN_NAMES == ("parallel", "process", "serial")
+        made = {
+            name: PLAN_REGISTRY[name](ClusterConfig(n_nodes=2))
+            for name in PLAN_NAMES
+        }
+        for name, plan in made.items():
+            assert isinstance(plan, ExecutionPlan)
+            assert plan.name == name
+
+    def test_explicit_plan_names_resolve(self):
+        assert isinstance(
+            make_plan(ClusterConfig(n_nodes=2, plan="serial")), SerialPlan
+        )
+        parallel = make_plan(
+            ClusterConfig(n_nodes=2, plan="parallel", delivery_batch=8)
+        )
+        assert isinstance(parallel, ParallelPlan)
+        assert parallel.delivery_batch == 8
+        process = make_plan(
+            ClusterConfig(n_nodes=2, plan="process", delivery_batch=8)
+        )
+        assert isinstance(process, ProcessPlan)
+        assert process.delivery_batch == 8
+
+    def test_unknown_plan_name_lists_the_valid_ones(self):
+        with pytest.raises(ParameterError, match="serial"):
+            ClusterConfig(n_nodes=2, plan="threads")
+
+    def test_plan_constraints(self):
+        # serial is the one-thread loop; silently ignoring workers
+        # would lie about what ran.
+        with pytest.raises(ParameterError, match="ingest_workers"):
+            ClusterConfig(n_nodes=2, plan="serial", ingest_workers=4)
+        # process workers are processes, not threads.
+        with pytest.raises(ParameterError, match="ingest_workers"):
+            ClusterConfig(n_nodes=2, plan="process", ingest_workers=4)
+        # gossip rounds exchange digests between in-process objects.
+        with pytest.raises(ParameterError, match="gossip"):
+            ClusterConfig(
+                n_nodes=2,
+                plan="process",
+                aggregation="gossip",
+                gossip_every=100,
+            )
 
 
 class TestBitIdenticalExact:
@@ -298,6 +349,149 @@ class TestParallelDurability:
         for label, stamp in stamps.items():
             assert stamp == baseline, f"{label} changed the computation"
 
+class TestProcessPlanBitIdentity:
+    """One OS process per node still equals the serial loop bit for bit.
+
+    The strongest claim in the tentpole: shipping delivery over a wire
+    protocol to worker subprocesses — with real ``SIGKILL`` crash
+    injection, live migration, retention collapses, and file-backed
+    durability in the mix — must not change a single bit of the
+    ``GlobalView`` on ``exact`` templates.
+    """
+
+    _N = 6_000
+
+    @pytest.mark.parametrize("seed", _SEEDS[:2])
+    def test_full_scenario_matches_serial(self, seed, tmp_path):
+        """Crashes + grow/shrink migration + retention + file storage:
+        the acceptance scenario, serial vs process, two seeds."""
+        shared = dict(
+            n_nodes=3,
+            template=default_template("exact"),
+            seed=seed,
+            buffer_limit=128,
+            checkpoint_every=1500,
+            routing="ring",
+            retention=TumblingRetention(window_events=2000),
+            scale_events=(
+                ScaleEvent(at_event=1800, action="add"),
+                ScaleEvent(at_event=4500, action="remove", node_id=0),
+            ),
+            failures=(NodeFailure(at_event=3200, node_id=1),),
+            wal_segment_events=1000,
+        )
+        serial_result, serial_view = _run(
+            ClusterConfig(**shared), seed, self._N
+        )
+        process_result, process_view = _run(
+            ClusterConfig(
+                **shared,
+                plan="process",
+                delivery_batch=32,
+                storage="file",
+                storage_dir=str(tmp_path),
+            ),
+            seed,
+            self._N,
+        )
+        assert serial_view == process_view
+        assert _comparable(serial_result) == _comparable(process_result)
+        assert process_result.max_relative_error == 0.0
+        assert process_result.recoveries == 1
+        assert process_result.scale_events_applied == 2
+        assert process_result.keys_migrated > 0
+        assert process_result.windows_collapsed >= 2
+
+    def test_sigkill_at_fence_recovers_lossless(self):
+        """Crash-matrix row: the worker process is SIGKILLed right at a
+        checkpoint fence position, recovery replays the WAL, and the
+        answer is still exactly the serial one."""
+        shared = dict(
+            n_nodes=3,
+            template=default_template("exact"),
+            seed=97,
+            checkpoint_every=1000,
+            # at_event == a fence position: the node checkpointed at
+            # the previous delivery, so the kill lands on a worker
+            # whose unfenced tail is exactly the WAL's retained log.
+            failures=(NodeFailure(at_event=3000, node_id=2),),
+        )
+        serial_result, serial_view = _run(
+            ClusterConfig(**shared), 97, self._N
+        )
+        process_result, process_view = _run(
+            ClusterConfig(**shared, plan="process", delivery_batch=16),
+            97,
+            self._N,
+        )
+        assert serial_view == process_view
+        assert _comparable(serial_result) == _comparable(process_result)
+        assert process_result.recoveries == 1
+        assert process_result.max_relative_error == 0.0
+
+    def test_approximate_without_crashes_matches_serial(self):
+        """No crash ⇒ workers are never re-seeded mid-run, so even the
+        coin flips line up with serial — scales and retention included."""
+        shared = dict(
+            n_nodes=3,
+            template=default_template("simplified_ny"),
+            seed=43,
+            checkpoint_every=2000,
+            retention=TumblingRetention(window_events=2500),
+            scale_events=(ScaleEvent(at_event=2200, action="add"),),
+        )
+        serial_result, serial_view = _run(
+            ClusterConfig(**shared), 43, self._N
+        )
+        process_result, process_view = _run(
+            ClusterConfig(**shared, plan="process"), 43, self._N
+        )
+        assert serial_view == process_view
+        assert _comparable(serial_result) == _comparable(process_result)
+
+    def test_approximate_with_crash_is_run_to_run_deterministic(self):
+        """Crash recovery re-seeds the respawned worker's RNG from the
+        incarnation seed (RNG state is deliberately not in snapshots),
+        so approximate templates promise run-to-run determinism."""
+        config = dict(
+            n_nodes=3,
+            template=default_template("simplified_ny"),
+            seed=71,
+            checkpoint_every=1500,
+            plan="process",
+            failures=(NodeFailure(at_event=2500, node_id=0),),
+        )
+        first_result, first_view = _run(
+            ClusterConfig(**config), 71, self._N
+        )
+        second_result, second_view = _run(
+            ClusterConfig(**config), 71, self._N
+        )
+        assert first_view == second_view
+        assert _comparable(first_result) == _comparable(second_result)
+        assert first_result.recoveries == 1
+
+    def test_recover_cluster_after_process_run(self, tmp_path):
+        """A process-plan file-backed run reopens from disk bit-for-bit
+        and the manifest round-trips ``plan='process'``."""
+        config = ClusterConfig(
+            n_nodes=2,
+            template=default_template("exact"),
+            seed=53,
+            checkpoint_every=1500,
+            plan="process",
+            storage="file",
+            storage_dir=str(tmp_path),
+            wal_segment_events=1200,
+        )
+        _, before = _run(config, 53, self._N)
+        with recover_cluster(str(tmp_path)) as recovered:
+            after = view_fingerprint(recovered.aggregator.global_view())
+            assert recovered.config.plan == "process"
+        assert before == after
+
+
+class TestParallelDurabilityRecovery:
     def test_recover_cluster_after_parallel_run(self, tmp_path):
         """A parallel file-backed run recovers from disk bit-for-bit on
         exact templates, and the manifest round-trips the plan config."""

@@ -1,0 +1,180 @@
+"""``cluster serve`` lifecycle: a real 2-worker fleet round-trips.
+
+Integration test against live daemon processes: ``up`` launches
+socket-mode workers and waits for readiness, ``ps`` sees them alive,
+``status`` pings them over their Unix sockets, a direct frame
+conversation delivers events, and ``down`` stops everything and cleans
+the fleet record so a second ``up`` can proceed.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+
+import pytest
+
+from repro.cluster import default_template, node_seed
+from repro.cluster.serve import (
+    fleet_down,
+    fleet_paths,
+    fleet_ps,
+    fleet_status,
+    fleet_up,
+    load_fleet,
+)
+from repro.cluster.transport import FrameStream
+from repro.errors import ParameterError, StateError
+
+
+@pytest.fixture
+def fleet(tmp_path):
+    """A live 2-worker fleet, torn down even when a test fails."""
+    workers = fleet_up(
+        tmp_path,
+        n_nodes=2,
+        template=default_template("exact"),
+        seed=404,
+        timeout=30.0,
+    )
+    try:
+        yield tmp_path, workers
+    finally:
+        try:
+            fleet_down(tmp_path, timeout=10.0)
+        except StateError:
+            pass  # the test already took the fleet down
+
+
+def _connect(record) -> FrameStream:
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.settimeout(10.0)
+    sock.connect(record["socket"])
+    stream = FrameStream.from_socket(sock)
+    sock.close()
+    return stream
+
+
+class TestServeLifecycle:
+    def test_up_ps_status_down_round_trip(self, fleet):
+        root, workers = fleet
+        assert [record["node"] for record in workers] == [0, 1]
+
+        rows = fleet_ps(root)
+        assert [row["state"] for row in rows] == ["running", "running"]
+        for row in rows:
+            assert os.path.exists(row["socket"])
+
+        status = fleet_status(root)
+        assert [row["state"] for row in status] == ["running", "running"]
+        for row, record in zip(status, workers):
+            assert row["pid"] == record["pid"]
+            assert row["events_ingested"] == 0
+
+        down = fleet_down(root)
+        assert all(row["state"] == "stopped" for row in down)
+        for record in workers:
+            assert not os.path.exists(record["socket"])
+            assert not os.path.exists(record["pidfile"])
+        with pytest.raises(StateError, match="no fleet"):
+            fleet_ps(root)
+
+    def test_fleet_record_and_layout(self, fleet):
+        root, workers = fleet
+        record = load_fleet(root)
+        assert record["n_nodes"] == 2
+        assert record["seed"] == 404
+        assert record["workers"] == workers
+        base = fleet_paths(root)
+        for node_id in (0, 1):
+            assert (base / f"node-{node_id}.pid").exists()
+            assert (base / f"node-{node_id}.log").exists()
+
+    def test_workers_ingest_over_the_socket(self, fleet):
+        """A coordinator-side conversation: deliver, drain, status."""
+        root, workers = fleet
+        stream = _connect(workers[0])
+        try:
+            stream.send(
+                "deliver_batch", events=[["alpha", 2], ["beta", 1]]
+            )
+            ack = stream.request("drain", "drain_ack")
+            assert ack["events_ingested"] == 3
+        finally:
+            stream.close()
+        status = fleet_status(root)
+        assert status[0]["events_ingested"] == 3
+        assert status[1]["events_ingested"] == 0
+
+    def test_worker_seed_matches_the_simulation_derivation(self, fleet):
+        """A serve worker's bank is the in-process node's bank: same
+        ``node_seed`` derivation, so checkpoints from one deployment
+        shape restore in the other."""
+        from repro.cluster.checkpoint import BankCheckpoint
+
+        root, workers = fleet
+        stream = _connect(workers[1])
+        try:
+            reply = stream.request(
+                "snapshot_request", "snapshot_reply", flush=True
+            )
+        finally:
+            stream.close()
+        checkpoint = BankCheckpoint.decode(reply["line"])
+        assert checkpoint.restore().seed == node_seed(404, 1)
+
+    def test_up_refuses_while_fleet_recorded(self, fleet):
+        root, _ = fleet
+        with pytest.raises(StateError, match="already recorded"):
+            fleet_up(
+                root,
+                n_nodes=1,
+                template=default_template("exact"),
+                seed=404,
+            )
+
+    def test_down_escalates_on_unresponsive_worker(self, fleet):
+        """A worker stopped with SIGSTOP cannot answer the protocol
+        shutdown; down must escalate to signals and still succeed."""
+        root, workers = fleet
+        os.kill(workers[0]["pid"], signal.SIGSTOP)
+        rows = fleet_down(root, timeout=4.0)
+        states = {row["node"]: row["state"] for row in rows}
+        assert states[1] == "stopped"  # the healthy worker exited clean
+        assert states[0] in ("terminated", "killed")
+        assert not _alive(workers[0]["pid"])
+
+    def test_ps_reports_a_dead_worker(self, fleet):
+        root, workers = fleet
+        os.kill(workers[1]["pid"], signal.SIGKILL)
+        _wait_gone(workers[1]["pid"])
+        states = {row["node"]: row["state"] for row in fleet_ps(root)}
+        assert states == {0: "running", 1: "stopped"}
+
+
+class TestServeValidation:
+    def test_up_rejects_zero_nodes(self, tmp_path):
+        with pytest.raises(ParameterError):
+            fleet_up(tmp_path, 0, default_template("exact"))
+
+    def test_commands_without_fleet_are_loud(self, tmp_path):
+        for command in (fleet_ps, fleet_status, fleet_down):
+            with pytest.raises(StateError, match="no fleet"):
+                command(tmp_path)
+
+
+def _alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    return True
+
+
+def _wait_gone(pid: int, timeout: float = 10.0) -> None:
+    import time
+
+    deadline = time.monotonic() + timeout
+    while _alive(pid) and time.monotonic() < deadline:
+        time.sleep(0.05)

@@ -431,21 +431,110 @@ class TestRecoverCluster:
         with pytest.raises(StateError):
             recover_cluster(str(tmp_path))
 
-    def test_recovery_refuses_mid_migration_store(self, tmp_path):
+    def test_recovery_refuses_mid_migration_without_journal(self, tmp_path):
         """Migrated counters reach durability only at the closing fence
-        checkpoints; a store whose writer died inside that window could
-        be missing keys from every checkpoint, so recovery must refuse
-        loudly instead of rebuilding a silently wrong cluster."""
+        checkpoints; if the writer died inside that window *and* the
+        store holds no migration journal (a pre-journal store, or the
+        journal itself was lost), counters may be missing from every
+        checkpoint — recovery must still refuse loudly instead of
+        rebuilding a silently wrong cluster."""
         simulation = ClusterSimulation(
             _durable_config(tmp_path, scale_events=(), failures=())
         )
         simulation.run(_events(3000))
-        # Persist the state a process death mid-_rebalance leaves behind.
+        # Persist the state a process death mid-_rebalance leaves
+        # behind, minus the journal lines.
         simulation._mid_migration = True
         simulation._sync_manifest()
         simulation.close()
         with pytest.raises(StateError, match="mid-migration"):
             recover_cluster(str(tmp_path))
+
+    def test_mid_migration_death_recovers_from_journal(self, tmp_path):
+        """Death between a batch's drain and its closing fences loses
+        nothing: every batch line was journaled durably *before* its
+        absorb, so recovery replays the journal and finishes the move.
+
+        The victim dies at the first fence checkpoint of a scale-up
+        rebalance — the worst spot: counters drained from their source
+        live only in the journal.  The recovered cluster must hold the
+        complete pre-migration key set *and* the completed move (same
+        per-node ownership as an undisturbed reference run).
+        """
+        events = list(_events(3000))
+        overrides = dict(scale_events=(), failures=())
+
+        reference = ClusterSimulation(
+            _durable_config(tmp_path / "reference", **overrides)
+        )
+        reference.run(events)
+        reference.scale_up()
+        reference_view = _view_fingerprint(
+            reference.aggregator.global_view()
+        )
+        reference_keys = {
+            node.node_id: sorted(node.bank.keys())
+            for node in reference.nodes
+        }
+        reference.close()
+
+        victim = ClusterSimulation(
+            _durable_config(tmp_path / "victim", **overrides)
+        )
+        victim.run(events)
+        boom = RuntimeError("simulated process death at the fence")
+
+        def dying_checkpoint(node_id):
+            raise boom
+
+        victim.checkpoint_node = dying_checkpoint
+        with pytest.raises(RuntimeError):
+            victim.scale_up()
+        # Close the files the way a dead process would: no manifest
+        # resync, the mid_migration flag stays set on disk.
+        victim._store.close()
+
+        recovered = recover_cluster(str(tmp_path / "victim"))
+        assert (
+            _view_fingerprint(recovered.aggregator.global_view())
+            == reference_view
+        )
+        assert {
+            node.node_id: sorted(node.bank.keys())
+            for node in recovered.nodes
+        } == reference_keys
+        # The journal was consumed; a second recovery is clean.
+        assert recovered.store.pending_migrations() == []
+        recovered.close()
+        second = recover_cluster(str(tmp_path / "victim"))
+        assert (
+            _view_fingerprint(second.aggregator.global_view())
+            == reference_view
+        )
+        second.close()
+
+    def test_stale_journal_after_completed_migration_is_ignored(
+        self, tmp_path
+    ):
+        """Death between the completion manifest sync and the journal
+        unlink leaves flag=False plus a stale journal; recovery must
+        ignore and clear it, not double-apply the batches."""
+        simulation = ClusterSimulation(_durable_config(tmp_path))
+        journaled: list[str] = []
+        simulation.set_migration_observer(journaled.append)
+        simulation.run(_events(18_000))
+        simulation.set_migration_observer(None)
+        before = _view_fingerprint(simulation.aggregator.global_view())
+        assert journaled  # the scale events really migrated batches
+        # Re-create the stale leftover: journal lines present, flag off.
+        for line in journaled:
+            simulation.store.journal_migration(line)
+        simulation.close()
+        with recover_cluster(str(tmp_path)) as recovered:
+            assert (
+                _view_fingerprint(recovered.aggregator.global_view())
+                == before
+            )
 
     def test_completed_migration_recovers_fine(self, tmp_path):
         """The mid-migration flag clears once the fences land: a run

@@ -1,0 +1,224 @@
+"""The process-deployment wire protocol fails loudly, never silently.
+
+Every frame is a length prefix plus a checksummed JSON payload — the
+same envelope the durable records use — so the properties to pin are
+exactly a codec's: round-trips are lossless, any truncation or bit
+flip raises :class:`~repro.errors.StateError` instead of desyncing the
+stream, version and type are validated, and arbitrarily fragmented
+reads (the normal case on a busy pipe) reassemble perfectly.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cluster.transport import (
+    FRAME_TYPES,
+    FRAME_VERSION,
+    MAX_FRAME_BYTES,
+    FrameStream,
+    decode_frame_payload,
+    encode_frame,
+    frame_summary,
+    read_frame,
+    write_frame,
+)
+from repro.errors import ParameterError, StateError
+
+
+class ChunkedReader(io.RawIOBase):
+    """A reader that returns at most ``chunk`` bytes per ``read`` call —
+    the adversarial fragmentation a busy pipe produces."""
+
+    def __init__(self, data: bytes, chunk: int) -> None:
+        self._data = data
+        self._chunk = chunk
+        self._pos = 0
+        self.calls = 0
+
+    def read(self, n: int = -1) -> bytes:
+        self.calls += 1
+        if self._pos >= len(self._data):
+            return b""
+        take = min(self._chunk, n if n >= 0 else self._chunk)
+        piece = self._data[self._pos : self._pos + take]
+        self._pos += len(piece)
+        return piece
+
+
+class TestRoundTrip:
+    def test_every_frame_type_round_trips(self):
+        for frame_type in sorted(FRAME_TYPES):
+            frame = encode_frame(frame_type, n=3, name="x")
+            body = read_frame(io.BytesIO(frame))
+            assert body["type"] == frame_type
+            assert body["v"] == FRAME_VERSION
+            assert (body["n"], body["name"]) == (3, "x")
+
+    def test_nested_fields_round_trip(self):
+        events = [["key-1", 2], ["key-2", 1]]
+        meta = {"node_id": 4, "wal_seq": [7, 9]}
+        frame = encode_frame("deliver_batch", events=events, meta=meta)
+        body = read_frame(io.BytesIO(frame))
+        assert body["events"] == events
+        assert body["meta"] == meta
+
+    def test_back_to_back_frames(self):
+        buffer = io.BytesIO()
+        write_frame(buffer, "drain")
+        write_frame(buffer, "ping")
+        write_frame(buffer, "shutdown")
+        buffer.seek(0)
+        types = [read_frame(buffer)["type"] for _ in range(3)]
+        assert types == ["drain", "ping", "shutdown"]
+        assert read_frame(buffer) is None  # clean EOF at the boundary
+
+    def test_unknown_type_refused_at_encode(self):
+        with pytest.raises(ParameterError, match="unknown frame type"):
+            encode_frame("gossip_digest")
+
+    def test_frame_summary(self):
+        body = decode_frame_payload(encode_frame("drain_ack", node=2)[4:])
+        assert frame_summary(body) == "drain_ack(node)"
+
+
+class TestTruncation:
+    def test_eof_inside_length_prefix(self):
+        frame = encode_frame("ok")
+        with pytest.raises(StateError, match="truncated"):
+            read_frame(io.BytesIO(frame[:2]))
+
+    def test_eof_inside_payload(self):
+        frame = encode_frame("ok", detail="x" * 64)
+        with pytest.raises(StateError, match="truncated"):
+            read_frame(io.BytesIO(frame[:-5]))
+
+    def test_eof_right_after_prefix(self):
+        frame = encode_frame("ok")
+        with pytest.raises(StateError, match="EOF before frame payload"):
+            read_frame(io.BytesIO(frame[:4]))
+
+    def test_clean_eof_is_none_not_error(self):
+        assert read_frame(io.BytesIO(b"")) is None
+
+    def test_corrupt_length_prefix_refused(self):
+        huge = (MAX_FRAME_BYTES + 1).to_bytes(4, "big")
+        with pytest.raises(StateError, match="corrupt or foreign"):
+            read_frame(io.BytesIO(huge + b"anything"))
+
+
+class TestCorruption:
+    def test_every_single_bit_flip_in_payload_is_caught(self):
+        frame = encode_frame("drain_ack", node=1, pending=0)
+        prefix, payload = frame[:4], bytearray(frame[4:])
+        for index in range(len(payload)):
+            for bit in range(8):
+                corrupted = bytearray(payload)
+                corrupted[index] ^= 1 << bit
+                with pytest.raises(StateError):
+                    read_frame(io.BytesIO(prefix + bytes(corrupted)))
+
+    def test_version_mismatch_refused(self):
+        # Re-checksum a body claiming a future protocol version: the
+        # checksum passes, the version gate must still refuse it.
+        from repro.core.codec import encode_checksummed_line
+
+        line = encode_checksummed_line(
+            {"v": FRAME_VERSION + 1, "type": "ok"},
+            0x9B1D77A446524D45,
+        ).encode("utf-8")
+        framed = len(line).to_bytes(4, "big") + line
+        with pytest.raises(StateError, match="version"):
+            read_frame(io.BytesIO(framed))
+
+    def test_unknown_type_refused_at_decode(self):
+        from repro.core.codec import encode_checksummed_line
+
+        line = encode_checksummed_line(
+            {"v": FRAME_VERSION, "type": "exfiltrate"},
+            0x9B1D77A446524D45,
+        ).encode("utf-8")
+        framed = len(line).to_bytes(4, "big") + line
+        with pytest.raises(StateError, match="unknown transport frame"):
+            read_frame(io.BytesIO(framed))
+
+    def test_non_utf8_payload_refused(self):
+        framed = (2).to_bytes(4, "big") + b"\xff\xfe"
+        with pytest.raises(StateError, match="not UTF-8"):
+            read_frame(io.BytesIO(framed))
+
+    def test_foreign_checksum_seed_refused(self):
+        # A checkpoint line is a valid checksummed record — under the
+        # wrong seed.  Speaking the wrong protocol must not decode.
+        from repro.core.codec import encode_checksummed_line
+
+        line = encode_checksummed_line(
+            {"v": FRAME_VERSION, "type": "ok"}, 0xDEADBEEF
+        ).encode("utf-8")
+        framed = len(line).to_bytes(4, "big") + line
+        with pytest.raises(StateError):
+            read_frame(io.BytesIO(framed))
+
+
+class TestFragmentedReads:
+    @pytest.mark.parametrize("chunk", [1, 2, 3, 7])
+    def test_interleaved_partial_reads_reassemble(self, chunk):
+        buffer = io.BytesIO()
+        write_frame(buffer, "deliver_batch", events=[["k", 1]] * 17)
+        write_frame(buffer, "drain")
+        reader = ChunkedReader(buffer.getvalue(), chunk)
+        first = read_frame(reader)
+        second = read_frame(reader)
+        assert first["type"] == "deliver_batch"
+        assert len(first["events"]) == 17
+        assert second["type"] == "drain"
+        assert read_frame(reader) is None
+        assert reader.calls > 2  # genuinely fragmented
+
+    def test_truncation_detected_through_fragmentation(self):
+        frame = encode_frame("ok", filler="y" * 100)
+        reader = ChunkedReader(frame[:-1], 3)
+        with pytest.raises(StateError, match="truncated"):
+            read_frame(reader)
+
+
+class TestFrameStream:
+    def _pair(self) -> tuple[FrameStream, io.BytesIO, io.BytesIO]:
+        inbound, outbound = io.BytesIO(), io.BytesIO()
+        return FrameStream(inbound, outbound), inbound, outbound
+
+    def test_send_then_peer_reads(self):
+        stream, _, outbound = self._pair()
+        stream.send("ping")
+        assert read_frame(io.BytesIO(outbound.getvalue()))["type"] == "ping"
+
+    def test_expect_enforces_type(self):
+        stream, inbound, _ = self._pair()
+        write_frame(inbound, "pong", pid=1)
+        inbound.seek(0)
+        with pytest.raises(StateError, match="expected 'drain_ack'"):
+            stream.expect("drain_ack")
+
+    def test_expect_surfaces_error_frames(self):
+        stream, inbound, _ = self._pair()
+        write_frame(inbound, "error", message="bank exploded")
+        inbound.seek(0)
+        with pytest.raises(StateError, match="bank exploded"):
+            stream.expect("ok")
+
+    def test_expect_on_eof(self):
+        stream, _, _ = self._pair()
+        with pytest.raises(StateError, match="closed while waiting"):
+            stream.expect("ok")
+
+    def test_request_round_trip(self):
+        stream, inbound, outbound = self._pair()
+        write_frame(inbound, "drain_ack", node=3)
+        inbound.seek(0)
+        reply = stream.request("drain", "drain_ack")
+        assert reply["node"] == 3
+        assert (
+            read_frame(io.BytesIO(outbound.getvalue()))["type"] == "drain"
+        )

@@ -307,6 +307,112 @@ class TestMembershipRows:
         assert any("rows[1]" in problem for problem in problems)
 
 
+def _throughput_payload() -> dict:
+    payload = _valid_payload("cluster_throughput")
+    payload["rows"] = [
+        {"workers": 1, "mode": "serial", "events_per_sec": 123.4}
+    ]
+    payload["parallel_bit_identical"] = True
+    payload["process_bit_identical"] = True
+    payload["process_rows"] = [
+        {"nodes": 2, "arm": "serial", "events_per_sec": 100.0},
+        {"nodes": 2, "arm": "parallel", "events_per_sec": 120.0},
+        {"nodes": 2, "arm": "process", "events_per_sec": 140.0},
+    ]
+    return payload
+
+
+class TestThroughputShape:
+    """cluster_throughput artifacts carry the plan-arm checks: both
+    bit-identity flags must be exactly ``true`` and the process-arm
+    rows must be well-formed — an execution plan that diverged from
+    the serial reference must never ship."""
+
+    def _check(self, tmp_path, payload: dict) -> list[str]:
+        path = _write(
+            tmp_path,
+            "BENCH_cluster_throughput.json",
+            json.dumps(payload),
+        )
+        return check_bench_json.check_file(path)
+
+    def test_valid_throughput_payload_passes(self, tmp_path):
+        assert self._check(tmp_path, _throughput_payload()) == []
+
+    def test_other_benchmarks_skip_the_throughput_shape(self, tmp_path):
+        path = _write(
+            tmp_path, "BENCH_cluster.json", json.dumps(_valid_payload())
+        )
+        assert check_bench_json.check_file(path) == []
+
+    @pytest.mark.parametrize(
+        "flag", ["parallel_bit_identical", "process_bit_identical"]
+    )
+    @pytest.mark.parametrize("value", [False, 1, None, "true"])
+    def test_rejects_non_true_bit_identity(self, tmp_path, flag, value):
+        payload = _throughput_payload()
+        payload[flag] = value
+        problems = self._check(tmp_path, payload)
+        assert any(
+            f"{flag} must be true" in problem for problem in problems
+        )
+
+    def test_rejects_missing_bit_identity_flag(self, tmp_path):
+        payload = _throughput_payload()
+        del payload["process_bit_identical"]
+        problems = self._check(tmp_path, payload)
+        assert any(
+            "process_bit_identical must be true" in problem
+            for problem in problems
+        )
+
+    @pytest.mark.parametrize("rows", [None, [], "rows", {}])
+    def test_rejects_bad_process_rows(self, tmp_path, rows):
+        payload = _throughput_payload()
+        payload["process_rows"] = rows
+        problems = self._check(tmp_path, payload)
+        assert any(
+            "process_rows must be a non-empty list" in problem
+            for problem in problems
+        )
+
+    @pytest.mark.parametrize("nodes", [0, -2, True, "2", None])
+    def test_rejects_bad_nodes(self, tmp_path, nodes):
+        payload = _throughput_payload()
+        payload["process_rows"][0]["nodes"] = nodes
+        problems = self._check(tmp_path, payload)
+        assert any(
+            "nodes must be a positive integer" in problem
+            for problem in problems
+        )
+
+    @pytest.mark.parametrize("arm", ["threads", None, 2])
+    def test_rejects_unknown_arm(self, tmp_path, arm):
+        payload = _throughput_payload()
+        payload["process_rows"][1]["arm"] = arm
+        problems = self._check(tmp_path, payload)
+        assert any("arm must be one of" in problem for problem in problems)
+
+    @pytest.mark.parametrize("rate", [0, -1.5, True, "fast", None])
+    def test_rejects_bad_rate(self, tmp_path, rate):
+        payload = _throughput_payload()
+        payload["process_rows"][2]["events_per_sec"] = rate
+        problems = self._check(tmp_path, payload)
+        assert any(
+            "events_per_sec must be positive" in problem
+            for problem in problems
+        )
+
+    def test_process_row_metrics_are_validated(self, tmp_path):
+        payload = _throughput_payload()
+        payload["process_rows"][0]["metrics"] = {"counters": {}}
+        problems = self._check(tmp_path, payload)
+        assert any(
+            "process_rows[0]" in problem and "metrics" in problem
+            for problem in problems
+        )
+
+
 class TestMain:
     def test_passes_on_valid_paths(self, tmp_path, capsys):
         path = _write(

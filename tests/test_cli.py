@@ -279,6 +279,109 @@ class TestCommands:
         with pytest.raises(SystemExit):
             main(["cluster", "--events", "100", "--workers", "0"])
 
+    def test_cluster_plan_process(self, capsys):
+        assert (
+            main(
+                [
+                    "cluster",
+                    "--plan",
+                    "process",
+                    "--nodes",
+                    "2",
+                    "--events",
+                    "3000",
+                    "--keys",
+                    "100",
+                    "--checkpoint-every",
+                    "1500",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "process plan: one worker process per node" in out
+        assert "events/s" in out
+
+    def test_cluster_plan_serial_explicit(self, capsys):
+        assert (
+            main(
+                [
+                    "cluster",
+                    "--plan",
+                    "serial",
+                    "--events",
+                    "2000",
+                    "--keys",
+                    "100",
+                ]
+            )
+            == 0
+        )
+        assert "events/s" in capsys.readouterr().out
+
+    def test_cluster_unknown_plan_exits_2_listing_names(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["cluster", "--plan", "threads", "--events", "100"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        for name in ("auto", "serial", "parallel", "process"):
+            assert name in err
+
+    def test_cluster_plan_process_rejects_workers(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "cluster",
+                    "--plan",
+                    "process",
+                    "--workers",
+                    "4",
+                    "--events",
+                    "100",
+                ]
+            )
+
+    def test_cluster_serve_requires_subcommand(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["cluster", "serve"])
+        assert excinfo.value.code == 2
+
+    def test_cluster_serve_round_trip(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "cluster",
+                    "serve",
+                    "up",
+                    "--dir",
+                    str(tmp_path),
+                    "--nodes",
+                    "2",
+                    "--timeout",
+                    "30",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "2 workers up" in out
+        try:
+            assert main(["cluster", "serve", "ps", "--dir", str(tmp_path)]) == 0
+            assert capsys.readouterr().out.count("running") == 2
+            assert (
+                main(["cluster", "serve", "status", "--dir", str(tmp_path)])
+                == 0
+            )
+            assert capsys.readouterr().out.count("running") == 2
+        finally:
+            assert (
+                main(["cluster", "serve", "down", "--dir", str(tmp_path)])
+                == 0
+            )
+        assert capsys.readouterr().out.count("stopped") == 2
+        with pytest.raises(SystemExit, match="no fleet"):
+            main(["cluster", "serve", "ps", "--dir", str(tmp_path)])
+
     def test_cluster_wal_fsync_requires_file_backend(self):
         with pytest.raises(SystemExit):
             main(["cluster", "--events", "100", "--wal-fsync", "8"])
