@@ -61,14 +61,26 @@ driver-healed reference run of the same seed (it must be — recovery is
 lossless either way).  Results land in
 ``benchmarks/results/BENCH_cluster_membership.json``.
 
+A seventh scenario measures *serving*: the finished cluster behind the
+PR-9 read surface (:class:`~repro.cluster.query.ClusterReader` plus the
+:mod:`~repro.cluster.httpd` HTTP/SSE frontend) at 1, 2 and 4 replicas
+on ``exact`` templates with gossip aggregation.  Per replica count it
+records replica-read queries/sec and the read-cache hit rate, asserts
+the reported staleness bound never exceeds the configured
+``gossip_every`` window, pins every replica's digest read bit-identical
+to ``global_view()`` after convergence, and proves serving is inert: a
+run that was served (every HTTP endpoint exercised, SSE included) ends
+with a fingerprint identical to an unserved run of the same seed.
+Results land in ``benchmarks/results/BENCH_cluster_serving.json``.
+
 Entry points:
 
 * pytest-benchmark (``pytest benchmarks/bench_cluster.py``) — the full
   sweep plus crash-recovery, elasticity, durability, throughput,
-  gossip, and membership benchmarks;
+  gossip, membership, and serving benchmarks;
 * script mode (``python benchmarks/bench_cluster.py [-q] [--scenario
-  scaling|elastic|durability|throughput|gossip|membership]``) — the
-  same runs standalone;
+  scaling|elastic|durability|throughput|gossip|membership|serving]``)
+  — the same runs standalone;
   ``-q`` is the smoke path used by tier-1 tests (reduced workload, same
   schema, seconds not minutes).  Scenarios live in the ``_SCENARIOS``
   registry; an unknown ``--scenario`` is a clean argparse error listing
@@ -78,16 +90,20 @@ Entry points:
 from __future__ import annotations
 
 import argparse
+import json
 import math
 import os
 import sys
 import tempfile
+import time
+import urllib.request
 from typing import Callable, NamedTuple
 
 from _bench_utils import write_json_result, write_result
 
 from repro.cluster import (
     ClusterConfig,
+    ClusterReader,
     ClusterSimulation,
     NodeFailure,
     ScaleEvent,
@@ -96,6 +112,7 @@ from repro.cluster import (
     recover_cluster,
     view_fingerprint,
 )
+from repro.cluster.httpd import serve_http
 from repro.experiments.records import TextTable
 from repro.obs import Telemetry
 from repro.rng.bitstream import BitBudgetedRandom
@@ -427,11 +444,9 @@ def _run_durability(n_events: int) -> dict:
             before = simulation.aggregator.global_view()
         with recover_cluster(exact_dir) as recovered:
             after = recovered.aggregator.global_view()
-        recovery_bit_identical = (
-            {key: c.estimate() for key, c in before.counters.items()}
-            == {key: c.estimate() for key, c in after.counters.items()}
-            and before.truth == after.truth
-        )
+        recovery_bit_identical = view_fingerprint(
+            before
+        ) == view_fingerprint(after)
     return {
         "benchmark": "cluster_durability",
         "seed": _SEED,
@@ -702,15 +717,8 @@ def _run_throughput(n_events: int) -> dict:
             )
             simulation = ClusterSimulation(config)
             simulation.run(events)
-            view = simulation.aggregator.global_view()
             fingerprints.append(
-                (
-                    {
-                        key: counter.estimate()
-                        for key, counter in view.counters.items()
-                    },
-                    view.truth,
-                )
+                view_fingerprint(simulation.aggregator.global_view())
             )
         parallel_bit_identical = fingerprints[0] == fingerprints[1]
         process_bit_identical = fingerprints[0] == fingerprints[2]
@@ -1240,6 +1248,236 @@ def _check_membership(payload: dict) -> None:
 
 
 # ----------------------------------------------------------------------
+# serving scenario: queries/sec over replica digest reads, inertly
+# ----------------------------------------------------------------------
+_SERVING_SWEEP = (1, 2, 4)
+#: Timed replica reads per row — enough to exercise the read cache,
+#: cheap enough to keep even the quick path in seconds.
+_SERVING_QUERIES = 2_000
+#: Serving rows measure the read path, not ingest; the full sweep runs
+#: each replica count twice (served + unserved arms), so cap the stream
+#: length — the properties being pinned are length-free.
+_SERVING_FULL_EVENTS = 250_000
+
+
+def _http_get(url: str, timeout: float = 10.0) -> tuple[int, bytes]:
+    with urllib.request.urlopen(url, timeout=timeout) as reply:
+        return reply.status, reply.read()
+
+
+def _serve_http_round(reader: ClusterReader, hot_key: str) -> int:
+    """Exercise every HTTP endpoint against a live server once.
+
+    Returns the number of 200 responses; JSON endpoints must parse as
+    strict JSON.  This is what makes the served arm *served* — the
+    inertness fingerprint is taken after these requests have run.
+    """
+    ok = 0
+    server = serve_http(reader)
+    try:
+        json_endpoints = (
+            "/healthz",
+            f"/v1/keys/{hot_key}",
+            "/v1/topk?k=5",
+            "/v1/view",
+            "/v1/view?consistency=consistent",
+        )
+        for endpoint in json_endpoints:
+            status, body = _http_get(server.url + endpoint)
+            json.loads(body.decode("utf-8"))
+            ok += status == 200
+        status, body = _http_get(
+            server.url + "/v1/stream?limit=1&poll_ms=1"
+        )
+        ok += status == 200 and b"event: count" in body
+        status, body = _http_get(server.url + "/metrics")
+        ok += status == 200 and b"http_requests_total" in body
+    finally:
+        server.close()
+    return ok
+
+
+def _run_serving(n_events: int) -> dict:
+    """The serving layer at 1/2/4 replicas on ``exact`` templates.
+
+    Each replica count runs the identical gossip-aggregated workload
+    twice: once untouched, once served after the stream ends — a
+    :class:`~repro.cluster.query.ClusterReader` answering a timed burst
+    of replica-consistency reads (queries/sec and cache hit rate), a
+    per-replica bit-identity check of every digest read against
+    ``global_view()``, and one full HTTP/SSE round through
+    :func:`~repro.cluster.httpd.serve_http`.  Both arms must end with
+    identical view fingerprints: serving reads never change what the
+    cluster computes.  Every staleness stamp's reported bound must stay
+    within the configured ``gossip_every`` window, and a converged
+    replica must report zero lag — the honesty half of the "stale but
+    bounded" guarantee.
+    """
+    serving_events = min(n_events, _SERVING_FULL_EVENTS)
+    gossip_every = max(serving_events // 8, 1)
+    rows = []
+    for n_nodes in _SERVING_SWEEP:
+        config = ClusterConfig(
+            n_nodes=n_nodes,
+            template=default_template("exact"),
+            seed=_SEED,
+            buffer_limit=512,
+            checkpoint_every=max(serving_events // (4 * n_nodes), 1000),
+            aggregation="gossip",
+            gossip_fanout=_GOSSIP_FANOUT,
+            gossip_every=gossip_every,
+        )
+        fingerprints = {}
+        for arm in ("unserved", "served"):
+            events = zipf_workload(
+                BitBudgetedRandom(_SEED),
+                n_keys=_KEYS,
+                n_events=serving_events,
+                exponent=_EXPONENT,
+            )
+            with ClusterSimulation(config) as simulation:
+                simulation.run(events)
+                if arm == "served":
+                    reader = ClusterReader.from_simulation(simulation)
+                    central = view_fingerprint(
+                        simulation.aggregator.global_view()
+                    )
+                    replica_reads_identical = all(
+                        reader.view(
+                            consistency="replica", replica=node_id
+                        ).fingerprint()
+                        == central
+                        for node_id in reader.replicas
+                    )
+                    staleness = reader.staleness(consistency="replica")
+                    hot_keys = [
+                        key
+                        for key, _ in reader.raw_view(
+                            consistency="replica"
+                        ).top_keys(32)
+                    ]
+                    started = time.perf_counter()
+                    for index in range(_SERVING_QUERIES):
+                        reader.get(
+                            hot_keys[index % len(hot_keys)],
+                            consistency="replica",
+                        )
+                    elapsed = max(
+                        time.perf_counter() - started, 1e-9
+                    )
+                    # Snapshot both counters before the HTTP round
+                    # adds its own lookups to the same reader.
+                    hits = reader.cache_hits
+                    lookups = hits + reader.cache_misses
+                    http_ok = _serve_http_round(reader, hot_keys[0])
+                    metrics = simulation.metrics_snapshot()
+                fingerprints[arm] = view_fingerprint(
+                    simulation.aggregator.global_view()
+                )
+        rows.append(
+            {
+                "replicas": n_nodes,
+                "events": serving_events,
+                "queries": _SERVING_QUERIES,
+                "queries_per_sec": round(
+                    _SERVING_QUERIES / elapsed, 1
+                ),
+                "cache_hit_rate": round(hits / max(lookups, 1), 4),
+                "staleness_lag_events": staleness.lag_events,
+                "staleness_bound_events": staleness.bound_events,
+                "replica_reads_bit_identical": replica_reads_identical,
+                "served_equals_unserved": (
+                    fingerprints["served"] == fingerprints["unserved"]
+                ),
+                "http_ok": http_ok,
+                "metrics": metrics,
+            }
+        )
+    return {
+        "benchmark": "cluster_serving",
+        "seed": _SEED,
+        "workload": {
+            "kind": "zipf",
+            "events": serving_events,
+            "keys": _KEYS,
+            "exponent": _EXPONENT,
+        },
+        "config": {
+            "fanout": _GOSSIP_FANOUT,
+            "gossip_every": gossip_every,
+            "template": "exact",
+            "queries": _SERVING_QUERIES,
+        },
+        "rows": rows,
+    }
+
+
+def _render_serving(payload: dict) -> str:
+    table = TextTable(
+        [
+            "replicas",
+            "queries/s",
+            "cache hit",
+            "lag",
+            "bound",
+            "replica == central",
+            "served == unserved",
+        ]
+    )
+    for row in payload["rows"]:
+        table.add_row(
+            str(row["replicas"]),
+            f"{row['queries_per_sec']:,.0f}",
+            f"{100 * row['cache_hit_rate']:.1f}%",
+            f"{row['staleness_lag_events']:,}",
+            f"{row['staleness_bound_events']:,}",
+            "yes" if row["replica_reads_bit_identical"] else "NO",
+            "yes" if row["served_equals_unserved"] else "NO",
+        )
+    workload = payload["workload"]
+    config = payload["config"]
+    return "\n".join(
+        [
+            "Serving — HTTP/SSE query service over replica digest reads",
+            f"zipf({workload['exponent']}) {workload['events']:,} events "
+            f"over {workload['keys']:,} keys, seed {payload['seed']}; "
+            f"{config['queries']:,} replica reads per row, round every "
+            f"{config['gossip_every']:,} events, exact templates",
+            "",
+            table.render(),
+            "",
+            "Inertness check: a run that was served — every endpoint, "
+            "SSE included — fingerprints identically to an unserved "
+            "run of the same seed, and every converged replica read is "
+            "bit-identical to global_view().",
+        ]
+    )
+
+
+def _check_serving(payload: dict) -> None:
+    """The serving-scenario invariants (full or quick)."""
+    rows = payload["rows"]
+    assert [row["replicas"] for row in rows] == list(_SERVING_SWEEP)
+    gossip_every = payload["config"]["gossip_every"]
+    for row in rows:
+        assert row["events"] == payload["workload"]["events"]
+        # Serving reads must never change what the cluster computes.
+        assert row["served_equals_unserved"] is True
+        # Every replica's digest read equals the central fold bit for
+        # bit once the end-of-stream anti-entropy pass has converged.
+        assert row["replica_reads_bit_identical"] is True
+        # The reported staleness bound is the configured cadence, and a
+        # converged replica owes nothing.
+        assert row["staleness_bound_events"] <= gossip_every
+        assert row["staleness_lag_events"] == 0
+        assert row["queries_per_sec"] > 0
+        # A burst of reads against a quiescent cluster folds once.
+        assert row["cache_hit_rate"] > 0.5
+        # healthz, key, topk, two views, SSE, metrics — all served.
+        assert row["http_ok"] == 7
+
+
+# ----------------------------------------------------------------------
 # pytest-benchmark entry points
 # ----------------------------------------------------------------------
 def test_cluster_scaling(benchmark):
@@ -1331,6 +1569,16 @@ def test_cluster_membership(benchmark):
     )
 
 
+def test_cluster_serving(benchmark):
+    """Serving-layer sweep; writes BENCH_cluster_serving.json."""
+    payload = benchmark.pedantic(
+        lambda: _run_serving(_FULL_EVENTS), rounds=1, iterations=1
+    )
+    _check_serving(payload)
+    write_json_result("cluster_serving", payload)
+    write_result("BENCH_cluster_serving", _render_serving(payload))
+
+
 # ----------------------------------------------------------------------
 # script mode (the tier-1 smoke path)
 # ----------------------------------------------------------------------
@@ -1372,6 +1620,12 @@ _SCENARIOS: dict[str, _Scenario] = {
         _render_membership,
         "cluster_membership",
     ),
+    "serving": _Scenario(
+        _run_serving,
+        _check_serving,
+        _render_serving,
+        "cluster_serving",
+    ),
 }
 
 
@@ -1380,7 +1634,7 @@ def main(argv: list[str] | None = None) -> int:
         description=(
             "Cluster benchmark scenarios (scaling, elasticity, "
             "durability, parallel-ingest throughput, gossip "
-            "aggregation, self-healing membership)"
+            "aggregation, self-healing membership, serving)"
         )
     )
     parser.add_argument(

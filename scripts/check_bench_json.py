@@ -30,7 +30,16 @@ The benchmark suite writes machine-readable artifacts under
   reference must never ship), and ``process_rows`` must be a
   non-empty list whose rows carry ``nodes`` (positive int), ``arm``
   (``serial`` / ``parallel`` / ``process``), and a positive
-  ``events_per_sec``.
+  ``events_per_sec``;
+* is a ``cluster_serving`` artifact whose rows break the serving
+  scenario's acceptance shape — every row must carry ``replicas``
+  (positive int), a positive ``queries_per_sec``, honest staleness
+  fields (``staleness_lag_events`` non-negative int,
+  ``staleness_bound_events`` positive int), and both
+  ``replica_reads_bit_identical`` and ``served_equals_unserved``
+  exactly ``true`` (a serving layer that changed what the cluster
+  computes, or replica reads that diverged from ``global_view()``
+  after convergence, must never ship).
 
 Usage::
 
@@ -131,6 +140,55 @@ def _check_membership_row(row: dict, where: str) -> list[str]:
     return problems
 
 
+def _check_serving_row(row: dict, where: str) -> list[str]:
+    """Schema problems with one ``cluster_serving`` scenario row."""
+    problems: list[str] = []
+    replicas = row.get("replicas")
+    if (
+        not isinstance(replicas, int)
+        or isinstance(replicas, bool)
+        or replicas < 1
+    ):
+        problems.append(
+            f"{where}: replicas must be a positive integer, "
+            f"got {replicas!r}"
+        )
+    rate = row.get("queries_per_sec")
+    if (
+        isinstance(rate, bool)
+        or not isinstance(rate, (int, float))
+        or rate <= 0
+    ):
+        problems.append(
+            f"{where}: queries_per_sec must be positive, got {rate!r}"
+        )
+    lag = row.get("staleness_lag_events")
+    if not isinstance(lag, int) or isinstance(lag, bool) or lag < 0:
+        problems.append(
+            f"{where}: staleness_lag_events must be a non-negative "
+            f"integer, got {lag!r}"
+        )
+    bound = row.get("staleness_bound_events")
+    if not isinstance(bound, int) or isinstance(bound, bool) or bound < 1:
+        problems.append(
+            f"{where}: staleness_bound_events must be a positive "
+            f"integer, got {bound!r}"
+        )
+    if row.get("replica_reads_bit_identical") is not True:
+        problems.append(
+            f"{where}: replica_reads_bit_identical must be true — a "
+            "converged replica read that diverged from global_view() "
+            "must never ship"
+        )
+    if row.get("served_equals_unserved") is not True:
+        problems.append(
+            f"{where}: served_equals_unserved must be true — a serving "
+            "layer that changed what the cluster computes must never "
+            "ship"
+        )
+    return problems
+
+
 _PLAN_ARMS = ("serial", "parallel", "process")
 
 
@@ -215,6 +273,10 @@ def check_payload(payload: object, expected_name: str | None) -> list[str]:
             if payload["benchmark"] == "cluster_membership":
                 problems.extend(
                     _check_membership_row(row, f"rows[{index}]")
+                )
+            if payload["benchmark"] == "cluster_serving":
+                problems.extend(
+                    _check_serving_row(row, f"rows[{index}]")
                 )
     if payload["benchmark"] == "cluster_throughput":
         problems.extend(_check_throughput_extras(payload))

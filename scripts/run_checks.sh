@@ -12,12 +12,15 @@
 #   2. explicit doctest pass           (same tests, surfaced separately)
 #   3. docs link check                 (scripts/check_docs_links.py)
 #   4. bench smoke, every scenario     (scaling, elastic, durability,
-#      throughput, gossip, membership — writes BENCH_*.json)
+#      throughput, gossip, membership, serving — writes BENCH_*.json)
 #   5. strict-JSON artifact validation (scripts/check_bench_json.py)
 #   6. process-plan smoke              (a crash-bearing stream through
 #      per-node worker processes plus a serve up/status/down round
 #      trip, each under a hard 120 s timeout)
-#   7. cluster coverage report + floor (scripts/run_coverage.py —
+#   7. serving smoke                   (--serve-http over a real run:
+#      all four JSON endpoints fetched and validated as strict JSON,
+#      under a hard timeout)
+#   8. cluster coverage report + floor (scripts/run_coverage.py —
 #      pytest-cov when installed, stdlib tracer otherwise; fails below
 #      the floor on src/repro/cluster/)
 set -euo pipefail
@@ -49,7 +52,7 @@ python scripts/check_docs_links.py
 if [ "$run_bench" -eq 1 ]; then
   echo
   echo "== bench smoke (every scenario) =="
-  for scenario in scaling elastic durability throughput gossip membership; do
+  for scenario in scaling elastic durability throughput gossip membership serving; do
     echo "-- scenario: $scenario"
     python benchmarks/bench_cluster.py -q --scenario "$scenario" >/dev/null
   done
@@ -73,6 +76,42 @@ if [ "$run_bench" -eq 1 ]; then
   python src/repro/cli.py \
     cluster serve down --dir "$process_dir/store" >/dev/null
   rm -rf "$process_dir"
+
+  echo
+  echo "== serving smoke (HTTP over a finished run, hard timeout) =="
+  serving_log="$(mktemp)"
+  python src/repro/cli.py cluster \
+    --nodes 2 --events 6000 --keys 100 \
+    --aggregation gossip --gossip-every 1500 \
+    --serve-http 0 >"$serving_log" &
+  serving_pid=$!
+  serving_url=""
+  for _ in $(seq 1 120); do
+    serving_url="$(sed -n 's/^serving: \(http:[^ ]*\).*/\1/p' "$serving_log")"
+    [ -n "$serving_url" ] && break
+    if ! kill -0 "$serving_pid" 2>/dev/null; then
+      echo "serving smoke: server exited before binding" >&2
+      cat "$serving_log" >&2
+      exit 1
+    fi
+    sleep 0.5
+  done
+  if [ -z "$serving_url" ]; then
+    echo "serving smoke: server never reported its URL" >&2
+    kill "$serving_pid" 2>/dev/null || true
+    exit 1
+  fi
+  for endpoint in "/healthz" "/v1/keys/page-000000" "/v1/topk?k=3" "/v1/view"; do
+    timeout 30 python -c '
+import json, sys, urllib.request
+with urllib.request.urlopen(sys.argv[1], timeout=10) as reply:
+    payload = json.loads(reply.read().decode("utf-8"))
+json.dumps(payload, allow_nan=False)   # strict JSON or bust
+' "$serving_url$endpoint"
+  done
+  kill "$serving_pid"
+  wait "$serving_pid" || true
+  rm -f "$serving_log"
 
   echo
   echo "== telemetry sample (metrics snapshot + structured trace) =="

@@ -23,9 +23,13 @@ Usage::
         --kill-dead 2@500000 --suspect-after 2 --membership-heal auto
     python -m repro.cli cluster --plan process --nodes 4 \\
         --events 1000000 --kill 2@500000
+    python -m repro.cli cluster --aggregation gossip --serve-http 8080
     python -m repro.cli cluster serve up --dir /tmp/cluster --nodes 2
     python -m repro.cli cluster serve ps --dir /tmp/cluster
     python -m repro.cli cluster serve status --dir /tmp/cluster
+    python -m repro.cli cluster serve query up --dir /tmp/cluster
+    python -m repro.cli cluster serve query status --dir /tmp/cluster
+    python -m repro.cli cluster serve query down --dir /tmp/cluster
     python -m repro.cli cluster serve down --dir /tmp/cluster
     python -m repro.cli count --algorithm nelson_yu --n 1000000
 
@@ -424,6 +428,18 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    cluster.add_argument(
+        "--serve-http",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "after the run, serve the finished cluster's counts over "
+            "HTTP/SSE on 127.0.0.1:PORT until interrupted (0 picks a "
+            "free port; endpoints in docs/serving.md)"
+        ),
+    )
+
     cluster_modes = cluster.add_subparsers(
         dest="cluster_command", required=False
     )
@@ -507,6 +523,59 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="socket timeout per worker",
     )
+    serve_query = serve_modes.add_parser(
+        "query",
+        help=(
+            "manage the HTTP/SSE query daemon serving reads over the "
+            "live worker fleet"
+        ),
+    )
+    query_modes = serve_query.add_subparsers(
+        dest="query_command", required=True
+    )
+    query_up = query_modes.add_parser(
+        "up", help="launch the query daemon against the recorded fleet"
+    )
+    _serve_dir(query_up)
+    query_up.add_argument(
+        "--host", default="127.0.0.1", help="address to bind"
+    )
+    query_up.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        metavar="PORT",
+        help="TCP port to bind (0, the default, picks a free port)",
+    )
+    query_up.add_argument(
+        "--timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="how long to wait for the daemon to come up",
+    )
+    query_down = query_modes.add_parser(
+        "down", help="stop the query daemon and forget its record"
+    )
+    _serve_dir(query_down)
+    query_down.add_argument(
+        "--timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="budget before escalating from SIGTERM to SIGKILL",
+    )
+    query_status = query_modes.add_parser(
+        "status", help="probe the query daemon's /healthz"
+    )
+    _serve_dir(query_status)
+    query_status.add_argument(
+        "--timeout",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="HTTP timeout for the probe",
+    )
 
     count = subparsers.add_parser(
         "count", help="run one counter over N increments"
@@ -525,168 +594,22 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _run_cluster(args: argparse.Namespace) -> str:
-    from repro.cluster import (
-        ClusterConfig,
-        ClusterSimulation,
-        NodeFailure,
-        ScaleEvent,
-        TumblingRetention,
-        default_template,
-    )
+    from repro.cluster import ClusterConfig, ClusterSimulation
     from repro.rng.bitstream import BitBudgetedRandom
     from repro.stream.workload import zipf_workload
 
     from repro.errors import ParameterError, StateError
 
-    failures = []
-    for spec in args.kill:
-        try:
-            node_part, event_part = spec.split("@", 1)
-            node_id, at_event = int(node_part), int(event_part)
-        except ValueError:
-            raise SystemExit(
-                f"--kill expects NODE@EVENT (e.g. 2@100000), got {spec!r}"
-            )
-        try:
-            failures.append(NodeFailure(at_event=at_event, node_id=node_id))
-        except ParameterError as exc:
-            raise SystemExit(f"invalid --kill {spec!r}: {exc}")
-    for spec in args.kill_dead:
-        try:
-            node_part, event_part = spec.split("@", 1)
-            node_id, at_event = int(node_part), int(event_part)
-        except ValueError:
-            raise SystemExit(
-                f"--kill-dead expects NODE@EVENT (e.g. 2@100000), "
-                f"got {spec!r}"
-            )
-        try:
-            failures.append(
-                NodeFailure(at_event=at_event, node_id=node_id, heal=False)
-            )
-        except ParameterError as exc:
-            raise SystemExit(f"invalid --kill-dead {spec!r}: {exc}")
-    scale_events = []
-    for at_event in args.grow:
-        try:
-            scale_events.append(ScaleEvent(at_event=at_event, action="add"))
-        except ParameterError as exc:
-            raise SystemExit(f"invalid --grow {at_event!r}: {exc}")
-    for spec in args.shrink:
-        try:
-            node_part, event_part = spec.split("@", 1)
-            node_id, at_event = int(node_part), int(event_part)
-        except ValueError:
-            raise SystemExit(
-                f"--shrink expects NODE@EVENT (e.g. 1@600000), got {spec!r}"
-            )
-        try:
-            scale_events.append(
-                ScaleEvent(
-                    at_event=at_event, action="remove", node_id=node_id
-                )
-            )
-        except ParameterError as exc:
-            raise SystemExit(f"invalid --shrink {spec!r}: {exc}")
-    for failure in failures:
-        if failure.at_event >= args.events:
-            raise SystemExit(
-                f"--kill at event {failure.at_event} is past the end of "
-                f"the stream ({args.events} events); it would never fire"
-            )
-    if args.membership and args.aggregation != "gossip":
-        raise SystemExit("--membership requires --aggregation gossip")
-    if not args.membership:
-        if args.kill_dead:
-            raise SystemExit("--kill-dead requires --membership")
-        if args.suspect_after != 2:
-            raise SystemExit("--suspect-after requires --membership")
-        if args.membership_quorum is not None:
-            raise SystemExit("--membership-quorum requires --membership")
-        if args.membership_heal != "auto":
-            raise SystemExit("--membership-heal requires --membership")
-    for scale in scale_events:
-        if scale.at_event >= args.events:
-            raise SystemExit(
-                f"--grow/--shrink at event {scale.at_event} is past the "
-                f"end of the stream ({args.events} events); it would "
-                "never fire"
-            )
-    retention = None
-    if args.window_every is not None:
-        try:
-            retention = TumblingRetention(
-                window_events=args.window_every, keep_windows=args.retain
-            )
-        except ParameterError as exc:
-            raise SystemExit(f"invalid retention policy: {exc}")
-    elif args.retain is not None:
-        raise SystemExit("--retain requires --window-every")
-    if args.storage == "file" and args.storage_dir is None:
-        raise SystemExit("--storage file requires --storage-dir")
-    if args.storage_dir is not None and args.storage != "file":
-        raise SystemExit("--storage-dir requires --storage file")
-    if args.storage_overwrite and args.storage != "file":
-        raise SystemExit("--storage-overwrite requires --storage file")
-    if args.wal_fsync is not None and args.storage != "file":
-        raise SystemExit("--wal-fsync requires --storage file")
-    if args.no_telemetry and args.metrics_out is not None:
+    if args.serve_http is not None and not 0 <= args.serve_http <= 65535:
         raise SystemExit(
-            "--metrics-out needs the telemetry layers; "
-            "drop --no-telemetry"
-        )
-    if args.no_telemetry and args.trace_out is not None:
-        raise SystemExit(
-            "--trace-out needs the telemetry layers; "
-            "drop --no-telemetry"
-        )
-    if args.aggregation != "gossip":
-        if args.gossip_every is not None:
-            raise SystemExit("--gossip-every requires --aggregation gossip")
-        if args.gossip_fanout != 1:
-            raise SystemExit(
-                "--gossip-fanout requires --aggregation gossip"
-            )
-        gossip_every = None
-    else:
-        gossip_every = (
-            args.gossip_every
-            if args.gossip_every is not None
-            else max(args.events // 8, 1)
+            f"--serve-http expects a port between 0 and 65535, "
+            f"got {args.serve_http}"
         )
     try:
-        config = ClusterConfig(
-            n_nodes=args.nodes,
-            template=default_template(args.algorithm),
-            seed=args.seed,
-            buffer_limit=args.buffer,
-            checkpoint_every=args.checkpoint_every or None,
-            hot_key_threshold=args.hot_threshold,
-            failures=tuple(sorted(failures, key=lambda f: f.at_event)),
-            routing=args.routing,
-            ring_points=args.ring_points,
-            scale_events=tuple(
-                sorted(scale_events, key=lambda s: s.at_event)
-            ),
-            retention=retention,
-            storage=args.storage,
-            storage_dir=args.storage_dir,
-            storage_overwrite=args.storage_overwrite,
-            wal_segment_events=args.wal_segment,
-            ingest_workers=args.workers,
-            delivery_batch=args.batch,
-            wal_fsync_every=args.wal_fsync,
-            plan=args.plan,
-            aggregation=args.aggregation,
-            gossip_fanout=args.gossip_fanout,
-            gossip_every=gossip_every,
-            membership=args.membership,
-            suspect_after=args.suspect_after,
-            membership_quorum=args.membership_quorum,
-            membership_heal=args.membership_heal,
-        )
+        config = ClusterConfig.from_args(args)
     except ParameterError as exc:
-        raise SystemExit(f"invalid cluster configuration: {exc}")
+        raise SystemExit(str(exc))
+    gossip_every = config.gossip_every
     events = zipf_workload(
         BitBudgetedRandom(args.seed),
         n_keys=args.keys,
@@ -772,7 +695,53 @@ def _run_cluster(args: argparse.Namespace) -> str:
         table += f"\ntelemetry snapshot ({kind}): {args.metrics_out}"
     if args.trace_out is not None:
         table += f"\nstructured trace (JSON lines): {args.trace_out}"
-    return table
+    if args.serve_http is None:
+        return table
+    return _serve_finished_run(args, simulation, table)
+
+
+def _serve_finished_run(
+    args: argparse.Namespace, simulation, table: str
+) -> str:
+    """``--serve-http``: expose the finished run over HTTP until told
+    to stop.
+
+    The table prints immediately, followed by a parseable
+    ``serving: <url>`` line (with the actually-bound port — ``--serve-
+    http 0`` picks a free one), so scripts can background the CLI and
+    scrape the URL.  Serving only reads: the run's result is already
+    computed and its fingerprint is what it would have been unserved.
+    """
+    import signal
+    import time
+
+    from repro.cluster.httpd import serve_http
+    from repro.cluster.query import ClusterReader
+
+    reader = ClusterReader.from_simulation(simulation)
+    server = serve_http(
+        reader,
+        port=args.serve_http,
+        metrics_render=simulation.render_prometheus,
+    )
+    print(table)
+    print(
+        f"serving: {server.url} (SIGINT or SIGTERM stops)", flush=True
+    )
+
+    def _stop(signum, frame):
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _stop)
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        server.close()
+    return "serving stopped"
 
 
 def _run_serve(args: argparse.Namespace) -> str:
@@ -786,6 +755,8 @@ def _run_serve(args: argparse.Namespace) -> str:
     from repro.errors import ReproError
 
     try:
+        if args.serve_command == "query":
+            return _run_serve_query(args)
         if args.serve_command == "up":
             workers = fleet_up(
                 args.dir,
@@ -833,6 +804,35 @@ def _run_serve(args: argparse.Namespace) -> str:
     except ReproError as exc:
         raise SystemExit(f"cluster serve {args.serve_command}: {exc}")
     return "\n".join(lines)
+
+
+def _run_serve_query(args: argparse.Namespace) -> str:
+    from repro.cluster.serve import query_down, query_status, query_up
+
+    if args.query_command == "up":
+        record = query_up(
+            args.dir,
+            host=args.host,
+            port=args.port,
+            timeout=args.timeout,
+        )
+        return (
+            f"query daemon: pid {record['pid']} serving "
+            f"{record['url']} over the fleet under {args.dir} "
+            "(stop with 'cluster serve query down')"
+        )
+    if args.query_command == "status":
+        row = query_status(args.dir, timeout=args.timeout)
+        if row["state"] == "running":
+            replicas = ",".join(str(r) for r in row["replicas"])
+            return (
+                f"query daemon: running pid {row['pid']} at "
+                f"{row['url']} replicas {replicas}"
+            )
+        detail = row.get("error", row["url"])
+        return f"query daemon: {row['state']} ({detail})"
+    row = query_down(args.dir, timeout=args.timeout)
+    return f"query daemon: {row['state']} (pid {row['pid']})"
 
 
 def _run_count(args: argparse.Namespace) -> str:

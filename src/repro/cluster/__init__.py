@@ -57,6 +57,15 @@ deployment:
   its :mod:`~repro.cluster.worker` subprocesses;
   :mod:`~repro.cluster.serve` manages the long-running daemon shape of
   the same workers (the ``cluster serve`` CLI lifecycle);
+* :mod:`~repro.cluster.query` — the one blessed read surface:
+  :class:`~repro.cluster.query.ClusterReader` answers ``get`` /
+  ``top_k`` / ``view`` / ``subscribe`` at a chosen consistency
+  (``"replica"`` = pure gossip-digest read with an honest staleness
+  stamp, ``"consistent"`` = the paid central fold) behind a
+  stamp-invalidated read cache, returning the typed entities of
+  :mod:`~repro.cluster.entities`; :mod:`~repro.cluster.httpd` serves
+  the same API over HTTP/SSE (``--serve-http`` and the
+  ``cluster serve query`` daemon — see ``docs/serving.md``);
 * :mod:`repro.obs` (a sibling package) — the telemetry substrate every
   cluster layer publishes into: a metrics registry, a structured
   stream-position-stamped trace log, and delivery-path stage timers.
@@ -78,6 +87,14 @@ from repro.cluster.aggregator import (
     view_fingerprint,
 )
 from repro.cluster.checkpoint import BankCheckpoint
+from repro.cluster.entities import (
+    READ_CONSISTENCY,
+    KeyCount,
+    StalenessInfo,
+    TopK,
+    ViewSnapshot,
+    dump_strict_json,
+)
 from repro.cluster.gossip import (
     AGGREGATION_MODES,
     DigestEntry,
@@ -93,6 +110,7 @@ from repro.cluster.membership import (
     MembershipView,
 )
 from repro.cluster.node import CounterTemplate, IngestNode, default_template
+from repro.cluster.query import ClusterReader, Subscription
 from repro.cluster.pipeline import (
     PLAN_NAMES,
     PLAN_REGISTRY,
@@ -151,6 +169,7 @@ __all__ = [
     "CONFIRMED_DEAD",
     "CheckpointStore",
     "ClusterConfig",
+    "ClusterReader",
     "ClusterRouter",
     "ClusterSimulation",
     "CounterTemplate",
@@ -162,6 +181,7 @@ __all__ = [
     "GossipNetwork",
     "HashRingStrategy",
     "IngestNode",
+    "KeyCount",
     "KeyMove",
     "MEMBERSHIP_HEAL_MODES",
     "MembershipView",
@@ -176,6 +196,7 @@ __all__ = [
     "PLAN_REGISTRY",
     "ParallelPlan",
     "ProcessPlan",
+    "READ_CONSISTENCY",
     "RebalancePlan",
     "RebalanceReport",
     "RetentionPolicy",
@@ -188,10 +209,15 @@ __all__ = [
     "SimulationResult",
     "SlidingRetention",
     "StableHashRouter",
+    "StalenessInfo",
+    "Subscription",
+    "TopK",
     "TumblingRetention",
+    "ViewSnapshot",
     "WorkerFleet",
     "WriteAheadLog",
     "default_template",
+    "dump_strict_json",
     "execute_rebalance",
     "make_plan",
     "make_store",

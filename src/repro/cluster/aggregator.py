@@ -236,7 +236,26 @@ class MergeTreeAggregator:
     def global_view(self) -> GlobalView:
         """Merge every key across all nodes (non-destructive).
 
-        Nodes are flushed first so the view reflects all accepted traffic.
+        Nodes are flushed first so the view reflects all accepted
+        traffic.  Since PR 9 this is a compatibility shim over the one
+        blessed read surface: it routes through
+        :class:`~repro.cluster.query.ClusterReader` with
+        ``consistency="consistent"``, which pays for exactly this
+        central fold (:meth:`_fold_view`) — so every caller of
+        ``global_view()`` and every reader query answer from the same
+        audited path, bit for bit.
+        """
+        from repro.cluster.query import ClusterReader
+
+        reader = ClusterReader(self, consistency="consistent")
+        return reader.raw_view()
+
+    def _fold_view(self) -> GlobalView:
+        """The central fold itself: flush every node, merge every key.
+
+        :class:`~repro.cluster.query.ClusterReader` calls this on its
+        consistent path; everything else should go through the reader
+        (or the :meth:`global_view` shim).
         """
         for node in self._nodes:
             node.flush()

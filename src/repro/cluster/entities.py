@@ -1,0 +1,250 @@
+"""Typed view models for the cluster's public read surface.
+
+The query API (:mod:`repro.cluster.query`), the HTTP frontend
+(:mod:`repro.cluster.httpd`), the CLI, and the bench suite all answer
+reads with the same four frozen dataclasses instead of ad-hoc dicts —
+the entity half of an entity/serializer split.  Each entity knows how
+to render itself as a *strict-JSON* payload (``to_payload``; plain
+dicts of str/int/float/None, no NaN/Infinity — the repo-wide artifact
+convention), and :func:`dump_strict_json` is the one shared encoder.
+
+Every read answer carries a :class:`StalenessInfo` stamp saying *how*
+it was produced: ``consistency="replica"`` answers came from one
+node's gossip digest and may lag the live cluster by up to
+``lag_events`` events; ``consistency="consistent"`` answers paid for a
+central fold and lag by zero.  The stamp is data, not behavior — the
+read paths live in :class:`~repro.cluster.query.ClusterReader`.
+
+>>> staleness = StalenessInfo(
+...     consistency="consistent", replica=None, lag_events=0,
+...     bound_events=None, epoch=0)
+>>> KeyCount(key="alpha", estimate=3.0, truth=3).to_payload()
+{'key': 'alpha', 'estimate': 3.0, 'truth': 3}
+>>> dump_strict_json(staleness.to_payload())
+'{"bound_events": null, "consistency": "consistent", "epoch": 0, \
+"lag_events": 0, "replica": null}'
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import ParameterError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.aggregator import GlobalView
+
+__all__ = [
+    "KeyCount",
+    "StalenessInfo",
+    "TopK",
+    "ViewSnapshot",
+    "dump_strict_json",
+]
+
+#: The two read modes every query accepts (see ``docs/serving.md``).
+READ_CONSISTENCY = ("replica", "consistent")
+
+
+def dump_strict_json(payload: Any) -> str:
+    """Encode one entity payload as strict JSON (no NaN/Infinity).
+
+    >>> dump_strict_json({"b": 1, "a": None})
+    '{"a": null, "b": 1}'
+    """
+    return json.dumps(payload, sort_keys=True, allow_nan=False)
+
+
+@dataclass(frozen=True)
+class StalenessInfo:
+    """How one read answer was produced and how stale it may be.
+
+    ``lag_events`` is the *reported bound*: the answer may be missing at
+    most that many delivered events (0 for consistent reads, and for a
+    converged replica).  ``bound_events`` echoes the configured gossip
+    cadence (``gossip_every``) when known — the window within which a
+    quiescent replica's lag is refreshed — or ``None``.
+    """
+
+    consistency: str
+    replica: int | None
+    lag_events: int
+    bound_events: int | None
+    epoch: int
+
+    def __post_init__(self) -> None:
+        if self.consistency not in READ_CONSISTENCY:
+            known = ", ".join(READ_CONSISTENCY)
+            raise ParameterError(
+                f"unknown consistency {self.consistency!r}; known: {known}"
+            )
+        if self.lag_events < 0:
+            raise ParameterError(
+                f"lag_events must be >= 0, got {self.lag_events}"
+            )
+
+    def to_payload(self) -> dict[str, Any]:
+        """Strict-JSON representation."""
+        return {
+            "consistency": self.consistency,
+            "replica": self.replica,
+            "lag_events": self.lag_events,
+            "bound_events": self.bound_events,
+            "epoch": self.epoch,
+        }
+
+
+@dataclass(frozen=True)
+class KeyCount:
+    """One key's estimated count (plus exact truth when tracked).
+
+    ``staleness`` is stamped on top-level answers; entries nested in a
+    :class:`TopK` or :class:`ViewSnapshot` leave it ``None`` and share
+    their container's stamp.
+    """
+
+    key: str
+    estimate: float
+    truth: int | None = None
+    staleness: StalenessInfo | None = None
+
+    def to_payload(self) -> dict[str, Any]:
+        """Strict-JSON representation (stamp omitted when unset)."""
+        payload: dict[str, Any] = {
+            "key": self.key,
+            "estimate": self.estimate,
+            "truth": self.truth,
+        }
+        if self.staleness is not None:
+            payload["staleness"] = self.staleness.to_payload()
+        return payload
+
+    @classmethod
+    def from_view(
+        cls,
+        view: "GlobalView",
+        key: str,
+        staleness: StalenessInfo | None = None,
+    ) -> "KeyCount":
+        """The entity for one key of a folded ``GlobalView``."""
+        truth = None
+        if view.truth is not None:
+            truth = view.truth.get(key, 0)
+        return cls(
+            key=key,
+            estimate=view.estimate(key),
+            truth=truth,
+            staleness=staleness,
+        )
+
+
+@dataclass(frozen=True)
+class TopK:
+    """The ``k`` heaviest keys, heaviest first (ties broken by key)."""
+
+    k: int
+    entries: tuple[KeyCount, ...]
+    staleness: StalenessInfo | None = None
+
+    def __post_init__(self) -> None:
+        if self.k < 0:
+            raise ParameterError(f"k must be >= 0, got {self.k}")
+
+    def to_payload(self) -> dict[str, Any]:
+        """Strict-JSON representation."""
+        payload: dict[str, Any] = {
+            "k": self.k,
+            "entries": [entry.to_payload() for entry in self.entries],
+        }
+        if self.staleness is not None:
+            payload["staleness"] = self.staleness.to_payload()
+        return payload
+
+    @classmethod
+    def from_view(
+        cls,
+        view: "GlobalView",
+        k: int,
+        staleness: StalenessInfo | None = None,
+    ) -> "TopK":
+        """The entity for ``view.top_keys(k)``."""
+        entries = tuple(
+            KeyCount.from_view(view, key) for key, _ in view.top_keys(k)
+        )
+        return cls(k=k, entries=entries, staleness=staleness)
+
+
+@dataclass(frozen=True)
+class ViewSnapshot:
+    """A whole folded view as data: every key's estimate (+ truth).
+
+    ``counts``/``truth`` are stored as sorted key/value pair tuples so
+    the entity stays hashable and deterministic; :meth:`estimates` and
+    :meth:`fingerprint` give the dict shapes the rest of the repo uses.
+    """
+
+    counts: tuple[tuple[str, float], ...]
+    truth: tuple[tuple[str, int], ...] | None
+    epoch: int
+    merge_rounds: int
+    staleness: StalenessInfo | None = None
+
+    @property
+    def n_keys(self) -> int:
+        """Number of keys the snapshot covers."""
+        return len(self.counts)
+
+    def estimates(self) -> dict[str, float]:
+        """Key → estimate mapping."""
+        return dict(self.counts)
+
+    def fingerprint(
+        self,
+    ) -> tuple[dict[str, float], dict[str, int] | None]:
+        """The repo's bit-identity convention: ``(estimates, truth)``
+        — comparable against
+        :func:`~repro.cluster.aggregator.view_fingerprint` output."""
+        truth = dict(self.truth) if self.truth is not None else None
+        return self.estimates(), truth
+
+    def to_payload(self) -> dict[str, Any]:
+        """Strict-JSON representation."""
+        payload: dict[str, Any] = {
+            "n_keys": self.n_keys,
+            "epoch": self.epoch,
+            "merge_rounds": self.merge_rounds,
+            "counts": {key: value for key, value in self.counts},
+            "truth": (
+                {key: value for key, value in self.truth}
+                if self.truth is not None
+                else None
+            ),
+        }
+        if self.staleness is not None:
+            payload["staleness"] = self.staleness.to_payload()
+        return payload
+
+    @classmethod
+    def from_view(
+        cls,
+        view: "GlobalView",
+        staleness: StalenessInfo | None = None,
+    ) -> "ViewSnapshot":
+        """The entity for a folded ``GlobalView``."""
+        counts = tuple(
+            (key, view.estimate(key)) for key in sorted(view.counters)
+        )
+        truth = None
+        if view.truth is not None:
+            truth = tuple(
+                (key, view.truth[key]) for key in sorted(view.truth)
+            )
+        return cls(
+            counts=counts,
+            truth=truth,
+            epoch=view.epoch,
+            merge_rounds=view.merge_rounds,
+            staleness=staleness,
+        )

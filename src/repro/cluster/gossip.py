@@ -540,24 +540,60 @@ class GossipNetwork:
         """One node's local read (see :meth:`NodeDigest.view`)."""
         return self.digest(node_id).view(fanout)
 
+    def digest_staleness(
+        self, node_id: int, nodes: Mapping[int, IngestNode]
+    ) -> int:
+        """Events one node's digest lags the live banks (pure read).
+
+        The sum over live origins of the events the origin has ingested
+        beyond what this node's digest entry covers (an unknown origin
+        counts in full).  This is the honesty stamp a *replica* read
+        reports (:class:`~repro.cluster.query.ClusterReader`): the
+        answer may be missing at most this many delivered events.
+        Reading it touches no node state — no flush, no RNG.
+        """
+        digest = self.digest(node_id)
+        lag = 0
+        for origin, node in sorted(nodes.items()):
+            entry = digest.entry(origin)
+            covered = entry.events if entry is not None else 0
+            lag += max(node.events_ingested - covered, 0)
+        return lag
+
+    def read_stamp(self, node_id: int) -> tuple[tuple[int, ...], ...]:
+        """Version/epoch stamp of one node's digest (pure read).
+
+        Changes exactly when a replica read from this node could change:
+        an entry is adopted at a higher version, an origin appears or is
+        purged, or an entry carries a new topology epoch / retention
+        window.  The query layer's per-template read cache keys its
+        validity on this stamp.
+        """
+        digest = self.digest(node_id)
+        stamp = []
+        for origin in digest.origins:
+            entry = digest.entry(origin)
+            assert entry is not None  # origins only lists held entries
+            stamp.append(
+                (origin, entry.version, entry.epoch, entry.window)
+            )
+        return tuple(stamp)
+
     def max_staleness(self, nodes: Mapping[int, IngestNode]) -> int:
         """Worst per-node lag behind the live banks, in events.
 
-        For each node: the sum over live origins of the events the
-        origin has ingested beyond what the node's digest entry covers
-        (an unknown origin counts in full).  This is the "stale but
-        bounded" guarantee made measurable — it can only grow with
-        traffic since the last round, never with cluster age.
+        The max of :meth:`digest_staleness` over every participant.
+        This is the "stale but bounded" guarantee made measurable — it
+        can only grow with traffic since the last round, never with
+        cluster age.
         """
-        worst = 0
-        for digest in self._digests.values():
-            lag = 0
-            for origin, node in sorted(nodes.items()):
-                entry = digest.entry(origin)
-                covered = entry.events if entry is not None else 0
-                lag += max(node.events_ingested - covered, 0)
-            worst = max(worst, lag)
-        return worst
+        return max(
+            (
+                self.digest_staleness(node_id, nodes)
+                for node_id in self.node_ids
+            ),
+            default=0,
+        )
 
     def known_origins(self) -> dict[int, tuple[int, ...]]:
         """node id -> origins its digest covers (reporting helper)."""

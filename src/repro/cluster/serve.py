@@ -31,6 +31,16 @@ Lifecycle contract:
   unlinks its own socket and pidfile), then escalates to ``SIGTERM``
   and finally ``SIGKILL``, and always removes ``fleet.json`` so the
   next ``up`` can proceed.  Logs are kept.
+
+PR 9 adds the fleet's *serving* face: :class:`FleetReader` answers the
+:class:`~repro.cluster.query.ClusterReader` query API against the live
+workers over the wire protocol (``snapshot_request`` with
+``flush=false`` — the documented pure read — for bounded-staleness
+replica answers; ``flush=true``, the barrier pull, for consistent
+ones), and ``cluster serve query up | status | down`` manages an HTTP
+daemon (``python -m repro.cluster.httpd``) exposing it, recorded as
+``query.json`` / ``query.pid`` / ``query.log`` next to the fleet with
+the same record-after-bind readiness convention.
 """
 
 from __future__ import annotations
@@ -45,22 +55,34 @@ import time
 from pathlib import Path
 from typing import Any
 
+from repro.cluster.aggregator import GlobalView, tree_merge
+from repro.cluster.checkpoint import BankCheckpoint
+from repro.cluster.entities import StalenessInfo
 from repro.cluster.node import CounterTemplate
 from repro.cluster.pipeline import worker_environment
+from repro.cluster.query import ClusterReader
 from repro.cluster.simulation import node_seed
 from repro.cluster.transport import FrameStream
+from repro.core.base import ApproximateCounter
 from repro.errors import ParameterError, StateError
+from repro.obs import MetricsRegistry
 
 __all__ = [
+    "FleetReader",
     "fleet_down",
     "fleet_paths",
     "fleet_ps",
     "fleet_status",
     "fleet_up",
     "load_fleet",
+    "load_query",
+    "query_down",
+    "query_status",
+    "query_up",
 ]
 
 _FLEET_FILE = "fleet.json"
+_QUERY_FILE = "query.json"
 _POLL_S = 0.05
 
 
@@ -359,3 +381,316 @@ def _wait_dead(pid: int, timeout: float) -> bool:
             return False
         time.sleep(_POLL_S)
     return True
+
+
+# ----------------------------------------------------------------------
+# the fleet's serving face: query API over live workers
+# ----------------------------------------------------------------------
+class FleetReader(ClusterReader):
+    """The :class:`~repro.cluster.query.ClusterReader` API over a fleet.
+
+    Same queries (``get`` / ``top_k`` / ``view`` / ``subscribe``), same
+    entities, same consistency knob — answered over the wire protocol
+    against the live worker daemons instead of in-process objects:
+
+    ``"replica"``
+        ``snapshot_request`` with ``flush=false`` per worker — the
+        protocol's documented pure read.  Events a worker has accepted
+        but not yet flushed are missing from the answer; the staleness
+        stamp reports exactly that lag (the sum of every worker's
+        ``pending``), bounded by ``buffer_limit × n_nodes``.
+    ``"consistent"``
+        ``flush=true`` — the barrier pull.  Every worker applies its
+        buffer first; zero lag, paid for with one flush per worker.
+
+    Workers shard the keyspace (they are not gossip replicas of each
+    other), so every read folds all of them and targeting a single
+    ``replica=`` node id is refused.  The read cache is stamped by a
+    ``ping`` sweep — ``(node, events_ingested, pending)`` per worker —
+    so repeated reads against an idle fleet pull snapshots once.
+    """
+
+    def __init__(self, root: str | Path, timeout: float = 5.0) -> None:
+        fleet = load_fleet(root)
+        self._fleet = fleet
+        self._timeout = timeout
+        # No aggregator/gossip behind this reader — the wire protocol
+        # is the backend — so ClusterReader.__init__ is skipped and the
+        # shared cache/default fields are set directly.
+        self._gossip = None
+        self._nodes = None
+        self._simulation = None
+        self._consistency = None
+        self._replica = None
+        self._fanout = 2
+        self._gossip_every = None
+        self._registry = MetricsRegistry()
+        self._cache = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    @property
+    def replicas(self) -> tuple[int, ...]:
+        """The fleet's worker node ids."""
+        return tuple(
+            record["node"] for record in self._fleet["workers"]
+        )
+
+    def _resolve_consistency(self, consistency: str | None) -> str:
+        if consistency is None:
+            consistency = self._consistency
+        if consistency is None:
+            consistency = "replica"
+        return super()._resolve_consistency(consistency)
+
+    def _refuse_replica(self, replica: int | None) -> None:
+        if replica is not None:
+            raise ParameterError(
+                "fleet reads fold every worker (workers shard the "
+                "keyspace, they are not replicas of each other); "
+                "replica= selection applies to gossip clusters"
+            )
+
+    def _stamp_of(
+        self, pings: list[dict[str, Any]]
+    ) -> tuple[tuple[int, int, int], ...]:
+        return tuple(
+            (pong["node"], pong["events_ingested"], pong["pending"])
+            for pong in sorted(pings, key=lambda p: p["node"])
+        )
+
+    def _ping_sweep(self) -> list[dict[str, Any]]:
+        pings = []
+        for record in self._fleet["workers"]:
+            stream = _connect(record, self._timeout)
+            try:
+                pings.append(stream.request("ping", "pong"))
+            finally:
+                stream.close()
+        return pings
+
+    def _pull(
+        self, flush: bool
+    ) -> tuple[list[Any], list[dict[str, Any]]]:
+        """Snapshot every worker (optionally flushing), then ping it on
+        the same connection so the stamp reflects the pulled state."""
+        banks = []
+        pings = []
+        for record in self._fleet["workers"]:
+            stream = _connect(record, self._timeout)
+            try:
+                reply = stream.request(
+                    "snapshot_request", "snapshot_reply", flush=flush
+                )
+                pings.append(stream.request("ping", "pong"))
+            finally:
+                stream.close()
+            banks.append(BankCheckpoint.decode(reply["line"]).restore())
+        return banks, pings
+
+    def _fold(self, banks: list[Any]) -> GlobalView:
+        per_key: dict[str, list[ApproximateCounter]] = {}
+        for bank in banks:
+            for key, counter in bank.items():
+                per_key.setdefault(key, []).append(counter)
+        track = all(bank.tracks_truth for bank in banks)
+        truth: dict[str, int] | None = {} if track else None
+        merged: dict[str, ApproximateCounter] = {}
+        rounds = 0
+        for key in sorted(per_key):
+            merged[key], key_rounds = tree_merge(per_key[key], 2)
+            rounds = max(rounds, key_rounds)
+            if truth is not None:
+                truth[key] = sum(
+                    bank.truth(key) for bank in banks if key in bank
+                )
+        return GlobalView(
+            counters=merged,
+            truth=truth,
+            merge_rounds=rounds,
+            epoch=0,
+        )
+
+    def raw_view(
+        self,
+        consistency: str | None = None,
+        replica: int | None = None,
+    ) -> GlobalView:
+        consistency = self._resolve_consistency(consistency)
+        self._refuse_replica(replica)
+        view_key = (consistency, None)
+        stamp = self._stamp_of(self._ping_sweep())
+        cached = self._cache.get(view_key)
+        if cached is not None and cached[0] == stamp:
+            self._note_cache(hit=True)
+            return cached[1]
+        banks, pings = self._pull(flush=consistency == "consistent")
+        view = self._fold(banks)
+        self._cache[view_key] = (self._stamp_of(pings), view)
+        self._note_cache(hit=False)
+        return view
+
+    def staleness(
+        self,
+        consistency: str | None = None,
+        replica: int | None = None,
+    ) -> StalenessInfo:
+        consistency = self._resolve_consistency(consistency)
+        self._refuse_replica(replica)
+        bound = self._fleet["buffer_limit"] * self._fleet["n_nodes"]
+        lag = 0
+        if consistency == "replica":
+            lag = sum(
+                pong["pending"] for pong in self._ping_sweep()
+            )
+        return StalenessInfo(
+            consistency=consistency,
+            replica=None,
+            lag_events=lag,
+            bound_events=bound,
+            epoch=0,
+        )
+
+
+# ----------------------------------------------------------------------
+# query daemon lifecycle
+# ----------------------------------------------------------------------
+def _query_paths(root: str | Path) -> tuple[Path, Path, Path]:
+    base = fleet_paths(root)
+    return (
+        base / _QUERY_FILE,
+        base / "query.pid",
+        base / "query.log",
+    )
+
+
+def load_query(root: str | Path) -> dict[str, Any]:
+    """The ``query.json`` record of the daemon serving ``root``."""
+    record_path, _, _ = _query_paths(root)
+    try:
+        text = record_path.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        raise StateError(
+            f"no query daemon is recorded under {record_path.parent} — "
+            "run 'cluster serve query up' first"
+        )
+    return json.loads(text)
+
+
+def query_up(
+    root: str | Path,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    timeout: float = 10.0,
+) -> dict[str, Any]:
+    """Launch the HTTP query daemon against the recorded fleet.
+
+    Blocks until the daemon writes its ``query.json`` record (socket
+    bound, port chosen — the record-after-bind readiness marker) or
+    ``timeout`` passes, in which case the straggler is killed and the
+    launch fails pointing at the log.  Returns the record.
+    """
+    load_fleet(root)  # loud when there is no fleet to serve
+    record_path, pid_path, log_path = _query_paths(root)
+    if record_path.exists():
+        raise StateError(
+            f"a query daemon is already recorded in {record_path} — "
+            "run 'cluster serve query down' before launching another"
+        )
+    pid_path.unlink(missing_ok=True)
+    command = [
+        sys.executable,
+        "-m",
+        "repro.cluster.httpd",
+        "--fleet-dir",
+        str(root),
+        "--host",
+        host,
+        "--port",
+        str(port),
+        "--record",
+        str(record_path),
+        "--pidfile",
+        str(pid_path),
+    ]
+    with open(log_path, "ab") as log:
+        process = subprocess.Popen(
+            command,
+            stdin=subprocess.DEVNULL,
+            stdout=log,
+            stderr=log,
+            env=worker_environment(),
+            start_new_session=True,
+        )
+    deadline = time.monotonic() + timeout
+    while not record_path.exists():
+        if process.poll() is not None or time.monotonic() > deadline:
+            process.kill()
+            process.wait()
+            pid_path.unlink(missing_ok=True)
+            raise StateError(
+                f"query daemon did not become ready within "
+                f"{timeout:g}s — see {log_path}"
+            )
+        time.sleep(_POLL_S)
+    return json.loads(record_path.read_text(encoding="utf-8"))
+
+
+def query_status(
+    root: str | Path, timeout: float = 5.0
+) -> dict[str, Any]:
+    """One row for the query daemon, filled by a live ``/healthz``."""
+    import urllib.error
+    import urllib.request
+
+    record = load_query(root)
+    pid_path = _query_paths(root)[1]
+    pid = _read_pid(pid_path) or record["pid"]
+    row: dict[str, Any] = {"pid": pid, "url": record["url"]}
+    if not _pid_alive(pid):
+        row.update(state="stopped")
+        return row
+    try:
+        with urllib.request.urlopen(
+            record["url"] + "/healthz", timeout=timeout
+        ) as response:
+            health = json.loads(response.read().decode("utf-8"))
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        row.update(state="unreachable", error=str(exc))
+        return row
+    row.update(state="running", replicas=health["replicas"])
+    return row
+
+
+def query_down(
+    root: str | Path, timeout: float = 10.0
+) -> dict[str, Any]:
+    """Stop the query daemon and forget its record; returns the outcome.
+
+    ``SIGTERM`` first (the daemon unlinks its own record and pidfile on
+    the way out), then ``SIGKILL``; always removes the record so the
+    next ``up`` can proceed.  The log is kept.
+    """
+    record = load_query(root)
+    record_path, pid_path, _ = _query_paths(root)
+    pid = _read_pid(pid_path) or record["pid"]
+    share = max(timeout / 2, _POLL_S)
+    if not _pid_alive(pid):
+        outcome = "already stopped"
+    else:
+        outcome = "killed"
+        for sig, name in (
+            (signal.SIGTERM, "terminated"),
+            (signal.SIGKILL, "killed"),
+        ):
+            try:
+                os.kill(pid, sig)
+            except ProcessLookupError:
+                outcome = "stopped"
+                break
+            if _wait_dead(pid, share):
+                outcome = name
+                break
+    record_path.unlink(missing_ok=True)
+    pid_path.unlink(missing_ok=True)
+    return {"pid": pid, "state": outcome}

@@ -136,7 +136,7 @@ from repro.cluster.rebalance import (
     execute_rebalance,
     plan_rebalance,
 )
-from repro.cluster.retention import RetentionPolicy
+from repro.cluster.retention import RetentionPolicy, TumblingRetention
 from repro.cluster.router import (
     ROUTING_STRATEGIES,
     ClusterRouter,
@@ -565,6 +565,241 @@ class ClusterConfig:
                 # topology change is a full-cluster coordination point),
                 # so from here the replay may treat them as live again.
                 dead.clear()
+
+    # ------------------------------------------------------------------
+    # the one audited flag → config path
+    # ------------------------------------------------------------------
+    @classmethod
+    def validate(
+        cls, args: Any
+    ) -> tuple[
+        tuple["NodeFailure", ...],
+        tuple["ScaleEvent", ...],
+        RetentionPolicy | None,
+        int | None,
+    ]:
+        """Cross-flag validation for a ``cluster`` argparse namespace.
+
+        Checks every flag interaction the CLI refuses (``--kill``
+        specs, membership prerequisites, retention/storage/telemetry
+        pairings, gossip knobs) and raises
+        :class:`~repro.errors.ParameterError` carrying *exactly* the
+        CLI's historical error text, so ``cli.py`` can surface it
+        verbatim via ``SystemExit``.  Returns the parsed schedule
+        pieces ``(failures, scale_events, retention, gossip_every)``
+        for :meth:`from_args` to assemble.
+
+        ``args`` is duck-typed: anything exposing the ``cluster``
+        subparser's attribute set works (the HTTP layer and tests pass
+        plain namespaces).
+        """
+        failures = []
+        for spec in args.kill:
+            try:
+                node_part, event_part = spec.split("@", 1)
+                node_id, at_event = int(node_part), int(event_part)
+            except ValueError:
+                raise ParameterError(
+                    f"--kill expects NODE@EVENT (e.g. 2@100000), "
+                    f"got {spec!r}"
+                ) from None
+            try:
+                failures.append(
+                    NodeFailure(at_event=at_event, node_id=node_id)
+                )
+            except ParameterError as exc:
+                raise ParameterError(
+                    f"invalid --kill {spec!r}: {exc}"
+                ) from exc
+        for spec in args.kill_dead:
+            try:
+                node_part, event_part = spec.split("@", 1)
+                node_id, at_event = int(node_part), int(event_part)
+            except ValueError:
+                raise ParameterError(
+                    f"--kill-dead expects NODE@EVENT (e.g. 2@100000), "
+                    f"got {spec!r}"
+                ) from None
+            try:
+                failures.append(
+                    NodeFailure(
+                        at_event=at_event, node_id=node_id, heal=False
+                    )
+                )
+            except ParameterError as exc:
+                raise ParameterError(
+                    f"invalid --kill-dead {spec!r}: {exc}"
+                ) from exc
+        scale_events = []
+        for at_event in args.grow:
+            try:
+                scale_events.append(
+                    ScaleEvent(at_event=at_event, action="add")
+                )
+            except ParameterError as exc:
+                raise ParameterError(
+                    f"invalid --grow {at_event!r}: {exc}"
+                ) from exc
+        for spec in args.shrink:
+            try:
+                node_part, event_part = spec.split("@", 1)
+                node_id, at_event = int(node_part), int(event_part)
+            except ValueError:
+                raise ParameterError(
+                    f"--shrink expects NODE@EVENT (e.g. 1@600000), "
+                    f"got {spec!r}"
+                ) from None
+            try:
+                scale_events.append(
+                    ScaleEvent(
+                        at_event=at_event,
+                        action="remove",
+                        node_id=node_id,
+                    )
+                )
+            except ParameterError as exc:
+                raise ParameterError(
+                    f"invalid --shrink {spec!r}: {exc}"
+                ) from exc
+        for failure in failures:
+            if failure.at_event >= args.events:
+                raise ParameterError(
+                    f"--kill at event {failure.at_event} is past the "
+                    f"end of the stream ({args.events} events); it "
+                    "would never fire"
+                )
+        if args.membership and args.aggregation != "gossip":
+            raise ParameterError(
+                "--membership requires --aggregation gossip"
+            )
+        if not args.membership:
+            if args.kill_dead:
+                raise ParameterError(
+                    "--kill-dead requires --membership"
+                )
+            if args.suspect_after != 2:
+                raise ParameterError(
+                    "--suspect-after requires --membership"
+                )
+            if args.membership_quorum is not None:
+                raise ParameterError(
+                    "--membership-quorum requires --membership"
+                )
+            if args.membership_heal != "auto":
+                raise ParameterError(
+                    "--membership-heal requires --membership"
+                )
+        for scale in scale_events:
+            if scale.at_event >= args.events:
+                raise ParameterError(
+                    f"--grow/--shrink at event {scale.at_event} is "
+                    f"past the end of the stream ({args.events} "
+                    "events); it would never fire"
+                )
+        retention = None
+        if args.window_every is not None:
+            try:
+                retention = TumblingRetention(
+                    window_events=args.window_every,
+                    keep_windows=args.retain,
+                )
+            except ParameterError as exc:
+                raise ParameterError(
+                    f"invalid retention policy: {exc}"
+                ) from exc
+        elif args.retain is not None:
+            raise ParameterError("--retain requires --window-every")
+        if args.storage == "file" and args.storage_dir is None:
+            raise ParameterError("--storage file requires --storage-dir")
+        if args.storage_dir is not None and args.storage != "file":
+            raise ParameterError("--storage-dir requires --storage file")
+        if args.storage_overwrite and args.storage != "file":
+            raise ParameterError(
+                "--storage-overwrite requires --storage file"
+            )
+        if args.wal_fsync is not None and args.storage != "file":
+            raise ParameterError("--wal-fsync requires --storage file")
+        if args.no_telemetry and args.metrics_out is not None:
+            raise ParameterError(
+                "--metrics-out needs the telemetry layers; "
+                "drop --no-telemetry"
+            )
+        if args.no_telemetry and args.trace_out is not None:
+            raise ParameterError(
+                "--trace-out needs the telemetry layers; "
+                "drop --no-telemetry"
+            )
+        if args.aggregation != "gossip":
+            if args.gossip_every is not None:
+                raise ParameterError(
+                    "--gossip-every requires --aggregation gossip"
+                )
+            if args.gossip_fanout != 1:
+                raise ParameterError(
+                    "--gossip-fanout requires --aggregation gossip"
+                )
+            gossip_every = None
+        else:
+            gossip_every = (
+                args.gossip_every
+                if args.gossip_every is not None
+                else max(args.events // 8, 1)
+            )
+        return (
+            tuple(sorted(failures, key=lambda f: f.at_event)),
+            tuple(sorted(scale_events, key=lambda s: s.at_event)),
+            retention,
+            gossip_every,
+        )
+
+    @classmethod
+    def from_args(cls, args: Any) -> "ClusterConfig":
+        """Build the config every frontend shares, from CLI-shaped args.
+
+        The CLI, the HTTP serving layer, the serve daemons, and tests
+        all construct :class:`ClusterConfig` through this one audited
+        path: :meth:`validate` first (flag-interaction errors with the
+        CLI's exact text), then dataclass construction (field errors
+        wrapped as ``invalid cluster configuration: ...``, also the
+        CLI's historical text).  Raises
+        :class:`~repro.errors.ParameterError` in both cases.
+        """
+        failures, scale_events, retention, gossip_every = cls.validate(
+            args
+        )
+        try:
+            return cls(
+                n_nodes=args.nodes,
+                template=default_template(args.algorithm),
+                seed=args.seed,
+                buffer_limit=args.buffer,
+                checkpoint_every=args.checkpoint_every or None,
+                hot_key_threshold=args.hot_threshold,
+                failures=failures,
+                routing=args.routing,
+                ring_points=args.ring_points,
+                scale_events=scale_events,
+                retention=retention,
+                storage=args.storage,
+                storage_dir=args.storage_dir,
+                storage_overwrite=args.storage_overwrite,
+                wal_segment_events=args.wal_segment,
+                ingest_workers=args.workers,
+                delivery_batch=args.batch,
+                wal_fsync_every=args.wal_fsync,
+                plan=args.plan,
+                aggregation=args.aggregation,
+                gossip_fanout=args.gossip_fanout,
+                gossip_every=gossip_every,
+                membership=args.membership,
+                suspect_after=args.suspect_after,
+                membership_quorum=args.membership_quorum,
+                membership_heal=args.membership_heal,
+            )
+        except ParameterError as exc:
+            raise ParameterError(
+                f"invalid cluster configuration: {exc}"
+            ) from exc
 
 
 @dataclass(frozen=True, slots=True)

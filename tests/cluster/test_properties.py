@@ -21,7 +21,13 @@ the ``tests/property`` style — no new dependencies) asserts them for
   (ring-sinked), and JSONL-file-sinked are bit-identical on the
   ``GlobalView`` fingerprint and every deterministic result field,
   serially and in parallel, membership-enabled configurations
-  included: observing a run never changes it.
+  included: observing a run never changes it;
+* **serving inertness** — a run whose finished cluster was served
+  (every ``ClusterReader`` query at every supported consistency, an
+  SSE subscription, and a full HTTP round through
+  :mod:`repro.cluster.httpd`) is bit-identical to an unserved run of
+  the same seed: serving reads never change what the cluster
+  computes.
 
 ``derandomize=True`` keeps the sweep a pure function of the test code
 (CI never sees a flaky draw); bump ``max_examples`` locally to sweep
@@ -30,7 +36,9 @@ wider.
 
 from __future__ import annotations
 
+import json
 import tempfile
+import urllib.request
 from collections import Counter
 
 from hypothesis import given, settings
@@ -38,11 +46,13 @@ from hypothesis import strategies as st
 
 from repro.cluster import (
     ClusterConfig,
+    ClusterReader,
     ClusterSimulation,
     NodeFailure,
     default_template,
     view_fingerprint,
 )
+from repro.cluster.httpd import serve_http
 from repro.obs import JsonlTraceSink, RingTraceSink, Telemetry
 from repro.rng.bitstream import BitBudgetedRandom
 from repro.stream.workload import zipf_workload
@@ -306,3 +316,92 @@ class TestTelemetryInertness:
                 facade.registry.export_counters() for facade in facades
             ]
             assert exports[0] == exports[1] == exports[2]
+
+
+class TestServingInertness:
+    """Serving a finished run must never change it: the PR-9 read
+    surface (``ClusterReader`` + the HTTP/SSE frontend) is pure on the
+    replica path and flushes no differently than ``global_view()``
+    always has on the consistent path — so a served run and an
+    unserved run of the same seed are bit-identical."""
+
+    @settings(max_examples=8, deadline=None, derandomize=True)
+    @given(
+        seed=_SEEDS,
+        n_nodes=_NODES,
+        n_events=_EVENTS,
+        template=_TEMPLATES,
+        crash=st.booleans(),
+        use_gossip=st.booleans(),
+    )
+    def test_served_run_bit_identical_to_unserved(
+        self, seed, n_nodes, n_events, template, crash, use_gossip
+    ):
+        events = _workload(seed, n_events)
+        shared = dict(
+            n_nodes=n_nodes,
+            template=default_template(template),
+            seed=seed,
+            buffer_limit=128,
+            checkpoint_every=max(n_events // 4, 50),
+            failures=_failures(n_nodes, n_events, crash),
+        )
+        if use_gossip:
+            shared.update(
+                aggregation="gossip",
+                gossip_every=max(n_events // 4, 1),
+            )
+        stamps = []
+        for serve in (False, True):
+            simulation = ClusterSimulation(ClusterConfig(**shared))
+            result = simulation.run(iter(events))
+            if serve:
+                self._serve(simulation, events[0].key, use_gossip)
+            stamps.append(
+                (
+                    view_fingerprint(
+                        simulation.aggregator.global_view()
+                    ),
+                    result.node_stats,
+                    result.rms_relative_error,
+                    result.max_relative_error,
+                    result.total_state_bits,
+                )
+            )
+        assert stamps[0] == stamps[1]
+
+    @staticmethod
+    def _serve(simulation, hot_key: str, use_gossip: bool) -> None:
+        """Exercise every read path: in-process queries at every
+        supported consistency, a subscription, and one HTTP round."""
+        reader = ClusterReader.from_simulation(simulation)
+        consistencies = ("consistent",) + (
+            ("replica",) if use_gossip else ()
+        )
+        for consistency in consistencies:
+            reader.get(hot_key, consistency=consistency)
+            reader.top_k(5, consistency=consistency)
+            reader.view(consistency=consistency)
+        subscription = reader.subscribe()
+        subscription.poll()
+        subscription.poll()
+        server = serve_http(reader)
+        try:
+            for endpoint in (
+                "/healthz",
+                f"/v1/keys/{hot_key}",
+                "/v1/topk?k=3",
+                "/v1/view",
+                "/v1/stream?limit=1&poll_ms=1",
+                "/metrics",
+            ):
+                with urllib.request.urlopen(
+                    server.url + endpoint, timeout=10
+                ) as reply:
+                    body = reply.read()
+                    assert reply.status == 200
+                if endpoint.startswith(("/healthz", "/v1/keys",
+                                        "/v1/topk", "/v1/view")):
+                    json.loads(body.decode("utf-8"))
+        finally:
+            server.close()

@@ -1,0 +1,278 @@
+"""The unified read API: consistency, caching, staleness honesty.
+
+``ClusterReader`` is the one blessed read surface (PR 9): every query
+answers at a chosen consistency — ``"replica"`` (pure gossip-digest
+read, honestly staleness-stamped) or ``"consistent"`` (the paid
+central fold) — behind a stamp-invalidated read cache.  These tests
+pin the contract the HTTP frontend and the CLI build on:
+
+* replica reads equal consistent reads bit for bit once the network
+  has converged (exact templates);
+* the cache hits on idle re-reads and invalidates on digest version
+  bumps and on new ingest;
+* the staleness stamp is honest: a converged replica owes zero lag, a
+  replica that missed N unrefreshed events reports exactly N;
+* replica reads are pure — they never flush a node's buffer;
+* ``global_view()`` still answers, now routed through the reader.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    ClusterConfig,
+    ClusterReader,
+    ClusterSimulation,
+    KeyCount,
+    Subscription,
+    TopK,
+    ViewSnapshot,
+    default_template,
+    view_fingerprint,
+)
+from repro.errors import ParameterError
+from repro.rng.bitstream import BitBudgetedRandom
+from repro.stream.workload import KeyedEvent, zipf_workload
+
+_SEED = 7
+_EVENTS = 1200
+
+
+def _run_cluster(n_nodes: int = 3, gossip: bool = True):
+    """A finished (converged) little cluster and its reader."""
+    extra = (
+        dict(aggregation="gossip", gossip_every=_EVENTS // 4)
+        if gossip
+        else {}
+    )
+    config = ClusterConfig(
+        n_nodes=n_nodes,
+        template=default_template("exact"),
+        seed=_SEED,
+        buffer_limit=64,
+        **extra,
+    )
+    simulation = ClusterSimulation(config)
+    simulation.run(
+        zipf_workload(
+            BitBudgetedRandom(_SEED), n_keys=50, n_events=_EVENTS
+        )
+    )
+    return simulation, ClusterReader.from_simulation(simulation)
+
+
+class TestConsistencyResolution:
+    def test_gossip_cluster_defaults_to_replica(self):
+        _, reader = _run_cluster(gossip=True)
+        assert reader.get("page-000000").staleness.consistency == "replica"
+
+    def test_tree_cluster_defaults_to_consistent(self):
+        _, reader = _run_cluster(gossip=False)
+        assert reader.get("page-000000").staleness.consistency == "consistent"
+        assert reader.replicas == ()
+
+    def test_unknown_consistency_is_loud(self):
+        _, reader = _run_cluster()
+        with pytest.raises(ParameterError, match="unknown consistency"):
+            reader.get("page-000000", consistency="eventual")
+        with pytest.raises(ParameterError, match="unknown consistency"):
+            ClusterReader.from_simulation(
+                _run_cluster()[0], consistency="bogus"
+            )
+
+    def test_replica_read_without_gossip_is_loud(self):
+        _, reader = _run_cluster(gossip=False)
+        with pytest.raises(
+            ParameterError, match="replica reads need a gossip network"
+        ):
+            reader.view(consistency="replica")
+
+    def test_unknown_replica_id_is_loud(self):
+        _, reader = _run_cluster(n_nodes=2)
+        with pytest.raises(Exception):
+            reader.view(consistency="replica", replica=99)
+
+
+class TestReplicaConsistentEquivalence:
+    def test_every_replica_equals_consistent_after_converge(self):
+        simulation, reader = _run_cluster(n_nodes=4)
+        central = view_fingerprint(
+            reader.raw_view(consistency="consistent")
+        )
+        assert central == view_fingerprint(
+            simulation.aggregator.global_view()
+        )
+        for replica in reader.replicas:
+            snapshot = reader.view(
+                consistency="replica", replica=replica
+            )
+            assert snapshot.fingerprint() == central
+
+    def test_entities_are_typed_and_stamped(self):
+        _, reader = _run_cluster()
+        count = reader.get("page-000000", consistency="replica")
+        assert isinstance(count, KeyCount)
+        assert count.staleness.consistency == "replica"
+        top = reader.top_k(5, consistency="consistent")
+        assert isinstance(top, TopK)
+        assert len(top.entries) == 5
+        assert top.staleness.lag_events == 0
+        snapshot = reader.view()
+        assert isinstance(snapshot, ViewSnapshot)
+        assert snapshot.n_keys == len(reader.raw_view().counters) > 0
+
+    def test_top_k_matches_view_order(self):
+        _, reader = _run_cluster()
+        top = reader.top_k(10)
+        pairs = [(e.key, e.estimate) for e in top.entries]
+        view = reader.raw_view()
+        assert pairs == list(view.top_keys(10))
+
+
+class TestReadCache:
+    def test_idle_rereads_hit(self):
+        _, reader = _run_cluster()
+        reader.view(consistency="replica")
+        assert (reader.cache_hits, reader.cache_misses) == (0, 1)
+        reader.get("page-000000", consistency="replica")
+        reader.top_k(3, consistency="replica")
+        assert (reader.cache_hits, reader.cache_misses) == (2, 1)
+
+    def test_consistent_idle_rereads_hit(self):
+        _, reader = _run_cluster()
+        reader.view(consistency="consistent")
+        reader.view(consistency="consistent")
+        assert (reader.cache_hits, reader.cache_misses) == (1, 1)
+
+    def test_digest_version_bump_invalidates_replica_reads(self):
+        simulation, reader = _run_cluster()
+        replica = reader.replicas[0]
+        reader.view(consistency="replica", replica=replica)
+        # Re-capturing the replica's own entry bumps its version: the
+        # stamp moves, so the cached view must not be served again.
+        simulation.gossip.refresh(simulation.nodes[0])
+        reader.view(consistency="replica", replica=replica)
+        assert (reader.cache_hits, reader.cache_misses) == (0, 2)
+
+    def test_new_ingest_invalidates_consistent_reads(self):
+        simulation, reader = _run_cluster()
+        reader.view(consistency="consistent")
+        simulation.nodes[0].submit(KeyedEvent("page-000000"))
+        reader.view(consistency="consistent")
+        assert (reader.cache_hits, reader.cache_misses) == (0, 2)
+
+    def test_invalidate_drops_the_cache(self):
+        _, reader = _run_cluster()
+        reader.view(consistency="replica")
+        reader.invalidate()
+        reader.view(consistency="replica")
+        assert (reader.cache_hits, reader.cache_misses) == (0, 2)
+
+    def test_replicas_cache_independently(self):
+        _, reader = _run_cluster(n_nodes=3)
+        reader.view(consistency="replica", replica=0)
+        reader.view(consistency="replica", replica=1)
+        reader.view(consistency="replica", replica=0)
+        assert (reader.cache_hits, reader.cache_misses) == (1, 2)
+
+
+class TestStalenessHonesty:
+    def test_converged_replica_owes_nothing(self):
+        _, reader = _run_cluster()
+        for replica in reader.replicas:
+            staleness = reader.staleness(
+                consistency="replica", replica=replica
+            )
+            assert staleness.lag_events == 0
+            assert staleness.bound_events == _EVENTS // 4
+
+    def test_unrefreshed_ingest_is_reported_exactly(self):
+        simulation, reader = _run_cluster(n_nodes=3)
+        node = simulation.nodes[0]
+        for _ in range(17):
+            node.submit(KeyedEvent("page-000000"))
+        # No gossip round ran: every replica's digest missed those 17
+        # events and must say so — no more, no less.
+        for replica in reader.replicas:
+            staleness = reader.staleness(
+                consistency="replica", replica=replica
+            )
+            assert staleness.lag_events == 17
+        # A consistent read pays for the fold and owes nothing.
+        assert reader.staleness(consistency="consistent").lag_events == 0
+
+    def test_refresh_clears_the_reported_lag(self):
+        simulation, reader = _run_cluster(n_nodes=2)
+        node = simulation.nodes[0]
+        node.submit(KeyedEvent("page-000000"))
+        assert (
+            reader.staleness(consistency="replica", replica=0).lag_events
+            == 1
+        )
+        simulation.gossip.refresh(node)
+        assert (
+            reader.staleness(consistency="replica", replica=0).lag_events
+            == 0
+        )
+
+    def test_replica_reads_are_pure(self):
+        """A replica read must never flush a node's buffer."""
+        simulation, reader = _run_cluster()
+        node = simulation.nodes[0]
+        node.submit(KeyedEvent("page-000000"))
+        pending_before = node.pending
+        assert pending_before > 0
+        reader.view(consistency="replica")
+        reader.staleness(consistency="replica")
+        assert node.pending == pending_before
+        # ... while a consistent read flushes, like global_view always
+        # has.
+        reader.view(consistency="consistent")
+        assert node.pending == 0
+
+
+class TestGlobalViewShim:
+    def test_global_view_routes_through_the_reader(self):
+        simulation, reader = _run_cluster()
+        shim = view_fingerprint(simulation.aggregator.global_view())
+        assert shim == view_fingerprint(
+            reader.raw_view(consistency="consistent")
+        )
+
+    def test_shim_still_reflects_new_ingest(self):
+        simulation, _ = _run_cluster()
+        before = simulation.aggregator.global_view().estimate("page-000000")
+        simulation.nodes[0].submit(KeyedEvent("page-000000"))
+        after = simulation.aggregator.global_view().estimate("page-000000")
+        assert after == before + 1.0
+
+
+class TestSubscription:
+    def test_first_poll_reports_everything_then_quiesces(self):
+        _, reader = _run_cluster()
+        subscription = reader.subscribe(consistency="consistent")
+        assert isinstance(subscription, Subscription)
+        first = subscription.poll()
+        assert len(first) == len(reader.raw_view().counters) > 0
+        assert [update.key for update in first] == sorted(
+            update.key for update in first
+        )
+        assert subscription.poll() == ()
+
+    def test_poll_reports_only_changed_keys(self):
+        simulation, reader = _run_cluster()
+        subscription = reader.subscribe(consistency="consistent")
+        subscription.poll()
+        simulation.nodes[0].submit(KeyedEvent("page-000000"))
+        updates = subscription.poll()
+        assert [update.key for update in updates] == ["page-000000"]
+        assert subscription.poll() == ()
+
+    def test_key_filter_restricts_updates(self):
+        _, reader = _run_cluster()
+        subscription = reader.subscribe(
+            keys=["page-000001", "page-000000"], consistency="consistent"
+        )
+        first = subscription.poll()
+        assert [update.key for update in first] == ["page-000000", "page-000001"]

@@ -413,6 +413,111 @@ class TestThroughputShape:
         )
 
 
+def _serving_payload() -> dict:
+    payload = _valid_payload("cluster_serving")
+    payload["rows"] = [
+        {
+            "replicas": 2,
+            "queries_per_sec": 50_000.0,
+            "staleness_lag_events": 0,
+            "staleness_bound_events": 2500,
+            "replica_reads_bit_identical": True,
+            "served_equals_unserved": True,
+        }
+    ]
+    return payload
+
+
+class TestServingShape:
+    """cluster_serving artifacts carry the serving-layer row checks: a
+    serving layer that changed what the cluster computes, or replica
+    reads that diverged from the central fold after convergence, must
+    never ship — and the staleness fields must stay honest."""
+
+    def _check(self, tmp_path, payload: dict) -> list[str]:
+        path = _write(
+            tmp_path,
+            "BENCH_cluster_serving.json",
+            json.dumps(payload),
+        )
+        return check_bench_json.check_file(path)
+
+    def test_valid_serving_payload_passes(self, tmp_path):
+        assert self._check(tmp_path, _serving_payload()) == []
+
+    def test_other_benchmarks_skip_the_serving_shape(self, tmp_path):
+        path = _write(
+            tmp_path, "BENCH_cluster.json", json.dumps(_valid_payload())
+        )
+        assert check_bench_json.check_file(path) == []
+
+    @pytest.mark.parametrize(
+        "flag", ["replica_reads_bit_identical", "served_equals_unserved"]
+    )
+    @pytest.mark.parametrize("value", [False, 1, None, "true"])
+    def test_rejects_non_true_identity_flags(self, tmp_path, flag, value):
+        payload = _serving_payload()
+        payload["rows"][0][flag] = value
+        problems = self._check(tmp_path, payload)
+        assert any(
+            f"{flag} must be true" in problem for problem in problems
+        )
+
+    def test_rejects_missing_identity_flag(self, tmp_path):
+        payload = _serving_payload()
+        del payload["rows"][0]["served_equals_unserved"]
+        problems = self._check(tmp_path, payload)
+        assert any(
+            "served_equals_unserved must be true" in problem
+            for problem in problems
+        )
+
+    @pytest.mark.parametrize("replicas", [0, -2, True, "2", None])
+    def test_rejects_bad_replicas(self, tmp_path, replicas):
+        payload = _serving_payload()
+        payload["rows"][0]["replicas"] = replicas
+        problems = self._check(tmp_path, payload)
+        assert any(
+            "replicas must be a positive integer" in problem
+            for problem in problems
+        )
+
+    @pytest.mark.parametrize("rate", [0, -1.5, True, "fast", None])
+    def test_rejects_bad_query_rate(self, tmp_path, rate):
+        payload = _serving_payload()
+        payload["rows"][0]["queries_per_sec"] = rate
+        problems = self._check(tmp_path, payload)
+        assert any(
+            "queries_per_sec must be positive" in problem
+            for problem in problems
+        )
+
+    @pytest.mark.parametrize("lag", [-1, 2.5, "0", True, None])
+    def test_rejects_bad_lag(self, tmp_path, lag):
+        payload = _serving_payload()
+        payload["rows"][0]["staleness_lag_events"] = lag
+        problems = self._check(tmp_path, payload)
+        assert any(
+            "staleness_lag_events" in problem for problem in problems
+        )
+
+    @pytest.mark.parametrize("bound", [0, -5, 2.5, "2500", True, None])
+    def test_rejects_bad_bound(self, tmp_path, bound):
+        payload = _serving_payload()
+        payload["rows"][0]["staleness_bound_events"] = bound
+        problems = self._check(tmp_path, payload)
+        assert any(
+            "staleness_bound_events" in problem for problem in problems
+        )
+
+    def test_problem_names_the_row(self, tmp_path):
+        payload = _serving_payload()
+        payload["rows"].append(dict(payload["rows"][0]))
+        payload["rows"][1]["served_equals_unserved"] = False
+        problems = self._check(tmp_path, payload)
+        assert any("rows[1]" in problem for problem in problems)
+
+
 class TestMain:
     def test_passes_on_valid_paths(self, tmp_path, capsys):
         path = _write(

@@ -5,8 +5,10 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+import signal
 import subprocess
 import sys
+import urllib.request
 
 import pytest
 
@@ -382,6 +384,179 @@ class TestCommands:
         with pytest.raises(SystemExit, match="no fleet"):
             main(["cluster", "serve", "ps", "--dir", str(tmp_path)])
 
+    def test_cluster_serve_http_rejects_bad_port(self):
+        with pytest.raises(
+            SystemExit, match="--serve-http expects a port"
+        ):
+            main(
+                ["cluster", "--events", "100", "--serve-http", "99999"]
+            )
+
+    def test_cluster_serve_http_round_trip(self):
+        """--serve-http serves the finished run until SIGTERM."""
+        env = dict(os.environ)
+        src = str(_REPO / "src")
+        env["PYTHONPATH"] = (
+            src + os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH")
+            else src
+        )
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "cluster",
+                "--events",
+                "2000",
+                "--keys",
+                "50",
+                "--aggregation",
+                "gossip",
+                "--serve-http",
+                "0",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        try:
+            url = None
+            for line in process.stdout:
+                if line.startswith("serving: "):
+                    url = line.split()[1]
+                    break
+            assert url, "server never announced its URL"
+            with urllib.request.urlopen(
+                url + "/healthz", timeout=10
+            ) as reply:
+                assert json.loads(reply.read())["status"] == "ok"
+            with urllib.request.urlopen(
+                url + "/v1/topk?k=3", timeout=10
+            ) as reply:
+                assert json.loads(reply.read())["k"] == 3
+        finally:
+            process.send_signal(signal.SIGTERM)
+            remainder = process.stdout.read()
+            assert process.wait(timeout=30) == 0
+        assert "serving stopped" in remainder
+
+    def test_cluster_serve_query_requires_subcommand(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["cluster", "serve", "query"])
+        assert excinfo.value.code == 2
+
+    def test_cluster_serve_query_up_without_fleet_is_loud(
+        self, tmp_path
+    ):
+        with pytest.raises(SystemExit, match="no fleet"):
+            main(
+                ["cluster", "serve", "query", "up", "--dir", str(tmp_path)]
+            )
+
+    def test_cluster_serve_query_status_without_daemon_is_loud(
+        self, tmp_path
+    ):
+        with pytest.raises(SystemExit, match="no query daemon"):
+            main(
+                [
+                    "cluster",
+                    "serve",
+                    "query",
+                    "status",
+                    "--dir",
+                    str(tmp_path),
+                ]
+            )
+
+    def test_cluster_serve_query_round_trip(self, capsys, tmp_path):
+        """Fleet up → query daemon up → HTTP reads → down → down."""
+        assert (
+            main(
+                [
+                    "cluster",
+                    "serve",
+                    "up",
+                    "--dir",
+                    str(tmp_path),
+                    "--nodes",
+                    "2",
+                    "--timeout",
+                    "30",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        try:
+            assert (
+                main(
+                    [
+                        "cluster",
+                        "serve",
+                        "query",
+                        "up",
+                        "--dir",
+                        str(tmp_path),
+                        "--timeout",
+                        "30",
+                    ]
+                )
+                == 0
+            )
+            out = capsys.readouterr().out
+            assert "query daemon: pid" in out
+            url = next(
+                token
+                for token in out.split()
+                if token.startswith("http://")
+            )
+            with urllib.request.urlopen(
+                url + "/healthz", timeout=10
+            ) as reply:
+                payload = json.loads(reply.read())
+            assert payload["status"] == "ok"
+            assert payload["replicas"] == [0, 1]
+            with urllib.request.urlopen(
+                url + "/v1/view", timeout=10
+            ) as reply:
+                view = json.loads(reply.read())
+            assert view["staleness"]["consistency"] == "replica"
+            assert (
+                main(
+                    [
+                        "cluster",
+                        "serve",
+                        "query",
+                        "status",
+                        "--dir",
+                        str(tmp_path),
+                    ]
+                )
+                == 0
+            )
+            assert "running" in capsys.readouterr().out
+        finally:
+            assert (
+                main(
+                    [
+                        "cluster",
+                        "serve",
+                        "query",
+                        "down",
+                        "--dir",
+                        str(tmp_path),
+                    ]
+                )
+                == 0
+            )
+            assert "query daemon:" in capsys.readouterr().out
+            assert (
+                main(["cluster", "serve", "down", "--dir", str(tmp_path)])
+                == 0
+            )
+
     def test_cluster_wal_fsync_requires_file_backend(self):
         with pytest.raises(SystemExit):
             main(["cluster", "--events", "100", "--wal-fsync", "8"])
@@ -575,7 +750,8 @@ class TestBenchClusterScenarioRegistry:
         assert completed.returncode == 2
         assert "invalid choice: 'bogus'" in completed.stderr
         for scenario in (
-            "scaling", "elastic", "durability", "throughput", "gossip"
+            "scaling", "elastic", "durability", "throughput", "gossip",
+            "serving",
         ):
             assert scenario in completed.stderr
         assert "Traceback" not in completed.stderr
