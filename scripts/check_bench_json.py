@@ -31,6 +31,16 @@ The benchmark suite writes machine-readable artifacts under
   non-empty list whose rows carry ``nodes`` (positive int), ``arm``
   (``serial`` / ``parallel`` / ``process``), and a positive
   ``events_per_sec``;
+* is a ``cluster_throughput`` artifact whose weighted skip-ahead arm
+  is malformed or dishonest — ``skipahead_rows`` must hold exactly a
+  ``per_unit`` row then a ``skip_ahead`` row with positive rates,
+  ``weighted_bit_identical`` must be exactly ``true``, and on full
+  runs (≥ 400k events) the skip-ahead arm must not be slower than the
+  per-unit arm (``skip_ahead_speedup >= 1``);
+* is a ``cluster_throughput_trajectory`` artifact (the *committed*
+  skip-ahead history under ``benchmarks/trajectory/``) whose rows
+  lack the reference fields the CI regression gate needs, or record a
+  full run where skip-ahead lost to per-unit;
 * is a ``cluster_serving`` artifact whose rows break the serving
   scenario's acceptance shape — every row must carry ``replicas``
   (positive int), a positive ``queries_per_sec``, honest staleness
@@ -46,7 +56,8 @@ Usage::
     python scripts/check_bench_json.py [paths...] [--quiet]
 
 With no paths, checks every ``BENCH_*.json`` under
-``benchmarks/results/`` and fails if there are none (run the bench
+``benchmarks/results/`` plus the committed trajectory artifacts under
+``benchmarks/trajectory/``, and fails if there are none (run the bench
 smoke first; CI does).
 """
 
@@ -59,6 +70,12 @@ import sys
 
 REPO = pathlib.Path(__file__).resolve().parents[1]
 RESULTS_DIR = REPO / "benchmarks" / "results"
+TRAJECTORY_DIR = REPO / "benchmarks" / "trajectory"
+
+#: Mirrors ``_THROUGHPUT_FULL_EVENTS`` in ``benchmarks/bench_cluster.py``
+#: — below this the skip-ahead speedup is smoke-run noise and only the
+#: shape is validated, not the win.
+FULL_RUN_EVENTS = 400_000
 
 _REQUIRED_KEYS = ("benchmark", "seed", "workload", "rows")
 
@@ -237,6 +254,92 @@ def _check_throughput_extras(payload: dict) -> list[str]:
             )
         if "metrics" in row:
             problems.extend(_check_metrics(row["metrics"], where))
+    problems.extend(_check_skipahead_arm(payload))
+    return problems
+
+
+_CONSUME_ARMS = ("per_unit", "skip_ahead")
+
+
+def _positive_rate(value: object) -> bool:
+    return (
+        not isinstance(value, bool)
+        and isinstance(value, (int, float))
+        and value > 0
+    )
+
+
+def _check_skipahead_arm(payload: dict) -> list[str]:
+    """Problems with ``cluster_throughput``'s weighted skip-ahead arm."""
+    problems: list[str] = []
+    rows = payload.get("skipahead_rows")
+    if not isinstance(rows, list) or [
+        row.get("arm") if isinstance(row, dict) else None for row in rows
+    ] != list(_CONSUME_ARMS):
+        problems.append(
+            "skipahead_rows must hold exactly a per_unit row then a "
+            "skip_ahead row"
+        )
+        return problems
+    for index, row in enumerate(rows):
+        where = f"skipahead_rows[{index}]"
+        if not _positive_rate(row.get("events_per_sec")):
+            problems.append(
+                f"{where}: events_per_sec must be positive, "
+                f"got {row.get('events_per_sec')!r}"
+            )
+        if "metrics" in row:
+            problems.extend(_check_metrics(row["metrics"], where))
+    if payload.get("weighted_bit_identical") is not True:
+        problems.append(
+            "weighted_bit_identical must be true — a consume mode that "
+            "changed what an exact cluster computes must never ship"
+        )
+    speedup = payload.get("skip_ahead_speedup")
+    if not _positive_rate(speedup):
+        problems.append(
+            f"skip_ahead_speedup must be positive, got {speedup!r}"
+        )
+        return problems
+    workload = payload.get("workload")
+    events = workload.get("events") if isinstance(workload, dict) else 0
+    if (
+        isinstance(events, int)
+        and events >= FULL_RUN_EVENTS
+        and speedup < 1.0
+    ):
+        problems.append(
+            f"skip_ahead_speedup {speedup} < 1 on a full run — the "
+            "skip-ahead arm must never be slower than per-unit"
+        )
+    return problems
+
+
+def _check_trajectory_row(row: dict, where: str) -> list[str]:
+    """Problems with one committed ``cluster_throughput_trajectory`` row."""
+    problems: list[str] = []
+    cpus = row.get("cpus")
+    if not isinstance(cpus, int) or isinstance(cpus, bool) or cpus < 1:
+        problems.append(
+            f"{where}: cpus must be a positive integer, got {cpus!r}"
+        )
+    for field in (
+        "per_unit_events_per_sec",
+        "skip_ahead_events_per_sec",
+        "skip_ahead_speedup",
+        "skip_ahead_speedup_smoke",
+    ):
+        if not _positive_rate(row.get(field)):
+            problems.append(
+                f"{where}: {field} must be positive, "
+                f"got {row.get(field)!r}"
+            )
+    speedup = row.get("skip_ahead_speedup")
+    if _positive_rate(speedup) and speedup < 1.0:
+        problems.append(
+            f"{where}: skip_ahead_speedup {speedup} < 1 — trajectory "
+            "rows record full runs, where skip-ahead must win"
+        )
     return problems
 
 
@@ -277,6 +380,10 @@ def check_payload(payload: object, expected_name: str | None) -> list[str]:
             if payload["benchmark"] == "cluster_serving":
                 problems.extend(
                     _check_serving_row(row, f"rows[{index}]")
+                )
+            if payload["benchmark"] == "cluster_throughput_trajectory":
+                problems.extend(
+                    _check_trajectory_row(row, f"rows[{index}]")
                 )
     if payload["benchmark"] == "cluster_throughput":
         problems.extend(_check_throughput_extras(payload))
@@ -324,7 +431,10 @@ def main(argv: list[str] | None = None) -> int:
         "--quiet", action="store_true", help="only print failures"
     )
     args = parser.parse_args(argv)
-    paths = args.paths or sorted(RESULTS_DIR.glob("BENCH_*.json"))
+    paths = args.paths or (
+        sorted(RESULTS_DIR.glob("BENCH_*.json"))
+        + sorted(TRAJECTORY_DIR.glob("BENCH_*.json"))
+    )
     if not paths:
         print(
             f"no BENCH_*.json artifacts under {RESULTS_DIR} — run the "

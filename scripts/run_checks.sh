@@ -14,6 +14,9 @@
 #   4. bench smoke, every scenario     (scaling, elastic, durability,
 #      throughput, gossip, membership, serving — writes BENCH_*.json)
 #   5. strict-JSON artifact validation (scripts/check_bench_json.py)
+#   5b. throughput regression gate     (smoke skip-ahead speedup vs the
+#      committed benchmarks/trajectory/ reference; >20% drop fails,
+#      single-core runners skip)
 #   6. process-plan smoke              (a crash-bearing stream through
 #      per-node worker processes plus a serve up/status/down round
 #      trip, each under a hard 120 s timeout)
@@ -60,6 +63,10 @@ if [ "$run_bench" -eq 1 ]; then
   echo
   echo "== bench JSON validation =="
   python scripts/check_bench_json.py
+
+  echo
+  echo "== throughput regression gate (vs committed trajectory) =="
+  python scripts/check_throughput_regression.py
 
   echo
   echo "== process-plan smoke (2 workers, hard 120s budget) =="

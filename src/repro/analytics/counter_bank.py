@@ -14,7 +14,12 @@ are bookkeeping, never part of the reported memory.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Iterable, Iterator
+from typing import Callable, Iterable, Iterator, Sequence
+
+try:  # numpy accelerates batch coalescing when present; never required
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-less installs
+    _np = None
 
 from repro.analytics.report import BankErrorReport, KeyError_
 from repro.core.base import ApproximateCounter
@@ -95,6 +100,22 @@ class CounterBank:
         if self._track_truth:
             self._truth[key] = self._truth.get(key, 0) + count
 
+    def record_per_unit(self, key: str, count: int = 1) -> None:
+        """Like :meth:`record` but through the per-unit reference path.
+
+        Every unit pays its own coin flip(s)
+        (:meth:`~repro.core.base.ApproximateCounter.add_per_unit`) — the
+        arm benchmarks compare skip-ahead ingestion against.  Not a
+        production path.
+        """
+        if count < 0:
+            raise ParameterError(f"count must be non-negative, got {count}")
+        if count == 0:
+            return
+        self._counter_for(key).add_per_unit(count)
+        if self._track_truth:
+            self._truth[key] = self._truth.get(key, 0) + count
+
     def consume(self, events: Iterable[KeyedEvent]) -> int:
         """Ingest a keyed event stream; returns the increments applied.
 
@@ -106,6 +127,81 @@ class CounterBank:
             self.record(event.key, event.count)
             n += event.count
         return n
+
+    def consume_counts(
+        self, items: Iterable[tuple[str, int]], per_unit: bool = False
+    ) -> int:
+        """Apply coalesced ``(key, count)`` pairs in one flattened pass.
+
+        Bit-identical to calling :meth:`record` once per pair in the
+        given order — this is the hot path a node's coalescing buffer
+        flushes through, with the per-pair method dispatch and truth
+        bookkeeping hoisted out of the loop.  Returns the increments
+        applied.  ``per_unit=True`` routes through the per-unit
+        reference arm instead (benchmarks only).
+        """
+        counters = self._counters
+        counter_for = self._counter_for
+        truth = self._truth if self._track_truth else None
+        truth_get = truth.get if truth is not None else None
+        total = 0
+        for key, count in items:
+            if count < 0:
+                raise ParameterError(
+                    f"count must be non-negative, got {count}"
+                )
+            if count == 0:
+                continue
+            counter = counters.get(key)
+            if counter is None:
+                counter = counter_for(key)
+            if per_unit:
+                counter.add_per_unit(count)
+            else:
+                counter.add(count)
+            if truth is not None:
+                truth[key] = truth_get(key, 0) + count
+            total += count
+        return total
+
+    def consume_batch(
+        self, keys: Sequence[str], counts: Sequence[int]
+    ) -> int:
+        """Coalesce a bulk batch of per-key counts, then ingest it.
+
+        The batch is aggregated per key first (numpy-vectorized when
+        numpy is installed and the batch is large; a plain dict pass
+        otherwise) and applied in sorted-key order — exactly what a
+        coalescing write buffer holding the same batch would flush, so
+        the result is bit-identical to
+        ``consume_counts(sorted(aggregated.items()))``.  Returns the
+        increments applied.
+        """
+        if len(keys) != len(counts):
+            raise ParameterError(
+                f"keys and counts must align: {len(keys)} != {len(counts)}"
+            )
+        if not keys:
+            return 0
+        if _np is not None and len(keys) >= 64:
+            key_array = _np.asarray(keys, dtype=object)
+            count_array = _np.asarray(counts, dtype=_np.int64)
+            if count_array.min() < 0:
+                raise ParameterError(
+                    f"count must be non-negative, got {count_array.min()}"
+                )
+            unique, inverse = _np.unique(key_array, return_inverse=True)
+            summed = _np.bincount(
+                inverse, weights=count_array, minlength=len(unique)
+            ).astype(_np.int64)
+            # np.unique returns keys sorted, matching the flush order.
+            return self.consume_counts(
+                zip(unique.tolist(), summed.tolist())
+            )
+        aggregated: dict[str, int] = {}
+        for key, count in zip(keys, counts):
+            aggregated[key] = aggregated.get(key, 0) + count
+        return self.consume_counts(sorted(aggregated.items()))
 
     # ------------------------------------------------------------------
     # queries

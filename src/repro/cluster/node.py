@@ -143,7 +143,14 @@ class IngestNode:
         Flush automatically once this many increments are buffered.
     track_truth:
         Keep exact shadow counts in the bank for evaluation.
+    consume_mode:
+        ``"skip_ahead"`` (default) flushes through the counters'
+        geometric fast-forward ``add(n)``; ``"per_unit"`` pays one coin
+        flip per unit instead — the reference arm the throughput bench
+        compares against, not a production setting.
     """
+
+    CONSUME_MODES = ("skip_ahead", "per_unit")
 
     def __init__(
         self,
@@ -152,6 +159,7 @@ class IngestNode:
         seed: int,
         buffer_limit: int = 512,
         track_truth: bool = True,
+        consume_mode: str = "skip_ahead",
     ) -> None:
         if node_id < 0:
             raise ParameterError(f"node_id must be >= 0, got {node_id}")
@@ -159,9 +167,16 @@ class IngestNode:
             raise ParameterError(
                 f"buffer_limit must be >= 1, got {buffer_limit}"
             )
+        if consume_mode not in self.CONSUME_MODES:
+            known = ", ".join(self.CONSUME_MODES)
+            raise ParameterError(
+                f"consume_mode must be one of {known}, got {consume_mode!r}"
+            )
         self._node_id = node_id
         self._template = template
         self._buffer_limit = buffer_limit
+        self._consume_mode = consume_mode
+        self._per_unit = consume_mode == "per_unit"
         self._bank = CounterBank(
             template.build, seed=seed, track_truth=track_truth
         )
@@ -194,6 +209,11 @@ class IngestNode:
     def buffer_limit(self) -> int:
         """Increments buffered before an automatic flush."""
         return self._buffer_limit
+
+    @property
+    def consume_mode(self) -> str:
+        """How flushes hit the counters: ``skip_ahead`` or ``per_unit``."""
+        return self._consume_mode
 
     @property
     def pending(self) -> int:
@@ -231,17 +251,57 @@ class IngestNode:
             self.submit(event)
         return self.events_ingested - before
 
+    def submit_counts(self, pairs: Iterable[tuple[str, int]]) -> int:
+        """Accept ``(key, count)`` pairs — :meth:`submit` without events.
+
+        Bit-identical to submitting one :class:`KeyedEvent` per pair in
+        the given order (same buffer state, same flush timing, same
+        lifetime stats), with the per-event object construction and
+        method dispatch flattened out.  This is the delivery-batch hot
+        path of the process plan's workers.
+        """
+        buffer = self._buffer
+        limit = self._buffer_limit
+        before = self.events_ingested
+        ingested = before
+        coalesced = self.events_coalesced
+        buffered = self._buffered
+        for key, count in pairs:
+            if count == 0:
+                continue
+            held = buffer.get(key)
+            if held is None:
+                buffer[key] = count
+            else:
+                buffer[key] = held + count
+                coalesced += 1
+            buffered += count
+            ingested += count
+            if buffered >= limit:
+                self._buffered = buffered
+                self.events_ingested = ingested
+                self.events_coalesced = coalesced
+                self.flush()
+                buffered = 0
+        self._buffered = buffered
+        self.events_ingested = ingested
+        self.events_coalesced = coalesced
+        return ingested - before
+
     def flush(self) -> int:
         """Apply the coalesced buffer to the bank; returns increments.
 
         Keys are applied in sorted order so a flush is deterministic no
-        matter what order events arrived in.
+        matter what order events arrived in.  The flattened
+        :meth:`~repro.analytics.counter_bank.CounterBank.consume_counts`
+        pass is bit-identical to recording each key in that order.
         """
         if not self._buffer:
             return 0
         flushed = self._buffered
-        for key in sorted(self._buffer):
-            self._bank.record(key, self._buffer[key])
+        self._bank.consume_counts(
+            sorted(self._buffer.items()), per_unit=self._per_unit
+        )
         self._buffer.clear()
         self._buffered = 0
         self.n_flushes += 1

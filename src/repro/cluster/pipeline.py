@@ -311,7 +311,9 @@ class ParallelPlan(ExecutionPlan):
             refresh_retained()
             telemetry = simulation.telemetry
             timed = telemetry.enabled
-            route_timer = telemetry.stage_timer() if timed else None
+            route_cell = (
+                telemetry.stage_timer().cell("route") if timed else None
+            )
             position = 0
             try:
                 for event in events:
@@ -345,9 +347,11 @@ class ParallelPlan(ExecutionPlan):
                     if timed:
                         start = perf_counter()
                         node_id = simulation.route_event(event)
-                        route_timer.add(
-                            "route", perf_counter() - start
-                        )
+                        seconds = perf_counter() - start
+                        route_cell[0] += 1
+                        route_cell[1] += seconds
+                        if seconds > route_cell[2]:
+                            route_cell[2] = seconds
                     else:
                         node_id = simulation.route_event(event)
                     pending[node_id].append(event)
@@ -447,6 +451,7 @@ class WorkerFleet:
                 seed=node.bank.seed,
                 buffer_limit=node.buffer_limit,
                 track_truth=node.bank.tracks_truth,
+                consume_mode=node.consume_mode,
                 timed=self._timed,
             )
         except BaseException:
@@ -685,7 +690,10 @@ class ProcessPlan(ExecutionPlan):
         wal = simulation.store.wal
         telemetry = simulation.telemetry
         timed = telemetry.enabled
-        route_timer = telemetry.stage_timer() if timed else None
+        if timed:
+            timer = telemetry.stage_timer()
+            route_cell = timer.cell("route")
+            deliver_cell = timer.cell("deliver")
 
         #: node id -> routed-but-unshipped events, in stream order.
         pending: dict[int, list[KeyedEvent]] = defaultdict(list)
@@ -803,8 +811,16 @@ class ProcessPlan(ExecutionPlan):
                     routed = perf_counter()
                     wal.append(node_id, event)
                     appended = perf_counter()
-                    route_timer.add("route", routed - started)
-                    route_timer.add("deliver", appended - routed)
+                    seconds = routed - started
+                    route_cell[0] += 1
+                    route_cell[1] += seconds
+                    if seconds > route_cell[2]:
+                        route_cell[2] = seconds
+                    seconds = appended - routed
+                    deliver_cell[0] += 1
+                    deliver_cell[1] += seconds
+                    if seconds > deliver_cell[2]:
+                        deliver_cell[2] = seconds
                 else:
                     node_id = simulation.route_event(event)
                     wal.append(node_id, event)

@@ -433,7 +433,8 @@ class _FileSegmentedLog(SegmentedLog):
         if seconds is not None:
             telemetry.registry.observe("wal_fsync_seconds", seconds)
             telemetry.stage_timer().add("fsync", seconds)
-        telemetry.trace("wal_fsync", node=node_id)
+        if telemetry.trace_active:
+            telemetry.trace("wal_fsync", node=node_id)
 
     def _sync_handle(self, node_id: int, handle: IO[str]) -> None:
         """Flush a node's pending group commit (sealing or closing)."""

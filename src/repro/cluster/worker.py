@@ -48,7 +48,6 @@ from repro.cluster.rebalance import MigrationBatch, absorb_batch
 from repro.cluster.transport import read_frame, write_frame
 from repro.errors import StateError
 from repro.obs.timers import StageTimer
-from repro.stream.workload import KeyedEvent
 
 __all__ = ["NodeWorker", "main"]
 
@@ -91,6 +90,7 @@ class NodeWorker:
             seed=int(body["seed"]),
             buffer_limit=int(body["buffer_limit"]),
             track_truth=bool(body["track_truth"]),
+            consume_mode=str(body.get("consume_mode", "skip_ahead")),
         )
         self.timer = StageTimer() if body.get("timed") else None
         return {"type": "ok"}
@@ -102,12 +102,12 @@ class NodeWorker:
         node = self._require_node()
         events = body["events"]
         if self.timer is None:
-            for key, count in events:
-                node.submit(KeyedEvent(str(key), int(count)))
+            node.submit_counts(
+                (str(key), int(count)) for key, count in events
+            )
             return None
         started = time.perf_counter()
-        for key, count in events:
-            node.submit(KeyedEvent(str(key), int(count)))
+        node.submit_counts((str(key), int(count)) for key, count in events)
         self.timer.add("worker_consume", time.perf_counter() - started)
         return None
 

@@ -104,6 +104,19 @@ class ApproximateCounter(abc.ABC):
         for _ in range(n):
             self.increment()
 
+    def add_per_unit(self, n: int) -> None:
+        """Process ``n`` increments one at a time — never fast-forwarded.
+
+        The per-unit reference arm: every unit pays its own coin flip(s),
+        exactly as a naive stream simulation would.  Benchmarks and the
+        skip-ahead equivalence tests compare :meth:`add` against this; it
+        is not a production ingest path.
+        """
+        if n < 0:
+            raise ParameterError(f"cannot add a negative count: {n}")
+        for _ in range(n):
+            self.increment()
+
     @abc.abstractmethod
     def estimate(self) -> float:
         """Return the current estimate of the true count N."""

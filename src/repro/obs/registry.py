@@ -69,6 +69,8 @@ _LabelKey = tuple[tuple[str, Any], ...]
 
 
 def _label_key(labels: Mapping[str, Any]) -> _LabelKey:
+    if not labels:  # the common unlabeled series, on hot paths
+        return ()
     return tuple(sorted(labels.items()))
 
 

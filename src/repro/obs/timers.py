@@ -55,6 +55,21 @@ class StageTimer:
             if seconds > cell[2]:
                 cell[2] = seconds
 
+    def cell(self, stage: str) -> list[float]:
+        """The stage's live ``[count, total_s, max_s]`` accumulator.
+
+        Hot-loop escape hatch: per-event call sites (the serial
+        delivery loop times three stages per event) resolve the cell
+        once and fold sections in with three inline float ops instead
+        of a method call per section — same data, same snapshot, no
+        per-event name lookup.  The cell stays thread-confined with
+        its timer.
+        """
+        cell = self._stages.get(stage)
+        if cell is None:
+            cell = self._stages[stage] = [0, 0.0, 0.0]
+        return cell
+
     def snapshot(self) -> dict[str, dict[str, Any]]:
         """JSON-safe ``{stage: {count, total_s, max_s}}``."""
         return {

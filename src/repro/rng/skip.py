@@ -11,6 +11,23 @@ accept probability and how many increments remain, and it answers either
 "the next accept happens after ``g`` increments" or "no accept happens in
 the remaining budget" — with exactly the probabilities the one-at-a-time
 simulation would produce.  Counters use this inside ``add(n)``.
+
+Bit-metering contract
+---------------------
+Skip-ahead must never report *more* random bits than the per-unit loop
+it replaces, or the bit accounting the paper cares about would stop
+being an honest lower bound on simulation cost:
+
+* ``step(p, budget)`` draws one 53-bit inverse-CDF geometric; a single
+  per-unit ``bernoulli(p)`` trial already costs 53 bits, so the skip is
+  never more expensive (equal at ``budget == 1``).
+* ``step_pow2(t, budget)`` runs the bit-exact coin-AND protocol —
+  identical bit stream to per-unit ``bernoulli_pow2`` trials, capped at
+  ``budget`` failures — whenever the 53-bit inverse-CDF draw could cost
+  more than the per-unit loop's worst-case floor of 1 bit per trial
+  (``budget < 53``), or whenever ``t <= 4`` where the protocol is cheap
+  and exact anyway.  Only for ``t > 4`` *and* ``budget >= 53`` does it
+  spend the single 53-bit draw.
 """
 
 from __future__ import annotations
@@ -72,12 +89,31 @@ class GeometricSkipper:
             return SkipOutcome(accepted=True, consumed=gap)
         return SkipOutcome(accepted=False, consumed=budget)
 
+    #: One inverse-CDF geometric draw costs 53 bits; a per-unit trial
+    #: costs at least 1 bit, so below this budget the capped coin
+    #: protocol is never more expensive than the CDF draw would be.
+    _CDF_BITS = 53
+
     def step_pow2(self, t: int, budget: int) -> SkipOutcome:
-        """Like :meth:`step` for the dyadic probability ``2**-t``."""
+        """Like :meth:`step` for the dyadic probability ``2**-t``.
+
+        Bit-exact for small ``t`` or small budgets: the capped coin-AND
+        protocol consumes the *same bit stream* the per-unit
+        ``bernoulli_pow2`` loop would, and stops at the first success or
+        at ``budget`` failures — it never draws past the budget.  For
+        ``t > 4`` with ``budget >= 53`` it spends one 53-bit inverse-CDF
+        geometric instead (see the module's bit-metering contract).
+        """
         if budget <= 0:
             raise ParameterError(f"budget must be positive, got {budget}")
         if t == 0:
             return SkipOutcome(accepted=True, consumed=1)
+        if t <= 4 or budget < self._CDF_BITS:
+            bernoulli_pow2 = self._rng.bernoulli_pow2
+            for gap in range(1, budget + 1):
+                if bernoulli_pow2(t):
+                    return SkipOutcome(accepted=True, consumed=gap)
+            return SkipOutcome(accepted=False, consumed=budget)
         gap = self._rng.geometric_pow2(t)
         if gap <= budget:
             return SkipOutcome(accepted=True, consumed=gap)

@@ -11,6 +11,9 @@ such systems see:
   "δ must shrink with the number of counters" argument of §1).
 * :func:`burst_workload` — one key suddenly hot (tests that counters track
   rapid growth).
+* :func:`weighted_zipf_workload` — Zipf popularity with *weighted* events
+  (``count > 1``), the shape of a pre-aggregated replication feed; the
+  heavy-count stream the skip-ahead ingest path is measured on.
 
 Events are generated lazily; a workload is an iterator of
 :class:`KeyedEvent` so banks of millions of events stream in O(1) memory.
@@ -25,7 +28,13 @@ from typing import Iterator
 from repro.errors import ParameterError
 from repro.rng.bitstream import BitBudgetedRandom
 
-__all__ = ["KeyedEvent", "zipf_workload", "uniform_workload", "burst_workload"]
+__all__ = [
+    "KeyedEvent",
+    "zipf_workload",
+    "uniform_workload",
+    "burst_workload",
+    "weighted_zipf_workload",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -87,6 +96,37 @@ def zipf_workload(
             else:
                 lo = mid + 1
         yield KeyedEvent(_key_name(lo))
+
+
+def weighted_zipf_workload(
+    rng: BitBudgetedRandom,
+    n_keys: int,
+    n_events: int,
+    exponent: float = 1.1,
+    mean_count: int = 64,
+) -> Iterator[KeyedEvent]:
+    """Zipf popularity with weighted events: a pre-aggregated feed.
+
+    Each event carries ``count`` increments drawn uniformly from
+    ``[1, 2*mean_count - 1]`` (so the expected weight is ``mean_count``),
+    modelling an upstream buffer or replication feed that already
+    coalesced per-key increments.  Key popularity and weights come from
+    independent :meth:`~repro.rng.bitstream.BitBudgetedRandom.split`
+    streams of ``rng``, so the key sequence at a given seed matches
+    :func:`zipf_workload` event for event.
+
+    This is the heavy-count workload the throughput bench's skip-ahead
+    arm is measured on: per-unit ingestion pays ``count`` coin flips per
+    event, skip-ahead pays O(1) expected draws.
+    """
+    if mean_count < 1:
+        raise ParameterError(
+            f"mean_count must be >= 1, got {mean_count}"
+        )
+    count_rng = rng.split(0x77656967, mean_count)  # "weig"
+    span = 2 * mean_count - 1
+    for event in zipf_workload(rng, n_keys, n_events, exponent):
+        yield KeyedEvent(event.key, 1 + count_rng.randint_below(span))
 
 
 def uniform_workload(

@@ -1,0 +1,135 @@
+"""Tests for the bank's flattened batch-consume paths.
+
+``consume_counts`` must be bit-identical to calling ``record`` once per
+pair in the same order; ``consume_batch`` must be bit-identical to the
+coalescing-buffer flush holding the same batch, whether the aggregation
+ran through numpy or the pure-python fallback.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.analytics.counter_bank as counter_bank_module
+from repro.analytics.counter_bank import CounterBank
+from repro.core.factory import make_counter
+from repro.errors import ParameterError
+
+
+def _bank(seed: int = 11, track_truth: bool = True) -> CounterBank:
+    return CounterBank(
+        lambda rng: make_counter("simplified_ny", resolution=1024, rng=rng),
+        seed=seed,
+        track_truth=track_truth,
+    )
+
+
+_PAIRS = [
+    ("a", 3),
+    ("b", 700),
+    ("a", 41),
+    ("c", 0),
+    ("d", 1),
+    ("b", 5),
+    ("a", 1200),
+]
+
+
+def _assert_same_bank(left: CounterBank, right: CounterBank) -> None:
+    assert sorted(left.keys()) == sorted(right.keys())
+    for key in left.keys():
+        assert left.estimate(key) == right.estimate(key)
+        assert left.truth(key) == right.truth(key)
+    assert left.total_state_bits() == right.total_state_bits()
+
+
+class TestConsumeCounts:
+    def test_bit_identical_to_record_loop(self):
+        looped, flattened = _bank(), _bank()
+        for key, count in _PAIRS:
+            looped.record(key, count)
+        applied = flattened.consume_counts(_PAIRS)
+        assert applied == sum(count for _, count in _PAIRS)
+        _assert_same_bank(looped, flattened)
+
+    def test_per_unit_matches_record_per_unit(self):
+        looped, flattened = _bank(), _bank()
+        for key, count in _PAIRS:
+            looped.record_per_unit(key, count)
+        flattened.consume_counts(_PAIRS, per_unit=True)
+        _assert_same_bank(looped, flattened)
+
+    def test_zero_counts_do_not_materialize(self):
+        bank = _bank()
+        assert bank.consume_counts([("z", 0)]) == 0
+        assert "z" not in bank
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ParameterError):
+            _bank().consume_counts([("a", 1), ("b", -2)])
+
+    def test_untracked_truth(self):
+        bank = _bank(track_truth=False)
+        assert bank.consume_counts([("a", 10), ("a", 5)]) == 15
+        with pytest.raises(ParameterError):
+            bank.truth("a")
+
+
+class TestConsumeBatch:
+    def _batch(self, copies: int = 20):
+        keys, counts = [], []
+        for i in range(copies):
+            for key, count in _PAIRS:
+                keys.append(key)
+                counts.append(count + i)
+        return keys, counts
+
+    def test_matches_coalesced_flush(self):
+        keys, counts = self._batch()
+        assert len(keys) >= 64  # large enough for the numpy path
+        batched, flushed = _bank(), _bank()
+        applied = batched.consume_batch(keys, counts)
+        aggregated: dict[str, int] = {}
+        for key, count in zip(keys, counts):
+            aggregated[key] = aggregated.get(key, 0) + count
+        assert applied == flushed.consume_counts(sorted(aggregated.items()))
+        _assert_same_bank(batched, flushed)
+
+    def test_numpy_and_fallback_agree(self, monkeypatch):
+        keys, counts = self._batch()
+        default = _bank()
+        default.consume_batch(keys, counts)
+        monkeypatch.setattr(counter_bank_module, "_np", None)
+        fallback = _bank()
+        fallback.consume_batch(keys, counts)
+        _assert_same_bank(default, fallback)
+
+    def test_small_batches(self):
+        bank = _bank()
+        assert bank.consume_batch([], []) == 0
+        assert bank.consume_batch(["a", "a", "b"], [1, 2, 3]) == 6
+        assert bank.truth("a") == 3
+        assert bank.truth("b") == 3
+
+    def test_validation(self):
+        bank = _bank()
+        with pytest.raises(ParameterError):
+            bank.consume_batch(["a", "b"], [1])
+        with pytest.raises(ParameterError):
+            bank.consume_batch(["a", "b"], [1, -1])
+        keys, counts = self._batch()
+        counts[-1] = -5
+        with pytest.raises(ParameterError):
+            bank.consume_batch(keys, counts)  # numpy path validates too
+
+
+class TestRecordPerUnit:
+    def test_tracks_truth_and_skips_zero(self):
+        bank = _bank()
+        bank.record_per_unit("k", 12)
+        bank.record_per_unit("k")
+        bank.record_per_unit("z", 0)
+        assert bank.truth("k") == 13
+        assert "z" not in bank
+        with pytest.raises(ParameterError):
+            bank.record_per_unit("k", -1)

@@ -1,0 +1,146 @@
+"""Consume-mode wiring and the flattened node write path.
+
+The skip-ahead delivery path (PR 10) must not change *what* the cluster
+computes: ``flush()`` through ``consume_counts`` is bit-identical to
+recording each buffered key, ``submit_counts`` is bit-identical to the
+per-event submit loop, and on exact templates the ``per_unit`` reference
+arm reproduces the ``skip_ahead`` run fingerprint for fingerprint.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analytics.counter_bank import CounterBank
+from repro.cluster import (
+    ClusterConfig,
+    ClusterSimulation,
+    default_template,
+    recover_cluster,
+    view_fingerprint,
+)
+from repro.cluster.node import IngestNode
+from repro.errors import ParameterError
+from repro.rng.bitstream import BitBudgetedRandom
+from repro.stream.workload import KeyedEvent, weighted_zipf_workload
+
+_SEED = 424242
+
+
+def _weighted_events(n_events: int = 4000, n_keys: int = 60):
+    return weighted_zipf_workload(
+        BitBudgetedRandom(_SEED), n_keys, n_events, mean_count=16
+    )
+
+
+def _node(consume_mode: str = "skip_ahead", **overrides) -> IngestNode:
+    settings = dict(
+        node_id=0,
+        template=default_template("simplified_ny"),
+        seed=_SEED,
+        buffer_limit=64,
+        consume_mode=consume_mode,
+    )
+    settings.update(overrides)
+    return IngestNode(**settings)
+
+
+class TestModeValidation:
+    def test_node_rejects_unknown_mode(self):
+        with pytest.raises(ParameterError):
+            _node(consume_mode="telepathy")
+
+    def test_config_rejects_unknown_mode(self):
+        with pytest.raises(ParameterError):
+            ClusterConfig(consume_mode="telepathy")
+
+    def test_defaults_to_skip_ahead(self):
+        assert _node().consume_mode == "skip_ahead"
+        assert ClusterConfig().consume_mode == "skip_ahead"
+
+    def test_per_unit_accepted(self):
+        assert _node(consume_mode="per_unit").consume_mode == "per_unit"
+
+
+class TestFlushBitIdentity:
+    @pytest.mark.parametrize("consume_mode", IngestNode.CONSUME_MODES)
+    def test_flush_matches_manual_bank(self, consume_mode):
+        """A flush is the sorted coalesced buffer applied to a bank with
+        the node's seed — same estimates, truth, and state bits."""
+        node = _node(consume_mode=consume_mode, buffer_limit=10**9)
+        events = list(_weighted_events(600))
+        node.submit_all(events)
+        buffered = sorted(node._buffer.items())
+        node.flush()
+        reference = CounterBank(
+            default_template("simplified_ny").build, seed=_SEED
+        )
+        reference.consume_counts(buffered, per_unit=consume_mode == "per_unit")
+        for key, _ in buffered:
+            assert node.bank.estimate(key) == reference.estimate(key)
+            assert node.bank.truth(key) == reference.truth(key)
+        assert node.bank.total_state_bits() == reference.total_state_bits()
+
+
+class TestSubmitCounts:
+    def test_matches_per_event_submit(self):
+        """Same buffer state, lifetime stats, flush timing, and bank
+        contents as submitting one KeyedEvent per pair."""
+        events = list(_weighted_events(3000))
+        pairs = [(event.key, event.count) for event in events]
+        pairs[7] = (pairs[7][0], 0)  # zero-count events are dropped
+        by_event, by_pairs = _node(), _node()
+        ingested_events = by_event.submit_all(
+            KeyedEvent(key, count) for key, count in pairs
+        )
+        ingested_pairs = by_pairs.submit_counts(pairs)
+        assert ingested_pairs == ingested_events
+        assert by_pairs.events_ingested == by_event.events_ingested
+        assert by_pairs.events_coalesced == by_event.events_coalesced
+        assert by_pairs.n_flushes == by_event.n_flushes
+        assert by_pairs.pending == by_event.pending
+        assert by_pairs._buffer == by_event._buffer
+        for key in by_event.bank.keys():
+            assert by_pairs.bank.estimate(key) == by_event.bank.estimate(key)
+
+    def test_flushes_when_buffer_fills(self):
+        node = _node(buffer_limit=8)
+        node.submit_counts([("a", 5), ("b", 5), ("c", 1)])
+        assert node.n_flushes == 1
+        assert node.pending == 1  # "c" arrived after the flush
+
+
+class TestClusterConsumeMode:
+    def _run(self, consume_mode: str, **overrides):
+        settings = dict(
+            n_nodes=3,
+            template=default_template("exact"),
+            seed=_SEED,
+            buffer_limit=128,
+            consume_mode=consume_mode,
+        )
+        settings.update(overrides)
+        simulation = ClusterSimulation(ClusterConfig(**settings))
+        result = simulation.run(_weighted_events())
+        return simulation, result
+
+    def test_exact_template_identical_across_modes(self):
+        """Consume mode never changes what an exact cluster computes."""
+        skip_sim, skip_result = self._run("skip_ahead")
+        unit_sim, unit_result = self._run("per_unit")
+        assert view_fingerprint(
+            skip_sim.aggregator.global_view()
+        ) == view_fingerprint(unit_sim.aggregator.global_view())
+        assert skip_result.total_events == unit_result.total_events
+        assert skip_result.max_relative_error == 0.0
+        assert unit_result.max_relative_error == 0.0
+
+    def test_mode_survives_manifest_roundtrip(self, tmp_path):
+        _, _ = self._run(
+            "per_unit",
+            storage="file",
+            storage_dir=str(tmp_path),
+            checkpoint_every=1000,
+        )
+        with recover_cluster(str(tmp_path)) as recovered:
+            assert recovered.config.consume_mode == "per_unit"

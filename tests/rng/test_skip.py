@@ -13,7 +13,27 @@ import math
 import pytest
 
 from repro.errors import ParameterError
-from repro.rng.skip import GeometricSkipper
+from repro.rng.bitstream import BitBudgetedRandom
+from repro.rng.skip import GeometricSkipper, SkipOutcome
+
+
+class _PinnedGapRng(BitBudgetedRandom):
+    """A random source whose geometric draws are pinned to a fixed gap.
+
+    Lets the budget-boundary tests exercise ``gap == budget`` and
+    ``gap == budget + 1`` exactly instead of waiting for the draws to
+    land there.
+    """
+
+    def __init__(self, gap: int) -> None:
+        super().__init__(0)
+        self._gap = gap
+
+    def geometric(self, p: float) -> int:
+        return self._gap
+
+    def geometric_pow2(self, t: int) -> int:
+        return self._gap
 
 
 class TestStep:
@@ -74,3 +94,93 @@ class TestStep:
             skipper.step(0.5, 0)
         with pytest.raises(ParameterError):
             skipper.step_pow2(1, 0)
+
+
+class TestBudgetBoundary:
+    """The ``gap == budget`` edge: a gap landing exactly on the budget is
+    an accept that consumes the whole budget; one past it is a miss that
+    consumes exactly the budget — never ``budget ± 1``."""
+
+    def test_step_gap_equals_budget_accepts(self):
+        outcome = GeometricSkipper(_PinnedGapRng(7)).step(0.5, 7)
+        assert outcome == SkipOutcome(accepted=True, consumed=7)
+
+    def test_step_gap_one_past_budget_misses(self):
+        outcome = GeometricSkipper(_PinnedGapRng(8)).step(0.5, 7)
+        assert outcome == SkipOutcome(accepted=False, consumed=7)
+
+    def test_step_pow2_gap_equals_budget_accepts(self):
+        # t > 4 with budget >= 53: the inverse-CDF path.
+        outcome = GeometricSkipper(_PinnedGapRng(60)).step_pow2(5, 60)
+        assert outcome == SkipOutcome(accepted=True, consumed=60)
+
+    def test_step_pow2_gap_one_past_budget_misses(self):
+        outcome = GeometricSkipper(_PinnedGapRng(61)).step_pow2(5, 60)
+        assert outcome == SkipOutcome(accepted=False, consumed=60)
+
+    def test_step_pow2_capped_path_budget_boundary(self, rng):
+        # Capped coin protocol (budget < 53): a miss consumes exactly
+        # the budget, an accept consumes at most the budget.
+        skipper = GeometricSkipper(rng)
+        for _ in range(500):
+            outcome = skipper.step_pow2(6, 40)
+            if outcome.accepted:
+                assert 1 <= outcome.consumed <= 40
+            else:
+                assert outcome.consumed == 40
+
+
+class TestCappedRegimeBitIdentity:
+    """For ``t <= 4`` or ``budget < 53`` the skip consumes the *same bit
+    stream* the per-unit ``bernoulli_pow2`` loop would — not just the
+    same distribution."""
+
+    @pytest.mark.parametrize(
+        "t,budget", [(1, 200), (2, 75), (4, 500), (7, 13), (10, 52)]
+    )
+    def test_matches_per_unit_loop(self, rng_factory, t, budget):
+        skip_rng = rng_factory(0xC0FFEE)
+        unit_rng = rng_factory(0xC0FFEE)
+        skipper = GeometricSkipper(skip_rng)
+        for _ in range(50):
+            outcome = skipper.step_pow2(t, budget)
+            accepted, gap = False, budget
+            for i in range(1, budget + 1):
+                if unit_rng.bernoulli_pow2(t):
+                    accepted, gap = True, i
+                    break
+            assert outcome.accepted == accepted
+            assert outcome.consumed == (gap if accepted else budget)
+            assert skip_rng.bits_consumed == unit_rng.bits_consumed
+
+
+class TestBitMetering:
+    """Skip-ahead must never report more random bits than the per-unit
+    loop it replaces (the module's bit-metering contract)."""
+
+    def test_step_spends_one_cdf_draw(self, rng):
+        # One 53-bit draw covers the whole budget; a single per-unit
+        # bernoulli(p) trial already costs the same 53 bits.
+        skipper = GeometricSkipper(rng)
+        before = rng.bits_consumed
+        outcome = skipper.step(0.2, 40)
+        spent = rng.bits_consumed - before
+        assert spent == 53
+        assert spent <= 53 * outcome.consumed
+
+    @pytest.mark.parametrize("t", [1, 3, 5, 9])
+    def test_step_pow2_aggregate_never_exceeds_per_unit(
+        self, rng_factory, t
+    ):
+        # Drive the same total budget through skip-ahead and through
+        # per-unit trials on twin streams: the skip side's bill must
+        # not exceed the per-unit side's.
+        total = 20_000
+        skip_rng, unit_rng = rng_factory(99), rng_factory(99)
+        skipper = GeometricSkipper(skip_rng)
+        remaining = total
+        while remaining > 0:
+            remaining -= skipper.step_pow2(t, remaining).consumed
+        for _ in range(total):
+            unit_rng.bernoulli_pow2(t)
+        assert skip_rng.bits_consumed <= unit_rng.bits_consumed

@@ -11,6 +11,7 @@ from repro.errors import ParameterError
 from repro.stream.workload import (
     burst_workload,
     uniform_workload,
+    weighted_zipf_workload,
     zipf_workload,
 )
 
@@ -54,6 +55,44 @@ class TestUniform:
             assert abs(count - n_events / n_keys) < 6 * math.sqrt(
                 n_events / n_keys
             )
+
+
+class TestWeightedZipf:
+    def test_keys_match_unweighted_stream(self, rng_factory):
+        """Same seed, same key sequence as zipf_workload — only the
+        per-event counts differ (they ride an independent split)."""
+        weighted = list(weighted_zipf_workload(rng_factory(5), 40, 2000))
+        plain = list(zipf_workload(rng_factory(5), 40, 2000))
+        assert [e.key for e in weighted] == [e.key for e in plain]
+
+    def test_deterministic(self, rng_factory):
+        first = list(weighted_zipf_workload(rng_factory(9), 30, 1500))
+        second = list(weighted_zipf_workload(rng_factory(9), 30, 1500))
+        assert first == second
+
+    def test_counts_uniform_around_mean(self, rng):
+        mean_count, n_events = 32, 4000
+        counts = [
+            e.count
+            for e in weighted_zipf_workload(
+                rng, 40, n_events, mean_count=mean_count
+            )
+        ]
+        assert min(counts) >= 1
+        assert max(counts) <= 2 * mean_count - 1
+        observed_mean = sum(counts) / len(counts)
+        std = (2 * mean_count - 2) / math.sqrt(12)
+        assert abs(observed_mean - mean_count) < 6 * std / math.sqrt(n_events)
+
+    def test_mean_count_one_degenerates_to_unit_events(self, rng):
+        events = list(weighted_zipf_workload(rng, 10, 200, mean_count=1))
+        assert all(e.count == 1 for e in events)
+
+    def test_validation(self, rng):
+        with pytest.raises(ParameterError):
+            list(weighted_zipf_workload(rng, 10, 10, mean_count=0))
+        with pytest.raises(ParameterError):
+            list(weighted_zipf_workload(rng, 0, 10))
 
 
 class TestBurst:

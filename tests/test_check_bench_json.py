@@ -319,6 +319,12 @@ def _throughput_payload() -> dict:
         {"nodes": 2, "arm": "parallel", "events_per_sec": 120.0},
         {"nodes": 2, "arm": "process", "events_per_sec": 140.0},
     ]
+    payload["skipahead_rows"] = [
+        {"arm": "per_unit", "events_per_sec": 100.0},
+        {"arm": "skip_ahead", "events_per_sec": 900.0},
+    ]
+    payload["skip_ahead_speedup"] = 9.0
+    payload["weighted_bit_identical"] = True
     return payload
 
 
@@ -411,6 +417,166 @@ class TestThroughputShape:
             "process_rows[0]" in problem and "metrics" in problem
             for problem in problems
         )
+
+
+class TestSkipaheadShape:
+    """cluster_throughput artifacts also carry the weighted skip-ahead
+    arm: exactly a per_unit row then a skip_ahead row, a true
+    weighted-workload bit-identity flag, and — on full runs — a
+    speedup that never dips below 1."""
+
+    def _check(self, tmp_path, payload: dict) -> list[str]:
+        path = _write(
+            tmp_path,
+            "BENCH_cluster_throughput.json",
+            json.dumps(payload),
+        )
+        return check_bench_json.check_file(path)
+
+    @pytest.mark.parametrize(
+        "rows",
+        [
+            None,
+            [],
+            [{"arm": "skip_ahead"}, {"arm": "per_unit"}],  # wrong order
+            [{"arm": "per_unit", "events_per_sec": 1.0}],
+        ],
+    )
+    def test_rejects_malformed_rows(self, tmp_path, rows):
+        payload = _throughput_payload()
+        payload["skipahead_rows"] = rows
+        problems = self._check(tmp_path, payload)
+        assert any(
+            "per_unit row then a skip_ahead row" in problem
+            for problem in problems
+        )
+
+    @pytest.mark.parametrize("rate", [0, -3, True, "fast", None])
+    def test_rejects_bad_rate(self, tmp_path, rate):
+        payload = _throughput_payload()
+        payload["skipahead_rows"][1]["events_per_sec"] = rate
+        problems = self._check(tmp_path, payload)
+        assert any(
+            "skipahead_rows[1]" in problem
+            and "events_per_sec must be positive" in problem
+            for problem in problems
+        )
+
+    @pytest.mark.parametrize("value", [False, 1, None, "true"])
+    def test_rejects_non_true_weighted_bit_identity(self, tmp_path, value):
+        payload = _throughput_payload()
+        payload["weighted_bit_identical"] = value
+        problems = self._check(tmp_path, payload)
+        assert any(
+            "weighted_bit_identical must be true" in problem
+            for problem in problems
+        )
+
+    @pytest.mark.parametrize("speedup", [0, -1.0, True, "9x", None])
+    def test_rejects_bad_speedup(self, tmp_path, speedup):
+        payload = _throughput_payload()
+        payload["skip_ahead_speedup"] = speedup
+        problems = self._check(tmp_path, payload)
+        assert any(
+            "skip_ahead_speedup must be positive" in problem
+            for problem in problems
+        )
+
+    def test_full_run_must_not_lose_to_per_unit(self, tmp_path):
+        payload = _throughput_payload()
+        payload["workload"]["events"] = check_bench_json.FULL_RUN_EVENTS
+        payload["skip_ahead_speedup"] = 0.8
+        problems = self._check(tmp_path, payload)
+        assert any(
+            "must never be slower than per-unit" in problem
+            for problem in problems
+        )
+
+    def test_smoke_run_may_dip_below_one(self, tmp_path):
+        payload = _throughput_payload()
+        payload["skip_ahead_speedup"] = 0.8  # events: 1000 — a smoke row
+        assert self._check(tmp_path, payload) == []
+
+
+def _trajectory_payload() -> dict:
+    return {
+        "benchmark": "cluster_throughput_trajectory",
+        "seed": 2020,
+        "workload": {"kind": "weighted_zipf", "mean_count": 64},
+        "rows": [
+            {
+                "date": "2026-08-08",
+                "cpus": 8,
+                "events": 400_000,
+                "mean_count": 64,
+                "per_unit_events_per_sec": 100.0,
+                "skip_ahead_events_per_sec": 900.0,
+                "skip_ahead_speedup": 9.0,
+                "skip_ahead_speedup_smoke": 7.5,
+                "speedup_4_workers": 1.8,
+            }
+        ],
+    }
+
+
+class TestTrajectoryShape:
+    """Committed trajectory rows are the regression gate's baseline, so
+    they must be well-formed and must record skip-ahead winning — they
+    only ever come from full runs."""
+
+    def _check(self, tmp_path, payload: dict) -> list[str]:
+        path = _write(
+            tmp_path,
+            "BENCH_cluster_throughput_trajectory.json",
+            json.dumps(payload),
+        )
+        return check_bench_json.check_file(path)
+
+    def test_valid_trajectory_passes(self, tmp_path):
+        assert self._check(tmp_path, _trajectory_payload()) == []
+
+    @pytest.mark.parametrize("cpus", [0, -1, 2.5, True, "8", None])
+    def test_rejects_bad_cpus(self, tmp_path, cpus):
+        payload = _trajectory_payload()
+        payload["rows"][0]["cpus"] = cpus
+        problems = self._check(tmp_path, payload)
+        assert any(
+            "cpus must be a positive integer" in problem
+            for problem in problems
+        )
+
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "per_unit_events_per_sec",
+            "skip_ahead_events_per_sec",
+            "skip_ahead_speedup",
+            "skip_ahead_speedup_smoke",
+        ],
+    )
+    def test_rejects_missing_rates(self, tmp_path, field):
+        payload = _trajectory_payload()
+        del payload["rows"][0][field]
+        problems = self._check(tmp_path, payload)
+        assert any(
+            f"{field} must be positive" in problem for problem in problems
+        )
+
+    def test_rejects_losing_speedup(self, tmp_path):
+        payload = _trajectory_payload()
+        payload["rows"][0]["skip_ahead_speedup"] = 0.9
+        problems = self._check(tmp_path, payload)
+        assert any(
+            "trajectory rows record full runs" in problem
+            for problem in problems
+        )
+
+    def test_problem_names_the_row(self, tmp_path):
+        payload = _trajectory_payload()
+        payload["rows"].append(dict(payload["rows"][0]))
+        payload["rows"][1]["cpus"] = 0
+        problems = self._check(tmp_path, payload)
+        assert any("rows[1]" in problem for problem in problems)
 
 
 def _serving_payload() -> dict:

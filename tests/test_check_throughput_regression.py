@@ -1,0 +1,132 @@
+"""The throughput regression gate: skip, pass, and fail behavior."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_SCRIPT = (
+    pathlib.Path(__file__).resolve().parents[1]
+    / "scripts"
+    / "check_throughput_regression.py"
+)
+_spec = importlib.util.spec_from_file_location(
+    "check_throughput_regression", _SCRIPT
+)
+gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(gate)
+
+
+def _fresh_payload(speedup: float, events: int = 20_000, cpus: int = 8):
+    return {
+        "benchmark": "cluster_throughput",
+        "cpus": cpus,
+        "workload": {"kind": "weighted_zipf", "events": events},
+        "skip_ahead_speedup": speedup,
+    }
+
+
+def _trajectory(speedup: float = 10.0, smoke: float = 8.0):
+    return {
+        "benchmark": "cluster_throughput_trajectory",
+        "rows": [
+            {
+                "date": "2026-08-08",
+                "cpus": 8,
+                "skip_ahead_speedup": speedup,
+                "skip_ahead_speedup_smoke": smoke,
+            }
+        ],
+    }
+
+
+@pytest.fixture
+def paths(tmp_path, monkeypatch):
+    fresh = tmp_path / "BENCH_cluster_throughput.json"
+    trajectory = tmp_path / "BENCH_cluster_throughput_trajectory.json"
+    monkeypatch.setattr(gate, "FRESH", fresh)
+    monkeypatch.setattr(gate, "TRAJECTORY", trajectory)
+    return fresh, trajectory
+
+
+def _write(path, payload) -> None:
+    path.write_text(json.dumps(payload), encoding="utf-8")
+
+
+class TestSkips:
+    def test_no_trajectory_is_a_bootstrap_skip(self, paths):
+        fresh, _ = paths
+        _write(fresh, _fresh_payload(9.0))
+        assert gate.main([]) == 0
+
+    def test_empty_trajectory_rows_skip(self, paths):
+        fresh, trajectory = paths
+        _write(fresh, _fresh_payload(9.0))
+        _write(trajectory, {"rows": []})
+        assert gate.main([]) == 0
+
+    def test_single_core_runner_still_gates(self, paths):
+        # The speedup is a serial-vs-serial ratio on one machine, so a
+        # starved runner is no excuse: a real regression must fail even
+        # at cpus=1.
+        fresh, trajectory = paths
+        _write(fresh, _fresh_payload(0.5, cpus=1))
+        _write(trajectory, _trajectory())
+        assert gate.main([]) == 1
+
+    def test_missing_fresh_artifact_fails(self, paths):
+        _, trajectory = paths
+        _write(trajectory, _trajectory())
+        assert gate.main([]) == 1
+
+
+class TestGate:
+    def test_smoke_within_tolerance_passes(self, paths):
+        fresh, trajectory = paths
+        # Smoke runs compare against the smoke-size reference (8.0);
+        # 7.0 is within the 20% floor of 6.4.
+        _write(fresh, _fresh_payload(7.0))
+        _write(trajectory, _trajectory(speedup=10.0, smoke=8.0))
+        assert gate.main([]) == 0
+
+    def test_smoke_regression_fails(self, paths):
+        fresh, trajectory = paths
+        _write(fresh, _fresh_payload(6.0))
+        _write(trajectory, _trajectory(speedup=10.0, smoke=8.0))
+        assert gate.main([]) == 1
+
+    def test_full_run_compares_against_full_baseline(self, paths):
+        fresh, trajectory = paths
+        # 8.5 would fail the smoke floor only if compared to the wrong
+        # key; against the full-size 10.0 baseline it passes (floor 8.0).
+        _write(
+            fresh, _fresh_payload(8.5, events=gate.FULL_RUN_EVENTS)
+        )
+        _write(trajectory, _trajectory(speedup=10.0, smoke=9.9))
+        assert gate.main([]) == 0
+
+    def test_full_run_regression_fails(self, paths):
+        fresh, trajectory = paths
+        _write(
+            fresh, _fresh_payload(7.0, events=gate.FULL_RUN_EVENTS)
+        )
+        _write(trajectory, _trajectory(speedup=10.0))
+        assert gate.main([]) == 1
+
+    def test_max_regression_flag_widens_the_floor(self, paths):
+        fresh, trajectory = paths
+        _write(fresh, _fresh_payload(5.0))
+        _write(trajectory, _trajectory(smoke=8.0))
+        assert gate.main([]) == 1
+        assert gate.main(["--max-regression", "0.5"]) == 0
+
+    def test_latest_row_is_the_reference(self, paths):
+        fresh, trajectory = paths
+        doc = _trajectory(smoke=20.0)
+        doc["rows"].append(dict(doc["rows"][0], skip_ahead_speedup_smoke=8.0))
+        _write(fresh, _fresh_payload(7.0))
+        _write(trajectory, doc)
+        assert gate.main([]) == 0
